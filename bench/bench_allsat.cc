@@ -1,0 +1,70 @@
+// Model-enumeration throughput: AllSAT with blocking clauses vs
+// brute-force truth-table enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include "enc/tseitin.h"
+#include "logic/generator.h"
+#include "logic/semantics.h"
+#include "sat/all_sat.h"
+
+namespace {
+
+using namespace arbiter;
+
+void BM_AllSatEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  Formula f = RandomKCnf(&rng, n, 2 * n, 3);  // many models
+  int64_t models = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sat::Solver solver;
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(n);
+    encoder.Assert(f);
+    state.ResumeTiming();
+    sat::AllSatOptions options;
+    options.num_project = n;
+    options.max_models = 2000;
+    models += sat::EnumerateAllSat(&solver, options,
+                                   [](uint64_t) { return true; });
+  }
+  state.counters["models/iter"] = benchmark::Counter(
+      static_cast<double>(models), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_AllSatEnumeration)->Arg(10)->Arg(14)->Arg(18)->Arg(24);
+
+void BM_BruteForceEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  Formula f = RandomKCnf(&rng, n, 2 * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateModels(f, n));
+  }
+}
+BENCHMARK(BM_BruteForceEnumeration)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_AllSatProjection(benchmark::State& state) {
+  // Enumerate over a small projection of a larger formula: the
+  // blocking clauses keep the count tiny even though the full model
+  // space is huge.
+  const int n = 20;
+  const int project = static_cast<int>(state.range(0));
+  Rng rng(99);
+  Formula f = RandomKCnf(&rng, n, n, 3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sat::Solver solver;
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(n);
+    encoder.Assert(f);
+    state.ResumeTiming();
+    sat::AllSatOptions options;
+    options.num_project = project;
+    benchmark::DoNotOptimize(sat::CollectAllSat(&solver, options));
+  }
+}
+BENCHMARK(BM_AllSatProjection)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Distance-kernel benchmarks: dist, dist(psi, I), odist(psi, I),
+// Σ-dist, and wdist — the inner loops of every operator.
+
+#include <benchmark/benchmark.h>
+
+#include "kb/weighted_kb.h"
+#include "model/distance.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace arbiter;
+
+ModelSet RandomSet(Rng* rng, int n, double density) {
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng->NextBool(density)) masks.push_back(m);
+  }
+  if (masks.empty()) masks.push_back(0);
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+void BM_PointDistance(benchmark::State& state) {
+  Rng rng(1);
+  uint64_t a = rng.Next(), b = rng.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dist(a, b));
+    a = (a << 1) | (a >> 63);
+  }
+}
+BENCHMARK(BM_PointDistance);
+
+void BM_MinDist(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  ModelSet psi = RandomSet(&rng, n, 0.3);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinDist(psi, probe));
+    probe = (probe + 0x9E3779B9) & LowMask(n);
+  }
+  state.SetItemsProcessed(state.iterations() * psi.size());
+}
+BENCHMARK(BM_MinDist)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_OverallDist(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 10);
+  ModelSet psi = RandomSet(&rng, n, 0.3);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OverallDist(psi, probe));
+    probe = (probe + 0x9E3779B9) & LowMask(n);
+  }
+  state.SetItemsProcessed(state.iterations() * psi.size());
+}
+BENCHMARK(BM_OverallDist)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_SumDist(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 20);
+  ModelSet psi = RandomSet(&rng, n, 0.3);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SumDist(psi, probe));
+    probe = (probe + 0x9E3779B9) & LowMask(n);
+  }
+  state.SetItemsProcessed(state.iterations() * psi.size());
+}
+BENCHMARK(BM_SumDist)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_WeightedDist(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 30);
+  WeightedKnowledgeBase kb(n);
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng.NextBool(0.3)) kb.SetWeight(m, 1 + rng.NextBelow(10));
+  }
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.WeightedDistTo(probe));
+    probe = (probe + 0x9E3779B9) & LowMask(n);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << n));
+}
+BENCHMARK(BM_WeightedDist)->Arg(10)->Arg(14)->Arg(18);
+
+}  // namespace

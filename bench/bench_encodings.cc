@@ -1,0 +1,101 @@
+// Ablation: sequential-counter (UnaryCounter) vs totalizer cardinality
+// encodings — the design choice behind the distance bounds in
+// src/solve/.  Measures encoding size (variables/clauses added) and
+// solve time for "find an assignment at Hamming distance exactly k
+// from a random 3-CNF model".
+
+#include <benchmark/benchmark.h>
+
+#include "enc/cardinality.h"
+#include "enc/totalizer.h"
+#include "enc/tseitin.h"
+#include "logic/generator.h"
+#include "solve/sat_bridge.h"
+#include "util/bit.h"
+
+namespace {
+
+using namespace arbiter;
+using sat::Lit;
+using sat::Solver;
+using sat::SolveStatus;
+
+template <typename Counter>
+void RunDistanceProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n * 11);
+  Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
+  uint64_t point = rng.Next() & LowMask(n);
+  int64_t vars = 0, clauses = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver;
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(n);
+    encoder.Assert(psi);
+    int vars_before = solver.NumVars();
+    int clauses_before = solver.NumProblemClauses();
+    Counter counter(&solver, solve::MakeConstDiffLits(n, point));
+    vars += solver.NumVars() - vars_before;
+    clauses += solver.NumProblemClauses() - clauses_before;
+    state.ResumeTiming();
+    // Sweep every threshold: the workload pattern of the binary
+    // searches in src/solve/.
+    for (int k = 1; k <= counter.size(); ++k) {
+      benchmark::DoNotOptimize(
+          solver.SolveAssuming({counter.AtLeast(k)}));
+    }
+  }
+  state.counters["enc_vars"] = benchmark::Counter(
+      static_cast<double>(vars), benchmark::Counter::kAvgIterations);
+  state.counters["enc_clauses"] = benchmark::Counter(
+      static_cast<double>(clauses), benchmark::Counter::kAvgIterations);
+}
+
+void BM_SequentialCounterDistanceProbe(benchmark::State& state) {
+  RunDistanceProbe<enc::UnaryCounter>(state);
+}
+BENCHMARK(BM_SequentialCounterDistanceProbe)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_TotalizerDistanceProbe(benchmark::State& state) {
+  RunDistanceProbe<enc::Totalizer>(state);
+}
+BENCHMARK(BM_TotalizerDistanceProbe)->Arg(16)->Arg(24)->Arg(32);
+
+template <typename Counter>
+void RunExactlyK(benchmark::State& state) {
+  // Count assignments of n free variables with exactly k true, via
+  // blocking-clause enumeration: stresses the encoding's propagation.
+  const int n = static_cast<int>(state.range(0));
+  const int k = n / 2;
+  for (auto _ : state) {
+    Solver solver;
+    std::vector<Lit> lits;
+    for (int i = 0; i < n; ++i) lits.push_back(Lit::Pos(solver.NewVar()));
+    Counter counter(&solver, lits);
+    solver.AddUnit(counter.AtLeast(k));
+    if (k < n) solver.AddUnit(counter.AtMost(k));
+    int64_t models = 0;
+    while (solver.Solve() == SolveStatus::kSat && models < 500) {
+      ++models;
+      std::vector<Lit> block;
+      for (int i = 0; i < n; ++i) {
+        block.push_back(Lit(i, solver.ModelValue(i)));
+      }
+      if (!solver.AddClause(std::move(block))) break;
+    }
+    benchmark::DoNotOptimize(models);
+  }
+}
+
+void BM_SequentialExactlyHalf(benchmark::State& state) {
+  RunExactlyK<enc::UnaryCounter>(state);
+}
+BENCHMARK(BM_SequentialExactlyHalf)->Arg(10)->Arg(14);
+
+void BM_TotalizerExactlyHalf(benchmark::State& state) {
+  RunExactlyK<enc::Totalizer>(state);
+}
+BENCHMARK(BM_TotalizerExactlyHalf)->Arg(10)->Arg(14);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Belief-merging benchmarks (experiment E10): Σ vs GMax vs max
+// aggregation as the number of sources and the vocabulary grow.
+
+#include <benchmark/benchmark.h>
+
+#include "change/merge.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace arbiter;
+
+std::vector<ModelSet> MakeSources(int k, int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ModelSet> sources;
+  for (int s = 0; s < k; ++s) {
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < (1ULL << n); ++m) {
+      if (rng.NextBool(0.1)) masks.push_back(m);
+    }
+    if (masks.empty()) masks.push_back(rng.NextBelow(1ULL << n));
+    sources.push_back(ModelSet::FromMasks(std::move(masks), n));
+  }
+  return sources;
+}
+
+void RunMerge(benchmark::State& state, MergeAggregate aggregate) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  std::vector<ModelSet> sources = MakeSources(k, n, k * 100 + n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Merge(sources, aggregate));
+  }
+}
+
+void BM_MergeSum(benchmark::State& state) {
+  RunMerge(state, MergeAggregate::kSum);
+}
+BENCHMARK(BM_MergeSum)
+    ->Args({2, 10})
+    ->Args({4, 10})
+    ->Args({8, 10})
+    ->Args({16, 10})
+    ->Args({4, 12})
+    ->Args({4, 14});
+
+void BM_MergeGMax(benchmark::State& state) {
+  RunMerge(state, MergeAggregate::kGMax);
+}
+BENCHMARK(BM_MergeGMax)
+    ->Args({2, 10})
+    ->Args({4, 10})
+    ->Args({8, 10})
+    ->Args({16, 10})
+    ->Args({4, 12});
+
+void BM_MergeMax(benchmark::State& state) {
+  RunMerge(state, MergeAggregate::kMax);
+}
+BENCHMARK(BM_MergeMax)
+    ->Args({2, 10})
+    ->Args({4, 10})
+    ->Args({8, 10})
+    ->Args({16, 10});
+
+void BM_MergeUnderConstraint(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 10;
+  std::vector<ModelSet> sources = MakeSources(k, n, k);
+  Rng rng(k + 7);
+  std::vector<uint64_t> cm;
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng.NextBool(0.5)) cm.push_back(m);
+  }
+  ModelSet constraint = ModelSet::FromMasks(std::move(cm), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Merge(sources, constraint, MergeAggregate::kSum));
+  }
+}
+BENCHMARK(BM_MergeUnderConstraint)->Arg(2)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,89 @@
+// ModelSet kernel benchmarks: set algebra, Mod(φ), form(models).
+
+#include <benchmark/benchmark.h>
+
+#include "logic/generator.h"
+#include "logic/semantics.h"
+#include "model/model_set.h"
+#include "util/bit.h"
+
+namespace {
+
+using namespace arbiter;
+
+ModelSet RandomSet(Rng* rng, int n, double density) {
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng->NextBool(density)) masks.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+void BM_ModelSetUnion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  ModelSet a = RandomSet(&rng, n, 0.4);
+  ModelSet b = RandomSet(&rng, n, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Union(b));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_ModelSetUnion)->Arg(10)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_ModelSetIntersect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 1);
+  ModelSet a = RandomSet(&rng, n, 0.4);
+  ModelSet b = RandomSet(&rng, n, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersect(b));
+  }
+}
+BENCHMARK(BM_ModelSetIntersect)->Arg(10)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_ModelSetComplement(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 2);
+  ModelSet a = RandomSet(&rng, n, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Complement());
+  }
+}
+BENCHMARK(BM_ModelSetComplement)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_ModFromFormula(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 3);
+  Formula f = RandomKCnf(&rng, n, 3 * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModelSet::FromFormula(f, n));
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << n));
+}
+BENCHMARK(BM_ModFromFormula)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_FormFromModels(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 4);
+  ModelSet a = RandomSet(&rng, n, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ToFormula());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_FormFromModels)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_ModelSetContains(benchmark::State& state) {
+  const int n = 20;
+  Rng rng(5);
+  ModelSet a = RandomSet(&rng, n, 0.3);
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Contains(probe));
+    probe = (probe + 0x9E3779B9) & LowMask(n);
+  }
+}
+BENCHMARK(BM_ModelSetContains);
+
+}  // namespace

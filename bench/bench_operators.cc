@@ -1,0 +1,63 @@
+// Operator benchmarks (experiment E8a): time per Change call for every
+// theory change operator as the vocabulary grows.  All operators are
+// enumeration-based here; the SAT-based large-n arms live in
+// bench_solve.cc.
+
+#include <benchmark/benchmark.h>
+
+#include "change/registry.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace arbiter;
+
+struct Workload {
+  ModelSet psi;
+  ModelSet mu;
+};
+
+Workload MakeWorkload(int n, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> mp, mm;
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng.NextBool(density)) mp.push_back(m);
+    if (rng.NextBool(density)) mm.push_back(m);
+  }
+  if (mp.empty()) mp.push_back(0);
+  if (mm.empty()) mm.push_back(1);
+  return {ModelSet::FromMasks(std::move(mp), n),
+          ModelSet::FromMasks(std::move(mm), n)};
+}
+
+void RunOperator(benchmark::State& state, const std::string& name) {
+  const int n = static_cast<int>(state.range(0));
+  auto op = MakeOperator(name).ValueOrDie();
+  Workload w = MakeWorkload(n, 0.15, 42 + n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Change(w.psi, w.mu));
+  }
+  state.counters["psi_models"] = static_cast<double>(w.psi.size());
+  state.counters["mu_models"] = static_cast<double>(w.mu.size());
+}
+
+#define ARBITER_OP_BENCH(fn_name, op_name)                       \
+  void fn_name(benchmark::State& state) {                        \
+    RunOperator(state, op_name);                                 \
+  }                                                              \
+  BENCHMARK(fn_name)->Arg(8)->Arg(10)->Arg(12)
+
+ARBITER_OP_BENCH(BM_Dalal, "dalal");
+ARBITER_OP_BENCH(BM_Satoh, "satoh");
+ARBITER_OP_BENCH(BM_Weber, "weber");
+ARBITER_OP_BENCH(BM_Borgida, "borgida");
+ARBITER_OP_BENCH(BM_Winslett, "winslett");
+ARBITER_OP_BENCH(BM_Forbus, "forbus");
+ARBITER_OP_BENCH(BM_ReveszMax, "revesz-max");
+ARBITER_OP_BENCH(BM_ReveszSum, "revesz-sum");
+ARBITER_OP_BENCH(BM_ArbitrationMax, "arbitration-max");
+ARBITER_OP_BENCH(BM_ArbitrationSum, "arbitration-sum");
+
+#undef ARBITER_OP_BENCH
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Postulate-checker benchmarks: cost of exhaustive and sampled
+// verification — the machinery behind experiments E4-E7.
+
+#include <benchmark/benchmark.h>
+
+#include "change/registry.h"
+#include "postulates/checker.h"
+
+namespace {
+
+using namespace arbiter;
+
+void BM_CheckTwoArgPostulate(benchmark::State& state) {
+  // R1 quantifies over (psi, mu) pairs: 2^(2^n) squared tuples.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), n);
+    benchmark::DoNotOptimize(checker.CheckExhaustive(Postulate::kR1));
+  }
+}
+BENCHMARK(BM_CheckTwoArgPostulate)->Arg(2)->Arg(3);
+
+void BM_CheckThreeArgPostulate(benchmark::State& state) {
+  // A8 quantifies over (psi1, psi2, mu) triples: the expensive shape.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PostulateChecker checker(MakeOperator("revesz-max").ValueOrDie(), n);
+    benchmark::DoNotOptimize(checker.CheckExhaustive(Postulate::kA7));
+  }
+}
+BENCHMARK(BM_CheckThreeArgPostulate)->Arg(2)->Arg(3);
+
+void BM_FullComplianceMatrix(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), n);
+    benchmark::DoNotOptimize(checker.ComplianceMatrix());
+  }
+}
+BENCHMARK(BM_FullComplianceMatrix)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_SampledCheck(benchmark::State& state) {
+  // Sampling at n = 4 (beyond the exhaustive limit).
+  const int samples = static_cast<int>(state.range(0));
+  PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), 4);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        checker.CheckSampled(Postulate::kR5, samples, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_SampledCheck)->Arg(100)->Arg(1000);
+
+void BM_MemoizedChangeLookup(benchmark::State& state) {
+  // After the first pass the checker's flat cache turns Change into an
+  // array load; measure a repeated postulate check.
+  PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), 3);
+  checker.CheckExhaustive(Postulate::kR1);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.CheckExhaustive(Postulate::kR1));
+  }
+}
+BENCHMARK(BM_MemoizedChangeLookup);
+
+}  // namespace

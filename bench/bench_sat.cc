@@ -1,0 +1,140 @@
+// Microbenchmarks for the SAT substrate: CDCL vs the DPLL baseline on
+// random 3-CNF (below, at, and above the satisfiability phase
+// transition) and on pigeonhole instances.
+
+#include <benchmark/benchmark.h>
+
+#include "logic/generator.h"
+#include "sat/dpll.h"
+#include "sat/solver.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace arbiter;
+using sat::DpllSolver;
+using sat::Lit;
+using sat::Solver;
+
+// Loads the clauses of a k-CNF formula into any solver via a callback.
+template <typename AddClauseFn>
+void LoadKCnf(const Formula& f, const AddClauseFn& add) {
+  auto clause_lits = [](const Formula& clause) {
+    std::vector<Lit> lits;
+    const std::vector<Formula> singleton = {clause};
+    const std::vector<Formula>& parts =
+        clause.kind() == FormulaKind::kOr ? clause.children() : singleton;
+    for (const Formula& lit : parts) {
+      if (lit.is_var()) {
+        lits.push_back(Lit::Pos(lit.var()));
+      } else {
+        lits.push_back(Lit::Neg(lit.child(0).var()));
+      }
+    }
+    return lits;
+  };
+  if (f.kind() == FormulaKind::kAnd) {
+    for (const Formula& clause : f.children()) add(clause_lits(clause));
+  } else {
+    add(clause_lits(f));
+  }
+}
+
+void BM_CdclRandom3Cnf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double ratio = static_cast<double>(state.range(1)) / 10.0;
+  const int clauses = static_cast<int>(n * ratio);
+  Rng rng(n * 31 + clauses);
+  int64_t conflicts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Formula f = RandomKCnf(&rng, n, clauses, 3);
+    Solver solver;
+    for (int i = 0; i < n; ++i) solver.NewVar();
+    LoadKCnf(f, [&](std::vector<Lit> lits) {
+      solver.AddClause(std::move(lits));
+    });
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.Solve());
+    conflicts += static_cast<int64_t>(solver.stats().conflicts);
+  }
+  state.counters["conflicts/iter"] = benchmark::Counter(
+      static_cast<double>(conflicts), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CdclRandom3Cnf)
+    ->Args({50, 30})    // under-constrained (SAT)
+    ->Args({50, 43})    // phase transition
+    ->Args({50, 55})    // over-constrained (UNSAT)
+    ->Args({100, 43})
+    ->Args({150, 43});
+
+void BM_DpllRandom3Cnf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int clauses = static_cast<int>(n * 4.3);
+  Rng rng(n * 17);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Formula f = RandomKCnf(&rng, n, clauses, 3);
+    DpllSolver solver(n);
+    LoadKCnf(f, [&](std::vector<Lit> lits) {
+      solver.AddClause(std::move(lits));
+    });
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_DpllRandom3Cnf)->Arg(20)->Arg(30)->Arg(40);
+
+void AddPigeonhole(Solver* s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<sat::Var>> in(pigeons,
+                                        std::vector<sat::Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) in[p][h] = s->NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(Lit::Pos(in[p][h]));
+    s->AddClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s->AddBinary(Lit::Neg(in[p1][h]), Lit::Neg(in[p2][h]));
+      }
+    }
+  }
+}
+
+void BM_CdclPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver;
+    AddPigeonhole(&solver, holes);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_CdclPigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_UnitPropagationThroughput(benchmark::State& state) {
+  // A long implication chain: measures raw propagation speed.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Solver solver;
+    std::vector<sat::Var> v;
+    for (int i = 0; i < n; ++i) v.push_back(solver.NewVar());
+    for (int i = 0; i + 1 < n; ++i) {
+      solver.AddBinary(Lit::Neg(v[i]), Lit::Pos(v[i + 1]));
+    }
+    solver.AddUnit(Lit::Pos(v[0]));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnitPropagationThroughput)->Arg(1000)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,109 @@
+// SAT-based operator benchmarks (experiment E8b): Dalal revision via
+// distance binary search and max-arbitration via CEGAR, on
+// vocabularies far beyond the enumeration limit, plus the
+// enumeration/SAT crossover.
+
+#include <benchmark/benchmark.h>
+
+#include "change/fitting.h"
+#include "change/revision.h"
+#include "logic/generator.h"
+#include "model/model_set.h"
+#include "solve/arbitration_sat.h"
+#include "solve/dalal_sat.h"
+#include "util/bit.h"
+
+namespace {
+
+using namespace arbiter;
+
+void BM_SatDalalRevise(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n * 3);
+  Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
+  Formula mu = RandomKCnf(&rng, n, 2 * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve::SatDalalRevise(psi, mu, n, /*max_models=*/1));
+  }
+}
+BENCHMARK(BM_SatDalalRevise)
+    ->Arg(12)
+    ->Arg(20)
+    ->Arg(28)
+    ->Arg(36)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CegarArbitrationRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n * 5);
+  Formula a = RandomKCnf(&rng, n, 2 * n, 3);
+  Formula b = RandomKCnf(&rng, n, 2 * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve::CegarMaxArbitration(a, b, n, /*max_models=*/1));
+  }
+}
+BENCHMARK(BM_CegarArbitrationRandom)
+    ->Arg(10)
+    ->Arg(12)
+    ->Arg(14)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CegarArbitrationStructured(benchmark::State& state) {
+  // Two conjunction platforms disagreeing on half the issues: the
+  // regime where CEGAR shines (witness set of size ~2).
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Formula> lits_a, lits_b;
+  for (int i = 0; i < n; ++i) {
+    lits_a.push_back(Not(Formula::Var(i)));
+    lits_b.push_back(i >= n / 2 ? Formula::Var(i) : Not(Formula::Var(i)));
+  }
+  Formula a = And(lits_a);
+  Formula b = And(lits_b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve::CegarMaxArbitration(a, b, n, /*max_models=*/1));
+  }
+}
+BENCHMARK(BM_CegarArbitrationStructured)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EnumDalalCrossover(benchmark::State& state) {
+  // The enumeration arm of the crossover: Mod(ψ), Mod(μ) computed by
+  // truth table, then the polynomial scan.  Compare with
+  // BM_SatDalalRevise at equal n to locate the crossover point.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n * 3);
+  Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
+  Formula mu = RandomKCnf(&rng, n, 2 * n, 3);
+  DalalRevision op;
+  for (auto _ : state) {
+    ModelSet spsi = ModelSet::FromFormula(psi, n);
+    ModelSet smu = ModelSet::FromFormula(mu, n);
+    benchmark::DoNotOptimize(op.Change(spsi, smu));
+  }
+}
+BENCHMARK(BM_EnumDalalCrossover)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SatOverallDist(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n * 7);
+  Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
+  uint64_t point = rng.Next() & LowMask(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve::SatOverallDist(psi, n, point));
+  }
+}
+BENCHMARK(BM_SatOverallDist)->Arg(12)->Arg(20)->Arg(28);
+
+}  // namespace

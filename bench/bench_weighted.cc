@@ -1,0 +1,80 @@
+// Weighted operator benchmarks (Section 4): the ⊔/⊓ algebra, the wdist
+// pre-order, weighted model-fitting and weighted arbitration.
+
+#include <benchmark/benchmark.h>
+
+#include "change/weighted.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace arbiter;
+
+WeightedKnowledgeBase RandomWkb(Rng* rng, int n, double density) {
+  WeightedKnowledgeBase kb(n);
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng->NextBool(density)) kb.SetWeight(m, 1 + rng->NextBelow(20));
+  }
+  if (!kb.IsSatisfiable()) kb.SetWeight(0, 1.0);
+  return kb;
+}
+
+void BM_WeightedOr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  WeightedKnowledgeBase a = RandomWkb(&rng, n, 0.4);
+  WeightedKnowledgeBase b = RandomWkb(&rng, n, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Or(b));
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << n));
+}
+BENCHMARK(BM_WeightedOr)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_WeightedAnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 1);
+  WeightedKnowledgeBase a = RandomWkb(&rng, n, 0.4);
+  WeightedKnowledgeBase b = RandomWkb(&rng, n, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.And(b));
+  }
+}
+BENCHMARK(BM_WeightedAnd)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_WdistPreorder(benchmark::State& state) {
+  // Materializing ≤ψ̃ costs |space| wdist evaluations, each O(|support|).
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 2);
+  WeightedKnowledgeBase psi = RandomWkb(&rng, n, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi.WdistPreorder());
+  }
+}
+BENCHMARK(BM_WdistPreorder)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_WdistFitting(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 3);
+  WeightedKnowledgeBase psi = RandomWkb(&rng, n, 0.3);
+  WeightedKnowledgeBase mu = RandomWkb(&rng, n, 0.3);
+  WdistFitting op;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.Change(psi, mu));
+  }
+}
+BENCHMARK(BM_WdistFitting)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_WeightedArbitration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 4);
+  WeightedKnowledgeBase a = RandomWkb(&rng, n, 0.3);
+  WeightedKnowledgeBase b = RandomWkb(&rng, n, 0.3);
+  WeightedArbitration op;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.Change(a, b));
+  }
+}
+BENCHMARK(BM_WeightedArbitration)->Arg(8)->Arg(10)->Arg(12);
+
+}  // namespace

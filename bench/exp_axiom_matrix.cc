@@ -1,0 +1,87 @@
+// Experiment E4/E5/E6/E7 (DESIGN.md): the operator × postulate
+// compliance matrix, checked exhaustively over every pair/triple of
+// knowledge bases on a small vocabulary, plus the weighted (F1)-(F8)
+// compliance of the Section 4 operator.
+//
+// This is the reproduction's central table.  The paper claims (Section
+// 3) that the odist-based operator is a model-fitting operator because
+// its assignment is "clearly" loyal; the exhaustive check decides that
+// claim mechanically.
+
+#include <cstdio>
+#include <string>
+
+#include "change/registry.h"
+#include "change/weighted.h"
+#include "postulates/checker.h"
+#include "postulates/weighted_checker.h"
+
+namespace {
+
+using arbiter::AllPostulates;
+using arbiter::ComplianceEntry;
+using arbiter::Postulate;
+using arbiter::PostulateChecker;
+using arbiter::PostulateName;
+
+void PrintMatrix(int num_terms) {
+  std::printf("\n== Operator x postulate compliance (exhaustive, n=%d) ==\n",
+              num_terms);
+  std::printf("%-18s", "operator");
+  for (Postulate p : AllPostulates()) {
+    std::printf("%4s", PostulateName(p).c_str());
+  }
+  std::printf("\n");
+  for (const auto& op : arbiter::AllOperators()) {
+    PostulateChecker checker(op, num_terms);
+    std::printf("%-18s", op->name().c_str());
+    std::vector<std::string> failures;
+    for (Postulate p : AllPostulates()) {
+      auto cex = checker.CheckExhaustive(p);
+      std::printf("%4s", cex.has_value() ? "." : "Y");
+      if (cex.has_value() &&
+          (p == Postulate::kA7 || p == Postulate::kA8)) {
+        failures.push_back(cex->Describe());
+      }
+    }
+    std::printf("\n");
+    for (const std::string& f : failures) {
+      std::printf("    %s\n", f.c_str());
+    }
+  }
+}
+
+void PrintWeighted(int num_terms, int samples) {
+  std::printf(
+      "\n== Weighted model-fitting (wdist) vs (F1)-(F8), n=%d, %d random "
+      "samples ==\n",
+      num_terms, samples);
+  arbiter::WdistFitting op;
+  arbiter::WeightedPostulateChecker checker(&op, num_terms);
+  for (int i = 0; i < 8; ++i) {
+    auto p = static_cast<arbiter::WeightedPostulate>(i);
+    auto cex = checker.CheckSampled(p, samples, /*seed=*/1234 + i);
+    std::printf("  %s: %s\n", arbiter::WeightedPostulateName(p).c_str(),
+                cex.has_value() ? cex->description.c_str() : "holds");
+  }
+  if (num_terms <= 2) {
+    std::printf("  (0/1-exhaustive:");
+    for (int i = 0; i < 8; ++i) {
+      auto p = static_cast<arbiter::WeightedPostulate>(i);
+      auto cex = checker.CheckExhaustiveBinary(p);
+      std::printf(" %s=%s", arbiter::WeightedPostulateName(p).c_str(),
+                  cex.has_value() ? "FAIL" : "ok");
+    }
+    std::printf(")\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_terms = argc > 1 ? std::atoi(argv[1]) : 3;
+  for (int n = 2; n <= max_terms && n <= 3; ++n) PrintMatrix(n);
+  PrintWeighted(2, 2000);
+  PrintWeighted(3, 1000);
+  return 0;
+}

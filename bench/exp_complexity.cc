@@ -1,0 +1,145 @@
+// Experiment E8 (DESIGN.md): the Section 5 open problem — compare the
+// computational cost of revision, update, and arbitration empirically.
+//
+// Two regimes:
+//  1. Enumeration (n <= 20): every operator is polynomial in |Mod|,
+//     but |Mod| is exponential in n.  We time all operator families on
+//     random model sets of growing vocabulary size.
+//  2. SAT-based (n up to 48): Dalal revision (NP oracle, binary
+//     search) vs max-arbitration (Sigma_2-flavoured min-max, CEGAR).
+//     The gap between the two illustrates the complexity separation
+//     the literature later proved (revision in Delta_2^p vs
+//     arbitration-style min-max being Sigma_2^p-hard).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "change/fitting.h"
+#include "change/registry.h"
+#include "change/revision.h"
+#include "change/update.h"
+#include "logic/generator.h"
+#include "solve/arbitration_sat.h"
+#include "solve/dalal_sat.h"
+
+namespace {
+
+using namespace arbiter;
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void EnumerationRegime() {
+  std::printf("== E8a: enumeration regime (time per Change call, ms) ==\n");
+  std::printf("%-4s", "n");
+  for (const auto& op : AllOperators()) {
+    if (op->name().rfind("arbitration", 0) == 0) continue;
+    std::printf("%12s", op->name().c_str());
+  }
+  std::printf("%12s\n", "arb-max");
+  Rng rng(1);
+  for (int n = 6; n <= 12; n += 2) {
+    // Random model sets with ~15% density (the cubic per-model update
+    // operators dominate beyond this).
+    const uint64_t space = 1ULL << n;
+    std::vector<uint64_t> mp, mm;
+    for (uint64_t m = 0; m < space; ++m) {
+      if (rng.NextBool(0.15)) mp.push_back(m);
+      if (rng.NextBool(0.15)) mm.push_back(m);
+    }
+    ModelSet psi = ModelSet::FromMasks(mp, n);
+    ModelSet mu = ModelSet::FromMasks(mm, n);
+    std::printf("%-4d", n);
+    for (const auto& op : AllOperators()) {
+      if (op->name().rfind("arbitration", 0) == 0) continue;
+      auto start = Clock::now();
+      ModelSet result = op->Change(psi, mu);
+      std::printf("%12.3f", MsSince(start));
+      (void)result;
+    }
+    ArbitrationOperator arb = MakeMaxArbitration();
+    auto start = Clock::now();
+    ModelSet result = arb.Change(psi, mu);
+    (void)result;
+    std::printf("%12.3f\n", MsSince(start));
+  }
+  std::printf("\n");
+}
+
+void SatRegime() {
+  std::printf(
+      "== E8b: SAT regime — Dalal revision vs CEGAR max-arbitration ==\n");
+  std::printf("random 3-CNF pairs (clause/variable ratio 2.0):\n");
+  std::printf("%-6s %14s %14s %12s %12s %10s\n", "n", "revise(ms)",
+              "arbitrate(ms)", "rev dist", "arb value", "cegar its");
+  for (int n = 10; n <= 16; n += 2) {
+    Rng rng(7 * n);
+    // psi / mu: random 3-CNF at ratio 2.0 (under-constrained: many
+    // models, so the distance optimization does real work).
+    Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
+    Formula mu = RandomKCnf(&rng, n, 2 * n, 3);
+    auto start = Clock::now();
+    solve::SatRevisionResult rev =
+        solve::SatDalalRevise(psi, mu, n, /*max_models=*/1);
+    double rev_ms = MsSince(start);
+    start = Clock::now();
+    solve::CegarResult arb =
+        solve::CegarMaxArbitration(psi, mu, n, /*max_models=*/1);
+    double arb_ms = MsSince(start);
+    std::printf("%-6d %14.2f %14.2f %12d %12d %10d\n", n, rev_ms, arb_ms,
+                rev.min_distance, arb.optimal_value, arb.iterations);
+  }
+  // Revision alone keeps scaling on random instances.
+  std::printf("\nrandom 3-CNF, revision only (arbitration's min-max is a\n"
+              "level higher in the polynomial hierarchy and stalls on\n"
+              "unstructured instances past ~16 variables):\n");
+  std::printf("%-6s %14s %12s\n", "n", "revise(ms)", "rev dist");
+  for (int n = 20; n <= 44; n += 8) {
+    Rng rng(7 * n);
+    Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
+    Formula mu = RandomKCnf(&rng, n, 2 * n, 3);
+    auto start = Clock::now();
+    solve::SatRevisionResult rev =
+        solve::SatDalalRevise(psi, mu, n, /*max_models=*/1);
+    std::printf("%-6d %14.2f %12d\n", n, MsSince(start),
+                rev.min_distance);
+  }
+  // Structured inputs (two platforms d issues apart) stay tractable:
+  // CEGAR needs only a handful of witnesses.
+  std::printf("\nstructured two-platform arbitration (parties %s):\n",
+              "disagree on half the issues");
+  std::printf("%-6s %14s %12s %10s\n", "n", "arbitrate(ms)", "arb value",
+              "cegar its");
+  for (int n = 16; n <= 40; n += 8) {
+    std::vector<Formula> lits_a, lits_b;
+    for (int i = 0; i < n; ++i) {
+      bool contested = i >= n / 2;
+      lits_a.push_back(Not(Formula::Var(i)));
+      lits_b.push_back(contested ? Formula::Var(i)
+                                 : Not(Formula::Var(i)));
+    }
+    Formula a = And(lits_a);
+    Formula b = And(lits_b);
+    auto start = Clock::now();
+    solve::CegarResult arb =
+        solve::CegarMaxArbitration(a, b, n, /*max_models=*/1);
+    std::printf("%-6d %14.2f %12d %10d\n", n, MsSince(start),
+                arb.optimal_value, arb.iterations);
+  }
+  std::printf(
+      "\n(shape: revision = one NP oracle + binary search; arbitration = "
+      "min-max,\n a level above — tractable only when structure keeps the "
+      "witness set small)\n");
+}
+
+}  // namespace
+
+int main() {
+  EnumerationRegime();
+  SatRegime();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// belief_check: run a belief script (see src/store/script.h) from a
+// file or stdin and exit nonzero if any assertion fails — belief
+// regression testing for CI.
+//
+//   ./build/examples/belief_check examples/scripts/jury.belief
+//   printf 'define kb := a\nassert kb entails a\n' | ./build/examples/belief_check
+//
+// Script language:
+//   define <base> := <formula>
+//   change <base> by <operator> with <formula>
+//   undo <base>
+//   assert <base> entails | consistent-with | equivalent-to <formula>
+//   if <base> entails <formula> then <statement>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "store/script.h"
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  arbiter::BeliefStore store;
+  arbiter::Result<arbiter::ScriptReport> report =
+      arbiter::RunScriptText(text, &store);
+  if (!report.ok()) {
+    std::fprintf(stderr, "script error: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report->ToString().c_str());
+  if (!report->AllPassed()) return 1;
+  std::printf("\nfinal store state:\n%s", store.Dump().c_str());
+  return 0;
+}

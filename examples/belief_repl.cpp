@@ -1,0 +1,150 @@
+// A tiny interactive shell over the BeliefStore — the "database" face
+// of the library.  Reads commands from stdin, one per line:
+//
+//   define <name> <formula>          create/replace a belief base
+//   <op> <name> <formula>            change a base in place, where <op>
+//                                    is any operator: dalal, satoh,
+//                                    weber, borgida, winslett, forbus,
+//                                    revesz-max, revesz-sum,
+//                                    arbitration-max, two-sided-dalal...
+//   ask <name> <formula>             entailment query
+//   consistent <name> <formula>      consistency query
+//   if <name> <antecedent> ? <consequent>   counterfactual (update)
+//   explain <op> <name> <formula>    show the operator's decision trace
+//   undo <name>                      revert the last change
+//   show                             dump all bases
+//   quit
+//
+// Try:
+//   printf 'define jury g & a\narbitration-max jury !a\nshow\nquit\n' |
+//       ./build/examples/belief_repl
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "change/explain.h"
+#include "change/registry.h"
+#include "kb/knowledge_base.h"
+#include "logic/parser.h"
+#include "store/belief_store.h"
+
+namespace {
+
+// Splits "name rest-of-line" into the name and the remainder.
+bool SplitHead(const std::string& input, std::string* head,
+               std::string* rest) {
+  std::istringstream in(input);
+  if (!(in >> *head)) return false;
+  std::getline(in, *rest);
+  size_t start = rest->find_first_not_of(' ');
+  *rest = start == std::string::npos ? "" : rest->substr(start);
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  arbiter::BeliefStore store;
+  std::string line;
+  std::printf("arbiter belief shell — 'help' for commands\n");
+  while (std::getline(std::cin, line)) {
+    std::string command, rest;
+    if (!SplitHead(line, &command, &rest)) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      std::printf(
+          "commands: define <n> <f> | <op> <n> <f> | ask <n> <f> | "
+          "consistent <n> <f> | if <n> <a> ? <c> | undo <n> | show | "
+          "quit\noperators:");
+      for (const std::string& name : arbiter::RegisteredOperatorNames()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\n");
+      continue;
+    }
+    if (command == "show") {
+      std::printf("%s", store.Dump().c_str());
+      continue;
+    }
+    std::string name, text;
+    if (!SplitHead(rest, &name, &text)) {
+      std::printf("error: expected a base name\n");
+      continue;
+    }
+    arbiter::Status status;
+    if (command == "define") {
+      status = store.Define(name, text);
+    } else if (command == "undo") {
+      status = store.Undo(name);
+    } else if (command == "ask") {
+      arbiter::Result<bool> r = store.Entails(name, text);
+      if (r.ok()) {
+        std::printf("%s\n", *r ? "yes" : "no");
+        continue;
+      }
+      status = r.status();
+    } else if (command == "consistent") {
+      arbiter::Result<bool> r = store.ConsistentWith(name, text);
+      if (r.ok()) {
+        std::printf("%s\n", *r ? "yes" : "no");
+        continue;
+      }
+      status = r.status();
+    } else if (command == "if") {
+      size_t qmark = text.find('?');
+      if (qmark == std::string::npos) {
+        std::printf("error: counterfactual needs '<antecedent> ? "
+                    "<consequent>'\n");
+        continue;
+      }
+      arbiter::Result<bool> r = store.Counterfactual(
+          name, text.substr(0, qmark), text.substr(qmark + 1));
+      if (r.ok()) {
+        std::printf("%s\n", *r ? "yes" : "no");
+        continue;
+      }
+      status = r.status();
+    } else if (command == "explain") {
+      // rest was split as "<op>" -> name, "<base> <formula>" -> text.
+      std::string base, formula;
+      if (!SplitHead(text, &base, &formula)) {
+        std::printf("error: explain <op> <base> <formula>\n");
+        continue;
+      }
+      arbiter::Result<arbiter::KnowledgeBase> kb = store.Get(base);
+      if (!kb.ok()) {
+        std::printf("error: %s\n", kb.status().ToString().c_str());
+        continue;
+      }
+      // Parse the evidence over a scratch copy of the vocabulary so a
+      // failed parse cannot half-grow the store's terms.
+      arbiter::Vocabulary vocab = store.vocabulary();
+      arbiter::Result<arbiter::Formula> mu = arbiter::Parse(formula, &vocab);
+      if (!mu.ok()) {
+        std::printf("error: %s\n", mu.status().ToString().c_str());
+        continue;
+      }
+      arbiter::KnowledgeBase evidence(*mu, vocab.size());
+      arbiter::KnowledgeBase base_kb(kb->formula(), vocab.size());
+      arbiter::Result<arbiter::ChangeExplanation> explanation =
+          arbiter::ExplainChange(name, base_kb.models(),
+                                 evidence.models());
+      if (!explanation.ok()) {
+        std::printf("error: %s\n",
+                    explanation.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", explanation->ToString(vocab).c_str());
+      continue;
+    } else {
+      // Treat the command as an operator name.
+      status = store.Apply(name, command, text);
+    }
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+  }
+  return 0;
+}

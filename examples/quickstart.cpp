@@ -1,0 +1,57 @@
+// Quickstart: the jury scenario from the paper's introduction.
+//
+// A jury hears witnesses and must change its theory of the crime.  The
+// right change operator depends on how the new testimony relates to
+// what the jury already believes:
+//
+//  * revision  — the new witness is MORE reliable (AGM/KM R1-R6);
+//  * update    — the new witness reports a LATER state (KM U1-U8);
+//  * arbitration — the witnesses are equal voices (Revesz, PODS'93).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/arbiter.h"
+#include "logic/printer.h"
+
+int main() {
+  using arbiter::Arbiter;
+  using arbiter::KnowledgeBase;
+
+  // Propositions: g = "defendant owned a gun",
+  //               a = "defendant was at the scene",
+  //               v = "defendant was violent that night".
+  Arbiter arb({"g", "a", "v"});
+  const arbiter::Vocabulary& vocab = arb.vocabulary();
+
+  KnowledgeBase jury = *arb.ParseKb("g & a & (g & a -> v)");
+  KnowledgeBase witness = *arb.ParseKb("!v");
+
+  std::printf("jury's theory:     %s\n", jury.ToString(vocab).c_str());
+  std::printf("  models: %s\n", jury.models().ToString(vocab).c_str());
+  std::printf("new testimony:     %s\n\n", witness.ToString(vocab).c_str());
+
+  // 1. The witness outranks the jury's theory: revise.
+  KnowledgeBase revised = arb.Revise(jury, witness);
+  std::printf("revision (Dalal):       %s\n",
+              revised.models().ToString(vocab).c_str());
+
+  // 2. The witness describes the situation after things changed: update.
+  KnowledgeBase updated = arb.Update(jury, witness);
+  std::printf("update (Winslett):      %s\n",
+              updated.models().ToString(vocab).c_str());
+
+  // 3. The witness is one voice among equals: arbitrate.
+  KnowledgeBase arbitrated = arb.Arbitrate(jury, witness);
+  std::printf("arbitration (Revesz):   %s\n",
+              arbitrated.models().ToString(vocab).c_str());
+
+  // Arbitration is the only commutative change: swapping the roles of
+  // old and new information gives the same verdict.
+  KnowledgeBase swapped = arb.Arbitrate(witness, jury);
+  std::printf("arbitration (swapped):  %s  (same: %s)\n",
+              swapped.models().ToString(vocab).c_str(),
+              swapped.EquivalentTo(arbitrated) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "change/commutative.h"
+
+#include "change/revision.h"
+
+namespace arbiter {
+
+RevisionBasedArbitration::RevisionBasedArbitration(
+    std::shared_ptr<const TheoryChangeOperator> revision)
+    : revision_(std::move(revision)) {
+  ARBITER_CHECK(revision_ != nullptr);
+}
+
+ModelSet RevisionBasedArbitration::Change(const ModelSet& psi,
+                                          const ModelSet& phi) const {
+  ARBITER_CHECK(psi.num_terms() == phi.num_terms());
+  // Edge cases: one unsatisfiable voice concedes to the other.
+  if (psi.empty()) return phi;
+  if (phi.empty()) return psi;
+  return revision_->Change(psi, phi).Union(revision_->Change(phi, psi));
+}
+
+RevisionBasedArbitration MakeTwoSidedDalalArbitration() {
+  return RevisionBasedArbitration(std::make_shared<DalalRevision>());
+}
+
+}  // namespace arbiter

@@ -1,0 +1,51 @@
+#ifndef ARBITER_CHANGE_COMMUTATIVE_H_
+#define ARBITER_CHANGE_COMMUTATIVE_H_
+
+#include <memory>
+
+#include "change/operator.h"
+
+/// \file commutative.h
+/// Commutative (two-sided) arbitration in the style the literature
+/// developed after this paper — notably Liberatore & Schaerf's
+/// "Arbitration (or how to merge knowledge bases)".  Where Revesz's
+/// Δ fits the whole interpretation space, the two-sided school keeps
+/// the result inside Mod(ψ) ∪ Mod(φ): the arbiter must side with at
+/// least one party on every point.
+///
+/// The canonical construction is revision-based:
+///
+///     ψ ◇ φ  =  (ψ ∘ φ) ∨ (φ ∘ ψ)
+///
+/// for a revision operator ∘.  With Dalal's ∘ this selects, from each
+/// side, the models closest to the other side — a symmetric compromise
+/// that is commutative by construction and collapses to ψ ∧ φ when the
+/// parties are compatible.
+
+namespace arbiter {
+
+/// Two-sided arbitration (ψ ∘ φ) ∨ (φ ∘ ψ) over a pluggable revision.
+class RevisionBasedArbitration : public TheoryChangeOperator {
+ public:
+  /// Takes shared ownership of the underlying revision operator.
+  explicit RevisionBasedArbitration(
+      std::shared_ptr<const TheoryChangeOperator> revision);
+
+  std::string name() const override {
+    return "two-sided(" + revision_->name() + ")";
+  }
+  OperatorFamily family() const override {
+    return OperatorFamily::kArbitration;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& phi) const override;
+
+ private:
+  std::shared_ptr<const TheoryChangeOperator> revision_;
+};
+
+/// Convenience: two-sided arbitration over Dalal revision.
+RevisionBasedArbitration MakeTwoSidedDalalArbitration();
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_COMMUTATIVE_H_

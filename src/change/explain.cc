@@ -1,0 +1,147 @@
+#include "change/explain.h"
+
+#include <algorithm>
+
+#include "change/registry.h"
+#include "logic/interpretation.h"
+#include "model/distance.h"
+
+namespace arbiter {
+
+namespace {
+
+std::string ModelName(uint64_t m, int n) {
+  return Interpretation(m, n).ToBitString();
+}
+
+/// Finds the ψ-model attaining the given distance statistic for I.
+uint64_t WitnessFor(const ModelSet& psi, uint64_t candidate,
+                    bool farthest) {
+  uint64_t best = psi[0];
+  for (uint64_t j : psi) {
+    int d = Dist(candidate, j);
+    int b = Dist(candidate, best);
+    if ((farthest && d > b) || (!farthest && d < b)) best = j;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string ChangeExplanation::ToString(const Vocabulary& vocab) const {
+  std::string out = op_name + ": " + summary + "\n";
+  for (const CandidateExplanation& c : candidates) {
+    out += "  ";
+    out += c.selected ? "[*] " : "[ ] ";
+    out += Interpretation(c.model, vocab.size()).ToString(vocab);
+    if (c.rank >= 0) {
+      double r = c.rank;
+      out += "  rank ";
+      if (r == static_cast<int64_t>(r)) {
+        out += std::to_string(static_cast<int64_t>(r));
+      } else {
+        out += std::to_string(r);
+      }
+    }
+    if (!c.note.empty()) out += "  (" + c.note + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ChangeExplanation> ExplainChange(const std::string& op_name,
+                                        const ModelSet& psi,
+                                        const ModelSet& mu) {
+  auto op = MakeOperator(op_name);
+  if (!op.ok()) return op.status();
+  const int n = mu.num_terms();
+  ModelSet result = (*op)->Change(psi, mu);
+
+  ChangeExplanation out;
+  out.op_name = op_name;
+
+  // Arbitration fits the whole interpretation space against the union
+  // of the two voices; explain it in those terms.
+  const bool is_arbitration =
+      (*op)->family() == OperatorFamily::kArbitration;
+  const ModelSet voices = is_arbitration ? psi.Union(mu) : psi;
+  const ModelSet candidates =
+      is_arbitration && op_name.rfind("arbitration", 0) == 0
+          ? ModelSet::Full(n)
+          : (is_arbitration ? psi.Union(mu) : mu);
+  const ModelSet& psi_for_rank = voices;
+
+  const bool psi_live = !psi_for_rank.empty();
+  for (uint64_t m : candidates) {
+    CandidateExplanation c;
+    c.model = m;
+    c.selected = result.Contains(m);
+    if (psi_live) {
+      if (op_name == "dalal") {
+        c.rank = MinDist(psi_for_rank, m);
+        c.note = "closest voice " + ModelName(WitnessFor(psi_for_rank, m, false), n);
+      } else if (op_name == "revesz-max" || op_name == "arbitration-max") {
+        c.rank = OverallDist(psi_for_rank, m);
+        c.note =
+            "farthest voice " + ModelName(WitnessFor(psi_for_rank, m, true), n);
+      } else if (op_name == "revesz-sum" || op_name == "arbitration-sum") {
+        c.rank = static_cast<double>(SumDist(psi_for_rank, m));
+        c.note = "total disagreement across " +
+                 std::to_string(psi_for_rank.size()) + " voices";
+      } else if (op_name == "forbus" || op_name == "winslett" ||
+                 op_name == "borgida") {
+        // Per-model semantics: name the origin worlds this candidate
+        // serves (for which psi-model is it among the closest?).
+        int served = 0;
+        uint64_t example = 0;
+        for (uint64_t i : psi_for_rank) {
+          int best = n + 1;
+          for (uint64_t j : mu) best = std::min(best, Dist(i, j));
+          if (Dist(i, m) == best) {
+            ++served;
+            example = i;
+          }
+        }
+        c.rank = MinDist(psi_for_rank, m);
+        if (served > 0) {
+          c.note = "nearest option for " + std::to_string(served) +
+                   " world(s), e.g. " + ModelName(example, n);
+        }
+      } else if (op_name == "satoh" || op_name == "weber") {
+        c.rank = MinDist(psi_for_rank, m);
+        uint64_t witness = WitnessFor(psi_for_rank, m, false);
+        c.note = "difference set size " +
+                 std::to_string(Dist(m, witness)) + " vs " +
+                 ModelName(witness, n);
+      }
+    }
+    out.candidates.push_back(c);
+  }
+  // Sort by rank (unranked keep mu order at the end), selected first
+  // within equal ranks.
+  std::stable_sort(out.candidates.begin(), out.candidates.end(),
+                   [](const CandidateExplanation& a,
+                      const CandidateExplanation& b) {
+                     if ((a.rank >= 0) != (b.rank >= 0)) {
+                       return a.rank >= 0;
+                     }
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.selected && !b.selected;
+                   });
+
+  out.summary = "selected " + std::to_string(result.size()) + " of " +
+                std::to_string(candidates.size()) + " candidate(s)";
+  if (!psi_live) {
+    out.summary += " (the current theory is unsatisfiable)";
+  } else if (op_name == "revesz-max" || op_name == "arbitration-max") {
+    out.summary += ", minimizing the worst disagreement with " +
+                   std::to_string(psi_for_rank.size()) + " voice(s)";
+  } else if (op_name == "dalal") {
+    out.summary += ", minimizing the distance to the nearest voice";
+  } else if (op_name == "revesz-sum" || op_name == "arbitration-sum") {
+    out.summary += ", minimizing the total disagreement";
+  }
+  return out;
+}
+
+}  // namespace arbiter

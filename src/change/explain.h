@@ -1,0 +1,55 @@
+#ifndef ARBITER_CHANGE_EXPLAIN_H_
+#define ARBITER_CHANGE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/vocabulary.h"
+#include "model/model_set.h"
+#include "util/status.h"
+
+/// \file explain.h
+/// Human-readable explanations of theory change decisions: for each
+/// candidate model of μ, why it was selected or rejected by a given
+/// operator.  Powers the REPL's `explain` command and the examples.
+///
+/// The explanation is computed from the operator's own distance
+/// semantics (min/max/sum Hamming distance, minimal difference sets,
+/// per-model origins), so the scores shown are exactly the quantities
+/// the operator minimized.
+
+namespace arbiter {
+
+/// One candidate model of μ with its score under the operator.
+struct CandidateExplanation {
+  uint64_t model = 0;
+  /// Operator-specific rank (lower = preferred); < 0 when the operator
+  /// has no numeric rank.
+  double rank = -1;
+  bool selected = false;
+  /// e.g. "odist 2 (farthest voice {S,D,Q})".
+  std::string note;
+};
+
+/// The full decision trace of one Change call.
+struct ChangeExplanation {
+  std::string op_name;
+  /// One-line narrative, e.g. "selected the 1 candidate minimizing
+  /// the maximum distance to the 3 voices".
+  std::string summary;
+  std::vector<CandidateExplanation> candidates;
+
+  /// Renders an indented table using the vocabulary's names.
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// Explains op_name's decision on (psi, mu).  Supports every
+/// registered operator; distance-based operators get numeric ranks and
+/// witness notes, others a selected/rejected trace.
+Result<ChangeExplanation> ExplainChange(const std::string& op_name,
+                                        const ModelSet& psi,
+                                        const ModelSet& mu);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_EXPLAIN_H_

@@ -1,0 +1,50 @@
+#include "change/fitting.h"
+
+#include "model/distance.h"
+#include "model/preorder.h"
+
+namespace arbiter {
+
+ModelSet MaxFitting::Change(const ModelSet& psi, const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
+  return MinByInt(mu, [&psi](uint64_t i) {
+    return static_cast<int64_t>(OverallDist(psi, i));
+  });
+}
+
+ModelSet SumFitting::Change(const ModelSet& psi, const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
+  return MinByInt(mu, [&psi](uint64_t i) { return SumDist(psi, i); });
+}
+
+ArbitrationOperator::ArbitrationOperator(
+    std::shared_ptr<const TheoryChangeOperator> fitting)
+    : fitting_(std::move(fitting)) {
+  ARBITER_CHECK(fitting_ != nullptr);
+}
+
+ModelSet ArbitrationOperator::Change(const ModelSet& psi,
+                                     const ModelSet& phi) const {
+  ARBITER_CHECK(psi.num_terms() == phi.num_terms());
+  ModelSet combined = psi.Union(phi);
+  return fitting_->Change(combined, ModelSet::Full(psi.num_terms()));
+}
+
+ModelSet LexFitting::Change(const ModelSet& psi, const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
+  // Fixed order irrespective of ψ: smallest interpretation mask wins.
+  return ModelSet::Singleton(mu[0], mu.num_terms());
+}
+
+ArbitrationOperator MakeMaxArbitration() {
+  return ArbitrationOperator(std::make_shared<MaxFitting>());
+}
+
+ArbitrationOperator MakeSumArbitration() {
+  return ArbitrationOperator(std::make_shared<SumFitting>());
+}
+
+}  // namespace arbiter

@@ -1,0 +1,103 @@
+#ifndef ARBITER_CHANGE_FITTING_H_
+#define ARBITER_CHANGE_FITTING_H_
+
+#include <memory>
+
+#include "change/operator.h"
+
+/// \file fitting.h
+/// Model-fitting operators (paper, Section 3) and arbitration.
+///
+/// Model-fitting selects from Mod(μ) the interpretations *overall*
+/// closest to the whole of Mod(ψ):
+///
+///   Mod(ψ ▷ μ) = Min(Mod(μ), ≤ψ)      with ≤ψ a loyal assignment.
+///
+/// Two concrete pre-orders are provided:
+///
+///  * MaxFitting — the paper's printed example,
+///    odist(ψ, I) = max_{J ∈ Mod(ψ)} dist(I, J).  NOTE: our exhaustive
+///    checker (tests/postulates) shows this operator satisfies
+///    (A1)–(A7) but *violates* (A8): the max aggregate fails loyalty
+///    condition (2) (strict + weak need not stay strict under max).
+///    The paper asserts loyalty without proof ("clearly"); the claim
+///    holds for conditions (1) and (3) only.  See EXPERIMENTS.md (E4).
+///
+///  * SumFitting — odist replaced by Σ_{J ∈ Mod(ψ)} dist(I, J), i.e.
+///    the Section 4 wdist with unit weights.  Sum preserves strictness,
+///    the assignment is loyal, and the operator satisfies all of
+///    (A1)–(A8).
+///
+/// Arbitration is the derived operator ψ Δ φ = (ψ ∨ φ) ▷ ⊤ (Section 3):
+/// fit the full interpretation space to the combined information.
+/// Arbitration is commutative by construction.
+///
+/// Edge cases per the axioms: ψ unsatisfiable → result unsatisfiable
+/// (A2); μ unsatisfiable → result unsatisfiable (A1).
+
+namespace arbiter {
+
+/// The paper's max-based model-fitting operator (Section 3).
+class MaxFitting : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "revesz-max"; }
+  OperatorFamily family() const override {
+    return OperatorFamily::kModelFitting;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+/// Sum-based model-fitting (unit-weight wdist; fully loyal).
+class SumFitting : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "revesz-sum"; }
+  OperatorFamily family() const override {
+    return OperatorFamily::kModelFitting;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+/// Arbitration derived from a model-fitting operator:
+/// Change(ψ, φ) = fitting(ψ ∨ φ, ⊤).  Commutative by construction.
+class ArbitrationOperator : public TheoryChangeOperator {
+ public:
+  /// Takes shared ownership of the underlying fitting operator.
+  explicit ArbitrationOperator(
+      std::shared_ptr<const TheoryChangeOperator> fitting);
+
+  std::string name() const override {
+    return "arbitration(" + fitting_->name() + ")";
+  }
+  OperatorFamily family() const override {
+    return OperatorFamily::kArbitration;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& phi) const override;
+
+ private:
+  std::shared_ptr<const TheoryChangeOperator> fitting_;
+};
+
+/// Convenience: arbitration over max-based fitting (the paper's Δ).
+ArbitrationOperator MakeMaxArbitration();
+/// Convenience: arbitration over sum-based fitting.
+ArbitrationOperator MakeSumArbitration();
+
+/// A deliberately ψ-oblivious model-fitting operator used as a
+/// positive control for Theorem 3.1: the assignment maps every
+/// satisfiable ψ to one fixed total order (interpretations by integer
+/// value), which satisfies loyalty conditions (1)–(3) vacuously, so
+/// the operator provably satisfies all of (A1)–(A8).  It demonstrates
+/// that the axiom class is nonempty even though the paper's
+/// distance-based examples fall outside it (see fitting.h notes).
+class LexFitting : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "lex-fitting"; }
+  OperatorFamily family() const override {
+    return OperatorFamily::kModelFitting;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_FITTING_H_

@@ -1,0 +1,118 @@
+#include "change/merge.h"
+
+#include <algorithm>
+
+#include "model/distance.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+const char* MergeAggregateName(MergeAggregate aggregate) {
+  switch (aggregate) {
+    case MergeAggregate::kSum:
+      return "sum";
+    case MergeAggregate::kGMax:
+      return "gmax";
+    case MergeAggregate::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
+               MergeAggregate aggregate) {
+  const int n = mu.num_terms();
+  std::vector<const ModelSet*> live;
+  for (const ModelSet& s : sources) {
+    ARBITER_CHECK(s.num_terms() == n);
+    if (!s.empty()) live.push_back(&s);
+  }
+  if (live.empty() || mu.empty()) return ModelSet(n);
+
+  // Per-candidate distance vectors.
+  auto dist_vector = [&live](uint64_t i) {
+    std::vector<int> d;
+    d.reserve(live.size());
+    for (const ModelSet* s : live) d.push_back(MinDist(*s, i));
+    return d;
+  };
+
+  switch (aggregate) {
+    case MergeAggregate::kSum: {
+      int64_t best = -1;
+      std::vector<uint64_t> out;
+      for (uint64_t i : mu) {
+        int64_t total = 0;
+        for (const ModelSet* s : live) total += MinDist(*s, i);
+        if (best < 0 || total < best) {
+          best = total;
+          out.clear();
+        }
+        if (total == best) out.push_back(i);
+      }
+      return ModelSet::FromMasks(std::move(out), n);
+    }
+    case MergeAggregate::kMax: {
+      int best = -1;
+      std::vector<uint64_t> out;
+      for (uint64_t i : mu) {
+        int worst = 0;
+        for (const ModelSet* s : live) worst = std::max(worst, MinDist(*s, i));
+        if (best < 0 || worst < best) {
+          best = worst;
+          out.clear();
+        }
+        if (worst == best) out.push_back(i);
+      }
+      return ModelSet::FromMasks(std::move(out), n);
+    }
+    case MergeAggregate::kGMax: {
+      std::vector<int> best;
+      std::vector<uint64_t> out;
+      for (uint64_t i : mu) {
+        std::vector<int> d = dist_vector(i);
+        std::sort(d.begin(), d.end(), std::greater<int>());
+        if (out.empty() || d < best) {
+          best = d;
+          out.clear();
+          out.push_back(i);
+        } else if (d == best) {
+          out.push_back(i);
+        }
+      }
+      return ModelSet::FromMasks(std::move(out), n);
+    }
+  }
+  ARBITER_CHECK_MSG(false, "unreachable aggregate");
+  return ModelSet(n);
+}
+
+ModelSet Merge(const std::vector<ModelSet>& sources,
+               MergeAggregate aggregate) {
+  ARBITER_CHECK(!sources.empty());
+  return Merge(sources, ModelSet::Full(sources[0].num_terms()), aggregate);
+}
+
+WeightedKnowledgeBase MergeWeighted(
+    const std::vector<WeightedKnowledgeBase>& sources,
+    const WeightedKnowledgeBase& constraint) {
+  const int n = constraint.num_terms();
+  WeightedKnowledgeBase combined(n);
+  for (const WeightedKnowledgeBase& s : sources) {
+    ARBITER_CHECK(s.num_terms() == n);
+    combined = combined.Or(s);
+  }
+  if (!combined.IsSatisfiable() || !constraint.IsSatisfiable()) {
+    return WeightedKnowledgeBase(n);
+  }
+  return constraint.MinimalBy(combined.WdistPreorder());
+}
+
+WeightedKnowledgeBase MergeWeighted(
+    const std::vector<WeightedKnowledgeBase>& sources) {
+  ARBITER_CHECK(!sources.empty());
+  return MergeWeighted(
+      sources, WeightedKnowledgeBase::Uniform(sources[0].num_terms()));
+}
+
+}  // namespace arbiter

@@ -1,0 +1,62 @@
+#ifndef ARBITER_CHANGE_MERGE_H_
+#define ARBITER_CHANGE_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/weighted_kb.h"
+#include "model/model_set.h"
+
+/// \file merge.h
+/// Belief merging of k equally important sources — the line of work
+/// this paper seeded (its §1 motivates arbitration with large
+/// heterogeneous databases; the binary Δ is the k = 2 case).  We
+/// implement the two classic distance-based merging aggregates
+/// formalized later by Konieczny & Pino Pérez:
+///
+///  * Σ (sum) merging: rank I by Σ_i dist(source_i, I);
+///  * GMax (leximax) merging: rank I by the vector of per-source
+///    distances sorted descending, compared lexicographically.
+///
+/// Merging is performed under an integrity constraint μ: the result is
+/// Min(Mod(μ), ≤) for the chosen aggregate.  With a single source and
+/// μ = ⊤ both coincide with fitting-based arbitration variants.
+
+namespace arbiter {
+
+/// The distance-aggregation policy.
+enum class MergeAggregate {
+  kSum,   ///< Σ of per-source min-distances (majority-leaning)
+  kGMax,  ///< leximax of per-source min-distances (egalitarian)
+  kMax,   ///< plain max (the paper's odist generalized to k sources)
+};
+
+const char* MergeAggregateName(MergeAggregate aggregate);
+
+/// Merges the given sources under constraint μ.  Empty sources are
+/// ignored (an unsatisfiable voice carries no information); if all
+/// sources are empty or μ is unsatisfiable the result is empty.
+ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
+               MergeAggregate aggregate);
+
+/// Merge with μ = ⊤ (no integrity constraint).
+ModelSet Merge(const std::vector<ModelSet>& sources,
+               MergeAggregate aggregate);
+
+/// Weighted merging — the Section 4 generalization to k sources.
+/// Each source is a weighted crowd (not a theory): the sources are
+/// ⊔-summed into one weighted base and the constraint is fitted by
+/// wdist, so every individual voice in every source keeps its weight
+/// in the aggregation.  Commutative and associative in the sources by
+/// construction.
+WeightedKnowledgeBase MergeWeighted(
+    const std::vector<WeightedKnowledgeBase>& sources,
+    const WeightedKnowledgeBase& constraint);
+
+/// Weighted merge with a uniform (unconstrained) μ̃.
+WeightedKnowledgeBase MergeWeighted(
+    const std::vector<WeightedKnowledgeBase>& sources);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_MERGE_H_

@@ -1,0 +1,27 @@
+#include "change/operator.h"
+
+#include "util/logging.h"
+
+namespace arbiter {
+
+const char* OperatorFamilyName(OperatorFamily family) {
+  switch (family) {
+    case OperatorFamily::kRevision:
+      return "revision";
+    case OperatorFamily::kUpdate:
+      return "update";
+    case OperatorFamily::kModelFitting:
+      return "model-fitting";
+    case OperatorFamily::kArbitration:
+      return "arbitration";
+  }
+  return "unknown";
+}
+
+KnowledgeBase TheoryChangeOperator::Apply(const KnowledgeBase& psi,
+                                          const KnowledgeBase& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  return KnowledgeBase::FromModels(Change(psi.models(), mu.models()));
+}
+
+}  // namespace arbiter

@@ -1,0 +1,55 @@
+#ifndef ARBITER_CHANGE_OPERATOR_H_
+#define ARBITER_CHANGE_OPERATOR_H_
+
+#include <string>
+
+#include "kb/knowledge_base.h"
+#include "model/model_set.h"
+
+/// \file operator.h
+/// The theory change operator interface.
+///
+/// All operators are defined semantically — a map
+/// Mod(ψ) × Mod(μ) → Mod(ψ * μ) — which bakes in the irrelevance-of-
+/// syntax axioms (R4)/(U4)/(A4).  A formula-level convenience wrapper
+/// converts the result back to a formula via form(...).
+
+namespace arbiter {
+
+/// Which family the operator is designed to belong to.  Theorem 3.2
+/// shows these classes are pairwise disjoint; the postulate checkers in
+/// src/postulates/ verify the claim on these implementations.
+enum class OperatorFamily {
+  kRevision,      ///< AGM/KM (R1)–(R6)
+  kUpdate,        ///< KM (U1)–(U8)
+  kModelFitting,  ///< Revesz (A1)–(A8)
+  kArbitration,   ///< ψ Δ φ = (ψ ∨ φ) ▷ ⊤
+};
+
+/// Returns a display name for a family.
+const char* OperatorFamilyName(OperatorFamily family);
+
+/// A binary theory change operator ψ * μ.
+class TheoryChangeOperator {
+ public:
+  virtual ~TheoryChangeOperator() = default;
+
+  /// Short unique identifier, e.g. "dalal" or "revesz-max".
+  virtual std::string name() const = 0;
+
+  /// The family this operator is intended to satisfy.
+  virtual OperatorFamily family() const = 0;
+
+  /// Semantic change: returns Mod(ψ * μ) given Mod(ψ) and Mod(μ).
+  /// Both sets must share a vocabulary size.
+  virtual ModelSet Change(const ModelSet& psi, const ModelSet& mu) const = 0;
+
+  /// Formula-level convenience: applies Change to the model sets and
+  /// wraps the result as a knowledge base.
+  KnowledgeBase Apply(const KnowledgeBase& psi,
+                      const KnowledgeBase& mu) const;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_OPERATOR_H_

@@ -1,0 +1,132 @@
+#include "change/properties.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace arbiter {
+
+namespace {
+
+/// Materializes every model set over an n-term vocabulary (including
+/// the empty one), indexed by subset code.
+std::vector<ModelSet> AllKbs(int num_terms) {
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 3);
+  const uint64_t space = 1ULL << num_terms;
+  const uint64_t num_codes = 1ULL << space;
+  std::vector<ModelSet> out;
+  out.reserve(num_codes);
+  for (uint64_t code = 0; code < num_codes; ++code) {
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < space; ++m) {
+      if ((code >> m) & 1) masks.push_back(m);
+    }
+    out.push_back(ModelSet::FromMasks(std::move(masks), num_terms));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<PropertyCounterexample> CheckMonotone(
+    const TheoryChangeOperator& op, int num_terms) {
+  std::vector<ModelSet> kbs = AllKbs(num_terms);
+  for (const ModelSet& psi : kbs) {
+    for (const ModelSet& psi2 : kbs) {
+      if (!psi.IsSubsetOf(psi2)) continue;
+      for (const ModelSet& mu : kbs) {
+        if (!op.Change(psi, mu).IsSubsetOf(op.Change(psi2, mu))) {
+          return PropertyCounterexample{
+              "monotone", "psi=" + psi.ToString() + " implies psi'=" +
+                              psi2.ToString() + " but " + op.name() +
+                              "(psi, " + mu.ToString() +
+                              ") does not imply the changed psi'"};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyCounterexample> CheckIdempotent(
+    const TheoryChangeOperator& op, int num_terms) {
+  std::vector<ModelSet> kbs = AllKbs(num_terms);
+  for (const ModelSet& psi : kbs) {
+    for (const ModelSet& mu : kbs) {
+      ModelSet once = op.Change(psi, mu);
+      ModelSet twice = op.Change(once, mu);
+      if (once != twice) {
+        return PropertyCounterexample{
+            "idempotent", "psi=" + psi.ToString() + " mu=" +
+                              mu.ToString() + ": once=" + once.ToString() +
+                              " twice=" + twice.ToString()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyCounterexample> CheckCommutative(
+    const TheoryChangeOperator& op, int num_terms) {
+  std::vector<ModelSet> kbs = AllKbs(num_terms);
+  for (const ModelSet& a : kbs) {
+    for (const ModelSet& b : kbs) {
+      if (op.Change(a, b) != op.Change(b, a)) {
+        return PropertyCounterexample{
+            "commutative",
+            "a=" + a.ToString() + " b=" + b.ToString()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyCounterexample> CheckAssociative(
+    const TheoryChangeOperator& op, int num_terms) {
+  std::vector<ModelSet> kbs = AllKbs(num_terms);
+  for (const ModelSet& a : kbs) {
+    for (const ModelSet& b : kbs) {
+      ModelSet ab = op.Change(a, b);
+      for (const ModelSet& c : kbs) {
+        if (op.Change(ab, c) != op.Change(a, op.Change(b, c))) {
+          return PropertyCounterexample{
+              "associative", "a=" + a.ToString() + " b=" + b.ToString() +
+                                 " c=" + c.ToString()};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyCounterexample> CheckSuccess(
+    const TheoryChangeOperator& op, int num_terms) {
+  std::vector<ModelSet> kbs = AllKbs(num_terms);
+  for (const ModelSet& psi : kbs) {
+    for (const ModelSet& mu : kbs) {
+      if (!op.Change(psi, mu).IsSubsetOf(mu)) {
+        return PropertyCounterexample{
+            "success", "psi=" + psi.ToString() + " mu=" + mu.ToString()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PropertyCounterexample> CheckVacuity(
+    const TheoryChangeOperator& op, int num_terms) {
+  std::vector<ModelSet> kbs = AllKbs(num_terms);
+  for (const ModelSet& psi : kbs) {
+    for (const ModelSet& mu : kbs) {
+      ModelSet both = psi.Intersect(mu);
+      if (both.empty()) continue;
+      if (op.Change(psi, mu) != both) {
+        return PropertyCounterexample{
+            "vacuity", "psi=" + psi.ToString() + " mu=" + mu.ToString()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace arbiter

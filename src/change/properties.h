@@ -1,0 +1,57 @@
+#ifndef ARBITER_CHANGE_PROPERTIES_H_
+#define ARBITER_CHANGE_PROPERTIES_H_
+
+#include <optional>
+#include <string>
+
+#include "change/operator.h"
+
+/// \file properties.h
+/// Exhaustive structural properties of theory change operators beyond
+/// the postulate families — in particular *monotony*, which carries
+/// the paper's Section 3 argument: Katsuno–Mendelzon observed that all
+/// update operators are monotone while Gärdenfors' impossibility
+/// theorem shows no non-trivial revision operator can be, giving
+/// revision ∩ update = ∅.  These checkers make that argument
+/// executable.
+///
+/// All checks are exhaustive over every knowledge-base tuple of an
+/// n-term vocabulary (n <= 3).
+
+namespace arbiter {
+
+/// A failed property instance, rendered for diagnostics.
+struct PropertyCounterexample {
+  std::string property;
+  std::string description;
+};
+
+/// Monotony (in the knowledge base): ψ ⊨ ψ' implies ψ * μ ⊨ ψ' * μ.
+std::optional<PropertyCounterexample> CheckMonotone(
+    const TheoryChangeOperator& op, int num_terms);
+
+/// Idempotence of incorporation: (ψ * μ) * μ ≡ ψ * μ.
+std::optional<PropertyCounterexample> CheckIdempotent(
+    const TheoryChangeOperator& op, int num_terms);
+
+/// Commutativity: ψ * φ ≡ φ * ψ.
+std::optional<PropertyCounterexample> CheckCommutative(
+    const TheoryChangeOperator& op, int num_terms);
+
+/// Associativity: (a * b) * c ≡ a * (b * c).  Arbitration famously
+/// lacks it — the order in which voices are merged matters, which is
+/// why k-ary merging (merge.h) is not just iterated Δ.
+std::optional<PropertyCounterexample> CheckAssociative(
+    const TheoryChangeOperator& op, int num_terms);
+
+/// Success: ψ * μ ⊨ μ (axiom (R1)/(U1)/(A1) as a standalone property).
+std::optional<PropertyCounterexample> CheckSuccess(
+    const TheoryChangeOperator& op, int num_terms);
+
+/// Vacuity: if ψ ∧ μ is satisfiable then ψ * μ ≡ ψ ∧ μ (axiom (R2)).
+std::optional<PropertyCounterexample> CheckVacuity(
+    const TheoryChangeOperator& op, int num_terms);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_PROPERTIES_H_

@@ -1,0 +1,57 @@
+#include "change/registry.h"
+
+#include "change/commutative.h"
+#include "change/fitting.h"
+#include "change/revision.h"
+#include "change/update.h"
+
+namespace arbiter {
+
+Result<std::shared_ptr<const TheoryChangeOperator>> MakeOperator(
+    const std::string& name) {
+  if (name == "dalal") return {std::make_shared<DalalRevision>()};
+  if (name == "satoh") return {std::make_shared<SatohRevision>()};
+  if (name == "weber") return {std::make_shared<WeberRevision>()};
+  if (name == "borgida") return {std::make_shared<BorgidaRevision>()};
+  if (name == "full-meet") return {std::make_shared<FullMeetRevision>()};
+  if (name == "winslett") return {std::make_shared<WinslettUpdate>()};
+  if (name == "forbus") return {std::make_shared<ForbusUpdate>()};
+  if (name == "revesz-max") return {std::make_shared<MaxFitting>()};
+  if (name == "revesz-sum") return {std::make_shared<SumFitting>()};
+  if (name == "lex-fitting") return {std::make_shared<LexFitting>()};
+  if (name == "arbitration-max") {
+    return {std::make_shared<ArbitrationOperator>(
+        std::make_shared<MaxFitting>())};
+  }
+  if (name == "arbitration-sum") {
+    return {std::make_shared<ArbitrationOperator>(
+        std::make_shared<SumFitting>())};
+  }
+  if (name == "two-sided-dalal") {
+    return {std::make_shared<RevisionBasedArbitration>(
+        std::make_shared<DalalRevision>())};
+  }
+  if (name == "two-sided-satoh") {
+    return {std::make_shared<RevisionBasedArbitration>(
+        std::make_shared<SatohRevision>())};
+  }
+  return Status::NotFound("no operator named \"" + name + "\"");
+}
+
+std::vector<std::string> RegisteredOperatorNames() {
+  return {"dalal",      "satoh",      "weber",
+          "borgida",    "full-meet",  "winslett",   "forbus",
+          "revesz-max", "revesz-sum", "lex-fitting",
+          "arbitration-max", "arbitration-sum",
+          "two-sided-dalal", "two-sided-satoh"};
+}
+
+std::vector<std::shared_ptr<const TheoryChangeOperator>> AllOperators() {
+  std::vector<std::shared_ptr<const TheoryChangeOperator>> out;
+  for (const std::string& name : RegisteredOperatorNames()) {
+    out.push_back(MakeOperator(name).ValueOrDie());
+  }
+  return out;
+}
+
+}  // namespace arbiter

@@ -1,0 +1,30 @@
+#ifndef ARBITER_CHANGE_REGISTRY_H_
+#define ARBITER_CHANGE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "change/operator.h"
+#include "util/status.h"
+
+/// \file registry.h
+/// Name-based construction of the built-in theory change operators.
+/// Names: "dalal", "satoh", "weber", "borgida", "winslett", "forbus",
+/// "revesz-max", "revesz-sum", "arbitration-max", "arbitration-sum".
+
+namespace arbiter {
+
+/// Creates the operator registered under `name`.
+Result<std::shared_ptr<const TheoryChangeOperator>> MakeOperator(
+    const std::string& name);
+
+/// Names of all registered operators, in a stable order.
+std::vector<std::string> RegisteredOperatorNames();
+
+/// Creates every registered operator (for compliance matrices).
+std::vector<std::shared_ptr<const TheoryChangeOperator>> AllOperators();
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_REGISTRY_H_

@@ -1,0 +1,141 @@
+#include "change/revision.h"
+
+#include <vector>
+
+#include "model/distance.h"
+#include "model/preorder.h"
+
+namespace arbiter {
+
+namespace {
+
+/// Collects the set-inclusion-minimal elements of `masks` (each mask a
+/// symmetric-difference set).  Quadratic; fine for enumeration scales.
+std::vector<uint64_t> InclusionMinimal(std::vector<uint64_t> masks) {
+  std::sort(masks.begin(), masks.end());
+  masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
+  std::vector<uint64_t> minimal;
+  for (uint64_t a : masks) {
+    bool dominated = false;
+    for (uint64_t b : masks) {
+      if (b != a && (b & a) == b) {  // b ⊂ a
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(a);
+  }
+  return minimal;
+}
+
+/// Per-model inclusion-minimal change: the J ∈ mu whose diff with I is
+/// ⊆-minimal among {I Δ J' : J' ∈ mu}.  Used by Winslett-style updates
+/// and Borgida's inconsistent branch.
+std::vector<uint64_t> PointwiseInclusionClosest(uint64_t i,
+                                                const ModelSet& mu) {
+  std::vector<uint64_t> result;
+  for (uint64_t j : mu) {
+    uint64_t diff = i ^ j;
+    bool dominated = false;
+    for (uint64_t j2 : mu) {
+      uint64_t diff2 = i ^ j2;
+      if (diff2 != diff && (diff2 & diff) == diff2) {  // diff2 ⊂ diff
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(j);
+  }
+  return result;
+}
+
+}  // namespace
+
+ModelSet DalalRevision::Change(const ModelSet& psi,
+                               const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (mu.empty()) return ModelSet(mu.num_terms());
+  if (psi.empty()) return mu;
+  return MinByInt(mu, [&psi](uint64_t i) {
+    return static_cast<int64_t>(MinDist(psi, i));
+  });
+}
+
+ModelSet SatohRevision::Change(const ModelSet& psi,
+                               const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (mu.empty()) return ModelSet(mu.num_terms());
+  if (psi.empty()) return mu;
+  // All pairwise difference sets.
+  std::vector<uint64_t> diffs;
+  diffs.reserve(psi.size() * mu.size());
+  for (uint64_t i : psi) {
+    for (uint64_t j : mu) diffs.push_back(i ^ j);
+  }
+  std::vector<uint64_t> minimal = InclusionMinimal(std::move(diffs));
+  auto is_minimal = [&minimal](uint64_t d) {
+    for (uint64_t m : minimal) {
+      if (m == d) return true;
+    }
+    return false;
+  };
+  std::vector<uint64_t> result;
+  for (uint64_t j : mu) {
+    for (uint64_t i : psi) {
+      if (is_minimal(i ^ j)) {
+        result.push_back(j);
+        break;
+      }
+    }
+  }
+  return ModelSet::FromMasks(std::move(result), mu.num_terms());
+}
+
+ModelSet WeberRevision::Change(const ModelSet& psi,
+                               const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (mu.empty()) return ModelSet(mu.num_terms());
+  if (psi.empty()) return mu;
+  std::vector<uint64_t> diffs;
+  diffs.reserve(psi.size() * mu.size());
+  for (uint64_t i : psi) {
+    for (uint64_t j : mu) diffs.push_back(i ^ j);
+  }
+  uint64_t relevant = 0;  // union of all minimal difference sets
+  for (uint64_t d : InclusionMinimal(std::move(diffs))) relevant |= d;
+  std::vector<uint64_t> result;
+  for (uint64_t j : mu) {
+    for (uint64_t i : psi) {
+      if (((i ^ j) & ~relevant) == 0) {
+        result.push_back(j);
+        break;
+      }
+    }
+  }
+  return ModelSet::FromMasks(std::move(result), mu.num_terms());
+}
+
+ModelSet FullMeetRevision::Change(const ModelSet& psi,
+                                  const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  ModelSet both = psi.Intersect(mu);
+  return both.empty() ? mu : both;
+}
+
+ModelSet BorgidaRevision::Change(const ModelSet& psi,
+                                 const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (mu.empty()) return ModelSet(mu.num_terms());
+  if (psi.empty()) return mu;
+  ModelSet both = psi.Intersect(mu);
+  if (!both.empty()) return both;
+  std::vector<uint64_t> result;
+  for (uint64_t i : psi) {
+    for (uint64_t j : PointwiseInclusionClosest(i, mu)) {
+      result.push_back(j);
+    }
+  }
+  return ModelSet::FromMasks(std::move(result), mu.num_terms());
+}
+
+}  // namespace arbiter

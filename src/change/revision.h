@@ -1,0 +1,78 @@
+#ifndef ARBITER_CHANGE_REVISION_H_
+#define ARBITER_CHANGE_REVISION_H_
+
+#include "change/operator.h"
+
+/// \file revision.h
+/// Revision operators from the literature the paper compares against
+/// (Section 1 and Theorem 3.2 discussion): Dalal, Satoh, Weber, and
+/// Borgida.  All are implemented from their standard model-theoretic
+/// definitions over a propositional vocabulary.
+///
+/// Shared edge-case conventions (matching [KM91]):
+///  * μ unsatisfiable  → result unsatisfiable (R1).
+///  * ψ unsatisfiable  → result is Mod(μ): with nothing to preserve,
+///    every model of the new information is minimal (keeps (R3)).
+
+namespace arbiter {
+
+/// Dalal [Dal88]: Mod(ψ ∘ μ) = models of μ at minimum Hamming distance
+/// from Mod(ψ), i.e. Min(Mod(μ), ≤ψ) with rank dist(ψ, I).
+class DalalRevision : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "dalal"; }
+  OperatorFamily family() const override {
+    return OperatorFamily::kRevision;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+/// Satoh [Sat88]: keep J ∈ Mod(μ) whose symmetric difference with some
+/// I ∈ Mod(ψ) is set-inclusion minimal among all such differences.
+class SatohRevision : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "satoh"; }
+  OperatorFamily family() const override {
+    return OperatorFamily::kRevision;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+/// Weber [Web86]: let U be the union of Satoh's minimal difference
+/// sets; keep J ∈ Mod(μ) agreeing with some I ∈ Mod(ψ) outside U.
+class WeberRevision : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "weber"; }
+  OperatorFamily family() const override {
+    return OperatorFamily::kRevision;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+/// Full-meet ("drastic") revision: ψ ∧ μ when consistent, else μ — the
+/// least-committal AGM operator (all models of μ are equally close).
+/// Included as the degenerate baseline in the compliance matrices.
+class FullMeetRevision : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "full-meet"; }
+  OperatorFamily family() const override {
+    return OperatorFamily::kRevision;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+/// Borgida [Bor85]: if ψ ∧ μ is satisfiable the result is Mod(ψ ∧ μ);
+/// otherwise each model of ψ is changed independently to its
+/// set-inclusion-closest models of μ (update-like fallback).
+class BorgidaRevision : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "borgida"; }
+  OperatorFamily family() const override {
+    return OperatorFamily::kRevision;
+  }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_REVISION_H_

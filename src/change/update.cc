@@ -1,0 +1,45 @@
+#include "change/update.h"
+
+#include <vector>
+
+#include "model/distance.h"
+
+namespace arbiter {
+
+ModelSet WinslettUpdate::Change(const ModelSet& psi,
+                                const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  std::vector<uint64_t> result;
+  for (uint64_t i : psi) {
+    for (uint64_t j : mu) {
+      uint64_t diff = i ^ j;
+      bool dominated = false;
+      for (uint64_t j2 : mu) {
+        uint64_t diff2 = i ^ j2;
+        if (diff2 != diff && (diff2 & diff) == diff2) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) result.push_back(j);
+    }
+  }
+  return ModelSet::FromMasks(std::move(result), mu.num_terms());
+}
+
+ModelSet ForbusUpdate::Change(const ModelSet& psi,
+                              const ModelSet& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  std::vector<uint64_t> result;
+  for (uint64_t i : psi) {
+    // Min(Mod(μ), dist(I, ·)).
+    int best = mu.num_terms() + 1;
+    for (uint64_t j : mu) best = std::min(best, Dist(i, j));
+    for (uint64_t j : mu) {
+      if (Dist(i, j) == best) result.push_back(j);
+    }
+  }
+  return ModelSet::FromMasks(std::move(result), mu.num_terms());
+}
+
+}  // namespace arbiter

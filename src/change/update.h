@@ -1,0 +1,37 @@
+#ifndef ARBITER_CHANGE_UPDATE_H_
+#define ARBITER_CHANGE_UPDATE_H_
+
+#include "change/operator.h"
+
+/// \file update.h
+/// Update operators in the Katsuno–Mendelzon sense: each model of ψ is
+/// changed independently and the results are unioned,
+///
+///   Mod(ψ ⋄ μ) = ⋃_{I ∈ Mod(ψ)} Min(Mod(μ), ≤_I).
+///
+/// ψ unsatisfiable yields an unsatisfiable result (the union over an
+/// empty set — consistent with axiom (U3) needing ψ satisfiable).
+
+namespace arbiter {
+
+/// Winslett's possible models approach [Win88]: per-model ⊆-minimal
+/// symmetric differences.
+class WinslettUpdate : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "winslett"; }
+  OperatorFamily family() const override { return OperatorFamily::kUpdate; }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+/// Forbus-style update: per-model minimum Hamming distance (the
+/// cardinality analogue of Winslett).
+class ForbusUpdate : public TheoryChangeOperator {
+ public:
+  std::string name() const override { return "forbus"; }
+  OperatorFamily family() const override { return OperatorFamily::kUpdate; }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_UPDATE_H_

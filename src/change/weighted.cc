@@ -1,0 +1,25 @@
+#include "change/weighted.h"
+
+namespace arbiter {
+
+WeightedKnowledgeBase WdistFitting::Change(
+    const WeightedKnowledgeBase& psi,
+    const WeightedKnowledgeBase& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  // (F2): unsatisfiable ψ̃ fits nothing; (F1): result within μ̃.
+  if (!psi.IsSatisfiable() || !mu.IsSatisfiable()) {
+    return WeightedKnowledgeBase(mu.num_terms());
+  }
+  return mu.MinimalBy(psi.WdistPreorder());
+}
+
+WeightedKnowledgeBase WeightedArbitration::Change(
+    const WeightedKnowledgeBase& psi,
+    const WeightedKnowledgeBase& phi) const {
+  ARBITER_CHECK(psi.num_terms() == phi.num_terms());
+  WdistFitting fitting;
+  return fitting.Change(psi.Or(phi),
+                        WeightedKnowledgeBase::Uniform(psi.num_terms()));
+}
+
+}  // namespace arbiter

@@ -1,0 +1,51 @@
+#ifndef ARBITER_CHANGE_WEIGHTED_H_
+#define ARBITER_CHANGE_WEIGHTED_H_
+
+#include <string>
+
+#include "kb/weighted_kb.h"
+
+/// \file weighted.h
+/// Weighted model-fitting and weighted arbitration (paper, Section 4).
+///
+/// The concrete operator ranks interpretations by
+///   wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)
+/// and applies the paper's weighted Min:
+///   Mod(ψ̃ ▷ μ̃)(I) = μ̃(I) if I ∈ Min(support(μ̃), ≤ψ̃) else 0.
+///
+/// Weighted arbitration is ψ̃ Δ φ̃ = (ψ̃ ∨ φ̃) ▷ M̃ with M̃ uniform weight
+/// one (Corollary 4.1).
+
+namespace arbiter {
+
+/// A binary weighted theory change operator.
+class WeightedChangeOperator {
+ public:
+  virtual ~WeightedChangeOperator() = default;
+  virtual std::string name() const = 0;
+  virtual WeightedKnowledgeBase Change(
+      const WeightedKnowledgeBase& psi,
+      const WeightedKnowledgeBase& mu) const = 0;
+};
+
+/// The paper's wdist-based weighted model-fitting operator.
+class WdistFitting : public WeightedChangeOperator {
+ public:
+  std::string name() const override { return "wdist-fitting"; }
+  WeightedKnowledgeBase Change(
+      const WeightedKnowledgeBase& psi,
+      const WeightedKnowledgeBase& mu) const override;
+};
+
+/// Weighted arbitration: (ψ̃ ∨ φ̃) ▷ M̃.
+class WeightedArbitration : public WeightedChangeOperator {
+ public:
+  std::string name() const override { return "weighted-arbitration"; }
+  WeightedKnowledgeBase Change(
+      const WeightedKnowledgeBase& psi,
+      const WeightedKnowledgeBase& phi) const override;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_WEIGHTED_H_

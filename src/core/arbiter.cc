@@ -1,0 +1,72 @@
+#include "core/arbiter.h"
+
+#include "change/fitting.h"
+#include "change/revision.h"
+#include "change/update.h"
+#include "change/weighted.h"
+
+namespace arbiter {
+
+Arbiter::Arbiter(const std::vector<std::string>& term_names) {
+  vocab_ = Vocabulary::FromNames(term_names).ValueOrDie();
+}
+
+Result<KnowledgeBase> Arbiter::ParseKb(const std::string& text) {
+  Result<Formula> f = Parse(text, &vocab_);
+  if (!f.ok()) return f.status();
+  if (vocab_.size() > kMaxEnumTerms) {
+    return Status::CapacityExceeded(
+        "vocabulary exceeds enumeration limit; use src/solve/ for "
+        "SAT-based operations");
+  }
+  return KnowledgeBase(*f, vocab_.size());
+}
+
+KnowledgeBase Arbiter::Rebase(const KnowledgeBase& kb) const {
+  return KnowledgeBase(kb.formula(), vocab_.size());
+}
+
+Result<WeightedKnowledgeBase> Arbiter::ParseWeightedKb(
+    const std::string& text) {
+  Result<Formula> f = Parse(text, &vocab_);
+  if (!f.ok()) return f.status();
+  return WeightedKnowledgeBase::FromFormula(*f, vocab_.size());
+}
+
+Result<KnowledgeBase> Arbiter::Change(const std::string& op_name,
+                                      const KnowledgeBase& psi,
+                                      const KnowledgeBase& mu) const {
+  auto op = MakeOperator(op_name);
+  if (!op.ok()) return op.status();
+  return (*op)->Apply(psi, mu);
+}
+
+KnowledgeBase Arbiter::Revise(const KnowledgeBase& psi,
+                              const KnowledgeBase& mu) const {
+  return DalalRevision().Apply(psi, mu);
+}
+
+KnowledgeBase Arbiter::Update(const KnowledgeBase& psi,
+                              const KnowledgeBase& mu) const {
+  return WinslettUpdate().Apply(psi, mu);
+}
+
+KnowledgeBase Arbiter::Fit(const KnowledgeBase& psi,
+                           const KnowledgeBase& mu) const {
+  return MaxFitting().Apply(psi, mu);
+}
+
+KnowledgeBase Arbiter::Arbitrate(const KnowledgeBase& psi,
+                                 const KnowledgeBase& phi) const {
+  return MakeMaxArbitration().Apply(psi, phi);
+}
+
+WeightedKnowledgeBase Arbiter::ArbitrateWeighted(
+    const WeightedKnowledgeBase& psi,
+    const WeightedKnowledgeBase& phi) const {
+  return WeightedArbitration().Change(psi, phi);
+}
+
+const char* Version() { return "1.0.0"; }
+
+}  // namespace arbiter

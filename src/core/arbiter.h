@@ -1,0 +1,86 @@
+#ifndef ARBITER_CORE_ARBITER_H_
+#define ARBITER_CORE_ARBITER_H_
+
+#include <memory>
+#include <string>
+
+#include "change/registry.h"
+#include "kb/knowledge_base.h"
+#include "kb/weighted_kb.h"
+#include "logic/parser.h"
+#include "logic/vocabulary.h"
+
+/// \file arbiter.h
+/// The high-level façade of the library: parse textual knowledge
+/// bases over a shared vocabulary and change them with any registered
+/// operator.
+///
+/// Quickstart:
+///
+///   arbiter::Arbiter arb({"fight_started_by_A", "fight_started_by_B"});
+///   auto psi = arb.ParseKb("fight_started_by_A & !fight_started_by_B");
+///   auto mu  = arb.ParseKb("!fight_started_by_A & fight_started_by_B");
+///   auto verdict = arb.Arbitrate(*psi, *mu);
+///   std::cout << verdict.ToString(arb.vocabulary());
+
+namespace arbiter {
+
+class Arbiter {
+ public:
+  /// Starts with an empty vocabulary; terms are added by parsing.
+  Arbiter() = default;
+
+  /// Starts with the given term names (order fixes the indices).
+  explicit Arbiter(const std::vector<std::string>& term_names);
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+  Vocabulary* mutable_vocabulary() { return &vocab_; }
+
+  /// Parses a formula, auto-registering new terms, and pairs it with
+  /// its models.  All knowledge bases produced by one Arbiter share a
+  /// vocabulary; parse every formula before changing anything, or use
+  /// Rebase() to re-evaluate earlier bases after the vocabulary grew.
+  Result<KnowledgeBase> ParseKb(const std::string& text);
+
+  /// Re-evaluates a knowledge base over the current (possibly larger)
+  /// vocabulary.
+  KnowledgeBase Rebase(const KnowledgeBase& kb) const;
+
+  /// Parses into a 0/1 weighted base.
+  Result<WeightedKnowledgeBase> ParseWeightedKb(const std::string& text);
+
+  /// Applies the operator registered under `op_name`.
+  Result<KnowledgeBase> Change(const std::string& op_name,
+                               const KnowledgeBase& psi,
+                               const KnowledgeBase& mu) const;
+
+  /// Dalal revision (AGM/KM): new information wins.
+  KnowledgeBase Revise(const KnowledgeBase& psi,
+                       const KnowledgeBase& mu) const;
+
+  /// Winslett update (KM): new information is more recent.
+  KnowledgeBase Update(const KnowledgeBase& psi,
+                       const KnowledgeBase& mu) const;
+
+  /// Revesz model-fitting ψ ▷ μ (max-based, as printed in the paper).
+  KnowledgeBase Fit(const KnowledgeBase& psi, const KnowledgeBase& mu) const;
+
+  /// Arbitration ψ Δ φ (max-based): both sides are equal voices.
+  KnowledgeBase Arbitrate(const KnowledgeBase& psi,
+                          const KnowledgeBase& phi) const;
+
+  /// Weighted arbitration (Section 4): wdist over summed weights.
+  WeightedKnowledgeBase ArbitrateWeighted(
+      const WeightedKnowledgeBase& psi,
+      const WeightedKnowledgeBase& phi) const;
+
+ private:
+  Vocabulary vocab_;
+};
+
+/// Library version string, e.g. "1.0.0".
+const char* Version();
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CORE_ARBITER_H_

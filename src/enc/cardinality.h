@@ -1,0 +1,59 @@
+#ifndef ARBITER_ENC_CARDINALITY_H_
+#define ARBITER_ENC_CARDINALITY_H_
+
+#include <vector>
+
+#include "sat/solver.h"
+
+/// \file cardinality.h
+/// Cardinality constraints over literals, encoded with the sequential
+/// (unary) counter of Sinz (2005).  Used by the SAT-based Dalal
+/// revision and the CEGAR arbitration loop to bound Hamming distances.
+
+namespace arbiter::enc {
+
+/// Adds clauses enforcing  Σ lits <= k.  k >= lits.size() adds nothing;
+/// k == 0 forces every literal false; k < 0 makes the solver UNSAT.
+void AddAtMostK(sat::Solver* solver, const std::vector<sat::Lit>& lits,
+                int k);
+
+/// Adds clauses enforcing  Σ lits >= k  (via at-most on negations).
+void AddAtLeastK(sat::Solver* solver, const std::vector<sat::Lit>& lits,
+                 int k);
+
+/// Adds clauses enforcing  Σ lits == k.
+void AddExactlyK(sat::Solver* solver, const std::vector<sat::Lit>& lits,
+                 int k);
+
+/// Creates a fresh literal d with  d <-> (a xor b)  and returns it.
+/// This is the "difference bit" used for Hamming distance encodings.
+sat::Lit EncodeXorEquals(sat::Solver* solver, sat::Lit a, sat::Lit b);
+
+/// A unary counter exposing per-threshold outputs: output(k) is a
+/// literal that is true iff at least k of the inputs are true.  Built
+/// once, thresholds can then be asserted or assumed incrementally —
+/// the core of the binary-search distance minimization in src/solve/.
+class UnaryCounter {
+ public:
+  /// Builds the counter circuit over `lits` in `solver`.
+  UnaryCounter(sat::Solver* solver, const std::vector<sat::Lit>& lits);
+
+  int size() const { return static_cast<int>(outputs_.size()); }
+
+  /// Literal true iff >= k inputs are true.  Requires 1 <= k <= size().
+  sat::Lit AtLeast(int k) const {
+    ARBITER_CHECK(k >= 1 && k <= size());
+    return outputs_[k - 1];
+  }
+
+  /// Literal true iff <= k inputs are true (negation of AtLeast(k+1)).
+  /// Requires 0 <= k < size(); k >= size() is trivially true.
+  sat::Lit AtMost(int k) const { return ~AtLeast(k + 1); }
+
+ private:
+  std::vector<sat::Lit> outputs_;
+};
+
+}  // namespace arbiter::enc
+
+#endif  // ARBITER_ENC_CARDINALITY_H_

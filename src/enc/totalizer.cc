@@ -1,0 +1,54 @@
+#include "enc/totalizer.h"
+
+namespace arbiter::enc {
+
+using sat::Lit;
+using sat::Solver;
+
+std::vector<Lit> Totalizer::Build(Solver* solver,
+                                  const std::vector<Lit>& lits, int lo,
+                                  int hi) {
+  const int n = hi - lo;
+  ARBITER_DCHECK(n >= 1);
+  if (n == 1) return {lits[lo]};
+  const int mid = lo + n / 2;
+  std::vector<Lit> left = Build(solver, lits, lo, mid);
+  std::vector<Lit> right = Build(solver, lits, mid, hi);
+  const int p = static_cast<int>(left.size());
+  const int q = static_cast<int>(right.size());
+  std::vector<Lit> out(n);
+  for (int i = 0; i < n; ++i) out[i] = Lit::Pos(solver->NewVar());
+  // Merge clauses.  Convention: left[-1] / right[-1] are "true",
+  // left[p] / right[q] are "false".
+  for (int i = 0; i <= p; ++i) {
+    for (int j = 0; j <= q; ++j) {
+      // (>=i left) & (>=j right) -> (>=i+j out), for i+j >= 1:
+      //   !left[i-1] | !right[j-1] | out[i+j-1]
+      if (i + j >= 1 && i + j <= n) {
+        std::vector<Lit> clause;
+        if (i >= 1) clause.push_back(~left[i - 1]);
+        if (j >= 1) clause.push_back(~right[j - 1]);
+        clause.push_back(out[i + j - 1]);
+        solver->AddClause(std::move(clause));
+      }
+      // (<=i left) & (<=j right) -> (<=i+j out):
+      //   left[i] | right[j] | !out[i+j]   (indices as counts)
+      if (i + j < n) {
+        std::vector<Lit> clause;
+        if (i < p) clause.push_back(left[i]);
+        if (j < q) clause.push_back(right[j]);
+        clause.push_back(~out[i + j]);
+        solver->AddClause(std::move(clause));
+      }
+    }
+  }
+  return out;
+}
+
+Totalizer::Totalizer(Solver* solver, const std::vector<Lit>& lits) {
+  ARBITER_CHECK(solver != nullptr);
+  if (lits.empty()) return;
+  outputs_ = Build(solver, lits, 0, static_cast<int>(lits.size()));
+}
+
+}  // namespace arbiter::enc

@@ -1,0 +1,116 @@
+#include "enc/tseitin.h"
+
+#include <vector>
+
+namespace arbiter::enc {
+
+using sat::Lit;
+
+void TseitinEncoder::ReserveInputVars(int n) {
+  while (solver_->NumVars() < n) solver_->NewVar();
+}
+
+Lit TseitinEncoder::FreshLit() { return Lit::Pos(solver_->NewVar()); }
+
+Lit TseitinEncoder::EncodeVar(int var) {
+  ReserveInputVars(var + 1);
+  return Lit::Pos(var);
+}
+
+Lit TseitinEncoder::Encode(const Formula& f) {
+  auto it = cache_.find(f.NodeId());
+  if (it != cache_.end()) return it->second;
+
+  Lit out;
+  switch (f.kind()) {
+    case FormulaKind::kTrue: {
+      out = FreshLit();
+      solver_->AddUnit(out);
+      break;
+    }
+    case FormulaKind::kFalse: {
+      out = FreshLit();
+      solver_->AddUnit(~out);
+      break;
+    }
+    case FormulaKind::kVar:
+      out = EncodeVar(f.var());
+      break;
+    case FormulaKind::kNot:
+      out = ~Encode(f.child(0));
+      break;
+    case FormulaKind::kAnd: {
+      std::vector<Lit> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) parts.push_back(Encode(c));
+      out = FreshLit();
+      // out -> part_i ; (all parts) -> out
+      std::vector<Lit> big;
+      big.reserve(parts.size() + 1);
+      for (Lit p : parts) {
+        solver_->AddBinary(~out, p);
+        big.push_back(~p);
+      }
+      big.push_back(out);
+      solver_->AddClause(std::move(big));
+      break;
+    }
+    case FormulaKind::kOr: {
+      std::vector<Lit> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) parts.push_back(Encode(c));
+      out = FreshLit();
+      // part_i -> out ; out -> (some part)
+      std::vector<Lit> big;
+      big.reserve(parts.size() + 1);
+      for (Lit p : parts) {
+        solver_->AddBinary(~p, out);
+        big.push_back(p);
+      }
+      big.push_back(~out);
+      solver_->AddClause(std::move(big));
+      break;
+    }
+    case FormulaKind::kImplies: {
+      Lit a = Encode(f.child(0));
+      Lit b = Encode(f.child(1));
+      out = FreshLit();
+      // out <-> (!a | b)
+      solver_->AddTernary(~out, ~a, b);
+      solver_->AddBinary(out, a);
+      solver_->AddBinary(out, ~b);
+      break;
+    }
+    case FormulaKind::kIff: {
+      Lit a = Encode(f.child(0));
+      Lit b = Encode(f.child(1));
+      out = FreshLit();
+      // out <-> (a <-> b)
+      solver_->AddTernary(~out, ~a, b);
+      solver_->AddTernary(~out, a, ~b);
+      solver_->AddTernary(out, a, b);
+      solver_->AddTernary(out, ~a, ~b);
+      break;
+    }
+    case FormulaKind::kXor: {
+      Lit a = Encode(f.child(0));
+      Lit b = Encode(f.child(1));
+      out = FreshLit();
+      // out <-> (a xor b)
+      solver_->AddTernary(~out, a, b);
+      solver_->AddTernary(~out, ~a, ~b);
+      solver_->AddTernary(out, ~a, b);
+      solver_->AddTernary(out, a, ~b);
+      break;
+    }
+  }
+  cache_.emplace(f.NodeId(), out);
+  return out;
+}
+
+bool TseitinEncoder::Assert(const Formula& f) {
+  Lit l = Encode(f);
+  return solver_->AddUnit(l);
+}
+
+}  // namespace arbiter::enc

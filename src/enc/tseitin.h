@@ -1,0 +1,52 @@
+#ifndef ARBITER_ENC_TSEITIN_H_
+#define ARBITER_ENC_TSEITIN_H_
+
+#include <unordered_map>
+
+#include "logic/formula.h"
+#include "sat/solver.h"
+
+/// \file tseitin.h
+/// Tseitin transformation: clausifies an arbitrary formula into an
+/// equisatisfiable CNF over the solver, introducing one auxiliary
+/// variable per internal connective (shared subtrees are encoded once).
+///
+/// Formula variable i maps to solver variable i; the encoder creates
+/// solver variables on demand so the projection onto the original
+/// vocabulary is simply the prefix [0, num_terms).
+
+namespace arbiter::enc {
+
+/// Encodes formulas into a sat::Solver.
+class TseitinEncoder {
+ public:
+  /// The encoder appends clauses/variables to *solver (not owned).
+  explicit TseitinEncoder(sat::Solver* solver) : solver_(solver) {
+    ARBITER_CHECK(solver != nullptr);
+  }
+
+  /// Makes sure solver variables 0..n-1 exist, so that later auxiliary
+  /// variables do not collide with vocabulary indices.  Call before the
+  /// first Encode with the full vocabulary size.
+  void ReserveInputVars(int n);
+
+  /// Returns a literal equivalent to f (under the added definition
+  /// clauses).  Does not assert f.
+  sat::Lit Encode(const Formula& f);
+
+  /// Asserts f: Encode(f) plus a unit clause.  Returns false if the
+  /// solver became trivially unsatisfiable.
+  bool Assert(const Formula& f);
+
+ private:
+  sat::Lit EncodeVar(int var);
+  sat::Lit FreshLit();
+
+  sat::Solver* solver_;
+  /// Cache keyed by node identity (pointer), exploiting DAG sharing.
+  std::unordered_map<const void*, sat::Lit> cache_;
+};
+
+}  // namespace arbiter::enc
+
+#endif  // ARBITER_ENC_TSEITIN_H_

@@ -1,0 +1,373 @@
+#include "fol/ground.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace arbiter::fol {
+
+namespace {
+
+FolPtr MakeNode(FolFormula node) {
+  return std::make_shared<const FolFormula>(std::move(node));
+}
+
+FolPtr MakeConnective(FolFormula::Kind kind, std::vector<FolPtr> children) {
+  FolFormula node;
+  node.kind = kind;
+  node.children = std::move(children);
+  return MakeNode(std::move(node));
+}
+
+/// Recursive-descent parser for the first-order syntax.  Produces the
+/// FolFormula AST; name classification (variable vs constant) happens
+/// at grounding time against the quantifier environment.
+class FolParser {
+ public:
+  explicit FolParser(const std::string& text) : text_(text) {}
+
+  Result<FolPtr> Run() {
+    Result<FolPtr> f = ParseQuantified();
+    if (!f.ok()) return f;
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("unexpected trailing input");
+    return f;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(pos_) + " in \"" + text_ +
+                                   "\"");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(const char* tok) {
+    SkipSpace();
+    size_t len = 0;
+    while (tok[len] != '\0') ++len;
+    if (text_.compare(pos_, len, tok) != 0) return false;
+    if (IsIdentStart(tok[0])) {
+      size_t end = pos_ + len;
+      if (end < text_.size() && IsIdentCont(text_[end])) return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool EatIdent(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || !IsIdentStart(text_[pos_])) return false;
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentCont(text_[pos_])) ++pos_;
+    *out = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  /// Parses a quantifier if one is next; *found reports whether it was.
+  /// The body extends as far right as possible (maximal scope).
+  Result<FolPtr> TryParseQuantifier(bool* found) {
+    *found = false;
+    for (auto [word, kind] :
+         {std::pair<const char*, FolFormula::Kind>{
+              "forall", FolFormula::Kind::kForall},
+          {"exists", FolFormula::Kind::kExists}}) {
+      if (Eat(word)) {
+        *found = true;
+        std::string var;
+        if (!EatIdent(&var)) {
+          return Error("expected a variable after quantifier");
+        }
+        if (!Eat(".")) return Error("expected '.' after quantifier");
+        Result<FolPtr> body = ParseQuantified();
+        if (!body.ok()) return body;
+        FolFormula node;
+        node.kind = kind;
+        node.bound_variable = var;
+        node.children = {*body};
+        return MakeNode(std::move(node));
+      }
+    }
+    return Error("no quantifier");  // unused when *found is false
+  }
+
+  Result<FolPtr> ParseQuantified() {
+    bool found = false;
+    Result<FolPtr> q = TryParseQuantifier(&found);
+    if (found) return q;
+    return ParseIff();
+  }
+
+  Result<FolPtr> ParseIff() {
+    Result<FolPtr> lhs = ParseImplies();
+    if (!lhs.ok()) return lhs;
+    FolPtr acc = *lhs;
+    while (Eat("<->") || Eat("iff")) {
+      Result<FolPtr> rhs = ParseImplies();
+      if (!rhs.ok()) return rhs;
+      acc = MakeConnective(FolFormula::Kind::kIff, {acc, *rhs});
+    }
+    return acc;
+  }
+
+  Result<FolPtr> ParseImplies() {
+    Result<FolPtr> lhs = ParseOr();
+    if (!lhs.ok()) return lhs;
+    if (Eat("->") || Eat("implies")) {
+      // The consequent may itself be quantified.
+      Result<FolPtr> rhs = ParseQuantified();
+      if (!rhs.ok()) return rhs;
+      return MakeConnective(FolFormula::Kind::kImplies, {*lhs, *rhs});
+    }
+    return lhs;
+  }
+
+  Result<FolPtr> ParseOr() {
+    Result<FolPtr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    std::vector<FolPtr> parts = {*lhs};
+    while (Eat("||") || Eat("|") || Eat("or")) {
+      Result<FolPtr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      parts.push_back(*rhs);
+    }
+    if (parts.size() == 1) return parts[0];
+    return MakeConnective(FolFormula::Kind::kOr, std::move(parts));
+  }
+
+  Result<FolPtr> ParseAnd() {
+    Result<FolPtr> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    std::vector<FolPtr> parts = {*lhs};
+    while (Eat("&&") || Eat("&") || Eat("and")) {
+      Result<FolPtr> rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      parts.push_back(*rhs);
+    }
+    if (parts.size() == 1) return parts[0];
+    return MakeConnective(FolFormula::Kind::kAnd, std::move(parts));
+  }
+
+  Result<FolPtr> ParseUnary() {
+    if (Eat("!") || Eat("~") || Eat("not")) {
+      Result<FolPtr> operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return MakeConnective(FolFormula::Kind::kNot, {*operand});
+    }
+    // Inline quantifiers take maximal scope to the right.
+    bool found = false;
+    Result<FolPtr> q = TryParseQuantifier(&found);
+    if (found) return q;
+    return ParseAtom();
+  }
+
+  Result<FolPtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    if (Eat("(")) {
+      Result<FolPtr> inner = ParseQuantified();
+      if (!inner.ok()) return inner;
+      if (!Eat(")")) return Error("expected ')'");
+      return inner;
+    }
+    if (Eat("true")) {
+      FolFormula node;
+      node.kind = FolFormula::Kind::kTrue;
+      return MakeNode(std::move(node));
+    }
+    if (Eat("false")) {
+      FolFormula node;
+      node.kind = FolFormula::Kind::kFalse;
+      return MakeNode(std::move(node));
+    }
+    std::string name;
+    if (!EatIdent(&name)) return Error("expected an atom");
+    FolFormula node;
+    node.kind = FolFormula::Kind::kAtom;
+    node.relation = name;
+    if (Eat("(")) {
+      for (;;) {
+        std::string arg;
+        if (!EatIdent(&arg)) return Error("expected a term");
+        node.args.push_back(Term{false, arg});
+        if (Eat(")")) break;
+        if (!Eat(",")) return Error("expected ',' or ')'");
+      }
+    }
+    return MakeNode(std::move(node));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Grounder::Grounder(const std::vector<std::string>& constants)
+    : constants_(constants) {
+  ARBITER_CHECK_MSG(!constants.empty(), "domain must be nonempty");
+}
+
+Status Grounder::DeclareRelation(const std::string& name, int arity) {
+  if (name.empty()) return Status::InvalidArgument("empty relation name");
+  if (arity < 0) return Status::InvalidArgument("negative arity");
+  if (relation_arity_.count(name)) {
+    return Status::InvalidArgument("relation already declared: " + name);
+  }
+  relation_arity_[name] = arity;
+  relations_.push_back(name);
+  return Status::OK();
+}
+
+Result<int> Grounder::GroundAtom(
+    const std::string& relation,
+    const std::vector<std::string>& constant_args) {
+  auto it = relation_arity_.find(relation);
+  if (it == relation_arity_.end()) {
+    return Status::NotFound("undeclared relation: " + relation);
+  }
+  if (static_cast<int>(constant_args.size()) != it->second) {
+    return Status::InvalidArgument(
+        relation + " has arity " + std::to_string(it->second) + ", got " +
+        std::to_string(constant_args.size()) + " argument(s)");
+  }
+  std::string name = relation;
+  if (!constant_args.empty()) {
+    name += "(" + Join(constant_args, ",") + ")";
+  }
+  return vocab_.GetOrAddTerm(name);
+}
+
+Status Grounder::MaterializeAtoms() {
+  for (const std::string& rel : relations_) {
+    int arity = relation_arity_[rel];
+    // Iterate all |D|^arity argument tuples in lexicographic order.
+    std::vector<int> idx(arity, 0);
+    for (;;) {
+      std::vector<std::string> args;
+      args.reserve(arity);
+      for (int i : idx) args.push_back(constants_[i]);
+      Result<int> atom = GroundAtom(rel, args);
+      if (!atom.ok()) return atom.status();
+      // Advance the tuple.
+      int pos = arity - 1;
+      while (pos >= 0 &&
+             ++idx[pos] == static_cast<int>(constants_.size())) {
+        idx[pos--] = 0;
+      }
+      if (pos < 0) break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<FolPtr> Grounder::ParseFol(const std::string& text) const {
+  return FolParser(text).Run();
+}
+
+Result<Formula> Grounder::GroundWithEnv(
+    const FolFormula& node, std::map<std::string, std::string>* env) {
+  switch (node.kind) {
+    case FolFormula::Kind::kTrue:
+      return Formula::True();
+    case FolFormula::Kind::kFalse:
+      return Formula::False();
+    case FolFormula::Kind::kAtom: {
+      std::vector<std::string> resolved;
+      resolved.reserve(node.args.size());
+      for (const Term& arg : node.args) {
+        auto bound = env->find(arg.name);
+        if (bound != env->end()) {
+          resolved.push_back(bound->second);
+        } else if (std::find(constants_.begin(), constants_.end(),
+                             arg.name) != constants_.end()) {
+          resolved.push_back(arg.name);
+        } else {
+          return Status::InvalidArgument(
+              "unknown term '" + arg.name +
+              "' (not a constant, not bound by a quantifier)");
+        }
+      }
+      Result<int> atom = GroundAtom(node.relation, resolved);
+      if (!atom.ok()) return atom.status();
+      return Formula::Var(*atom);
+    }
+    case FolFormula::Kind::kNot: {
+      Result<Formula> inner = GroundWithEnv(*node.children[0], env);
+      if (!inner.ok()) return inner;
+      return Not(*inner);
+    }
+    case FolFormula::Kind::kAnd:
+    case FolFormula::Kind::kOr: {
+      std::vector<Formula> parts;
+      parts.reserve(node.children.size());
+      for (const FolPtr& child : node.children) {
+        Result<Formula> part = GroundWithEnv(*child, env);
+        if (!part.ok()) return part;
+        parts.push_back(*part);
+      }
+      return node.kind == FolFormula::Kind::kAnd ? And(std::move(parts))
+                                                 : Or(std::move(parts));
+    }
+    case FolFormula::Kind::kImplies:
+    case FolFormula::Kind::kIff: {
+      Result<Formula> lhs = GroundWithEnv(*node.children[0], env);
+      if (!lhs.ok()) return lhs;
+      Result<Formula> rhs = GroundWithEnv(*node.children[1], env);
+      if (!rhs.ok()) return rhs;
+      return node.kind == FolFormula::Kind::kImplies ? Implies(*lhs, *rhs)
+                                                     : Iff(*lhs, *rhs);
+    }
+    case FolFormula::Kind::kForall:
+    case FolFormula::Kind::kExists: {
+      std::vector<Formula> parts;
+      parts.reserve(constants_.size());
+      // Save any shadowed binding.
+      auto shadowed = env->find(node.bound_variable);
+      bool had = shadowed != env->end();
+      std::string old = had ? shadowed->second : "";
+      for (const std::string& constant : constants_) {
+        (*env)[node.bound_variable] = constant;
+        Result<Formula> part = GroundWithEnv(*node.children[0], env);
+        if (!part.ok()) {
+          if (had) {
+            (*env)[node.bound_variable] = old;
+          } else {
+            env->erase(node.bound_variable);
+          }
+          return part;
+        }
+        parts.push_back(*part);
+      }
+      if (had) {
+        (*env)[node.bound_variable] = old;
+      } else {
+        env->erase(node.bound_variable);
+      }
+      return node.kind == FolFormula::Kind::kForall ? And(std::move(parts))
+                                                    : Or(std::move(parts));
+    }
+  }
+  ARBITER_CHECK_MSG(false, "unreachable FOL kind");
+  return Formula::False();
+}
+
+Result<Formula> Grounder::GroundAst(const FolPtr& ast) {
+  ARBITER_CHECK(ast != nullptr);
+  std::map<std::string, std::string> env;
+  return GroundWithEnv(*ast, &env);
+}
+
+Result<Formula> Grounder::Ground(const std::string& text) {
+  Result<FolPtr> ast = ParseFol(text);
+  if (!ast.ok()) return ast.status();
+  return GroundAst(*ast);
+}
+
+}  // namespace arbiter::fol

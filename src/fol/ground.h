@@ -1,0 +1,126 @@
+#ifndef ARBITER_FOL_GROUND_H_
+#define ARBITER_FOL_GROUND_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "util/status.h"
+
+/// \file ground.h
+/// A finite-domain relational front end — the paper's first open
+/// problem (§5: "extend arbitration from propositional to first-
+/// order") made executable for the decidable finite-domain case.
+///
+/// Users declare a domain of constants and a set of relations; ground
+/// atoms rel(c1, ..., ck) become propositional terms, and quantifiers
+/// expand over the domain:
+///
+///   Grounder g({"ann", "bob"});
+///   g.DeclareRelation("likes", 2);
+///   auto f = g.Ground("forall x. exists y. likes(x, y)");
+///
+/// The result is an ordinary Formula over the grounder's vocabulary,
+/// so every operator in the library (revision, update, arbitration,
+/// merging, the SAT-based solvers) applies unchanged to relational
+/// knowledge bases.
+///
+/// Syntax (extends the propositional grammar of logic/parser.h):
+///
+///   atom        := relation '(' term {',' term} ')' | proposition
+///   term        := constant | variable       (variables are the
+///                                             identifiers bound by an
+///                                             enclosing quantifier)
+///   quantified  := ('forall' | 'exists') var '.' formula
+///
+/// Quantifiers bind loosest; the propositional connectives keep their
+/// precedences.  Nullary relations act as plain propositions.
+
+namespace arbiter::fol {
+
+/// A first-order term: either a declared constant or a bound variable.
+struct Term {
+  bool is_variable = false;
+  std::string name;
+};
+
+/// The intermediate first-order AST produced by the parser.
+class FolFormula;
+using FolPtr = std::shared_ptr<const FolFormula>;
+
+class FolFormula {
+ public:
+  enum class Kind {
+    kAtom,
+    kNot,
+    kAnd,
+    kOr,
+    kImplies,
+    kIff,
+    kForall,
+    kExists,
+    kTrue,
+    kFalse,
+  };
+
+  Kind kind;
+  // kAtom:
+  std::string relation;
+  std::vector<Term> args;
+  // connectives:
+  std::vector<FolPtr> children;
+  // quantifiers:
+  std::string bound_variable;
+};
+
+/// Grounds finite-domain relational formulas to propositional ones.
+class Grounder {
+ public:
+  /// Creates a grounder over the given constants (order is fixed).
+  explicit Grounder(const std::vector<std::string>& constants);
+
+  /// Declares a relation of the given arity (>= 0).  Ground atoms are
+  /// registered in the vocabulary lazily, in lexicographic argument
+  /// order on first use.
+  Status DeclareRelation(const std::string& name, int arity);
+
+  /// Pre-registers every ground atom of every declared relation so the
+  /// vocabulary is complete and stable before any formula is parsed.
+  /// Fails if the total atom count exceeds the vocabulary capacity.
+  Status MaterializeAtoms();
+
+  /// Parses and grounds a formula.
+  Result<Formula> Ground(const std::string& text);
+
+  /// Parses to the intermediate first-order AST without grounding.
+  Result<FolPtr> ParseFol(const std::string& text) const;
+
+  /// Grounds an already-parsed AST.
+  Result<Formula> GroundAst(const FolPtr& ast);
+
+  /// Name of the propositional term for rel(args...); registers it if
+  /// new.  All args must be constants.
+  Result<int> GroundAtom(const std::string& relation,
+                         const std::vector<std::string>& constant_args);
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+  const std::vector<std::string>& constants() const { return constants_; }
+  int NumRelations() const { return static_cast<int>(relations_.size()); }
+
+ private:
+  Result<Formula> GroundWithEnv(
+      const FolFormula& node,
+      std::map<std::string, std::string>* env);
+
+  std::vector<std::string> constants_;
+  std::map<std::string, int> relation_arity_;
+  std::vector<std::string> relations_;  // declaration order
+  Vocabulary vocab_;
+};
+
+}  // namespace arbiter::fol
+
+#endif  // ARBITER_FOL_GROUND_H_

@@ -1,0 +1,35 @@
+#include "kb/knowledge_base.h"
+
+#include "logic/minimize.h"
+#include "logic/printer.h"
+
+namespace arbiter {
+
+KnowledgeBase::KnowledgeBase(Formula formula, int num_terms)
+    : formula_(formula), models_(ModelSet::FromFormula(formula, num_terms)) {}
+
+KnowledgeBase KnowledgeBase::FromModels(const ModelSet& models) {
+  // Minimized DNF keeps store dumps and example output readable; the
+  // raw minterm form is available via ModelSet::ToFormula.
+  KnowledgeBase kb(MinimizeToDnf(models.masks(), models.num_terms()),
+                   models.num_terms());
+  return kb;
+}
+
+KnowledgeBase KnowledgeBase::Conjoin(const KnowledgeBase& other) const {
+  return FromModels(models_.Intersect(other.models()));
+}
+
+KnowledgeBase KnowledgeBase::Disjoin(const KnowledgeBase& other) const {
+  return FromModels(models_.Union(other.models()));
+}
+
+KnowledgeBase KnowledgeBase::Negate() const {
+  return FromModels(models_.Complement());
+}
+
+std::string KnowledgeBase::ToString(const Vocabulary& vocab) const {
+  return arbiter::ToString(formula_, vocab);
+}
+
+}  // namespace arbiter

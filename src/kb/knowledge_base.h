@@ -1,0 +1,59 @@
+#ifndef ARBITER_KB_KNOWLEDGE_BASE_H_
+#define ARBITER_KB_KNOWLEDGE_BASE_H_
+
+#include <string>
+
+#include "logic/formula.h"
+#include "model/model_set.h"
+
+/// \file knowledge_base.h
+/// A propositional knowledge base: a formula paired with its cached
+/// model set over a fixed vocabulary.  The paper identifies knowledge
+/// bases up to logical equivalence (axioms (R4)/(U4)/(A4)); this class
+/// keeps the syntactic formula for display and the semantic ModelSet
+/// for computation.
+
+namespace arbiter {
+
+class KnowledgeBase {
+ public:
+  /// Builds from a formula; models are enumerated eagerly
+  /// (num_terms <= kMaxEnumTerms).
+  KnowledgeBase(Formula formula, int num_terms);
+
+  /// Builds from a model set; the formula is form(models).
+  static KnowledgeBase FromModels(const ModelSet& models);
+
+  const Formula& formula() const { return formula_; }
+  const ModelSet& models() const { return models_; }
+  int num_terms() const { return models_.num_terms(); }
+
+  bool IsSatisfiable() const { return !models_.empty(); }
+
+  /// Semantic implication: Mod(this) ⊆ Mod(other).
+  bool Implies(const KnowledgeBase& other) const {
+    return models_.IsSubsetOf(other.models());
+  }
+
+  /// Logical equivalence: Mod(this) == Mod(other).
+  bool EquivalentTo(const KnowledgeBase& other) const {
+    return models_ == other.models();
+  }
+
+  /// this ∧ other, computed semantically.
+  KnowledgeBase Conjoin(const KnowledgeBase& other) const;
+  /// this ∨ other, computed semantically.
+  KnowledgeBase Disjoin(const KnowledgeBase& other) const;
+  /// ¬this, computed semantically.
+  KnowledgeBase Negate() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  Formula formula_;
+  ModelSet models_;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,144 @@
+#include "kb/weighted_kb.h"
+
+#include <algorithm>
+
+#include "logic/interpretation.h"
+#include "model/distance.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+WeightedKnowledgeBase::WeightedKnowledgeBase(int num_terms)
+    : num_terms_(num_terms) {
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxEnumTerms);
+  weights_.assign(uint64_t{1} << num_terms, 0.0);
+}
+
+WeightedKnowledgeBase WeightedKnowledgeBase::FromModelSet(
+    const ModelSet& models) {
+  WeightedKnowledgeBase out(models.num_terms());
+  for (uint64_t m : models) out.weights_[m] = 1.0;
+  return out;
+}
+
+WeightedKnowledgeBase WeightedKnowledgeBase::FromFormula(const Formula& f,
+                                                         int num_terms) {
+  return FromModelSet(ModelSet::FromFormula(f, num_terms));
+}
+
+WeightedKnowledgeBase WeightedKnowledgeBase::Uniform(int num_terms,
+                                                     double weight) {
+  ARBITER_CHECK(weight >= 0);
+  WeightedKnowledgeBase out(num_terms);
+  std::fill(out.weights_.begin(), out.weights_.end(), weight);
+  return out;
+}
+
+void WeightedKnowledgeBase::SetWeight(uint64_t bits, double weight) {
+  ARBITER_CHECK(bits < space_size());
+  ARBITER_CHECK_MSG(weight >= 0, "weights must be nonnegative");
+  weights_[bits] = weight;
+}
+
+WeightedKnowledgeBase WeightedKnowledgeBase::Or(
+    const WeightedKnowledgeBase& other) const {
+  ARBITER_CHECK(num_terms_ == other.num_terms_);
+  WeightedKnowledgeBase out(num_terms_);
+  for (uint64_t i = 0; i < space_size(); ++i) {
+    out.weights_[i] = weights_[i] + other.weights_[i];
+  }
+  return out;
+}
+
+WeightedKnowledgeBase WeightedKnowledgeBase::And(
+    const WeightedKnowledgeBase& other) const {
+  ARBITER_CHECK(num_terms_ == other.num_terms_);
+  WeightedKnowledgeBase out(num_terms_);
+  for (uint64_t i = 0; i < space_size(); ++i) {
+    out.weights_[i] = std::min(weights_[i], other.weights_[i]);
+  }
+  return out;
+}
+
+bool WeightedKnowledgeBase::IsSatisfiable() const {
+  for (double w : weights_) {
+    if (w > 0) return true;
+  }
+  return false;
+}
+
+bool WeightedKnowledgeBase::Implies(
+    const WeightedKnowledgeBase& other) const {
+  ARBITER_CHECK(num_terms_ == other.num_terms_);
+  for (uint64_t i = 0; i < space_size(); ++i) {
+    if (weights_[i] > other.weights_[i]) return false;
+  }
+  return true;
+}
+
+bool WeightedKnowledgeBase::EquivalentTo(
+    const WeightedKnowledgeBase& other) const {
+  ARBITER_CHECK(num_terms_ == other.num_terms_);
+  return weights_ == other.weights_;
+}
+
+ModelSet WeightedKnowledgeBase::Support() const {
+  std::vector<uint64_t> masks;
+  for (uint64_t i = 0; i < space_size(); ++i) {
+    if (weights_[i] > 0) masks.push_back(i);
+  }
+  return ModelSet::FromMasks(std::move(masks), num_terms_);
+}
+
+double WeightedKnowledgeBase::WeightedDistTo(uint64_t bits) const {
+  ARBITER_CHECK(bits < space_size());
+  double total = 0;
+  for (uint64_t j = 0; j < space_size(); ++j) {
+    if (weights_[j] > 0) {
+      total += static_cast<double>(Dist(bits, j)) * weights_[j];
+    }
+  }
+  return total;
+}
+
+TotalPreorder WeightedKnowledgeBase::WdistPreorder() const {
+  ARBITER_CHECK_MSG(IsSatisfiable(),
+                    "wdist pre-order needs a satisfiable base");
+  return TotalPreorder(num_terms_,
+                       [this](uint64_t i) { return WeightedDistTo(i); });
+}
+
+WeightedKnowledgeBase WeightedKnowledgeBase::MinimalBy(
+    const TotalPreorder& order) const {
+  ARBITER_CHECK(order.num_terms() == num_terms_);
+  WeightedKnowledgeBase out(num_terms_);
+  ModelSet support = Support();
+  if (support.empty()) return out;
+  ModelSet minimal = order.MinOf(support);
+  for (uint64_t m : minimal) out.weights_[m] = weights_[m];
+  return out;
+}
+
+std::string WeightedKnowledgeBase::ToString(const Vocabulary& vocab) const {
+  ARBITER_CHECK(vocab.size() == num_terms_);
+  std::string out = "{";
+  bool first = true;
+  for (uint64_t i = 0; i < space_size(); ++i) {
+    if (weights_[i] <= 0) continue;
+    if (!first) out += ", ";
+    out += Interpretation(i, num_terms_).ToString(vocab);
+    out += ":";
+    // Trim trailing zeros for integral weights.
+    double w = weights_[i];
+    if (w == static_cast<int64_t>(w)) {
+      out += std::to_string(static_cast<int64_t>(w));
+    } else {
+      out += std::to_string(w);
+    }
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace arbiter

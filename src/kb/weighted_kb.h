@@ -1,0 +1,94 @@
+#ifndef ARBITER_KB_WEIGHTED_KB_H_
+#define ARBITER_KB_WEIGHTED_KB_H_
+
+#include <string>
+#include <vector>
+
+#include "model/model_set.h"
+#include "model/preorder.h"
+
+/// \file weighted_kb.h
+/// Weighted knowledge bases (paper, Section 4): functions
+/// ψ̃ : M → ℝ≥0 assigning a nonnegative weight to every interpretation.
+///
+/// Paper semantics:
+///   Mod(ψ̃ ∨ φ̃)(I) = ψ̃(I) + φ̃(I)      (⊔, pointwise sum)
+///   Mod(ψ̃ ∧ φ̃)(I) = min(ψ̃(I), φ̃(I))  (⊓, pointwise min)
+///   ψ̃ unsatisfiable  iff all weights are 0
+///   ψ̃ → φ̃           iff ψ̃(I) <= φ̃(I) for every I
+///
+/// A plain knowledge base ψ embeds as the 0/1 indicator of Mod(ψ).
+/// Weights are stored densely over all 2^n interpretations, so
+/// num_terms <= kMaxEnumTerms.
+
+namespace arbiter {
+
+class WeightedKnowledgeBase {
+ public:
+  /// The everywhere-zero (unsatisfiable) base over n terms.
+  explicit WeightedKnowledgeBase(int num_terms);
+
+  /// 0/1 embedding of a plain model set (paper, Section 4 opening).
+  static WeightedKnowledgeBase FromModelSet(const ModelSet& models);
+
+  /// 0/1 embedding of a formula.
+  static WeightedKnowledgeBase FromFormula(const Formula& f, int num_terms);
+
+  /// The paper's M̃: weight `weight` on every interpretation.
+  static WeightedKnowledgeBase Uniform(int num_terms, double weight = 1.0);
+
+  int num_terms() const { return num_terms_; }
+  uint64_t space_size() const { return uint64_t{1} << num_terms_; }
+
+  double Weight(uint64_t bits) const {
+    ARBITER_DCHECK(bits < space_size());
+    return weights_[bits];
+  }
+
+  /// Sets the weight of one interpretation.  Must be >= 0.
+  void SetWeight(uint64_t bits, double weight);
+
+  /// ⊔: pointwise sum (the weighted ∨).
+  WeightedKnowledgeBase Or(const WeightedKnowledgeBase& other) const;
+
+  /// ⊓: pointwise min (the weighted ∧).
+  WeightedKnowledgeBase And(const WeightedKnowledgeBase& other) const;
+
+  /// Satisfiable iff some weight is positive.
+  bool IsSatisfiable() const;
+
+  /// ψ̃ → φ̃ : pointwise <=.
+  bool Implies(const WeightedKnowledgeBase& other) const;
+
+  /// ψ̃ ↔ φ̃ : pointwise ==.
+  bool EquivalentTo(const WeightedKnowledgeBase& other) const;
+
+  /// Support {I : ψ̃(I) > 0} — the paper's S in the weighted Min.
+  ModelSet Support() const;
+
+  /// wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)  (paper, Section 4).
+  double WeightedDistTo(uint64_t bits) const;
+
+  /// The pre-order ≤ψ̃ ranked by wdist — the paper's concrete weighted
+  /// loyal assignment.  Requires satisfiability.
+  TotalPreorder WdistPreorder() const;
+
+  /// The paper's weighted Min: keeps this base's weights on the
+  /// ≤-minimal interpretations of its support and zeroes the rest.
+  WeightedKnowledgeBase MinimalBy(const TotalPreorder& order) const;
+
+  /// Lists "bits:weight" pairs for the support, for diagnostics.
+  std::string ToString(const Vocabulary& vocab) const;
+
+  bool operator==(const WeightedKnowledgeBase& o) const {
+    return num_terms_ == o.num_terms_ && weights_ == o.weights_;
+  }
+
+ private:
+  int num_terms_;
+  std::vector<double> weights_;  // dense, size 2^num_terms
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_KB_WEIGHTED_KB_H_

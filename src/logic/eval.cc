@@ -1,0 +1,41 @@
+#include "logic/eval.h"
+
+namespace arbiter {
+
+bool Evaluate(const Formula& f, uint64_t bits) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kVar:
+      return (bits >> f.var()) & 1;
+    case FormulaKind::kNot:
+      return !Evaluate(f.child(0), bits);
+    case FormulaKind::kAnd:
+      for (const Formula& c : f.children()) {
+        if (!Evaluate(c, bits)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const Formula& c : f.children()) {
+        if (Evaluate(c, bits)) return true;
+      }
+      return false;
+    case FormulaKind::kImplies:
+      return !Evaluate(f.child(0), bits) || Evaluate(f.child(1), bits);
+    case FormulaKind::kIff:
+      return Evaluate(f.child(0), bits) == Evaluate(f.child(1), bits);
+    case FormulaKind::kXor:
+      return Evaluate(f.child(0), bits) != Evaluate(f.child(1), bits);
+  }
+  ARBITER_CHECK_MSG(false, "unreachable formula kind");
+  return false;
+}
+
+bool Evaluate(const Formula& f, const Interpretation& interp) {
+  ARBITER_DCHECK(f.MaxVar() < interp.num_terms());
+  return Evaluate(f, interp.bits());
+}
+
+}  // namespace arbiter

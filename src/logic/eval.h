@@ -1,0 +1,22 @@
+#ifndef ARBITER_LOGIC_EVAL_H_
+#define ARBITER_LOGIC_EVAL_H_
+
+#include "logic/formula.h"
+#include "logic/interpretation.h"
+
+/// \file eval.h
+/// Truth-table evaluation of formulas under interpretations.
+
+namespace arbiter {
+
+/// Evaluates `f` under the interpretation whose true-term bitmask is
+/// `bits` (bit i == term i).  Variables outside the mask width evaluate
+/// per their bit, so callers must ensure f.MaxVar() < 64.
+bool Evaluate(const Formula& f, uint64_t bits);
+
+/// Evaluates `f` under `interp`.  Requires f.MaxVar() < interp.num_terms().
+bool Evaluate(const Formula& f, const Interpretation& interp);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_EVAL_H_

@@ -1,0 +1,159 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+
+namespace arbiter {
+
+namespace {
+
+using internal::FormulaNode;
+
+std::shared_ptr<const FormulaNode> MakeNode(FormulaKind kind, int var,
+                                            std::vector<Formula> children) {
+  auto node = std::make_shared<FormulaNode>();
+  node->kind = kind;
+  node->var = var;
+  node->children = std::move(children);
+  return node;
+}
+
+// Shared singletons for the constants.
+const std::shared_ptr<const FormulaNode>& TrueNode() {
+  static const auto& node =
+      *new std::shared_ptr<const FormulaNode>(
+          MakeNode(FormulaKind::kTrue, -1, {}));
+  return node;
+}
+
+const std::shared_ptr<const FormulaNode>& FalseNode() {
+  static const auto& node =
+      *new std::shared_ptr<const FormulaNode>(
+          MakeNode(FormulaKind::kFalse, -1, {}));
+  return node;
+}
+
+struct FormulaFactory {
+  static Formula Wrap(std::shared_ptr<const FormulaNode> node);
+};
+
+}  // namespace
+
+Formula::Formula() : node_(FalseNode()) {}
+
+Formula Formula::True() { return Formula(TrueNode()); }
+
+Formula Formula::False() { return Formula(FalseNode()); }
+
+Formula Formula::Var(int var) {
+  ARBITER_CHECK(var >= 0);
+  return Formula(MakeNode(FormulaKind::kVar, var, {}));
+}
+
+int Formula::Size() const {
+  int n = 1;
+  for (const Formula& c : children()) n += c.Size();
+  return n;
+}
+
+int Formula::Depth() const {
+  int d = 0;
+  for (const Formula& c : children()) d = std::max(d, c.Depth());
+  return d + 1;
+}
+
+int Formula::MaxVar() const {
+  int m = is_var() ? var() : -1;
+  for (const Formula& c : children()) m = std::max(m, c.MaxVar());
+  return m;
+}
+
+bool Formula::Equals(const Formula& other) const {
+  if (node_ == other.node_) return true;
+  if (kind() != other.kind()) return false;
+  if (is_var()) return var() == other.var();
+  if (num_children() != other.num_children()) return false;
+  for (int i = 0; i < num_children(); ++i) {
+    if (!child(i).Equals(other.child(i))) return false;
+  }
+  return true;
+}
+
+uint64_t Formula::Hash() const {
+  uint64_t h = 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(kind()) + 1);
+  if (is_var()) h ^= 0xBF58476D1CE4E5B9ULL * static_cast<uint64_t>(var() + 1);
+  for (const Formula& c : children()) {
+    h = (h ^ c.Hash()) * 0x94D049BB133111EBULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+Formula Not(const Formula& f) {
+  if (f.is_true()) return Formula::False();
+  if (f.is_false()) return Formula::True();
+  if (f.kind() == FormulaKind::kNot) return f.child(0);
+  return Formula(MakeNode(FormulaKind::kNot, -1, {f}));
+}
+
+Formula And(std::vector<Formula> children) {
+  std::vector<Formula> kept;
+  kept.reserve(children.size());
+  for (Formula& c : children) {
+    if (c.is_false()) return Formula::False();
+    if (c.is_true()) continue;
+    kept.push_back(std::move(c));
+  }
+  if (kept.empty()) return Formula::True();
+  if (kept.size() == 1) return kept[0];
+  return Formula(MakeNode(FormulaKind::kAnd, -1, std::move(kept)));
+}
+
+Formula And(const Formula& a, const Formula& b) { return And({a, b}); }
+
+Formula And(const Formula& a, const Formula& b, const Formula& c) {
+  return And({a, b, c});
+}
+
+Formula Or(std::vector<Formula> children) {
+  std::vector<Formula> kept;
+  kept.reserve(children.size());
+  for (Formula& c : children) {
+    if (c.is_true()) return Formula::True();
+    if (c.is_false()) continue;
+    kept.push_back(std::move(c));
+  }
+  if (kept.empty()) return Formula::False();
+  if (kept.size() == 1) return kept[0];
+  return Formula(MakeNode(FormulaKind::kOr, -1, std::move(kept)));
+}
+
+Formula Or(const Formula& a, const Formula& b) { return Or({a, b}); }
+
+Formula Or(const Formula& a, const Formula& b, const Formula& c) {
+  return Or({a, b, c});
+}
+
+Formula Implies(const Formula& a, const Formula& b) {
+  if (a.is_false() || b.is_true()) return Formula::True();
+  if (a.is_true()) return b;
+  if (b.is_false()) return Not(a);
+  return Formula(MakeNode(FormulaKind::kImplies, -1, {a, b}));
+}
+
+Formula Iff(const Formula& a, const Formula& b) {
+  if (a.is_true()) return b;
+  if (b.is_true()) return a;
+  if (a.is_false()) return Not(b);
+  if (b.is_false()) return Not(a);
+  return Formula(MakeNode(FormulaKind::kIff, -1, {a, b}));
+}
+
+Formula Xor(const Formula& a, const Formula& b) {
+  if (a.is_false()) return b;
+  if (b.is_false()) return a;
+  if (a.is_true()) return Not(b);
+  if (b.is_true()) return Not(a);
+  return Formula(MakeNode(FormulaKind::kXor, -1, {a, b}));
+}
+
+}  // namespace arbiter

@@ -1,0 +1,145 @@
+#ifndef ARBITER_LOGIC_FORMULA_H_
+#define ARBITER_LOGIC_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file formula.h
+/// Immutable propositional formula AST.
+///
+/// The paper builds formulas from terms with ¬, ∧, ∨ (Section 2).  We
+/// additionally support →, ↔, ⊕ and the constants ⊤/⊥ as first-class
+/// node kinds; they are eliminated by NNF conversion (simplify.h) where
+/// algorithms need the core connectives only.
+///
+/// Formula is a cheap-to-copy value type: a shared pointer to an
+/// immutable node.  Subtrees are shared, so formulas form DAGs.
+
+namespace arbiter {
+
+/// Node discriminator.
+enum class FormulaKind : uint8_t {
+  kTrue,     ///< ⊤
+  kFalse,    ///< ⊥
+  kVar,      ///< a propositional term
+  kNot,      ///< ¬child
+  kAnd,      ///< conjunction of >= 2 children
+  kOr,       ///< disjunction of >= 2 children
+  kImplies,  ///< child0 → child1
+  kIff,      ///< child0 ↔ child1
+  kXor,      ///< child0 ⊕ child1
+};
+
+class Formula;
+
+namespace internal {
+struct FormulaNode {
+  FormulaKind kind;
+  int var;  // valid iff kind == kVar
+  std::vector<Formula> children;
+};
+}  // namespace internal
+
+/// An immutable propositional formula.
+class Formula {
+ public:
+  /// Default-constructed formula is ⊥ (so containers are usable);
+  /// prefer the named factories.
+  Formula();
+
+  /// The constant true formula.
+  static Formula True();
+  /// The constant false formula.
+  static Formula False();
+  /// The formula consisting of term `var` (a vocabulary index >= 0).
+  static Formula Var(int var);
+
+  FormulaKind kind() const { return node_->kind; }
+  bool is_true() const { return kind() == FormulaKind::kTrue; }
+  bool is_false() const { return kind() == FormulaKind::kFalse; }
+  bool is_var() const { return kind() == FormulaKind::kVar; }
+  bool is_literal() const {
+    return is_var() ||
+           (kind() == FormulaKind::kNot && child(0).is_var());
+  }
+
+  /// Term index; requires kind() == kVar.
+  int var() const {
+    ARBITER_DCHECK(is_var());
+    return node_->var;
+  }
+
+  int num_children() const {
+    return static_cast<int>(node_->children.size());
+  }
+  const Formula& child(int i) const {
+    ARBITER_DCHECK(i >= 0 && i < num_children());
+    return node_->children[i];
+  }
+  const std::vector<Formula>& children() const { return node_->children; }
+
+  /// Number of AST nodes (shared subtrees counted once per occurrence).
+  int Size() const;
+
+  /// Maximum nesting depth (a variable or constant has depth 1).
+  int Depth() const;
+
+  /// Largest variable index occurring in the formula, or -1 if none.
+  int MaxVar() const;
+
+  /// Deep structural equality (not logical equivalence).
+  bool Equals(const Formula& other) const;
+
+  /// Structural hash consistent with Equals().
+  uint64_t Hash() const;
+
+  /// True if both wrap the same node object (fast, conservative).
+  bool SameNode(const Formula& other) const { return node_ == other.node_; }
+
+  /// Stable identity of the underlying node; usable as a cache key for
+  /// the lifetime of any Formula sharing it.
+  const void* NodeId() const { return node_.get(); }
+
+ private:
+  friend Formula Not(const Formula&);
+  friend Formula And(std::vector<Formula>);
+  friend Formula Or(std::vector<Formula>);
+  friend Formula Implies(const Formula&, const Formula&);
+  friend Formula Iff(const Formula&, const Formula&);
+  friend Formula Xor(const Formula&, const Formula&);
+
+  explicit Formula(std::shared_ptr<const internal::FormulaNode> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const internal::FormulaNode> node_;
+};
+
+/// ¬f, with double negation collapsed and constants folded.
+Formula Not(const Formula& f);
+
+/// n-ary conjunction.  Empty input yields ⊤; singleton is returned as-is;
+/// ⊥ children short-circuit; ⊤ children are dropped.
+Formula And(std::vector<Formula> children);
+/// Binary conjunction convenience.
+Formula And(const Formula& a, const Formula& b);
+Formula And(const Formula& a, const Formula& b, const Formula& c);
+
+/// n-ary disjunction.  Empty input yields ⊥; duals of And's rules apply.
+Formula Or(std::vector<Formula> children);
+/// Binary disjunction convenience.
+Formula Or(const Formula& a, const Formula& b);
+Formula Or(const Formula& a, const Formula& b, const Formula& c);
+
+/// a → b.
+Formula Implies(const Formula& a, const Formula& b);
+/// a ↔ b.
+Formula Iff(const Formula& a, const Formula& b);
+/// a ⊕ b.
+Formula Xor(const Formula& a, const Formula& b);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_FORMULA_H_

@@ -1,0 +1,101 @@
+#include "logic/generator.h"
+
+#include <algorithm>
+
+#include "logic/vocabulary.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+namespace {
+
+Formula RandomFormulaImpl(Rng* rng, const RandomFormulaOptions& options,
+                          int depth) {
+  const bool must_leaf = depth >= options.max_depth;
+  if (must_leaf || rng->NextBool(options.leaf_prob)) {
+    // Leaves: mostly variables, occasionally constants.
+    uint64_t pick = rng->NextBelow(10);
+    if (pick == 0) return Formula::True();
+    if (pick == 1) return Formula::False();
+    return Formula::Var(static_cast<int>(rng->NextBelow(options.num_terms)));
+  }
+  const int max_kind = options.use_extended_connectives ? 6 : 3;
+  switch (rng->NextBelow(max_kind)) {
+    case 0:
+      return Not(RandomFormulaImpl(rng, options, depth + 1));
+    case 1: {
+      int arity = 2 + static_cast<int>(rng->NextBelow(2));
+      std::vector<Formula> parts;
+      for (int i = 0; i < arity; ++i) {
+        parts.push_back(RandomFormulaImpl(rng, options, depth + 1));
+      }
+      return And(std::move(parts));
+    }
+    case 2: {
+      int arity = 2 + static_cast<int>(rng->NextBelow(2));
+      std::vector<Formula> parts;
+      for (int i = 0; i < arity; ++i) {
+        parts.push_back(RandomFormulaImpl(rng, options, depth + 1));
+      }
+      return Or(std::move(parts));
+    }
+    case 3:
+      return Implies(RandomFormulaImpl(rng, options, depth + 1),
+                     RandomFormulaImpl(rng, options, depth + 1));
+    case 4:
+      return Iff(RandomFormulaImpl(rng, options, depth + 1),
+                 RandomFormulaImpl(rng, options, depth + 1));
+    default:
+      return Xor(RandomFormulaImpl(rng, options, depth + 1),
+                 RandomFormulaImpl(rng, options, depth + 1));
+  }
+}
+
+}  // namespace
+
+Formula RandomFormula(Rng* rng, const RandomFormulaOptions& options) {
+  ARBITER_CHECK(rng != nullptr);
+  ARBITER_CHECK(options.num_terms >= 1);
+  return RandomFormulaImpl(rng, options, 0);
+}
+
+Formula RandomKCnf(Rng* rng, int num_terms, int num_clauses, int k) {
+  ARBITER_CHECK(rng != nullptr);
+  ARBITER_CHECK(k >= 1 && k <= num_terms);
+  std::vector<Formula> clauses;
+  clauses.reserve(num_clauses);
+  std::vector<int> vars(num_terms);
+  for (int i = 0; i < num_terms; ++i) vars[i] = i;
+  for (int c = 0; c < num_clauses; ++c) {
+    // Partial Fisher-Yates: first k entries become the clause variables.
+    for (int i = 0; i < k; ++i) {
+      int j = i + static_cast<int>(rng->NextBelow(num_terms - i));
+      std::swap(vars[i], vars[j]);
+    }
+    std::vector<Formula> lits;
+    lits.reserve(k);
+    for (int i = 0; i < k; ++i) {
+      Formula v = Formula::Var(vars[i]);
+      lits.push_back(rng->NextBool() ? v : Not(v));
+    }
+    clauses.push_back(Or(std::move(lits)));
+  }
+  return And(std::move(clauses));
+}
+
+std::vector<uint64_t> RandomModelSetMasks(Rng* rng, int num_terms,
+                                          double density) {
+  ARBITER_CHECK(rng != nullptr);
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxEnumTerms);
+  const uint64_t space = 1ULL << num_terms;
+  std::vector<uint64_t> out;
+  for (;;) {
+    out.clear();
+    for (uint64_t bits = 0; bits < space; ++bits) {
+      if (rng->NextBool(density)) out.push_back(bits);
+    }
+    if (!out.empty()) return out;
+  }
+}
+
+}  // namespace arbiter

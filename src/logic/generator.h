@@ -1,0 +1,38 @@
+#ifndef ARBITER_LOGIC_GENERATOR_H_
+#define ARBITER_LOGIC_GENERATOR_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "util/random.h"
+
+/// \file generator.h
+/// Random workload generators used by property tests and benchmarks.
+
+namespace arbiter {
+
+/// Options for random AST generation.
+struct RandomFormulaOptions {
+  int num_terms = 4;     ///< variables drawn from [0, num_terms)
+  int max_depth = 5;     ///< maximum nesting depth
+  double leaf_prob = 0.3;  ///< chance of cutting recursion early
+  bool use_extended_connectives = true;  ///< allow →, ↔, ⊕
+};
+
+/// Returns a random formula per `options`, deterministic in *rng.
+Formula RandomFormula(Rng* rng, const RandomFormulaOptions& options);
+
+/// Returns a random k-CNF formula: `num_clauses` clauses of `k` distinct
+/// literals over `num_terms` variables.  Requires k <= num_terms.
+Formula RandomKCnf(Rng* rng, int num_terms, int num_clauses, int k);
+
+/// Returns a uniformly random nonempty model set over n terms as a
+/// sorted vector of bitmasks; each interpretation is included with
+/// probability `density` (re-drawn until nonempty).  Requires n <=
+/// kMaxEnumTerms.
+std::vector<uint64_t> RandomModelSetMasks(Rng* rng, int num_terms,
+                                          double density);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_GENERATOR_H_

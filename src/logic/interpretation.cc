@@ -1,0 +1,38 @@
+#include "logic/interpretation.h"
+
+namespace arbiter {
+
+Result<Interpretation> Interpretation::FromNames(
+    const Vocabulary& vocab, const std::vector<std::string>& true_terms) {
+  uint64_t bits = 0;
+  for (const std::string& name : true_terms) {
+    Result<int> idx = vocab.Lookup(name);
+    if (!idx.ok()) return idx.status();
+    bits |= 1ULL << *idx;
+  }
+  return Interpretation(bits, vocab.size());
+}
+
+std::string Interpretation::ToString(const Vocabulary& vocab) const {
+  ARBITER_CHECK(vocab.size() == num_terms_);
+  std::string out = "{";
+  bool first = true;
+  ForEachBit(bits_, [&](int i) {
+    if (!first) out += ", ";
+    out += vocab.Name(i);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+std::string Interpretation::ToBitString() const {
+  std::string out;
+  out.reserve(num_terms_);
+  for (int i = 0; i < num_terms_; ++i) {
+    out.push_back(Holds(i) ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace arbiter

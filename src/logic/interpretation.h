@@ -1,0 +1,90 @@
+#ifndef ARBITER_LOGIC_INTERPRETATION_H_
+#define ARBITER_LOGIC_INTERPRETATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/vocabulary.h"
+#include "util/bit.h"
+
+/// \file interpretation.h
+/// Interpretations I ⊆ T (Section 2) represented as bitmasks.
+///
+/// Bit i of the mask is set iff term i is true in the interpretation.
+/// Dalal's distance dist(I, J) = |I Δ J| is a popcount of the XOR.
+
+namespace arbiter {
+
+/// A propositional interpretation over a vocabulary of `num_terms` terms.
+class Interpretation {
+ public:
+  /// The empty interpretation over n terms.
+  explicit Interpretation(int num_terms)
+      : bits_(0), num_terms_(num_terms) {
+    ARBITER_DCHECK(num_terms >= 0 && num_terms <= kMaxVocabularyTerms);
+  }
+
+  /// An interpretation with the given true-term bitmask over n terms.
+  Interpretation(uint64_t bits, int num_terms)
+      : bits_(bits & LowMask(num_terms)), num_terms_(num_terms) {
+    ARBITER_DCHECK(num_terms >= 0 && num_terms <= kMaxVocabularyTerms);
+  }
+
+  /// Builds the interpretation making exactly the named terms true.
+  static Result<Interpretation> FromNames(
+      const Vocabulary& vocab, const std::vector<std::string>& true_terms);
+
+  uint64_t bits() const { return bits_; }
+  int num_terms() const { return num_terms_; }
+
+  /// True iff term i is true.  Requires 0 <= i < num_terms().
+  bool Holds(int i) const {
+    ARBITER_DCHECK(i >= 0 && i < num_terms_);
+    return (bits_ >> i) & 1;
+  }
+
+  /// Returns a copy with term i set to `value`.
+  Interpretation With(int i, bool value) const {
+    ARBITER_DCHECK(i >= 0 && i < num_terms_);
+    uint64_t b = value ? (bits_ | (1ULL << i)) : (bits_ & ~(1ULL << i));
+    return Interpretation(b, num_terms_);
+  }
+
+  /// Number of true terms, |I|.
+  int Cardinality() const { return PopCount(bits_); }
+
+  /// Dalal's distance |I Δ J| (paper, Section 2).  Both interpretations
+  /// must share a vocabulary size.
+  int DistanceTo(const Interpretation& other) const {
+    ARBITER_DCHECK(num_terms_ == other.num_terms_);
+    return PopCount(bits_ ^ other.bits_);
+  }
+
+  /// Names of the true terms, e.g. "{S, D}".
+  std::string ToString(const Vocabulary& vocab) const;
+
+  /// Bit string, LSB (term 0) first, e.g. "101".
+  std::string ToBitString() const;
+
+  bool operator==(const Interpretation& o) const {
+    return bits_ == o.bits_ && num_terms_ == o.num_terms_;
+  }
+  bool operator!=(const Interpretation& o) const { return !(*this == o); }
+  bool operator<(const Interpretation& o) const {
+    return bits_ < o.bits_;
+  }
+
+ private:
+  uint64_t bits_;
+  int num_terms_;
+};
+
+/// Dalal's distance on raw masks: |I Δ J|.
+inline int HammingDistance(uint64_t a, uint64_t b) {
+  return PopCount(a ^ b);
+}
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_INTERPRETATION_H_

@@ -1,0 +1,103 @@
+#include "logic/minimize.h"
+
+#include <algorithm>
+#include <set>
+
+#include "logic/vocabulary.h"
+#include "util/bit.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+std::vector<Implicant> PrimeImplicants(const std::vector<uint64_t>& models,
+                                       int num_terms) {
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxEnumTerms);
+  const uint64_t full = LowMask(num_terms);
+  // Level 0: minterms.
+  std::set<Implicant> current;
+  for (uint64_t m : models) {
+    ARBITER_CHECK((m & ~full) == 0);
+    current.insert(Implicant{full, m});
+  }
+  std::vector<Implicant> primes;
+  while (!current.empty()) {
+    std::set<Implicant> next;
+    std::set<Implicant> combined;
+    std::vector<Implicant> level(current.begin(), current.end());
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        if (level[i].care_mask != level[j].care_mask) continue;
+        uint64_t diff = level[i].value ^ level[j].value;
+        if (!IsSingleBit(diff)) continue;
+        next.insert(Implicant{level[i].care_mask & ~diff,
+                              level[i].value & ~diff});
+        combined.insert(level[i]);
+        combined.insert(level[j]);
+      }
+    }
+    for (const Implicant& imp : level) {
+      if (combined.count(imp) == 0) primes.push_back(imp);
+    }
+    current = std::move(next);
+  }
+  std::sort(primes.begin(), primes.end());
+  return primes;
+}
+
+namespace {
+
+Formula ImplicantToFormula(const Implicant& imp) {
+  std::vector<Formula> literals;
+  ForEachBit(imp.care_mask, [&](int i) {
+    Formula v = Formula::Var(i);
+    literals.push_back(((imp.value >> i) & 1) ? v : Not(v));
+  });
+  return And(std::move(literals));  // empty care mask -> ⊤
+}
+
+}  // namespace
+
+Formula MinimizeToDnf(const std::vector<uint64_t>& models, int num_terms) {
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxEnumTerms);
+  if (models.empty()) return Formula::False();
+  std::vector<uint64_t> sorted = models;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.size() == (1ULL << num_terms)) return Formula::True();
+
+  std::vector<Implicant> primes = PrimeImplicants(sorted, num_terms);
+
+  // Greedy cover: repeatedly take the prime covering the most
+  // still-uncovered models (ties: fewer literals first, then order).
+  std::set<uint64_t> uncovered(sorted.begin(), sorted.end());
+  std::vector<Formula> chosen;
+  while (!uncovered.empty()) {
+    const Implicant* best = nullptr;
+    int best_count = 0;
+    for (const Implicant& p : primes) {
+      int count = 0;
+      for (uint64_t m : uncovered) {
+        if (p.Covers(m)) ++count;
+      }
+      if (count > best_count ||
+          (count == best_count && best != nullptr && count > 0 &&
+           PopCount(p.care_mask) < PopCount(best->care_mask))) {
+        best = &p;
+        best_count = count;
+      }
+    }
+    ARBITER_CHECK_MSG(best != nullptr && best_count > 0,
+                      "prime implicants failed to cover the models");
+    chosen.push_back(ImplicantToFormula(*best));
+    for (auto it = uncovered.begin(); it != uncovered.end();) {
+      if (best->Covers(*it)) {
+        it = uncovered.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return Or(std::move(chosen));
+}
+
+}  // namespace arbiter

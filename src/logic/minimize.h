@@ -1,0 +1,52 @@
+#ifndef ARBITER_LOGIC_MINIMIZE_H_
+#define ARBITER_LOGIC_MINIMIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+
+/// \file minimize.h
+/// Two-level minimization of model sets into compact DNF via
+/// Quine–McCluskey prime implicants with a greedy cover.  Results of
+/// theory change are computed semantically (sets of models); without
+/// minimization they print as full minterm disjunctions, which are
+/// unreadable past a handful of models.  KnowledgeBase::FromModels
+/// (and hence the store, REPL, and examples) uses this.
+///
+/// Exact minimum cover is NP-hard; the greedy cover is within the
+/// usual ln(n) factor and exact on small inputs in practice.  The
+/// result is always logically equivalent to the input model set.
+
+namespace arbiter {
+
+/// A compact DNF formula whose models over `num_terms` terms are
+/// exactly `models`.  Empty input yields ⊥; the full space yields ⊤.
+/// Requires num_terms <= kMaxEnumTerms.
+Formula MinimizeToDnf(const std::vector<uint64_t>& models, int num_terms);
+
+/// An implicant: the conjunction of literals fixing `value` on the
+/// bits of `care_mask` (other variables free).
+struct Implicant {
+  uint64_t care_mask = 0;
+  uint64_t value = 0;
+
+  bool Covers(uint64_t model) const {
+    return (model & care_mask) == value;
+  }
+  bool operator==(const Implicant& o) const {
+    return care_mask == o.care_mask && value == o.value;
+  }
+  bool operator<(const Implicant& o) const {
+    return care_mask != o.care_mask ? care_mask < o.care_mask
+                                    : value < o.value;
+  }
+};
+
+/// All prime implicants of the model set (exposed for testing).
+std::vector<Implicant> PrimeImplicants(const std::vector<uint64_t>& models,
+                                       int num_terms);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_MINIMIZE_H_

@@ -1,0 +1,181 @@
+#include "logic/parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace arbiter {
+
+namespace {
+
+// A single-pass tokenizer + recursive-descent parser.
+class Parser {
+ public:
+  Parser(const std::string& text, Vocabulary* vocab, ParseMode mode)
+      : text_(text), vocab_(vocab), mode_(mode) {}
+
+  Result<Formula> Run() {
+    Result<Formula> f = ParseIff();
+    if (!f.ok()) return f;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return f;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(pos_) + " in \"" + text_ +
+                                   "\"");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Consumes `tok` if it is next (after whitespace); returns true on match.
+  bool Eat(const char* tok) {
+    SkipSpace();
+    size_t len = 0;
+    while (tok[len] != '\0') ++len;
+    if (text_.compare(pos_, len, tok) != 0) return false;
+    // Word tokens must not be glued to identifier characters.
+    if (IsIdentStart(tok[0])) {
+      size_t end = pos_ + len;
+      if (end < text_.size() && IsIdentCont(text_[end])) return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  Result<Formula> ParseIff() {
+    Result<Formula> lhs = ParseImplies();
+    if (!lhs.ok()) return lhs;
+    Formula acc = *lhs;
+    while (Eat("<->") || Eat("iff")) {
+      Result<Formula> rhs = ParseImplies();
+      if (!rhs.ok()) return rhs;
+      acc = Iff(acc, *rhs);
+    }
+    return acc;
+  }
+
+  Result<Formula> ParseImplies() {
+    Result<Formula> lhs = ParseXor();
+    if (!lhs.ok()) return lhs;
+    if (Eat("->") || Eat("implies")) {
+      Result<Formula> rhs = ParseImplies();  // right associative
+      if (!rhs.ok()) return rhs;
+      return Implies(*lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseXor() {
+    Result<Formula> lhs = ParseOr();
+    if (!lhs.ok()) return lhs;
+    Formula acc = *lhs;
+    while (true) {
+      SkipSpace();
+      // '^' but also guard: nothing else starts with '^'.
+      if (Eat("xor") || Eat("^")) {
+        Result<Formula> rhs = ParseOr();
+        if (!rhs.ok()) return rhs;
+        acc = Xor(acc, *rhs);
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  Result<Formula> ParseOr() {
+    Result<Formula> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    std::vector<Formula> parts = {*lhs};
+    while (Eat("||") || Eat("|") || Eat("\\/") || Eat("or")) {
+      Result<Formula> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      parts.push_back(*rhs);
+    }
+    if (parts.size() == 1) return parts[0];
+    return Or(std::move(parts));
+  }
+
+  Result<Formula> ParseAnd() {
+    Result<Formula> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    std::vector<Formula> parts = {*lhs};
+    while (Eat("&&") || Eat("&") || Eat("/\\") || Eat("and")) {
+      Result<Formula> rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      parts.push_back(*rhs);
+    }
+    if (parts.size() == 1) return parts[0];
+    return And(std::move(parts));
+  }
+
+  Result<Formula> ParseUnary() {
+    if (Eat("!") || Eat("~") || Eat("not")) {
+      Result<Formula> operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return Not(*operand);
+    }
+    return ParseAtom();
+  }
+
+  Result<Formula> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    if (Eat("(")) {
+      Result<Formula> inner = ParseIff();
+      if (!inner.ok()) return inner;
+      if (!Eat(")")) return Error("expected ')'");
+      return inner;
+    }
+    if (Eat("true")) return Formula::True();
+    if (Eat("false")) return Formula::False();
+    char c = text_[pos_];
+    if (!IsIdentStart(c)) {
+      return Error(std::string("unexpected character '") + c + "'");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentCont(text_[pos_])) ++pos_;
+    std::string name = text_.substr(start, pos_ - start);
+    Result<int> idx = (mode_ == ParseMode::kAutoRegister)
+                          ? vocab_->GetOrAddTerm(name)
+                          : vocab_->Lookup(name);
+    if (!idx.ok()) return idx.status();
+    return Formula::Var(*idx);
+  }
+
+  const std::string& text_;
+  Vocabulary* vocab_;
+  ParseMode mode_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> Parse(const std::string& text, Vocabulary* vocab,
+                      ParseMode mode) {
+  ARBITER_CHECK(vocab != nullptr);
+  return Parser(text, vocab, mode).Run();
+}
+
+Result<Formula> ParseSynthetic(const std::string& text, int num_terms) {
+  Vocabulary vocab = Vocabulary::Synthetic(num_terms);
+  return Parse(text, &vocab, ParseMode::kAutoRegister);
+}
+
+Formula MustParse(const std::string& text, Vocabulary* vocab) {
+  Result<Formula> f = Parse(text, vocab);
+  ARBITER_CHECK_MSG(f.ok(), f.status().ToString().c_str());
+  return *f;
+}
+
+}  // namespace arbiter

@@ -1,0 +1,48 @@
+#ifndef ARBITER_LOGIC_PARSER_H_
+#define ARBITER_LOGIC_PARSER_H_
+
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "util/status.h"
+
+/// \file parser.h
+/// A recursive-descent parser for propositional formulas.
+///
+/// Grammar (loosest to tightest binding):
+///
+///   iff     := implies ( ("<->" | "iff") implies )*          (left assoc)
+///   implies := xor ( ("->" | "implies") implies )?           (right assoc)
+///   xor     := or ( ("^" | "xor") or )*                      (left assoc)
+///   or      := and ( ("|" | "||" | "\/" | "or") and )*
+///   and     := unary ( ("&" | "&&" | "/\" | "and") unary )*
+///   unary   := ("!" | "~" | "not") unary | atom
+///   atom    := ident | "true" | "false" | "(" iff ")"
+///
+/// Identifiers match [A-Za-z_][A-Za-z0-9_']* minus the keywords.
+
+namespace arbiter {
+
+/// Controls how the parser treats variables absent from the vocabulary.
+enum class ParseMode {
+  kAutoRegister,  ///< unknown identifiers are added to the vocabulary
+  kStrict,        ///< unknown identifiers are a parse error
+};
+
+/// Parses `text` into a formula over `vocab`.  In kAutoRegister mode
+/// (the default) new term names are appended to `vocab`.
+Result<Formula> Parse(const std::string& text, Vocabulary* vocab,
+                      ParseMode mode = ParseMode::kAutoRegister);
+
+/// Parses with a throwaway vocabulary; useful in tests where only the
+/// shape of the formula matters.
+Result<Formula> ParseSynthetic(const std::string& text, int num_terms);
+
+/// Convenience wrapper that aborts on parse errors.  Intended for
+/// literals in tests, examples, and benchmarks.
+Formula MustParse(const std::string& text, Vocabulary* vocab);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_PARSER_H_

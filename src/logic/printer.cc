@@ -1,0 +1,92 @@
+#include "logic/printer.h"
+
+namespace arbiter {
+
+namespace {
+
+// Binding strength, loosest to tightest.  Matches the parser's grammar.
+int Precedence(FormulaKind kind) {
+  switch (kind) {
+    case FormulaKind::kIff:
+      return 1;
+    case FormulaKind::kImplies:
+      return 2;
+    case FormulaKind::kXor:
+      return 3;
+    case FormulaKind::kOr:
+      return 4;
+    case FormulaKind::kAnd:
+      return 5;
+    case FormulaKind::kNot:
+      return 6;
+    default:
+      return 7;  // atoms
+  }
+}
+
+void Print(const Formula& f, const Vocabulary& vocab, int parent_prec,
+           std::string* out) {
+  const int prec = Precedence(f.kind());
+  const bool need_parens = prec < parent_prec;
+  if (need_parens) out->push_back('(');
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      *out += "true";
+      break;
+    case FormulaKind::kFalse:
+      *out += "false";
+      break;
+    case FormulaKind::kVar:
+      *out += vocab.Name(f.var());
+      break;
+    case FormulaKind::kNot:
+      *out += "!";
+      Print(f.child(0), vocab, prec + 1, out);
+      break;
+    case FormulaKind::kAnd:
+      for (int i = 0; i < f.num_children(); ++i) {
+        if (i > 0) *out += " & ";
+        Print(f.child(i), vocab, prec, out);
+      }
+      break;
+    case FormulaKind::kOr:
+      for (int i = 0; i < f.num_children(); ++i) {
+        if (i > 0) *out += " | ";
+        Print(f.child(i), vocab, prec, out);
+      }
+      break;
+    case FormulaKind::kImplies:
+      // Right-associative: the left operand needs strictly tighter binding.
+      Print(f.child(0), vocab, prec + 1, out);
+      *out += " -> ";
+      Print(f.child(1), vocab, prec, out);
+      break;
+    case FormulaKind::kIff:
+      Print(f.child(0), vocab, prec + 1, out);
+      *out += " <-> ";
+      Print(f.child(1), vocab, prec + 1, out);
+      break;
+    case FormulaKind::kXor:
+      Print(f.child(0), vocab, prec + 1, out);
+      *out += " ^ ";
+      Print(f.child(1), vocab, prec + 1, out);
+      break;
+  }
+  if (need_parens) out->push_back(')');
+}
+
+}  // namespace
+
+std::string ToString(const Formula& f, const Vocabulary& vocab) {
+  ARBITER_CHECK(f.MaxVar() < vocab.size());
+  std::string out;
+  Print(f, vocab, 0, &out);
+  return out;
+}
+
+std::string ToString(const Formula& f) {
+  Vocabulary vocab = Vocabulary::Synthetic(f.MaxVar() + 1);
+  return ToString(f, vocab);
+}
+
+}  // namespace arbiter

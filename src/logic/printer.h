@@ -1,0 +1,25 @@
+#ifndef ARBITER_LOGIC_PRINTER_H_
+#define ARBITER_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+/// \file printer.h
+/// Renders formulas back to the parser's concrete syntax with a minimal
+/// number of parentheses.  Round trip: Parse(ToString(f)) is logically
+/// (and structurally, modulo n-ary flattening) equal to f.
+
+namespace arbiter {
+
+/// Pretty-prints `f` using names from `vocab`.
+/// Requires f.MaxVar() < vocab.size().
+std::string ToString(const Formula& f, const Vocabulary& vocab);
+
+/// Pretty-prints `f` with synthetic names p0, p1, ...
+std::string ToString(const Formula& f);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_PRINTER_H_

@@ -1,0 +1,99 @@
+#include "logic/semantics.h"
+
+#include <algorithm>
+
+#include "logic/eval.h"
+#include "util/bit.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+namespace {
+void CheckEnumerable(int num_terms) {
+  ARBITER_CHECK_MSG(num_terms >= 0 && num_terms <= kMaxEnumTerms,
+                    "vocabulary too large for enumeration-based semantics");
+}
+}  // namespace
+
+std::vector<uint64_t> EnumerateModels(const Formula& f, int num_terms) {
+  CheckEnumerable(num_terms);
+  ARBITER_CHECK(f.MaxVar() < num_terms);
+  std::vector<uint64_t> models;
+  const uint64_t space = 1ULL << num_terms;
+  for (uint64_t bits = 0; bits < space; ++bits) {
+    if (Evaluate(f, bits)) models.push_back(bits);
+  }
+  return models;
+}
+
+uint64_t CountModels(const Formula& f, int num_terms) {
+  CheckEnumerable(num_terms);
+  ARBITER_CHECK(f.MaxVar() < num_terms);
+  uint64_t count = 0;
+  const uint64_t space = 1ULL << num_terms;
+  for (uint64_t bits = 0; bits < space; ++bits) {
+    if (Evaluate(f, bits)) ++count;
+  }
+  return count;
+}
+
+bool IsSatisfiable(const Formula& f, int num_terms) {
+  CheckEnumerable(num_terms);
+  ARBITER_CHECK(f.MaxVar() < num_terms);
+  const uint64_t space = 1ULL << num_terms;
+  for (uint64_t bits = 0; bits < space; ++bits) {
+    if (Evaluate(f, bits)) return true;
+  }
+  return false;
+}
+
+bool IsTautology(const Formula& f, int num_terms) {
+  return !IsSatisfiable(Not(f), num_terms);
+}
+
+bool AreEquivalent(const Formula& a, const Formula& b, int num_terms) {
+  CheckEnumerable(num_terms);
+  ARBITER_CHECK(a.MaxVar() < num_terms && b.MaxVar() < num_terms);
+  const uint64_t space = 1ULL << num_terms;
+  for (uint64_t bits = 0; bits < space; ++bits) {
+    if (Evaluate(a, bits) != Evaluate(b, bits)) return false;
+  }
+  return true;
+}
+
+bool SemanticallyImplies(const Formula& a, const Formula& b, int num_terms) {
+  CheckEnumerable(num_terms);
+  ARBITER_CHECK(a.MaxVar() < num_terms && b.MaxVar() < num_terms);
+  const uint64_t space = 1ULL << num_terms;
+  for (uint64_t bits = 0; bits < space; ++bits) {
+    if (Evaluate(a, bits) && !Evaluate(b, bits)) return false;
+  }
+  return true;
+}
+
+Formula Minterm(uint64_t bits, int num_terms) {
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxVocabularyTerms);
+  std::vector<Formula> literals;
+  literals.reserve(num_terms);
+  for (int i = 0; i < num_terms; ++i) {
+    Formula v = Formula::Var(i);
+    literals.push_back(((bits >> i) & 1) ? v : Not(v));
+  }
+  return And(std::move(literals));
+}
+
+Formula FormulaFromModels(const std::vector<uint64_t>& models,
+                          int num_terms) {
+  CheckEnumerable(num_terms);
+  if (models.empty()) return Formula::False();
+  if (models.size() == (1ULL << num_terms)) return Formula::True();
+  std::vector<Formula> minterms;
+  minterms.reserve(models.size());
+  for (uint64_t bits : models) {
+    ARBITER_CHECK((bits & ~LowMask(num_terms)) == 0);
+    minterms.push_back(Minterm(bits, num_terms));
+  }
+  return Or(std::move(minterms));
+}
+
+}  // namespace arbiter

@@ -1,0 +1,51 @@
+#ifndef ARBITER_LOGIC_SEMANTICS_H_
+#define ARBITER_LOGIC_SEMANTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+/// \file semantics.h
+/// Enumeration-based semantics: Mod(φ), satisfiability, equivalence,
+/// and the form(I1..Ik) construction from the paper's proofs (a formula
+/// whose models are exactly a given set of interpretations).
+///
+/// All functions here enumerate the 2^n interpretation space and
+/// require num_terms <= kMaxEnumTerms.  SAT-based alternatives for
+/// larger vocabularies live in src/solve/.
+
+namespace arbiter {
+
+/// Returns the models of f over an n-term vocabulary, as a sorted
+/// vector of bitmasks.
+std::vector<uint64_t> EnumerateModels(const Formula& f, int num_terms);
+
+/// Counts the models of f over an n-term vocabulary.
+uint64_t CountModels(const Formula& f, int num_terms);
+
+/// True iff f has at least one model over n terms.
+bool IsSatisfiable(const Formula& f, int num_terms);
+
+/// True iff every interpretation over n terms satisfies f.
+bool IsTautology(const Formula& f, int num_terms);
+
+/// True iff Mod(a) == Mod(b) over n terms.
+bool AreEquivalent(const Formula& a, const Formula& b, int num_terms);
+
+/// True iff Mod(a) ⊆ Mod(b) over n terms (a semantically implies b).
+bool SemanticallyImplies(const Formula& a, const Formula& b, int num_terms);
+
+/// The paper's form(I1, ..., Ik): a formula with exactly the given
+/// models, built as a DNF of full minterms over n terms.  An empty model
+/// list yields ⊥; the full space yields ⊤.
+Formula FormulaFromModels(const std::vector<uint64_t>& models, int num_terms);
+
+/// The full minterm (conjunction of n literals) satisfied exactly by
+/// the interpretation with bitmask `bits`.
+Formula Minterm(uint64_t bits, int num_terms);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_SEMANTICS_H_

@@ -1,0 +1,124 @@
+#include "logic/simplify.h"
+
+#include <vector>
+
+namespace arbiter {
+
+namespace {
+
+// NNF with an explicit polarity flag to avoid rebuilding Not nodes.
+Formula NnfImpl(const Formula& f, bool negated) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return negated ? Formula::False() : Formula::True();
+    case FormulaKind::kFalse:
+      return negated ? Formula::True() : Formula::False();
+    case FormulaKind::kVar:
+      return negated ? Not(f) : f;
+    case FormulaKind::kNot:
+      return NnfImpl(f.child(0), !negated);
+    case FormulaKind::kAnd: {
+      std::vector<Formula> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) parts.push_back(NnfImpl(c, negated));
+      return negated ? Or(std::move(parts)) : And(std::move(parts));
+    }
+    case FormulaKind::kOr: {
+      std::vector<Formula> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) parts.push_back(NnfImpl(c, negated));
+      return negated ? And(std::move(parts)) : Or(std::move(parts));
+    }
+    case FormulaKind::kImplies:
+      // a -> b  ==  !a | b;  !(a -> b)  ==  a & !b.
+      if (negated) {
+        return And(NnfImpl(f.child(0), false), NnfImpl(f.child(1), true));
+      }
+      return Or(NnfImpl(f.child(0), true), NnfImpl(f.child(1), false));
+    case FormulaKind::kIff:
+      // a <-> b  ==  (a & b) | (!a & !b);  negation swaps to xor.
+      if (negated) {
+        return Or(And(NnfImpl(f.child(0), false), NnfImpl(f.child(1), true)),
+                  And(NnfImpl(f.child(0), true), NnfImpl(f.child(1), false)));
+      }
+      return Or(And(NnfImpl(f.child(0), false), NnfImpl(f.child(1), false)),
+                And(NnfImpl(f.child(0), true), NnfImpl(f.child(1), true)));
+    case FormulaKind::kXor:
+      return NnfImpl(Iff(f.child(0), f.child(1)), !negated);
+  }
+  ARBITER_CHECK_MSG(false, "unreachable formula kind");
+  return Formula::False();
+}
+
+}  // namespace
+
+Formula Nnf(const Formula& f) { return NnfImpl(f, false); }
+
+Formula Assign(const Formula& f, int var, bool value) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kVar:
+      if (f.var() == var) return value ? Formula::True() : Formula::False();
+      return f;
+    case FormulaKind::kNot:
+      return Not(Assign(f.child(0), var, value));
+    case FormulaKind::kAnd: {
+      std::vector<Formula> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) parts.push_back(Assign(c, var, value));
+      return And(std::move(parts));
+    }
+    case FormulaKind::kOr: {
+      std::vector<Formula> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) parts.push_back(Assign(c, var, value));
+      return Or(std::move(parts));
+    }
+    case FormulaKind::kImplies:
+      return Implies(Assign(f.child(0), var, value),
+                     Assign(f.child(1), var, value));
+    case FormulaKind::kIff:
+      return Iff(Assign(f.child(0), var, value),
+                 Assign(f.child(1), var, value));
+    case FormulaKind::kXor:
+      return Xor(Assign(f.child(0), var, value),
+                 Assign(f.child(1), var, value));
+  }
+  ARBITER_CHECK_MSG(false, "unreachable formula kind");
+  return Formula::False();
+}
+
+Formula Fold(const Formula& f) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kVar:
+      return f;
+    case FormulaKind::kNot:
+      return Not(Fold(f.child(0)));
+    case FormulaKind::kAnd: {
+      std::vector<Formula> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) parts.push_back(Fold(c));
+      return And(std::move(parts));
+    }
+    case FormulaKind::kOr: {
+      std::vector<Formula> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) parts.push_back(Fold(c));
+      return Or(std::move(parts));
+    }
+    case FormulaKind::kImplies:
+      return Implies(Fold(f.child(0)), Fold(f.child(1)));
+    case FormulaKind::kIff:
+      return Iff(Fold(f.child(0)), Fold(f.child(1)));
+    case FormulaKind::kXor:
+      return Xor(Fold(f.child(0)), Fold(f.child(1)));
+  }
+  ARBITER_CHECK_MSG(false, "unreachable formula kind");
+  return Formula::False();
+}
+
+}  // namespace arbiter

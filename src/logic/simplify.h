@@ -1,0 +1,25 @@
+#ifndef ARBITER_LOGIC_SIMPLIFY_H_
+#define ARBITER_LOGIC_SIMPLIFY_H_
+
+#include "logic/formula.h"
+
+/// \file simplify.h
+/// Syntactic normal forms and rewrites.
+
+namespace arbiter {
+
+/// Negation normal form: eliminates →, ↔, ⊕ and pushes ¬ down to
+/// literals.  The result uses only ⊤, ⊥, variables, literals, ∧, ∨.
+Formula Nnf(const Formula& f);
+
+/// Substitutes `value` (⊤ or ⊥) for variable `var` and constant-folds.
+Formula Assign(const Formula& f, int var, bool value);
+
+/// Iterated unit-style simplification: constant folding only (the
+/// factories already fold; this re-folds a whole tree, useful after
+/// Assign or hand-built ASTs).
+Formula Fold(const Formula& f);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_SIMPLIFY_H_

@@ -1,0 +1,73 @@
+#include "logic/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace arbiter {
+
+Result<Vocabulary> Vocabulary::FromNames(
+    const std::vector<std::string>& names) {
+  Vocabulary v;
+  for (const std::string& name : names) {
+    Result<int> r = v.AddTerm(name);
+    if (!r.ok()) return r.status();
+  }
+  return v;
+}
+
+Vocabulary Vocabulary::Synthetic(int n) {
+  ARBITER_CHECK(n >= 0 && n <= kMaxVocabularyTerms);
+  Vocabulary v;
+  for (int i = 0; i < n; ++i) {
+    v.AddTerm("p" + std::to_string(i)).ValueOrDie();
+  }
+  return v;
+}
+
+Result<int> Vocabulary::AddTerm(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("empty term name");
+  }
+  if (index_.count(name) != 0) {
+    return Status::InvalidArgument("duplicate term name: " + name);
+  }
+  if (size() >= kMaxVocabularyTerms) {
+    return Status::CapacityExceeded("vocabulary limited to " +
+                                    std::to_string(kMaxVocabularyTerms) +
+                                    " terms");
+  }
+  int idx = size();
+  names_.push_back(name);
+  index_.emplace(name, idx);
+  return idx;
+}
+
+Result<int> Vocabulary::GetOrAddTerm(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  return AddTerm(name);
+}
+
+Result<int> Vocabulary::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown term: " + name);
+  }
+  return it->second;
+}
+
+bool Vocabulary::Contains(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+const std::string& Vocabulary::Name(int i) const {
+  ARBITER_CHECK(i >= 0 && i < size());
+  return names_[i];
+}
+
+uint64_t Vocabulary::NumInterpretations() const {
+  ARBITER_CHECK_MSG(size() <= kMaxEnumTerms,
+                    "vocabulary too large to enumerate");
+  return 1ULL << size();
+}
+
+}  // namespace arbiter

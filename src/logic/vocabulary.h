@@ -1,0 +1,72 @@
+#ifndef ARBITER_LOGIC_VOCABULARY_H_
+#define ARBITER_LOGIC_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file vocabulary.h
+/// The finite set of propositional terms T of the paper (Section 2).
+///
+/// A Vocabulary maps term names to dense indices [0, size).  All
+/// interpretations, model sets, and operators are implicitly relative
+/// to a vocabulary.  At most kMaxVocabularyTerms terms are supported so
+/// that an interpretation fits in a single 64-bit word.
+
+namespace arbiter {
+
+/// Hard upper bound on vocabulary size (one bit per term in a uint64_t).
+inline constexpr int kMaxVocabularyTerms = 64;
+
+/// Upper bound for code paths that enumerate all 2^n interpretations.
+inline constexpr int kMaxEnumTerms = 24;
+
+/// An ordered, named set of propositional terms.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Creates a vocabulary with terms named by `names`, in order.
+  /// Duplicate names are rejected.
+  static Result<Vocabulary> FromNames(const std::vector<std::string>& names);
+
+  /// Creates a vocabulary of n terms named p0, p1, ..., p{n-1}.
+  static Vocabulary Synthetic(int n);
+
+  /// Adds a term; returns its index, or an error if the name exists or
+  /// the vocabulary is full.
+  Result<int> AddTerm(const std::string& name);
+
+  /// Returns the index of `name`, adding it if absent.
+  Result<int> GetOrAddTerm(const std::string& name);
+
+  /// Returns the index of `name`, or kNotFound.
+  Result<int> Lookup(const std::string& name) const;
+
+  /// True iff `name` is a term of this vocabulary.
+  bool Contains(const std::string& name) const;
+
+  /// Name of term i.  Requires 0 <= i < size().
+  const std::string& Name(int i) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// Number of interpretations (2^size).  Requires size() <= kMaxEnumTerms.
+  uint64_t NumInterpretations() const;
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool operator==(const Vocabulary& other) const {
+    return names_ == other.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_VOCABULARY_H_

@@ -1,0 +1,36 @@
+#include "model/distance.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace arbiter {
+
+int MinDist(const ModelSet& psi, uint64_t interpretation) {
+  ARBITER_CHECK_MSG(!psi.empty(), "MinDist over empty model set");
+  int best = psi.num_terms() + 1;
+  for (uint64_t j : psi) {
+    best = std::min(best, Dist(interpretation, j));
+    if (best == 0) break;
+  }
+  return best;
+}
+
+int OverallDist(const ModelSet& psi, uint64_t interpretation) {
+  ARBITER_CHECK_MSG(!psi.empty(), "OverallDist over empty model set");
+  int worst = -1;
+  for (uint64_t j : psi) {
+    worst = std::max(worst, Dist(interpretation, j));
+  }
+  return worst;
+}
+
+int64_t SumDist(const ModelSet& psi, uint64_t interpretation) {
+  int64_t total = 0;
+  for (uint64_t j : psi) {
+    total += Dist(interpretation, j);
+  }
+  return total;
+}
+
+}  // namespace arbiter

@@ -1,0 +1,35 @@
+#ifndef ARBITER_MODEL_DISTANCE_H_
+#define ARBITER_MODEL_DISTANCE_H_
+
+#include <cstdint>
+
+#include "model/model_set.h"
+#include "util/bit.h"
+
+/// \file distance.h
+/// The distance measures of the paper:
+///
+///  * dist(I, J)   — Dalal's Hamming distance |I Δ J| (Section 2);
+///  * dist(ψ, I)   — min over Mod(ψ) (Dalal; used by revision);
+///  * odist(ψ, I)  — max over Mod(ψ) (Revesz; used by model-fitting,
+///                   Section 3);
+///  * sdist(ψ, I)  — sum over Mod(ψ) (the unweighted instance of
+///                   wdist from Section 4, i.e. every model weight 1).
+
+namespace arbiter {
+
+/// Dalal's distance between two interpretations.
+inline int Dist(uint64_t a, uint64_t b) { return PopCount(a ^ b); }
+
+/// dist(ψ, I) = min_{J ∈ Mod(ψ)} dist(I, J).  Requires psi nonempty.
+int MinDist(const ModelSet& psi, uint64_t interpretation);
+
+/// odist(ψ, I) = max_{J ∈ Mod(ψ)} dist(I, J).  Requires psi nonempty.
+int OverallDist(const ModelSet& psi, uint64_t interpretation);
+
+/// Σ_{J ∈ Mod(ψ)} dist(I, J): wdist with unit weights.
+int64_t SumDist(const ModelSet& psi, uint64_t interpretation);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_MODEL_DISTANCE_H_

@@ -1,0 +1,38 @@
+#include "model/forget.h"
+
+#include <vector>
+
+#include "util/bit.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+ModelSet Forget(const ModelSet& models, int var) {
+  ARBITER_CHECK(var >= 0 && var < models.num_terms());
+  const uint64_t bit = 1ULL << var;
+  std::vector<uint64_t> out;
+  out.reserve(models.size() * 2);
+  for (uint64_t m : models) {
+    out.push_back(m);
+    out.push_back(m ^ bit);
+  }
+  return ModelSet::FromMasks(std::move(out), models.num_terms());
+}
+
+ModelSet ForgetAll(const ModelSet& models, uint64_t var_mask) {
+  ARBITER_CHECK((var_mask & ~LowMask(models.num_terms())) == 0);
+  ModelSet out = models;
+  ForEachBit(var_mask, [&](int var) { out = Forget(out, var); });
+  return out;
+}
+
+bool IsIndependentOf(const ModelSet& models, int var) {
+  ARBITER_CHECK(var >= 0 && var < models.num_terms());
+  const uint64_t bit = 1ULL << var;
+  for (uint64_t m : models) {
+    if (!models.Contains(m ^ bit)) return false;
+  }
+  return true;
+}
+
+}  // namespace arbiter

@@ -1,0 +1,28 @@
+#ifndef ARBITER_MODEL_FORGET_H_
+#define ARBITER_MODEL_FORGET_H_
+
+#include "model/model_set.h"
+
+/// \file forget.h
+/// Variable forgetting (existential quantification) on model sets —
+/// standard belief change tooling: Forget(φ, p) ≡ φ[p := ⊤] ∨
+/// φ[p := ⊥].  Semantically the model set becomes closed under
+/// flipping the forgotten variable.  Useful for projecting merged or
+/// arbitrated results onto the vocabulary a query cares about.
+
+namespace arbiter {
+
+/// Forgets one variable: the result is the smallest superset of
+/// `models` closed under flipping bit `var`.
+ModelSet Forget(const ModelSet& models, int var);
+
+/// Forgets every variable set in `var_mask`.
+ModelSet ForgetAll(const ModelSet& models, uint64_t var_mask);
+
+/// True iff the set is already independent of `var` (forgetting it
+/// changes nothing).
+bool IsIndependentOf(const ModelSet& models, int var);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_MODEL_FORGET_H_

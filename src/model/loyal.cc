@@ -1,0 +1,100 @@
+#include "model/loyal.h"
+
+#include <vector>
+
+#include "model/distance.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+std::string LoyaltyViolation::Describe() const {
+  std::string out = "loyalty condition (" + std::to_string(condition) +
+                    ") violated: psi1=" + psi1.ToString() +
+                    " psi2=" + psi2.ToString() + " I=" + std::to_string(i) +
+                    " J=" + std::to_string(j);
+  return out;
+}
+
+std::optional<LoyaltyViolation> CheckLoyalty(
+    const PreorderAssignment& assignment, int num_terms) {
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 4);
+  const uint64_t space = 1ULL << num_terms;
+  const uint64_t num_kbs = 1ULL << space;  // subsets of the space
+
+  // Materialize every nonempty knowledge base and its pre-order.
+  std::vector<ModelSet> kbs;
+  std::vector<TotalPreorder> orders;
+  kbs.reserve(num_kbs - 1);
+  for (uint64_t subset = 1; subset < num_kbs; ++subset) {
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < space; ++m) {
+      if ((subset >> m) & 1) masks.push_back(m);
+    }
+    kbs.push_back(ModelSet::FromMasks(std::move(masks), num_terms));
+    orders.push_back(assignment(kbs.back()));
+  }
+
+  // Condition (1): determinism / semantic keying — re-invoking the
+  // assignment must reproduce identical ranks.
+  for (size_t k = 0; k < kbs.size(); ++k) {
+    TotalPreorder again = assignment(kbs[k]);
+    for (uint64_t m = 0; m < space; ++m) {
+      for (uint64_t m2 = 0; m2 < space; ++m2) {
+        if (orders[k].Leq(m, m2) != again.Leq(m, m2)) {
+          return LoyaltyViolation{1, kbs[k], kbs[k], m, m2};
+        }
+      }
+    }
+  }
+
+  // Precompute the index of each union: kb index is (subset - 1).
+  auto index_of_union = [&](size_t a, size_t b) -> size_t {
+    uint64_t sa = static_cast<uint64_t>(a) + 1;
+    uint64_t sb = static_cast<uint64_t>(b) + 1;
+    return (sa | sb) - 1;
+  };
+
+  for (size_t a = 0; a < kbs.size(); ++a) {
+    for (size_t b = 0; b < kbs.size(); ++b) {
+      const TotalPreorder& pa = orders[a];
+      const TotalPreorder& pb = orders[b];
+      const TotalPreorder& pu = orders[index_of_union(a, b)];
+      for (uint64_t i = 0; i < space; ++i) {
+        for (uint64_t j = 0; j < space; ++j) {
+          // (2) strict in one, weak in the other => strict in union.
+          if (pa.Less(i, j) && pb.Leq(i, j) && !pu.Less(i, j)) {
+            return LoyaltyViolation{2, kbs[a], kbs[b], i, j};
+          }
+          // (3) weak in both => weak in union.
+          if (pa.Leq(i, j) && pb.Leq(i, j) && !pu.Leq(i, j)) {
+            return LoyaltyViolation{3, kbs[a], kbs[b], i, j};
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+TotalPreorder DalalPreorder(const ModelSet& psi) {
+  ARBITER_CHECK(!psi.empty());
+  return TotalPreorder(psi.num_terms(), [&psi](uint64_t i) {
+    return static_cast<double>(MinDist(psi, i));
+  });
+}
+
+TotalPreorder OverallDistPreorder(const ModelSet& psi) {
+  ARBITER_CHECK(!psi.empty());
+  return TotalPreorder(psi.num_terms(), [&psi](uint64_t i) {
+    return static_cast<double>(OverallDist(psi, i));
+  });
+}
+
+TotalPreorder SumDistPreorder(const ModelSet& psi) {
+  ARBITER_CHECK(!psi.empty());
+  return TotalPreorder(psi.num_terms(), [&psi](uint64_t i) {
+    return static_cast<double>(SumDist(psi, i));
+  });
+}
+
+}  // namespace arbiter

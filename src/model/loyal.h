@@ -1,0 +1,63 @@
+#ifndef ARBITER_MODEL_LOYAL_H_
+#define ARBITER_MODEL_LOYAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "model/model_set.h"
+#include "model/preorder.h"
+
+/// \file loyal.h
+/// Loyal assignments (paper, Section 3): a function mapping each
+/// knowledge base ψ to a total pre-order ≤ψ such that
+///
+///   (1) ψ1 ↔ ψ2 implies ≤ψ1 = ≤ψ2;
+///   (2) I <ψ1 J and I ≤ψ2 J imply I <ψ1∨ψ2 J;
+///   (3) I ≤ψ1 J and I ≤ψ2 J imply I ≤ψ1∨ψ2 J.
+///
+/// Because our assignments are keyed on Mod(ψ) (a ModelSet), condition
+/// (1) holds by construction; the checker verifies (2) and (3)
+/// exhaustively over all pairs of satisfiable knowledge bases of a
+/// small vocabulary, plus determinism of the assignment.
+
+namespace arbiter {
+
+/// An assignment ψ ↦ ≤ψ, keyed semantically.
+using PreorderAssignment =
+    std::function<TotalPreorder(const ModelSet& psi)>;
+
+/// A concrete loyalty violation, for diagnostics.
+struct LoyaltyViolation {
+  int condition;  // 1, 2, or 3
+  ModelSet psi1;
+  ModelSet psi2;
+  uint64_t i;
+  uint64_t j;
+
+  std::string Describe() const;
+};
+
+/// Exhaustively checks loyalty conditions (1)–(3) of `assignment` over
+/// every pair of nonempty knowledge bases on an n-term vocabulary.
+/// Returns std::nullopt if loyal, else the first violation found.
+/// Cost is Θ(4^(2^n)); intended for n <= 2 exhaustive, n == 3 feasible
+/// (~4M pair checks).
+std::optional<LoyaltyViolation> CheckLoyalty(
+    const PreorderAssignment& assignment, int num_terms);
+
+/// The paper's concrete assignments, usable with CheckLoyalty and the
+/// operator constructions:
+
+/// ≤ψ ranked by dist(ψ, I) = min Hamming distance (Dalal; revision).
+TotalPreorder DalalPreorder(const ModelSet& psi);
+
+/// ≤ψ ranked by odist(ψ, I) = max Hamming distance (Revesz, Section 3).
+TotalPreorder OverallDistPreorder(const ModelSet& psi);
+
+/// ≤ψ ranked by Σ_J dist(I, J) (unit-weight wdist, Section 4).
+TotalPreorder SumDistPreorder(const ModelSet& psi);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_MODEL_LOYAL_H_

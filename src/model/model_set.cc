@@ -1,0 +1,124 @@
+#include "model/model_set.h"
+
+#include <algorithm>
+
+#include "logic/interpretation.h"
+#include "logic/semantics.h"
+#include "util/bit.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+ModelSet::ModelSet(int num_terms) : num_terms_(num_terms) {
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxVocabularyTerms);
+}
+
+ModelSet ModelSet::FromMasks(std::vector<uint64_t> masks, int num_terms) {
+  ModelSet out(num_terms);
+  const uint64_t valid = LowMask(num_terms);
+  for (uint64_t m : masks) {
+    ARBITER_CHECK_MSG((m & ~valid) == 0, "mask outside vocabulary");
+  }
+  std::sort(masks.begin(), masks.end());
+  masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
+  out.masks_ = std::move(masks);
+  return out;
+}
+
+ModelSet ModelSet::FromFormula(const Formula& f, int num_terms) {
+  ModelSet out(num_terms);
+  out.masks_ = EnumerateModels(f, num_terms);
+  return out;
+}
+
+ModelSet ModelSet::Full(int num_terms) {
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxEnumTerms);
+  ModelSet out(num_terms);
+  const uint64_t space = 1ULL << num_terms;
+  out.masks_.resize(space);
+  for (uint64_t i = 0; i < space; ++i) out.masks_[i] = i;
+  return out;
+}
+
+ModelSet ModelSet::Singleton(uint64_t bits, int num_terms) {
+  return FromMasks({bits}, num_terms);
+}
+
+bool ModelSet::Contains(uint64_t bits) const {
+  return std::binary_search(masks_.begin(), masks_.end(), bits);
+}
+
+ModelSet ModelSet::Union(const ModelSet& other) const {
+  ARBITER_CHECK(num_terms_ == other.num_terms_);
+  ModelSet out(num_terms_);
+  out.masks_.reserve(masks_.size() + other.masks_.size());
+  std::set_union(masks_.begin(), masks_.end(), other.masks_.begin(),
+                 other.masks_.end(), std::back_inserter(out.masks_));
+  return out;
+}
+
+ModelSet ModelSet::Intersect(const ModelSet& other) const {
+  ARBITER_CHECK(num_terms_ == other.num_terms_);
+  ModelSet out(num_terms_);
+  std::set_intersection(masks_.begin(), masks_.end(), other.masks_.begin(),
+                        other.masks_.end(), std::back_inserter(out.masks_));
+  return out;
+}
+
+ModelSet ModelSet::Difference(const ModelSet& other) const {
+  ARBITER_CHECK(num_terms_ == other.num_terms_);
+  ModelSet out(num_terms_);
+  std::set_difference(masks_.begin(), masks_.end(), other.masks_.begin(),
+                      other.masks_.end(), std::back_inserter(out.masks_));
+  return out;
+}
+
+ModelSet ModelSet::Complement() const {
+  ARBITER_CHECK_MSG(num_terms_ <= kMaxEnumTerms,
+                    "complement requires enumerable vocabulary");
+  ModelSet out(num_terms_);
+  const uint64_t space = 1ULL << num_terms_;
+  out.masks_.reserve(space - masks_.size());
+  size_t idx = 0;
+  for (uint64_t i = 0; i < space; ++i) {
+    if (idx < masks_.size() && masks_[idx] == i) {
+      ++idx;
+    } else {
+      out.masks_.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool ModelSet::IsSubsetOf(const ModelSet& other) const {
+  ARBITER_CHECK(num_terms_ == other.num_terms_);
+  return std::includes(other.masks_.begin(), other.masks_.end(),
+                       masks_.begin(), masks_.end());
+}
+
+Formula ModelSet::ToFormula() const {
+  return FormulaFromModels(masks_, num_terms_);
+}
+
+std::string ModelSet::ToString(const Vocabulary& vocab) const {
+  ARBITER_CHECK(vocab.size() == num_terms_);
+  std::string out = "{";
+  for (size_t i = 0; i < masks_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Interpretation(masks_[i], num_terms_).ToString(vocab);
+  }
+  out += "}";
+  return out;
+}
+
+std::string ModelSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < masks_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Interpretation(masks_[i], num_terms_).ToBitString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace arbiter

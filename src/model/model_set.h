@@ -1,0 +1,82 @@
+#ifndef ARBITER_MODEL_MODEL_SET_H_
+#define ARBITER_MODEL_MODEL_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+/// \file model_set.h
+/// A set of interpretations over a fixed vocabulary — the semantic
+/// object Mod(ψ) that every operator in the paper manipulates.
+///
+/// Stored as a sorted, duplicate-free vector of interpretation
+/// bitmasks; all set algebra is linear merges.  Operations that touch
+/// the whole interpretation space (Complement, Full) require
+/// num_terms <= kMaxEnumTerms.
+
+namespace arbiter {
+
+/// An immutable-ish value type for sets of interpretations.
+class ModelSet {
+ public:
+  /// The empty set over an n-term vocabulary.
+  explicit ModelSet(int num_terms);
+
+  /// Builds from bitmasks (any order, duplicates allowed).
+  static ModelSet FromMasks(std::vector<uint64_t> masks, int num_terms);
+
+  /// Mod(f) over n terms (brute-force enumeration; n <= kMaxEnumTerms).
+  static ModelSet FromFormula(const Formula& f, int num_terms);
+
+  /// The set of all 2^n interpretations (the paper's M).
+  static ModelSet Full(int num_terms);
+
+  /// The singleton {bits}.
+  static ModelSet Singleton(uint64_t bits, int num_terms);
+
+  int num_terms() const { return num_terms_; }
+  size_t size() const { return masks_.size(); }
+  bool empty() const { return masks_.empty(); }
+
+  /// Membership test (binary search).
+  bool Contains(uint64_t bits) const;
+
+  const std::vector<uint64_t>& masks() const { return masks_; }
+  uint64_t operator[](size_t i) const { return masks_[i]; }
+
+  std::vector<uint64_t>::const_iterator begin() const {
+    return masks_.begin();
+  }
+  std::vector<uint64_t>::const_iterator end() const { return masks_.end(); }
+
+  ModelSet Union(const ModelSet& other) const;
+  ModelSet Intersect(const ModelSet& other) const;
+  ModelSet Difference(const ModelSet& other) const;
+  ModelSet Complement() const;
+
+  bool IsSubsetOf(const ModelSet& other) const;
+
+  /// The paper's form(I1..Ik): a formula with exactly these models.
+  Formula ToFormula() const;
+
+  /// e.g. "{{}, {S, D}}" with names from vocab.
+  std::string ToString(const Vocabulary& vocab) const;
+  /// e.g. "{0b00, 0b11}" without names.
+  std::string ToString() const;
+
+  bool operator==(const ModelSet& o) const {
+    return num_terms_ == o.num_terms_ && masks_ == o.masks_;
+  }
+  bool operator!=(const ModelSet& o) const { return !(*this == o); }
+
+ private:
+  int num_terms_;
+  std::vector<uint64_t> masks_;  // sorted, unique
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_MODEL_MODEL_SET_H_

@@ -1,0 +1,62 @@
+#include "model/preorder.h"
+
+#include "util/logging.h"
+
+namespace arbiter {
+
+TotalPreorder::TotalPreorder(int num_terms, const RankFn& rank)
+    : num_terms_(num_terms) {
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxEnumTerms);
+  const uint64_t space = 1ULL << num_terms;
+  ranks_.resize(space);
+  for (uint64_t i = 0; i < space; ++i) ranks_[i] = rank(i);
+}
+
+ModelSet TotalPreorder::MinOf(const ModelSet& s) const {
+  ARBITER_CHECK(s.num_terms() == num_terms_);
+  if (s.empty()) return ModelSet(num_terms_);
+  double best = ranks_[s[0]];
+  for (uint64_t m : s) best = std::min(best, ranks_[m]);
+  std::vector<uint64_t> out;
+  for (uint64_t m : s) {
+    if (ranks_[m] == best) out.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(out), num_terms_);
+}
+
+ModelSet MinBy(const ModelSet& s, const RankFn& rank) {
+  if (s.empty()) return ModelSet(s.num_terms());
+  double best = rank(s[0]);
+  std::vector<double> ranks;
+  ranks.reserve(s.size());
+  for (uint64_t m : s) {
+    double r = rank(m);
+    ranks.push_back(r);
+    best = std::min(best, r);
+  }
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (ranks[i] == best) out.push_back(s[i]);
+  }
+  return ModelSet::FromMasks(std::move(out), s.num_terms());
+}
+
+ModelSet MinByInt(const ModelSet& s,
+                  const std::function<int64_t(uint64_t)>& rank) {
+  if (s.empty()) return ModelSet(s.num_terms());
+  int64_t best = rank(s[0]);
+  std::vector<int64_t> ranks;
+  ranks.reserve(s.size());
+  for (uint64_t m : s) {
+    int64_t r = rank(m);
+    ranks.push_back(r);
+    best = std::min(best, r);
+  }
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (ranks[i] == best) out.push_back(s[i]);
+  }
+  return ModelSet::FromMasks(std::move(out), s.num_terms());
+}
+
+}  // namespace arbiter

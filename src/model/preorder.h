@@ -1,0 +1,59 @@
+#ifndef ARBITER_MODEL_PREORDER_H_
+#define ARBITER_MODEL_PREORDER_H_
+
+#include <functional>
+#include <vector>
+
+#include "model/model_set.h"
+
+/// \file preorder.h
+/// Total pre-orders ≤ψ over the interpretation space, and the Min
+/// operation from the paper's characterization theorems:
+///
+///   Min(S, ≤ψ) = { I ∈ S : ¬∃ I' ∈ S. I' <ψ I }.
+///
+/// A total pre-order is represented by a rank function: I ≤ J iff
+/// rank(I) <= rank(J).  Every total pre-order over a finite space has
+/// such a representation, and all of the paper's concrete assignments
+/// (dist, odist, wdist) arrive naturally as ranks.
+
+namespace arbiter {
+
+/// Rank function over interpretation bitmasks; smaller is closer.
+using RankFn = std::function<double(uint64_t)>;
+
+/// A materialized total pre-order over all 2^n interpretations.
+class TotalPreorder {
+ public:
+  /// Materializes rank(I) for all I over n terms (n <= kMaxEnumTerms).
+  TotalPreorder(int num_terms, const RankFn& rank);
+
+  int num_terms() const { return num_terms_; }
+
+  double Rank(uint64_t bits) const { return ranks_[bits]; }
+
+  /// I ≤ J.
+  bool Leq(uint64_t i, uint64_t j) const { return ranks_[i] <= ranks_[j]; }
+  /// I < J  (I ≤ J and not J ≤ I).
+  bool Less(uint64_t i, uint64_t j) const { return ranks_[i] < ranks_[j]; }
+  /// I ≈ J (equally ranked).
+  bool Equiv(uint64_t i, uint64_t j) const { return ranks_[i] == ranks_[j]; }
+
+  /// Min(S, ≤): the subset of S with no strictly smaller element in S.
+  ModelSet MinOf(const ModelSet& s) const;
+
+ private:
+  int num_terms_;
+  std::vector<double> ranks_;
+};
+
+/// One-shot Min(S, rank) without materializing the full space.
+ModelSet MinBy(const ModelSet& s, const RankFn& rank);
+
+/// Integer-rank variant to avoid double rounding for distance ranks.
+ModelSet MinByInt(const ModelSet& s,
+                  const std::function<int64_t(uint64_t)>& rank);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_MODEL_PREORDER_H_

@@ -1,0 +1,295 @@
+#include "postulates/checker.h"
+
+#include "util/bit.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace arbiter {
+
+namespace {
+
+std::string CodeToString(SetCode code, int num_terms) {
+  if (code == kUnusedCode) return "-";
+  std::string out = "{";
+  bool first = true;
+  for (uint64_t m = 0; m < (1ULL << num_terms); ++m) {
+    if ((code >> m) & 1) {
+      if (!first) out += ",";
+      std::string bits;
+      for (int i = 0; i < num_terms; ++i) {
+        bits.push_back(((m >> i) & 1) ? '1' : '0');
+      }
+      out += bits;
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string PostulateCounterexample::Describe() const {
+  std::string out = PostulateName(postulate) + " violated:";
+  out += " psi1=" + CodeToString(psi1, num_terms);
+  if (psi2 != kUnusedCode) out += " psi2=" + CodeToString(psi2, num_terms);
+  if (mu1 != kUnusedCode) out += " mu1=" + CodeToString(mu1, num_terms);
+  if (mu2 != kUnusedCode) out += " mu2=" + CodeToString(mu2, num_terms);
+  if (phi != kUnusedCode) out += " phi=" + CodeToString(phi, num_terms);
+  out += "  [" + PostulateStatement(postulate) + "]";
+  return out;
+}
+
+PostulateChecker::PostulateChecker(
+    std::shared_ptr<const TheoryChangeOperator> op, int num_terms)
+    : op_(std::move(op)), num_terms_(num_terms) {
+  ARBITER_CHECK(op_ != nullptr);
+  ARBITER_CHECK_MSG(num_terms >= 1 && num_terms <= 6,
+                    "set codes require 2^n <= 64");
+  space_ = 1ULL << num_terms_;
+  num_codes_ = space_ >= 32 ? 0 : (1ULL << space_);
+  if (num_terms_ <= 3) {
+    flat_cache_.assign(num_codes_ * num_codes_, kUnusedCode);
+  }
+}
+
+ModelSet PostulateChecker::CodeToModelSet(SetCode code) const {
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < space_; ++m) {
+    if ((code >> m) & 1) masks.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(masks), num_terms_);
+}
+
+SetCode PostulateChecker::Change(SetCode psi, SetCode mu) {
+  if (!flat_cache_.empty()) {
+    SetCode& slot = flat_cache_[psi * num_codes_ + mu];
+    if (slot == kUnusedCode) {
+      ++num_change_calls_;
+      ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(mu));
+      SetCode out = 0;
+      for (uint64_t m : result) out |= SetCode{1} << m;
+      slot = out;
+    }
+    return slot;
+  }
+  auto key = std::make_pair(psi, mu);
+  auto it = map_cache_.find(key);
+  if (it != map_cache_.end()) return it->second;
+  ++num_change_calls_;
+  ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(mu));
+  SetCode out = 0;
+  for (uint64_t m : result) out |= SetCode{1} << m;
+  map_cache_.emplace(key, out);
+  return out;
+}
+
+bool PostulateChecker::Holds(Postulate p, SetCode psi1, SetCode psi2,
+                             SetCode mu1, SetCode mu2, SetCode phi) {
+  auto implies = [](SetCode a, SetCode b) { return (a & ~b) == 0; };
+  switch (p) {
+    case Postulate::kR1:
+    case Postulate::kU1:
+    case Postulate::kA1:
+      return implies(Change(psi1, mu1), mu1);
+    case Postulate::kR2: {
+      SetCode both = psi1 & mu1;
+      return both == 0 || Change(psi1, mu1) == both;
+    }
+    case Postulate::kR3:
+      return mu1 == 0 || Change(psi1, mu1) != 0;
+    case Postulate::kR4:
+    case Postulate::kU4:
+    case Postulate::kA4:
+      // Semantic operators are syntax-independent by construction;
+      // verify determinism of the (uncached) operator.
+      return op_->Change(CodeToModelSet(psi1), CodeToModelSet(mu1)) ==
+             op_->Change(CodeToModelSet(psi1), CodeToModelSet(mu1));
+    case Postulate::kR5:
+    case Postulate::kU5:
+    case Postulate::kA5:
+      return implies(Change(psi1, mu1) & phi, Change(psi1, mu1 & phi));
+    case Postulate::kR6:
+    case Postulate::kA6: {
+      SetCode narrowed = Change(psi1, mu1) & phi;
+      return narrowed == 0 || implies(Change(psi1, mu1 & phi), narrowed);
+    }
+    case Postulate::kU2:
+      return !implies(psi1, mu1) || Change(psi1, mu1) == psi1;
+    case Postulate::kU3:
+    case Postulate::kA3:
+      return psi1 == 0 || mu1 == 0 || Change(psi1, mu1) != 0;
+    case Postulate::kU6: {
+      SetCode r1 = Change(psi1, mu1);
+      SetCode r2 = Change(psi1, mu2);
+      return !(implies(r1, mu2) && implies(r2, mu1)) || r1 == r2;
+    }
+    case Postulate::kU7:
+      return PopCount(psi1) != 1 ||
+             implies(Change(psi1, mu1) & Change(psi1, mu2),
+                     Change(psi1, mu1 | mu2));
+    case Postulate::kU8:
+      return Change(psi1 | psi2, mu1) ==
+             (Change(psi1, mu1) | Change(psi2, mu1));
+    case Postulate::kA2:
+      return psi1 != 0 || Change(psi1, mu1) == 0;
+    case Postulate::kA7:
+      return implies(Change(psi1, mu1) & Change(psi2, mu1),
+                     Change(psi1 | psi2, mu1));
+    case Postulate::kA8: {
+      SetCode both = Change(psi1, mu1) & Change(psi2, mu1);
+      return both == 0 || implies(Change(psi1 | psi2, mu1), both);
+    }
+  }
+  ARBITER_CHECK_MSG(false, "unreachable postulate");
+  return false;
+}
+
+namespace {
+
+/// Which quantifier shape a postulate has.
+enum class Shape {
+  kPsiMu,       // forall psi, mu
+  kPsiMuPhi,    // forall psi, mu, phi
+  kPsiMu1Mu2,   // forall psi, mu1, mu2
+  kPsi1Psi2Mu,  // forall psi1, psi2, mu
+};
+
+Shape ShapeOf(Postulate p) {
+  switch (p) {
+    case Postulate::kR5:
+    case Postulate::kR6:
+    case Postulate::kU5:
+    case Postulate::kA5:
+    case Postulate::kA6:
+      return Shape::kPsiMuPhi;
+    case Postulate::kU6:
+    case Postulate::kU7:
+      return Shape::kPsiMu1Mu2;
+    case Postulate::kU8:
+    case Postulate::kA7:
+    case Postulate::kA8:
+      return Shape::kPsi1Psi2Mu;
+    default:
+      return Shape::kPsiMu;
+  }
+}
+
+}  // namespace
+
+std::optional<PostulateCounterexample> PostulateChecker::CheckExhaustive(
+    Postulate p) {
+  ARBITER_CHECK_MSG(num_terms_ <= 3,
+                    "exhaustive checking supported for num_terms <= 3");
+  const uint64_t n = num_codes_;
+  auto make_cex = [&](SetCode a, SetCode b, SetCode c, SetCode d,
+                      SetCode e) {
+    return PostulateCounterexample{p, num_terms_, a, b, c, d, e};
+  };
+  switch (ShapeOf(p)) {
+    case Shape::kPsiMu:
+      for (SetCode psi = 0; psi < n; ++psi) {
+        for (SetCode mu = 0; mu < n; ++mu) {
+          if (!Holds(p, psi, kUnusedCode, mu, kUnusedCode, kUnusedCode)) {
+            return make_cex(psi, kUnusedCode, mu, kUnusedCode, kUnusedCode);
+          }
+        }
+      }
+      break;
+    case Shape::kPsiMuPhi:
+      for (SetCode psi = 0; psi < n; ++psi) {
+        for (SetCode mu = 0; mu < n; ++mu) {
+          for (SetCode phi = 0; phi < n; ++phi) {
+            if (!Holds(p, psi, kUnusedCode, mu, kUnusedCode, phi)) {
+              return make_cex(psi, kUnusedCode, mu, kUnusedCode, phi);
+            }
+          }
+        }
+      }
+      break;
+    case Shape::kPsiMu1Mu2:
+      for (SetCode psi = 0; psi < n; ++psi) {
+        for (SetCode mu1 = 0; mu1 < n; ++mu1) {
+          for (SetCode mu2 = 0; mu2 < n; ++mu2) {
+            if (!Holds(p, psi, kUnusedCode, mu1, mu2, kUnusedCode)) {
+              return make_cex(psi, kUnusedCode, mu1, mu2, kUnusedCode);
+            }
+          }
+        }
+      }
+      break;
+    case Shape::kPsi1Psi2Mu:
+      for (SetCode psi1 = 0; psi1 < n; ++psi1) {
+        for (SetCode psi2 = 0; psi2 < n; ++psi2) {
+          for (SetCode mu = 0; mu < n; ++mu) {
+            if (!Holds(p, psi1, psi2, mu, kUnusedCode, kUnusedCode)) {
+              return make_cex(psi1, psi2, mu, kUnusedCode, kUnusedCode);
+            }
+          }
+        }
+      }
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<PostulateCounterexample> PostulateChecker::CheckSampled(
+    Postulate p, int num_samples, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t mask = space_ >= 64 ? ~0ULL : ((1ULL << space_) - 1);
+  for (int s = 0; s < num_samples; ++s) {
+    SetCode a = rng.Next() & mask;
+    SetCode b = rng.Next() & mask;
+    SetCode c = rng.Next() & mask;
+    switch (ShapeOf(p)) {
+      case Shape::kPsiMu:
+        if (!Holds(p, a, kUnusedCode, b, kUnusedCode, kUnusedCode)) {
+          return PostulateCounterexample{p,          num_terms_, a,
+                                         kUnusedCode, b,          kUnusedCode,
+                                         kUnusedCode};
+        }
+        break;
+      case Shape::kPsiMuPhi:
+        if (!Holds(p, a, kUnusedCode, b, kUnusedCode, c)) {
+          return PostulateCounterexample{p,           num_terms_, a,
+                                         kUnusedCode, b,          kUnusedCode,
+                                         c};
+        }
+        break;
+      case Shape::kPsiMu1Mu2:
+        if (!Holds(p, a, kUnusedCode, b, c, kUnusedCode)) {
+          return PostulateCounterexample{p,           num_terms_, a,
+                                         kUnusedCode, b,          c,
+                                         kUnusedCode};
+        }
+        break;
+      case Shape::kPsi1Psi2Mu:
+        if (!Holds(p, a, b, c, kUnusedCode, kUnusedCode)) {
+          return PostulateCounterexample{p, num_terms_,  a, b, c,
+                                         kUnusedCode, kUnusedCode};
+        }
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ComplianceEntry> PostulateChecker::ComplianceMatrix() {
+  std::vector<ComplianceEntry> out;
+  for (Postulate p : AllPostulates()) {
+    std::optional<PostulateCounterexample> cex = CheckExhaustive(p);
+    out.push_back(ComplianceEntry{p, !cex.has_value(), cex});
+  }
+  return out;
+}
+
+bool SatisfiesAll(std::shared_ptr<const TheoryChangeOperator> op,
+                  const std::vector<Postulate>& postulates, int num_terms) {
+  PostulateChecker checker(std::move(op), num_terms);
+  for (Postulate p : postulates) {
+    if (checker.CheckExhaustive(p).has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace arbiter

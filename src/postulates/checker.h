@@ -1,0 +1,114 @@
+#ifndef ARBITER_POSTULATES_CHECKER_H_
+#define ARBITER_POSTULATES_CHECKER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "change/operator.h"
+#include "postulates/postulate.h"
+
+/// \file checker.h
+/// Executable postulate checking.
+///
+/// Because every operator in this library is a semantic function of
+/// model sets, a knowledge base over an n-term vocabulary is fully
+/// described by a *set code*: a bitmask over the 2^n interpretations
+/// (bit m set iff interpretation m is a model).  Quantifying "for all
+/// knowledge bases" then means quantifying over all 2^(2^n) codes —
+/// exhaustive for n <= 3, randomized sampling beyond.
+///
+/// The syntax-irrelevance postulates (R4)/(U4)/(A4) hold by
+/// construction for semantic operators; the checker verifies them as
+/// determinism (re-applying the operator reproduces the same result).
+
+namespace arbiter {
+
+/// A set code: bit m <=> interpretation with bitmask m is a member.
+using SetCode = uint64_t;
+
+/// Sentinel for unused counterexample slots.
+inline constexpr SetCode kUnusedCode = ~SetCode{0};
+
+/// A concrete violation of a postulate.
+struct PostulateCounterexample {
+  Postulate postulate;
+  int num_terms;
+  SetCode psi1 = kUnusedCode;
+  SetCode psi2 = kUnusedCode;
+  SetCode mu1 = kUnusedCode;
+  SetCode mu2 = kUnusedCode;
+  SetCode phi = kUnusedCode;
+
+  /// Renders e.g. "A8 violated: psi1={00,01} psi2={11} mu={00,10} ...".
+  std::string Describe() const;
+};
+
+/// One row of a compliance matrix.
+struct ComplianceEntry {
+  Postulate postulate;
+  bool satisfied;
+  std::optional<PostulateCounterexample> counterexample;
+};
+
+/// Checks postulates of a TheoryChangeOperator over an n-term
+/// vocabulary.  Change results are memoized across checks.
+class PostulateChecker {
+ public:
+  /// Exhaustive checking requires num_terms <= 3 (2^(2^3) = 256
+  /// knowledge bases); sampled checking requires num_terms <= 6.
+  PostulateChecker(std::shared_ptr<const TheoryChangeOperator> op,
+                   int num_terms);
+
+  int num_terms() const { return num_terms_; }
+  const TheoryChangeOperator& op() const { return *op_; }
+
+  /// Exhaustively checks one postulate over every knowledge-base tuple.
+  /// Returns the first counterexample, or nullopt if the postulate holds.
+  std::optional<PostulateCounterexample> CheckExhaustive(Postulate p);
+
+  /// Randomized check: `num_samples` tuples of set codes drawn
+  /// uniformly (including empty sets).  Complete only in the limit.
+  std::optional<PostulateCounterexample> CheckSampled(Postulate p,
+                                                      int num_samples,
+                                                      uint64_t seed);
+
+  /// Exhaustive compliance matrix over all 22 postulates.
+  std::vector<ComplianceEntry> ComplianceMatrix();
+
+  /// Mod(code) as a ModelSet, for diagnostics.
+  ModelSet CodeToModelSet(SetCode code) const;
+
+  /// Number of Change invocations so far (cache misses).
+  uint64_t num_change_calls() const { return num_change_calls_; }
+
+ private:
+  SetCode Change(SetCode psi, SetCode mu);
+  /// Evaluates postulate `p` on one tuple; returns false on violation.
+  bool Holds(Postulate p, SetCode psi1, SetCode psi2, SetCode mu1,
+             SetCode mu2, SetCode phi);
+
+  std::shared_ptr<const TheoryChangeOperator> op_;
+  int num_terms_;
+  uint64_t space_;      // 2^num_terms
+  uint64_t num_codes_;  // 2^space (only meaningful when space <= 32)
+  /// Flat pair-indexed memo (num_terms <= 3); kUnusedCode = not cached.
+  std::vector<SetCode> flat_cache_;
+  /// Fallback memo for sampled checking on larger vocabularies.
+  std::map<std::pair<SetCode, SetCode>, SetCode> map_cache_;
+  uint64_t num_change_calls_ = 0;
+};
+
+/// Convenience: true iff the operator satisfies every postulate in
+/// `postulates` exhaustively over n terms.
+bool SatisfiesAll(std::shared_ptr<const TheoryChangeOperator> op,
+                  const std::vector<Postulate>& postulates, int num_terms);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_POSTULATES_CHECKER_H_

@@ -1,0 +1,187 @@
+#include "postulates/commutative_checker.h"
+
+#include "util/logging.h"
+
+namespace arbiter {
+
+std::string CommutativePostulateName(CommutativePostulate p) {
+  switch (p) {
+    case CommutativePostulate::kC1: return "C1";
+    case CommutativePostulate::kC2: return "C2";
+    case CommutativePostulate::kC3: return "C3";
+    case CommutativePostulate::kC4: return "C4";
+    case CommutativePostulate::kC5: return "C5";
+    case CommutativePostulate::kC6: return "C6";
+    case CommutativePostulate::kC7: return "C7";
+    case CommutativePostulate::kC8: return "C8";
+  }
+  return "?";
+}
+
+std::string CommutativePostulateStatement(CommutativePostulate p) {
+  switch (p) {
+    case CommutativePostulate::kC1:
+      return "psi <> phi is equivalent to phi <> psi";
+    case CommutativePostulate::kC2:
+      return "psi & phi implies psi <> phi";
+    case CommutativePostulate::kC3:
+      return "if psi & phi is satisfiable then psi <> phi implies "
+             "psi & phi";
+    case CommutativePostulate::kC4:
+      return "psi <> phi is unsatisfiable iff psi and phi both are";
+    case CommutativePostulate::kC5:
+      return "psi <> phi implies psi | phi";
+    case CommutativePostulate::kC6:
+      return "equivalent inputs give equivalent outputs";
+    case CommutativePostulate::kC7:
+      return "psi <> (phi1 | phi2) is psi <> phi1, or psi <> phi2, or "
+             "their disjunction";
+    case CommutativePostulate::kC8:
+      return "for satisfiable psi, phi: (psi <> phi) & psi is "
+             "satisfiable iff (psi <> phi) & phi is satisfiable";
+  }
+  return "?";
+}
+
+std::vector<CommutativePostulate> AllCommutativePostulates() {
+  return {CommutativePostulate::kC1, CommutativePostulate::kC2,
+          CommutativePostulate::kC3, CommutativePostulate::kC4,
+          CommutativePostulate::kC5, CommutativePostulate::kC6,
+          CommutativePostulate::kC7, CommutativePostulate::kC8};
+}
+
+namespace {
+
+std::string CodeStr(SetCode code, int num_terms) {
+  if (code == kUnusedCode) return "-";
+  std::string out = "{";
+  bool first = true;
+  for (uint64_t m = 0; m < (1ULL << num_terms); ++m) {
+    if ((code >> m) & 1) {
+      if (!first) out += ",";
+      out += std::to_string(m);
+      first = false;
+    }
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string CommutativeCounterexample::Describe() const {
+  std::string out = CommutativePostulateName(postulate) + " violated:";
+  out += " psi=" + CodeStr(psi, num_terms);
+  out += " phi1=" + CodeStr(phi1, num_terms);
+  if (phi2 != kUnusedCode) out += " phi2=" + CodeStr(phi2, num_terms);
+  out += "  [" + CommutativePostulateStatement(postulate) + "]";
+  return out;
+}
+
+CommutativeChecker::CommutativeChecker(
+    std::shared_ptr<const TheoryChangeOperator> op, int num_terms)
+    : op_(std::move(op)), num_terms_(num_terms) {
+  ARBITER_CHECK(op_ != nullptr);
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 3);
+  space_ = 1ULL << num_terms_;
+  num_codes_ = 1ULL << space_;
+  cache_.assign(num_codes_ * num_codes_, kUnusedCode);
+}
+
+ModelSet CommutativeChecker::CodeToModelSet(SetCode code) const {
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < space_; ++m) {
+    if ((code >> m) & 1) masks.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(masks), num_terms_);
+}
+
+SetCode CommutativeChecker::Change(SetCode psi, SetCode phi) {
+  SetCode& slot = cache_[psi * num_codes_ + phi];
+  if (slot == kUnusedCode) {
+    ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(phi));
+    SetCode out = 0;
+    for (uint64_t m : result) out |= SetCode{1} << m;
+    slot = out;
+  }
+  return slot;
+}
+
+std::optional<CommutativeCounterexample> CommutativeChecker::CheckExhaustive(
+    CommutativePostulate p) {
+  auto implies = [](SetCode a, SetCode b) { return (a & ~b) == 0; };
+  auto cex = [&](SetCode psi, SetCode phi1, SetCode phi2) {
+    return CommutativeCounterexample{p, num_terms_, psi, phi1, phi2};
+  };
+  const uint64_t n = num_codes_;
+  for (SetCode psi = 0; psi < n; ++psi) {
+    for (SetCode phi = 0; phi < n; ++phi) {
+      switch (p) {
+        case CommutativePostulate::kC1:
+          if (Change(psi, phi) != Change(phi, psi)) {
+            return cex(psi, phi, kUnusedCode);
+          }
+          break;
+        case CommutativePostulate::kC2:
+          if (!implies(psi & phi, Change(psi, phi))) {
+            return cex(psi, phi, kUnusedCode);
+          }
+          break;
+        case CommutativePostulate::kC3:
+          if ((psi & phi) != 0 && !implies(Change(psi, phi), psi & phi)) {
+            return cex(psi, phi, kUnusedCode);
+          }
+          break;
+        case CommutativePostulate::kC4:
+          if ((Change(psi, phi) == 0) != (psi == 0 && phi == 0)) {
+            return cex(psi, phi, kUnusedCode);
+          }
+          break;
+        case CommutativePostulate::kC5:
+          if (!implies(Change(psi, phi), psi | phi)) {
+            return cex(psi, phi, kUnusedCode);
+          }
+          break;
+        case CommutativePostulate::kC6: {
+          // Semantic operators: verify determinism.
+          ModelSet a =
+              op_->Change(CodeToModelSet(psi), CodeToModelSet(phi));
+          ModelSet b =
+              op_->Change(CodeToModelSet(psi), CodeToModelSet(phi));
+          if (a != b) return cex(psi, phi, kUnusedCode);
+          break;
+        }
+        case CommutativePostulate::kC7:
+          for (SetCode phi2 = 0; phi2 < n; ++phi2) {
+            SetCode whole = Change(psi, phi | phi2);
+            SetCode r1 = Change(psi, phi);
+            SetCode r2 = Change(psi, phi2);
+            if (whole != r1 && whole != r2 && whole != (r1 | r2)) {
+              return cex(psi, phi, phi2);
+            }
+          }
+          break;
+        case CommutativePostulate::kC8: {
+          if (psi == 0 || phi == 0) break;
+          SetCode r = Change(psi, phi);
+          if (((r & psi) != 0) != ((r & phi) != 0)) {
+            return cex(psi, phi, kUnusedCode);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> CommutativeChecker::FailingPostulates() {
+  std::vector<std::string> out;
+  for (CommutativePostulate p : AllCommutativePostulates()) {
+    if (CheckExhaustive(p).has_value()) {
+      out.push_back(CommutativePostulateName(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace arbiter

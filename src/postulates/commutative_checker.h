@@ -1,0 +1,82 @@
+#ifndef ARBITER_POSTULATES_COMMUTATIVE_CHECKER_H_
+#define ARBITER_POSTULATES_COMMUTATIVE_CHECKER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "change/operator.h"
+#include "postulates/checker.h"
+
+/// \file commutative_checker.h
+/// Postulates for *commutative* arbitration, distilled from the
+/// post-1993 literature (Liberatore & Schaerf's arbitration
+/// postulates).  Where (A1)-(A8) describe one-sided model-fitting,
+/// these describe a symmetric merge ψ ◇ φ:
+///
+///   (C1) ψ ◇ φ ≡ φ ◇ ψ                                 (commutativity)
+///   (C2) ψ ∧ φ implies ψ ◇ φ
+///   (C3) if ψ ∧ φ is satisfiable then ψ ◇ φ implies ψ ∧ φ
+///   (C4) ψ ◇ φ is unsatisfiable iff ψ and φ both are   (consistency)
+///   (C5) ψ ◇ φ implies ψ ∨ φ                           (containment)
+///   (C6) equivalent inputs give equivalent outputs     (syntax irrel.)
+///   (C7) ψ ◇ (φ1 ∨ φ2) is ψ ◇ φ1, or ψ ◇ φ2, or their disjunction
+///                                                       (trichotomy)
+///   (C8) for satisfiable ψ and φ:
+///        (ψ ◇ φ) ∧ ψ is satisfiable iff (ψ ◇ φ) ∧ φ is  (fairness)
+///
+/// Revesz's Δ deliberately drops (C5): its consensus may sit strictly
+/// between the parties (new interpretations neither asserted).  The
+/// checker makes that trade-off measurable.
+
+namespace arbiter {
+
+enum class CommutativePostulate { kC1, kC2, kC3, kC4, kC5, kC6, kC7, kC8 };
+
+/// "C1" ... "C8".
+std::string CommutativePostulateName(CommutativePostulate p);
+
+/// One-line informal statement.
+std::string CommutativePostulateStatement(CommutativePostulate p);
+
+/// All eight, in order.
+std::vector<CommutativePostulate> AllCommutativePostulates();
+
+struct CommutativeCounterexample {
+  CommutativePostulate postulate;
+  int num_terms;
+  SetCode psi = kUnusedCode;
+  SetCode phi1 = kUnusedCode;
+  SetCode phi2 = kUnusedCode;
+
+  std::string Describe() const;
+};
+
+/// Exhaustive checker over every knowledge-base pair/triple of an
+/// n-term vocabulary (n <= 3), with memoized Change calls.
+class CommutativeChecker {
+ public:
+  CommutativeChecker(std::shared_ptr<const TheoryChangeOperator> op,
+                     int num_terms);
+
+  std::optional<CommutativeCounterexample> CheckExhaustive(
+      CommutativePostulate p);
+
+  /// Convenience: the set of postulate names that fail.
+  std::vector<std::string> FailingPostulates();
+
+ private:
+  SetCode Change(SetCode psi, SetCode phi);
+  ModelSet CodeToModelSet(SetCode code) const;
+
+  std::shared_ptr<const TheoryChangeOperator> op_;
+  int num_terms_;
+  uint64_t space_;
+  uint64_t num_codes_;
+  std::vector<SetCode> cache_;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_POSTULATES_COMMUTATIVE_CHECKER_H_

@@ -1,0 +1,137 @@
+#include "postulates/iterated_checker.h"
+
+#include "util/logging.h"
+
+namespace arbiter {
+
+std::string IteratedPostulateName(IteratedPostulate p) {
+  switch (p) {
+    case IteratedPostulate::kI1: return "I1";
+    case IteratedPostulate::kI2: return "I2";
+    case IteratedPostulate::kI3: return "I3";
+    case IteratedPostulate::kI4: return "I4";
+  }
+  return "?";
+}
+
+std::string IteratedPostulateStatement(IteratedPostulate p) {
+  switch (p) {
+    case IteratedPostulate::kI1:
+      return "if mu2 implies mu1 then (psi*mu1)*mu2 == psi*mu2";
+    case IteratedPostulate::kI2:
+      return "if mu2 implies !mu1 then (psi*mu1)*mu2 == psi*mu2";
+    case IteratedPostulate::kI3:
+      return "if psi*mu2 implies mu1 then (psi*mu1)*mu2 implies mu1";
+    case IteratedPostulate::kI4:
+      return "if psi*mu2 is consistent with mu1 then (psi*mu1)*mu2 is "
+             "consistent with mu1";
+  }
+  return "?";
+}
+
+std::vector<IteratedPostulate> AllIteratedPostulates() {
+  return {IteratedPostulate::kI1, IteratedPostulate::kI2,
+          IteratedPostulate::kI3, IteratedPostulate::kI4};
+}
+
+namespace {
+
+std::string CodeStr(SetCode code, int num_terms) {
+  std::string out = "{";
+  bool first = true;
+  for (uint64_t m = 0; m < (1ULL << num_terms); ++m) {
+    if ((code >> m) & 1) {
+      if (!first) out += ",";
+      out += std::to_string(m);
+      first = false;
+    }
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string IteratedCounterexample::Describe() const {
+  return IteratedPostulateName(postulate) +
+         " violated: psi=" + CodeStr(psi, num_terms) +
+         " mu1=" + CodeStr(mu1, num_terms) +
+         " mu2=" + CodeStr(mu2, num_terms) + "  [" +
+         IteratedPostulateStatement(postulate) + "]";
+}
+
+IteratedChecker::IteratedChecker(
+    std::shared_ptr<const TheoryChangeOperator> op, int num_terms)
+    : op_(std::move(op)), num_terms_(num_terms) {
+  ARBITER_CHECK(op_ != nullptr);
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 3);
+  space_ = 1ULL << num_terms_;
+  num_codes_ = 1ULL << space_;
+  cache_.assign(num_codes_ * num_codes_, kUnusedCode);
+}
+
+ModelSet IteratedChecker::CodeToModelSet(SetCode code) const {
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < space_; ++m) {
+    if ((code >> m) & 1) masks.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(masks), num_terms_);
+}
+
+SetCode IteratedChecker::Change(SetCode psi, SetCode mu) {
+  SetCode& slot = cache_[psi * num_codes_ + mu];
+  if (slot == kUnusedCode) {
+    ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(mu));
+    SetCode out = 0;
+    for (uint64_t m : result) out |= SetCode{1} << m;
+    slot = out;
+  }
+  return slot;
+}
+
+std::optional<IteratedCounterexample> IteratedChecker::CheckExhaustive(
+    IteratedPostulate p) {
+  auto implies = [](SetCode a, SetCode b) { return (a & ~b) == 0; };
+  const SetCode full = (space_ >= 64) ? ~SetCode{0}
+                                      : ((SetCode{1} << space_) - 1);
+  for (SetCode psi = 0; psi < num_codes_; ++psi) {
+    for (SetCode mu1 = 0; mu1 < num_codes_; ++mu1) {
+      for (SetCode mu2 = 0; mu2 < num_codes_; ++mu2) {
+        bool holds = true;
+        switch (p) {
+          case IteratedPostulate::kI1:
+            holds = !implies(mu2, mu1) ||
+                    Change(Change(psi, mu1), mu2) == Change(psi, mu2);
+            break;
+          case IteratedPostulate::kI2:
+            holds = !implies(mu2, full & ~mu1) ||
+                    Change(Change(psi, mu1), mu2) == Change(psi, mu2);
+            break;
+          case IteratedPostulate::kI3:
+            holds = !implies(Change(psi, mu2), mu1) ||
+                    implies(Change(Change(psi, mu1), mu2), mu1);
+            break;
+          case IteratedPostulate::kI4:
+            holds = (Change(psi, mu2) & mu1) == 0 ||
+                    (Change(Change(psi, mu1), mu2) & mu1) != 0;
+            break;
+        }
+        if (!holds) {
+          return IteratedCounterexample{p, num_terms_, psi, mu1, mu2};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> IteratedChecker::FailingPostulates() {
+  std::vector<std::string> out;
+  for (IteratedPostulate p : AllIteratedPostulates()) {
+    if (CheckExhaustive(p).has_value()) {
+      out.push_back(IteratedPostulateName(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace arbiter

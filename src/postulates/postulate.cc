@@ -1,0 +1,106 @@
+#include "postulates/postulate.h"
+
+namespace arbiter {
+
+std::string PostulateName(Postulate p) {
+  switch (p) {
+    case Postulate::kR1: return "R1";
+    case Postulate::kR2: return "R2";
+    case Postulate::kR3: return "R3";
+    case Postulate::kR4: return "R4";
+    case Postulate::kR5: return "R5";
+    case Postulate::kR6: return "R6";
+    case Postulate::kU1: return "U1";
+    case Postulate::kU2: return "U2";
+    case Postulate::kU3: return "U3";
+    case Postulate::kU4: return "U4";
+    case Postulate::kU5: return "U5";
+    case Postulate::kU6: return "U6";
+    case Postulate::kU7: return "U7";
+    case Postulate::kU8: return "U8";
+    case Postulate::kA1: return "A1";
+    case Postulate::kA2: return "A2";
+    case Postulate::kA3: return "A3";
+    case Postulate::kA4: return "A4";
+    case Postulate::kA5: return "A5";
+    case Postulate::kA6: return "A6";
+    case Postulate::kA7: return "A7";
+    case Postulate::kA8: return "A8";
+  }
+  return "?";
+}
+
+std::string PostulateStatement(Postulate p) {
+  switch (p) {
+    case Postulate::kR1: return "psi o mu implies mu";
+    case Postulate::kR2:
+      return "if psi & mu is satisfiable then psi o mu <-> psi & mu";
+    case Postulate::kR3:
+      return "if mu is satisfiable then psi o mu is satisfiable";
+    case Postulate::kR4:
+      return "equivalent inputs give equivalent outputs";
+    case Postulate::kR5: return "(psi o mu) & phi implies psi o (mu & phi)";
+    case Postulate::kR6:
+      return "if (psi o mu) & phi is satisfiable then psi o (mu & phi) "
+             "implies (psi o mu) & phi";
+    case Postulate::kU1: return "psi <> mu implies mu";
+    case Postulate::kU2:
+      return "if psi implies mu then psi <> mu is equivalent to psi";
+    case Postulate::kU3:
+      return "if psi and mu are satisfiable then psi <> mu is satisfiable";
+    case Postulate::kU4:
+      return "equivalent inputs give equivalent outputs";
+    case Postulate::kU5:
+      return "(psi <> mu) & phi implies psi <> (mu & phi)";
+    case Postulate::kU6:
+      return "if psi <> mu1 implies mu2 and psi <> mu2 implies mu1 then "
+             "psi <> mu1 <-> psi <> mu2";
+    case Postulate::kU7:
+      return "if psi is a singleton then (psi <> mu1) & (psi <> mu2) "
+             "implies psi <> (mu1 | mu2)";
+    case Postulate::kU8:
+      return "(psi1 | psi2) <> mu <-> (psi1 <> mu) | (psi2 <> mu)";
+    case Postulate::kA1: return "psi |> mu implies mu";
+    case Postulate::kA2:
+      return "if psi is unsatisfiable then psi |> mu is unsatisfiable";
+    case Postulate::kA3:
+      return "if psi and mu are satisfiable then psi |> mu is satisfiable";
+    case Postulate::kA4:
+      return "equivalent inputs give equivalent outputs";
+    case Postulate::kA5:
+      return "(psi |> mu) & phi implies psi |> (mu & phi)";
+    case Postulate::kA6:
+      return "if (psi |> mu) & phi is satisfiable then psi |> (mu & phi) "
+             "implies (psi |> mu) & phi";
+    case Postulate::kA7:
+      return "(psi1 |> mu) & (psi2 |> mu) implies (psi1 | psi2) |> mu";
+    case Postulate::kA8:
+      return "if (psi1 |> mu) & (psi2 |> mu) is satisfiable then "
+             "(psi1 | psi2) |> mu implies (psi1 |> mu) & (psi2 |> mu)";
+  }
+  return "?";
+}
+
+std::vector<Postulate> RevisionPostulates() {
+  return {Postulate::kR1, Postulate::kR2, Postulate::kR3,
+          Postulate::kR4, Postulate::kR5, Postulate::kR6};
+}
+
+std::vector<Postulate> UpdatePostulates() {
+  return {Postulate::kU1, Postulate::kU2, Postulate::kU3, Postulate::kU4,
+          Postulate::kU5, Postulate::kU6, Postulate::kU7, Postulate::kU8};
+}
+
+std::vector<Postulate> FittingPostulates() {
+  return {Postulate::kA1, Postulate::kA2, Postulate::kA3, Postulate::kA4,
+          Postulate::kA5, Postulate::kA6, Postulate::kA7, Postulate::kA8};
+}
+
+std::vector<Postulate> AllPostulates() {
+  std::vector<Postulate> out = RevisionPostulates();
+  for (Postulate p : UpdatePostulates()) out.push_back(p);
+  for (Postulate p : FittingPostulates()) out.push_back(p);
+  return out;
+}
+
+}  // namespace arbiter

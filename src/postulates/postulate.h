@@ -1,0 +1,43 @@
+#ifndef ARBITER_POSTULATES_POSTULATE_H_
+#define ARBITER_POSTULATES_POSTULATE_H_
+
+#include <string>
+#include <vector>
+
+/// \file postulate.h
+/// The three postulate families of the paper:
+///
+///  * (R1)–(R6)  AGM revision, in the Katsuno–Mendelzon propositional
+///               form (paper, Appendix A);
+///  * (U1)–(U8)  Katsuno–Mendelzon update (paper, Appendix A);
+///  * (A1)–(A8)  Revesz model-fitting (paper, Section 3).
+///
+/// The weighted family (F1)–(F8) mirrors (A1)–(A8) over weighted
+/// knowledge bases and is handled by the weighted checker.
+
+namespace arbiter {
+
+enum class Postulate {
+  kR1, kR2, kR3, kR4, kR5, kR6,
+  kU1, kU2, kU3, kU4, kU5, kU6, kU7, kU8,
+  kA1, kA2, kA3, kA4, kA5, kA6, kA7, kA8,
+};
+
+/// "R1", "U8", "A2", ...
+std::string PostulateName(Postulate p);
+
+/// One-line informal statement, e.g. "psi * mu implies mu".
+std::string PostulateStatement(Postulate p);
+
+/// The six revision postulates.
+std::vector<Postulate> RevisionPostulates();
+/// The eight update postulates.
+std::vector<Postulate> UpdatePostulates();
+/// The eight model-fitting postulates.
+std::vector<Postulate> FittingPostulates();
+/// All twenty-two, in R/U/A order.
+std::vector<Postulate> AllPostulates();
+
+}  // namespace arbiter
+
+#endif  // ARBITER_POSTULATES_POSTULATE_H_

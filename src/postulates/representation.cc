@@ -1,0 +1,174 @@
+#include "postulates/representation.h"
+
+#include "util/logging.h"
+
+namespace arbiter {
+
+bool DerivedRelation::Total() const {
+  const size_t space = leq.size();
+  for (size_t i = 0; i < space; ++i) {
+    for (size_t j = 0; j < space; ++j) {
+      if (!leq[i][j] && !leq[j][i]) return false;
+    }
+  }
+  return true;
+}
+
+bool DerivedRelation::Reflexive() const {
+  for (size_t i = 0; i < leq.size(); ++i) {
+    if (!leq[i][i]) return false;
+  }
+  return true;
+}
+
+bool DerivedRelation::Transitive() const {
+  const size_t space = leq.size();
+  for (size_t i = 0; i < space; ++i) {
+    for (size_t j = 0; j < space; ++j) {
+      if (!leq[i][j]) continue;
+      for (size_t k = 0; k < space; ++k) {
+        if (leq[j][k] && !leq[i][k]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+ModelSet DerivedRelation::MinOf(const ModelSet& s) const {
+  std::vector<uint64_t> out;
+  for (uint64_t i : s) {
+    bool minimal = true;
+    for (uint64_t j : s) {
+      // j < i  iff  j <= i and not i <= j.
+      if (leq[j][i] && !leq[i][j]) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(i);
+  }
+  return ModelSet::FromMasks(std::move(out), num_terms);
+}
+
+DerivedRelation DeriveRelation(const TheoryChangeOperator& op,
+                               const ModelSet& psi) {
+  const int n = psi.num_terms();
+  ARBITER_CHECK(n >= 1 && n <= 4);
+  ARBITER_CHECK(!psi.empty());
+  const uint64_t space = 1ULL << n;
+  DerivedRelation rel;
+  rel.num_terms = n;
+  rel.leq.assign(space, std::vector<bool>(space, false));
+  for (uint64_t i = 0; i < space; ++i) {
+    for (uint64_t j = 0; j < space; ++j) {
+      ModelSet form_ij = ModelSet::FromMasks({i, j}, n);
+      ModelSet fitted = op.Change(psi, form_ij);
+      rel.leq[i][j] = fitted.Contains(i);
+    }
+  }
+  return rel;
+}
+
+namespace {
+
+/// Ranks a total pre-order so TotalPreorder (and CheckLoyalty) can
+/// consume it: rank(I) = |{J : J ≤ I}| is order-preserving.
+TotalPreorder ToTotalPreorder(const DerivedRelation& rel) {
+  const uint64_t space = rel.leq.size();
+  std::vector<double> ranks(space, 0.0);
+  for (uint64_t i = 0; i < space; ++i) {
+    int count = 0;
+    for (uint64_t j = 0; j < space; ++j) {
+      if (rel.leq[j][i]) ++count;
+    }
+    ranks[i] = static_cast<double>(count);
+  }
+  return TotalPreorder(rel.num_terms,
+                       [ranks](uint64_t i) { return ranks[i]; });
+}
+
+ModelSet KbFromCode(uint64_t code, int n) {
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if ((code >> m) & 1) masks.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+}  // namespace
+
+RepresentationReport CheckRepresentation(
+    std::shared_ptr<const TheoryChangeOperator> op, int num_terms) {
+  ARBITER_CHECK(op != nullptr);
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 3);
+  RepresentationReport report;
+  const uint64_t space = 1ULL << num_terms;
+  const uint64_t num_codes = 1ULL << space;
+
+  // Step (1): derive ≤ψ for every satisfiable ψ; check the pre-order
+  // properties.
+  std::vector<DerivedRelation> relations;
+  relations.reserve(num_codes - 1);
+  report.preorders_total = true;
+  report.preorders_transitive = true;
+  for (uint64_t code = 1; code < num_codes; ++code) {
+    ModelSet psi = KbFromCode(code, num_terms);
+    DerivedRelation rel = DeriveRelation(*op, psi);
+    if (!(rel.Total() && rel.Reflexive())) {
+      report.preorders_total = false;
+      if (report.detail.empty()) {
+        report.detail = "derived relation for psi=" + psi.ToString() +
+                        " is not total/reflexive";
+      }
+    }
+    if (!rel.Transitive()) {
+      report.preorders_transitive = false;
+      if (report.detail.empty()) {
+        report.detail = "derived relation for psi=" + psi.ToString() +
+                        " is not transitive";
+      }
+    }
+    relations.push_back(std::move(rel));
+  }
+
+  // Step (2): loyalty of the derived assignment (only meaningful when
+  // the relations are genuine total pre-orders).
+  if (report.preorders_total && report.preorders_transitive) {
+    PreorderAssignment assignment = [&](const ModelSet& psi) {
+      uint64_t code = 0;
+      for (uint64_t m : psi) code |= uint64_t{1} << m;
+      return ToTotalPreorder(relations[code - 1]);
+    };
+    report.loyalty_violation = CheckLoyalty(assignment, num_terms);
+    report.assignment_loyal = !report.loyalty_violation.has_value();
+    if (!report.assignment_loyal && report.detail.empty()) {
+      report.detail = report.loyalty_violation->Describe();
+    }
+  }
+
+  // Step (3): the representation Mod(ψ ▷ μ) = Min(Mod(μ), ≤ψ).
+  report.representation_exact = true;
+  for (uint64_t pcode = 1; pcode < num_codes; ++pcode) {
+    ModelSet psi = KbFromCode(pcode, num_terms);
+    const DerivedRelation& rel = relations[pcode - 1];
+    for (uint64_t mcode = 0; mcode < num_codes; ++mcode) {
+      ModelSet mu = KbFromCode(mcode, num_terms);
+      ModelSet got = op->Change(psi, mu);
+      ModelSet want = rel.MinOf(mu);
+      if (got != want) {
+        report.representation_exact = false;
+        if (report.detail.empty()) {
+          report.detail = "representation mismatch at psi=" +
+                          psi.ToString() + " mu=" + mu.ToString() +
+                          ": operator gives " + got.ToString() +
+                          ", Min gives " + want.ToString();
+        }
+        break;
+      }
+    }
+    if (!report.representation_exact) break;
+  }
+  return report;
+}
+
+}  // namespace arbiter

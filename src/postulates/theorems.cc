@@ -1,0 +1,157 @@
+#include "postulates/theorems.h"
+
+namespace arbiter {
+
+namespace {
+
+/// Checks one impossibility claim ("no operator satisfies all of
+/// `axioms`") against one operator.
+DisjointnessRow CheckClaim(std::shared_ptr<const TheoryChangeOperator> op,
+                           const std::vector<Postulate>& axioms,
+                           int num_terms) {
+  PostulateChecker checker(op, num_terms);
+  DisjointnessRow row;
+  row.op_name = op->name();
+  for (Postulate p : axioms) {
+    auto cex = checker.CheckExhaustive(p);
+    if (cex.has_value()) {
+      row.violated_premises.push_back(PostulateName(p));
+      if (row.detail.empty()) row.detail = cex->Describe();
+    } else {
+      row.satisfied_premises.push_back(PostulateName(p));
+    }
+  }
+  row.conclusion_blocked = !row.violated_premises.empty();
+  return row;
+}
+
+/// Renders a model-set as bit strings.
+std::string Show(const ModelSet& s) { return s.ToString(); }
+
+}  // namespace
+
+Theorem32Report VerifyTheorem32(
+    const std::vector<std::shared_ptr<const TheoryChangeOperator>>& ops,
+    int num_terms) {
+  Theorem32Report report;
+  const std::vector<Postulate> claim1 = {Postulate::kR2, Postulate::kA8};
+  const std::vector<Postulate> claim2 = {Postulate::kU2, Postulate::kU8,
+                                         Postulate::kA8};
+  const std::vector<Postulate> claim3 = {Postulate::kR1, Postulate::kR2,
+                                         Postulate::kR3, Postulate::kU8};
+  for (const auto& op : ops) {
+    report.r2_a8.push_back(CheckClaim(op, claim1, num_terms));
+    report.u2_u8_a8.push_back(CheckClaim(op, claim2, num_terms));
+    report.r123_u8.push_back(CheckClaim(op, claim3, num_terms));
+  }
+  for (const auto* rows : {&report.r2_a8, &report.u2_u8_a8,
+                           &report.r123_u8}) {
+    for (const DisjointnessRow& row : *rows) {
+      if (!row.conclusion_blocked) report.all_claims_hold = false;
+    }
+  }
+  return report;
+}
+
+std::string TraceR2A8Witness(const TheoryChangeOperator& op,
+                             int num_terms) {
+  ARBITER_CHECK(num_terms >= 1);
+  // Appendix B, claim 1: m1, m2 singletons.
+  const uint64_t m1 = 0, m2 = 1;
+  ModelSet sm1 = ModelSet::Singleton(m1, num_terms);
+  ModelSet sm2 = ModelSet::Singleton(m2, num_terms);
+  ModelSet psi1 = sm1.Union(sm2);  // m1 ∨ m2
+  ModelSet psi2 = sm2;             // m2
+  ModelSet mu = sm1.Union(sm2);    // m1 ∨ m2
+
+  std::string out;
+  out += "Theorem 3.2 claim 1 witness (no operator satisfies R2 and A8)\n";
+  out += "  operator: " + op.name() + "\n";
+  out += "  psi1 = m1|m2 = " + Show(psi1) + ", psi2 = m2 = " + Show(psi2) +
+         ", mu = m1|m2 = " + Show(mu) + "\n";
+  ModelSet r_union = op.Change(psi1.Union(psi2), mu);
+  out += "  (psi1|psi2) * mu = " + Show(r_union) +
+         "   [R2 predicts m1|m2 since (psi1|psi2) & mu is satisfiable]\n";
+  ModelSet r1 = op.Change(psi1, mu);
+  ModelSet r2 = op.Change(psi2, mu);
+  out += "  psi1 * mu = " + Show(r1) + "   [R2 predicts m1|m2]\n";
+  out += "  psi2 * mu = " + Show(r2) + "   [R2 predicts m2]\n";
+  ModelSet both = r1.Intersect(r2);
+  out += "  conjunction = " + Show(both) + " (satisfiable: " +
+         (both.empty() ? "no" : "yes") + ")\n";
+  bool a8_would_need = !both.empty() && r_union.IsSubsetOf(both);
+  out += "  A8 requires (psi1|psi2)*mu to imply the conjunction: " +
+         std::string(a8_would_need ? "holds (so R2 must have failed)"
+                                   : "FAILS -> R2 and A8 incompatible") +
+         "\n";
+  return out;
+}
+
+std::string TraceU2U8A8Witness(const TheoryChangeOperator& op,
+                               int num_terms) {
+  ARBITER_CHECK(num_terms >= 1);
+  const uint64_t m1 = 0, m2 = 1;
+  ModelSet sm1 = ModelSet::Singleton(m1, num_terms);
+  ModelSet sm2 = ModelSet::Singleton(m2, num_terms);
+  ModelSet psi1 = sm1.Union(sm2);
+  ModelSet psi2 = sm2;
+  ModelSet mu = sm1.Union(sm2);
+
+  std::string out;
+  out += "Theorem 3.2 claim 2 witness (no operator satisfies U2, U8, A8)\n";
+  out += "  operator: " + op.name() + "\n";
+  out += "  psi1 = " + Show(psi1) + " implies mu = " + Show(mu) +
+         "; psi2 = " + Show(psi2) + " implies mu\n";
+  ModelSet r1 = op.Change(psi1, mu);
+  ModelSet r2 = op.Change(psi2, mu);
+  out += "  psi1 * mu = " + Show(r1) + "   [U2 predicts psi1]\n";
+  out += "  psi2 * mu = " + Show(r2) + "   [U2 predicts psi2]\n";
+  ModelSet r_union = op.Change(psi1.Union(psi2), mu);
+  out += "  (psi1|psi2) * mu = " + Show(r_union) +
+         "   [U8 predicts (psi1*mu)|(psi2*mu) = " +
+         Show(r1.Union(r2)) + "]\n";
+  ModelSet both = r1.Intersect(r2);
+  out += "  conjunction = " + Show(both) +
+         "; A8 then requires (psi1|psi2)*mu to imply it: " +
+         std::string(!both.empty() && r_union.IsSubsetOf(both)
+                         ? "holds (so U2/U8 must have failed)"
+                         : "FAILS -> U2+U8 and A8 incompatible") +
+         "\n";
+  return out;
+}
+
+std::string TraceR123U8Witness(const TheoryChangeOperator& op,
+                               int num_terms) {
+  ARBITER_CHECK(num_terms >= 2);  // need three distinct interpretations
+  const uint64_t m1 = 0, m2 = 1, m3 = 2;
+  ModelSet sm1 = ModelSet::Singleton(m1, num_terms);
+  ModelSet sm2 = ModelSet::Singleton(m2, num_terms);
+  ModelSet sm3 = ModelSet::Singleton(m3, num_terms);
+  ModelSet psi1 = sm1;
+  ModelSet psi2 = sm2;
+  ModelSet mu = sm2.Union(sm3);  // m2 ∨ m3
+
+  std::string out;
+  out += "Theorem 3.2 claim 3 witness (no operator satisfies R1-R3, U8)\n";
+  out += "  operator: " + op.name() + "\n";
+  out += "  psi1 = m1 = " + Show(psi1) + ", psi2 = m2 = " + Show(psi2) +
+         ", mu = m2|m3 = " + Show(mu) + "\n";
+  ModelSet r1 = op.Change(psi1, mu);
+  out += "  psi1 * mu = " + Show(r1) +
+         "   [R1+R3: nonempty subset of m2|m3]\n";
+  ModelSet r2 = op.Change(psi2, mu);
+  out += "  psi2 * mu = " + Show(r2) + "   [R2 predicts m2]\n";
+  ModelSet r_union = op.Change(psi1.Union(psi2), mu);
+  out += "  (psi1|psi2) * mu = " + Show(r_union) +
+         "   [R2 predicts m2; U8 predicts " + Show(r1.Union(r2)) + "]\n";
+  bool u8_matches = r_union == r1.Union(r2);
+  bool r2_matches = r_union == r2;
+  out += "  U8 and R2 agree here: " +
+         std::string(u8_matches && r2_matches
+                         ? "yes (psi1*mu collapsed to m2 - check R1-R3!)"
+                         : "NO -> R1-R3 and U8 incompatible") +
+         "\n";
+  return out;
+}
+
+}  // namespace arbiter

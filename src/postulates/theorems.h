@@ -1,0 +1,64 @@
+#ifndef ARBITER_POSTULATES_THEOREMS_H_
+#define ARBITER_POSTULATES_THEOREMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "change/operator.h"
+#include "postulates/checker.h"
+
+/// \file theorems.h
+/// Executable verification of the paper's Theorem 3.2 (pairwise
+/// disjointness of revision, update, and model-fitting) together with
+/// traces of the Appendix B witness constructions.
+
+namespace arbiter {
+
+/// Result of checking one of the three impossibility claims for a
+/// single operator: which of the premise axioms the operator satisfies
+/// and whether the conclusion axiom fails.
+struct DisjointnessRow {
+  std::string op_name;
+  std::vector<std::string> satisfied_premises;
+  std::vector<std::string> violated_premises;
+  bool conclusion_blocked;  ///< true iff op cannot satisfy the full set
+  std::string detail;
+};
+
+/// Aggregate verification of Theorem 3.2 over a set of operators.
+struct Theorem32Report {
+  /// Claim 1: no operator satisfies both (R2) and (A8).
+  std::vector<DisjointnessRow> r2_a8;
+  /// Claim 2: no operator satisfies (U2), (U8), and (A8).
+  std::vector<DisjointnessRow> u2_u8_a8;
+  /// Claim 3: no operator satisfies (R1), (R2), (R3), and (U8).
+  std::vector<DisjointnessRow> r123_u8;
+  /// True iff no checked operator violated any claim.
+  bool all_claims_hold = true;
+};
+
+/// Checks Theorem 3.2's three claims on each operator, exhaustively
+/// over an n-term vocabulary (n <= 3).
+Theorem32Report VerifyTheorem32(
+    const std::vector<std::shared_ptr<const TheoryChangeOperator>>& ops,
+    int num_terms);
+
+/// Renders the Appendix B proof trace for claim 1 against a concrete
+/// operator assumed to satisfy (R2):
+///   psi1 = m1 ∨ m2, psi2 = m2, mu = m1 ∨ m2
+/// and reports where (A8) forces the contradiction.
+std::string TraceR2A8Witness(const TheoryChangeOperator& op, int num_terms);
+
+/// Renders the Appendix B proof trace for claim 2 (U2 + U8 vs A8).
+std::string TraceU2U8A8Witness(const TheoryChangeOperator& op,
+                               int num_terms);
+
+/// Renders the Appendix B proof trace for claim 3 (R1-R3 vs U8) with
+/// three singletons m1, m2, m3.
+std::string TraceR123U8Witness(const TheoryChangeOperator& op,
+                               int num_terms);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_POSTULATES_THEOREMS_H_

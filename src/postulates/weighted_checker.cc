@@ -1,0 +1,212 @@
+#include "postulates/weighted_checker.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace arbiter {
+
+std::string WeightedPostulateName(WeightedPostulate p) {
+  switch (p) {
+    case WeightedPostulate::kF1: return "F1";
+    case WeightedPostulate::kF2: return "F2";
+    case WeightedPostulate::kF3: return "F3";
+    case WeightedPostulate::kF4: return "F4";
+    case WeightedPostulate::kF5: return "F5";
+    case WeightedPostulate::kF6: return "F6";
+    case WeightedPostulate::kF7: return "F7";
+    case WeightedPostulate::kF8: return "F8";
+  }
+  return "?";
+}
+
+WeightedPostulateChecker::WeightedPostulateChecker(
+    const WeightedChangeOperator* op, int num_terms)
+    : op_(op), num_terms_(num_terms) {
+  ARBITER_CHECK(op != nullptr);
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= kMaxEnumTerms);
+}
+
+namespace {
+
+/// Which arguments a weighted postulate quantifies over.
+enum class WShape { kPsiMu, kPsiMuPhi, kPsi1Psi2Mu };
+
+WShape WShapeOf(WeightedPostulate p) {
+  switch (p) {
+    case WeightedPostulate::kF5:
+    case WeightedPostulate::kF6:
+      return WShape::kPsiMuPhi;
+    case WeightedPostulate::kF7:
+    case WeightedPostulate::kF8:
+      return WShape::kPsi1Psi2Mu;
+    default:
+      return WShape::kPsiMu;
+  }
+}
+
+std::string DescribeWkb(const WeightedKnowledgeBase& kb) {
+  std::string out = "[";
+  bool first = true;
+  for (uint64_t i = 0; i < kb.space_size(); ++i) {
+    double w = kb.Weight(i);
+    if (w <= 0) continue;
+    if (!first) out += " ";
+    out += std::to_string(i) + ":" + std::to_string(w);
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+bool WeightedPostulateChecker::Holds(
+    WeightedPostulate p, const WeightedKnowledgeBase& psi1,
+    const WeightedKnowledgeBase& psi2, const WeightedKnowledgeBase& mu,
+    const WeightedKnowledgeBase& /*mu2*/, const WeightedKnowledgeBase& phi,
+    std::string* what) const {
+  auto fail = [&](const std::string& msg) {
+    *what = msg + " psi1=" + DescribeWkb(psi1) + " psi2=" +
+            DescribeWkb(psi2) + " mu=" + DescribeWkb(mu) +
+            " phi=" + DescribeWkb(phi);
+    return false;
+  };
+  switch (p) {
+    case WeightedPostulate::kF1:
+      if (!op_->Change(psi1, mu).Implies(mu)) {
+        return fail("psi |> mu does not imply mu");
+      }
+      return true;
+    case WeightedPostulate::kF2:
+      if (!psi1.IsSatisfiable() &&
+          op_->Change(psi1, mu).IsSatisfiable()) {
+        return fail("unsatisfiable psi produced satisfiable result");
+      }
+      return true;
+    case WeightedPostulate::kF3:
+      if (psi1.IsSatisfiable() && mu.IsSatisfiable() &&
+          !op_->Change(psi1, mu).IsSatisfiable()) {
+        return fail("satisfiable inputs gave unsatisfiable result");
+      }
+      return true;
+    case WeightedPostulate::kF4:
+      if (!op_->Change(psi1, mu).EquivalentTo(op_->Change(psi1, mu))) {
+        return fail("operator not deterministic");
+      }
+      return true;
+    case WeightedPostulate::kF5: {
+      WeightedKnowledgeBase lhs = op_->Change(psi1, mu).And(phi);
+      WeightedKnowledgeBase rhs = op_->Change(psi1, mu.And(phi));
+      if (!lhs.Implies(rhs)) return fail("(psi|>mu)&phi !=> psi|>(mu&phi)");
+      return true;
+    }
+    case WeightedPostulate::kF6: {
+      WeightedKnowledgeBase narrowed = op_->Change(psi1, mu).And(phi);
+      if (!narrowed.IsSatisfiable()) return true;
+      if (!op_->Change(psi1, mu.And(phi)).Implies(narrowed)) {
+        return fail("psi|>(mu&phi) !=> (psi|>mu)&phi");
+      }
+      return true;
+    }
+    case WeightedPostulate::kF7: {
+      WeightedKnowledgeBase lhs =
+          op_->Change(psi1, mu).And(op_->Change(psi2, mu));
+      if (!lhs.Implies(op_->Change(psi1.Or(psi2), mu))) {
+        return fail("(psi1|>mu)&(psi2|>mu) !=> (psi1 v psi2)|>mu");
+      }
+      return true;
+    }
+    case WeightedPostulate::kF8: {
+      WeightedKnowledgeBase both =
+          op_->Change(psi1, mu).And(op_->Change(psi2, mu));
+      if (!both.IsSatisfiable()) return true;
+      if (!op_->Change(psi1.Or(psi2), mu).Implies(both)) {
+        return fail("(psi1 v psi2)|>mu !=> (psi1|>mu)&(psi2|>mu)");
+      }
+      return true;
+    }
+  }
+  ARBITER_CHECK_MSG(false, "unreachable weighted postulate");
+  return false;
+}
+
+std::optional<WeightedCounterexample>
+WeightedPostulateChecker::CheckExhaustiveBinary(WeightedPostulate p) {
+  ARBITER_CHECK_MSG(num_terms_ <= 2,
+                    "binary-exhaustive weighted checking needs n <= 2");
+  const uint64_t space = 1ULL << num_terms_;
+  const uint64_t num_codes = 1ULL << space;
+  auto from_code = [&](uint64_t code) {
+    WeightedKnowledgeBase kb(num_terms_);
+    for (uint64_t m = 0; m < space; ++m) {
+      if ((code >> m) & 1) kb.SetWeight(m, 1.0);
+    }
+    return kb;
+  };
+  const WeightedKnowledgeBase empty(num_terms_);
+  std::string what;
+  for (uint64_t a = 0; a < num_codes; ++a) {
+    WeightedKnowledgeBase wa = from_code(a);
+    for (uint64_t b = 0; b < num_codes; ++b) {
+      WeightedKnowledgeBase wb = from_code(b);
+      switch (WShapeOf(p)) {
+        case WShape::kPsiMu:
+          if (!Holds(p, wa, empty, wb, empty, empty, &what)) {
+            return WeightedCounterexample{p, what};
+          }
+          break;
+        default:
+          for (uint64_t c = 0; c < num_codes; ++c) {
+            WeightedKnowledgeBase wc = from_code(c);
+            bool ok = (WShapeOf(p) == WShape::kPsiMuPhi)
+                          ? Holds(p, wa, empty, wb, empty, wc, &what)
+                          : Holds(p, wa, wb, wc, empty, empty, &what);
+            if (!ok) return WeightedCounterexample{p, what};
+          }
+          break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<WeightedCounterexample> WeightedPostulateChecker::CheckSampled(
+    WeightedPostulate p, int num_samples, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t space = 1ULL << num_terms_;
+  auto random_wkb = [&]() {
+    static const double kPalette[] = {0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0};
+    WeightedKnowledgeBase kb(num_terms_);
+    for (uint64_t m = 0; m < space; ++m) {
+      if (rng.NextBool(0.5)) {
+        kb.SetWeight(m, kPalette[rng.NextBelow(7)]);
+      }
+    }
+    return kb;
+  };
+  std::string what;
+  for (int s = 0; s < num_samples; ++s) {
+    WeightedKnowledgeBase a = random_wkb();
+    WeightedKnowledgeBase b = random_wkb();
+    WeightedKnowledgeBase c = random_wkb();
+    const WeightedKnowledgeBase empty(num_terms_);
+    bool ok = true;
+    switch (WShapeOf(p)) {
+      case WShape::kPsiMu:
+        ok = Holds(p, a, empty, b, empty, empty, &what);
+        break;
+      case WShape::kPsiMuPhi:
+        ok = Holds(p, a, empty, b, empty, c, &what);
+        break;
+      case WShape::kPsi1Psi2Mu:
+        ok = Holds(p, a, b, c, empty, empty, &what);
+        break;
+    }
+    if (!ok) return WeightedCounterexample{p, what};
+  }
+  return std::nullopt;
+}
+
+}  // namespace arbiter

@@ -1,0 +1,61 @@
+#ifndef ARBITER_POSTULATES_WEIGHTED_CHECKER_H_
+#define ARBITER_POSTULATES_WEIGHTED_CHECKER_H_
+
+#include <optional>
+#include <string>
+
+#include "change/weighted.h"
+
+/// \file weighted_checker.h
+/// Checkers for the weighted model-fitting postulates (F1)–(F8)
+/// (paper, Section 4): the (A1)–(A8) axioms with regular knowledge
+/// bases replaced by weighted ones, ∧ read as pointwise min and ∨ as
+/// pointwise sum, implication as pointwise <=.
+///
+/// The space of weighted bases is infinite, so exhaustiveness is only
+/// available for the 0/1-weight fragment (which embeds the plain
+/// case); beyond that the checker samples random weight vectors.
+
+namespace arbiter {
+
+enum class WeightedPostulate { kF1, kF2, kF3, kF4, kF5, kF6, kF7, kF8 };
+
+/// "F1" ... "F8".
+std::string WeightedPostulateName(WeightedPostulate p);
+
+/// A found violation, rendered for diagnostics.
+struct WeightedCounterexample {
+  WeightedPostulate postulate;
+  std::string description;
+};
+
+class WeightedPostulateChecker {
+ public:
+  /// `op` must outlive the checker.
+  WeightedPostulateChecker(const WeightedChangeOperator* op, int num_terms);
+
+  /// Exhaustive over all 0/1-weight bases; requires num_terms <= 2
+  /// (3-argument postulates loop over 2^(3*2^n) tuples).
+  std::optional<WeightedCounterexample> CheckExhaustiveBinary(
+      WeightedPostulate p);
+
+  /// Randomized check over `num_samples` tuples of weighted bases with
+  /// weights drawn from a small positive palette (plus zeros).
+  std::optional<WeightedCounterexample> CheckSampled(WeightedPostulate p,
+                                                     int num_samples,
+                                                     uint64_t seed);
+
+ private:
+  bool Holds(WeightedPostulate p, const WeightedKnowledgeBase& psi1,
+             const WeightedKnowledgeBase& psi2,
+             const WeightedKnowledgeBase& mu,
+             const WeightedKnowledgeBase& mu2,
+             const WeightedKnowledgeBase& phi, std::string* what) const;
+
+  const WeightedChangeOperator* op_;
+  int num_terms_;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_POSTULATES_WEIGHTED_CHECKER_H_

@@ -1,0 +1,159 @@
+#include "postulates/weighted_representation.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace arbiter {
+
+namespace {
+
+/// Raw leq matrix derived from the operator.
+std::vector<std::vector<bool>> DeriveLeq(const WeightedChangeOperator& op,
+                                         const WeightedKnowledgeBase& psi) {
+  const int n = psi.num_terms();
+  const uint64_t space = 1ULL << n;
+  std::vector<std::vector<bool>> leq(space, std::vector<bool>(space));
+  for (uint64_t i = 0; i < space; ++i) {
+    for (uint64_t j = 0; j < space; ++j) {
+      WeightedKnowledgeBase pair(n);
+      pair.SetWeight(i, 1.0);
+      pair.SetWeight(j, 1.0);
+      leq[i][j] = op.Change(psi, pair).Weight(i) > 0;
+    }
+  }
+  return leq;
+}
+
+bool IsTotalPreorder(const std::vector<std::vector<bool>>& leq,
+                     std::string* why) {
+  const size_t space = leq.size();
+  for (size_t i = 0; i < space; ++i) {
+    if (!leq[i][i]) {
+      *why = "not reflexive at " + std::to_string(i);
+      return false;
+    }
+    for (size_t j = 0; j < space; ++j) {
+      if (!leq[i][j] && !leq[j][i]) {
+        *why = "not total at (" + std::to_string(i) + "," +
+               std::to_string(j) + ")";
+        return false;
+      }
+      if (!leq[i][j]) continue;
+      for (size_t k = 0; k < space; ++k) {
+        if (leq[j][k] && !leq[i][k]) {
+          *why = "not transitive at (" + std::to_string(i) + "," +
+                 std::to_string(j) + "," + std::to_string(k) + ")";
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TotalPreorder LeqToPreorder(const std::vector<std::vector<bool>>& leq,
+                            int num_terms) {
+  const uint64_t space = leq.size();
+  std::vector<double> ranks(space, 0);
+  for (uint64_t i = 0; i < space; ++i) {
+    int count = 0;
+    for (uint64_t j = 0; j < space; ++j) {
+      if (leq[j][i]) ++count;
+    }
+    ranks[i] = count;
+  }
+  return TotalPreorder(num_terms,
+                       [ranks](uint64_t i) { return ranks[i]; });
+}
+
+WeightedKnowledgeBase RandomWkb(Rng* rng, int n) {
+  static const double kPalette[] = {0.5, 1, 2, 3, 5, 10};
+  WeightedKnowledgeBase kb(n);
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng->NextBool(0.6)) kb.SetWeight(m, kPalette[rng->NextBelow(6)]);
+  }
+  if (!kb.IsSatisfiable()) kb.SetWeight(rng->NextBelow(1ULL << n), 1.0);
+  return kb;
+}
+
+}  // namespace
+
+TotalPreorder DeriveWeightedPreorder(const WeightedChangeOperator& op,
+                                     const WeightedKnowledgeBase& psi) {
+  return LeqToPreorder(DeriveLeq(op, psi), psi.num_terms());
+}
+
+WeightedRepresentationReport CheckWeightedRepresentation(
+    const WeightedChangeOperator& op, int num_terms, int num_samples,
+    uint64_t seed) {
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 6);
+  WeightedRepresentationReport report;
+  report.preorders_ok = true;
+  report.assignment_loyal = true;
+  report.representation_exact = true;
+  Rng rng(seed);
+  const uint64_t space = 1ULL << num_terms;
+
+  for (int s = 0; s < num_samples; ++s) {
+    WeightedKnowledgeBase psi = RandomWkb(&rng, num_terms);
+    WeightedKnowledgeBase phi = RandomWkb(&rng, num_terms);
+
+    // (1) Derived relations are total pre-orders.
+    auto leq_psi = DeriveLeq(op, psi);
+    std::string why;
+    if (!IsTotalPreorder(leq_psi, &why)) {
+      report.preorders_ok = false;
+      if (report.detail.empty()) {
+        report.detail = "derived relation broken: " + why;
+      }
+      continue;
+    }
+
+    // (2) Weighted loyalty with ∨ = pointwise sum.
+    auto leq_phi = DeriveLeq(op, phi);
+    auto leq_both = DeriveLeq(op, psi.Or(phi));
+    for (uint64_t i = 0; i < space && report.assignment_loyal; ++i) {
+      for (uint64_t j = 0; j < space; ++j) {
+        bool strict_psi = leq_psi[i][j] && !leq_psi[j][i];
+        bool weak_phi = leq_phi[i][j];
+        bool weak_psi = leq_psi[i][j];
+        bool strict_both = leq_both[i][j] && !leq_both[j][i];
+        bool weak_both = leq_both[i][j];
+        if (strict_psi && weak_phi && !strict_both) {
+          report.assignment_loyal = false;
+          if (report.detail.empty()) {
+            report.detail = "weighted loyalty (2) fails at I=" +
+                            std::to_string(i) + " J=" + std::to_string(j);
+          }
+          break;
+        }
+        if (weak_psi && weak_phi && !weak_both) {
+          report.assignment_loyal = false;
+          if (report.detail.empty()) {
+            report.detail = "weighted loyalty (3) fails at I=" +
+                            std::to_string(i) + " J=" + std::to_string(j);
+          }
+          break;
+        }
+      }
+    }
+
+    // (3) Min-representation against a sampled mu.
+    WeightedKnowledgeBase mu = RandomWkb(&rng, num_terms);
+    WeightedKnowledgeBase got = op.Change(psi, mu);
+    WeightedKnowledgeBase want =
+        mu.MinimalBy(LeqToPreorder(leq_psi, num_terms));
+    if (!got.EquivalentTo(want)) {
+      report.representation_exact = false;
+      if (report.detail.empty()) {
+        report.detail = "representation mismatch on sample " +
+                        std::to_string(s);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace arbiter

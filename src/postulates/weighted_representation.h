@@ -1,0 +1,56 @@
+#ifndef ARBITER_POSTULATES_WEIGHTED_REPRESENTATION_H_
+#define ARBITER_POSTULATES_WEIGHTED_REPRESENTATION_H_
+
+#include <string>
+
+#include "change/weighted.h"
+#include "model/preorder.h"
+
+/// \file weighted_representation.h
+/// Executable Theorem 4.1: the weighted analogue of the Theorem 3.1
+/// construction.  From a weighted operator ▷ we derive, for each
+/// weighted base ψ̃, the relation
+///
+///   I ≤ψ̃ J   iff   (ψ̃ ▷ 1_{I,J})(I) > 0
+///
+/// where 1_{I,J} is the 0/1 base supported on {I, J} (the weighted
+/// form(I, J)).  The checker then validates, over sampled weighted
+/// bases:
+///
+///   (1) the derived relations are total pre-orders;
+///   (2) the derived assignment satisfies the *weighted* loyalty
+///       conditions — where ∨ is the pointwise SUM, the semantics that
+///       repairs the plain-union failure of experiment E4;
+///   (3) Min-representation: ψ̃ ▷ μ̃ equals μ̃ restricted to the
+///       ≤ψ̃-minimal support, for sampled μ̃.
+///
+/// Theorem 4.1 promises all three for any (F1)-(F8) operator; the
+/// wdist operator passes, and weight-ignoring aggregates fail (2).
+
+namespace arbiter {
+
+struct WeightedRepresentationReport {
+  bool preorders_ok = false;
+  bool assignment_loyal = false;
+  bool representation_exact = false;
+  std::string detail;
+
+  bool IsWeightedModelFitting() const {
+    return preorders_ok && assignment_loyal && representation_exact;
+  }
+};
+
+/// Runs the Theorem 4.1 construction on `op` over an n-term
+/// vocabulary with `num_samples` random weighted-base draws.
+WeightedRepresentationReport CheckWeightedRepresentation(
+    const WeightedChangeOperator& op, int num_terms, int num_samples,
+    uint64_t seed);
+
+/// The derived pre-order of one weighted base under `op` (ranks by
+/// |{J : J ≤ I}| so ties are preserved).  Exposed for testing.
+TotalPreorder DeriveWeightedPreorder(const WeightedChangeOperator& op,
+                                     const WeightedKnowledgeBase& psi);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_POSTULATES_WEIGHTED_REPRESENTATION_H_

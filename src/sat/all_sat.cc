@@ -1,0 +1,45 @@
+#include "sat/all_sat.h"
+
+#include <algorithm>
+
+namespace arbiter::sat {
+
+int64_t EnumerateAllSat(Solver* solver, const AllSatOptions& options,
+                        const std::function<bool(uint64_t)>& on_model) {
+  ARBITER_CHECK(solver != nullptr);
+  ARBITER_CHECK(options.num_project > 0 && options.num_project <= 64);
+  ARBITER_CHECK(options.num_project <= solver->NumVars());
+
+  int64_t count = 0;
+  while (options.max_models <= 0 || count < options.max_models) {
+    SolveStatus status = solver->Solve();
+    if (status != SolveStatus::kSat) break;
+    uint64_t bits = 0;
+    for (Var v = 0; v < options.num_project; ++v) {
+      if (solver->ModelValue(v)) bits |= 1ULL << v;
+    }
+    ++count;
+    if (!on_model(bits)) break;
+    // Block this projected assignment.
+    std::vector<Lit> blocking;
+    blocking.reserve(options.num_project);
+    for (Var v = 0; v < options.num_project; ++v) {
+      blocking.push_back(Lit(v, /*negated=*/solver->ModelValue(v)));
+    }
+    if (!solver->AddClause(std::move(blocking))) break;  // space exhausted
+  }
+  return count;
+}
+
+std::vector<uint64_t> CollectAllSat(Solver* solver,
+                                    const AllSatOptions& options) {
+  std::vector<uint64_t> models;
+  EnumerateAllSat(solver, options, [&](uint64_t bits) {
+    models.push_back(bits);
+    return true;
+  });
+  std::sort(models.begin(), models.end());
+  return models;
+}
+
+}  // namespace arbiter::sat

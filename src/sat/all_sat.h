@@ -1,0 +1,44 @@
+#ifndef ARBITER_SAT_ALL_SAT_H_
+#define ARBITER_SAT_ALL_SAT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sat/solver.h"
+
+/// \file all_sat.h
+/// Model enumeration (AllSAT) on top of the CDCL solver using blocking
+/// clauses, with optional projection onto a variable prefix.  This is
+/// how Mod(φ) is computed for formulas whose Tseitin encoding
+/// introduces auxiliary variables.
+
+namespace arbiter::sat {
+
+/// Options for model enumeration.
+struct AllSatOptions {
+  /// Enumerate assignments projected onto variables [0, num_project).
+  /// Each projected assignment is reported once.  Must be in (0, 64].
+  int num_project = 0;
+  /// Stop after this many models; <= 0 means unlimited.
+  int64_t max_models = -1;
+};
+
+/// Enumerates the satisfying assignments of the clauses already loaded
+/// into `solver`, projected onto the first `options.num_project`
+/// variables.  Each model is reported as a bitmask (bit v == variable v
+/// true) via `on_model`; enumeration stops early if `on_model` returns
+/// false.  Returns the number of (projected) models reported.
+///
+/// The solver is left with the blocking clauses added; callers that
+/// need to reuse it must account for that.
+int64_t EnumerateAllSat(Solver* solver, const AllSatOptions& options,
+                        const std::function<bool(uint64_t)>& on_model);
+
+/// Convenience wrapper collecting all projected models, sorted.
+std::vector<uint64_t> CollectAllSat(Solver* solver,
+                                    const AllSatOptions& options);
+
+}  // namespace arbiter::sat
+
+#endif  // ARBITER_SAT_ALL_SAT_H_

@@ -1,0 +1,66 @@
+#include "sat/dimacs.h"
+
+#include <sstream>
+
+namespace arbiter::sat {
+
+Result<CnfInstance> ParseDimacs(const std::string& text) {
+  CnfInstance out;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  int declared_clauses = 0;
+  std::vector<Lit> current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, cnf;
+      header >> p >> cnf >> out.num_vars >> declared_clauses;
+      if (cnf != "cnf" || out.num_vars < 0 || declared_clauses < 0 ||
+          header.fail()) {
+        return Status::InvalidArgument("malformed DIMACS header: " + line);
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::InvalidArgument("clause before DIMACS header");
+    }
+    std::istringstream body(line);
+    long long x = 0;
+    while (body >> x) {
+      if (x == 0) {
+        out.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      long long v = x > 0 ? x : -x;
+      if (v > out.num_vars) {
+        return Status::InvalidArgument("literal exceeds declared variables: " +
+                                       std::to_string(x));
+      }
+      current.push_back(Lit(static_cast<Var>(v - 1), x < 0));
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("missing DIMACS header");
+  if (!current.empty()) {
+    return Status::InvalidArgument("final clause not terminated by 0");
+  }
+  return out;
+}
+
+std::string ToDimacs(const CnfInstance& instance) {
+  std::ostringstream out;
+  out << "p cnf " << instance.num_vars << " " << instance.clauses.size()
+      << "\n";
+  for (const std::vector<Lit>& clause : instance.clauses) {
+    for (Lit l : clause) {
+      out << (l.negated() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+}  // namespace arbiter::sat

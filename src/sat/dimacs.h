@@ -1,0 +1,31 @@
+#ifndef ARBITER_SAT_DIMACS_H_
+#define ARBITER_SAT_DIMACS_H_
+
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+#include "util/status.h"
+
+/// \file dimacs.h
+/// DIMACS CNF reading and writing, for interoperability with external
+/// SAT tooling and for snapshotting generated workloads.
+
+namespace arbiter::sat {
+
+/// An in-memory CNF instance.
+struct CnfInstance {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS CNF text ("p cnf <vars> <clauses>" header, clauses of
+/// nonzero integers terminated by 0, 'c' comment lines).
+Result<CnfInstance> ParseDimacs(const std::string& text);
+
+/// Renders an instance as DIMACS CNF text.
+std::string ToDimacs(const CnfInstance& instance);
+
+}  // namespace arbiter::sat
+
+#endif  // ARBITER_SAT_DIMACS_H_

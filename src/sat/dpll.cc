@@ -1,0 +1,73 @@
+#include "sat/dpll.h"
+
+namespace arbiter::sat {
+
+void DpllSolver::AddClause(std::vector<Lit> lits) {
+  if (lits.empty()) trivially_unsat_ = true;
+  clauses_.push_back(std::move(lits));
+}
+
+SolveStatus DpllSolver::Solve() {
+  if (trivially_unsat_) return SolveStatus::kUnsat;
+  std::vector<LBool> assign(num_vars_, LBool::kUndef);
+  if (!Dpll(&assign)) return SolveStatus::kUnsat;
+  model_.assign(num_vars_, false);
+  for (Var v = 0; v < num_vars_; ++v) {
+    model_[v] = (assign[v] == LBool::kTrue);
+  }
+  return SolveStatus::kSat;
+}
+
+bool DpllSolver::PropagateUnits(std::vector<LBool>* assign) const {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::vector<Lit>& clause : clauses_) {
+      int num_undef = 0;
+      Lit last_undef;
+      bool satisfied = false;
+      for (Lit l : clause) {
+        LBool val = LitValue((*assign)[l.var()], l.negated());
+        if (val == LBool::kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (val == LBool::kUndef) {
+          ++num_undef;
+          last_undef = l;
+        }
+      }
+      if (satisfied) continue;
+      if (num_undef == 0) return false;  // conflict
+      if (num_undef == 1) {
+        (*assign)[last_undef.var()] =
+            BoolToLBool(!last_undef.negated());
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+Var DpllSolver::PickVar(const std::vector<LBool>& assign) const {
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (assign[v] == LBool::kUndef) return v;
+  }
+  return kUndefVar;
+}
+
+bool DpllSolver::Dpll(std::vector<LBool>* assign) {
+  if (!PropagateUnits(assign)) return false;
+  Var v = PickVar(*assign);
+  if (v == kUndefVar) return true;  // every clause checked by propagation
+  ++decisions_;
+  for (LBool value : {LBool::kTrue, LBool::kFalse}) {
+    std::vector<LBool> saved = *assign;
+    (*assign)[v] = value;
+    if (Dpll(assign)) return true;
+    *assign = saved;
+  }
+  return false;
+}
+
+}  // namespace arbiter::sat

@@ -1,0 +1,47 @@
+#ifndef ARBITER_SAT_DPLL_H_
+#define ARBITER_SAT_DPLL_H_
+
+#include <vector>
+
+#include "sat/types.h"
+
+/// \file dpll.h
+/// A plain DPLL solver (unit propagation + chronological backtracking,
+/// no learning).  It exists as a differential-testing baseline for the
+/// CDCL solver and as the "naive" comparator in the solver benchmarks.
+
+namespace arbiter::sat {
+
+/// A self-contained DPLL solver over an immutable clause list.
+class DpllSolver {
+ public:
+  explicit DpllSolver(int num_vars) : num_vars_(num_vars) {}
+
+  /// Adds a clause; empty clauses make the instance unsatisfiable.
+  void AddClause(std::vector<Lit> lits);
+
+  /// Runs DPLL.  On kSat, `model()` holds a satisfying assignment.
+  SolveStatus Solve();
+
+  /// The satisfying assignment found by the last Solve (true = positive).
+  const std::vector<bool>& model() const { return model_; }
+
+  uint64_t num_decisions() const { return decisions_; }
+
+ private:
+  bool Dpll(std::vector<LBool>* assign);
+  /// Applies unit propagation; returns false on conflict.
+  bool PropagateUnits(std::vector<LBool>* assign) const;
+  /// Picks the first unassigned variable, or kUndefVar.
+  Var PickVar(const std::vector<LBool>& assign) const;
+
+  int num_vars_;
+  bool trivially_unsat_ = false;
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<bool> model_;
+  uint64_t decisions_ = 0;
+};
+
+}  // namespace arbiter::sat
+
+#endif  // ARBITER_SAT_DPLL_H_

@@ -1,0 +1,629 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbiter::sat {
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+Var Solver::NewVar() {
+  Var v = NumVars();
+  watches_.emplace_back();
+  watches_.emplace_back();
+  assigns_.push_back(LBool::kUndef);
+  polarity_.push_back(false);
+  reason_.push_back(nullptr);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  heap_index_.push_back(-1);
+  seen_.push_back(false);
+  HeapInsert(v);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Clause management
+// ---------------------------------------------------------------------------
+
+Clause* Solver::AllocClause(std::vector<Lit> lits, bool learnt) {
+  auto clause = std::make_unique<Clause>();
+  clause->lits = std::move(lits);
+  clause->learnt = learnt;
+  Clause* raw = clause.get();
+  clauses_.push_back(std::move(clause));
+  if (learnt) {
+    ++num_learnt_clauses_;
+  } else {
+    ++num_problem_clauses_;
+  }
+  return raw;
+}
+
+void Solver::AttachClause(Clause* c) {
+  ARBITER_DCHECK(c->size() >= 2);
+  watches_[(~(*c)[0]).code()].push_back(Watcher{c, (*c)[1]});
+  watches_[(~(*c)[1]).code()].push_back(Watcher{c, (*c)[0]});
+}
+
+void Solver::DetachClause(Clause* c) {
+  ARBITER_DCHECK(c->size() >= 2);
+  for (Lit w : {(*c)[0], (*c)[1]}) {
+    std::vector<Watcher>& ws = watches_[(~w).code()];
+    for (size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].clause == c) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::RemoveClause(Clause* c) {
+  DetachClause(c);
+  c->deleted = true;
+  if (c->learnt) {
+    --num_learnt_clauses_;
+  } else {
+    --num_problem_clauses_;
+  }
+}
+
+bool Solver::Satisfied(const Clause& c) const {
+  for (Lit l : c.lits) {
+    if (Value(l) == LBool::kTrue) return true;
+  }
+  return false;
+}
+
+bool Solver::AddClause(std::vector<Lit> lits) {
+  ARBITER_CHECK(DecisionLevel() == 0);
+  if (!ok_) return false;
+  // Sort, deduplicate, drop false literals, detect tautologies and
+  // already-satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev;
+  for (Lit l : lits) {
+    ARBITER_CHECK_MSG(l.var() >= 0 && l.var() < NumVars(),
+                      "literal over unknown variable");
+    if (Value(l) == LBool::kTrue || (prev.defined() && l == ~prev)) {
+      return true;  // clause is already true or tautological
+    }
+    if (Value(l) == LBool::kFalse || l == prev) continue;
+    out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    UncheckedEnqueue(out[0], nullptr);
+    ok_ = (Propagate() == nullptr);
+    return ok_;
+  }
+  Clause* c = AllocClause(std::move(out), /*learnt=*/false);
+  AttachClause(c);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Trail / propagation
+// ---------------------------------------------------------------------------
+
+void Solver::UncheckedEnqueue(Lit l, Clause* reason) {
+  ARBITER_DCHECK(Value(l) == LBool::kUndef);
+  assigns_[l.var()] = BoolToLBool(!l.negated());
+  reason_[l.var()] = reason;
+  level_[l.var()] = DecisionLevel();
+  trail_.push_back(l);
+}
+
+Clause* Solver::Propagate() {
+  Clause* conflict = nullptr;
+  while (qhead_ < static_cast<int>(trail_.size())) {
+    const Lit p = trail_[qhead_++];  // p is now true
+    std::vector<Watcher>& ws = watches_[p.code()];
+    size_t keep = 0;
+    size_t i = 0;
+    for (; i < ws.size(); ++i) {
+      // Fast path: blocker already true.
+      if (Value(ws[i].blocker) == LBool::kTrue) {
+        ws[keep++] = ws[i];
+        continue;
+      }
+      Clause& c = *ws[i].clause;
+      // Normalize so the false watched literal (~p) is c[1].
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      ARBITER_DCHECK(c[1] == false_lit);
+      // If the other watch is true the clause is satisfied.
+      if (Value(c[0]) == LBool::kTrue) {
+        ws[keep++] = Watcher{&c, c[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (int k = 2; k < c.size(); ++k) {
+        if (Value(c[k]) != LBool::kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).code()].push_back(Watcher{&c, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      if (Value(c[0]) == LBool::kFalse) {
+        conflict = &c;
+        ws[keep++] = Watcher{&c, c[0]};
+        // Copy the remaining watchers and stop propagating.
+        for (++i; i < ws.size(); ++i) ws[keep++] = ws[i];
+        qhead_ = static_cast<int>(trail_.size());
+        break;
+      }
+      ws[keep++] = Watcher{&c, c[0]};
+      UncheckedEnqueue(c[0], &c);
+      ++stats_.propagations;
+    }
+    ws.resize(keep);
+    if (conflict != nullptr) break;
+  }
+  return conflict;
+}
+
+void Solver::CancelUntil(int target_level) {
+  if (DecisionLevel() <= target_level) return;
+  const int bound = trail_lim_[target_level];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    Var v = trail_[i].var();
+    polarity_[v] = (assigns_[v] == LBool::kTrue);
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = nullptr;
+    if (!HeapContains(v)) HeapInsert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  qhead_ = bound;
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis (first UIP + recursive minimization)
+// ---------------------------------------------------------------------------
+
+void Solver::Analyze(Clause* conflict, std::vector<Lit>* out_learnt,
+                     int* out_btlevel) {
+  out_learnt->clear();
+  out_learnt->push_back(Lit());  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p;  // undefined
+  int index = static_cast<int>(trail_.size()) - 1;
+
+  Clause* reason = conflict;
+  do {
+    ARBITER_DCHECK(reason != nullptr);
+    if (reason->learnt) ClauseBumpActivity(reason);
+    for (Lit q : reason->lits) {
+      if (p.defined() && q == p) continue;
+      Var v = q.var();
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = true;
+        VarBumpActivity(v);
+        if (level_[v] >= DecisionLevel()) {
+          ++counter;
+        } else {
+          out_learnt->push_back(q);
+        }
+      }
+    }
+    // Select the next trail literal to expand.
+    while (!seen_[trail_[index].var()]) --index;
+    p = trail_[index];
+    --index;
+    reason = reason_[p.var()];
+    seen_[p.var()] = false;
+    --counter;
+  } while (counter > 0);
+  (*out_learnt)[0] = ~p;
+
+  // Recursive clause minimization.
+  analyze_toclear_ = *out_learnt;
+  for (const Lit l : *out_learnt) seen_[l.var()] = true;
+  uint32_t abstract_levels = 0;
+  for (size_t i = 1; i < out_learnt->size(); ++i) {
+    abstract_levels |= 1u << (level_[(*out_learnt)[i].var()] & 31);
+  }
+  size_t keep = 1;
+  for (size_t i = 1; i < out_learnt->size(); ++i) {
+    Lit l = (*out_learnt)[i];
+    if (reason_[l.var()] == nullptr || !LitRedundant(l, abstract_levels)) {
+      (*out_learnt)[keep++] = l;
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  out_learnt->resize(keep);
+
+  for (Lit l : analyze_toclear_) seen_[l.var()] = false;
+  analyze_toclear_.clear();
+
+  // Find the backtrack level: the second-highest level in the clause.
+  if (out_learnt->size() == 1) {
+    *out_btlevel = 0;
+  } else {
+    size_t max_i = 1;
+    for (size_t i = 2; i < out_learnt->size(); ++i) {
+      if (level_[(*out_learnt)[i].var()] >
+          level_[(*out_learnt)[max_i].var()]) {
+        max_i = i;
+      }
+    }
+    std::swap((*out_learnt)[1], (*out_learnt)[max_i]);
+    *out_btlevel = level_[(*out_learnt)[1].var()];
+  }
+
+  stats_.learnt_literals += out_learnt->size();
+}
+
+bool Solver::LitRedundant(Lit l, uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    Lit cur = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    Clause* reason = reason_[cur.var()];
+    ARBITER_DCHECK(reason != nullptr);
+    for (Lit q : reason->lits) {
+      Var v = q.var();
+      if (v == cur.var()) continue;  // the implied literal itself
+      if (seen_[v] || level_[v] == 0) continue;
+      if (reason_[v] != nullptr &&
+          ((1u << (level_[v] & 31)) & abstract_levels) != 0) {
+        seen_[v] = true;
+        analyze_stack_.push_back(q);
+        analyze_toclear_.push_back(q);
+      } else {
+        // Not removable: undo the marks added during this call.
+        for (size_t j = top; j < analyze_toclear_.size(); ++j) {
+          seen_[analyze_toclear_[j].var()] = false;
+        }
+        analyze_toclear_.resize(top);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::AnalyzeFinal(Lit p, std::vector<Lit>* out_conflict) {
+  out_conflict->clear();
+  out_conflict->push_back(p);
+  if (DecisionLevel() == 0) return;
+  seen_[p.var()] = true;
+  for (int i = static_cast<int>(trail_.size()) - 1;
+       i >= trail_lim_[0]; --i) {
+    Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    if (reason_[v] == nullptr) {
+      ARBITER_DCHECK(level_[v] > 0);
+      out_conflict->push_back(~trail_[i]);
+    } else {
+      for (Lit q : reason_[v]->lits) {
+        if (q.var() != v && level_[q.var()] > 0) seen_[q.var()] = true;
+      }
+    }
+    seen_[v] = false;
+  }
+  seen_[p.var()] = false;
+}
+
+// ---------------------------------------------------------------------------
+// Activity heuristics
+// ---------------------------------------------------------------------------
+
+void Solver::VarBumpActivity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (HeapContains(v)) HeapUpdate(v);
+}
+
+void Solver::VarDecayActivity() { var_inc_ /= var_decay_; }
+
+void Solver::ClauseBumpActivity(Clause* c) {
+  c->activity += clause_inc_;
+  if (c->activity > 1e20) {
+    for (const auto& clause : clauses_) {
+      if (clause->learnt && !clause->deleted) clause->activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::ClauseDecayActivity() { clause_inc_ /= clause_decay_; }
+
+Lit Solver::PickBranchLit() {
+  while (!HeapEmpty()) {
+    Var v = HeapRemoveMax();
+    if (Value(v) == LBool::kUndef) {
+      return Lit(v, !polarity_[v]);  // phase saving
+    }
+  }
+  return Lit();  // undefined: all variables assigned
+}
+
+// ---------------------------------------------------------------------------
+// Binary max-heap keyed on activity_
+// ---------------------------------------------------------------------------
+
+void Solver::HeapInsert(Var v) {
+  ARBITER_DCHECK(!HeapContains(v));
+  heap_index_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  HeapPercolateUp(heap_index_[v]);
+}
+
+void Solver::HeapUpdate(Var v) {
+  HeapPercolateUp(heap_index_[v]);
+  HeapPercolateDown(heap_index_[v]);
+}
+
+Var Solver::HeapRemoveMax() {
+  ARBITER_DCHECK(!heap_.empty());
+  Var top = heap_[0];
+  heap_[0] = heap_.back();
+  heap_index_[heap_[0]] = 0;
+  heap_.pop_back();
+  heap_index_[top] = -1;
+  if (!heap_.empty()) HeapPercolateDown(0);
+  return top;
+}
+
+void Solver::HeapPercolateUp(int i) {
+  Var v = heap_[i];
+  while (i > 0) {
+    int parent = (i - 1) >> 1;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_index_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_index_[v] = i;
+}
+
+void Solver::HeapPercolateDown(int i) {
+  Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_index_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_index_[v] = i;
+}
+
+// ---------------------------------------------------------------------------
+// Learnt clause DB reduction
+// ---------------------------------------------------------------------------
+
+void Solver::ReduceDB() {
+  ++stats_.reduce_db_runs;
+  std::vector<Clause*> learnts;
+  for (const auto& c : clauses_) {
+    if (c->learnt && !c->deleted) learnts.push_back(c.get());
+  }
+  std::sort(learnts.begin(), learnts.end(),
+            [](const Clause* a, const Clause* b) {
+              if ((a->size() > 2) != (b->size() > 2)) return a->size() > 2;
+              return a->activity < b->activity;
+            });
+  const double threshold =
+      clause_inc_ / std::max<size_t>(learnts.size(), 1);
+  size_t removed = 0;
+  for (size_t i = 0; i < learnts.size(); ++i) {
+    Clause* c = learnts[i];
+    if (c->size() <= 2) continue;
+    // Never remove reason clauses of current assignments.
+    bool locked = false;
+    for (Lit l : c->lits) {
+      if (reason_[l.var()] == c && Value(l) == LBool::kTrue) {
+        locked = true;
+        break;
+      }
+    }
+    if (locked) continue;
+    if (i < learnts.size() / 2 || c->activity < threshold) {
+      RemoveClause(c);
+      ++removed;
+    }
+  }
+  // Physically drop deleted clauses when they dominate the arena.
+  if (removed > 0 && clauses_.size() > 64 &&
+      removed * 4 > clauses_.size()) {
+    clauses_.erase(std::remove_if(clauses_.begin(), clauses_.end(),
+                                  [](const std::unique_ptr<Clause>& c) {
+                                    return c->deleted;
+                                  }),
+                   clauses_.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+double Solver::LubySequence(double y, int i) {
+  // Finite-subsequence trick from MiniSat.
+  int size = 1;
+  int seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+SolveStatus Solver::Search(int64_t max_conflicts) {
+  int64_t conflicts_here = 0;
+  std::vector<Lit> learnt;
+  double max_learnts =
+      max_learnts_factor_ * std::max(num_problem_clauses_, 100);
+
+  for (;;) {
+    Clause* conflict = Propagate();
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (DecisionLevel() == 0) return SolveStatus::kUnsat;
+      int btlevel = 0;
+      Analyze(conflict, &learnt, &btlevel);
+      CancelUntil(btlevel);
+      if (learnt.size() == 1) {
+        UncheckedEnqueue(learnt[0], nullptr);
+      } else {
+        Clause* c = AllocClause(learnt, /*learnt=*/true);
+        ClauseBumpActivity(c);
+        AttachClause(c);
+        UncheckedEnqueue(learnt[0], c);
+      }
+      ++stats_.learnt_clauses;
+      VarDecayActivity();
+      ClauseDecayActivity();
+      continue;
+    }
+
+    // No conflict.
+    if (conflicts_here >= max_conflicts) {
+      CancelUntil(0);
+      return SolveStatus::kUnknown;  // restart
+    }
+    if (conflict_budget_ >= 0 &&
+        static_cast<int64_t>(stats_.conflicts) > conflict_budget_) {
+      CancelUntil(0);
+      return SolveStatus::kUnknown;
+    }
+    if (num_learnt_clauses_ > max_learnts +
+                                  static_cast<double>(trail_.size())) {
+      ReduceDB();
+      max_learnts *= learnt_growth_;
+    }
+
+    // Assumptions first, then a decision.
+    Lit next;
+    while (DecisionLevel() < static_cast<int>(assumptions_.size())) {
+      Lit a = assumptions_[DecisionLevel()];
+      if (Value(a) == LBool::kTrue) {
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+      } else if (Value(a) == LBool::kFalse) {
+        // The assumption is refuted by the others already enqueued:
+        // extract the failing subset for FailedAssumptions().
+        std::vector<Lit> negated_core;
+        AnalyzeFinal(~a, &negated_core);
+        failed_assumptions_.clear();
+        for (Lit l : negated_core) failed_assumptions_.push_back(~l);
+        return SolveStatus::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (!next.defined()) {
+      next = PickBranchLit();
+      if (!next.defined()) {
+        // All variables assigned: a model.
+        model_.assign(assigns_.begin(), assigns_.end());
+        return SolveStatus::kSat;
+      }
+      ++stats_.decisions;
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    UncheckedEnqueue(next, nullptr);
+  }
+}
+
+void Solver::SimplifyDb() {
+  if (!ok_ || DecisionLevel() != 0) return;
+  // Make sure root-level propagation is complete first.
+  if (Propagate() != nullptr) {
+    ok_ = false;
+    return;
+  }
+  // Root-level assignments are permanent facts; drop their reason
+  // pointers so removing the (now satisfied) reason clauses is safe.
+  for (Lit l : trail_) reason_[l.var()] = nullptr;
+  size_t removed = 0;
+  for (const auto& owned : clauses_) {
+    Clause* c = owned.get();
+    if (c->deleted) continue;
+    if (Satisfied(*c)) {
+      RemoveClause(c);
+      ++removed;
+      continue;
+    }
+    // Not satisfied and fully propagated at level 0: both watches are
+    // unassigned, so falsified literals sit at positions >= 2 and can
+    // be dropped without touching the watcher lists.
+    for (int k = c->size() - 1; k >= 2; --k) {
+      if (Value((*c)[k]) == LBool::kFalse) {
+        (*c)[k] = c->lits.back();
+        c->lits.pop_back();
+      }
+    }
+  }
+  if (removed > 0 && clauses_.size() > 64 &&
+      removed * 4 > clauses_.size()) {
+    clauses_.erase(std::remove_if(clauses_.begin(), clauses_.end(),
+                                  [](const std::unique_ptr<Clause>& c) {
+                                    return c->deleted;
+                                  }),
+                   clauses_.end());
+  }
+}
+
+SolveStatus Solver::Solve() { return SolveAssuming({}); }
+
+SolveStatus Solver::SolveAssuming(const std::vector<Lit>& assumptions) {
+  if (!ok_) return SolveStatus::kUnsat;
+  SimplifyDb();
+  if (!ok_) return SolveStatus::kUnsat;
+  assumptions_ = assumptions;
+  failed_assumptions_.clear();
+  model_.clear();
+
+  SolveStatus status = SolveStatus::kUnknown;
+  for (int restart = 0; status == SolveStatus::kUnknown; ++restart) {
+    const double base = 100.0;
+    int64_t budget = static_cast<int64_t>(LubySequence(2.0, restart) * base);
+    status = Search(budget);
+    if (status == SolveStatus::kUnknown) ++stats_.restarts;
+    if (conflict_budget_ >= 0 &&
+        static_cast<int64_t>(stats_.conflicts) > conflict_budget_) {
+      break;
+    }
+  }
+  CancelUntil(0);
+  assumptions_.clear();
+  return status;
+}
+
+}  // namespace arbiter::sat

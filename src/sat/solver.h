@@ -1,0 +1,198 @@
+#ifndef ARBITER_SAT_SOLVER_H_
+#define ARBITER_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sat/types.h"
+
+/// \file solver.h
+/// A conflict-driven clause-learning (CDCL) SAT solver built from
+/// scratch in the MiniSat tradition:
+///
+///  * two-watched-literal propagation with blocker literals,
+///  * first-UIP conflict analysis with recursive clause minimization,
+///  * exponential VSIDS variable activities with a binary heap,
+///  * phase saving,
+///  * Luby-sequence restarts,
+///  * activity-driven learnt-clause database reduction,
+///  * incremental solving under assumptions (used by AllSAT and the
+///    CEGAR arbitration loop in src/solve/).
+
+namespace arbiter::sat {
+
+/// Aggregate solver statistics (monotone over the solver's lifetime).
+struct SolverStats {
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t restarts = 0;
+  uint64_t learnt_clauses = 0;
+  uint64_t learnt_literals = 0;
+  uint64_t minimized_literals = 0;
+  uint64_t reduce_db_runs = 0;
+};
+
+/// CDCL SAT solver.  Not thread-safe.  Typical use:
+///
+///   Solver s;
+///   Var a = s.NewVar(), b = s.NewVar();
+///   s.AddClause({Lit::Pos(a), Lit::Neg(b)});
+///   if (s.Solve() == SolveStatus::kSat) { bool va = s.ModelValue(a); }
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Creates a fresh variable and returns it.
+  Var NewVar();
+
+  /// Number of variables created so far.
+  int NumVars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause (disjunction of literals).  Returns false if the
+  /// solver became trivially unsatisfiable (empty clause, or conflict
+  /// at decision level 0).  Literals over unseen variables are invalid.
+  bool AddClause(std::vector<Lit> lits);
+
+  /// Convenience single/double/triple literal overloads.
+  bool AddUnit(Lit a) { return AddClause({a}); }
+  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+  bool AddTernary(Lit a, Lit b, Lit c) { return AddClause({a, b, c}); }
+
+  /// Top-level (decision level 0) database simplification: removes
+  /// clauses satisfied by root assignments and strips falsified
+  /// literals.  Called automatically at the start of each Solve; safe
+  /// to call manually between solves.
+  void SimplifyDb();
+
+  /// Solves the current formula.  Returns kUnsat/kSat, or kUnknown if
+  /// the conflict budget (if any) is exhausted.
+  SolveStatus Solve();
+
+  /// Solves under the given assumptions (temporary unit literals).
+  SolveStatus SolveAssuming(const std::vector<Lit>& assumptions);
+
+  /// After SolveAssuming returned kUnsat: a subset of the assumptions
+  /// that is already inconsistent with the clause database (the
+  /// "unsat core" over assumptions; empty if the database is
+  /// unsatisfiable on its own).
+  const std::vector<Lit>& FailedAssumptions() const {
+    return failed_assumptions_;
+  }
+
+  /// Value of v in the most recent satisfying model.  Only valid after
+  /// Solve() returned kSat.
+  bool ModelValue(Var v) const {
+    ARBITER_DCHECK(v >= 0 && v < static_cast<int>(model_.size()));
+    return model_[v] == LBool::kTrue;
+  }
+
+  /// True iff the solver has derived top-level unsatisfiability.
+  bool InConflict() const { return !ok_; }
+
+  /// Sets a conflict budget for subsequent Solve calls; < 0 disables.
+  void SetConflictBudget(int64_t conflicts) { conflict_budget_ = conflicts; }
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// Number of problem (non-learnt) clauses currently held.
+  int NumProblemClauses() const { return num_problem_clauses_; }
+  /// Number of learnt clauses currently held.
+  int NumLearntClauses() const { return num_learnt_clauses_; }
+
+ private:
+  struct Watcher {
+    Clause* clause;
+    Lit blocker;
+  };
+
+  // --- assignment & trail ---
+  LBool Value(Var v) const { return assigns_[v]; }
+  LBool Value(Lit l) const { return LitValue(assigns_[l.var()], l.negated()); }
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  void UncheckedEnqueue(Lit l, Clause* reason);
+  Clause* Propagate();
+  void CancelUntil(int level);
+
+  // --- conflict analysis ---
+  void Analyze(Clause* conflict, std::vector<Lit>* out_learnt,
+               int* out_btlevel);
+  bool LitRedundant(Lit l, uint32_t abstract_levels);
+  void AnalyzeFinal(Lit p, std::vector<Lit>* out_conflict);
+
+  // --- decision heuristics ---
+  void VarBumpActivity(Var v);
+  void VarDecayActivity();
+  void ClauseBumpActivity(Clause* c);
+  void ClauseDecayActivity();
+  Lit PickBranchLit();
+
+  // --- order heap (max-heap on activity) ---
+  void HeapInsert(Var v);
+  void HeapUpdate(Var v);
+  Var HeapRemoveMax();
+  bool HeapEmpty() const { return heap_.empty(); }
+  void HeapPercolateUp(int i);
+  void HeapPercolateDown(int i);
+  bool HeapContains(Var v) const { return heap_index_[v] >= 0; }
+
+  // --- clause management ---
+  Clause* AllocClause(std::vector<Lit> lits, bool learnt);
+  void AttachClause(Clause* c);
+  void DetachClause(Clause* c);
+  void RemoveClause(Clause* c);
+  void ReduceDB();
+  bool Satisfied(const Clause& c) const;
+
+  // --- search ---
+  SolveStatus Search(int64_t max_conflicts);
+  static double LubySequence(double y, int i);
+
+  bool ok_ = true;
+
+  std::vector<std::unique_ptr<Clause>> clauses_;  // owns all clauses
+  int num_problem_clauses_ = 0;
+  int num_learnt_clauses_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+  std::vector<LBool> assigns_;                 // indexed by var
+  std::vector<bool> polarity_;                 // saved phase, per var
+  std::vector<Clause*> reason_;                // per var
+  std::vector<int> level_;                     // per var
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  int qhead_ = 0;
+
+  std::vector<double> activity_;  // per var
+  double var_inc_ = 1.0;
+  double var_decay_ = 0.95;
+  double clause_inc_ = 1.0;
+  double clause_decay_ = 0.999;
+
+  std::vector<Var> heap_;        // binary max-heap of vars
+  std::vector<int> heap_index_;  // var -> heap position or -1
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> failed_assumptions_;
+  std::vector<LBool> model_;
+
+  // Scratch for Analyze.
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_toclear_;
+
+  int64_t conflict_budget_ = -1;
+  double max_learnts_factor_ = 1.0 / 3.0;
+  double learnt_growth_ = 1.1;
+
+  SolverStats stats_;
+};
+
+}  // namespace arbiter::sat
+
+#endif  // ARBITER_SAT_SOLVER_H_

@@ -1,0 +1,88 @@
+#ifndef ARBITER_SAT_TYPES_H_
+#define ARBITER_SAT_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file types.h
+/// Core SAT solver value types: variables, literals, ternary values.
+///
+/// Variables are dense nonnegative integers.  A literal packs a
+/// variable and a sign into one int: lit = 2*var + (negated ? 1 : 0),
+/// the classic MiniSat encoding.
+
+namespace arbiter::sat {
+
+/// A propositional variable (0-based index).
+using Var = int;
+
+inline constexpr Var kUndefVar = -1;
+
+/// A literal: variable plus sign.
+class Lit {
+ public:
+  Lit() : code_(-2) {}
+  Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {
+    ARBITER_DCHECK(v >= 0);
+  }
+
+  static Lit FromCode(int code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  /// Positive literal of v.
+  static Lit Pos(Var v) { return Lit(v, false); }
+  /// Negative literal of v.
+  static Lit Neg(Var v) { return Lit(v, true); }
+
+  Var var() const { return code_ >> 1; }
+  bool negated() const { return code_ & 1; }
+  Lit operator~() const { return FromCode(code_ ^ 1); }
+  int code() const { return code_; }
+  bool defined() const { return code_ >= 0; }
+
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+  bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+ private:
+  int code_;
+};
+
+inline constexpr int kLitUndefCode = -2;
+
+/// Ternary truth value.
+enum class LBool : int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool BoolToLBool(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+
+/// Applies a literal's sign to a variable's value.
+inline LBool LitValue(LBool var_value, bool negated) {
+  if (var_value == LBool::kUndef) return LBool::kUndef;
+  bool v = (var_value == LBool::kTrue);
+  return BoolToLBool(negated ? !v : v);
+}
+
+/// A clause: a disjunction of literals.
+struct Clause {
+  std::vector<Lit> lits;
+  double activity = 0.0;
+  bool learnt = false;
+  /// Marked for deletion by ReduceDB; physically removed lazily.
+  bool deleted = false;
+
+  int size() const { return static_cast<int>(lits.size()); }
+  Lit& operator[](int i) { return lits[i]; }
+  const Lit& operator[](int i) const { return lits[i]; }
+};
+
+/// Result of a solve call.
+enum class SolveStatus { kSat, kUnsat, kUnknown };
+
+}  // namespace arbiter::sat
+
+#endif  // ARBITER_SAT_TYPES_H_

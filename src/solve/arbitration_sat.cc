@@ -1,0 +1,174 @@
+#include "solve/arbitration_sat.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "enc/totalizer.h"
+#include "enc/tseitin.h"
+#include "solve/sat_bridge.h"
+
+namespace arbiter::solve {
+
+using sat::Lit;
+using sat::Solver;
+using sat::SolveStatus;
+
+int SatOverallDist(const Formula& psi, int num_terms, uint64_t point,
+                   uint64_t* witness) {
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 63);
+  Solver solver;
+  enc::TseitinEncoder encoder(&solver);
+  encoder.ReserveInputVars(num_terms);
+  if (!encoder.Assert(psi)) return -1;
+  if (solver.Solve() != SolveStatus::kSat) return -1;
+
+  auto extract = [&]() {
+    uint64_t y = 0;
+    for (int i = 0; i < num_terms; ++i) {
+      if (solver.ModelValue(i)) y |= 1ULL << i;
+    }
+    return y;
+  };
+  uint64_t best_witness = extract();
+
+  enc::Totalizer counter(&solver,
+                            MakeConstDiffLits(num_terms, point));
+  // Largest k such that some y ⊨ ψ has dist(point, y) >= k.
+  int lo = 0;
+  int hi = num_terms;
+  while (lo < hi) {
+    int mid = (lo + hi + 1) / 2;
+    if (solver.SolveAssuming({counter.AtLeast(mid)}) == SolveStatus::kSat) {
+      best_witness = extract();
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (witness != nullptr) *witness = best_witness;
+  return lo;
+}
+
+namespace {
+
+/// Shared master-problem state for the CEGAR loop.
+struct Master {
+  Solver solver;
+  int num_terms;
+  /// One unary counter per collected witness y: counts the bits where
+  /// the candidate x differs from y.
+  std::vector<std::unique_ptr<enc::Totalizer>> counters;
+
+  explicit Master(const Formula& mu, int n) : num_terms(n) {
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(n);
+    encoder.Assert(mu);
+  }
+
+  void AddWitness(uint64_t y) {
+    counters.push_back(std::make_unique<enc::Totalizer>(
+        &solver, MakeConstDiffLits(num_terms, y)));
+  }
+
+  /// Assumption set bounding the distance to every witness by k.
+  std::vector<Lit> BoundAssumptions(int k) const {
+    std::vector<Lit> out;
+    for (const auto& c : counters) {
+      if (k < c->size()) out.push_back(c->AtMost(k));
+    }
+    return out;
+  }
+
+  uint64_t ExtractModel() const {
+    uint64_t x = 0;
+    for (int i = 0; i < num_terms; ++i) {
+      if (solver.ModelValue(i)) x |= 1ULL << i;
+    }
+    return x;
+  }
+
+  /// Permanently blocks the candidate x (projection on the inputs).
+  bool Block(uint64_t x) {
+    std::vector<Lit> clause;
+    clause.reserve(num_terms);
+    for (int i = 0; i < num_terms; ++i) {
+      clause.push_back(Lit(i, /*negated=*/((x >> i) & 1) != 0));
+    }
+    return solver.AddClause(std::move(clause));
+  }
+};
+
+}  // namespace
+
+CegarResult CegarMaxFitting(const Formula& psi, const Formula& mu,
+                            int num_terms, int64_t max_models) {
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 63);
+  CegarResult result;
+  if (!SatIsSatisfiable(psi, num_terms)) return result;  // (A2)
+
+  Master master(mu, num_terms);
+  if (master.solver.Solve() != SolveStatus::kSat) return result;  // μ unsat
+
+  // Initialize the incumbent from any model of μ.
+  uint64_t incumbent = master.ExtractModel();
+  uint64_t y0 = 0;
+  int best = SatOverallDist(psi, num_terms, incumbent, &y0);
+  ARBITER_CHECK(best >= 0);
+  master.AddWitness(y0);
+  ++result.iterations;
+
+  // Tighten: look for x ⊨ μ with all witness distances <= best - 1.
+  while (best > 0) {
+    ++result.iterations;
+    SolveStatus status =
+        master.solver.SolveAssuming(master.BoundAssumptions(best - 1));
+    if (status != SolveStatus::kSat) break;  // best is optimal
+    uint64_t candidate = master.ExtractModel();
+    uint64_t y = 0;
+    int value = SatOverallDist(psi, num_terms, candidate, &y);
+    ARBITER_CHECK(value >= 0);
+    if (value < best) {
+      best = value;
+      incumbent = candidate;
+    }
+    // dist(candidate, y) = value >= best, so the new counter excludes
+    // this candidate at every future threshold: guaranteed progress.
+    master.AddWitness(y);
+  }
+
+  result.optimal_value = best;
+  result.optimal_model = incumbent;
+
+  // Enumerate all optimal models: candidates passing the witness
+  // bounds at k = best, verified (and either recorded or refuted) by
+  // the oracle.
+  std::vector<Lit> bounds = master.BoundAssumptions(best);
+  while (static_cast<int64_t>(result.models.size()) <= max_models) {
+    ++result.iterations;
+    if (master.solver.SolveAssuming(bounds) != SolveStatus::kSat) break;
+    uint64_t candidate = master.ExtractModel();
+    uint64_t y = 0;
+    int value = SatOverallDist(psi, num_terms, candidate, &y);
+    if (value <= best) {
+      result.models.push_back(candidate);
+      if (!master.Block(candidate)) break;
+    } else {
+      master.AddWitness(y);
+      bounds = master.BoundAssumptions(best);
+    }
+  }
+  if (static_cast<int64_t>(result.models.size()) > max_models) {
+    result.models.resize(max_models);
+    result.truncated = true;
+  }
+  std::sort(result.models.begin(), result.models.end());
+  return result;
+}
+
+CegarResult CegarMaxArbitration(const Formula& psi, const Formula& phi,
+                                int num_terms, int64_t max_models) {
+  return CegarMaxFitting(Or(psi, phi), Formula::True(), num_terms,
+                         max_models);
+}
+
+}  // namespace arbiter::solve

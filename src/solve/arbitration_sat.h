@@ -1,0 +1,59 @@
+#ifndef ARBITER_SOLVE_ARBITRATION_SAT_H_
+#define ARBITER_SOLVE_ARBITRATION_SAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+
+/// \file arbitration_sat.h
+/// SAT-based model-fitting and arbitration for vocabularies beyond the
+/// enumeration limit.  The paper's max-based fitting
+///
+///   ψ ▷ μ = argmin_{x ⊨ μ} max_{y ⊨ ψ} dist(x, y)
+///
+/// is a min–max problem; we solve it with counterexample-guided
+/// abstraction refinement (CEGAR):
+///
+///   1. propose a candidate x ⊨ μ consistent with all distance bounds
+///      collected so far (master problem, assumptions on unary
+///      counters);
+///   2. evaluate odist(ψ, x) exactly by maximizing the distance with a
+///      second SAT search (oracle);
+///   3. either tighten the incumbent or add the maximizing y as a new
+///      distance-bound witness, and repeat until the master is
+///      unsatisfiable at bound best-1.
+
+namespace arbiter::solve {
+
+/// odist(ψ, point) = max_{y ⊨ ψ} dist(point, y), computed by binary
+/// search with cardinality constraints.  Returns -1 if ψ is
+/// unsatisfiable.  If `witness` is non-null it receives a maximizing y.
+int SatOverallDist(const Formula& psi, int num_terms, uint64_t point,
+                   uint64_t* witness = nullptr);
+
+/// Outcome of a CEGAR min–max run.
+struct CegarResult {
+  /// min_{x ⊨ μ} odist(ψ, x); -1 if ψ or μ is unsatisfiable.
+  int optimal_value = -1;
+  /// One optimal x.
+  uint64_t optimal_model = 0;
+  /// All optimal models of μ (sorted, capped at max_models).
+  std::vector<uint64_t> models;
+  bool truncated = false;
+  /// Number of master/oracle iterations.
+  int iterations = 0;
+};
+
+/// Computes the paper's max-based model-fitting ψ ▷ μ by CEGAR
+/// (n <= 63 terms).  Enumerates up to `max_models` optimal models.
+CegarResult CegarMaxFitting(const Formula& psi, const Formula& mu,
+                            int num_terms, int64_t max_models = 1024);
+
+/// Arbitration ψ Δ φ = (ψ ∨ φ) ▷ ⊤ via CEGAR.
+CegarResult CegarMaxArbitration(const Formula& psi, const Formula& phi,
+                                int num_terms, int64_t max_models = 1024);
+
+}  // namespace arbiter::solve
+
+#endif  // ARBITER_SOLVE_ARBITRATION_SAT_H_

@@ -1,0 +1,84 @@
+#include "solve/dalal_sat.h"
+
+#include "enc/totalizer.h"
+#include "enc/tseitin.h"
+#include "sat/all_sat.h"
+#include "solve/sat_bridge.h"
+
+namespace arbiter::solve {
+
+using sat::Lit;
+using sat::Solver;
+using sat::SolveStatus;
+
+SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
+                                 int num_terms, int64_t max_models) {
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 63);
+  SatRevisionResult result;
+
+  // Degenerate cases first.
+  if (!SatIsSatisfiable(mu, num_terms)) {
+    ++result.num_sat_calls;
+    return result;  // Mod(μ) empty ⇒ revision empty.
+  }
+  if (!SatIsSatisfiable(psi, num_terms)) {
+    result.num_sat_calls += 2;
+    result.psi_unsat = true;
+    result.min_distance = 0;
+    // Convention: ψ unsatisfiable ⇒ result is Mod(μ).
+    Solver solver;
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(num_terms);
+    encoder.Assert(mu);
+    sat::AllSatOptions options;
+    options.num_project = num_terms;
+    options.max_models = max_models + 1;
+    result.models = sat::CollectAllSat(&solver, options);
+    if (static_cast<int64_t>(result.models.size()) > max_models) {
+      result.models.resize(max_models);
+      result.truncated = true;
+    }
+    return result;
+  }
+
+  // Joint solver: x = model of μ on [0, n), y = model of ψ on [n, 2n).
+  Solver solver;
+  enc::TseitinEncoder encoder(&solver);
+  encoder.ReserveInputVars(2 * num_terms);
+  encoder.Assert(mu);
+  encoder.Assert(ShiftVars(psi, num_terms));
+  std::vector<Lit> diffs = MakeDiffBits(&solver, num_terms, num_terms);
+  enc::Totalizer counter(&solver, diffs);
+
+  // Binary search the least k with a solution at distance <= k.
+  // Both inputs are satisfiable, so k = n always works.
+  int lo = 0;
+  int hi = num_terms;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    ++result.num_sat_calls;
+    SolveStatus status =
+        solver.SolveAssuming({counter.AtMost(mid)});
+    if (status == SolveStatus::kSat) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.min_distance = lo;
+
+  // Freeze the optimum and enumerate result models projected onto x.
+  if (lo < num_terms) solver.AddUnit(counter.AtMost(lo));
+  sat::AllSatOptions options;
+  options.num_project = num_terms;
+  options.max_models = max_models + 1;
+  result.models = sat::CollectAllSat(&solver, options);
+  result.num_sat_calls += static_cast<int>(result.models.size()) + 1;
+  if (static_cast<int64_t>(result.models.size()) > max_models) {
+    result.models.resize(max_models);
+    result.truncated = true;
+  }
+  return result;
+}
+
+}  // namespace arbiter::solve

@@ -1,0 +1,41 @@
+#ifndef ARBITER_SOLVE_DALAL_SAT_H_
+#define ARBITER_SOLVE_DALAL_SAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+
+/// \file dalal_sat.h
+/// SAT-based Dalal revision that scales past the 2^n enumeration wall:
+/// the minimum Hamming distance between Mod(ψ) and Mod(μ) is found by
+/// binary search over a unary counter on XOR difference bits, and the
+/// revised models are enumerated with AllSAT under the optimal bound.
+/// This is experiment E8's "large vocabulary" arm (DESIGN.md).
+
+namespace arbiter::solve {
+
+/// Outcome of a SAT-based revision.
+struct SatRevisionResult {
+  /// Minimum distance between Mod(ψ) and Mod(μ); -1 if μ is
+  /// unsatisfiable, 0 with `psi_unsat` set if ψ is unsatisfiable
+  /// (convention: result is Mod(μ)).
+  int min_distance = -1;
+  bool psi_unsat = false;
+  /// Models of ψ ∘_dalal μ (projected onto the vocabulary), sorted.
+  std::vector<uint64_t> models;
+  /// True iff enumeration stopped at the cap.
+  bool truncated = false;
+  /// Number of SAT solver calls made.
+  int num_sat_calls = 0;
+};
+
+/// Computes Dalal's revision of ψ by μ over an n-term vocabulary
+/// (n <= 63) using CDCL + cardinality constraints only — no 2^n
+/// enumeration.  At most `max_models` result models are produced.
+SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
+                                 int num_terms, int64_t max_models = 1024);
+
+}  // namespace arbiter::solve
+
+#endif  // ARBITER_SOLVE_DALAL_SAT_H_

@@ -1,0 +1,76 @@
+#include "solve/sat_bridge.h"
+
+#include "enc/cardinality.h"
+#include "enc/tseitin.h"
+
+namespace arbiter::solve {
+
+Formula ShiftVars(const Formula& f, int offset) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kVar:
+      return Formula::Var(f.var() + offset);
+    case FormulaKind::kNot:
+      return Not(ShiftVars(f.child(0), offset));
+    case FormulaKind::kAnd: {
+      std::vector<Formula> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) {
+        parts.push_back(ShiftVars(c, offset));
+      }
+      return And(std::move(parts));
+    }
+    case FormulaKind::kOr: {
+      std::vector<Formula> parts;
+      parts.reserve(f.num_children());
+      for (const Formula& c : f.children()) {
+        parts.push_back(ShiftVars(c, offset));
+      }
+      return Or(std::move(parts));
+    }
+    case FormulaKind::kImplies:
+      return Implies(ShiftVars(f.child(0), offset),
+                     ShiftVars(f.child(1), offset));
+    case FormulaKind::kIff:
+      return Iff(ShiftVars(f.child(0), offset),
+                 ShiftVars(f.child(1), offset));
+    case FormulaKind::kXor:
+      return Xor(ShiftVars(f.child(0), offset),
+                 ShiftVars(f.child(1), offset));
+  }
+  ARBITER_CHECK_MSG(false, "unreachable formula kind");
+  return Formula::False();
+}
+
+bool SatIsSatisfiable(const Formula& f, int num_terms) {
+  sat::Solver solver;
+  enc::TseitinEncoder encoder(&solver);
+  encoder.ReserveInputVars(num_terms);
+  if (!encoder.Assert(f)) return false;
+  return solver.Solve() == sat::SolveStatus::kSat;
+}
+
+std::vector<sat::Lit> MakeDiffBits(sat::Solver* solver, int num_terms,
+                                   int offset) {
+  std::vector<sat::Lit> diffs;
+  diffs.reserve(num_terms);
+  for (int i = 0; i < num_terms; ++i) {
+    diffs.push_back(enc::EncodeXorEquals(solver, sat::Lit::Pos(i),
+                                         sat::Lit::Pos(i + offset)));
+  }
+  return diffs;
+}
+
+std::vector<sat::Lit> MakeConstDiffLits(int num_terms, uint64_t constant) {
+  std::vector<sat::Lit> lits;
+  lits.reserve(num_terms);
+  for (int i = 0; i < num_terms; ++i) {
+    // Literal true iff x_i differs from bit i of the constant.
+    lits.push_back(sat::Lit(i, /*negated=*/((constant >> i) & 1) != 0));
+  }
+  return lits;
+}
+
+}  // namespace arbiter::solve

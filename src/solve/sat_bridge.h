@@ -1,0 +1,37 @@
+#ifndef ARBITER_SOLVE_SAT_BRIDGE_H_
+#define ARBITER_SOLVE_SAT_BRIDGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+#include "sat/solver.h"
+
+/// \file sat_bridge.h
+/// Glue between the formula layer and the SAT solver, used by the
+/// scalable operator implementations: variable renaming (to place ψ
+/// and μ over disjoint variable blocks), formula assertion, and
+/// distance-literal construction.
+
+namespace arbiter::solve {
+
+/// Returns f with every variable i replaced by i + offset.
+Formula ShiftVars(const Formula& f, int offset);
+
+/// True iff f is satisfiable over its variables, decided by CDCL.
+bool SatIsSatisfiable(const Formula& f, int num_terms);
+
+/// The literals whose true-count equals dist(x, y) where x lives on
+/// variables [0, n) and y on [offset, offset+n): one fresh XOR bit per
+/// position, added to `solver`.
+std::vector<sat::Lit> MakeDiffBits(sat::Solver* solver, int num_terms,
+                                   int offset);
+
+/// The literals whose true-count equals dist(x, c) for the *constant*
+/// interpretation c: literal i is x_i negated iff bit i of c is set.
+/// No auxiliary variables needed.
+std::vector<sat::Lit> MakeConstDiffLits(int num_terms, uint64_t constant);
+
+}  // namespace arbiter::solve
+
+#endif  // ARBITER_SOLVE_SAT_BRIDGE_H_

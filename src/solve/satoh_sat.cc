@@ -1,0 +1,167 @@
+#include "solve/satoh_sat.h"
+
+#include <algorithm>
+
+#include "enc/tseitin.h"
+#include "sat/all_sat.h"
+#include "solve/sat_bridge.h"
+#include "util/bit.h"
+
+namespace arbiter::solve {
+
+using sat::Lit;
+using sat::Solver;
+using sat::SolveStatus;
+
+namespace {
+
+/// The joint encoding used by both phases: x ⊨ μ on [0, n),
+/// y ⊨ ψ on [n, 2n), difference bits d_i <-> x_i xor y_i.
+struct JointProblem {
+  Solver solver;
+  std::vector<Lit> diffs;
+
+  JointProblem(const Formula& psi, const Formula& mu, int n) {
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(2 * n);
+    encoder.Assert(mu);
+    encoder.Assert(ShiftVars(psi, n));
+    diffs = MakeDiffBits(&solver, n, n);
+  }
+
+  uint64_t ExtractDiff() const {
+    uint64_t d = 0;
+    for (size_t i = 0; i < diffs.size(); ++i) {
+      if (solver.ModelValue(diffs[i].var())) d |= 1ULL << i;
+    }
+    return d;
+  }
+
+  uint64_t ExtractX(int n) const {
+    uint64_t x = 0;
+    for (int i = 0; i < n; ++i) {
+      if (solver.ModelValue(i)) x |= 1ULL << i;
+    }
+    return x;
+  }
+
+  /// Assumptions forcing diff ⊆ allowed.
+  std::vector<Lit> WithinAssumptions(uint64_t allowed) const {
+    std::vector<Lit> out;
+    for (size_t i = 0; i < diffs.size(); ++i) {
+      if (!((allowed >> i) & 1)) out.push_back(~diffs[i]);
+    }
+    return out;
+  }
+
+  /// Assumptions forcing diff == exactly.
+  std::vector<Lit> ExactAssumptions(uint64_t exactly) const {
+    std::vector<Lit> out;
+    for (size_t i = 0; i < diffs.size(); ++i) {
+      out.push_back(((exactly >> i) & 1) ? diffs[i] : ~diffs[i]);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+SatSatohResult SatSatohRevise(const Formula& psi, const Formula& mu,
+                              int num_terms, int64_t max_diffs,
+                              int64_t max_models) {
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 31);
+  SatSatohResult result;
+
+  if (!SatIsSatisfiable(mu, num_terms)) {
+    ++result.num_sat_calls;
+    return result;
+  }
+  if (!SatIsSatisfiable(psi, num_terms)) {
+    result.num_sat_calls += 2;
+    result.psi_unsat = true;
+    Solver solver;
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(num_terms);
+    encoder.Assert(mu);
+    sat::AllSatOptions options;
+    options.num_project = num_terms;
+    options.max_models = max_models + 1;
+    result.models = sat::CollectAllSat(&solver, options);
+    if (static_cast<int64_t>(result.models.size()) > max_models) {
+      result.models.resize(max_models);
+      result.truncated = true;
+    }
+    return result;
+  }
+
+  // Phase 1+2: enumerate the antichain of ⊆-minimal difference sets.
+  JointProblem finder(psi, mu, num_terms);
+  while (static_cast<int64_t>(result.minimal_diffs.size()) < max_diffs) {
+    ++result.num_sat_calls;
+    if (finder.solver.Solve() != SolveStatus::kSat) break;
+    uint64_t diff = finder.ExtractDiff();
+    // Greedy shrink to a ⊆-minimal achievable difference.
+    bool shrunk = true;
+    while (shrunk && diff != 0) {
+      shrunk = false;
+      uint64_t bits = diff;
+      while (bits != 0) {
+        int b = LowestBit(bits);
+        bits = ClearLowestBit(bits);
+        uint64_t candidate = diff & ~(1ULL << b);
+        ++result.num_sat_calls;
+        if (finder.solver.SolveAssuming(
+                finder.WithinAssumptions(candidate)) ==
+            SolveStatus::kSat) {
+          diff = finder.ExtractDiff();  // ⊆ candidate, maybe smaller
+          shrunk = true;
+          break;
+        }
+      }
+    }
+    result.minimal_diffs.push_back(diff);
+    if (diff == 0) {
+      // The empty difference dominates everything: ψ ∧ μ consistent.
+      result.minimal_diffs = {0};
+      break;
+    }
+    // Block every superset of diff: some bit of diff must be false.
+    std::vector<Lit> block;
+    ForEachBit(diff, [&](int i) { block.push_back(~finder.diffs[i]); });
+    if (!finder.solver.AddClause(std::move(block))) break;
+  }
+  std::sort(result.minimal_diffs.begin(), result.minimal_diffs.end());
+
+  // Phase 3: collect the models of μ that realize a minimal difference.
+  JointProblem collector(psi, mu, num_terms);
+  for (uint64_t diff : result.minimal_diffs) {
+    std::vector<Lit> exact = collector.ExactAssumptions(diff);
+    while (static_cast<int64_t>(result.models.size()) <= max_models) {
+      ++result.num_sat_calls;
+      if (collector.solver.SolveAssuming(exact) != SolveStatus::kSat) {
+        break;
+      }
+      uint64_t x = collector.ExtractX(num_terms);
+      result.models.push_back(x);
+      // Block this x permanently (it is in the result regardless of
+      // which minimal difference found it).
+      std::vector<Lit> block;
+      for (int i = 0; i < num_terms; ++i) {
+        block.push_back(Lit(i, /*negated=*/((x >> i) & 1) != 0));
+      }
+      if (!collector.solver.AddClause(std::move(block))) break;
+    }
+    if (static_cast<int64_t>(result.models.size()) > max_models) break;
+  }
+  std::sort(result.models.begin(), result.models.end());
+  result.models.erase(
+      std::unique(result.models.begin(), result.models.end()),
+      result.models.end());
+  if (static_cast<int64_t>(result.models.size()) > max_models) {
+    result.models.resize(max_models);
+    result.truncated = true;
+  }
+  return result;
+}
+
+}  // namespace arbiter::solve

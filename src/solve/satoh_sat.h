@@ -1,0 +1,47 @@
+#ifndef ARBITER_SOLVE_SATOH_SAT_H_
+#define ARBITER_SOLVE_SATOH_SAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+
+/// \file satoh_sat.h
+/// SAT-based Satoh revision.  Satoh's operator keeps the models of μ
+/// whose symmetric difference with some model of ψ is set-inclusion
+/// minimal among all such differences.  Where Dalal needs one
+/// cardinality minimization, Satoh needs the *antichain* of minimal
+/// difference sets; we compute it by iterated SAT:
+///
+///   1. find any (x ⊨ μ, y ⊨ ψ) pair and greedily shrink its
+///      difference set until ⊆-minimal (each shrink test is one SAT
+///      call restricting the difference bits);
+///   2. block all supersets of the found minimal difference and
+///      repeat until UNSAT — this enumerates exactly the minimal
+///      difference antichain;
+///   3. enumerate the x ⊨ μ realizing each minimal difference.
+///
+/// The number of minimal differences can be exponential in the worst
+/// case (it is for enumeration too); `max_diffs` caps it.
+
+namespace arbiter::solve {
+
+struct SatSatohResult {
+  bool psi_unsat = false;
+  /// The ⊆-minimal difference sets (as bitmasks), sorted.
+  std::vector<uint64_t> minimal_diffs;
+  /// Models of ψ ∘_satoh μ, sorted, capped at max_models.
+  std::vector<uint64_t> models;
+  bool truncated = false;
+  int num_sat_calls = 0;
+};
+
+/// Computes Satoh's revision of ψ by μ over n terms (n <= 31) without
+/// enumerating 2^n interpretations.
+SatSatohResult SatSatohRevise(const Formula& psi, const Formula& mu,
+                              int num_terms, int64_t max_diffs = 256,
+                              int64_t max_models = 1024);
+
+}  // namespace arbiter::solve
+
+#endif  // ARBITER_SOLVE_SATOH_SAT_H_

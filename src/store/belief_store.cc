@@ -1,0 +1,218 @@
+#include "store/belief_store.h"
+
+#include "change/registry.h"
+#include "change/update.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "util/string_util.h"
+
+namespace arbiter {
+
+Result<Formula> BeliefStore::ParseOverVocabulary(const std::string& text) {
+  Result<Formula> f = Parse(text, &vocab_);
+  if (!f.ok()) return f;
+  if (vocab_.size() > kMaxEnumTerms) {
+    return Status::CapacityExceeded(
+        "store vocabulary exceeds the enumeration limit (" +
+        std::to_string(kMaxEnumTerms) + " terms)");
+  }
+  return f;
+}
+
+Result<const BeliefStore::Entry*> BeliefStore::Find(
+    const std::string& name) const {
+  auto it = bases_.find(name);
+  if (it == bases_.end()) {
+    return Status::NotFound("no belief base named \"" + name + "\"");
+  }
+  return {&it->second};
+}
+
+Status BeliefStore::Define(const std::string& name,
+                           const std::string& formula_text) {
+  if (name.empty()) return Status::InvalidArgument("empty base name");
+  Result<Formula> f = ParseOverVocabulary(formula_text);
+  if (!f.ok()) return f.status();
+  Entry& entry = bases_[name];
+  entry.formula = *f;
+  entry.undo_stack.clear();
+  entry.journal.clear();
+  return Status::OK();
+}
+
+bool BeliefStore::Contains(const std::string& name) const {
+  return bases_.count(name) != 0;
+}
+
+Status BeliefStore::Drop(const std::string& name) {
+  if (bases_.erase(name) == 0) {
+    return Status::NotFound("no belief base named \"" + name + "\"");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> BeliefStore::Names() const {
+  std::vector<std::string> out;
+  out.reserve(bases_.size());
+  for (const auto& [name, entry] : bases_) out.push_back(name);
+  return out;
+}
+
+Result<KnowledgeBase> BeliefStore::Get(const std::string& name) const {
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  return KnowledgeBase((*entry)->formula, vocab_.size());
+}
+
+Status BeliefStore::Apply(const std::string& target,
+                          const std::string& op_name,
+                          const std::string& evidence_text) {
+  auto it = bases_.find(target);
+  if (it == bases_.end()) {
+    return Status::NotFound("no belief base named \"" + target + "\"");
+  }
+  auto op = MakeOperator(op_name);
+  if (!op.ok()) return op.status();
+  Result<Formula> evidence = ParseOverVocabulary(evidence_text);
+  if (!evidence.ok()) return evidence.status();
+
+  Entry& entry = it->second;
+  KnowledgeBase current(entry.formula, vocab_.size());
+  KnowledgeBase mu(*evidence, vocab_.size());
+  KnowledgeBase changed = (*op)->Apply(current, mu);
+  entry.undo_stack.push_back(entry.formula);
+  entry.journal.push_back(ChangeRecord{op_name, evidence_text});
+  entry.formula = changed.formula();
+  return Status::OK();
+}
+
+Status BeliefStore::Undo(const std::string& target) {
+  auto it = bases_.find(target);
+  if (it == bases_.end()) {
+    return Status::NotFound("no belief base named \"" + target + "\"");
+  }
+  Entry& entry = it->second;
+  if (entry.undo_stack.empty()) {
+    return Status::InvalidArgument("nothing to undo on \"" + target + "\"");
+  }
+  entry.formula = entry.undo_stack.back();
+  entry.undo_stack.pop_back();
+  entry.journal.pop_back();
+  return Status::OK();
+}
+
+int BeliefStore::HistoryDepth(const std::string& name) const {
+  auto it = bases_.find(name);
+  return it == bases_.end()
+             ? 0
+             : static_cast<int>(it->second.undo_stack.size());
+}
+
+std::vector<ChangeRecord> BeliefStore::History(
+    const std::string& name) const {
+  auto it = bases_.find(name);
+  if (it == bases_.end()) return {};
+  return it->second.journal;
+}
+
+Result<bool> BeliefStore::Entails(const std::string& name,
+                                  const std::string& formula_text) {
+  Result<KnowledgeBase> kb = Get(name);
+  if (!kb.ok()) return kb.status();
+  Result<Formula> f = ParseOverVocabulary(formula_text);
+  if (!f.ok()) return f.status();
+  // Re-evaluate the base in case parsing grew the vocabulary.
+  KnowledgeBase base(kb->formula(), vocab_.size());
+  KnowledgeBase query(*f, vocab_.size());
+  return base.Implies(query);
+}
+
+Result<bool> BeliefStore::ConsistentWith(const std::string& name,
+                                         const std::string& formula_text) {
+  Result<KnowledgeBase> kb = Get(name);
+  if (!kb.ok()) return kb.status();
+  Result<Formula> f = ParseOverVocabulary(formula_text);
+  if (!f.ok()) return f.status();
+  KnowledgeBase base(kb->formula(), vocab_.size());
+  KnowledgeBase query(*f, vocab_.size());
+  return !base.models().Intersect(query.models()).empty();
+}
+
+Result<bool> BeliefStore::Counterfactual(
+    const std::string& name, const std::string& antecedent_text,
+    const std::string& consequent_text) {
+  Result<KnowledgeBase> kb = Get(name);
+  if (!kb.ok()) return kb.status();
+  Result<Formula> antecedent = ParseOverVocabulary(antecedent_text);
+  if (!antecedent.ok()) return antecedent.status();
+  Result<Formula> consequent = ParseOverVocabulary(consequent_text);
+  if (!consequent.ok()) return consequent.status();
+  KnowledgeBase base(kb->formula(), vocab_.size());
+  KnowledgeBase mu(*antecedent, vocab_.size());
+  KnowledgeBase then(*consequent, vocab_.size());
+  KnowledgeBase updated = WinslettUpdate().Apply(base, mu);
+  return updated.Implies(then);
+}
+
+std::string BeliefStore::Save() const {
+  std::string out = "arbiter-store v1\n";
+  out += "vocab";
+  for (const std::string& name : vocab_.names()) out += " " + name;
+  out += "\n";
+  for (const auto& [name, entry] : bases_) {
+    out += "base " + name + " := " + ToString(entry.formula, vocab_) + "\n";
+  }
+  return out;
+}
+
+Result<BeliefStore> BeliefStore::Load(const std::string& text) {
+  BeliefStore store;
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || Trim(lines[0]) != "arbiter-store v1") {
+    return Status::InvalidArgument("not an arbiter-store v1 file");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string line = Trim(lines[i]);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("vocab", 0) == 0) {
+      std::vector<std::string> parts = Split(line, ' ');
+      for (size_t j = 1; j < parts.size(); ++j) {
+        if (parts[j].empty()) continue;
+        Result<int> added = store.vocab_.GetOrAddTerm(parts[j]);
+        if (!added.ok()) return added.status();
+      }
+      continue;
+    }
+    if (line.rfind("base ", 0) == 0) {
+      size_t assign = line.find(" := ");
+      if (assign == std::string::npos) {
+        return Status::InvalidArgument("malformed base line: " + line);
+      }
+      std::string name = Trim(line.substr(5, assign - 5));
+      std::string formula = line.substr(assign + 4);
+      ARBITER_RETURN_NOT_OK(store.Define(name, formula));
+      continue;
+    }
+    return Status::InvalidArgument("unrecognized line: " + line);
+  }
+  return store;
+}
+
+std::string BeliefStore::Dump() const {
+  std::string out;
+  for (const auto& [name, entry] : bases_) {
+    KnowledgeBase kb(entry.formula, vocab_.size());
+    out += name + " := " + ToString(entry.formula, vocab_) + "\n";
+    out += "  models: " + kb.models().ToString(vocab_) + "\n";
+    if (!entry.journal.empty()) {
+      out += "  history:";
+      for (const ChangeRecord& record : entry.journal) {
+        out += " [" + record.op_name + " \"" + record.evidence_text + "\"]";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace arbiter

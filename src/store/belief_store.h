@@ -1,0 +1,118 @@
+#ifndef ARBITER_STORE_BELIEF_STORE_H_
+#define ARBITER_STORE_BELIEF_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "logic/vocabulary.h"
+#include "util/status.h"
+
+/// \file belief_store.h
+/// A small transactional repository of named belief bases — the
+/// database-facing surface of the library.  Each base is a knowledge
+/// base over the store's shared vocabulary; changes are applied
+/// through any registered theory change operator and every applied
+/// change is journaled, so they can be undone.
+///
+///   BeliefStore store;
+///   store.Define("jury", "g & a & (g & a -> v)");
+///   store.Apply("jury", "dalal", "!v");          // revise in place
+///   store.Entails("jury", "g");                  // -> true
+///   store.Undo("jury");                          // back to the start
+///
+/// The vocabulary grows as formulas mention new terms; bases defined
+/// earlier are transparently re-evaluated over the grown vocabulary
+/// (their formulas don't mention the new terms, so their models simply
+/// leave them free).
+
+namespace arbiter {
+
+/// One journaled change applied to a base.
+struct ChangeRecord {
+  std::string op_name;
+  std::string evidence_text;
+};
+
+class BeliefStore {
+ public:
+  BeliefStore() = default;
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Defines (or redefines) a named base from formula text.
+  /// Redefinition clears the base's history.
+  Status Define(const std::string& name, const std::string& formula_text);
+
+  /// True iff a base with this name exists.
+  bool Contains(const std::string& name) const;
+
+  /// Removes a base.
+  Status Drop(const std::string& name);
+
+  /// Names of all bases, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Current contents of a base (re-evaluated over the current
+  /// vocabulary if it has grown since the base was last touched).
+  Result<KnowledgeBase> Get(const std::string& name) const;
+
+  /// Applies `target <- target <op> evidence` in place and journals
+  /// the change.  `op_name` is any registry name ("dalal", "winslett",
+  /// "revesz-max", "arbitration-max", "two-sided-dalal", ...).
+  Status Apply(const std::string& target, const std::string& op_name,
+               const std::string& evidence_text);
+
+  /// Reverts the most recent Apply on the base.  Fails if there is
+  /// nothing to undo.
+  Status Undo(const std::string& target);
+
+  /// Number of undoable changes on a base (0 if unknown base).
+  int HistoryDepth(const std::string& name) const;
+
+  /// The journal of a base, oldest first.
+  std::vector<ChangeRecord> History(const std::string& name) const;
+
+  /// Semantic entailment: does the base imply the formula?
+  Result<bool> Entails(const std::string& name,
+                       const std::string& formula_text);
+
+  /// Consistency: is base ∧ formula satisfiable?
+  Result<bool> ConsistentWith(const std::string& name,
+                              const std::string& formula_text);
+
+  /// KM counterfactual via update (the Ramsey test): "if `antecedent`
+  /// were made true, would `consequent` hold?" — evaluated as
+  /// (base ⋄ antecedent) ⊨ consequent with Winslett's update.
+  Result<bool> Counterfactual(const std::string& name,
+                              const std::string& antecedent_text,
+                              const std::string& consequent_text);
+
+  /// Human-readable listing of every base and its models.
+  std::string Dump() const;
+
+  /// Serializes the store (vocabulary + base formulas) to a line-based
+  /// text format.  Journals are not persisted.
+  std::string Save() const;
+
+  /// Reconstructs a store from Save() output.
+  static Result<BeliefStore> Load(const std::string& text);
+
+ private:
+  struct Entry {
+    Formula formula;
+    std::vector<Formula> undo_stack;   // previous formulas
+    std::vector<ChangeRecord> journal;  // applied changes
+  };
+
+  Result<Formula> ParseOverVocabulary(const std::string& text);
+  Result<const Entry*> Find(const std::string& name) const;
+
+  Vocabulary vocab_;
+  std::map<std::string, Entry> bases_;
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_STORE_BELIEF_STORE_H_

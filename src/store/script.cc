@@ -1,0 +1,268 @@
+#include "store/script.h"
+
+#include "util/string_util.h"
+
+namespace arbiter {
+
+namespace {
+
+/// Consumes a leading word from *rest; returns false if none.
+bool EatWord(std::string* rest, std::string* word) {
+  *rest = Trim(*rest);
+  size_t space = rest->find(' ');
+  if (rest->empty()) return false;
+  if (space == std::string::npos) {
+    *word = *rest;
+    rest->clear();
+  } else {
+    *word = rest->substr(0, space);
+    *rest = Trim(rest->substr(space + 1));
+  }
+  return true;
+}
+
+/// Expects the next word to be exactly `expected`.
+Status Expect(std::string* rest, const std::string& expected, int line) {
+  std::string word;
+  if (!EatWord(rest, &word) || word != expected) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": expected '" + expected + "'");
+  }
+  return Status::OK();
+}
+
+Result<ScriptStatement> ParseStatement(std::string rest, int line);
+
+Result<ScriptStatement> ParseAfterKeyword(const std::string& keyword,
+                                          std::string rest, int line) {
+  ScriptStatement stmt;
+  stmt.line = line;
+  auto err = [line](const std::string& msg) {
+    return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                   msg);
+  };
+  if (keyword == "define") {
+    // define <base> := <formula>
+    if (!EatWord(&rest, &stmt.base)) return err("expected base name");
+    ARBITER_RETURN_NOT_OK(Expect(&rest, ":=", line));
+    if (rest.empty()) return err("expected a formula after ':='");
+    stmt.kind = ScriptStatement::Kind::kDefine;
+    stmt.formula = rest;
+    return stmt;
+  }
+  if (keyword == "change") {
+    // change <base> by <op> with <formula>
+    if (!EatWord(&rest, &stmt.base)) return err("expected base name");
+    ARBITER_RETURN_NOT_OK(Expect(&rest, "by", line));
+    if (!EatWord(&rest, &stmt.op_name)) return err("expected operator");
+    ARBITER_RETURN_NOT_OK(Expect(&rest, "with", line));
+    if (rest.empty()) return err("expected a formula after 'with'");
+    stmt.kind = ScriptStatement::Kind::kChange;
+    stmt.formula = rest;
+    return stmt;
+  }
+  if (keyword == "undo") {
+    if (!EatWord(&rest, &stmt.base)) return err("expected base name");
+    if (!rest.empty()) return err("trailing input after undo");
+    stmt.kind = ScriptStatement::Kind::kUndo;
+    return stmt;
+  }
+  if (keyword == "assert") {
+    // assert <base> <relation> <formula>
+    if (!EatWord(&rest, &stmt.base)) return err("expected base name");
+    std::string relation;
+    if (!EatWord(&rest, &relation)) return err("expected a relation");
+    if (rest.empty()) return err("expected a formula");
+    stmt.formula = rest;
+    if (relation == "entails") {
+      stmt.kind = ScriptStatement::Kind::kAssertEntails;
+    } else if (relation == "consistent-with") {
+      stmt.kind = ScriptStatement::Kind::kAssertConsistent;
+    } else if (relation == "equivalent-to") {
+      stmt.kind = ScriptStatement::Kind::kAssertEquivalent;
+    } else {
+      return err("unknown relation '" + relation +
+                 "' (entails | consistent-with | equivalent-to)");
+    }
+    return stmt;
+  }
+  if (keyword == "if") {
+    // if <base> entails <formula> then <statement>
+    if (!EatWord(&rest, &stmt.base)) return err("expected base name");
+    ARBITER_RETURN_NOT_OK(Expect(&rest, "entails", line));
+    size_t then_pos = rest.find(" then ");
+    if (then_pos == std::string::npos) {
+      return err("expected 'then' in conditional");
+    }
+    stmt.kind = ScriptStatement::Kind::kConditional;
+    stmt.formula = Trim(rest.substr(0, then_pos));
+    Result<ScriptStatement> inner =
+        ParseStatement(Trim(rest.substr(then_pos + 6)), line);
+    if (!inner.ok()) return inner.status();
+    stmt.inner.push_back(*inner);
+    return stmt;
+  }
+  return err("unknown statement '" + keyword + "'");
+}
+
+Result<ScriptStatement> ParseStatement(std::string rest, int line) {
+  std::string keyword;
+  if (!EatWord(&rest, &keyword)) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": empty statement");
+  }
+  return ParseAfterKeyword(keyword, rest, line);
+}
+
+std::string Render(const ScriptStatement& stmt) {
+  switch (stmt.kind) {
+    case ScriptStatement::Kind::kDefine:
+      return "define " + stmt.base + " := " + stmt.formula;
+    case ScriptStatement::Kind::kChange:
+      return "change " + stmt.base + " by " + stmt.op_name + " with " +
+             stmt.formula;
+    case ScriptStatement::Kind::kUndo:
+      return "undo " + stmt.base;
+    case ScriptStatement::Kind::kAssertEntails:
+      return "assert " + stmt.base + " entails " + stmt.formula;
+    case ScriptStatement::Kind::kAssertConsistent:
+      return "assert " + stmt.base + " consistent-with " + stmt.formula;
+    case ScriptStatement::Kind::kAssertEquivalent:
+      return "assert " + stmt.base + " equivalent-to " + stmt.formula;
+    case ScriptStatement::Kind::kConditional:
+      return "if " + stmt.base + " entails " + stmt.formula + " then " +
+             Render(stmt.inner[0]);
+  }
+  return "?";
+}
+
+/// Executes one statement; appends results to the report.  Returns
+/// false on a hard error (which stops the run).
+bool Execute(const ScriptStatement& stmt, BeliefStore* store,
+             ScriptReport* report) {
+  ScriptStepResult step;
+  step.line = stmt.line;
+  step.text = Render(stmt);
+  auto hard_error = [&](const Status& status) {
+    step.ok = false;
+    step.detail = status.ToString();
+    report->steps.push_back(step);
+    ++report->failures;
+    return false;
+  };
+  switch (stmt.kind) {
+    case ScriptStatement::Kind::kDefine: {
+      Status status = store->Define(stmt.base, stmt.formula);
+      if (!status.ok()) return hard_error(status);
+      step.ok = true;
+      break;
+    }
+    case ScriptStatement::Kind::kChange: {
+      Status status = store->Apply(stmt.base, stmt.op_name, stmt.formula);
+      if (!status.ok()) return hard_error(status);
+      step.ok = true;
+      break;
+    }
+    case ScriptStatement::Kind::kUndo: {
+      Status status = store->Undo(stmt.base);
+      if (!status.ok()) return hard_error(status);
+      step.ok = true;
+      break;
+    }
+    case ScriptStatement::Kind::kAssertEntails:
+    case ScriptStatement::Kind::kAssertConsistent:
+    case ScriptStatement::Kind::kAssertEquivalent: {
+      Result<bool> held = Status::Internal("unset");
+      if (stmt.kind == ScriptStatement::Kind::kAssertEntails) {
+        held = store->Entails(stmt.base, stmt.formula);
+      } else if (stmt.kind == ScriptStatement::Kind::kAssertConsistent) {
+        held = store->ConsistentWith(stmt.base, stmt.formula);
+      } else {
+        // Equivalence: compare model sets via a scratch copy of the
+        // store, so parsing the right-hand side cannot disturb it.
+        BeliefStore scratch = *store;
+        Status defined = scratch.Define("__rhs", stmt.formula);
+        if (!defined.ok()) {
+          held = defined;
+        } else {
+          Result<KnowledgeBase> lhs = scratch.Get(stmt.base);
+          Result<KnowledgeBase> rhs = scratch.Get("__rhs");
+          if (lhs.ok() && rhs.ok()) {
+            held = lhs->EquivalentTo(*rhs);
+          } else {
+            held = lhs.ok() ? rhs.status() : lhs.status();
+          }
+        }
+      }
+      if (!held.ok()) return hard_error(held.status());
+      step.ok = *held;
+      if (!step.ok) {
+        step.detail = "assertion failed";
+        ++report->failures;
+      }
+      break;
+    }
+    case ScriptStatement::Kind::kConditional: {
+      Result<bool> guard = store->Entails(stmt.base, stmt.formula);
+      if (!guard.ok()) return hard_error(guard.status());
+      if (!*guard) {
+        step.ok = true;
+        step.skipped = true;
+        report->steps.push_back(step);
+        return true;
+      }
+      step.ok = true;
+      report->steps.push_back(step);
+      return Execute(stmt.inner[0], store, report);
+    }
+  }
+  report->steps.push_back(step);
+  return true;
+}
+
+}  // namespace
+
+std::string ScriptReport::ToString() const {
+  std::string out;
+  for (const ScriptStepResult& step : steps) {
+    out += step.skipped ? "  skip " : (step.ok ? "  ok   " : "  FAIL ");
+    out += "[line " + std::to_string(step.line) + "] " + step.text;
+    if (!step.detail.empty()) out += "  -- " + step.detail;
+    out += "\n";
+  }
+  out += AllPassed() ? "all passed\n"
+                     : std::to_string(failures) + " failure(s)\n";
+  return out;
+}
+
+Result<BeliefScript> ParseScript(const std::string& text) {
+  BeliefScript script;
+  std::vector<std::string> lines = Split(text, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string line = Trim(lines[i]);
+    if (line.empty() || line[0] == '#') continue;
+    Result<ScriptStatement> stmt =
+        ParseStatement(line, static_cast<int>(i + 1));
+    if (!stmt.ok()) return stmt.status();
+    script.statements.push_back(*stmt);
+  }
+  return script;
+}
+
+ScriptReport RunScript(const BeliefScript& script, BeliefStore* store) {
+  ARBITER_CHECK(store != nullptr);
+  ScriptReport report;
+  for (const ScriptStatement& stmt : script.statements) {
+    if (!Execute(stmt, store, &report)) break;
+  }
+  return report;
+}
+
+Result<ScriptReport> RunScriptText(const std::string& text,
+                                   BeliefStore* store) {
+  Result<BeliefScript> script = ParseScript(text);
+  if (!script.ok()) return script.status();
+  return RunScript(*script, store);
+}
+
+}  // namespace arbiter

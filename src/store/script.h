@@ -1,0 +1,87 @@
+#ifndef ARBITER_STORE_SCRIPT_H_
+#define ARBITER_STORE_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "store/belief_store.h"
+
+/// \file script.h
+/// Belief scripts: a small line-based language for scripting and
+/// regression-testing theory change over a BeliefStore.  A script is a
+/// sequence of statements, one per line ('#' starts a comment):
+///
+///   define <base> := <formula>
+///   change <base> by <operator> with <formula>
+///   undo <base>
+///   assert <base> entails <formula>
+///   assert <base> consistent-with <formula>
+///   assert <base> equivalent-to <formula>
+///   if <base> entails <formula> then <statement>
+///
+/// Scripts parse to a statement list and run against a store; the run
+/// report records each executed statement, failed assertions, and
+/// errors.  Typical use: check in a `.belief` script next to a
+/// knowledge base and run it in CI — "belief regression tests".
+
+namespace arbiter {
+
+/// One parsed statement.
+struct ScriptStatement {
+  enum class Kind {
+    kDefine,
+    kChange,
+    kUndo,
+    kAssertEntails,
+    kAssertConsistent,
+    kAssertEquivalent,
+    kConditional,
+  };
+  Kind kind;
+  int line = 0;           ///< 1-based source line
+  std::string base;       ///< target base name
+  std::string op_name;    ///< kChange only
+  std::string formula;    ///< payload formula text
+  /// kConditional: the guard is (base entails formula); `inner` holds
+  /// the guarded statement.
+  std::vector<ScriptStatement> inner;
+};
+
+/// A parsed script.
+struct BeliefScript {
+  std::vector<ScriptStatement> statements;
+};
+
+/// Outcome of one executed statement.
+struct ScriptStepResult {
+  int line = 0;
+  std::string text;   ///< what ran, e.g. "assert jury entails g"
+  bool ok = false;    ///< executed without error and assertion held
+  bool skipped = false;  ///< guarded statement whose condition was false
+  std::string detail;    ///< error or assertion-failure description
+};
+
+/// Outcome of a full run.
+struct ScriptReport {
+  std::vector<ScriptStepResult> steps;
+  int failures = 0;
+
+  bool AllPassed() const { return failures == 0; }
+  std::string ToString() const;
+};
+
+/// Parses script text.  Syntax errors carry line numbers.
+Result<BeliefScript> ParseScript(const std::string& text);
+
+/// Runs a script against a store (mutating it).  Execution continues
+/// past failed assertions (they are recorded); it stops on the first
+/// hard error (unknown base/operator, parse error in a formula).
+ScriptReport RunScript(const BeliefScript& script, BeliefStore* store);
+
+/// Convenience: parse and run in one go.
+Result<ScriptReport> RunScriptText(const std::string& text,
+                                   BeliefStore* store);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_STORE_SCRIPT_H_

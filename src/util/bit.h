@@ -1,0 +1,40 @@
+#ifndef ARBITER_UTIL_BIT_H_
+#define ARBITER_UTIL_BIT_H_
+
+#include <bit>
+#include <cstdint>
+
+/// \file bit.h
+/// Bit-manipulation helpers used by interpretation and model-set code.
+
+namespace arbiter {
+
+/// Number of set bits in x.
+inline int PopCount(uint64_t x) { return std::popcount(x); }
+
+/// Index (0-based) of the lowest set bit.  x must be nonzero.
+inline int LowestBit(uint64_t x) { return std::countr_zero(x); }
+
+/// Clears the lowest set bit of x.
+inline uint64_t ClearLowestBit(uint64_t x) { return x & (x - 1); }
+
+/// True iff x is a power of two (exactly one bit set).
+inline bool IsSingleBit(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// A mask with the n lowest bits set.  Requires 0 <= n <= 64.
+inline uint64_t LowMask(int n) {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/// Calls fn(bit_index) for each set bit of x, in increasing order.
+template <typename Fn>
+inline void ForEachBit(uint64_t x, Fn fn) {
+  while (x != 0) {
+    fn(LowestBit(x));
+    x = ClearLowestBit(x);
+  }
+}
+
+}  // namespace arbiter
+
+#endif  // ARBITER_UTIL_BIT_H_

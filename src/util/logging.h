@@ -1,0 +1,40 @@
+#ifndef ARBITER_UTIL_LOGGING_H_
+#define ARBITER_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file logging.h
+/// Minimal CHECK/DCHECK assertion macros.
+///
+/// Library code uses ARBITER_CHECK for unrecoverable precondition
+/// violations (programming errors, not data errors).  Data errors are
+/// reported through arbiter::Status instead.
+
+#define ARBITER_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define ARBITER_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define ARBITER_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define ARBITER_DCHECK(cond) ARBITER_CHECK(cond)
+#endif
+
+#endif  // ARBITER_UTIL_LOGGING_H_

@@ -1,0 +1,44 @@
+#ifndef ARBITER_UTIL_RANDOM_H_
+#define ARBITER_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+/// \file random.h
+/// Deterministic pseudo-random number generation for workload
+/// generators and property tests.  We implement our own generators
+/// (SplitMix64 seeding a xoshiro256**) so that test and benchmark
+/// workloads are reproducible across standard-library implementations.
+
+namespace arbiter {
+
+/// SplitMix64 step: used to expand a single seed into generator state.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit seed.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next 64 random bits.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound).  bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace arbiter
+
+#endif  // ARBITER_UTIL_RANDOM_H_

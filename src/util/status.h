@@ -1,0 +1,119 @@
+#ifndef ARBITER_UTIL_STATUS_H_
+#define ARBITER_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+/// \file status.h
+/// Arrow-style Status / Result<T> error handling.
+///
+/// The arbiter library does not throw exceptions.  Operations that can
+/// fail on bad input (parsing, capacity limits) return a Status or a
+/// Result<T>; internal invariant violations abort via ARBITER_CHECK.
+
+namespace arbiter {
+
+/// Broad category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (e.g. parse error)
+  kOutOfRange,        ///< index or size outside supported bounds
+  kCapacityExceeded,  ///< enumeration limits exceeded (too many variables)
+  kNotFound,          ///< lookup failed (e.g. unknown operator name)
+  kUnsupported,       ///< operation not supported by this implementation
+  kInternal,          ///< bug or resource exhaustion inside the library
+};
+
+/// Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value.  Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    ARBITER_DCHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    ARBITER_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    ARBITER_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define ARBITER_RETURN_NOT_OK(expr)             \
+  do {                                          \
+    ::arbiter::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace arbiter
+
+#endif  // ARBITER_UTIL_STATUS_H_

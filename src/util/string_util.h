@@ -1,0 +1,30 @@
+#ifndef ARBITER_UTIL_STRING_UTIL_H_
+#define ARBITER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+/// \file string_util.h
+/// Small string helpers shared by the parser, printers, and benchmarks.
+
+namespace arbiter {
+
+/// Joins the given pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Splits s on the given delimiter character; keeps empty pieces.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// True iff c can start an identifier ([A-Za-z_]).
+bool IsIdentStart(char c);
+
+/// True iff c can continue an identifier ([A-Za-z0-9_']).
+bool IsIdentCont(char c);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_UTIL_STRING_UTIL_H_

@@ -1,0 +1,142 @@
+// Tests for AllSAT model enumeration and DIMACS I/O.
+
+#include <gtest/gtest.h>
+
+#include "enc/tseitin.h"
+#include "logic/generator.h"
+#include "logic/parser.h"
+#include "logic/semantics.h"
+#include "sat/all_sat.h"
+#include "sat/dimacs.h"
+
+namespace arbiter::sat {
+namespace {
+
+TEST(AllSatTest, EnumeratesAllModelsOfSmallFormula) {
+  Solver solver;
+  enc::TseitinEncoder encoder(&solver);
+  encoder.ReserveInputVars(3);
+  Vocabulary v = Vocabulary::Synthetic(3);
+  Formula f = MustParse("p0 | p1", &v);
+  encoder.Assert(f);
+  AllSatOptions options;
+  options.num_project = 3;
+  std::vector<uint64_t> models = CollectAllSat(&solver, options);
+  EXPECT_EQ(models, EnumerateModels(f, 3));
+}
+
+TEST(AllSatTest, ProjectionDeduplicates) {
+  // p0 | aux with aux free: projecting onto {p0} must yield each p0
+  // value at most once.
+  Solver solver;
+  Var p0 = solver.NewVar();
+  Var aux = solver.NewVar();
+  solver.AddBinary(Lit::Pos(p0), Lit::Pos(aux));
+  AllSatOptions options;
+  options.num_project = 1;
+  std::vector<uint64_t> models = CollectAllSat(&solver, options);
+  EXPECT_EQ(models, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(AllSatTest, MaxModelsStopsEarly) {
+  Solver solver;
+  enc::TseitinEncoder encoder(&solver);
+  encoder.ReserveInputVars(4);
+  encoder.Assert(Formula::True());
+  AllSatOptions options;
+  options.num_project = 4;
+  options.max_models = 5;
+  int64_t count = EnumerateAllSat(&solver, options,
+                                  [](uint64_t) { return true; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(AllSatTest, CallbackCanAbort) {
+  Solver solver;
+  enc::TseitinEncoder encoder(&solver);
+  encoder.ReserveInputVars(4);
+  encoder.Assert(Formula::True());
+  AllSatOptions options;
+  options.num_project = 4;
+  int calls = 0;
+  EnumerateAllSat(&solver, options, [&](uint64_t) {
+    ++calls;
+    return calls < 3;
+  });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(AllSatTest, UnsatYieldsNoModels) {
+  Solver solver;
+  Var a = solver.NewVar();
+  solver.AddUnit(Lit::Pos(a));
+  solver.AddUnit(Lit::Neg(a));
+  AllSatOptions options;
+  options.num_project = 1;
+  EXPECT_TRUE(CollectAllSat(&solver, options).empty());
+}
+
+TEST(AllSatTest, RandomFormulasMatchBruteForce) {
+  Rng rng(555);
+  RandomFormulaOptions fopts;
+  fopts.num_terms = 5;
+  for (int i = 0; i < 50; ++i) {
+    Formula f = RandomFormula(&rng, fopts);
+    Solver solver;
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(5);
+    encoder.Assert(f);
+    AllSatOptions options;
+    options.num_project = 5;
+    EXPECT_EQ(CollectAllSat(&solver, options), EnumerateModels(f, 5))
+        << "round " << i;
+  }
+}
+
+TEST(DimacsTest, ParseBasic) {
+  auto r = ParseDimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_vars, 3);
+  ASSERT_EQ(r->clauses.size(), 2u);
+  EXPECT_EQ(r->clauses[0][0], Lit::Pos(0));
+  EXPECT_EQ(r->clauses[0][1], Lit::Neg(1));
+}
+
+TEST(DimacsTest, ParseMultiLineClause) {
+  auto r = ParseDimacs("p cnf 2 1\n1\n-2 0\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->clauses.size(), 1u);
+  EXPECT_EQ(r->clauses[0].size(), 2u);
+}
+
+TEST(DimacsTest, Errors) {
+  EXPECT_FALSE(ParseDimacs("").ok());
+  EXPECT_FALSE(ParseDimacs("1 2 0\n").ok());          // clause first
+  EXPECT_FALSE(ParseDimacs("p cnf 1 1\n2 0\n").ok()); // var out of range
+  EXPECT_FALSE(ParseDimacs("p cnf 1 1\n1\n").ok());   // unterminated
+  EXPECT_FALSE(ParseDimacs("p dnf 1 1\n1 0\n").ok()); // wrong format tag
+}
+
+TEST(DimacsTest, RoundTrip) {
+  CnfInstance inst;
+  inst.num_vars = 4;
+  inst.clauses = {{Lit::Pos(0), Lit::Neg(3)}, {Lit::Pos(2)}};
+  auto r = ParseDimacs(ToDimacs(inst));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vars, 4);
+  EXPECT_EQ(r->clauses, inst.clauses);
+}
+
+TEST(DimacsTest, SolveParsedInstance) {
+  auto r = ParseDimacs("p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n");
+  ASSERT_TRUE(r.ok());
+  Solver s;
+  for (int i = 0; i < r->num_vars; ++i) s.NewVar();
+  for (const auto& clause : r->clauses) s.AddClause(clause);
+  ASSERT_EQ(s.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.ModelValue(0));
+  EXPECT_TRUE(s.ModelValue(1));
+}
+
+}  // namespace
+}  // namespace arbiter::sat

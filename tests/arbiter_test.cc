@@ -1,0 +1,98 @@
+// Integration tests for the Arbiter façade.
+
+#include "core/arbiter.h"
+
+#include <gtest/gtest.h>
+
+namespace arbiter {
+namespace {
+
+TEST(ArbiterTest, QuickstartFlow) {
+  Arbiter arb({"rain", "wet"});
+  KnowledgeBase psi = *arb.ParseKb("rain & (rain -> wet)");
+  KnowledgeBase mu = *arb.ParseKb("!wet");
+  KnowledgeBase revised = arb.Revise(psi, mu);
+  EXPECT_TRUE(revised.IsSatisfiable());
+  EXPECT_TRUE(revised.Implies(mu));
+}
+
+TEST(ArbiterTest, VocabularyGrowsWhileParsing) {
+  Arbiter arb;
+  EXPECT_EQ(arb.vocabulary().size(), 0);
+  ASSERT_TRUE(arb.ParseKb("a & b").ok());
+  EXPECT_EQ(arb.vocabulary().size(), 2);
+  ASSERT_TRUE(arb.ParseKb("c").ok());
+  EXPECT_EQ(arb.vocabulary().size(), 3);
+}
+
+TEST(ArbiterTest, RebaseReevaluatesOverGrownVocabulary) {
+  Arbiter arb;
+  KnowledgeBase early = *arb.ParseKb("a");
+  ASSERT_TRUE(arb.ParseKb("b & c").ok());
+  KnowledgeBase rebased = arb.Rebase(early);
+  EXPECT_EQ(rebased.num_terms(), 3);
+  EXPECT_EQ(rebased.models().size(), 4u);  // a true, b/c free
+}
+
+TEST(ArbiterTest, ParseErrorsSurface) {
+  Arbiter arb;
+  Result<KnowledgeBase> bad = arb.ParseKb("a &");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArbiterTest, ChangeByOperatorName) {
+  Arbiter arb({"x", "y"});
+  KnowledgeBase psi = *arb.ParseKb("x & y");
+  KnowledgeBase mu = *arb.ParseKb("!x");
+  for (const std::string& name : RegisteredOperatorNames()) {
+    Result<KnowledgeBase> result = arb.Change(name, psi, mu);
+    ASSERT_TRUE(result.ok()) << name;
+  }
+  EXPECT_FALSE(arb.Change("no-such-op", psi, mu).ok());
+}
+
+TEST(ArbiterTest, ReviseUpdateFitArbitrateDiffer) {
+  // One scenario where all four built-in entry points give defensible
+  // but different answers.
+  Arbiter arb({"a", "b"});
+  KnowledgeBase psi = *arb.ParseKb("(a & b) | (!a & !b)");
+  KnowledgeBase mu = *arb.ParseKb("a ^ b");
+  KnowledgeBase revised = arb.Revise(psi, mu);
+  KnowledgeBase updated = arb.Update(psi, mu);
+  KnowledgeBase fitted = arb.Fit(psi, mu);
+  EXPECT_TRUE(revised.Implies(mu));
+  EXPECT_TRUE(updated.Implies(mu));
+  EXPECT_TRUE(fitted.Implies(mu));
+  KnowledgeBase arbitrated = arb.Arbitrate(psi, mu);
+  EXPECT_TRUE(arbitrated.IsSatisfiable());
+}
+
+TEST(ArbiterTest, ArbitrateIsCommutativeAtTheFacade) {
+  Arbiter arb({"a", "b", "c"});
+  KnowledgeBase x = *arb.ParseKb("a & !b");
+  KnowledgeBase y = *arb.ParseKb("b & c");
+  EXPECT_TRUE(arb.Arbitrate(x, y).EquivalentTo(arb.Arbitrate(y, x)));
+}
+
+TEST(ArbiterTest, WeightedEntryPoints) {
+  Arbiter arb({"a", "b"});
+  WeightedKnowledgeBase wa = *arb.ParseWeightedKb("a");
+  WeightedKnowledgeBase wb = *arb.ParseWeightedKb("!a & b");
+  WeightedKnowledgeBase verdict = arb.ArbitrateWeighted(wa, wb);
+  EXPECT_TRUE(verdict.IsSatisfiable());
+}
+
+TEST(ArbiterTest, RegistryNamesAllConstruct) {
+  for (const std::string& name : RegisteredOperatorNames()) {
+    EXPECT_TRUE(MakeOperator(name).ok()) << name;
+  }
+  EXPECT_EQ(AllOperators().size(), RegisteredOperatorNames().size());
+}
+
+TEST(ArbiterTest, VersionIsSet) {
+  EXPECT_STRNE(Version(), "");
+}
+
+}  // namespace
+}  // namespace arbiter

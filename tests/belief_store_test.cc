@@ -1,0 +1,188 @@
+// Tests for the BeliefStore: named bases, in-place changes with
+// journaled undo, entailment/consistency queries, counterfactuals.
+
+#include "store/belief_store.h"
+
+#include <gtest/gtest.h>
+
+namespace arbiter {
+namespace {
+
+TEST(BeliefStoreTest, DefineAndGet) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("jury", "g & a").ok());
+  EXPECT_TRUE(store.Contains("jury"));
+  Result<KnowledgeBase> kb = store.Get("jury");
+  ASSERT_TRUE(kb.ok());
+  EXPECT_TRUE(kb->IsSatisfiable());
+  EXPECT_EQ(store.Names(), std::vector<std::string>{"jury"});
+}
+
+TEST(BeliefStoreTest, GetUnknownFails) {
+  BeliefStore store;
+  EXPECT_EQ(store.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(BeliefStoreTest, DefineRejectsBadInput) {
+  BeliefStore store;
+  EXPECT_FALSE(store.Define("", "a").ok());
+  EXPECT_FALSE(store.Define("x", "a &").ok());
+}
+
+TEST(BeliefStoreTest, ApplyRevisesInPlace) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("jury", "g & a & (g & a -> v)").ok());
+  ASSERT_TRUE(store.Apply("jury", "dalal", "!v").ok());
+  EXPECT_EQ(*store.Entails("jury", "!v"), true);
+  EXPECT_EQ(*store.Entails("jury", "g & a"), true);
+}
+
+TEST(BeliefStoreTest, ApplyUnknownOperatorFails) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("x", "a").ok());
+  EXPECT_EQ(store.Apply("x", "zorp", "b").code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.HistoryDepth("x"), 0) << "failed apply not journaled";
+}
+
+TEST(BeliefStoreTest, UndoRestoresPreviousState) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a & b").ok());
+  ASSERT_TRUE(store.Apply("kb", "dalal", "!a").ok());
+  EXPECT_EQ(*store.Entails("kb", "!a"), true);
+  EXPECT_EQ(store.HistoryDepth("kb"), 1);
+  ASSERT_TRUE(store.Undo("kb").ok());
+  EXPECT_EQ(*store.Entails("kb", "a & b"), true);
+  EXPECT_EQ(store.HistoryDepth("kb"), 0);
+  EXPECT_FALSE(store.Undo("kb").ok()) << "nothing left to undo";
+}
+
+TEST(BeliefStoreTest, HistoryJournalsOperatorAndEvidence) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a").ok());
+  ASSERT_TRUE(store.Apply("kb", "winslett", "b").ok());
+  ASSERT_TRUE(store.Apply("kb", "arbitration-max", "!a").ok());
+  std::vector<ChangeRecord> history = store.History("kb");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].op_name, "winslett");
+  EXPECT_EQ(history[0].evidence_text, "b");
+  EXPECT_EQ(history[1].op_name, "arbitration-max");
+}
+
+TEST(BeliefStoreTest, RedefineClearsHistory) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a").ok());
+  ASSERT_TRUE(store.Apply("kb", "dalal", "!a").ok());
+  ASSERT_TRUE(store.Define("kb", "b").ok());
+  EXPECT_EQ(store.HistoryDepth("kb"), 0);
+}
+
+TEST(BeliefStoreTest, DropRemovesBase) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a").ok());
+  ASSERT_TRUE(store.Drop("kb").ok());
+  EXPECT_FALSE(store.Contains("kb"));
+  EXPECT_FALSE(store.Drop("kb").ok());
+}
+
+TEST(BeliefStoreTest, VocabularyGrowsAcrossBases) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("one", "a").ok());
+  ASSERT_TRUE(store.Define("two", "b & c").ok());
+  // "one" leaves the later terms free: 1 * 2 * 2 models.
+  EXPECT_EQ(store.Get("one")->models().size(), 4u);
+  EXPECT_EQ(store.vocabulary().size(), 3);
+}
+
+TEST(BeliefStoreTest, EntailsAndConsistency) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a & (a -> b)").ok());
+  EXPECT_EQ(*store.Entails("kb", "b"), true);
+  EXPECT_EQ(*store.Entails("kb", "!b"), false);
+  EXPECT_EQ(*store.ConsistentWith("kb", "a & b"), true);
+  EXPECT_EQ(*store.ConsistentWith("kb", "!a"), false);
+}
+
+TEST(BeliefStoreTest, EntailmentWithFreshTermInQuery) {
+  // Querying with a never-seen term grows the vocabulary mid-query;
+  // the base must be re-evaluated consistently.
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a").ok());
+  EXPECT_EQ(*store.Entails("kb", "brand_new | !brand_new"), true);
+  EXPECT_EQ(*store.Entails("kb", "brand_new"), false);
+}
+
+TEST(BeliefStoreTest, CounterfactualViaUpdate) {
+  // "The book is on the table XOR the magazine is" — if the book were
+  // put on the table, the magazine's state is unchanged per world, so
+  // the magazine being off the table is NOT guaranteed.
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("table", "(book & !mag) | (!book & mag)").ok());
+  EXPECT_EQ(*store.Counterfactual("table", "book", "book"), true);
+  EXPECT_EQ(*store.Counterfactual("table", "book", "!mag"), false);
+  // Revision (the wrong tool for counterfactuals) would conclude !mag:
+  ASSERT_TRUE(store.Apply("table", "dalal", "book").ok());
+  EXPECT_EQ(*store.Entails("table", "!mag"), true);
+}
+
+TEST(BeliefStoreTest, ArbitrationBetweenStoredBases) {
+  // Two shards stored side by side, merged into a third via Δ.
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("shard_a", "d & i").ok());
+  ASSERT_TRUE(store.Define("merged", "d & i").ok());
+  ASSERT_TRUE(store.Apply("merged", "two-sided-dalal", "!d & !i").ok());
+  EXPECT_EQ(*store.ConsistentWith("merged", "d & i"), true);
+  EXPECT_EQ(*store.ConsistentWith("merged", "!d & !i"), true);
+}
+
+TEST(BeliefStoreTest, SaveLoadRoundTrip) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("jury", "g & a & (g & a -> v)").ok());
+  ASSERT_TRUE(store.Define("witness", "!v").ok());
+  ASSERT_TRUE(store.Apply("jury", "dalal", "!v").ok());
+  std::string saved = store.Save();
+
+  Result<BeliefStore> loaded = BeliefStore::Load(saved);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  BeliefStore copy = *loaded;
+  EXPECT_EQ(copy.Names(), store.Names());
+  EXPECT_EQ(copy.vocabulary().names(), store.vocabulary().names());
+  for (const std::string& name : store.Names()) {
+    EXPECT_TRUE(
+        copy.Get(name)->EquivalentTo(*store.Get(name)))
+        << name;
+  }
+  // Journals are not persisted.
+  EXPECT_EQ(copy.HistoryDepth("jury"), 0);
+}
+
+TEST(BeliefStoreTest, LoadRejectsGarbage) {
+  EXPECT_FALSE(BeliefStore::Load("").ok());
+  EXPECT_FALSE(BeliefStore::Load("not a store\n").ok());
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nbase broken\n").ok());
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nmystery line\n").ok());
+}
+
+TEST(BeliefStoreTest, LoadPreservesVocabularyOrder) {
+  // Term indices must survive the round trip so saved formulas keep
+  // their meaning.
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("x", "zebra | aardvark").ok());
+  Result<BeliefStore> loaded = BeliefStore::Load(store.Save());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->vocabulary().names(), store.vocabulary().names());
+}
+
+TEST(BeliefStoreTest, DumpListsEverything) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a").ok());
+  ASSERT_TRUE(store.Apply("kb", "dalal", "!a").ok());
+  std::string dump = store.Dump();
+  EXPECT_NE(dump.find("kb :="), std::string::npos);
+  EXPECT_NE(dump.find("models:"), std::string::npos);
+  EXPECT_NE(dump.find("dalal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,129 @@
+// Two-sided (commutative) arbitration: the (ψ∘φ)∨(φ∘ψ) construction
+// and the C1-C8 postulates distilled from the post-1993 arbitration
+// literature.  Expectations are exhaustive ground truth at n = 2, 3.
+
+#include "change/commutative.h"
+
+#include <gtest/gtest.h>
+
+#include "change/fitting.h"
+#include "change/registry.h"
+#include "postulates/commutative_checker.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+ModelSet Ms(std::vector<uint64_t> masks, int n) {
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+TEST(TwoSidedTest, CompatiblePartiesIntersect) {
+  // (C2)+(C3): agreement collapses to the conjunction.
+  RevisionBasedArbitration op = MakeTwoSidedDalalArbitration();
+  ModelSet a = Ms({0b00, 0b01}, 2);
+  ModelSet b = Ms({0b01, 0b11}, 2);
+  EXPECT_EQ(op.Change(a, b), Ms({0b01}, 2));
+}
+
+TEST(TwoSidedTest, ConflictKeepsBothSidesClosestModels)  {
+  // Parties at {00} and {11}: each side's closest models of the other
+  // side are kept; the result straddles both camps.
+  RevisionBasedArbitration op = MakeTwoSidedDalalArbitration();
+  ModelSet a = Ms({0b00}, 2);
+  ModelSet b = Ms({0b11}, 2);
+  EXPECT_EQ(op.Change(a, b), Ms({0b00, 0b11}, 2));
+}
+
+TEST(TwoSidedTest, StaysWithinTheUnion) {
+  // (C5) containment — the property Revesz's Δ deliberately drops.
+  Rng rng(9);
+  RevisionBasedArbitration op = MakeTwoSidedDalalArbitration();
+  ArbitrationOperator revesz = MakeMaxArbitration();
+  bool revesz_escaped_union = false;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint64_t> ma, mb;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.3)) ma.push_back(m);
+      if (rng.NextBool(0.3)) mb.push_back(m);
+    }
+    ModelSet a = Ms(ma, 3), b = Ms(mb, 3);
+    ModelSet both = a.Union(b);
+    EXPECT_TRUE(op.Change(a, b).IsSubsetOf(both)) << round;
+    if (!revesz.Change(a, b).IsSubsetOf(both)) revesz_escaped_union = true;
+  }
+  EXPECT_TRUE(revesz_escaped_union)
+      << "Revesz's consensus should sometimes sit strictly between "
+         "the parties";
+}
+
+TEST(TwoSidedTest, UnsatisfiablePartyConcedes) {
+  RevisionBasedArbitration op = MakeTwoSidedDalalArbitration();
+  ModelSet empty(2);
+  ModelSet b = Ms({0b01}, 2);
+  EXPECT_EQ(op.Change(empty, b), b);
+  EXPECT_EQ(op.Change(b, empty), b);
+  EXPECT_TRUE(op.Change(empty, empty).empty());
+}
+
+TEST(CommutativePostulatesTest, TwoSidedDalalSatisfiesAll) {
+  for (int n = 2; n <= 3; ++n) {
+    CommutativeChecker checker(MakeOperator("two-sided-dalal").ValueOrDie(),
+                               n);
+    for (CommutativePostulate p : AllCommutativePostulates()) {
+      auto cex = checker.CheckExhaustive(p);
+      EXPECT_FALSE(cex.has_value())
+          << "n=" << n << ": " << cex->Describe();
+    }
+  }
+}
+
+TEST(CommutativePostulatesTest, TwoSidedSatohLosesTrichotomyAtN3) {
+  CommutativeChecker n2(MakeOperator("two-sided-satoh").ValueOrDie(), 2);
+  EXPECT_TRUE(n2.FailingPostulates().empty());
+  CommutativeChecker n3(MakeOperator("two-sided-satoh").ValueOrDie(), 3);
+  EXPECT_EQ(n3.FailingPostulates(), std::vector<std::string>{"C7"});
+}
+
+TEST(CommutativePostulatesTest, ReveszDeltaTradeoff) {
+  // Revesz's Δ is commutative (C1) and consistent (C4) but trades away
+  // containment and the conjunction postulates: its consensus may
+  // assert genuinely new compromise worlds.
+  for (const char* name : {"arbitration-max", "arbitration-sum"}) {
+    CommutativeChecker checker(MakeOperator(name).ValueOrDie(), 2);
+    EXPECT_EQ(checker.FailingPostulates(),
+              (std::vector<std::string>{"C2", "C3", "C5", "C7", "C8"}))
+        << name;
+  }
+}
+
+TEST(CommutativePostulatesTest, PlainRevisionIsNotCommutative) {
+  CommutativeChecker checker(MakeOperator("dalal").ValueOrDie(), 2);
+  EXPECT_EQ(checker.FailingPostulates(),
+            (std::vector<std::string>{"C1", "C4", "C8"}));
+}
+
+TEST(CommutativePostulatesTest, CounterexampleDescribe) {
+  CommutativeChecker checker(MakeOperator("dalal").ValueOrDie(), 2);
+  auto cex = checker.CheckExhaustive(CommutativePostulate::kC1);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_NE(cex->Describe().find("C1"), std::string::npos);
+  EXPECT_NE(cex->Describe().find("psi="), std::string::npos);
+}
+
+TEST(CommutativePostulatesTest, NamesAndStatements) {
+  EXPECT_EQ(AllCommutativePostulates().size(), 8u);
+  for (CommutativePostulate p : AllCommutativePostulates()) {
+    EXPECT_FALSE(CommutativePostulateName(p).empty());
+    EXPECT_FALSE(CommutativePostulateStatement(p).empty());
+  }
+}
+
+TEST(TwoSidedTest, NameReflectsUnderlyingRevision) {
+  EXPECT_EQ(MakeTwoSidedDalalArbitration().name(), "two-sided(dalal)");
+  EXPECT_EQ(MakeTwoSidedDalalArbitration().family(),
+            OperatorFamily::kArbitration);
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,108 @@
+// Tests for the distance measures and Min operations of the paper.
+
+#include "model/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "model/preorder.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+TEST(DistanceTest, PointDistances) {
+  EXPECT_EQ(Dist(0b000, 0b111), 3);
+  EXPECT_EQ(Dist(0b101, 0b101), 0);
+  EXPECT_EQ(Dist(0b100, 0b001), 2);
+}
+
+TEST(DistanceTest, MinMaxSumOverSet) {
+  ModelSet psi = ModelSet::FromMasks({0b001, 0b010, 0b111}, 3);
+  // Distances from 0b010: 2, 0, 2.
+  EXPECT_EQ(MinDist(psi, 0b010), 0);
+  EXPECT_EQ(OverallDist(psi, 0b010), 2);
+  EXPECT_EQ(SumDist(psi, 0b010), 4);
+  // Distances from 0b011: 1, 1, 1.
+  EXPECT_EQ(MinDist(psi, 0b011), 1);
+  EXPECT_EQ(OverallDist(psi, 0b011), 1);
+  EXPECT_EQ(SumDist(psi, 0b011), 3);
+}
+
+TEST(DistanceTest, SingletonSetCollapsesAllThree) {
+  ModelSet psi = ModelSet::Singleton(0b0110, 4);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    uint64_t x = rng.NextBelow(16);
+    int d = Dist(x, 0b0110);
+    EXPECT_EQ(MinDist(psi, x), d);
+    EXPECT_EQ(OverallDist(psi, x), d);
+    EXPECT_EQ(SumDist(psi, x), d);
+  }
+}
+
+TEST(DistanceTest, OrderingInvariants) {
+  Rng rng(9);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < 16; ++m) {
+      if (rng.NextBool(0.4)) masks.push_back(m);
+    }
+    if (masks.empty()) continue;
+    ModelSet psi = ModelSet::FromMasks(masks, 4);
+    uint64_t x = rng.NextBelow(16);
+    EXPECT_LE(MinDist(psi, x), OverallDist(psi, x));
+    EXPECT_LE(OverallDist(psi, x), SumDist(psi, x));
+    EXPECT_LE(SumDist(psi, x),
+              static_cast<int64_t>(psi.size()) * OverallDist(psi, x));
+    // Members have min distance zero.
+    EXPECT_EQ(MinDist(psi, masks[0]), 0);
+  }
+}
+
+TEST(PreorderTest, MinByPicksAllMinima) {
+  ModelSet s = ModelSet::FromMasks({0, 1, 2, 3}, 2);
+  // Rank by popcount: minima are {0}.
+  ModelSet minima = MinByInt(
+      s, [](uint64_t m) { return static_cast<int64_t>(PopCount(m)); });
+  EXPECT_EQ(minima, ModelSet::FromMasks({0}, 2));
+  // Constant rank: everything minimal.
+  ModelSet all = MinBy(s, [](uint64_t) { return 1.0; });
+  EXPECT_EQ(all, s);
+}
+
+TEST(PreorderTest, MinByEmptyInput) {
+  ModelSet empty(3);
+  EXPECT_TRUE(MinBy(empty, [](uint64_t) { return 0.0; }).empty());
+}
+
+TEST(PreorderTest, TotalPreorderMaterializesRanks) {
+  TotalPreorder order(2, [](uint64_t m) { return 10.0 - m; });
+  EXPECT_DOUBLE_EQ(order.Rank(0), 10.0);
+  EXPECT_TRUE(order.Less(3, 0));
+  EXPECT_TRUE(order.Leq(3, 3));
+  EXPECT_TRUE(order.Equiv(2, 2));
+  EXPECT_FALSE(order.Equiv(1, 2));
+}
+
+TEST(PreorderTest, MinOfAgreesWithMinBy) {
+  Rng rng(13);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.5)) masks.push_back(m);
+    }
+    if (masks.empty()) continue;
+    ModelSet s = ModelSet::FromMasks(masks, 3);
+    ModelSet psi = ModelSet::FromMasks({masks[0]}, 3);
+    TotalPreorder order(3, [&](uint64_t m) {
+      return static_cast<double>(MinDist(psi, m));
+    });
+    ModelSet a = order.MinOf(s);
+    ModelSet b = MinByInt(
+        s, [&](uint64_t m) { return static_cast<int64_t>(MinDist(psi, m)); });
+    EXPECT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace arbiter

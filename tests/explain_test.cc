@@ -1,0 +1,96 @@
+// Tests for the change-explanation facility.
+
+#include "change/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "change/registry.h"
+#include "model/distance.h"
+
+namespace arbiter {
+namespace {
+
+ModelSet Ms(std::vector<uint64_t> masks, int n) {
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+TEST(ExplainTest, UnknownOperatorFails) {
+  EXPECT_FALSE(ExplainChange("zorp", Ms({0}, 2), Ms({1}, 2)).ok());
+}
+
+TEST(ExplainTest, DalalRanksAreMinDistances) {
+  ModelSet psi = Ms({0b111}, 3);
+  ModelSet mu = Ms({0b000, 0b110, 0b100}, 3);
+  Result<ChangeExplanation> ex = ExplainChange("dalal", psi, mu);
+  ASSERT_TRUE(ex.ok());
+  EXPECT_EQ(ex->candidates.size(), 3u);
+  for (const CandidateExplanation& c : ex->candidates) {
+    EXPECT_DOUBLE_EQ(c.rank, MinDist(psi, c.model));
+    EXPECT_EQ(c.selected, c.model == 0b110);
+  }
+  // Sorted by rank ascending: the selected model first.
+  EXPECT_TRUE(ex->candidates[0].selected);
+  EXPECT_LE(ex->candidates[0].rank, ex->candidates[1].rank);
+}
+
+TEST(ExplainTest, SelectionMatchesOperator) {
+  for (const std::string& name : RegisteredOperatorNames()) {
+    ModelSet psi = Ms({0b001, 0b010}, 3);
+    ModelSet mu = Ms({0b010, 0b100, 0b111}, 3);
+    auto op = MakeOperator(name).ValueOrDie();
+    ModelSet expected = op->Change(psi, mu);
+    Result<ChangeExplanation> ex = ExplainChange(name, psi, mu);
+    ASSERT_TRUE(ex.ok()) << name;
+    for (const CandidateExplanation& c : ex->candidates) {
+      EXPECT_EQ(c.selected, expected.Contains(c.model))
+          << name << " model " << c.model;
+    }
+  }
+}
+
+TEST(ExplainTest, MaxFittingNotesFarthestVoice) {
+  // Example 3.1: the {D} option's worst critic is the {S,D,Q} student.
+  ModelSet psi = Ms({0b001, 0b010, 0b111}, 3);
+  ModelSet mu = Ms({0b010, 0b011}, 3);
+  Result<ChangeExplanation> ex = ExplainChange("revesz-max", psi, mu);
+  ASSERT_TRUE(ex.ok());
+  for (const CandidateExplanation& c : ex->candidates) {
+    EXPECT_DOUBLE_EQ(c.rank, OverallDist(psi, c.model));
+    EXPECT_NE(c.note.find("farthest voice"), std::string::npos);
+  }
+}
+
+TEST(ExplainTest, ArbitrationExplainsOverTheFullSpace) {
+  ModelSet a = Ms({0b000}, 3);
+  ModelSet b = Ms({0b110}, 3);
+  Result<ChangeExplanation> ex = ExplainChange("arbitration-max", a, b);
+  ASSERT_TRUE(ex.ok());
+  EXPECT_EQ(ex->candidates.size(), 8u) << "all interpretations compete";
+  int selected = 0;
+  for (const CandidateExplanation& c : ex->candidates) {
+    if (c.selected) ++selected;
+  }
+  EXPECT_EQ(selected, 2) << "the two midpoints";
+}
+
+TEST(ExplainTest, RenderingIsReadable) {
+  auto vocab = Vocabulary::FromNames({"S", "D", "Q"}).ValueOrDie();
+  ModelSet psi = Ms({0b001, 0b010, 0b111}, 3);
+  ModelSet mu = Ms({0b010, 0b011}, 3);
+  Result<ChangeExplanation> ex = ExplainChange("revesz-max", psi, mu);
+  ASSERT_TRUE(ex.ok());
+  std::string text = ex->ToString(vocab);
+  EXPECT_NE(text.find("[*] {S, D}"), std::string::npos) << text;
+  EXPECT_NE(text.find("[ ] {D}"), std::string::npos) << text;
+  EXPECT_NE(text.find("rank 1"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, UnsatisfiablePsiIsFlagged) {
+  Result<ChangeExplanation> ex =
+      ExplainChange("revesz-max", ModelSet(2), Ms({0b01}, 2));
+  ASSERT_TRUE(ex.ok());
+  EXPECT_NE(ex->summary.find("unsatisfiable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbiter

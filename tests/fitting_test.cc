@@ -1,0 +1,153 @@
+// Tests for model-fitting operators and arbitration (paper, Section 3).
+
+#include "change/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include "model/distance.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+ModelSet Ms(std::vector<uint64_t> masks, int n) {
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+TEST(MaxFittingTest, PicksOverallClosest) {
+  // Example 3.1 in raw model sets.
+  MaxFitting op;
+  ModelSet psi = Ms({0b001, 0b010, 0b111}, 3);
+  ModelSet mu = Ms({0b010, 0b011}, 3);
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b011}, 3));
+}
+
+TEST(MaxFittingTest, EgalitarianVersusMajority) {
+  // 3 voices at 000 and 1 at 111, mu = {000, 111, 011}:
+  // max-distances: 000 -> 3, 111 -> 3, 011 -> 2: the compromise wins
+  // even though the majority sits at 000.
+  MaxFitting op;
+  ModelSet psi = Ms({0b000, 0b111}, 3);
+  ModelSet mu = Ms({0b000, 0b111, 0b011}, 3);
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b011}, 3));
+}
+
+TEST(SumFittingTest, MajoritySensitive) {
+  // Sum aggregates the crowd: with psi = {000, 001, 010} (mass near
+  // zero) and mu = {000, 111}: sums are 2 vs 7: 000 wins.
+  SumFitting op;
+  ModelSet psi = Ms({0b000, 0b001, 0b010}, 3);
+  ModelSet mu = Ms({0b000, 0b111}, 3);
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b000}, 3));
+}
+
+TEST(FittingTest, EdgeCasesFollowA1A2) {
+  ModelSet empty(2);
+  ModelSet mu = Ms({0b01}, 2);
+  for (const TheoryChangeOperator* op :
+       {static_cast<const TheoryChangeOperator*>(new MaxFitting()),
+        static_cast<const TheoryChangeOperator*>(new SumFitting()),
+        static_cast<const TheoryChangeOperator*>(new LexFitting())}) {
+    EXPECT_TRUE(op->Change(empty, mu).empty()) << op->name() << " (A2)";
+    EXPECT_TRUE(op->Change(mu, empty).empty()) << op->name() << " (A1)";
+    EXPECT_FALSE(op->Change(mu, mu).empty()) << op->name() << " (A3)";
+    delete op;
+  }
+}
+
+TEST(FittingTest, ResultIsArgminOfItsRank) {
+  Rng rng(42);
+  MaxFitting max_op;
+  SumFitting sum_op;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint64_t> mp, mm;
+    for (uint64_t m = 0; m < 16; ++m) {
+      if (rng.NextBool(0.3)) mp.push_back(m);
+      if (rng.NextBool(0.3)) mm.push_back(m);
+    }
+    if (mp.empty() || mm.empty()) continue;
+    ModelSet psi = Ms(mp, 4), mu = Ms(mm, 4);
+    ModelSet max_result = max_op.Change(psi, mu);
+    int best_max = OverallDist(psi, max_result[0]);
+    ModelSet sum_result = sum_op.Change(psi, mu);
+    int64_t best_sum = SumDist(psi, sum_result[0]);
+    for (uint64_t m : mu) {
+      EXPECT_GE(OverallDist(psi, m), best_max);
+      EXPECT_GE(SumDist(psi, m), best_sum);
+      EXPECT_EQ(max_result.Contains(m), OverallDist(psi, m) == best_max);
+      EXPECT_EQ(sum_result.Contains(m), SumDist(psi, m) == best_sum);
+    }
+  }
+}
+
+TEST(LexFittingTest, PsiObliviousButA2Compliant) {
+  LexFitting op;
+  ModelSet mu = Ms({0b10, 0b01, 0b11}, 2);
+  // Picks the smallest mask regardless of psi.
+  EXPECT_EQ(op.Change(Ms({0b00}, 2), mu), Ms({0b01}, 2));
+  EXPECT_EQ(op.Change(Ms({0b11}, 2), mu), Ms({0b01}, 2));
+}
+
+TEST(ArbitrationTest, IsCommutative) {
+  Rng rng(2718);
+  ArbitrationOperator max_arb = MakeMaxArbitration();
+  ArbitrationOperator sum_arb = MakeSumArbitration();
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint64_t> ma, mb;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.4)) ma.push_back(m);
+      if (rng.NextBool(0.4)) mb.push_back(m);
+    }
+    ModelSet a = Ms(ma, 3), b = Ms(mb, 3);
+    EXPECT_EQ(max_arb.Change(a, b), max_arb.Change(b, a)) << round;
+    EXPECT_EQ(sum_arb.Change(a, b), sum_arb.Change(b, a)) << round;
+  }
+}
+
+TEST(ArbitrationTest, EqualsFittingOverFullSpace) {
+  // Definition: psi Δ phi = (psi ∨ phi) |> M.
+  Rng rng(6);
+  ArbitrationOperator arb = MakeMaxArbitration();
+  MaxFitting fitting;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> ma, mb;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.4)) ma.push_back(m);
+      if (rng.NextBool(0.4)) mb.push_back(m);
+    }
+    ModelSet a = Ms(ma, 3), b = Ms(mb, 3);
+    EXPECT_EQ(arb.Change(a, b),
+              fitting.Change(a.Union(b), ModelSet::Full(3)));
+  }
+}
+
+TEST(ArbitrationTest, AgreementIsKept) {
+  // If both voices agree on a world, arbitration keeps it (it has
+  // overall distance bounded by every alternative).
+  ArbitrationOperator arb = MakeMaxArbitration();
+  ModelSet a = Ms({0b011}, 3);
+  ModelSet b = Ms({0b011}, 3);
+  EXPECT_EQ(arb.Change(a, b), Ms({0b011}, 3));
+}
+
+TEST(ArbitrationTest, SingletonConflictSplitsTheDifference) {
+  // Voices at 000 and 110: both mid-points 010 and 100 (distance 1
+  // from each) and the endpoints themselves (max distance 2) compete;
+  // minimal max-distance 1 is achieved exactly by the midpoints.
+  ArbitrationOperator arb = MakeMaxArbitration();
+  ModelSet a = Ms({0b000}, 3);
+  ModelSet b = Ms({0b110}, 3);
+  EXPECT_EQ(arb.Change(a, b), Ms({0b010, 0b100}, 3));
+}
+
+TEST(ArbitrationTest, NamesAndFamilies) {
+  EXPECT_EQ(MakeMaxArbitration().name(), "arbitration(revesz-max)");
+  EXPECT_EQ(MakeMaxArbitration().family(),
+            OperatorFamily::kArbitration);
+  EXPECT_EQ(MaxFitting().family(), OperatorFamily::kModelFitting);
+  EXPECT_EQ(OperatorFamilyName(OperatorFamily::kModelFitting),
+            std::string("model-fitting"));
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,85 @@
+// Tests for variable forgetting (existential quantification).
+
+#include "model/forget.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/generator.h"
+#include "logic/parser.h"
+#include "logic/semantics.h"
+#include "logic/simplify.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+TEST(ForgetTest, ClosesUnderFlip) {
+  ModelSet s = ModelSet::FromMasks({0b001}, 3);
+  ModelSet forgotten = Forget(s, 0);
+  EXPECT_EQ(forgotten, ModelSet::FromMasks({0b000, 0b001}, 3));
+}
+
+TEST(ForgetTest, MatchesShannonExpansion) {
+  // Mod(∃p φ) = Mod(φ[p:=T] ∨ φ[p:=F]).
+  Rng rng(41);
+  RandomFormulaOptions options;
+  options.num_terms = 4;
+  for (int round = 0; round < 100; ++round) {
+    Formula f = RandomFormula(&rng, options);
+    int var = static_cast<int>(rng.NextBelow(4));
+    ModelSet direct = Forget(ModelSet::FromFormula(f, 4), var);
+    Formula expanded = Or(Assign(f, var, true), Assign(f, var, false));
+    EXPECT_EQ(direct, ModelSet::FromFormula(expanded, 4))
+        << "round " << round << " var " << var;
+  }
+}
+
+TEST(ForgetTest, IdempotentAndMonotone) {
+  Rng rng(43);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < 16; ++m) {
+      if (rng.NextBool(0.3)) masks.push_back(m);
+    }
+    ModelSet s = ModelSet::FromMasks(masks, 4);
+    int var = static_cast<int>(rng.NextBelow(4));
+    ModelSet once = Forget(s, var);
+    EXPECT_EQ(Forget(once, var), once);
+    EXPECT_TRUE(s.IsSubsetOf(once));
+    EXPECT_TRUE(IsIndependentOf(once, var));
+  }
+}
+
+TEST(ForgetTest, ForgetAllCommutes) {
+  Rng rng(47);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < 16; ++m) {
+      if (rng.NextBool(0.3)) masks.push_back(m);
+    }
+    ModelSet s = ModelSet::FromMasks(masks, 4);
+    EXPECT_EQ(ForgetAll(s, 0b0101), Forget(Forget(s, 2), 0));
+  }
+}
+
+TEST(ForgetTest, IndependenceDetection) {
+  Vocabulary v = Vocabulary::Synthetic(3);
+  ModelSet s = ModelSet::FromFormula(MustParse("p0 & (p2 | !p2)", &v), 3);
+  EXPECT_TRUE(IsIndependentOf(s, 1));
+  EXPECT_TRUE(IsIndependentOf(s, 2));
+  EXPECT_FALSE(IsIndependentOf(s, 0));
+}
+
+TEST(ForgetTest, EmptySetStaysEmpty) {
+  ModelSet empty(3);
+  EXPECT_TRUE(Forget(empty, 1).empty());
+  EXPECT_TRUE(ForgetAll(empty, 0b111).empty());
+}
+
+TEST(ForgetTest, ForgettingEverythingGivesFullOrEmpty) {
+  ModelSet s = ModelSet::FromMasks({0b10}, 2);
+  EXPECT_EQ(ForgetAll(s, 0b11), ModelSet::Full(2));
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,120 @@
+// Tests for the formula AST: factories, smart constructors, structural
+// equality and hashing.
+
+#include "logic/formula.h"
+
+#include <gtest/gtest.h>
+
+namespace arbiter {
+namespace {
+
+TEST(FormulaTest, Constants) {
+  EXPECT_TRUE(Formula::True().is_true());
+  EXPECT_TRUE(Formula::False().is_false());
+  EXPECT_TRUE(Formula().is_false()) << "default formula is bottom";
+}
+
+TEST(FormulaTest, Var) {
+  Formula v = Formula::Var(3);
+  ASSERT_TRUE(v.is_var());
+  EXPECT_EQ(v.var(), 3);
+  EXPECT_EQ(v.MaxVar(), 3);
+}
+
+TEST(FormulaTest, NotFoldsConstants) {
+  EXPECT_TRUE(Not(Formula::True()).is_false());
+  EXPECT_TRUE(Not(Formula::False()).is_true());
+}
+
+TEST(FormulaTest, DoubleNegationCollapses) {
+  Formula v = Formula::Var(0);
+  EXPECT_TRUE(Not(Not(v)).Equals(v));
+}
+
+TEST(FormulaTest, LiteralPredicate) {
+  Formula v = Formula::Var(0);
+  EXPECT_TRUE(v.is_literal());
+  EXPECT_TRUE(Not(v).is_literal());
+  EXPECT_FALSE(And(v, Formula::Var(1)).is_literal());
+}
+
+TEST(FormulaTest, AndSimplifications) {
+  Formula a = Formula::Var(0), b = Formula::Var(1);
+  EXPECT_TRUE(And(std::vector<Formula>{}).is_true());
+  EXPECT_TRUE(And(a, Formula::False()).is_false());
+  EXPECT_TRUE(And(a, Formula::True()).Equals(a));
+  EXPECT_EQ(And(a, b).num_children(), 2);
+  EXPECT_EQ(And(a, b, a).num_children(), 3);
+}
+
+TEST(FormulaTest, OrSimplifications) {
+  Formula a = Formula::Var(0), b = Formula::Var(1);
+  EXPECT_TRUE(Or(std::vector<Formula>{}).is_false());
+  EXPECT_TRUE(Or(a, Formula::True()).is_true());
+  EXPECT_TRUE(Or(a, Formula::False()).Equals(a));
+  EXPECT_EQ(Or(a, b).num_children(), 2);
+}
+
+TEST(FormulaTest, ImpliesSimplifications) {
+  Formula a = Formula::Var(0), b = Formula::Var(1);
+  EXPECT_TRUE(Implies(Formula::False(), a).is_true());
+  EXPECT_TRUE(Implies(a, Formula::True()).is_true());
+  EXPECT_TRUE(Implies(Formula::True(), b).Equals(b));
+  EXPECT_TRUE(Implies(a, Formula::False()).Equals(Not(a)));
+  EXPECT_EQ(Implies(a, b).kind(), FormulaKind::kImplies);
+}
+
+TEST(FormulaTest, IffXorSimplifications) {
+  Formula a = Formula::Var(0), b = Formula::Var(1);
+  EXPECT_TRUE(Iff(Formula::True(), b).Equals(b));
+  EXPECT_TRUE(Iff(a, Formula::False()).Equals(Not(a)));
+  EXPECT_TRUE(Xor(Formula::False(), b).Equals(b));
+  EXPECT_TRUE(Xor(a, Formula::True()).Equals(Not(a)));
+  EXPECT_EQ(Iff(a, b).kind(), FormulaKind::kIff);
+  EXPECT_EQ(Xor(a, b).kind(), FormulaKind::kXor);
+}
+
+TEST(FormulaTest, SizeAndDepth) {
+  Formula a = Formula::Var(0), b = Formula::Var(1);
+  Formula f = And(Or(a, b), Not(a));
+  EXPECT_EQ(f.Size(), 6);  // And, Or, a, b, Not, a
+  EXPECT_EQ(f.Depth(), 3);
+  EXPECT_EQ(a.Depth(), 1);
+}
+
+TEST(FormulaTest, MaxVar) {
+  EXPECT_EQ(Formula::True().MaxVar(), -1);
+  EXPECT_EQ(And(Formula::Var(2), Formula::Var(7)).MaxVar(), 7);
+}
+
+TEST(FormulaTest, StructuralEquality) {
+  Formula a = Formula::Var(0), b = Formula::Var(1);
+  EXPECT_TRUE(And(a, b).Equals(And(a, b)));
+  EXPECT_FALSE(And(a, b).Equals(And(b, a))) << "order matters structurally";
+  EXPECT_FALSE(And(a, b).Equals(Or(a, b)));
+}
+
+TEST(FormulaTest, HashConsistentWithEquals) {
+  Formula a = Formula::Var(0), b = Formula::Var(1);
+  Formula f1 = Implies(And(a, b), Or(a, Not(b)));
+  Formula f2 = Implies(And(a, b), Or(a, Not(b)));
+  EXPECT_TRUE(f1.Equals(f2));
+  EXPECT_EQ(f1.Hash(), f2.Hash());
+  EXPECT_NE(f1.Hash(), Not(f1).Hash());
+}
+
+TEST(FormulaTest, SharingIsObservable) {
+  Formula a = Formula::Var(0);
+  Formula f = And(a, Formula::Var(1));
+  EXPECT_TRUE(f.child(0).SameNode(a));
+  EXPECT_EQ(f.child(0).NodeId(), a.NodeId());
+}
+
+TEST(FormulaTest, CheapCopies) {
+  Formula f = And(Formula::Var(0), Formula::Var(1));
+  Formula g = f;  // shared node
+  EXPECT_TRUE(f.SameNode(g));
+}
+
+}  // namespace
+}  // namespace arbiter

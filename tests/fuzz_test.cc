@@ -1,0 +1,104 @@
+// Fuzz-style robustness tests: the parser must never crash and must
+// either succeed or return InvalidArgument on arbitrary input; printer
+// round trips must hold on random ASTs; the SAT pipeline must agree
+// with brute force on deep random formulas.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "enc/tseitin.h"
+#include "logic/generator.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "logic/semantics.h"
+#include "logic/simplify.h"
+#include "sat/all_sat.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xF00D);
+  const std::string alphabet = "abAB01 ()&|!~^<->_'x  ";
+  for (int round = 0; round < 2000; ++round) {
+    int len = static_cast<int>(rng.NextBelow(24));
+    std::string input;
+    for (int i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+    }
+    Vocabulary vocab;
+    Result<Formula> result = Parse(input, &vocab);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << "input: \"" << input << "\"";
+    } else {
+      // Whatever parsed must evaluate without issue.
+      EXPECT_LE(result->MaxVar(), vocab.size() - 1);
+      if (vocab.size() <= kMaxEnumTerms && vocab.size() >= 1) {
+        IsSatisfiable(*result, vocab.size());
+      }
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomAstRoundTrips) {
+  Rng rng(0xBEEF);
+  RandomFormulaOptions options;
+  options.num_terms = 6;
+  options.max_depth = 7;
+  for (int round = 0; round < 300; ++round) {
+    Formula original = RandomFormula(&rng, options);
+    Vocabulary vocab = Vocabulary::Synthetic(6);
+    std::string text = ToString(original, vocab);
+    Result<Formula> reparsed = Parse(text, &vocab, ParseMode::kStrict);
+    ASSERT_TRUE(reparsed.ok())
+        << "printed form unparseable: " << text << " ("
+        << reparsed.status().ToString() << ")";
+    EXPECT_TRUE(AreEquivalent(original, *reparsed, 6))
+        << "round trip changed semantics: " << text;
+  }
+}
+
+TEST(PipelineFuzzTest, TseitinAllSatAgreesOnDeepFormulas) {
+  Rng rng(0xCAFE);
+  RandomFormulaOptions options;
+  options.num_terms = 6;
+  options.max_depth = 9;
+  options.leaf_prob = 0.25;
+  for (int round = 0; round < 60; ++round) {
+    Formula f = RandomFormula(&rng, options);
+    sat::Solver solver;
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(6);
+    encoder.Assert(f);
+    sat::AllSatOptions as;
+    as.num_project = 6;
+    EXPECT_EQ(sat::CollectAllSat(&solver, as), EnumerateModels(f, 6))
+        << "round " << round;
+  }
+}
+
+TEST(PipelineFuzzTest, NnfTseitinComposition) {
+  // Encoding the NNF must give the same projected models as encoding
+  // the original.
+  Rng rng(0xD00F);
+  RandomFormulaOptions options;
+  options.num_terms = 5;
+  options.max_depth = 7;
+  for (int round = 0; round < 60; ++round) {
+    Formula f = RandomFormula(&rng, options);
+    std::vector<uint64_t> expected = EnumerateModels(f, 5);
+    sat::Solver solver;
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(5);
+    encoder.Assert(Nnf(f));
+    sat::AllSatOptions as;
+    as.num_project = 5;
+    EXPECT_EQ(sat::CollectAllSat(&solver, as), expected) << round;
+  }
+}
+
+}  // namespace
+}  // namespace arbiter

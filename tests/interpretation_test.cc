@@ -1,0 +1,89 @@
+// Tests for Interpretation: bitmask semantics and Dalal's distance.
+
+#include "logic/interpretation.h"
+
+#include <gtest/gtest.h>
+
+namespace arbiter {
+namespace {
+
+TEST(InterpretationTest, EmptyByDefault) {
+  Interpretation i(3);
+  EXPECT_EQ(i.bits(), 0u);
+  EXPECT_EQ(i.Cardinality(), 0);
+  for (int t = 0; t < 3; ++t) EXPECT_FALSE(i.Holds(t));
+}
+
+TEST(InterpretationTest, BitsAreMaskedToVocabulary) {
+  Interpretation i(2, /*num_terms=*/1);  // bit 1 is outside
+  EXPECT_EQ(i.bits(), 0u);
+}
+
+TEST(InterpretationTest, WithSetsAndClears) {
+  Interpretation i(3);
+  Interpretation j = i.With(1, true);
+  EXPECT_TRUE(j.Holds(1));
+  EXPECT_FALSE(i.Holds(1)) << "With must not mutate";
+  EXPECT_FALSE(j.With(1, false).Holds(1));
+}
+
+TEST(InterpretationTest, DistanceMatchesPaperExample) {
+  // Section 2: I = {A,B,C}, J = {C,D,E} => dist = 4.
+  auto vocab = Vocabulary::FromNames({"A", "B", "C", "D", "E"}).ValueOrDie();
+  auto i = Interpretation::FromNames(vocab, {"A", "B", "C"}).ValueOrDie();
+  auto j = Interpretation::FromNames(vocab, {"C", "D", "E"}).ValueOrDie();
+  EXPECT_EQ(i.DistanceTo(j), 4);
+  EXPECT_EQ(j.DistanceTo(i), 4);  // symmetric
+}
+
+TEST(InterpretationTest, DistanceIsAMetric) {
+  const int n = 4;
+  for (uint64_t a = 0; a < 16; ++a) {
+    Interpretation ia(a, n);
+    EXPECT_EQ(ia.DistanceTo(ia), 0);
+    for (uint64_t b = 0; b < 16; ++b) {
+      Interpretation ib(b, n);
+      EXPECT_EQ(ia.DistanceTo(ib), ib.DistanceTo(ia));
+      if (a != b) {
+        EXPECT_GT(ia.DistanceTo(ib), 0);
+      }
+      for (uint64_t c = 0; c < 16; ++c) {
+        Interpretation ic(c, n);
+        EXPECT_LE(ia.DistanceTo(ic),
+                  ia.DistanceTo(ib) + ib.DistanceTo(ic));
+      }
+    }
+  }
+}
+
+TEST(InterpretationTest, FromNamesUnknownTermFails) {
+  auto vocab = Vocabulary::FromNames({"A"}).ValueOrDie();
+  EXPECT_FALSE(Interpretation::FromNames(vocab, {"B"}).ok());
+}
+
+TEST(InterpretationTest, ToStringListsTrueTerms) {
+  auto vocab = Vocabulary::FromNames({"S", "D", "Q"}).ValueOrDie();
+  Interpretation i(0b011, 3);
+  EXPECT_EQ(i.ToString(vocab), "{S, D}");
+  EXPECT_EQ(Interpretation(0, 3).ToString(vocab), "{}");
+}
+
+TEST(InterpretationTest, ToBitStringLsbFirst) {
+  EXPECT_EQ(Interpretation(0b001, 3).ToBitString(), "100");
+  EXPECT_EQ(Interpretation(0b100, 3).ToBitString(), "001");
+}
+
+TEST(InterpretationTest, ComparisonOperators) {
+  Interpretation a(1, 3), b(2, 3), a2(1, 3);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(InterpretationTest, HammingDistanceOnRawMasks) {
+  EXPECT_EQ(HammingDistance(0b1010, 0b0110), 2);
+  EXPECT_EQ(HammingDistance(0, 0), 0);
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,82 @@
+// Iterated-revision (Darwiche–Pearl style, knowledge-base-level)
+// postulates: exhaustive ground truth per operator.  Headline: NO
+// KB-level operator in the library satisfies all four — every one
+// fails at least (I2) — matching the DP theory's point that iteration
+// needs epistemic states richer than bases.
+
+#include "postulates/iterated_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "change/registry.h"
+
+namespace arbiter {
+namespace {
+
+std::vector<std::string> Fails(const std::string& name, int n) {
+  IteratedChecker checker(MakeOperator(name).ValueOrDie(), n);
+  return checker.FailingPostulates();
+}
+
+TEST(IteratedPostulatesTest, EveryOperatorFailsI2) {
+  for (const std::string& name : RegisteredOperatorNames()) {
+    std::vector<std::string> failing = Fails(name, 2);
+    EXPECT_NE(std::find(failing.begin(), failing.end(), "I2"),
+              failing.end())
+        << name << " unexpectedly satisfies I2";
+  }
+}
+
+TEST(IteratedPostulatesTest, FullMeetAndLexComeClosest) {
+  // The two degenerate operators lose only (I2) at n = 2 and n = 3.
+  for (const char* name : {"full-meet", "lex-fitting"}) {
+    EXPECT_EQ(Fails(name, 2), std::vector<std::string>{"I2"}) << name;
+    EXPECT_EQ(Fails(name, 3), std::vector<std::string>{"I2"}) << name;
+  }
+}
+
+TEST(IteratedPostulatesTest, DalalFailsAllFourAtN3) {
+  EXPECT_EQ(Fails("dalal", 3),
+            (std::vector<std::string>{"I1", "I2", "I3", "I4"}));
+  // At n = 2 it still keeps I3.
+  EXPECT_EQ(Fails("dalal", 2),
+            (std::vector<std::string>{"I1", "I2", "I4"}));
+}
+
+TEST(IteratedPostulatesTest, TwoSidedArbitrationKeepsI3I4) {
+  for (const char* name : {"two-sided-dalal", "two-sided-satoh"}) {
+    EXPECT_EQ(Fails(name, 3), (std::vector<std::string>{"I1", "I2"}))
+        << name;
+  }
+}
+
+TEST(IteratedPostulatesTest, ReveszOperatorsFailAllFour) {
+  for (const char* name : {"revesz-max", "revesz-sum",
+                           "arbitration-max", "arbitration-sum"}) {
+    EXPECT_EQ(Fails(name, 2),
+              (std::vector<std::string>{"I1", "I2", "I3", "I4"}))
+        << name;
+  }
+}
+
+TEST(IteratedPostulatesTest, CounterexampleDescribe) {
+  IteratedChecker checker(MakeOperator("dalal").ValueOrDie(), 2);
+  auto cex = checker.CheckExhaustive(IteratedPostulate::kI2);
+  ASSERT_TRUE(cex.has_value());
+  std::string desc = cex->Describe();
+  EXPECT_NE(desc.find("I2"), std::string::npos);
+  EXPECT_NE(desc.find("mu1="), std::string::npos);
+}
+
+TEST(IteratedPostulatesTest, NamesAndStatements) {
+  EXPECT_EQ(AllIteratedPostulates().size(), 4u);
+  for (IteratedPostulate p : AllIteratedPostulates()) {
+    EXPECT_FALSE(IteratedPostulateName(p).empty());
+    EXPECT_FALSE(IteratedPostulateStatement(p).empty());
+  }
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,68 @@
+// Tests for KnowledgeBase: formula/model pairing and semantic algebra.
+
+#include "kb/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+
+namespace arbiter {
+namespace {
+
+class KbTest : public ::testing::Test {
+ protected:
+  KbTest() : vocab_(Vocabulary::Synthetic(3)) {}
+  KnowledgeBase Kb(const std::string& text) {
+    return KnowledgeBase(MustParse(text, &vocab_), vocab_.size());
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(KbTest, ModelsComputedEagerly) {
+  KnowledgeBase kb = Kb("p0 & !p1");
+  EXPECT_EQ(kb.models(), ModelSet::FromMasks({0b001, 0b101}, 3));
+  EXPECT_EQ(kb.num_terms(), 3);
+}
+
+TEST_F(KbTest, Satisfiability) {
+  EXPECT_TRUE(Kb("p0 | p1").IsSatisfiable());
+  EXPECT_FALSE(Kb("p0 & !p0").IsSatisfiable());
+}
+
+TEST_F(KbTest, ImplicationAndEquivalence) {
+  KnowledgeBase strong = Kb("p0 & p1");
+  KnowledgeBase weak = Kb("p0");
+  EXPECT_TRUE(strong.Implies(weak));
+  EXPECT_FALSE(weak.Implies(strong));
+  EXPECT_TRUE(Kb("p0 -> p1").EquivalentTo(Kb("!p0 | p1")));
+  EXPECT_FALSE(Kb("p0").EquivalentTo(Kb("p1")));
+}
+
+TEST_F(KbTest, SemanticAlgebra) {
+  KnowledgeBase a = Kb("p0");
+  KnowledgeBase b = Kb("p1");
+  EXPECT_TRUE(a.Conjoin(b).EquivalentTo(Kb("p0 & p1")));
+  EXPECT_TRUE(a.Disjoin(b).EquivalentTo(Kb("p0 | p1")));
+  EXPECT_TRUE(a.Negate().EquivalentTo(Kb("!p0")));
+}
+
+TEST_F(KbTest, FromModelsUsesMintermForm) {
+  ModelSet models = ModelSet::FromMasks({0b010, 0b111}, 3);
+  KnowledgeBase kb = KnowledgeBase::FromModels(models);
+  EXPECT_EQ(kb.models(), models);
+  // Formula re-evaluates to the same models.
+  EXPECT_EQ(ModelSet::FromFormula(kb.formula(), 3), models);
+}
+
+TEST_F(KbTest, UnsatisfiableFromEmptyModels) {
+  KnowledgeBase kb = KnowledgeBase::FromModels(ModelSet(3));
+  EXPECT_FALSE(kb.IsSatisfiable());
+  EXPECT_TRUE(kb.formula().is_false());
+}
+
+TEST_F(KbTest, ToStringUsesVocabulary) {
+  EXPECT_EQ(Kb("p0 & p1").ToString(vocab_), "p0 & p1");
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,134 @@
+// Loyal-assignment checking (paper, Section 3).
+//
+// Headline reproduction finding (experiment E4, EXPERIMENTS.md): the
+// paper asserts its odist (max) assignment is "clearly" loyal, and
+// Section 4 claims the same for wdist.  Exhaustive checking over every
+// pair of knowledge bases shows that *no* distance-aggregate assignment
+// (min, max, or sum) is loyal in the plain union semantics: condition
+// (2) fails whenever psi1 ⊆ psi2 strictly separates two worlds that
+// psi2 ties, because Mod(psi1 ∨ psi2) = Mod(psi2) and the sub-base's
+// strict preference vanishes.  The weighted semantics of Section 4
+// repairs exactly this: there ∨ *sums* weights, so the sub-base keeps
+// contributing, wdist(ψ̃1 ∨ ψ̃2) = wdist(ψ̃1) + wdist(ψ̃2), and
+// strictness survives (see weighted_postulates_test.cc: F1–F8 hold).
+
+#include "model/loyal.h"
+
+#include <gtest/gtest.h>
+
+#include "model/distance.h"
+
+namespace arbiter {
+namespace {
+
+TEST(LoyalTest, MinMaxAndSumAllViolateCondition2) {
+  for (int n = 2; n <= 3; ++n) {
+    for (const auto& [name, assignment] :
+         {std::pair<const char*, PreorderAssignment>{"min", DalalPreorder},
+          {"max", OverallDistPreorder},
+          {"sum", SumDistPreorder}}) {
+      auto violation = CheckLoyalty(assignment, n);
+      ASSERT_TRUE(violation.has_value())
+          << name << " unexpectedly loyal at n=" << n;
+      EXPECT_EQ(violation->condition, 2)
+          << name << ": " << violation->Describe();
+    }
+  }
+}
+
+TEST(LoyalTest, CanonicalSubsetTieWitness) {
+  // psi1 = {00}, psi2 = {00, 01}: psi1 strictly prefers I = 00 over
+  // J = 01, psi2 ties them, and Mod(psi1 ∨ psi2) = Mod(psi2), so the
+  // union also ties — condition (2) demands strictness.  This single
+  // witness defeats min, max, and sum at once.
+  ModelSet psi1 = ModelSet::FromMasks({0b00}, 2);
+  ModelSet psi2 = ModelSet::FromMasks({0b00, 0b01}, 2);
+  const uint64_t i = 0b00, j = 0b01;
+  // Strict under psi1 for all three aggregates.
+  EXPECT_LT(MinDist(psi1, i), MinDist(psi1, j));
+  EXPECT_LT(OverallDist(psi1, i), OverallDist(psi1, j));
+  EXPECT_LT(SumDist(psi1, i), SumDist(psi1, j));
+  // Tie under psi2 for all three.
+  EXPECT_EQ(MinDist(psi2, i), MinDist(psi2, j));
+  EXPECT_EQ(OverallDist(psi2, i), OverallDist(psi2, j));
+  EXPECT_EQ(SumDist(psi2, i), SumDist(psi2, j));
+  // The union *is* psi2, so the tie persists: condition (2) fails.
+  EXPECT_EQ(psi1.Union(psi2), psi2);
+}
+
+TEST(LoyalTest, MaxCondition2CounterexampleWithoutSubset) {
+  // A witness where neither base contains the other, specific to max:
+  // psi1 = {000}, psi2 = {011, 111}, I = 000, J = 100.
+  ModelSet psi1 = ModelSet::FromMasks({0b000}, 3);
+  ModelSet psi2 = ModelSet::FromMasks({0b011, 0b111}, 3);
+  ModelSet both = psi1.Union(psi2);
+  const uint64_t i = 0b000, j = 0b100;
+  EXPECT_LT(OverallDist(psi1, i), OverallDist(psi1, j));  // strict
+  EXPECT_LE(OverallDist(psi2, i), OverallDist(psi2, j));  // weak
+  EXPECT_EQ(OverallDist(both, i), OverallDist(both, j))
+      << "union ties: condition (2) demands strictness";
+}
+
+TEST(LoyalTest, ConstantAssignmentIsLoyal) {
+  // Positive control for Theorem 3.1: a psi-independent total order
+  // satisfies conditions (1)-(3) vacuously.
+  PreorderAssignment constant = [](const ModelSet& psi) {
+    return TotalPreorder(psi.num_terms(), [](uint64_t bits) {
+      return static_cast<double>(bits);
+    });
+  };
+  for (int n = 2; n <= 3; ++n) {
+    auto violation = CheckLoyalty(constant, n);
+    EXPECT_FALSE(violation.has_value())
+        << "n=" << n << ": " << violation->Describe();
+  }
+}
+
+TEST(LoyalTest, CardinalityAssignmentIsLoyal) {
+  // Another psi-independent order (by |I|): loyal for the same reason.
+  PreorderAssignment by_cardinality = [](const ModelSet& psi) {
+    return TotalPreorder(psi.num_terms(), [](uint64_t bits) {
+      return static_cast<double>(PopCount(bits));
+    });
+  };
+  EXPECT_FALSE(CheckLoyalty(by_cardinality, 2).has_value());
+}
+
+TEST(LoyalTest, ViolationDescribeMentionsCondition) {
+  auto violation = CheckLoyalty(DalalPreorder, 2);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->Describe().find("loyalty condition"),
+            std::string::npos);
+}
+
+TEST(LoyalTest, PreordersAreTotalAndTransitive) {
+  ModelSet psi = ModelSet::FromMasks({0b01, 0b10}, 2);
+  TotalPreorder order = SumDistPreorder(psi);
+  for (uint64_t a = 0; a < 4; ++a) {
+    EXPECT_TRUE(order.Leq(a, a));
+    for (uint64_t b = 0; b < 4; ++b) {
+      EXPECT_TRUE(order.Leq(a, b) || order.Leq(b, a));  // total
+      EXPECT_EQ(order.Less(a, b), order.Leq(a, b) && !order.Leq(b, a));
+      for (uint64_t c = 0; c < 4; ++c) {
+        if (order.Leq(a, b) && order.Leq(b, c)) {
+          EXPECT_TRUE(order.Leq(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+TEST(LoyalTest, MinOfRespectsRanks) {
+  ModelSet psi = ModelSet::FromMasks({0b00}, 2);
+  TotalPreorder order = SumDistPreorder(psi);
+  ModelSet candidates = ModelSet::FromMasks({0b01, 0b11}, 2);
+  EXPECT_EQ(order.MinOf(candidates), ModelSet::FromMasks({0b01}, 2));
+}
+
+TEST(LoyalTest, MinOfEmptySetIsEmpty) {
+  TotalPreorder order = SumDistPreorder(ModelSet::FromMasks({0b00}, 2));
+  EXPECT_TRUE(order.MinOf(ModelSet(2)).empty());
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,117 @@
+// Tests for Quine–McCluskey DNF minimization.
+
+#include "logic/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "logic/semantics.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+TEST(MinimizeTest, TrivialCases) {
+  EXPECT_TRUE(MinimizeToDnf({}, 3).is_false());
+  EXPECT_TRUE(MinimizeToDnf({0, 1, 2, 3}, 2).is_true());
+  EXPECT_TRUE(MinimizeToDnf({0}, 0).is_true());
+}
+
+TEST(MinimizeTest, SingleVariablePatterns) {
+  // Models where p0 is true: {1, 3} over 2 terms -> just "p0".
+  Formula f = MinimizeToDnf({0b01, 0b11}, 2);
+  EXPECT_TRUE(f.is_var());
+  EXPECT_EQ(f.var(), 0);
+  // Models where p1 is false -> "!p1".
+  Formula g = MinimizeToDnf({0b00, 0b01}, 2);
+  EXPECT_EQ(ToString(g), "!p1");
+}
+
+TEST(MinimizeTest, ClassicTextbookExample) {
+  // f(a,b,c) with models {0,1,2,5,6,7}: minimal DNF has 2-3 terms vs
+  // 6 minterms.
+  std::vector<uint64_t> models = {0, 1, 2, 5, 6, 7};
+  Formula f = MinimizeToDnf(models, 3);
+  EXPECT_EQ(EnumerateModels(f, 3), models);
+  EXPECT_LT(f.Size(), FormulaFromModels(models, 3).Size());
+}
+
+TEST(MinimizeTest, XorHasNoCompression) {
+  // Parity cannot be compressed: primes are the minterms themselves.
+  std::vector<uint64_t> odd = {0b001, 0b010, 0b100, 0b111};
+  std::vector<Implicant> primes = PrimeImplicants(odd, 3);
+  EXPECT_EQ(primes.size(), 4u);
+  for (const Implicant& p : primes) {
+    EXPECT_EQ(p.care_mask, 0b111u);
+  }
+}
+
+TEST(MinimizeTest, EquivalentToMintermDnfOnRandomSets) {
+  Rng rng(2025);
+  for (int n = 1; n <= 6; ++n) {
+    for (int round = 0; round < 30; ++round) {
+      std::vector<uint64_t> models;
+      for (uint64_t m = 0; m < (1ULL << n); ++m) {
+        if (rng.NextBool(0.4)) models.push_back(m);
+      }
+      Formula minimized = MinimizeToDnf(models, n);
+      EXPECT_EQ(EnumerateModels(minimized, n), models)
+          << "n=" << n << " round=" << round;
+      EXPECT_LE(minimized.Size(), FormulaFromModels(models, n).Size() + 1)
+          << "minimization must not blow up";
+    }
+  }
+}
+
+TEST(MinimizeTest, PrimeImplicantsCoverAndStayInside) {
+  Rng rng(404);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<uint64_t> models;
+    for (uint64_t m = 0; m < 16; ++m) {
+      if (rng.NextBool(0.4)) models.push_back(m);
+    }
+    if (models.empty()) continue;
+    std::vector<Implicant> primes = PrimeImplicants(models, 4);
+    std::set<uint64_t> model_set(models.begin(), models.end());
+    for (const Implicant& p : primes) {
+      // Soundness: every model covered by a prime is a model.
+      for (uint64_t m = 0; m < 16; ++m) {
+        if (p.Covers(m)) {
+          EXPECT_TRUE(model_set.count(m)) << m;
+        }
+      }
+    }
+    // Completeness: every model is covered by some prime.
+    for (uint64_t m : models) {
+      bool covered = false;
+      for (const Implicant& p : primes) covered |= p.Covers(m);
+      EXPECT_TRUE(covered) << m;
+    }
+  }
+}
+
+TEST(MinimizeTest, PrimesAreMaximal) {
+  // No prime may be contained in (weaker than) another.
+  std::vector<uint64_t> models = {0, 1, 2, 5, 6, 7};
+  std::vector<Implicant> primes = PrimeImplicants(models, 3);
+  for (const Implicant& a : primes) {
+    for (const Implicant& b : primes) {
+      if (a == b) continue;
+      // a subsumed by b: b's cares ⊆ a's cares and values agree there.
+      bool subsumed = (b.care_mask & ~a.care_mask) == 0 &&
+                      (a.value & b.care_mask) == b.value;
+      EXPECT_FALSE(subsumed);
+    }
+  }
+}
+
+TEST(MinimizeTest, DuplicatesInInputAreFine) {
+  Formula f = MinimizeToDnf({1, 1, 3, 3}, 2);
+  EXPECT_EQ(EnumerateModels(f, 2), (std::vector<uint64_t>{1, 3}));
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,112 @@
+// Tests for ModelSet: construction, set algebra, formula round trips.
+
+#include "model/model_set.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "logic/semantics.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+TEST(ModelSetTest, EmptyAndFull) {
+  ModelSet empty(3);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  ModelSet full = ModelSet::Full(3);
+  EXPECT_EQ(full.size(), 8u);
+  for (uint64_t m = 0; m < 8; ++m) EXPECT_TRUE(full.Contains(m));
+}
+
+TEST(ModelSetTest, FromMasksSortsAndDeduplicates) {
+  ModelSet s = ModelSet::FromMasks({3, 1, 3, 0}, 2);
+  EXPECT_EQ(s.masks(), (std::vector<uint64_t>{0, 1, 3}));
+}
+
+TEST(ModelSetTest, FromFormula) {
+  Vocabulary v;
+  Formula f = MustParse("A <-> B", &v);
+  EXPECT_EQ(ModelSet::FromFormula(f, 2).masks(),
+            (std::vector<uint64_t>{0b00, 0b11}));
+}
+
+TEST(ModelSetTest, Singleton) {
+  ModelSet s = ModelSet::Singleton(5, 3);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+}
+
+TEST(ModelSetTest, SetAlgebra) {
+  ModelSet a = ModelSet::FromMasks({0, 1, 2}, 2);
+  ModelSet b = ModelSet::FromMasks({1, 3}, 2);
+  EXPECT_EQ(a.Union(b).masks(), (std::vector<uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b).masks(), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(a.Difference(b).masks(), (std::vector<uint64_t>{0, 2}));
+  EXPECT_EQ(b.Complement().masks(), (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(ModelSetTest, AlgebraLawsOnRandomSets) {
+  Rng rng(17);
+  const int n = 4;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint64_t> ma, mb;
+    for (uint64_t m = 0; m < 16; ++m) {
+      if (rng.NextBool(0.4)) ma.push_back(m);
+      if (rng.NextBool(0.4)) mb.push_back(m);
+    }
+    ModelSet a = ModelSet::FromMasks(ma, n);
+    ModelSet b = ModelSet::FromMasks(mb, n);
+    // De Morgan.
+    EXPECT_EQ(a.Union(b).Complement(),
+              a.Complement().Intersect(b.Complement()));
+    // Difference via complement.
+    EXPECT_EQ(a.Difference(b), a.Intersect(b.Complement()));
+    // Union/intersect commute.
+    EXPECT_EQ(a.Union(b), b.Union(a));
+    EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+    // Double complement.
+    EXPECT_EQ(a.Complement().Complement(), a);
+  }
+}
+
+TEST(ModelSetTest, SubsetChecks) {
+  ModelSet a = ModelSet::FromMasks({1, 2}, 2);
+  ModelSet b = ModelSet::FromMasks({0, 1, 2}, 2);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(ModelSet(2).IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(ModelSetTest, ToFormulaRoundTrip) {
+  Rng rng(23);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.5)) masks.push_back(m);
+    }
+    ModelSet s = ModelSet::FromMasks(masks, 3);
+    EXPECT_EQ(ModelSet::FromFormula(s.ToFormula(), 3), s);
+  }
+}
+
+TEST(ModelSetTest, ToStringWithVocabulary) {
+  auto v = Vocabulary::FromNames({"S", "D"}).ValueOrDie();
+  ModelSet s = ModelSet::FromMasks({0b00, 0b11}, 2);
+  EXPECT_EQ(s.ToString(v), "{{}, {S, D}}");
+}
+
+TEST(ModelSetTest, RejectsMaskOutsideVocabulary) {
+  EXPECT_DEATH(ModelSet::FromMasks({4}, 2), "mask outside vocabulary");
+}
+
+TEST(ModelSetTest, VocabularyMismatchChecks) {
+  ModelSet a(2), b(3);
+  EXPECT_DEATH(a.Union(b), "");
+}
+
+}  // namespace
+}  // namespace arbiter

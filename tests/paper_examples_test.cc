@@ -1,0 +1,184 @@
+// Mechanical re-derivation of every worked example in the paper:
+//  * the Section 1 intro database example {A, B, A&B->C} changed by !C,
+//  * Example 3.1 (classroom model-fitting; result {S, D}),
+//  * Example 4.1 (35 students, weighted; result {D} with wdist 30 vs 35),
+//  * the Section 1 jury motivation (9 vs 2 witnesses).
+
+#include <gtest/gtest.h>
+
+#include "change/fitting.h"
+#include "change/revision.h"
+#include "change/update.h"
+#include "change/weighted.h"
+#include "core/arbiter.h"
+#include "model/distance.h"
+
+namespace arbiter {
+namespace {
+
+// --- Section 1 intro example -------------------------------------------
+
+TEST(IntroExample, RevisionKeepsResultWithinNewInformation) {
+  Arbiter arb({"A", "B", "C"});
+  KnowledgeBase psi = *arb.ParseKb("A & B & (A & B -> C)");
+  KnowledgeBase mu = *arb.ParseKb("!C");
+  // Mod(psi) = {ABC}; the revised theory must imply !C and stay
+  // consistent (R1, R3).
+  KnowledgeBase revised = arb.Revise(psi, mu);
+  EXPECT_TRUE(revised.IsSatisfiable());
+  EXPECT_TRUE(revised.Implies(mu));
+  // Dalal keeps the closest !C-worlds to {A,B,C}: {A,B} at distance 1.
+  ModelSet expected = ModelSet::FromMasks({0b011}, 3);  // {A, B}
+  EXPECT_EQ(revised.models(), expected);
+}
+
+TEST(IntroExample, ThreeChangeTypesDisagree) {
+  Arbiter arb({"A", "B", "C"});
+  // psi: either the constraint view or plain facts; mu contradicts C.
+  KnowledgeBase psi = *arb.ParseKb("(A & B & C) | (A & !B & !C)");
+  KnowledgeBase mu = *arb.ParseKb("!A | !C");
+  KnowledgeBase revised = arb.Revise(psi, mu);
+  KnowledgeBase updated = arb.Update(psi, mu);
+  KnowledgeBase fitted = arb.Fit(psi, mu);
+  // All satisfy success (R1/U1/A1).
+  EXPECT_TRUE(revised.Implies(mu));
+  EXPECT_TRUE(updated.Implies(mu));
+  EXPECT_TRUE(fitted.Implies(mu));
+  // Revision keeps only globally closest worlds; update keeps
+  // per-world closest, so it is at least as inclusive.
+  EXPECT_TRUE(revised.models().IsSubsetOf(updated.models()));
+}
+
+// --- Example 3.1: the classroom -----------------------------------------
+
+class Example31 : public ::testing::Test {
+ protected:
+  // Terms in the paper's order: S(QL), D(atalog), Q(BE).  The paper
+  // writes mu = (!S & D) | (S & D) but lists Mod(mu) = {{D}, {S,D}} —
+  // i.e. it implicitly reads the offer as not including QBE.  We make
+  // that explicit with & !Q so the model sets match the text verbatim.
+  Example31() : arb_({"S", "D", "Q"}) {
+    mu_ = *arb_.ParseKb("((!S & D) | (S & D)) & !Q");
+    psi_ = *arb_.ParseKb("(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)");
+  }
+  Arbiter arb_;
+  KnowledgeBase mu_{Formula::False(), 3};
+  KnowledgeBase psi_{Formula::False(), 3};
+};
+
+TEST_F(Example31, ModelSetsMatchPaper) {
+  // Mod(mu) = { {D}, {S,D} }, Mod(psi) = { {S}, {D}, {S,D,Q} }.
+  EXPECT_EQ(mu_.models(), ModelSet::FromMasks({0b010, 0b011}, 3));
+  EXPECT_EQ(psi_.models(),
+            ModelSet::FromMasks({0b001, 0b010, 0b111}, 3));
+}
+
+TEST_F(Example31, OdistValuesMatchPaper) {
+  // odist(psi, {D}) = 2 and odist(psi, {S,D}) = 1.
+  EXPECT_EQ(OverallDist(psi_.models(), 0b010), 2);
+  EXPECT_EQ(OverallDist(psi_.models(), 0b011), 1);
+}
+
+TEST_F(Example31, ModelFittingPicksSqlAndDatalog) {
+  KnowledgeBase result = arb_.Fit(psi_, mu_);
+  EXPECT_EQ(result.models(), ModelSet::FromMasks({0b011}, 3))
+      << "the instructor should teach both SQL and Datalog";
+}
+
+TEST_F(Example31, DalalRevisionWouldPickDatalogOnly) {
+  // The paper notes a revision operator like Dalal's would suggest
+  // teaching Datalog only ({D} is distance 0 from the student wish
+  // {D}).
+  KnowledgeBase result = arb_.Revise(psi_, mu_);
+  EXPECT_TRUE(result.models().Contains(0b010));
+  EXPECT_EQ(MinDist(psi_.models(), 0b010), 0);
+}
+
+TEST_F(Example31, ArbitrationOverFullSpace) {
+  // "If the instructor were willing to teach any combination" —
+  // arbitration: (psi | mu) |> M.
+  KnowledgeBase result = arb_.Arbitrate(psi_, mu_);
+  EXPECT_TRUE(result.IsSatisfiable());
+  // Every chosen world minimizes the overall distance to the combined
+  // voices.
+  ModelSet combined = psi_.models().Union(mu_.models());
+  int best = OverallDist(combined, result.models()[0]);
+  for (uint64_t m = 0; m < 8; ++m) {
+    EXPECT_GE(OverallDist(combined, m), best);
+  }
+}
+
+// --- Example 4.1: weighted classroom ------------------------------------
+
+class Example41 : public ::testing::Test {
+ protected:
+  Example41() : arb_({"S", "D", "Q"}) {
+    mu_ = WeightedKnowledgeBase(3);
+    mu_.SetWeight(0b010, 1.0);  // {D}
+    mu_.SetWeight(0b011, 1.0);  // {S,D}
+    psi_ = WeightedKnowledgeBase(3);
+    psi_.SetWeight(0b001, 10.0);  // 10 students want SQL only
+    psi_.SetWeight(0b010, 20.0);  // 20 want Datalog only
+    psi_.SetWeight(0b111, 5.0);   // 5 want S, D and Q
+  }
+  Arbiter arb_;
+  WeightedKnowledgeBase mu_{3};
+  WeightedKnowledgeBase psi_{3};
+};
+
+TEST_F(Example41, WdistValuesMatchPaper) {
+  // wdist(psi, {D}) = 30 and wdist(psi, {S,D}) = 35.
+  EXPECT_DOUBLE_EQ(psi_.WeightedDistTo(0b010), 30.0);
+  EXPECT_DOUBLE_EQ(psi_.WeightedDistTo(0b011), 35.0);
+}
+
+TEST_F(Example41, WeightedFittingPicksDatalogOnly) {
+  WdistFitting fitting;
+  WeightedKnowledgeBase result = fitting.Change(psi_, mu_);
+  EXPECT_DOUBLE_EQ(result.Weight(0b010), 1.0)
+      << "{D} keeps its mu-weight";
+  EXPECT_DOUBLE_EQ(result.Weight(0b011), 0.0) << "{S,D} is dropped";
+  for (uint64_t m : {0b000, 0b001, 0b100, 0b101, 0b110, 0b111}) {
+    EXPECT_DOUBLE_EQ(result.Weight(m), 0.0);
+  }
+}
+
+TEST_F(Example41, MajorityFlipsTheUnweightedOutcome) {
+  // With unit weights (Example 3.1) fitting chose {S,D}; the 20-student
+  // majority for Datalog flips it to {D} (the paper's point).
+  MaxFitting unweighted;
+  ModelSet unweighted_result = unweighted.Change(
+      ModelSet::FromMasks({0b001, 0b010, 0b111}, 3), mu_.Support());
+  EXPECT_EQ(unweighted_result, ModelSet::FromMasks({0b011}, 3));
+  WdistFitting weighted;
+  EXPECT_DOUBLE_EQ(weighted.Change(psi_, mu_).Weight(0b010), 1.0);
+}
+
+// --- Section 1: the jury ------------------------------------------------
+
+TEST(JuryExample, NineVersusTwoWitnesses) {
+  // Nine witnesses say A started the fight, two say B did (and not A).
+  // Weighted arbitration should side with the majority.
+  WeightedKnowledgeBase crowd(2);
+  crowd.SetWeight(0b01, 9.0);  // {A-started}
+  crowd.SetWeight(0b10, 2.0);  // {B-started}
+  WeightedArbitration delta;
+  WeightedKnowledgeBase verdict =
+      delta.Change(crowd, WeightedKnowledgeBase(2));
+  EXPECT_GT(verdict.Weight(0b01), 0.0) << "majority verdict: A started it";
+  EXPECT_DOUBLE_EQ(verdict.Weight(0b10), 0.0);
+}
+
+TEST(JuryExample, EqualVoicesKeepBothVerdicts) {
+  WeightedKnowledgeBase crowd(2);
+  crowd.SetWeight(0b01, 5.0);
+  crowd.SetWeight(0b10, 5.0);
+  WeightedArbitration delta;
+  WeightedKnowledgeBase verdict =
+      delta.Change(crowd, WeightedKnowledgeBase(2));
+  // Symmetric evidence: both candidate verdicts survive arbitration.
+  EXPECT_EQ(verdict.Weight(0b01) > 0, verdict.Weight(0b10) > 0);
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,169 @@
+// Tests for the formula parser and printer, including round trips.
+
+#include "logic/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/printer.h"
+#include "logic/semantics.h"
+
+namespace arbiter {
+namespace {
+
+Formula P(const std::string& text, Vocabulary* vocab) {
+  Result<Formula> f = Parse(text, vocab);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *f;
+}
+
+TEST(ParserTest, Atoms) {
+  Vocabulary v;
+  EXPECT_TRUE(P("true", &v).is_true());
+  EXPECT_TRUE(P("false", &v).is_false());
+  Formula a = P("A", &v);
+  ASSERT_TRUE(a.is_var());
+  EXPECT_EQ(v.Name(a.var()), "A");
+}
+
+TEST(ParserTest, AutoRegistersTerms) {
+  Vocabulary v;
+  P("A & B | C", &v);
+  EXPECT_EQ(v.size(), 3);
+}
+
+TEST(ParserTest, StrictModeRejectsUnknown) {
+  Vocabulary v = Vocabulary::Synthetic(1);
+  EXPECT_FALSE(Parse("p0 & mystery", &v, ParseMode::kStrict).ok());
+  EXPECT_TRUE(Parse("p0", &v, ParseMode::kStrict).ok());
+}
+
+TEST(ParserTest, PrecedenceNotOverAnd) {
+  Vocabulary v;
+  Formula f = P("!A & B", &v);
+  EXPECT_EQ(f.kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f.child(0).kind(), FormulaKind::kNot);
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  Vocabulary v;
+  Formula f = P("A | B & C", &v);
+  EXPECT_EQ(f.kind(), FormulaKind::kOr);
+  EXPECT_EQ(f.child(1).kind(), FormulaKind::kAnd);
+}
+
+TEST(ParserTest, PrecedenceOrOverImplies) {
+  Vocabulary v;
+  Formula f = P("A | B -> C", &v);
+  EXPECT_EQ(f.kind(), FormulaKind::kImplies);
+  EXPECT_EQ(f.child(0).kind(), FormulaKind::kOr);
+}
+
+TEST(ParserTest, ImpliesRightAssociative) {
+  Vocabulary v;
+  Formula f = P("A -> B -> C", &v);
+  EXPECT_EQ(f.kind(), FormulaKind::kImplies);
+  EXPECT_EQ(f.child(1).kind(), FormulaKind::kImplies);
+}
+
+TEST(ParserTest, Parentheses) {
+  Vocabulary v;
+  Formula f = P("(A | B) & C", &v);
+  EXPECT_EQ(f.kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f.child(0).kind(), FormulaKind::kOr);
+}
+
+TEST(ParserTest, AlternativeSpellings) {
+  Vocabulary v1, v2;
+  // and/or/not/implies/iff/xor keyword forms parse to the same models.
+  Formula sym = P("!(A & B) | (C -> D) ^ (A <-> D)", &v1);
+  Formula kw = P("not (A and B) or (C implies D) xor (A iff D)", &v2);
+  EXPECT_TRUE(AreEquivalent(sym, kw, 4));
+}
+
+TEST(ParserTest, DoubleOperatorSpellings) {
+  Vocabulary v1, v2;
+  EXPECT_TRUE(AreEquivalent(P("A && B || C", &v1), P("A & B | C", &v2), 3));
+}
+
+TEST(ParserTest, NaryChainsFlatten) {
+  Vocabulary v;
+  Formula f = P("A & B & C & D", &v);
+  EXPECT_EQ(f.kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f.num_children(), 4);
+}
+
+TEST(ParserTest, ErrorsAreInvalidArgument) {
+  Vocabulary v;
+  for (const char* bad : {"", "A &", "& A", "(A", "A)", "A ! B", "->",
+                          "A <- B", "A & (B |)"}) {
+    Result<Formula> r = Parse(bad, &v);
+    EXPECT_FALSE(r.ok()) << "should fail: \"" << bad << "\"";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(ParserTest, IdentifiersWithPrimesAndUnderscores) {
+  Vocabulary v;
+  Formula f = P("state_0' & _x", &v);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_TRUE(v.Contains("state_0'"));
+  EXPECT_TRUE(v.Contains("_x"));
+  EXPECT_EQ(f.kind(), FormulaKind::kAnd);
+}
+
+TEST(ParserTest, KeywordPrefixIdentifiers) {
+  Vocabulary v;
+  // "trueX" and "orchid" start with keywords but are identifiers.
+  Formula f = P("trueX & orchid", &v);
+  EXPECT_EQ(f.kind(), FormulaKind::kAnd);
+  EXPECT_TRUE(v.Contains("trueX"));
+  EXPECT_TRUE(v.Contains("orchid"));
+}
+
+TEST(PrinterTest, RoundTripPreservesSemantics) {
+  const char* cases[] = {
+      "A",
+      "!A",
+      "A & B | C",
+      "A | B & C",
+      "(A | B) & C",
+      "A -> B -> C",
+      "(A -> B) -> C",
+      "A <-> B <-> C",
+      "A ^ B ^ C",
+      "!(A & (B | !C)) -> (A <-> C)",
+      "true & A | false",
+  };
+  for (const char* text : cases) {
+    Vocabulary v1;
+    Formula original = P(text, &v1);
+    std::string printed = ToString(original, v1);
+    Vocabulary v2 = v1;
+    Result<Formula> reparsed = Parse(printed, &v2, ParseMode::kStrict);
+    ASSERT_TRUE(reparsed.ok())
+        << "\"" << text << "\" printed as unparseable \"" << printed << "\"";
+    EXPECT_TRUE(AreEquivalent(original, *reparsed, v1.size()))
+        << text << " vs " << printed;
+  }
+}
+
+TEST(PrinterTest, MinimalParentheses) {
+  Vocabulary v;
+  EXPECT_EQ(ToString(P("A & B | C", &v), v), "A & B | C");
+  EXPECT_EQ(ToString(P("(A | B) & C", &v), v), "(A | B) & C");
+  EXPECT_EQ(ToString(P("!A", &v), v), "!A");
+  EXPECT_EQ(ToString(P("!(A & B)", &v), v), "!(A & B)");
+}
+
+TEST(PrinterTest, SyntheticNames) {
+  Formula f = And(Formula::Var(0), Not(Formula::Var(1)));
+  EXPECT_EQ(ToString(f), "p0 & !p1");
+}
+
+TEST(MustParseTest, ReturnsFormula) {
+  Vocabulary v;
+  EXPECT_TRUE(MustParse("A | !A", &v).kind() == FormulaKind::kOr);
+}
+
+}  // namespace
+}  // namespace arbiter

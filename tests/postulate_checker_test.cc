@@ -1,0 +1,212 @@
+// Exhaustive postulate compliance (experiments E4-E6).
+//
+// The expectations below are the *observed* ground truth from
+// exhaustive checking over every knowledge-base tuple at n = 2 and
+// n = 3, recorded as regressions.  Highlights:
+//
+//  * Dalal satisfies (R1)-(R6) — Katsuno-Mendelzon's claim — and fails
+//    (U2)/(U8)/(A2)/(A8).
+//  * Winslett and Forbus satisfy (U1)-(U8) and fail (R2)/(R3)/(R6).
+//  * The paper's concrete operators revesz-max and revesz-sum satisfy
+//    (A1)-(A7) resp. (A1)-(A6) but BOTH FAIL (A8) — the paper's
+//    "clearly this is a loyal assignment" does not hold in the plain
+//    union semantics (see loyal_test.cc for the structural reason).
+//  * lex-fitting (psi-oblivious order) satisfies all of (A1)-(A8):
+//    the model-fitting class is nonempty, so Theorem 3.1 is not
+//    vacuous.
+//  * Satoh and Weber lose (R6) (and more) at n = 3: known from the
+//    literature, reproduced mechanically here.
+
+#include "postulates/checker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "change/registry.h"
+
+namespace arbiter {
+namespace {
+
+std::set<std::string> FailingPostulates(const std::string& op_name, int n) {
+  PostulateChecker checker(MakeOperator(op_name).ValueOrDie(), n);
+  std::set<std::string> failing;
+  for (Postulate p : AllPostulates()) {
+    if (checker.CheckExhaustive(p).has_value()) {
+      failing.insert(PostulateName(p));
+    }
+  }
+  return failing;
+}
+
+using Set = std::set<std::string>;
+
+TEST(ComplianceN2, Dalal) {
+  EXPECT_EQ(FailingPostulates("dalal", 2), Set({"U2", "U8", "A2", "A8"}));
+}
+
+TEST(ComplianceN2, Satoh) {
+  EXPECT_EQ(FailingPostulates("satoh", 2), Set({"U2", "U8", "A2", "A8"}));
+}
+
+TEST(ComplianceN2, Weber) {
+  EXPECT_EQ(FailingPostulates("weber", 2),
+            Set({"R5", "U2", "U5", "U8", "A2", "A5", "A8"}));
+}
+
+TEST(ComplianceN2, Borgida) {
+  EXPECT_EQ(FailingPostulates("borgida", 2),
+            Set({"U2", "U8", "A2", "A8"}));
+}
+
+TEST(ComplianceN2, Winslett) {
+  EXPECT_EQ(FailingPostulates("winslett", 2),
+            Set({"R2", "R3", "R6", "A6", "A8"}));
+}
+
+TEST(ComplianceN2, Forbus) {
+  EXPECT_EQ(FailingPostulates("forbus", 2),
+            Set({"R2", "R3", "R6", "A6", "A8"}));
+}
+
+TEST(ComplianceN2, ReveszMax) {
+  EXPECT_EQ(FailingPostulates("revesz-max", 2),
+            Set({"R2", "R3", "U2", "U8", "A8"}));
+}
+
+TEST(ComplianceN2, ReveszSum) {
+  EXPECT_EQ(FailingPostulates("revesz-sum", 2),
+            Set({"R2", "R3", "U2", "U8", "A7", "A8"}));
+}
+
+TEST(ComplianceN2, LexFittingSatisfiesAllAAxioms) {
+  Set failing = FailingPostulates("lex-fitting", 2);
+  for (const char* a : {"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}) {
+    EXPECT_EQ(failing.count(a), 0u) << a;
+  }
+  // And per Theorem 3.2 it cannot also be a revision operator.
+  EXPECT_EQ(failing.count("R2"), 1u);
+}
+
+// n = 3 spot checks for the operators whose compliance changes with
+// vocabulary growth (Satoh/Weber/Borgida lose axioms) and the headline
+// fitting operators (stable).
+
+TEST(ComplianceN3, SatohLosesR6) {
+  PostulateChecker checker(MakeOperator("satoh").ValueOrDie(), 3);
+  EXPECT_TRUE(checker.CheckExhaustive(Postulate::kR6).has_value());
+  EXPECT_FALSE(checker.CheckExhaustive(Postulate::kR5).has_value());
+  for (Postulate p : {Postulate::kR1, Postulate::kR2, Postulate::kR3,
+                      Postulate::kR4}) {
+    EXPECT_FALSE(checker.CheckExhaustive(p).has_value())
+        << PostulateName(p);
+  }
+}
+
+TEST(ComplianceN3, WeberLosesR5AndR6) {
+  PostulateChecker checker(MakeOperator("weber").ValueOrDie(), 3);
+  EXPECT_TRUE(checker.CheckExhaustive(Postulate::kR5).has_value());
+  EXPECT_TRUE(checker.CheckExhaustive(Postulate::kR6).has_value());
+  EXPECT_FALSE(checker.CheckExhaustive(Postulate::kR2).has_value());
+}
+
+TEST(ComplianceN3, DalalKeepsAllRevisionAxioms) {
+  PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), 3);
+  for (Postulate p : RevisionPostulates()) {
+    EXPECT_FALSE(checker.CheckExhaustive(p).has_value())
+        << PostulateName(p);
+  }
+  EXPECT_TRUE(checker.CheckExhaustive(Postulate::kA8).has_value());
+}
+
+TEST(ComplianceN3, WinslettKeepsAllUpdateAxioms) {
+  PostulateChecker checker(MakeOperator("winslett").ValueOrDie(), 3);
+  for (Postulate p : UpdatePostulates()) {
+    EXPECT_FALSE(checker.CheckExhaustive(p).has_value())
+        << PostulateName(p);
+  }
+}
+
+TEST(ComplianceN3, ReveszMaxSatisfiesA1toA7FailsA8) {
+  PostulateChecker checker(MakeOperator("revesz-max").ValueOrDie(), 3);
+  for (Postulate p : {Postulate::kA1, Postulate::kA2, Postulate::kA3,
+                      Postulate::kA4, Postulate::kA5, Postulate::kA6,
+                      Postulate::kA7}) {
+    EXPECT_FALSE(checker.CheckExhaustive(p).has_value())
+        << PostulateName(p);
+  }
+  auto cex = checker.CheckExhaustive(Postulate::kA8);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(cex->postulate, Postulate::kA8);
+}
+
+TEST(ComplianceN3, LexFittingSatisfiesAllAAxioms) {
+  PostulateChecker checker(MakeOperator("lex-fitting").ValueOrDie(), 3);
+  for (Postulate p : FittingPostulates()) {
+    EXPECT_FALSE(checker.CheckExhaustive(p).has_value())
+        << PostulateName(p);
+  }
+}
+
+TEST(CheckerTest, ComplianceMatrixCoversAllPostulates) {
+  PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), 2);
+  std::vector<ComplianceEntry> matrix = checker.ComplianceMatrix();
+  EXPECT_EQ(matrix.size(), AllPostulates().size());
+  for (const ComplianceEntry& entry : matrix) {
+    EXPECT_EQ(entry.satisfied, !entry.counterexample.has_value());
+  }
+}
+
+TEST(CheckerTest, CounterexampleDescribesWitness) {
+  PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), 2);
+  auto cex = checker.CheckExhaustive(Postulate::kA8);
+  ASSERT_TRUE(cex.has_value());
+  std::string desc = cex->Describe();
+  EXPECT_NE(desc.find("A8"), std::string::npos);
+  EXPECT_NE(desc.find("psi1="), std::string::npos);
+}
+
+TEST(CheckerTest, SampledAgreesWithExhaustiveOnViolations) {
+  // Sampling finds the (dense) A8 violations of dalal quickly, and
+  // finds nothing for axioms dalal satisfies.
+  PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), 2);
+  EXPECT_TRUE(
+      checker.CheckSampled(Postulate::kA8, 5000, /*seed=*/1).has_value());
+  EXPECT_FALSE(
+      checker.CheckSampled(Postulate::kR1, 5000, /*seed=*/2).has_value());
+  EXPECT_FALSE(
+      checker.CheckSampled(Postulate::kR2, 5000, /*seed=*/3).has_value());
+}
+
+TEST(CheckerTest, SampledWorksBeyondExhaustiveLimit) {
+  // n = 4 is beyond the exhaustive limit; sampling still runs.
+  PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), 4);
+  EXPECT_FALSE(
+      checker.CheckSampled(Postulate::kR1, 300, /*seed=*/4).has_value());
+  EXPECT_TRUE(
+      checker.CheckSampled(Postulate::kA8, 3000, /*seed=*/5).has_value());
+}
+
+TEST(CheckerTest, ChangeCallsAreMemoized) {
+  PostulateChecker checker(MakeOperator("dalal").ValueOrDie(), 2);
+  checker.CheckExhaustive(Postulate::kR1);
+  uint64_t calls_after_first = checker.num_change_calls();
+  checker.CheckExhaustive(Postulate::kU8);
+  // U8 needs only unions of already-seen pairs: cache keeps the count
+  // at the number of distinct pairs.
+  EXPECT_EQ(checker.num_change_calls(), calls_after_first);
+}
+
+TEST(SatisfiesAllTest, Helper) {
+  EXPECT_TRUE(SatisfiesAll(MakeOperator("dalal").ValueOrDie(),
+                           RevisionPostulates(), 2));
+  EXPECT_FALSE(SatisfiesAll(MakeOperator("dalal").ValueOrDie(),
+                            FittingPostulates(), 2));
+  EXPECT_TRUE(SatisfiesAll(MakeOperator("winslett").ValueOrDie(),
+                           UpdatePostulates(), 2));
+  EXPECT_TRUE(SatisfiesAll(MakeOperator("lex-fitting").ValueOrDie(),
+                           FittingPostulates(), 2));
+}
+
+}  // namespace
+}  // namespace arbiter

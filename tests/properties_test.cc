@@ -1,0 +1,109 @@
+// Structural operator properties (exhaustive at n = 2), reproducing
+// the paper's Section 3 argument: "all update operators are monotone"
+// (KM92) while "no non-trivial revision operator can be monotone"
+// (Gärdenfors' impossibility theorem) — hence revision ∩ update = ∅.
+// Commutativity separates arbitration from both.
+
+#include "change/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "change/registry.h"
+
+namespace arbiter {
+namespace {
+
+std::shared_ptr<const TheoryChangeOperator> Op(const std::string& name) {
+  return MakeOperator(name).ValueOrDie();
+}
+
+TEST(MonotonyTest, AllUpdateOperatorsAreMonotone) {
+  for (const char* name : {"winslett", "forbus"}) {
+    auto cex = CheckMonotone(*Op(name), 2);
+    EXPECT_FALSE(cex.has_value()) << name << ": " << cex->description;
+    EXPECT_FALSE(CheckMonotone(*Op(name), 3).has_value()) << name;
+  }
+}
+
+TEST(MonotonyTest, NoRevisionOperatorIsMonotone) {
+  for (const char* name : {"dalal", "satoh", "weber", "borgida"}) {
+    auto cex = CheckMonotone(*Op(name), 2);
+    EXPECT_TRUE(cex.has_value()) << name;
+    EXPECT_EQ(cex->property, "monotone");
+  }
+}
+
+TEST(MonotonyTest, FittingOperatorsNeedNotBeMonotone) {
+  EXPECT_TRUE(CheckMonotone(*Op("revesz-max"), 2).has_value());
+  EXPECT_TRUE(CheckMonotone(*Op("revesz-sum"), 2).has_value());
+  // The psi-oblivious control is trivially monotone.
+  EXPECT_FALSE(CheckMonotone(*Op("lex-fitting"), 2).has_value());
+}
+
+TEST(CommutativityTest, OnlyArbitrationOperatorsCommute) {
+  for (const char* name : {"arbitration-max", "arbitration-sum",
+                           "two-sided-dalal", "two-sided-satoh"}) {
+    EXPECT_FALSE(CheckCommutative(*Op(name), 2).has_value()) << name;
+  }
+  for (const char* name : {"dalal", "satoh", "weber", "borgida",
+                           "winslett", "forbus", "revesz-max",
+                           "revesz-sum", "lex-fitting"}) {
+    EXPECT_TRUE(CheckCommutative(*Op(name), 2).has_value()) << name;
+  }
+}
+
+TEST(IdempotenceTest, RevisionAndUpdateAreIdempotent) {
+  for (const char* name :
+       {"dalal", "satoh", "weber", "borgida", "winslett", "forbus",
+        "lex-fitting"}) {
+    EXPECT_FALSE(CheckIdempotent(*Op(name), 2).has_value()) << name;
+  }
+}
+
+TEST(IdempotenceTest, FittingIsNotIdempotent) {
+  // Re-fitting the fitted result against the same mu can move again:
+  // the overall-closeness rank is relative to psi, which has changed.
+  EXPECT_TRUE(CheckIdempotent(*Op("revesz-max"), 2).has_value());
+  EXPECT_TRUE(CheckIdempotent(*Op("revesz-sum"), 2).has_value());
+}
+
+TEST(AssociativityTest, ArbitrationIsNotAssociative) {
+  // Merging voices pairwise depends on the order — the reason k-ary
+  // merging (merge.h) exists as its own primitive.
+  for (const char* name : {"arbitration-max", "two-sided-dalal"}) {
+    auto cex = CheckAssociative(*Op(name), 2);
+    EXPECT_TRUE(cex.has_value()) << name;
+  }
+  // The psi-oblivious control happens to be associative.
+  EXPECT_FALSE(CheckAssociative(*Op("lex-fitting"), 2).has_value());
+}
+
+TEST(SuccessTest, OneSidedOperatorsSatisfySuccess) {
+  for (const char* name :
+       {"dalal", "satoh", "weber", "borgida", "winslett", "forbus",
+        "revesz-max", "revesz-sum", "lex-fitting"}) {
+    EXPECT_FALSE(CheckSuccess(*Op(name), 2).has_value()) << name;
+  }
+  // Arbitration deliberately does not: both voices are negotiable.
+  EXPECT_TRUE(CheckSuccess(*Op("arbitration-max"), 2).has_value());
+  EXPECT_TRUE(CheckSuccess(*Op("two-sided-dalal"), 2).has_value());
+}
+
+TEST(VacuityTest, RevisionsAndTwoSidedArbitrationKeepConsistentJoins) {
+  for (const char* name :
+       {"dalal", "satoh", "weber", "borgida", "two-sided-dalal"}) {
+    EXPECT_FALSE(CheckVacuity(*Op(name), 2).has_value()) << name;
+  }
+  for (const char* name : {"winslett", "revesz-max", "arbitration-max"}) {
+    EXPECT_TRUE(CheckVacuity(*Op(name), 2).has_value()) << name;
+  }
+}
+
+TEST(PropertiesTest, CounterexamplesAreDescriptive) {
+  auto cex = CheckMonotone(*Op("dalal"), 2);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_NE(cex->description.find("psi="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbiter

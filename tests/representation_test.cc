@@ -1,0 +1,102 @@
+// Executable Theorem 3.1: run the proof's pre-order construction on
+// concrete operators and verify (or pinpoint the failure of) each step.
+
+#include "postulates/representation.h"
+
+#include <gtest/gtest.h>
+
+#include "change/registry.h"
+#include "model/distance.h"
+
+namespace arbiter {
+namespace {
+
+TEST(RepresentationTest, LexFittingIsAFullModelFittingOperator) {
+  // The positive control satisfies (A1)-(A8); Theorem 3.1 promises the
+  // derived assignment passes every step.
+  for (int n = 2; n <= 3; ++n) {
+    RepresentationReport report =
+        CheckRepresentation(MakeOperator("lex-fitting").ValueOrDie(), n);
+    EXPECT_TRUE(report.preorders_total) << report.detail;
+    EXPECT_TRUE(report.preorders_transitive) << report.detail;
+    EXPECT_TRUE(report.assignment_loyal) << report.detail;
+    EXPECT_TRUE(report.representation_exact) << report.detail;
+    EXPECT_TRUE(report.IsModelFitting());
+  }
+}
+
+TEST(RepresentationTest, ReveszMaxRepresentableButNotLoyal) {
+  // The paper's operator: the derived relation IS the odist pre-order
+  // and reproduces the operator exactly (steps 1 and 3 pass), but the
+  // assignment is not loyal (step 2 fails) — precisely the (A8) gap.
+  RepresentationReport report =
+      CheckRepresentation(MakeOperator("revesz-max").ValueOrDie(), 3);
+  EXPECT_TRUE(report.preorders_total);
+  EXPECT_TRUE(report.preorders_transitive);
+  EXPECT_TRUE(report.representation_exact);
+  EXPECT_FALSE(report.assignment_loyal);
+  ASSERT_TRUE(report.loyalty_violation.has_value());
+  EXPECT_EQ(report.loyalty_violation->condition, 2);
+  EXPECT_FALSE(report.IsModelFitting());
+}
+
+TEST(RepresentationTest, ReveszSumSameShapeAsMax) {
+  RepresentationReport report =
+      CheckRepresentation(MakeOperator("revesz-sum").ValueOrDie(), 2);
+  EXPECT_TRUE(report.preorders_total);
+  EXPECT_TRUE(report.preorders_transitive);
+  EXPECT_TRUE(report.representation_exact);
+  EXPECT_FALSE(report.assignment_loyal);
+}
+
+TEST(RepresentationTest, DalalIsMinRepresentableButNotLoyal) {
+  // Dalal is a *faithful*-assignment revision operator: the same
+  // construction recovers its min-distance pre-order and reproduces
+  // the operator, but loyalty (the model-fitting condition) fails.
+  RepresentationReport report =
+      CheckRepresentation(MakeOperator("dalal").ValueOrDie(), 2);
+  EXPECT_TRUE(report.preorders_total);
+  EXPECT_TRUE(report.preorders_transitive);
+  EXPECT_TRUE(report.representation_exact);
+  EXPECT_FALSE(report.assignment_loyal);
+}
+
+TEST(RepresentationTest, WinslettIsNotPointwiseRepresentable) {
+  // Updates change each model independently; no single pre-order per ψ
+  // can reproduce them (step 3 must fail when |Mod(ψ)| > 1).
+  RepresentationReport report =
+      CheckRepresentation(MakeOperator("winslett").ValueOrDie(), 2);
+  EXPECT_FALSE(report.representation_exact);
+  EXPECT_FALSE(report.IsModelFitting());
+  EXPECT_FALSE(report.detail.empty());
+}
+
+TEST(DeriveRelationTest, MatchesOdistOrderForMaxFitting) {
+  auto op = MakeOperator("revesz-max").ValueOrDie();
+  ModelSet psi = ModelSet::FromMasks({0b001, 0b010, 0b111}, 3);
+  DerivedRelation rel = DeriveRelation(*op, psi);
+  EXPECT_TRUE(rel.Total());
+  EXPECT_TRUE(rel.Reflexive());
+  EXPECT_TRUE(rel.Transitive());
+  for (uint64_t i = 0; i < 8; ++i) {
+    for (uint64_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(rel.leq[i][j],
+                OverallDist(psi, i) <= OverallDist(psi, j))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(DeriveRelationTest, MinOfUsesStrictDomination) {
+  auto op = MakeOperator("revesz-max").ValueOrDie();
+  ModelSet psi = ModelSet::FromMasks({0b00}, 2);
+  DerivedRelation rel = DeriveRelation(*op, psi);
+  // Min over the full space w.r.t. distance-from-00 is {00}.
+  EXPECT_EQ(rel.MinOf(ModelSet::Full(2)),
+            ModelSet::FromMasks({0b00}, 2));
+  // Min of an empty set is empty.
+  EXPECT_TRUE(rel.MinOf(ModelSet(2)).empty());
+}
+
+}  // namespace
+}  // namespace arbiter

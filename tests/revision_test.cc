@@ -1,0 +1,161 @@
+// Tests for the revision operators (Dalal, Satoh, Weber, Borgida).
+
+#include "change/revision.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+ModelSet Ms(std::vector<uint64_t> masks, int n) {
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+TEST(DalalTest, ConsistentCaseIsConjunction) {
+  // (R2): if psi & mu is satisfiable, the revision is psi & mu.
+  DalalRevision op;
+  ModelSet psi = Ms({0b00, 0b01}, 2);
+  ModelSet mu = Ms({0b01, 0b10}, 2);
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b01}, 2));
+}
+
+TEST(DalalTest, PicksMinimumHammingDistance) {
+  DalalRevision op;
+  ModelSet psi = Ms({0b111}, 3);
+  ModelSet mu = Ms({0b000, 0b110, 0b100}, 3);  // distances 3, 1, 2
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b110}, 3));
+}
+
+TEST(DalalTest, KeepsAllTiedMinima) {
+  DalalRevision op;
+  ModelSet psi = Ms({0b11}, 2);
+  ModelSet mu = Ms({0b01, 0b10}, 2);  // both at distance 1
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b01, 0b10}, 2));
+}
+
+TEST(DalalTest, EdgeCases) {
+  DalalRevision op;
+  ModelSet empty(2);
+  ModelSet mu = Ms({0b01}, 2);
+  EXPECT_TRUE(op.Change(mu, empty).empty()) << "mu unsat -> unsat";
+  EXPECT_EQ(op.Change(empty, mu), mu) << "psi unsat -> Mod(mu)";
+}
+
+TEST(SatohTest, MinimalDiffSetsNotCardinality) {
+  // Satoh is set-inclusion minimal: a diff {a,b} survives when no
+  // smaller diff is included in it, even if a singleton diff exists
+  // elsewhere that is not a subset.
+  SatohRevision op;
+  // psi = {00}, mu = {01, 10, 11}: diffs {0b01}, {0b10}, {0b11}.
+  // {0b11} ⊃ {0b01}: dominated.  Result: {01, 10}.
+  ModelSet psi = Ms({0b00}, 2);
+  ModelSet mu = Ms({0b01, 0b10, 0b11}, 2);
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b01, 0b10}, 2));
+}
+
+TEST(SatohTest, DiffersFromDalalOnIncomparableDiffs) {
+  // psi = {000}, mu = {001, 110}: diffs {p0} (size 1) and {p1,p2}
+  // (size 2) are ⊆-incomparable, so Satoh keeps both while Dalal keeps
+  // only the smaller.
+  ModelSet psi = Ms({0b000}, 3);
+  ModelSet mu = Ms({0b001, 0b110}, 3);
+  EXPECT_EQ(SatohRevision().Change(psi, mu), mu);
+  EXPECT_EQ(DalalRevision().Change(psi, mu), Ms({0b001}, 3));
+}
+
+TEST(SatohTest, ConsistentCaseIsConjunction) {
+  SatohRevision op;
+  ModelSet psi = Ms({0b00, 0b11}, 2);
+  ModelSet mu = Ms({0b11, 0b10}, 2);
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b11}, 2));
+}
+
+TEST(WeberTest, UsesUnionOfMinimalDiffs) {
+  // Weber forgets the variables touched by any minimal diff, so it is
+  // coarser than Satoh.
+  WeberRevision op;
+  ModelSet psi = Ms({0b000}, 3);
+  ModelSet mu = Ms({0b001, 0b110}, 3);
+  // Minimal diffs: {p0}, {p1,p2}; union covers all three variables, so
+  // every model of mu agreeing with psi outside {p0,p1,p2} survives.
+  EXPECT_EQ(op.Change(psi, mu), mu);
+}
+
+TEST(WeberTest, CoarserThanSatohOnRandomInputs) {
+  Rng rng(99);
+  SatohRevision satoh;
+  WeberRevision weber;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint64_t> mp, mm;
+    for (uint64_t m = 0; m < 16; ++m) {
+      if (rng.NextBool(0.3)) mp.push_back(m);
+      if (rng.NextBool(0.3)) mm.push_back(m);
+    }
+    ModelSet psi = Ms(mp, 4), mu = Ms(mm, 4);
+    EXPECT_TRUE(
+        satoh.Change(psi, mu).IsSubsetOf(weber.Change(psi, mu)))
+        << "round " << round;
+  }
+}
+
+TEST(BorgidaTest, ConsistentCaseIsConjunction) {
+  BorgidaRevision op;
+  ModelSet psi = Ms({0b00, 0b01}, 2);
+  ModelSet mu = Ms({0b01, 0b11}, 2);
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b01}, 2));
+}
+
+TEST(BorgidaTest, InconsistentCaseActsPerModel) {
+  BorgidaRevision op;
+  // psi = {00, 11}, mu = {01, 10}: disjoint.  Each model of psi
+  // independently selects its ⊆-minimal changes — all four diffs are
+  // singletons, so everything survives.
+  ModelSet psi = Ms({0b00, 0b11}, 2);
+  ModelSet mu = Ms({0b01, 0b10}, 2);
+  EXPECT_EQ(op.Change(psi, mu), mu);
+}
+
+TEST(RevisionTest, AllSatisfySuccessAndConsistency) {
+  // (R1) and (R3) across random inputs for all four operators.
+  Rng rng(321);
+  DalalRevision dalal;
+  SatohRevision satoh;
+  WeberRevision weber;
+  BorgidaRevision borgida;
+  const TheoryChangeOperator* ops[] = {&dalal, &satoh, &weber, &borgida};
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint64_t> mp, mm;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.4)) mp.push_back(m);
+      if (rng.NextBool(0.4)) mm.push_back(m);
+    }
+    if (mm.empty()) continue;
+    ModelSet psi = Ms(mp, 3), mu = Ms(mm, 3);
+    for (const TheoryChangeOperator* op : ops) {
+      ModelSet result = op->Change(psi, mu);
+      EXPECT_TRUE(result.IsSubsetOf(mu)) << op->name();   // R1
+      EXPECT_FALSE(result.empty()) << op->name();          // R3
+    }
+  }
+}
+
+TEST(RevisionTest, FamiliesAndNames) {
+  EXPECT_EQ(DalalRevision().family(), OperatorFamily::kRevision);
+  EXPECT_EQ(DalalRevision().name(), "dalal");
+  EXPECT_EQ(SatohRevision().name(), "satoh");
+  EXPECT_EQ(WeberRevision().name(), "weber");
+  EXPECT_EQ(BorgidaRevision().name(), "borgida");
+}
+
+TEST(RevisionTest, ApplyWrapsFormulas) {
+  DalalRevision op;
+  KnowledgeBase psi = KnowledgeBase::FromModels(Ms({0b11}, 2));
+  KnowledgeBase mu = KnowledgeBase::FromModels(Ms({0b00, 0b01}, 2));
+  KnowledgeBase result = op.Apply(psi, mu);
+  EXPECT_EQ(result.models(), Ms({0b01}, 2));
+}
+
+}  // namespace
+}  // namespace arbiter

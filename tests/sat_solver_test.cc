@@ -1,0 +1,334 @@
+// Tests for the CDCL SAT solver: unit behaviour, known instances,
+// assumptions, and differential testing against both the DPLL baseline
+// and brute-force truth tables.
+
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "logic/eval.h"
+#include "logic/generator.h"
+#include "logic/semantics.h"
+#include "sat/dpll.h"
+#include "util/random.h"
+
+namespace arbiter::sat {
+namespace {
+
+TEST(SolverTest, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.Solve(), SolveStatus::kSat);
+}
+
+TEST(SolverTest, SingleUnit) {
+  Solver s;
+  Var a = s.NewVar();
+  ASSERT_TRUE(s.AddUnit(Lit::Pos(a)));
+  ASSERT_EQ(s.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+}
+
+TEST(SolverTest, ContradictoryUnitsAreUnsat) {
+  Solver s;
+  Var a = s.NewVar();
+  EXPECT_TRUE(s.AddUnit(Lit::Pos(a)));
+  EXPECT_FALSE(s.AddUnit(Lit::Neg(a)));
+  EXPECT_EQ(s.Solve(), SolveStatus::kUnsat);
+}
+
+TEST(SolverTest, EmptyClauseIsUnsat) {
+  Solver s;
+  s.NewVar();
+  EXPECT_FALSE(s.AddClause({}));
+  EXPECT_EQ(s.Solve(), SolveStatus::kUnsat);
+}
+
+TEST(SolverTest, TautologicalClauseIsDropped) {
+  Solver s;
+  Var a = s.NewVar();
+  EXPECT_TRUE(s.AddBinary(Lit::Pos(a), Lit::Neg(a)));
+  EXPECT_EQ(s.NumProblemClauses(), 0);
+  EXPECT_EQ(s.Solve(), SolveStatus::kSat);
+}
+
+TEST(SolverTest, DuplicateLiteralsCollapse) {
+  Solver s;
+  Var a = s.NewVar();
+  EXPECT_TRUE(s.AddClause({Lit::Pos(a), Lit::Pos(a), Lit::Pos(a)}));
+  ASSERT_EQ(s.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+}
+
+TEST(SolverTest, SimpleImplicationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 20; ++i) v.push_back(s.NewVar());
+  // v0 and (v_i -> v_{i+1}) force everything true.
+  ASSERT_TRUE(s.AddUnit(Lit::Pos(v[0])));
+  for (int i = 0; i + 1 < 20; ++i) {
+    ASSERT_TRUE(s.AddBinary(Lit::Neg(v[i]), Lit::Pos(v[i + 1])));
+  }
+  ASSERT_EQ(s.Solve(), SolveStatus::kSat);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(s.ModelValue(v[i]));
+}
+
+TEST(SolverTest, XorChainUnsat) {
+  // x1 xor x2, x2 xor x3, ..., plus x1 = x_n forced unequal: UNSAT for
+  // odd cycles.
+  Solver s;
+  const int n = 7;
+  std::vector<Var> v;
+  for (int i = 0; i < n; ++i) v.push_back(s.NewVar());
+  for (int i = 0; i < n; ++i) {
+    Var a = v[i];
+    Var b = v[(i + 1) % n];
+    // a xor b: (a | b) & (!a | !b)
+    ASSERT_TRUE(s.AddBinary(Lit::Pos(a), Lit::Pos(b)));
+    s.AddBinary(Lit::Neg(a), Lit::Neg(b));
+  }
+  EXPECT_EQ(s.Solve(), SolveStatus::kUnsat);
+}
+
+// Loads the clauses of a CNF formula AST into the solver (variables
+// must already exist).
+void LoadFormulaClauses(const Formula& f, Solver* solver) {
+  auto add_clause = [&](const Formula& clause) {
+    std::vector<Lit> lits;
+    const std::vector<Formula> singleton = {clause};
+    const std::vector<Formula>& parts =
+        clause.kind() == FormulaKind::kOr ? clause.children() : singleton;
+    for (const Formula& lit : parts) {
+      if (lit.is_var()) {
+        lits.push_back(Lit::Pos(lit.var()));
+      } else {
+        lits.push_back(Lit::Neg(lit.child(0).var()));
+      }
+    }
+    solver->AddClause(lits);
+  };
+  if (f.kind() == FormulaKind::kAnd) {
+    for (const Formula& clause : f.children()) add_clause(clause);
+  } else {
+    add_clause(f);
+  }
+}
+
+// Pigeonhole principle PHP(n+1, n): classic hard UNSAT family.
+void AddPigeonhole(Solver* s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> in(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) in[p][h] = s->NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(Lit::Pos(in[p][h]));
+    s->AddClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s->AddBinary(Lit::Neg(in[p1][h]), Lit::Neg(in[p2][h]));
+      }
+    }
+  }
+}
+
+TEST(SolverTest, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 6; ++holes) {
+    Solver s;
+    AddPigeonhole(&s, holes);
+    EXPECT_EQ(s.Solve(), SolveStatus::kUnsat) << "holes=" << holes;
+    EXPECT_GT(s.stats().conflicts, 0u);
+  }
+}
+
+TEST(SolverTest, AssumptionsRestrictModels) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddBinary(Lit::Pos(a), Lit::Pos(b)));
+  ASSERT_EQ(s.SolveAssuming({Lit::Neg(a)}), SolveStatus::kSat);
+  EXPECT_FALSE(s.ModelValue(a));
+  EXPECT_TRUE(s.ModelValue(b));
+  // Assumptions are temporary.
+  ASSERT_EQ(s.SolveAssuming({Lit::Pos(a)}), SolveStatus::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+}
+
+TEST(SolverTest, ConflictingAssumptionsUnsatButRecoverable) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  ASSERT_TRUE(s.AddBinary(Lit::Neg(a), Lit::Pos(b)));
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(a), Lit::Neg(b)}),
+            SolveStatus::kUnsat);
+  EXPECT_EQ(s.Solve(), SolveStatus::kSat);  // formula itself is fine
+}
+
+// Differential test fixture: random k-CNF instances are solved by CDCL,
+// DPLL, and brute-force enumeration; all three must agree, and SAT
+// models must actually satisfy the formula.
+struct DiffParams {
+  int num_vars;
+  int num_clauses;
+  int k;
+};
+
+class SolverDifferentialTest : public ::testing::TestWithParam<DiffParams> {};
+
+TEST_P(SolverDifferentialTest, AgreesWithDpllAndBruteForce) {
+  const DiffParams p = GetParam();
+  Rng rng(0xC0FFEE ^ (p.num_vars * 131 + p.num_clauses * 7 + p.k));
+  for (int round = 0; round < 40; ++round) {
+    Formula f = RandomKCnf(&rng, p.num_vars, p.num_clauses, p.k);
+    const bool brute = IsSatisfiable(f, p.num_vars);
+
+    // CDCL via direct clause loading (f is a conjunction of clauses).
+    Solver cdcl;
+    DpllSolver dpll(p.num_vars);
+    for (int i = 0; i < p.num_vars; ++i) cdcl.NewVar();
+    auto add_clause = [&](const Formula& clause) {
+      std::vector<Lit> lits;
+      const std::vector<Formula> singleton = {clause};
+      const std::vector<Formula>& parts =
+          clause.kind() == FormulaKind::kOr ? clause.children() : singleton;
+      for (const Formula& lit : parts) {
+        if (lit.is_var()) {
+          lits.push_back(Lit::Pos(lit.var()));
+        } else {
+          lits.push_back(Lit::Neg(lit.child(0).var()));
+        }
+      }
+      cdcl.AddClause(lits);
+      dpll.AddClause(lits);
+    };
+    if (f.kind() == FormulaKind::kAnd) {
+      for (const Formula& clause : f.children()) add_clause(clause);
+    } else {
+      add_clause(f);
+    }
+
+    SolveStatus cdcl_status = cdcl.Solve();
+    SolveStatus dpll_status = dpll.Solve();
+    EXPECT_EQ(cdcl_status == SolveStatus::kSat, brute)
+        << "CDCL disagrees with brute force, round " << round;
+    EXPECT_EQ(dpll_status == SolveStatus::kSat, brute)
+        << "DPLL disagrees with brute force, round " << round;
+    if (cdcl_status == SolveStatus::kSat) {
+      uint64_t bits = 0;
+      for (int i = 0; i < p.num_vars; ++i) {
+        if (cdcl.ModelValue(i)) bits |= 1ULL << i;
+      }
+      EXPECT_TRUE(Evaluate(f, bits)) << "CDCL model does not satisfy";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomKCnf, SolverDifferentialTest,
+    ::testing::Values(DiffParams{4, 8, 2}, DiffParams{6, 15, 3},
+                      DiffParams{8, 34, 3},   // near phase transition
+                      DiffParams{8, 20, 3}, DiffParams{10, 43, 3},
+                      DiffParams{10, 60, 3},  // over-constrained
+                      DiffParams{12, 30, 4}, DiffParams{5, 30, 2}));
+
+TEST(SolverTest, StatsAccumulate) {
+  Solver s;
+  AddPigeonhole(&s, 5);
+  ASSERT_EQ(s.Solve(), SolveStatus::kUnsat);
+  EXPECT_GT(s.stats().decisions, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+  EXPECT_GT(s.stats().learnt_clauses, 0u);
+}
+
+TEST(SolverTest, FailedAssumptionsFormACore) {
+  // (a -> b), assume {a, !b}: the two assumptions clash through the
+  // clause; the core must contain both and nothing else.
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  Var c = s.NewVar();
+  ASSERT_TRUE(s.AddBinary(Lit::Neg(a), Lit::Pos(b)));
+  ASSERT_EQ(s.SolveAssuming({Lit::Pos(c), Lit::Pos(a), Lit::Neg(b)}),
+            SolveStatus::kUnsat);
+  std::vector<Lit> core = s.FailedAssumptions();
+  std::sort(core.begin(), core.end());
+  EXPECT_EQ(core, (std::vector<Lit>{Lit::Pos(a), Lit::Neg(b)}))
+      << "the irrelevant assumption c must not appear";
+}
+
+TEST(SolverTest, FailedAssumptionsAgainstRootUnit) {
+  Solver s;
+  Var a = s.NewVar();
+  ASSERT_TRUE(s.AddUnit(Lit::Neg(a)));
+  ASSERT_EQ(s.SolveAssuming({Lit::Pos(a)}), SolveStatus::kUnsat);
+  EXPECT_EQ(s.FailedAssumptions(), std::vector<Lit>{Lit::Pos(a)});
+}
+
+TEST(SolverTest, FailedAssumptionsClearOnSat) {
+  Solver s;
+  Var a = s.NewVar();
+  ASSERT_TRUE(s.AddUnit(Lit::Neg(a)));
+  ASSERT_EQ(s.SolveAssuming({Lit::Pos(a)}), SolveStatus::kUnsat);
+  EXPECT_FALSE(s.FailedAssumptions().empty());
+  ASSERT_EQ(s.SolveAssuming({Lit::Neg(a)}), SolveStatus::kSat);
+  EXPECT_TRUE(s.FailedAssumptions().empty());
+}
+
+TEST(SolverTest, SimplifyDbRemovesRootSatisfiedClauses) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  Var c = s.NewVar();
+  // Clauses enter first; the unit arrives afterwards (the incremental
+  // pattern), so they are stored and only later become satisfied.
+  ASSERT_TRUE(s.AddTernary(Lit::Pos(a), Lit::Pos(b), Lit::Pos(c)));
+  ASSERT_TRUE(s.AddTernary(Lit::Neg(a), Lit::Pos(b), Lit::Pos(c)));
+  ASSERT_TRUE(s.AddUnit(Lit::Pos(a)));
+  int before = s.NumProblemClauses();
+  EXPECT_EQ(before, 2);
+  s.SimplifyDb();
+  EXPECT_LT(s.NumProblemClauses(), before);
+  ASSERT_EQ(s.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+  EXPECT_TRUE(s.ModelValue(b) || s.ModelValue(c));
+}
+
+TEST(SolverTest, SimplifyDbPreservesSemantics) {
+  // Incremental use: solve, add units, simplify, solve again — results
+  // must match a fresh solver on the combined formula.
+  Rng rng(0x51u);
+  for (int round = 0; round < 40; ++round) {
+    const int n = 6;
+    Formula f = RandomKCnf(&rng, n, 14, 3);
+    Var unit_var = static_cast<Var>(rng.NextBelow(n));
+    bool unit_sign = rng.NextBool();
+
+    Solver incremental;
+    for (int i = 0; i < n; ++i) incremental.NewVar();
+    LoadFormulaClauses(f, &incremental);
+    incremental.Solve();
+    incremental.AddUnit(Lit(unit_var, unit_sign));
+    incremental.SimplifyDb();
+    SolveStatus got = incremental.Solve();
+
+    Formula combined =
+        And(f, unit_sign ? Not(Formula::Var(unit_var))
+                         : Formula::Var(unit_var));
+    EXPECT_EQ(got == SolveStatus::kSat, IsSatisfiable(combined, n))
+        << "round " << round;
+  }
+}
+
+TEST(SolverTest, ConflictBudgetReturnsUnknown) {
+  Solver s;
+  AddPigeonhole(&s, 9);  // too hard for a tiny budget
+  s.SetConflictBudget(10);
+  EXPECT_EQ(s.Solve(), SolveStatus::kUnknown);
+}
+
+}  // namespace
+}  // namespace arbiter::sat

@@ -1,0 +1,152 @@
+// Tests for belief scripts: parsing, execution, assertions,
+// conditionals, and failure reporting.
+
+#include "store/script.h"
+
+#include <gtest/gtest.h>
+
+namespace arbiter {
+namespace {
+
+TEST(ScriptParseTest, ParsesEveryStatementKind) {
+  const char* text = R"(
+# a comment
+define jury := g & a
+change jury by dalal with !g
+undo jury
+assert jury entails g
+assert jury consistent-with a
+assert jury equivalent-to g & a
+if jury entails g then change jury by winslett with a
+)";
+  Result<BeliefScript> script = ParseScript(text);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->statements.size(), 7u);
+  EXPECT_EQ(script->statements[0].kind, ScriptStatement::Kind::kDefine);
+  EXPECT_EQ(script->statements[1].kind, ScriptStatement::Kind::kChange);
+  EXPECT_EQ(script->statements[1].op_name, "dalal");
+  EXPECT_EQ(script->statements[2].kind, ScriptStatement::Kind::kUndo);
+  EXPECT_EQ(script->statements[3].kind,
+            ScriptStatement::Kind::kAssertEntails);
+  EXPECT_EQ(script->statements[6].kind,
+            ScriptStatement::Kind::kConditional);
+  ASSERT_EQ(script->statements[6].inner.size(), 1u);
+  EXPECT_EQ(script->statements[6].inner[0].kind,
+            ScriptStatement::Kind::kChange);
+}
+
+TEST(ScriptParseTest, SyntaxErrorsCarryLineNumbers) {
+  Result<BeliefScript> r = ParseScript("define x := a\nbogus things\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseScript("define x\n").ok());
+  EXPECT_FALSE(ParseScript("change x with a\n").ok());
+  EXPECT_FALSE(ParseScript("assert x resembles a\n").ok());
+  EXPECT_FALSE(ParseScript("if x entails a change\n").ok());
+}
+
+TEST(ScriptRunTest, FullJuryScenario) {
+  const char* text = R"(
+define jury := g & a & (g & a -> v)
+assert jury entails v
+change jury by dalal with !v
+assert jury entails g & a
+assert jury entails !v
+change jury by arbitration-max with !g & !a
+assert jury consistent-with g
+undo jury
+assert jury entails g & a
+)";
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(text, &store);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->AllPassed()) << report->ToString();
+  EXPECT_EQ(report->steps.size(), 9u);
+}
+
+TEST(ScriptRunTest, FailedAssertionIsRecordedAndRunContinues) {
+  const char* text = R"(
+define kb := a
+assert kb entails b
+assert kb entails a
+)";
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(text, &store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->AllPassed());
+  EXPECT_EQ(report->failures, 1);
+  ASSERT_EQ(report->steps.size(), 3u);
+  EXPECT_FALSE(report->steps[1].ok);
+  EXPECT_TRUE(report->steps[2].ok) << "run continued past the failure";
+}
+
+TEST(ScriptRunTest, HardErrorStopsTheRun) {
+  const char* text = R"(
+define kb := a
+change kb by no-such-operator with b
+assert kb entails a
+)";
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(text, &store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->steps.size(), 2u) << "stopped at the bad operator";
+  EXPECT_FALSE(report->steps[1].ok);
+}
+
+TEST(ScriptRunTest, ConditionalGuards) {
+  const char* text = R"(
+define kb := a & b
+if kb entails a then change kb by dalal with !b
+assert kb entails !b
+if kb entails b then change kb by dalal with !a
+assert kb entails a
+)";
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(text, &store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->AllPassed()) << report->ToString();
+  // The second conditional must have been skipped (kb no longer
+  // entails b after the first change).
+  bool saw_skip = false;
+  for (const ScriptStepResult& step : report->steps) {
+    if (step.skipped) saw_skip = true;
+  }
+  EXPECT_TRUE(saw_skip);
+}
+
+TEST(ScriptRunTest, EquivalenceAssertion) {
+  const char* text = R"(
+define kb := a -> b
+assert kb equivalent-to !a | b
+assert kb equivalent-to a & b
+)";
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(text, &store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->failures, 1);
+  EXPECT_TRUE(report->steps[1].ok);
+  EXPECT_FALSE(report->steps[2].ok);
+}
+
+TEST(ScriptRunTest, ReportRendering) {
+  BeliefStore store;
+  Result<ScriptReport> report =
+      RunScriptText("define kb := a\nassert kb entails !a\n", &store);
+  ASSERT_TRUE(report.ok());
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("ok   [line 1]"), std::string::npos) << text;
+  EXPECT_NE(text.find("FAIL [line 2]"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 failure(s)"), std::string::npos) << text;
+}
+
+TEST(ScriptRunTest, EquivalenceScratchDoesNotPolluteStore) {
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(
+      "define kb := a\nassert kb equivalent-to a\n", &store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->AllPassed());
+  EXPECT_FALSE(store.Contains("__rhs"));
+}
+
+}  // namespace
+}  // namespace arbiter

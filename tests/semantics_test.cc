@@ -1,0 +1,198 @@
+// Tests for evaluation, enumeration-based semantics, NNF/folding, and
+// the random generators.
+
+#include "logic/semantics.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "logic/eval.h"
+#include "logic/generator.h"
+#include "logic/parser.h"
+#include "logic/simplify.h"
+
+namespace arbiter {
+namespace {
+
+TEST(EvalTest, Connectives) {
+  Vocabulary v;
+  Formula f = MustParse("A & (B | !C)", &v);
+  // A=bit0, B=bit1, C=bit2.
+  EXPECT_TRUE(Evaluate(f, 0b011));   // A,B
+  EXPECT_TRUE(Evaluate(f, 0b001));   // A only (!C true)
+  EXPECT_FALSE(Evaluate(f, 0b101));  // A,C but no B
+  EXPECT_FALSE(Evaluate(f, 0b010));  // no A
+}
+
+TEST(EvalTest, ExtendedConnectives) {
+  Vocabulary v;
+  Formula imp = MustParse("A -> B", &v);
+  EXPECT_TRUE(Evaluate(imp, 0b00));
+  EXPECT_TRUE(Evaluate(imp, 0b10));
+  EXPECT_FALSE(Evaluate(imp, 0b01));
+  EXPECT_TRUE(Evaluate(imp, 0b11));
+  Formula iff = MustParse("A <-> B", &v);
+  EXPECT_TRUE(Evaluate(iff, 0b00));
+  EXPECT_FALSE(Evaluate(iff, 0b01));
+  Formula x = MustParse("A ^ B", &v);
+  EXPECT_FALSE(Evaluate(x, 0b00));
+  EXPECT_TRUE(Evaluate(x, 0b01));
+}
+
+TEST(SemanticsTest, EnumerateModels) {
+  Vocabulary v;
+  Formula f = MustParse("A & !B", &v);
+  EXPECT_EQ(EnumerateModels(f, 2), (std::vector<uint64_t>{0b01}));
+  EXPECT_EQ(EnumerateModels(Formula::True(), 2),
+            (std::vector<uint64_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(EnumerateModels(Formula::False(), 2).empty());
+}
+
+TEST(SemanticsTest, CountAndSat) {
+  Vocabulary v;
+  Formula f = MustParse("A | B", &v);
+  EXPECT_EQ(CountModels(f, 2), 3u);
+  EXPECT_TRUE(IsSatisfiable(f, 2));
+  EXPECT_FALSE(IsSatisfiable(MustParse("A & !A", &v), 2));
+  EXPECT_TRUE(IsTautology(MustParse("A | !A", &v), 2));
+  EXPECT_FALSE(IsTautology(f, 2));
+}
+
+TEST(SemanticsTest, EquivalenceAndImplication) {
+  Vocabulary v;
+  Formula a = MustParse("A -> B", &v);
+  Formula b = MustParse("!A | B", &v);
+  EXPECT_TRUE(AreEquivalent(a, b, 2));
+  EXPECT_TRUE(SemanticallyImplies(MustParse("A & B", &v), a, 2));
+  EXPECT_FALSE(SemanticallyImplies(a, MustParse("A & B", &v), 2));
+}
+
+TEST(SemanticsTest, MintermHasOneModel) {
+  for (uint64_t bits = 0; bits < 8; ++bits) {
+    Formula m = Minterm(bits, 3);
+    EXPECT_EQ(EnumerateModels(m, 3), (std::vector<uint64_t>{bits}));
+  }
+}
+
+TEST(SemanticsTest, FormulaFromModelsRoundTrip) {
+  std::vector<uint64_t> models = {0b000, 0b011, 0b110};
+  Formula f = FormulaFromModels(models, 3);
+  EXPECT_EQ(EnumerateModels(f, 3), models);
+  EXPECT_TRUE(FormulaFromModels({}, 3).is_false());
+  EXPECT_TRUE(FormulaFromModels({0, 1, 2, 3}, 2).is_true());
+}
+
+TEST(SemanticsTest, ZeroTermVocabulary) {
+  EXPECT_EQ(EnumerateModels(Formula::True(), 0),
+            (std::vector<uint64_t>{0}));
+  EXPECT_TRUE(EnumerateModels(Formula::False(), 0).empty());
+}
+
+TEST(SimplifyTest, NnfPreservesSemanticsOnRandomFormulas) {
+  Rng rng(2024);
+  RandomFormulaOptions options;
+  options.num_terms = 5;
+  options.max_depth = 6;
+  for (int i = 0; i < 200; ++i) {
+    Formula f = RandomFormula(&rng, options);
+    Formula nnf = Nnf(f);
+    EXPECT_TRUE(AreEquivalent(f, nnf, options.num_terms)) << i;
+    // NNF uses only core connectives with negation at literals.
+    std::function<void(const Formula&)> check = [&](const Formula& g) {
+      EXPECT_NE(g.kind(), FormulaKind::kImplies);
+      EXPECT_NE(g.kind(), FormulaKind::kIff);
+      EXPECT_NE(g.kind(), FormulaKind::kXor);
+      if (g.kind() == FormulaKind::kNot) {
+        EXPECT_TRUE(g.child(0).is_var());
+      }
+      for (const Formula& c : g.children()) check(c);
+    };
+    check(nnf);
+  }
+}
+
+TEST(SimplifyTest, AssignFixesVariable) {
+  Vocabulary v;
+  Formula f = MustParse("A & (B | C)", &v);
+  Formula f_a_true = Assign(f, 0, true);
+  EXPECT_TRUE(AreEquivalent(f_a_true, MustParse("B | C", &v), 3));
+  Formula f_a_false = Assign(f, 0, false);
+  EXPECT_TRUE(f_a_false.is_false());
+}
+
+TEST(SimplifyTest, AssignOnRandomFormulasMatchesSemantics) {
+  Rng rng(77);
+  RandomFormulaOptions options;
+  options.num_terms = 4;
+  for (int i = 0; i < 100; ++i) {
+    Formula f = RandomFormula(&rng, options);
+    int var = static_cast<int>(rng.NextBelow(4));
+    bool value = rng.NextBool();
+    Formula g = Assign(f, var, value);
+    for (uint64_t bits = 0; bits < 16; ++bits) {
+      uint64_t fixed = value ? (bits | (1ULL << var))
+                             : (bits & ~(1ULL << var));
+      EXPECT_EQ(Evaluate(g, bits), Evaluate(f, fixed));
+    }
+  }
+}
+
+TEST(SimplifyTest, FoldIsSemanticallyNeutral) {
+  Rng rng(31);
+  RandomFormulaOptions options;
+  options.num_terms = 4;
+  for (int i = 0; i < 100; ++i) {
+    Formula f = RandomFormula(&rng, options);
+    EXPECT_TRUE(AreEquivalent(f, Fold(f), 4));
+  }
+}
+
+TEST(GeneratorTest, RandomFormulaRespectsBounds) {
+  Rng rng(1);
+  RandomFormulaOptions options;
+  options.num_terms = 3;
+  options.max_depth = 4;
+  for (int i = 0; i < 100; ++i) {
+    Formula f = RandomFormula(&rng, options);
+    EXPECT_LT(f.MaxVar(), 3);
+    // Depth bound: max_depth internal levels plus a leaf.
+    EXPECT_LE(f.Depth(), options.max_depth + 1);
+  }
+}
+
+TEST(GeneratorTest, RandomKCnfShape) {
+  Rng rng(2);
+  Formula f = RandomKCnf(&rng, 6, 10, 3);
+  ASSERT_EQ(f.kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f.num_children(), 10);
+  for (const Formula& clause : f.children()) {
+    ASSERT_EQ(clause.kind(), FormulaKind::kOr);
+    EXPECT_EQ(clause.num_children(), 3);
+    // Distinct variables within a clause.
+    std::set<int> vars;
+    for (const Formula& lit : clause.children()) {
+      vars.insert(lit.is_var() ? lit.var() : lit.child(0).var());
+    }
+    EXPECT_EQ(vars.size(), 3u);
+  }
+}
+
+TEST(GeneratorTest, RandomModelSetMasksNonEmptyAndBounded) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint64_t> masks = RandomModelSetMasks(&rng, 3, 0.3);
+    EXPECT_FALSE(masks.empty());
+    for (uint64_t m : masks) EXPECT_LT(m, 8u);
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  RandomFormulaOptions options;
+  EXPECT_TRUE(RandomFormula(&a, options).Equals(RandomFormula(&b, options)));
+}
+
+}  // namespace
+}  // namespace arbiter

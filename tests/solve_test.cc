@@ -1,0 +1,257 @@
+// Tests for the SAT-based scalable algorithms: differential against
+// the enumeration-based operators on small vocabularies, plus
+// large-vocabulary smoke tests beyond the enumeration wall.
+
+#include <gtest/gtest.h>
+
+#include "change/fitting.h"
+#include "change/revision.h"
+#include "logic/generator.h"
+#include "logic/parser.h"
+#include "logic/semantics.h"
+#include "model/distance.h"
+#include "solve/arbitration_sat.h"
+#include "solve/dalal_sat.h"
+#include "solve/sat_bridge.h"
+#include "solve/satoh_sat.h"
+
+namespace arbiter::solve {
+namespace {
+
+TEST(SatBridgeTest, ShiftVarsRenames) {
+  Vocabulary v = Vocabulary::Synthetic(2);
+  Formula f = MustParse("p0 & !p1", &v);
+  Formula shifted = ShiftVars(f, 3);
+  EXPECT_EQ(shifted.MaxVar(), 4);
+  EXPECT_EQ(EnumerateModels(shifted, 5).size(),
+            EnumerateModels(f, 2).size() * 8u);
+}
+
+TEST(SatBridgeTest, SatIsSatisfiableAgreesWithBruteForce) {
+  Rng rng(101);
+  RandomFormulaOptions options;
+  options.num_terms = 5;
+  for (int i = 0; i < 100; ++i) {
+    Formula f = RandomFormula(&rng, options);
+    EXPECT_EQ(SatIsSatisfiable(f, 5), IsSatisfiable(f, 5)) << i;
+  }
+}
+
+TEST(SatDalalTest, MatchesEnumerationOnRandomInputs) {
+  Rng rng(202);
+  DalalRevision enum_op;
+  RandomFormulaOptions options;
+  options.num_terms = 5;
+  for (int i = 0; i < 60; ++i) {
+    Formula psi = RandomFormula(&rng, options);
+    Formula mu = RandomFormula(&rng, options);
+    SatRevisionResult sat_result = SatDalalRevise(psi, mu, 5);
+    ModelSet expected = enum_op.Change(ModelSet::FromFormula(psi, 5),
+                                       ModelSet::FromFormula(mu, 5));
+    EXPECT_EQ(ModelSet::FromMasks(sat_result.models, 5), expected)
+        << "round " << i;
+    if (!expected.empty() && IsSatisfiable(psi, 5)) {
+      EXPECT_EQ(sat_result.min_distance,
+                MinDist(ModelSet::FromFormula(psi, 5), expected[0]));
+    }
+  }
+}
+
+TEST(SatDalalTest, UnsatInputs) {
+  Vocabulary v = Vocabulary::Synthetic(3);
+  Formula contradiction = MustParse("p0 & !p0", &v);
+  Formula tautology = MustParse("p1 | !p1", &v);
+  SatRevisionResult r1 = SatDalalRevise(tautology, contradiction, 3);
+  EXPECT_TRUE(r1.models.empty());
+  EXPECT_EQ(r1.min_distance, -1);
+  SatRevisionResult r2 = SatDalalRevise(contradiction, tautology, 3);
+  EXPECT_TRUE(r2.psi_unsat);
+  EXPECT_EQ(r2.models.size(), 8u) << "psi unsat -> Mod(mu)";
+}
+
+TEST(SatDalalTest, TruncationCap) {
+  Vocabulary v = Vocabulary::Synthetic(4);
+  Formula psi = MustParse("p0", &v);
+  Formula mu = Formula::True();
+  SatRevisionResult r = SatDalalRevise(psi, mu, 4, /*max_models=*/3);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.models.size(), 3u);
+}
+
+TEST(SatDalalTest, ScalesPastEnumerationWall) {
+  // 40 variables: 2^40 interpretations, far beyond kMaxEnumTerms.
+  // psi: all variables true; mu: at least the first variable false.
+  const int n = 40;
+  std::vector<Formula> all_true;
+  for (int i = 0; i < n; ++i) all_true.push_back(Formula::Var(i));
+  Formula psi = And(all_true);
+  Formula mu = Not(Formula::Var(0));
+  SatRevisionResult r = SatDalalRevise(psi, mu, n, /*max_models=*/4);
+  EXPECT_EQ(r.min_distance, 1);
+  ASSERT_EQ(r.models.size(), 1u);
+  EXPECT_EQ(r.models[0], LowMask(n) & ~1ULL) << "flip only p0";
+}
+
+TEST(SatSatohTest, MatchesEnumerationOnRandomInputs) {
+  Rng rng(909);
+  SatohRevision enum_op;
+  RandomFormulaOptions options;
+  options.num_terms = 5;
+  for (int i = 0; i < 60; ++i) {
+    Formula psi = RandomFormula(&rng, options);
+    Formula mu = RandomFormula(&rng, options);
+    SatSatohResult sat_result = SatSatohRevise(psi, mu, 5);
+    ModelSet expected = enum_op.Change(ModelSet::FromFormula(psi, 5),
+                                       ModelSet::FromFormula(mu, 5));
+    EXPECT_EQ(ModelSet::FromMasks(sat_result.models, 5), expected)
+        << "round " << i;
+  }
+}
+
+TEST(SatSatohTest, MinimalDiffsAreAnAntichain) {
+  Rng rng(911);
+  RandomFormulaOptions options;
+  options.num_terms = 6;
+  for (int i = 0; i < 30; ++i) {
+    Formula psi = RandomFormula(&rng, options);
+    Formula mu = RandomFormula(&rng, options);
+    SatSatohResult r = SatSatohRevise(psi, mu, 6);
+    for (uint64_t a : r.minimal_diffs) {
+      for (uint64_t b : r.minimal_diffs) {
+        if (a != b) {
+          EXPECT_NE(a & b, a) << "diff " << a << " ⊆ " << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(SatSatohTest, ConsistentInputsGiveEmptyDiff) {
+  Vocabulary v = Vocabulary::Synthetic(4);
+  Formula psi = MustParse("p0 & p1", &v);
+  Formula mu = MustParse("p0", &v);
+  SatSatohResult r = SatSatohRevise(psi, mu, 4);
+  EXPECT_EQ(r.minimal_diffs, std::vector<uint64_t>{0});
+  // Result is Mod(psi & mu) = Mod(psi).
+  EXPECT_EQ(ModelSet::FromMasks(r.models, 4),
+            ModelSet::FromFormula(psi, 4));
+}
+
+TEST(SatSatohTest, ScalesPastEnumerationWall) {
+  // 28 variables; psi: all true, mu: p0 and p1 both false.  The only
+  // minimal diff flips exactly p0 and p1.
+  const int n = 28;
+  std::vector<Formula> all_true;
+  for (int i = 0; i < n; ++i) all_true.push_back(Formula::Var(i));
+  Formula psi = And(all_true);
+  Formula mu = And(Not(Formula::Var(0)), Not(Formula::Var(1)));
+  SatSatohResult r = SatSatohRevise(psi, mu, n, 16, 4);
+  ASSERT_EQ(r.minimal_diffs.size(), 1u);
+  EXPECT_EQ(r.minimal_diffs[0], 0b11u);
+  ASSERT_EQ(r.models.size(), 1u);
+  EXPECT_EQ(r.models[0], LowMask(n) & ~0b11ULL);
+}
+
+TEST(SatSatohTest, UnsatInputs) {
+  Vocabulary v = Vocabulary::Synthetic(3);
+  Formula contradiction = MustParse("p0 & !p0", &v);
+  Formula tautology = Formula::True();
+  EXPECT_TRUE(SatSatohRevise(tautology, contradiction, 3).models.empty());
+  SatSatohResult r = SatSatohRevise(contradiction, tautology, 3);
+  EXPECT_TRUE(r.psi_unsat);
+  EXPECT_EQ(r.models.size(), 8u);
+}
+
+TEST(SatOdistTest, MatchesEnumerationOnRandomInputs) {
+  Rng rng(303);
+  RandomFormulaOptions options;
+  options.num_terms = 5;
+  for (int i = 0; i < 60; ++i) {
+    Formula psi = RandomFormula(&rng, options);
+    if (!IsSatisfiable(psi, 5)) {
+      EXPECT_EQ(SatOverallDist(psi, 5, 0), -1);
+      continue;
+    }
+    ModelSet models = ModelSet::FromFormula(psi, 5);
+    uint64_t point = rng.NextBelow(32);
+    uint64_t witness = 0;
+    int got = SatOverallDist(psi, 5, point, &witness);
+    EXPECT_EQ(got, OverallDist(models, point)) << i;
+    EXPECT_TRUE(models.Contains(witness));
+    EXPECT_EQ(Dist(point, witness), got) << "witness attains the max";
+  }
+}
+
+TEST(CegarTest, MatchesEnumerationFittingOnRandomInputs) {
+  Rng rng(404);
+  MaxFitting enum_op;
+  RandomFormulaOptions options;
+  options.num_terms = 4;
+  for (int i = 0; i < 50; ++i) {
+    Formula psi = RandomFormula(&rng, options);
+    Formula mu = RandomFormula(&rng, options);
+    CegarResult r = CegarMaxFitting(psi, mu, 4);
+    ModelSet spsi = ModelSet::FromFormula(psi, 4);
+    ModelSet smu = ModelSet::FromFormula(mu, 4);
+    ModelSet expected = enum_op.Change(spsi, smu);
+    EXPECT_EQ(ModelSet::FromMasks(r.models, 4), expected) << "round " << i;
+    if (!expected.empty()) {
+      EXPECT_EQ(r.optimal_value, OverallDist(spsi, expected[0]));
+      EXPECT_TRUE(expected.Contains(r.optimal_model));
+    } else {
+      EXPECT_EQ(r.optimal_value, -1);
+    }
+  }
+}
+
+TEST(CegarTest, ArbitrationMatchesEnumeration) {
+  Rng rng(505);
+  ArbitrationOperator enum_arb = MakeMaxArbitration();
+  RandomFormulaOptions options;
+  options.num_terms = 4;
+  for (int i = 0; i < 30; ++i) {
+    Formula a = RandomFormula(&rng, options);
+    Formula b = RandomFormula(&rng, options);
+    if (!IsSatisfiable(Or(a, b), 4)) continue;
+    CegarResult r = CegarMaxArbitration(a, b, 4);
+    ModelSet expected = enum_arb.Change(ModelSet::FromFormula(a, 4),
+                                        ModelSet::FromFormula(b, 4));
+    EXPECT_EQ(ModelSet::FromMasks(r.models, 4), expected) << "round " << i;
+  }
+}
+
+TEST(CegarTest, LargeVocabularyArbitration) {
+  // Two parties 30 variables apart: the optimal compromise sits at
+  // max-distance 15 from both.
+  const int n = 30;
+  std::vector<Formula> lits_a, lits_b;
+  for (int i = 0; i < n; ++i) {
+    lits_a.push_back(Not(Formula::Var(i)));
+    lits_b.push_back(Formula::Var(i));
+  }
+  Formula a = And(lits_a);  // all false
+  Formula b = And(lits_b);  // all true
+  CegarResult r =
+      CegarMaxArbitration(a, b, n, /*max_models=*/1);
+  EXPECT_EQ(r.optimal_value, 15);
+  EXPECT_EQ(PopCount(r.optimal_model), 15);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(CegarTest, UnsatInputsReturnMinusOne) {
+  Vocabulary v = Vocabulary::Synthetic(3);
+  Formula contradiction = MustParse("p0 & !p0", &v);
+  Formula sat = MustParse("p1", &v);
+  EXPECT_EQ(CegarMaxFitting(contradiction, sat, 3).optimal_value, -1);
+  EXPECT_EQ(CegarMaxFitting(sat, contradiction, 3).optimal_value, -1);
+}
+
+TEST(CegarTest, IterationCountIsReported) {
+  Vocabulary v = Vocabulary::Synthetic(3);
+  Formula psi = MustParse("p0 & p1", &v);
+  CegarResult r = CegarMaxFitting(psi, Formula::True(), 3);
+  EXPECT_GT(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace arbiter::solve

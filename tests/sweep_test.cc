@@ -1,0 +1,174 @@
+// Parameterized property sweeps across vocabulary sizes and seeds:
+// cross-operator invariants that must hold on every random instance.
+
+#include <gtest/gtest.h>
+
+#include "change/fitting.h"
+#include "change/merge.h"
+#include "change/registry.h"
+#include "change/revision.h"
+#include "change/update.h"
+#include "model/distance.h"
+#include "solve/dalal_sat.h"
+#include "solve/satoh_sat.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+struct SweepParams {
+  int num_terms;
+  uint64_t seed;
+};
+
+void PrintTo(const SweepParams& p, std::ostream* os) {
+  *os << "n" << p.num_terms << "_seed" << p.seed;
+}
+
+class OperatorSweepTest : public ::testing::TestWithParam<SweepParams> {
+ protected:
+  ModelSet RandomKb(Rng* rng, double density) {
+    const int n = GetParam().num_terms;
+    std::vector<uint64_t> masks;
+    for (uint64_t m = 0; m < (1ULL << n); ++m) {
+      if (rng->NextBool(density)) masks.push_back(m);
+    }
+    return ModelSet::FromMasks(std::move(masks), n);
+  }
+};
+
+TEST_P(OperatorSweepTest, SuccessConsistencyAndSyntaxFreedom) {
+  Rng rng(GetParam().seed);
+  auto ops = AllOperators();
+  for (int round = 0; round < 25; ++round) {
+    ModelSet psi = RandomKb(&rng, 0.35);
+    ModelSet mu = RandomKb(&rng, 0.35);
+    for (const auto& op : ops) {
+      ModelSet result = op->Change(psi, mu);
+      // Determinism / syntax irrelevance at the semantic level.
+      EXPECT_EQ(result, op->Change(psi, mu)) << op->name();
+      if (op->family() == OperatorFamily::kRevision ||
+          op->family() == OperatorFamily::kUpdate ||
+          op->family() == OperatorFamily::kModelFitting) {
+        EXPECT_TRUE(result.IsSubsetOf(mu)) << op->name();  // success
+      }
+      if (!psi.empty() && !mu.empty()) {
+        EXPECT_FALSE(result.empty()) << op->name();  // consistency
+      }
+    }
+  }
+}
+
+TEST_P(OperatorSweepTest, RevisionRefinementChain) {
+  // On every instance: dalal ⊆ satoh ⊆ weber (cardinality-minimal
+  // diffs are inclusion-minimal; Weber coarsens Satoh).
+  Rng rng(GetParam().seed ^ 0x5555);
+  DalalRevision dalal;
+  SatohRevision satoh;
+  WeberRevision weber;
+  for (int round = 0; round < 25; ++round) {
+    ModelSet psi = RandomKb(&rng, 0.3);
+    ModelSet mu = RandomKb(&rng, 0.3);
+    ModelSet d = dalal.Change(psi, mu);
+    ModelSet s = satoh.Change(psi, mu);
+    ModelSet w = weber.Change(psi, mu);
+    EXPECT_TRUE(d.IsSubsetOf(s)) << "round " << round;
+    EXPECT_TRUE(s.IsSubsetOf(w)) << "round " << round;
+  }
+}
+
+TEST_P(OperatorSweepTest, ConsistentCaseCollapsesForRevisions) {
+  // Whenever psi & mu is satisfiable, every R2-operator returns it.
+  Rng rng(GetParam().seed ^ 0xAAAA);
+  for (int round = 0; round < 25; ++round) {
+    ModelSet psi = RandomKb(&rng, 0.5);
+    ModelSet mu = RandomKb(&rng, 0.5);
+    ModelSet both = psi.Intersect(mu);
+    if (both.empty()) continue;
+    for (const char* name : {"dalal", "satoh", "weber", "borgida"}) {
+      EXPECT_EQ(MakeOperator(name).ValueOrDie()->Change(psi, mu), both)
+          << name;
+    }
+  }
+}
+
+TEST_P(OperatorSweepTest, FittingEqualsRevisionOnSingletonPsi) {
+  // With one voice, overall distance == distance: the paper's fitting
+  // collapses to Dalal revision.
+  Rng rng(GetParam().seed ^ 0x1234);
+  DalalRevision dalal;
+  MaxFitting fitting;
+  SumFitting sum;
+  const int n = GetParam().num_terms;
+  for (int round = 0; round < 25; ++round) {
+    ModelSet psi = ModelSet::Singleton(rng.NextBelow(1ULL << n), n);
+    ModelSet mu = RandomKb(&rng, 0.4);
+    EXPECT_EQ(fitting.Change(psi, mu), dalal.Change(psi, mu)) << round;
+    EXPECT_EQ(sum.Change(psi, mu), dalal.Change(psi, mu)) << round;
+  }
+}
+
+TEST_P(OperatorSweepTest, UpdateOnSingletonPsiEqualsRevision) {
+  // KM: on complete knowledge bases, update and revision coincide
+  // (per distance notion: Forbus/Dalal and Winslett/Borgida).
+  Rng rng(GetParam().seed ^ 0x9876);
+  const int n = GetParam().num_terms;
+  for (int round = 0; round < 25; ++round) {
+    ModelSet psi = ModelSet::Singleton(rng.NextBelow(1ULL << n), n);
+    ModelSet mu = RandomKb(&rng, 0.4);
+    if (mu.empty()) continue;
+    EXPECT_EQ(ForbusUpdate().Change(psi, mu),
+              DalalRevision().Change(psi, mu));
+    if (psi.Intersect(mu).empty()) {
+      EXPECT_EQ(WinslettUpdate().Change(psi, mu),
+                BorgidaRevision().Change(psi, mu));
+    }
+  }
+}
+
+TEST_P(OperatorSweepTest, SatBackedOperatorsAgreeWithEnumeration) {
+  Rng rng(GetParam().seed ^ 0x7777);
+  const int n = GetParam().num_terms;
+  DalalRevision dalal;
+  SatohRevision satoh;
+  for (int round = 0; round < 8; ++round) {
+    ModelSet psi = RandomKb(&rng, 0.3);
+    ModelSet mu = RandomKb(&rng, 0.3);
+    Formula fpsi = psi.ToFormula();
+    Formula fmu = mu.ToFormula();
+    EXPECT_EQ(ModelSet::FromMasks(
+                  solve::SatDalalRevise(fpsi, fmu, n).models, n),
+              dalal.Change(psi, mu))
+        << round;
+    EXPECT_EQ(ModelSet::FromMasks(
+                  solve::SatSatohRevise(fpsi, fmu, n).models, n),
+              satoh.Change(psi, mu))
+        << round;
+  }
+}
+
+TEST_P(OperatorSweepTest, MergeGmaxDominatedByMaxValue) {
+  // GMax refines max: its winners always achieve the optimal max.
+  Rng rng(GetParam().seed ^ 0x3141);
+  for (int round = 0; round < 15; ++round) {
+    std::vector<ModelSet> sources;
+    for (int s = 0; s < 3; ++s) {
+      ModelSet src = RandomKb(&rng, 0.3);
+      if (!src.empty()) sources.push_back(src);
+    }
+    if (sources.empty()) continue;
+    ModelSet gmax = Merge(sources, MergeAggregate::kGMax);
+    ModelSet maxm = Merge(sources, MergeAggregate::kMax);
+    EXPECT_TRUE(gmax.IsSubsetOf(maxm)) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OperatorSweepTest,
+    ::testing::Values(SweepParams{2, 1}, SweepParams{2, 2},
+                      SweepParams{3, 1}, SweepParams{3, 2},
+                      SweepParams{3, 3}, SweepParams{4, 1},
+                      SweepParams{4, 2}, SweepParams{5, 1}));
+
+}  // namespace
+}  // namespace arbiter

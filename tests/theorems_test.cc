@@ -1,0 +1,102 @@
+// Theorem 3.2 (pairwise disjointness), experiment E6: empirical
+// verification over every registered operator, plus the Appendix B
+// witness traces.
+
+#include "postulates/theorems.h"
+
+#include <gtest/gtest.h>
+
+#include "change/registry.h"
+
+namespace arbiter {
+namespace {
+
+TEST(Theorem32Test, AllThreeClaimsHoldOnTheRegistry) {
+  Theorem32Report report = VerifyTheorem32(AllOperators(), 2);
+  EXPECT_TRUE(report.all_claims_hold);
+  EXPECT_EQ(report.r2_a8.size(), AllOperators().size());
+  for (const DisjointnessRow& row : report.r2_a8) {
+    EXPECT_TRUE(row.conclusion_blocked)
+        << row.op_name << " satisfies both R2 and A8";
+  }
+  for (const DisjointnessRow& row : report.u2_u8_a8) {
+    EXPECT_TRUE(row.conclusion_blocked)
+        << row.op_name << " satisfies U2, U8 and A8";
+  }
+  for (const DisjointnessRow& row : report.r123_u8) {
+    EXPECT_TRUE(row.conclusion_blocked)
+        << row.op_name << " satisfies R1, R2, R3 and U8";
+  }
+}
+
+TEST(Theorem32Test, DalalSatisfiesR2HenceFailsA8) {
+  Theorem32Report report =
+      VerifyTheorem32({MakeOperator("dalal").ValueOrDie()}, 2);
+  const DisjointnessRow& row = report.r2_a8[0];
+  EXPECT_EQ(row.satisfied_premises, std::vector<std::string>{"R2"});
+  EXPECT_EQ(row.violated_premises, std::vector<std::string>{"A8"});
+}
+
+TEST(Theorem32Test, WinslettSatisfiesU2U8HenceFailsA8) {
+  Theorem32Report report =
+      VerifyTheorem32({MakeOperator("winslett").ValueOrDie()}, 2);
+  const DisjointnessRow& row = report.u2_u8_a8[0];
+  EXPECT_EQ(row.satisfied_premises,
+            (std::vector<std::string>{"U2", "U8"}));
+  EXPECT_EQ(row.violated_premises, std::vector<std::string>{"A8"});
+}
+
+TEST(Theorem32Test, DalalSatisfiesR123HenceFailsU8) {
+  Theorem32Report report =
+      VerifyTheorem32({MakeOperator("dalal").ValueOrDie()}, 2);
+  const DisjointnessRow& row = report.r123_u8[0];
+  EXPECT_EQ(row.satisfied_premises,
+            (std::vector<std::string>{"R1", "R2", "R3"}));
+  EXPECT_EQ(row.violated_premises, std::vector<std::string>{"U8"});
+}
+
+TEST(Theorem32Test, LexFittingSatisfiesA8HenceFailsR2) {
+  Theorem32Report report =
+      VerifyTheorem32({MakeOperator("lex-fitting").ValueOrDie()}, 2);
+  const DisjointnessRow& row = report.r2_a8[0];
+  EXPECT_EQ(row.satisfied_premises, std::vector<std::string>{"A8"});
+  EXPECT_EQ(row.violated_premises, std::vector<std::string>{"R2"});
+}
+
+TEST(WitnessTraceTest, R2A8TraceAgainstDalal) {
+  // Dalal satisfies R2, so the Appendix B construction must show the
+  // A8 requirement failing.
+  std::string trace =
+      TraceR2A8Witness(*MakeOperator("dalal").ValueOrDie(), 2);
+  EXPECT_NE(trace.find("claim 1"), std::string::npos);
+  EXPECT_NE(trace.find("FAILS -> R2 and A8 incompatible"),
+            std::string::npos)
+      << trace;
+}
+
+TEST(WitnessTraceTest, U2U8A8TraceAgainstWinslett) {
+  std::string trace =
+      TraceU2U8A8Witness(*MakeOperator("winslett").ValueOrDie(), 2);
+  EXPECT_NE(trace.find("claim 2"), std::string::npos);
+  EXPECT_NE(trace.find("FAILS -> U2+U8 and A8 incompatible"),
+            std::string::npos)
+      << trace;
+}
+
+TEST(WitnessTraceTest, R123U8TraceAgainstDalal) {
+  std::string trace =
+      TraceR123U8Witness(*MakeOperator("dalal").ValueOrDie(), 2);
+  EXPECT_NE(trace.find("claim 3"), std::string::npos);
+  EXPECT_NE(trace.find("NO -> R1-R3 and U8 incompatible"),
+            std::string::npos)
+      << trace;
+}
+
+TEST(WitnessTraceTest, TracesNameTheOperator) {
+  std::string trace =
+      TraceR2A8Witness(*MakeOperator("satoh").ValueOrDie(), 3);
+  EXPECT_NE(trace.find("satoh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbiter

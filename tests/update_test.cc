@@ -1,0 +1,140 @@
+// Tests for the update operators (Winslett PMA, Forbus).
+
+#include "change/update.h"
+
+#include <gtest/gtest.h>
+
+#include "change/revision.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+ModelSet Ms(std::vector<uint64_t> masks, int n) {
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+TEST(WinslettTest, UpdatesEachModelIndependently) {
+  // The classic book/magazine example: psi = (b & !m) | (!b & m)
+  // ("exactly one on the table"), mu = b ("the book is on the table").
+  // Update: each world moves minimally — {b,!m} stays, {!b,m} becomes
+  // {b,m} (m keeps its value).  Result: b, with m free.
+  WinslettUpdate op;
+  ModelSet psi = Ms({0b01, 0b10}, 2);  // b=bit0, m=bit1
+  ModelSet mu = Ms({0b01, 0b11}, 2);   // b true
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b01, 0b11}, 2));
+  // Revision instead collapses to the closest worlds globally: b & !m.
+  EXPECT_EQ(DalalRevision().Change(psi, mu), Ms({0b01}, 2));
+}
+
+TEST(WinslettTest, PerModelInclusionMinimal) {
+  WinslettUpdate op;
+  ModelSet psi = Ms({0b000}, 3);
+  ModelSet mu = Ms({0b001, 0b011}, 3);  // diffs {p0} ⊂ {p0,p1}
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b001}, 3));
+}
+
+TEST(WinslettTest, IncomparableDiffsBothKept) {
+  WinslettUpdate op;
+  ModelSet psi = Ms({0b000}, 3);
+  ModelSet mu = Ms({0b001, 0b110}, 3);  // {p0} vs {p1,p2}: incomparable
+  EXPECT_EQ(op.Change(psi, mu), mu);
+}
+
+TEST(ForbusTest, PerModelMinimumCardinality) {
+  ForbusUpdate op;
+  ModelSet psi = Ms({0b000}, 3);
+  ModelSet mu = Ms({0b001, 0b110}, 3);  // distances 1 and 2
+  EXPECT_EQ(op.Change(psi, mu), Ms({0b001}, 3));
+}
+
+TEST(UpdateTest, UnsatPsiGivesUnsatResult) {
+  // (U-style): update of an empty knowledge base is empty — unlike our
+  // revision convention.
+  ModelSet empty(2);
+  ModelSet mu = Ms({0b01}, 2);
+  EXPECT_TRUE(WinslettUpdate().Change(empty, mu).empty());
+  EXPECT_TRUE(ForbusUpdate().Change(empty, mu).empty());
+  EXPECT_EQ(DalalRevision().Change(empty, mu), mu);
+}
+
+TEST(UpdateTest, UnsatMuGivesUnsatResult) {
+  ModelSet psi = Ms({0b01}, 2);
+  EXPECT_TRUE(WinslettUpdate().Change(psi, ModelSet(2)).empty());
+  EXPECT_TRUE(ForbusUpdate().Change(psi, ModelSet(2)).empty());
+}
+
+TEST(UpdateTest, DecomposesOverPsiModels) {
+  // (U8): updating a disjunction = union of the updates.
+  Rng rng(654);
+  WinslettUpdate winslett;
+  ForbusUpdate forbus;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint64_t> m1, m2, mm;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.4)) m1.push_back(m);
+      if (rng.NextBool(0.4)) m2.push_back(m);
+      if (rng.NextBool(0.4)) mm.push_back(m);
+    }
+    ModelSet psi1 = Ms(m1, 3), psi2 = Ms(m2, 3), mu = Ms(mm, 3);
+    for (const TheoryChangeOperator* op :
+         {static_cast<const TheoryChangeOperator*>(&winslett),
+          static_cast<const TheoryChangeOperator*>(&forbus)}) {
+      EXPECT_EQ(op->Change(psi1.Union(psi2), mu),
+                op->Change(psi1, mu).Union(op->Change(psi2, mu)))
+          << op->name() << " round " << round;
+    }
+  }
+}
+
+TEST(UpdateTest, InertiaOnImpliedInformation) {
+  // (U2): if psi implies mu, update changes nothing.
+  Rng rng(777);
+  WinslettUpdate winslett;
+  ForbusUpdate forbus;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> mm;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.5)) mm.push_back(m);
+    }
+    if (mm.empty()) continue;
+    ModelSet mu = Ms(mm, 3);
+    // psi: random nonempty subset of mu.
+    std::vector<uint64_t> mp;
+    for (uint64_t m : mu) {
+      if (rng.NextBool(0.5)) mp.push_back(m);
+    }
+    if (mp.empty()) mp.push_back(mu[0]);
+    ModelSet psi = Ms(mp, 3);
+    EXPECT_EQ(winslett.Change(psi, mu), psi);
+    EXPECT_EQ(forbus.Change(psi, mu), psi);
+  }
+}
+
+TEST(UpdateTest, ForbusRefinesWinslett) {
+  // Forbus's cardinality-minimal diffs are a subset of Winslett's
+  // ⊆-minimal ones per model... globally the union relation still
+  // holds: every Forbus result model is a Winslett result model.
+  Rng rng(135);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<uint64_t> mp, mm;
+    for (uint64_t m = 0; m < 16; ++m) {
+      if (rng.NextBool(0.3)) mp.push_back(m);
+      if (rng.NextBool(0.3)) mm.push_back(m);
+    }
+    ModelSet psi = Ms(mp, 4), mu = Ms(mm, 4);
+    EXPECT_TRUE(ForbusUpdate()
+                    .Change(psi, mu)
+                    .IsSubsetOf(WinslettUpdate().Change(psi, mu)))
+        << "round " << round;
+  }
+}
+
+TEST(UpdateTest, FamiliesAndNames) {
+  EXPECT_EQ(WinslettUpdate().family(), OperatorFamily::kUpdate);
+  EXPECT_EQ(WinslettUpdate().name(), "winslett");
+  EXPECT_EQ(ForbusUpdate().name(), "forbus");
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,175 @@
+// Tests for Status/Result, the PRNG, bit helpers, and string helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bit.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace arbiter {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kCapacityExceeded, StatusCode::kNotFound,
+        StatusCode::kUnsupported, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(BitTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_EQ(PopCount(~0ULL), 64);
+}
+
+TEST(BitTest, LowestBitAndClear) {
+  EXPECT_EQ(LowestBit(0b1000), 3);
+  EXPECT_EQ(ClearLowestBit(0b1100), 0b1000u);
+}
+
+TEST(BitTest, IsSingleBit) {
+  EXPECT_TRUE(IsSingleBit(1));
+  EXPECT_TRUE(IsSingleBit(1ULL << 63));
+  EXPECT_FALSE(IsSingleBit(0));
+  EXPECT_FALSE(IsSingleBit(3));
+}
+
+TEST(BitTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(3), 0b111u);
+  EXPECT_EQ(LowMask(64), ~0ULL);
+}
+
+TEST(BitTest, ForEachBitInOrder) {
+  std::vector<int> bits;
+  ForEachBit(0b101001, [&](int i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<int>{0, 3, 5}));
+}
+
+TEST(StringTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("no-space"), "no-space");
+}
+
+TEST(StringTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringTest, IdentPredicates) {
+  EXPECT_TRUE(IsIdentStart('a'));
+  EXPECT_TRUE(IsIdentStart('_'));
+  EXPECT_FALSE(IsIdentStart('1'));
+  EXPECT_TRUE(IsIdentCont('1'));
+  EXPECT_TRUE(IsIdentCont('\''));
+  EXPECT_FALSE(IsIdentCont('-'));
+}
+
+}  // namespace
+}  // namespace arbiter

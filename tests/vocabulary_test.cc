@@ -1,0 +1,81 @@
+// Tests for the Vocabulary term registry.
+
+#include "logic/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace arbiter {
+namespace {
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary v;
+  EXPECT_EQ(*v.AddTerm("A"), 0);
+  EXPECT_EQ(*v.AddTerm("B"), 1);
+  EXPECT_EQ(*v.Lookup("A"), 0);
+  EXPECT_EQ(*v.Lookup("B"), 1);
+  EXPECT_EQ(v.size(), 2);
+}
+
+TEST(VocabularyTest, DuplicateRejected) {
+  Vocabulary v;
+  ASSERT_TRUE(v.AddTerm("A").ok());
+  Result<int> dup = v.AddTerm("A");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VocabularyTest, EmptyNameRejected) {
+  Vocabulary v;
+  EXPECT_FALSE(v.AddTerm("").ok());
+}
+
+TEST(VocabularyTest, LookupUnknownIsNotFound) {
+  Vocabulary v;
+  EXPECT_EQ(v.Lookup("zzz").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(v.Contains("zzz"));
+}
+
+TEST(VocabularyTest, GetOrAddIsIdempotent) {
+  Vocabulary v;
+  EXPECT_EQ(*v.GetOrAddTerm("X"), 0);
+  EXPECT_EQ(*v.GetOrAddTerm("X"), 0);
+  EXPECT_EQ(v.size(), 1);
+}
+
+TEST(VocabularyTest, FromNames) {
+  auto v = Vocabulary::FromNames({"S", "D", "Q"});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 3);
+  EXPECT_EQ(v->Name(1), "D");
+}
+
+TEST(VocabularyTest, FromNamesRejectsDuplicates) {
+  EXPECT_FALSE(Vocabulary::FromNames({"A", "A"}).ok());
+}
+
+TEST(VocabularyTest, Synthetic) {
+  Vocabulary v = Vocabulary::Synthetic(4);
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_EQ(v.Name(0), "p0");
+  EXPECT_EQ(v.Name(3), "p3");
+}
+
+TEST(VocabularyTest, CapacityLimit) {
+  Vocabulary v = Vocabulary::Synthetic(kMaxVocabularyTerms);
+  Result<int> over = v.AddTerm("overflow");
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(VocabularyTest, NumInterpretations) {
+  EXPECT_EQ(Vocabulary::Synthetic(0).NumInterpretations(), 1u);
+  EXPECT_EQ(Vocabulary::Synthetic(10).NumInterpretations(), 1024u);
+}
+
+TEST(VocabularyTest, Equality) {
+  EXPECT_EQ(Vocabulary::Synthetic(2), Vocabulary::Synthetic(2));
+  EXPECT_FALSE(Vocabulary::Synthetic(2) == Vocabulary::Synthetic(3));
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,149 @@
+// Tests for weighted model-fitting and weighted arbitration
+// (paper, Section 4).
+
+#include "change/weighted.h"
+
+#include <gtest/gtest.h>
+
+#include "change/fitting.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+WeightedKnowledgeBase Wkb(int n,
+                          std::vector<std::pair<uint64_t, double>> weights) {
+  WeightedKnowledgeBase kb(n);
+  for (auto [m, w] : weights) kb.SetWeight(m, w);
+  return kb;
+}
+
+TEST(WdistFittingTest, ResultKeepsMuWeights) {
+  // The paper's weighted Min keeps mu's weights on the minimal support.
+  WdistFitting op;
+  WeightedKnowledgeBase psi = Wkb(2, {{0b00, 3}});
+  WeightedKnowledgeBase mu = Wkb(2, {{0b01, 7}, {0b11, 9}});
+  WeightedKnowledgeBase result = op.Change(psi, mu);
+  EXPECT_DOUBLE_EQ(result.Weight(0b01), 7);  // wdist 3 < 6
+  EXPECT_DOUBLE_EQ(result.Weight(0b11), 0);
+}
+
+TEST(WdistFittingTest, UnsatisfiableInputs) {
+  WdistFitting op;
+  WeightedKnowledgeBase empty(2);
+  WeightedKnowledgeBase mu = Wkb(2, {{0b01, 1}});
+  EXPECT_FALSE(op.Change(empty, mu).IsSatisfiable()) << "(F2)";
+  EXPECT_FALSE(op.Change(mu, empty).IsSatisfiable()) << "(F1)";
+  EXPECT_TRUE(op.Change(mu, mu).IsSatisfiable()) << "(F3)";
+}
+
+TEST(WdistFittingTest, ScalingPsiWeightsPreservesResult) {
+  // wdist is linear in psi's weights, so uniform scaling cannot change
+  // the argmin.
+  Rng rng(10);
+  WdistFitting op;
+  for (int round = 0; round < 30; ++round) {
+    WeightedKnowledgeBase psi(3), mu(3);
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool()) psi.SetWeight(m, 1 + rng.NextBelow(5));
+      if (rng.NextBool()) mu.SetWeight(m, 1 + rng.NextBelow(5));
+    }
+    if (!psi.IsSatisfiable() || !mu.IsSatisfiable()) continue;
+    WeightedKnowledgeBase scaled(3);
+    for (uint64_t m = 0; m < 8; ++m) {
+      scaled.SetWeight(m, psi.Weight(m) * 10);
+    }
+    EXPECT_TRUE(
+        op.Change(psi, mu).EquivalentTo(op.Change(scaled, mu)));
+  }
+}
+
+TEST(WdistFittingTest, ZeroOneEmbeddingMatchesSumFitting) {
+  // With 0/1 weights, wdist == SumDist, so the weighted operator's
+  // support must match the plain sum-fitting result.
+  Rng rng(20);
+  WdistFitting weighted;
+  SumFitting plain;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> mp, mm;
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.4)) mp.push_back(m);
+      if (rng.NextBool(0.4)) mm.push_back(m);
+    }
+    if (mp.empty() || mm.empty()) continue;
+    ModelSet psi = ModelSet::FromMasks(mp, 3);
+    ModelSet mu = ModelSet::FromMasks(mm, 3);
+    WeightedKnowledgeBase result = weighted.Change(
+        WeightedKnowledgeBase::FromModelSet(psi),
+        WeightedKnowledgeBase::FromModelSet(mu));
+    EXPECT_EQ(result.Support(), plain.Change(psi, mu)) << round;
+  }
+}
+
+TEST(WeightedArbitrationTest, IsCommutative) {
+  Rng rng(30);
+  WeightedArbitration op;
+  for (int round = 0; round < 50; ++round) {
+    WeightedKnowledgeBase a(3), b(3);
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool()) a.SetWeight(m, rng.NextBelow(10));
+      if (rng.NextBool()) b.SetWeight(m, rng.NextBelow(10));
+    }
+    EXPECT_TRUE(op.Change(a, b).EquivalentTo(op.Change(b, a))) << round;
+  }
+}
+
+TEST(WeightedArbitrationTest, MajorityWins) {
+  // Example 4.1's moral: weight mass pulls the arbitration outcome.
+  WeightedArbitration op;
+  WeightedKnowledgeBase many = Wkb(2, {{0b01, 100}});
+  WeightedKnowledgeBase few = Wkb(2, {{0b10, 1}});
+  WeightedKnowledgeBase verdict = op.Change(many, few);
+  EXPECT_GT(verdict.Weight(0b01), 0);
+  EXPECT_DOUBLE_EQ(verdict.Weight(0b10), 0);
+}
+
+TEST(WeightedArbitrationTest, ResultMinimizesCombinedWdist) {
+  Rng rng(40);
+  WeightedArbitration op;
+  for (int round = 0; round < 30; ++round) {
+    WeightedKnowledgeBase a(3), b(3);
+    for (uint64_t m = 0; m < 8; ++m) {
+      if (rng.NextBool()) a.SetWeight(m, rng.NextBelow(6));
+      if (rng.NextBool()) b.SetWeight(m, rng.NextBelow(6));
+    }
+    if (!a.IsSatisfiable() && !b.IsSatisfiable()) continue;
+    WeightedKnowledgeBase combined = a.Or(b);
+    WeightedKnowledgeBase verdict = op.Change(a, b);
+    double best = 1e300;
+    for (uint64_t m = 0; m < 8; ++m) {
+      best = std::min(best, combined.WeightedDistTo(m));
+    }
+    for (uint64_t m = 0; m < 8; ++m) {
+      EXPECT_EQ(verdict.Weight(m) > 0,
+                combined.WeightedDistTo(m) == best)
+          << "round " << round << " m=" << m;
+    }
+  }
+}
+
+TEST(WeightedArbitrationTest, EmbeddedPlainBasesDifferFromMaxArbitration) {
+  // Weighted arbitration is majority-driven; the paper's unweighted Δ
+  // is egalitarian.  On a 2-vs-1 conflict they disagree.
+  WeightedArbitration weighted;
+  WeightedKnowledgeBase crowd = Wkb(3, {{0b000, 1}, {0b001, 1}});
+  WeightedKnowledgeBase lone = Wkb(3, {{0b111, 1}});
+  WeightedKnowledgeBase verdict = weighted.Change(crowd, lone);
+  // Sum pulls toward the two-voice cluster: 001 has wdist 1+0+2=3,
+  // 000 has 0+1+3=4, 011 has 2+1+1=4, 111 has 3+2+0=5.
+  EXPECT_GT(verdict.Weight(0b001), 0);
+  EXPECT_DOUBLE_EQ(verdict.Weight(0b111), 0);
+}
+
+TEST(WeightedChangeTest, Names) {
+  EXPECT_EQ(WdistFitting().name(), "wdist-fitting");
+  EXPECT_EQ(WeightedArbitration().name(), "weighted-arbitration");
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,166 @@
+// Tests for weighted knowledge bases (paper, Section 4): the ⊔/⊓
+// algebra, embedding of plain bases, satisfiability, implication,
+// wdist, and the weighted Min.
+
+#include "kb/weighted_kb.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "util/bit.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+TEST(WeightedKbTest, ZeroByDefault) {
+  WeightedKnowledgeBase kb(2);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(kb.Weight(i), 0.0);
+  EXPECT_FALSE(kb.IsSatisfiable());
+}
+
+TEST(WeightedKbTest, EmbeddingIsZeroOne) {
+  // Paper: psi~(I) = 1 iff I ∈ Mod(psi), else 0.
+  Vocabulary v = Vocabulary::Synthetic(2);
+  Formula f = MustParse("p0 | p1", &v);
+  WeightedKnowledgeBase kb = WeightedKnowledgeBase::FromFormula(f, 2);
+  EXPECT_DOUBLE_EQ(kb.Weight(0b00), 0.0);
+  EXPECT_DOUBLE_EQ(kb.Weight(0b01), 1.0);
+  EXPECT_DOUBLE_EQ(kb.Weight(0b10), 1.0);
+  EXPECT_DOUBLE_EQ(kb.Weight(0b11), 1.0);
+}
+
+TEST(WeightedKbTest, UniformIsTheFullSpace) {
+  WeightedKnowledgeBase m = WeightedKnowledgeBase::Uniform(3, 2.5);
+  for (uint64_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(m.Weight(i), 2.5);
+}
+
+TEST(WeightedKbTest, OrIsPointwiseSum) {
+  WeightedKnowledgeBase a(2), b(2);
+  a.SetWeight(0, 3);
+  a.SetWeight(1, 1);
+  b.SetWeight(1, 2);
+  WeightedKnowledgeBase c = a.Or(b);
+  EXPECT_DOUBLE_EQ(c.Weight(0), 3);
+  EXPECT_DOUBLE_EQ(c.Weight(1), 3);
+  EXPECT_DOUBLE_EQ(c.Weight(2), 0);
+}
+
+TEST(WeightedKbTest, AndIsPointwiseMin) {
+  WeightedKnowledgeBase a(2), b(2);
+  a.SetWeight(0, 3);
+  a.SetWeight(1, 1);
+  b.SetWeight(0, 2);
+  b.SetWeight(2, 5);
+  WeightedKnowledgeBase c = a.And(b);
+  EXPECT_DOUBLE_EQ(c.Weight(0), 2);
+  EXPECT_DOUBLE_EQ(c.Weight(1), 0);
+  EXPECT_DOUBLE_EQ(c.Weight(2), 0);
+}
+
+TEST(WeightedKbTest, AlgebraLaws) {
+  Rng rng(44);
+  auto random_kb = [&](int n) {
+    WeightedKnowledgeBase kb(n);
+    for (uint64_t i = 0; i < (1ULL << n); ++i) {
+      if (rng.NextBool()) kb.SetWeight(i, rng.NextBelow(10));
+    }
+    return kb;
+  };
+  for (int round = 0; round < 30; ++round) {
+    WeightedKnowledgeBase a = random_kb(3);
+    WeightedKnowledgeBase b = random_kb(3);
+    WeightedKnowledgeBase c = random_kb(3);
+    EXPECT_TRUE(a.Or(b).EquivalentTo(b.Or(a)));
+    EXPECT_TRUE(a.And(b).EquivalentTo(b.And(a)));
+    EXPECT_TRUE(a.Or(b.Or(c)).EquivalentTo(a.Or(b).Or(c)));
+    EXPECT_TRUE(a.And(b.And(c)).EquivalentTo(a.And(b).And(c)));
+    // And(a, a) = a but Or(a, a) = 2a: ∨ is a sum, not idempotent.
+    EXPECT_TRUE(a.And(a).EquivalentTo(a));
+    if (a.IsSatisfiable()) {
+      EXPECT_FALSE(a.Or(a).EquivalentTo(a));
+    }
+    // a ∧ b implies a implies a ∨ b.
+    EXPECT_TRUE(a.And(b).Implies(a));
+    EXPECT_TRUE(a.Implies(a.Or(b)));
+  }
+}
+
+TEST(WeightedKbTest, ImplicationIsPointwise) {
+  WeightedKnowledgeBase a(1), b(1);
+  a.SetWeight(0, 1);
+  b.SetWeight(0, 2);
+  b.SetWeight(1, 1);
+  EXPECT_TRUE(a.Implies(b));
+  EXPECT_FALSE(b.Implies(a));
+  EXPECT_TRUE(a.Implies(a));
+}
+
+TEST(WeightedKbTest, SupportListsPositiveWeights) {
+  WeightedKnowledgeBase kb(2);
+  kb.SetWeight(1, 0.5);
+  kb.SetWeight(3, 7);
+  EXPECT_EQ(kb.Support(), ModelSet::FromMasks({1, 3}, 2));
+}
+
+TEST(WeightedKbTest, WdistMatchesDefinition) {
+  // wdist(psi~, I) = Σ_J dist(I,J)·psi~(J).
+  WeightedKnowledgeBase kb(3);
+  kb.SetWeight(0b001, 10);
+  kb.SetWeight(0b010, 20);
+  kb.SetWeight(0b111, 5);
+  EXPECT_DOUBLE_EQ(kb.WeightedDistTo(0b010), 30.0);  // paper Example 4.1
+  EXPECT_DOUBLE_EQ(kb.WeightedDistTo(0b011), 35.0);
+  EXPECT_DOUBLE_EQ(kb.WeightedDistTo(0b001), 0 + 2 * 20 + 2 * 5);
+}
+
+TEST(WeightedKbTest, WdistOfUnionIsSumOfWdists) {
+  // The weighted loyalty linchpin: ∨ adds weights, so wdist is additive
+  // — unlike the plain union semantics (see loyal_test.cc).
+  Rng rng(7);
+  for (int round = 0; round < 30; ++round) {
+    WeightedKnowledgeBase a(3), b(3);
+    for (uint64_t i = 0; i < 8; ++i) {
+      if (rng.NextBool()) a.SetWeight(i, rng.NextBelow(5));
+      if (rng.NextBool()) b.SetWeight(i, rng.NextBelow(5));
+    }
+    for (uint64_t x = 0; x < 8; ++x) {
+      EXPECT_DOUBLE_EQ(a.Or(b).WeightedDistTo(x),
+                       a.WeightedDistTo(x) + b.WeightedDistTo(x));
+    }
+  }
+}
+
+TEST(WeightedKbTest, MinimalByKeepsWeightsOnMinima) {
+  WeightedKnowledgeBase mu(2);
+  mu.SetWeight(0b00, 4);
+  mu.SetWeight(0b11, 9);
+  // Order by popcount: minimum of the support is 0b00.
+  TotalPreorder order(2, [](uint64_t m) {
+    return static_cast<double>(PopCount(m));
+  });
+  WeightedKnowledgeBase result = mu.MinimalBy(order);
+  EXPECT_DOUBLE_EQ(result.Weight(0b00), 4);  // original weight kept
+  EXPECT_DOUBLE_EQ(result.Weight(0b11), 0);
+}
+
+TEST(WeightedKbTest, MinimalByOfEmptyIsEmpty) {
+  WeightedKnowledgeBase empty(2);
+  TotalPreorder order(2, [](uint64_t) { return 0.0; });
+  EXPECT_FALSE(empty.MinimalBy(order).IsSatisfiable());
+}
+
+TEST(WeightedKbTest, NegativeWeightRejected) {
+  WeightedKnowledgeBase kb(1);
+  EXPECT_DEATH(kb.SetWeight(0, -1.0), "nonnegative");
+}
+
+TEST(WeightedKbTest, ToStringShowsSupport) {
+  auto v = Vocabulary::FromNames({"S", "D"}).ValueOrDie();
+  WeightedKnowledgeBase kb(2);
+  kb.SetWeight(0b01, 10);
+  EXPECT_EQ(kb.ToString(v), "{{S}:10}");
+}
+
+}  // namespace
+}  // namespace arbiter

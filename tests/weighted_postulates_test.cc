@@ -1,0 +1,115 @@
+// Weighted postulate checking (F1)-(F8), experiment E7.
+//
+// Theorem 4.1's concrete operator (wdist-based weighted model-fitting)
+// passes every weighted axiom: the weighted ∨ *sums* weights, making
+// wdist additive and the assignment genuinely loyal — in contrast to
+// the plain Section 3 operators (see postulate_checker_test.cc).
+
+#include "postulates/weighted_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "model/distance.h"
+
+namespace arbiter {
+namespace {
+
+std::vector<WeightedPostulate> AllF() {
+  return {WeightedPostulate::kF1, WeightedPostulate::kF2,
+          WeightedPostulate::kF3, WeightedPostulate::kF4,
+          WeightedPostulate::kF5, WeightedPostulate::kF6,
+          WeightedPostulate::kF7, WeightedPostulate::kF8};
+}
+
+TEST(WeightedPostulatesTest, WdistFittingPassesBinaryExhaustiveN2) {
+  WdistFitting op;
+  WeightedPostulateChecker checker(&op, 2);
+  for (WeightedPostulate p : AllF()) {
+    auto cex = checker.CheckExhaustiveBinary(p);
+    EXPECT_FALSE(cex.has_value())
+        << WeightedPostulateName(p) << ": " << cex->description;
+  }
+}
+
+TEST(WeightedPostulatesTest, WdistFittingPassesBinaryExhaustiveN1) {
+  WdistFitting op;
+  WeightedPostulateChecker checker(&op, 1);
+  for (WeightedPostulate p : AllF()) {
+    EXPECT_FALSE(checker.CheckExhaustiveBinary(p).has_value())
+        << WeightedPostulateName(p);
+  }
+}
+
+class WeightedSampledTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WeightedSampledTest, WdistFittingPassesRandomWeights) {
+  auto [num_terms, samples] = GetParam();
+  WdistFitting op;
+  WeightedPostulateChecker checker(&op, num_terms);
+  for (WeightedPostulate p : AllF()) {
+    auto cex = checker.CheckSampled(p, samples, /*seed=*/99);
+    EXPECT_FALSE(cex.has_value())
+        << "n=" << num_terms << " " << WeightedPostulateName(p) << ": "
+        << cex->description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WeightedSampledTest,
+                         ::testing::Values(std::pair{2, 1500},
+                                           std::pair{3, 800},
+                                           std::pair{4, 300}));
+
+TEST(WeightedPostulatesTest, BrokenOperatorIsCaught) {
+  // Negative control: an operator returning mu unchanged violates F2
+  // (unsatisfiable psi must give an unsatisfiable result).
+  class Identity : public WeightedChangeOperator {
+   public:
+    std::string name() const override { return "identity"; }
+    WeightedKnowledgeBase Change(
+        const WeightedKnowledgeBase& /*psi*/,
+        const WeightedKnowledgeBase& mu) const override {
+      return mu;
+    }
+  };
+  Identity op;
+  WeightedPostulateChecker checker(&op, 2);
+  EXPECT_TRUE(
+      checker.CheckExhaustiveBinary(WeightedPostulate::kF2).has_value());
+  // It trivially satisfies F1 (result == mu implies mu).
+  EXPECT_FALSE(
+      checker.CheckExhaustiveBinary(WeightedPostulate::kF1).has_value());
+}
+
+TEST(WeightedPostulatesTest, MaxAggregateViolatesF8) {
+  // Negative control matching the plain-world finding: a max-based
+  // weighted operator (ignoring weights, max over support) fails F8.
+  class WeightedMax : public WeightedChangeOperator {
+   public:
+    std::string name() const override { return "weighted-max"; }
+    WeightedKnowledgeBase Change(
+        const WeightedKnowledgeBase& psi,
+        const WeightedKnowledgeBase& mu) const override {
+      if (!psi.IsSatisfiable() || !mu.IsSatisfiable()) {
+        return WeightedKnowledgeBase(mu.num_terms());
+      }
+      ModelSet support = psi.Support();
+      TotalPreorder order(psi.num_terms(), [&support](uint64_t i) {
+        return static_cast<double>(OverallDist(support, i));
+      });
+      return mu.MinimalBy(order);
+    }
+  };
+  WeightedMax op;
+  WeightedPostulateChecker checker(&op, 2);
+  EXPECT_TRUE(
+      checker.CheckExhaustiveBinary(WeightedPostulate::kF8).has_value());
+}
+
+TEST(WeightedPostulatesTest, NamesAreStable) {
+  EXPECT_EQ(WeightedPostulateName(WeightedPostulate::kF1), "F1");
+  EXPECT_EQ(WeightedPostulateName(WeightedPostulate::kF8), "F8");
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,84 @@
+// Executable Theorem 4.1: the weighted representation construction.
+
+#include "postulates/weighted_representation.h"
+
+#include <gtest/gtest.h>
+
+#include "model/distance.h"
+
+namespace arbiter {
+namespace {
+
+TEST(WeightedRepresentationTest, WdistFittingPassesAllSteps) {
+  WdistFitting op;
+  for (int n = 2; n <= 3; ++n) {
+    WeightedRepresentationReport report =
+        CheckWeightedRepresentation(op, n, /*num_samples=*/40,
+                                    /*seed=*/11 * n);
+    EXPECT_TRUE(report.preorders_ok) << report.detail;
+    EXPECT_TRUE(report.assignment_loyal) << report.detail;
+    EXPECT_TRUE(report.representation_exact) << report.detail;
+    EXPECT_TRUE(report.IsWeightedModelFitting());
+  }
+}
+
+TEST(WeightedRepresentationTest, DerivedOrderMatchesWdist) {
+  WdistFitting op;
+  WeightedKnowledgeBase psi(3);
+  psi.SetWeight(0b001, 10);
+  psi.SetWeight(0b010, 20);
+  psi.SetWeight(0b111, 5);
+  TotalPreorder derived = DeriveWeightedPreorder(op, psi);
+  for (uint64_t i = 0; i < 8; ++i) {
+    for (uint64_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(derived.Leq(i, j),
+                psi.WeightedDistTo(i) <= psi.WeightedDistTo(j))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(WeightedRepresentationTest, WeightIgnoringMaxFailsLoyalty) {
+  // The negative control from weighted_postulates_test: a max-over-
+  // support operator ignores weights, so its derived assignment cannot
+  // be loyal under the summed ∨.
+  class WeightedMax : public WeightedChangeOperator {
+   public:
+    std::string name() const override { return "weighted-max"; }
+    WeightedKnowledgeBase Change(
+        const WeightedKnowledgeBase& psi,
+        const WeightedKnowledgeBase& mu) const override {
+      if (!psi.IsSatisfiable() || !mu.IsSatisfiable()) {
+        return WeightedKnowledgeBase(mu.num_terms());
+      }
+      ModelSet support = psi.Support();
+      TotalPreorder order(psi.num_terms(), [&support](uint64_t i) {
+        return static_cast<double>(OverallDist(support, i));
+      });
+      return mu.MinimalBy(order);
+    }
+  };
+  WeightedMax op;
+  WeightedRepresentationReport report =
+      CheckWeightedRepresentation(op, 2, /*num_samples=*/120, /*seed=*/3);
+  EXPECT_TRUE(report.preorders_ok);
+  EXPECT_TRUE(report.representation_exact)
+      << "max IS Min-representable; only loyalty breaks";
+  EXPECT_FALSE(report.assignment_loyal);
+  EXPECT_FALSE(report.IsWeightedModelFitting());
+}
+
+TEST(WeightedRepresentationTest, UnsatisfiablePairsStillDeriveOrders) {
+  // Degenerate psi with a single supported world: derived order ranks
+  // by distance to that world.
+  WdistFitting op;
+  WeightedKnowledgeBase psi(2);
+  psi.SetWeight(0b00, 4);
+  TotalPreorder derived = DeriveWeightedPreorder(op, psi);
+  EXPECT_TRUE(derived.Less(0b00, 0b01));
+  EXPECT_TRUE(derived.Less(0b01, 0b11));
+  EXPECT_TRUE(derived.Equiv(0b01, 0b10));
+}
+
+}  // namespace
+}  // namespace arbiter
