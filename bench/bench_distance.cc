@@ -69,6 +69,40 @@ void BM_SumDist(benchmark::State& state) {
 }
 BENCHMARK(BM_SumDist)->Arg(10)->Arg(14)->Arg(18);
 
+// Bounded (branch-and-bound) kernels against a realistic incumbent:
+// the bound is the exact aggregate of probe 0, i.e. what the argmin
+// loop holds after its first candidate.  Compare against BM_OverallDist
+// / BM_SumDist to read off the pruning win.
+void BM_OverallDistBounded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 10);  // same workload as BM_OverallDist
+  ModelSet psi = RandomSet(&rng, n, 0.3);
+  const int bound = OverallDist(psi, 0) + 1;
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OverallDistBounded(psi, probe, bound));
+    probe = (probe + 0x9E3779B9) & LowMask(n);
+  }
+  state.SetItemsProcessed(state.iterations() * psi.size());
+  state.counters["bound"] = bound;
+}
+BENCHMARK(BM_OverallDistBounded)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_SumDistBounded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n + 20);  // same workload as BM_SumDist
+  ModelSet psi = RandomSet(&rng, n, 0.3);
+  const int64_t bound = SumDist(psi, 0) + 1;
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SumDistBounded(psi, probe, bound));
+    probe = (probe + 0x9E3779B9) & LowMask(n);
+  }
+  state.SetItemsProcessed(state.iterations() * psi.size());
+  state.counters["bound"] = static_cast<double>(bound);
+}
+BENCHMARK(BM_SumDistBounded)->Arg(10)->Arg(14)->Arg(18);
+
 void BM_WeightedDist(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(n + 30);

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "change/registry.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace {
@@ -59,5 +60,37 @@ ARBITER_OP_BENCH(BM_ArbitrationMax, "arbitration-max");
 ARBITER_OP_BENCH(BM_ArbitrationSum, "arbitration-sum");
 
 #undef ARBITER_OP_BENCH
+
+// Thread sweep for the distance-minimizing operators: Args are
+// {num_terms, num_threads}.  threads=1 is the serial (still pruned)
+// path; higher counts exercise the pool.  Results are bit-identical
+// across the sweep — only the wall clock moves.
+void RunOperatorThreads(benchmark::State& state, const std::string& name) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto op = MakeOperator(name).ValueOrDie();
+  Workload w = MakeWorkload(n, 0.15, 42 + n);
+  ThreadPool::Instance().SetNumThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Change(w.psi, w.mu));
+  }
+  ThreadPool::Instance().SetNumThreads(0);
+  state.counters["threads"] = threads;
+  state.counters["mu_models"] = static_cast<double>(w.mu.size());
+}
+
+#define ARBITER_OP_THREAD_BENCH(fn_name, op_name)                 \
+  void fn_name(benchmark::State& state) {                         \
+    RunOperatorThreads(state, op_name);                           \
+  }                                                               \
+  BENCHMARK(fn_name)                                              \
+      ->Args({14, 1})->Args({14, 2})->Args({14, 4})->Args({14, 8}) \
+      ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8})
+
+ARBITER_OP_THREAD_BENCH(BM_ReveszMaxThreads, "revesz-max");
+ARBITER_OP_THREAD_BENCH(BM_ReveszSumThreads, "revesz-sum");
+ARBITER_OP_THREAD_BENCH(BM_DalalThreads, "dalal");
+
+#undef ARBITER_OP_THREAD_BENCH
 
 }  // namespace

@@ -1,0 +1,208 @@
+// Serial-vs-pruned-vs-parallel comparison for the fitting operators
+// (ISSUE: parallel + pruned distance kernels).  Emits machine-readable
+// JSON to BENCH_parallel.json (or argv[1]).
+//
+// Arms, per (operator, n) workload:
+//   * seed_serial   — the pre-optimization baseline, reimplemented
+//                     locally: unpruned odist/sdist inside a naive
+//                     two-pass argmin (exactly what the seed shipped).
+//   * pruned_serial — the library with the pool pinned to 1 thread:
+//                     branch-and-bound kernels, no threading.
+//   * parallel_T    — the library at T = 2, 4, 8 threads (pruned AND
+//                     chunked across the pool).
+//
+// Every arm's ModelSet result is checked bit-identical against the
+// seed arm before timing is reported; a mismatch aborts the run.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "change/fitting.h"
+#include "model/distance.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace arbiter;
+using Clock = std::chrono::steady_clock;
+
+ModelSet RandomSet(Rng* rng, int n, double density) {
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng->NextBool(density)) masks.push_back(m);
+  }
+  if (masks.empty()) masks.push_back(0);
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+// ---- Seed baseline: unpruned kernels + naive argmin. ----
+
+int SeedOverallDist(const ModelSet& psi, uint64_t i) {
+  int worst = -1;
+  for (uint64_t j : psi) worst = std::max(worst, Dist(i, j));
+  return worst;
+}
+
+int64_t SeedSumDist(const ModelSet& psi, uint64_t i) {
+  int64_t total = 0;
+  for (uint64_t j : psi) total += Dist(i, j);
+  return total;
+}
+
+template <typename RankFn>
+ModelSet SeedMinByInt(const ModelSet& s, const RankFn& rank) {
+  int64_t best = INT64_MAX;
+  for (uint64_t m : s) best = std::min(best, rank(m));
+  std::vector<uint64_t> out;
+  for (uint64_t m : s) {
+    if (rank(m) == best) out.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(out), s.num_terms());
+}
+
+ModelSet SeedMaxFitting(const ModelSet& psi, const ModelSet& mu) {
+  return SeedMinByInt(mu, [&psi](uint64_t i) {
+    return static_cast<int64_t>(SeedOverallDist(psi, i));
+  });
+}
+
+ModelSet SeedSumFitting(const ModelSet& psi, const ModelSet& mu) {
+  return SeedMinByInt(mu, [&psi](uint64_t i) { return SeedSumDist(psi, i); });
+}
+
+// ---- Harness ----
+
+struct ArmResult {
+  std::string arm;
+  int threads = 1;  // pool size while the arm ran (seed arm: 1)
+  double ns_per_call = 0;
+  int reps = 0;
+};
+
+// Times fn() adaptively: calibrate with one call, then rep until the
+// arm has ~0.4s or kMinReps, whichever is larger.
+template <typename Fn>
+ArmResult TimeArm(const std::string& name, int threads, const Fn& fn) {
+  constexpr double kTargetSec = 0.4;
+  constexpr int kMinReps = 3;
+  auto t0 = Clock::now();
+  fn();
+  double once = std::chrono::duration<double>(Clock::now() - t0).count();
+  int reps = std::max(kMinReps, static_cast<int>(kTargetSec / (once + 1e-9)));
+  reps = std::min(reps, 10000);
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  double total = std::chrono::duration<double>(Clock::now() - t0).count();
+  return {name, threads, total / reps * 1e9, reps};
+}
+
+struct Workload {
+  std::string op;  // "revesz-max" | "revesz-sum"
+  int n;
+  ModelSet psi;
+  ModelSet mu;
+  std::vector<ArmResult> arms;
+};
+
+void Fail(const std::string& msg) {
+  std::fprintf(stderr, "bench_parallel: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+std::string JsonEscape(const std::string& s) { return s; }  // names are safe
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const double density = 0.15;
+  const int thread_arms[] = {2, 4, 8};
+
+  std::vector<Workload> workloads;
+  for (int n : {16, 18}) {
+    Rng rng(42 + n);
+    ModelSet psi = RandomSet(&rng, n, density);
+    ModelSet mu = RandomSet(&rng, n, density);
+    workloads.push_back({"revesz-max", n, psi, mu, {}});
+    workloads.push_back({"revesz-sum", n, psi, mu, {}});
+  }
+
+  MaxFitting max_fit;
+  SumFitting sum_fit;
+  for (Workload& w : workloads) {
+    const bool is_max = w.op == "revesz-max";
+    ModelSet expected = is_max ? SeedMaxFitting(w.psi, w.mu)
+                               : SeedSumFitting(w.psi, w.mu);
+    auto lib = [&] {
+      return is_max ? max_fit.Change(w.psi, w.mu)
+                    : sum_fit.Change(w.psi, w.mu);
+    };
+
+    w.arms.push_back(TimeArm("seed_serial", 1, [&] {
+      ModelSet r = is_max ? SeedMaxFitting(w.psi, w.mu)
+                          : SeedSumFitting(w.psi, w.mu);
+      if (r != expected) Fail("seed arm nondeterministic");
+    }));
+
+    ThreadPool::Instance().SetNumThreads(1);
+    if (lib() != expected) Fail(w.op + ": pruned_serial result mismatch");
+    w.arms.push_back(TimeArm("pruned_serial", 1, lib));
+
+    for (int t : thread_arms) {
+      ThreadPool::Instance().SetNumThreads(t);
+      if (lib() != expected) {
+        Fail(w.op + ": parallel result mismatch at " + std::to_string(t) +
+             " threads");
+      }
+      w.arms.push_back(
+          TimeArm("parallel_" + std::to_string(t), t, lib));
+    }
+    ThreadPool::Instance().SetNumThreads(0);
+
+    std::printf("%-10s n=%d  |psi|=%zu |mu|=%zu\n", w.op.c_str(), w.n,
+                w.psi.size(), w.mu.size());
+    const double seed_ns = w.arms.front().ns_per_call;
+    for (const ArmResult& a : w.arms) {
+      std::printf("  %-14s %12.0f ns/call  (%.2fx vs seed, reps=%d)\n",
+                  a.arm.c_str(), a.ns_per_call, seed_ns / a.ns_per_call,
+                  a.reps);
+    }
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) Fail("cannot open " + out_path);
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_parallel\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n", hw);
+  std::fprintf(f, "  \"density\": %.2f,\n  \"workloads\": [\n", density);
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const Workload& w = workloads[i];
+    std::fprintf(f,
+                 "    {\"operator\": \"%s\", \"num_terms\": %d, "
+                 "\"psi_models\": %zu, \"mu_models\": %zu, \"arms\": [\n",
+                 JsonEscape(w.op).c_str(), w.n, w.psi.size(), w.mu.size());
+    const double seed_ns = w.arms.front().ns_per_call;
+    for (size_t j = 0; j < w.arms.size(); ++j) {
+      const ArmResult& a = w.arms[j];
+      std::fprintf(f,
+                   "      {\"arm\": \"%s\", \"threads\": %d, "
+                   "\"ns_per_call\": %.0f, \"reps\": %d, "
+                   "\"speedup_vs_seed\": %.3f}%s\n",
+                   a.arm.c_str(), a.threads, a.ns_per_call, a.reps,
+                   seed_ns / a.ns_per_call,
+                   j + 1 < w.arms.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < workloads.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,22 +1,54 @@
 #include "change/fitting.h"
 
+#include <array>
+#include <memory>
+#include <mutex>
+
 #include "model/distance.h"
 #include "model/preorder.h"
 
 namespace arbiter {
 
+namespace {
+
+/// ModelSet::Full(n) materializes all 2^n masks; arbitration calls it
+/// on every Change.  Cache one immutable copy per vocabulary size
+/// (built once, then shared — safe to read concurrently).
+const ModelSet& CachedFullUniverse(int num_terms) {
+  static std::array<std::once_flag, kMaxEnumTerms + 1> flags;
+  static std::array<std::unique_ptr<const ModelSet>, kMaxEnumTerms + 1> sets;
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxEnumTerms);
+  std::call_once(flags[num_terms], [num_terms] {
+    sets[num_terms] =
+        std::make_unique<const ModelSet>(ModelSet::Full(num_terms));
+  });
+  return *sets[num_terms];
+}
+
+}  // namespace
+
 ModelSet MaxFitting::Change(const ModelSet& psi, const ModelSet& mu) const {
   ARBITER_CHECK(psi.num_terms() == mu.num_terms());
   if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
-  return MinByInt(mu, [&psi](uint64_t i) {
-    return static_cast<int64_t>(OverallDist(psi, i));
-  });
+  // odist never exceeds the diameter, so clamping the prune bound to
+  // diameter + 1 keeps the kernel's exact-below-bound contract intact.
+  const int64_t diameter_bound = psi.num_terms() + 1;
+  return MinByIntBounded(
+      mu, [&psi, diameter_bound](uint64_t i, int64_t bound) -> int64_t {
+        const int b =
+            static_cast<int>(bound < diameter_bound ? bound : diameter_bound);
+        return OverallDistBounded(psi, i, b);
+      });
 }
 
 ModelSet SumFitting::Change(const ModelSet& psi, const ModelSet& mu) const {
   ARBITER_CHECK(psi.num_terms() == mu.num_terms());
   if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
-  return MinByInt(mu, [&psi](uint64_t i) { return SumDist(psi, i); });
+  // Column-count oracle: O(n) exact sdist per candidate, so the argmin
+  // is linear in |Mod(μ)| + |Mod(ψ)| and pruning is moot.
+  const SumDistOracle sdist(psi);
+  return MinByIntBounded(
+      mu, [&sdist](uint64_t i, int64_t /*bound*/) { return sdist(i); });
 }
 
 ArbitrationOperator::ArbitrationOperator(
@@ -29,7 +61,7 @@ ModelSet ArbitrationOperator::Change(const ModelSet& psi,
                                      const ModelSet& phi) const {
   ARBITER_CHECK(psi.num_terms() == phi.num_terms());
   ModelSet combined = psi.Union(phi);
-  return fitting_->Change(combined, ModelSet::Full(psi.num_terms()));
+  return fitting_->Change(combined, CachedFullUniverse(psi.num_terms()));
 }
 
 ModelSet LexFitting::Change(const ModelSet& psi, const ModelSet& mu) const {

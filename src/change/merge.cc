@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "model/distance.h"
+#include "model/preorder.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace arbiter {
 
@@ -39,45 +41,61 @@ ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
 
   switch (aggregate) {
     case MergeAggregate::kSum: {
-      int64_t best = -1;
-      std::vector<uint64_t> out;
-      for (uint64_t i : mu) {
+      // Σ of per-source Dalal distances, pruned against the incumbent
+      // and parallelized through the shared argmin engine.
+      return MinByIntBounded(mu, [&live](uint64_t i, int64_t bound) {
         int64_t total = 0;
-        for (const ModelSet* s : live) total += MinDist(*s, i);
-        if (best < 0 || total < best) {
-          best = total;
-          out.clear();
+        for (const ModelSet* s : live) {
+          total += MinDist(*s, i);
+          if (total >= bound) break;
         }
-        if (total == best) out.push_back(i);
-      }
-      return ModelSet::FromMasks(std::move(out), n);
+        return total;
+      });
     }
     case MergeAggregate::kMax: {
-      int best = -1;
-      std::vector<uint64_t> out;
-      for (uint64_t i : mu) {
-        int worst = 0;
-        for (const ModelSet* s : live) worst = std::max(worst, MinDist(*s, i));
-        if (best < 0 || worst < best) {
-          best = worst;
-          out.clear();
+      return MinByIntBounded(mu, [&live](uint64_t i, int64_t bound) {
+        int64_t worst = 0;
+        for (const ModelSet* s : live) {
+          worst = std::max<int64_t>(worst, MinDist(*s, i));
+          if (worst >= bound) break;
         }
-        if (worst == best) out.push_back(i);
-      }
-      return ModelSet::FromMasks(std::move(out), n);
+        return worst;
+      });
     }
     case MergeAggregate::kGMax: {
+      // Lexicographic rank vectors don't fit the integer argmin engine;
+      // chunk the candidates, keep a per-chunk incumbent + ties, and
+      // fold the chunk results in chunk order (deterministic at any
+      // thread count because the vector order is total).
+      constexpr uint64_t kGrain = 512;
+      struct ChunkBest {
+        std::vector<int> best;
+        std::vector<uint64_t> ties;
+      };
+      const uint64_t size = mu.size();
+      std::vector<ChunkBest> parts(ParallelForNumChunks(0, size, kGrain));
+      ParallelFor(0, size, kGrain, [&](uint64_t lo, uint64_t hi) {
+        ChunkBest& cb = parts[lo / kGrain];
+        for (uint64_t idx = lo; idx < hi; ++idx) {
+          std::vector<int> d = dist_vector(mu[idx]);
+          std::sort(d.begin(), d.end(), std::greater<int>());
+          if (cb.ties.empty() || d < cb.best) {
+            cb.best = std::move(d);
+            cb.ties.assign(1, mu[idx]);
+          } else if (d == cb.best) {
+            cb.ties.push_back(mu[idx]);
+          }
+        }
+      });
       std::vector<int> best;
       std::vector<uint64_t> out;
-      for (uint64_t i : mu) {
-        std::vector<int> d = dist_vector(i);
-        std::sort(d.begin(), d.end(), std::greater<int>());
-        if (out.empty() || d < best) {
-          best = d;
-          out.clear();
-          out.push_back(i);
-        } else if (d == best) {
-          out.push_back(i);
+      for (ChunkBest& cb : parts) {
+        if (cb.ties.empty()) continue;
+        if (out.empty() || cb.best < best) {
+          best = std::move(cb.best);
+          out = std::move(cb.ties);
+        } else if (cb.best == best) {
+          out.insert(out.end(), cb.ties.begin(), cb.ties.end());
         }
       }
       return ModelSet::FromMasks(std::move(out), n);

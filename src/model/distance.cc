@@ -1,8 +1,10 @@
 #include "model/distance.h"
 
 #include <algorithm>
+#include <array>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace arbiter {
 
@@ -18,9 +20,23 @@ int MinDist(const ModelSet& psi, uint64_t interpretation) {
 
 int OverallDist(const ModelSet& psi, uint64_t interpretation) {
   ARBITER_CHECK_MSG(!psi.empty(), "OverallDist over empty model set");
+  const int diameter = psi.num_terms();
   int worst = -1;
   for (uint64_t j : psi) {
     worst = std::max(worst, Dist(interpretation, j));
+    if (worst == diameter) break;  // nothing can be farther
+  }
+  return worst;
+}
+
+int OverallDistBounded(const ModelSet& psi, uint64_t interpretation,
+                       int bound) {
+  ARBITER_CHECK_MSG(!psi.empty(), "OverallDist over empty model set");
+  const int diameter = psi.num_terms();
+  int worst = -1;
+  for (uint64_t j : psi) {
+    worst = std::max(worst, Dist(interpretation, j));
+    if (worst >= bound || worst == diameter) break;
   }
   return worst;
 }
@@ -31,6 +47,38 @@ int64_t SumDist(const ModelSet& psi, uint64_t interpretation) {
     total += Dist(interpretation, j);
   }
   return total;
+}
+
+int64_t SumDistBounded(const ModelSet& psi, uint64_t interpretation,
+                       int64_t bound) {
+  int64_t total = 0;
+  for (uint64_t j : psi) {
+    total += Dist(interpretation, j);
+    if (total >= bound) break;
+  }
+  return total;
+}
+
+SumDistOracle::SumDistOracle(const ModelSet& psi)
+    : num_terms_(psi.num_terms()),
+      size_(static_cast<int64_t>(psi.size())) {
+  using Counts = std::array<int64_t, kMaxEnumTerms>;
+  constexpr uint64_t kGrain = 4096;
+  const Counts counts = ParallelReduce<Counts>(
+      0, psi.size(), kGrain, Counts{},
+      [&psi, n = num_terms_](uint64_t lo, uint64_t hi) {
+        Counts part{};
+        for (uint64_t idx = lo; idx < hi; ++idx) {
+          const uint64_t j = psi[idx];
+          for (int b = 0; b < n; ++b) part[b] += (j >> b) & 1;
+        }
+        return part;
+      },
+      [](Counts acc, const Counts& part) {
+        for (size_t b = 0; b < acc.size(); ++b) acc[b] += part[b];
+        return acc;
+      });
+  for (int b = 0; b < num_terms_; ++b) ones_[b] = counts[b];
 }
 
 }  // namespace arbiter

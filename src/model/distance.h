@@ -25,10 +25,58 @@ inline int Dist(uint64_t a, uint64_t b) { return PopCount(a ^ b); }
 int MinDist(const ModelSet& psi, uint64_t interpretation);
 
 /// odist(ψ, I) = max_{J ∈ Mod(ψ)} dist(I, J).  Requires psi nonempty.
+/// Saturates early once the max reaches the diameter num_terms.
 int OverallDist(const ModelSet& psi, uint64_t interpretation);
 
 /// Σ_{J ∈ Mod(ψ)} dist(I, J): wdist with unit weights.
 int64_t SumDist(const ModelSet& psi, uint64_t interpretation);
+
+/// Branch-and-bound variants for argmin scans: once the running
+/// aggregate meets/exceeds `bound`, the candidate can no longer beat an
+/// incumbent minimum of `bound - 1`, so the scan aborts.  Contract:
+/// the returned value equals the exact aggregate whenever it is
+/// < `bound`; otherwise it is some value >= `bound` (a certificate
+/// that the exact aggregate is too).  Aggregates are monotone
+/// nondecreasing in the scan, which is what makes the abort sound.
+
+/// Bounded odist.  Also saturates at the diameter.  Requires psi
+/// nonempty.
+int OverallDistBounded(const ModelSet& psi, uint64_t interpretation,
+                       int bound);
+
+/// Bounded Σ-dist.
+int64_t SumDistBounded(const ModelSet& psi, uint64_t interpretation,
+                       int64_t bound);
+
+/// Closed-form Σ-dist: sdist decomposes over bit columns,
+///
+///   sdist(ψ, I) = Σ_b  (I_b = 1 ?  |Mod(ψ)| - ones_b  :  ones_b)
+///
+/// where ones_b counts the models of ψ with bit b set.  One O(|Mod(ψ)|
+/// · n) pass precomputes the column counts; every query is then O(n)
+/// instead of O(|Mod(ψ)|) and returns the exact same integer as
+/// SumDist.  This is what makes Σ-fitting linear in |Mod(μ)| + |Mod(ψ)|
+/// rather than their product.
+class SumDistOracle {
+ public:
+  /// Builds the column counts (parallelized over Mod(ψ)).
+  explicit SumDistOracle(const ModelSet& psi);
+
+  /// sdist(ψ, I), exactly as SumDist would return it.
+  int64_t operator()(uint64_t interpretation) const {
+    int64_t total = 0;
+    for (int b = 0; b < num_terms_; ++b) {
+      const int64_t ones = ones_[b];
+      total += ((interpretation >> b) & 1) != 0 ? size_ - ones : ones;
+    }
+    return total;
+  }
+
+ private:
+  int num_terms_;
+  int64_t size_;
+  int64_t ones_[kMaxEnumTerms] = {};
+};
 
 }  // namespace arbiter
 

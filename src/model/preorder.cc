@@ -1,15 +1,37 @@
 #include "model/preorder.h"
 
+#include <atomic>
+#include <limits>
+
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace arbiter {
+
+namespace {
+
+/// Sentinel "no incumbent yet"; doubles as the first prune bound.
+constexpr int64_t kNoBound = std::numeric_limits<int64_t>::max();
+
+/// Candidates per chunk for argmin scans.  Rank evaluations are
+/// O(|Mod(ψ)|) each, so even modest chunks amortize pool overhead;
+/// anything at or below one chunk runs inline on the calling thread.
+constexpr uint64_t kArgminGrain = 512;
+
+/// Interpretations per chunk when materializing rank tables.
+constexpr uint64_t kRankTableGrain = 2048;
+
+}  // namespace
 
 TotalPreorder::TotalPreorder(int num_terms, const RankFn& rank)
     : num_terms_(num_terms) {
   ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxEnumTerms);
   const uint64_t space = 1ULL << num_terms;
   ranks_.resize(space);
-  for (uint64_t i = 0; i < space; ++i) ranks_[i] = rank(i);
+  double* out = ranks_.data();
+  ParallelFor(0, space, kRankTableGrain, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) out[i] = rank(i);
+  });
 }
 
 ModelSet TotalPreorder::MinOf(const ModelSet& s) const {
@@ -43,20 +65,78 @@ ModelSet MinBy(const ModelSet& s, const RankFn& rank) {
 
 ModelSet MinByInt(const ModelSet& s,
                   const std::function<int64_t(uint64_t)>& rank) {
+  return MinByIntBounded(
+      s, [&rank](uint64_t m, int64_t /*bound*/) { return rank(m); });
+}
+
+ModelSet MinByIntBounded(const ModelSet& s, const BoundedRankFn& rank) {
   if (s.empty()) return ModelSet(s.num_terms());
-  int64_t best = rank(s[0]);
-  std::vector<int64_t> ranks;
-  ranks.reserve(s.size());
-  for (uint64_t m : s) {
-    int64_t r = rank(m);
-    ranks.push_back(r);
-    best = std::min(best, r);
+  const uint64_t size = s.size();
+
+  if (size <= kArgminGrain || ThreadPool::Instance().num_threads() <= 1) {
+    // Serial single pass with pruning.  bound = best + 1 keeps ties:
+    // an abort certifies rank > best, never rank == best.
+    int64_t best = kNoBound;
+    std::vector<uint64_t> ties;
+    for (uint64_t m : s) {
+      const int64_t bound = best == kNoBound ? kNoBound : best + 1;
+      const int64_t r = rank(m, bound);
+      if (r >= bound) continue;  // pruned: exact rank > best
+      if (r < best) {
+        best = r;
+        ties.clear();
+      }
+      if (r == best) ties.push_back(m);
+    }
+    return ModelSet::FromMasks(std::move(ties), s.num_terms());
   }
-  std::vector<uint64_t> out;
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (ranks[i] == best) out.push_back(s[i]);
+
+  // Single parallel pass: each chunk tracks its own exact (best, ties)
+  // while pruning at bound = min(chunk best, shared incumbent) + 1.
+  // Both terms of that floor are >= the final minimum at all times, so
+  // a pruned element has exact rank > final minimum and can never be a
+  // tie; conversely every element whose rank equals the final minimum
+  // sees bound > rank, is computed exactly, and is recorded by its
+  // chunk.  Chunk tie lists therefore depend only on exact ranks,
+  // never on scheduling, and concatenating the lists of chunks whose
+  // best equals the global minimum — in chunk order — reproduces the
+  // serial scan bit for bit.
+  const uint64_t num_chunks = ParallelForNumChunks(0, size, kArgminGrain);
+  std::vector<int64_t> chunk_best(num_chunks, kNoBound);
+  std::vector<std::vector<uint64_t>> chunk_ties(num_chunks);
+  std::atomic<int64_t> shared{kNoBound};
+  ParallelFor(0, size, kArgminGrain, [&](uint64_t lo, uint64_t hi) {
+    const uint64_t c = lo / kArgminGrain;
+    int64_t local = kNoBound;  // exact best among this chunk's elements
+    std::vector<uint64_t>& ties = chunk_ties[c];
+    for (uint64_t idx = lo; idx < hi; ++idx) {
+      const int64_t floor =
+          std::min(local, shared.load(std::memory_order_relaxed));
+      const int64_t bound = floor == kNoBound ? kNoBound : floor + 1;
+      const int64_t r = rank(s[idx], bound);
+      if (r >= bound) continue;  // exact rank > floor >= final minimum
+      if (r < local) {
+        local = r;
+        ties.clear();
+        int64_t cur = shared.load(std::memory_order_relaxed);
+        while (r < cur &&
+               !shared.compare_exchange_weak(cur, r,
+                                             std::memory_order_relaxed)) {
+        }
+      }
+      if (r == local) ties.push_back(s[idx]);
+    }
+    chunk_best[c] = local;
+  });
+  int64_t min_rank = kNoBound;
+  for (int64_t b : chunk_best) min_rank = std::min(min_rank, b);
+  std::vector<uint64_t> ties;
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    if (chunk_best[c] == min_rank) {
+      ties.insert(ties.end(), chunk_ties[c].begin(), chunk_ties[c].end());
+    }
   }
-  return ModelSet::FromMasks(std::move(out), s.num_terms());
+  return ModelSet::FromMasks(std::move(ties), s.num_terms());
 }
 
 }  // namespace arbiter

@@ -26,6 +26,10 @@ using RankFn = std::function<double(uint64_t)>;
 class TotalPreorder {
  public:
   /// Materializes rank(I) for all I over n terms (n <= kMaxEnumTerms).
+  /// Large spaces are filled through the thread pool, so `rank` must be
+  /// safe to call concurrently (all assignments in this library are
+  /// pure reads).  The materialized ranks are identical at any thread
+  /// count: each slot is written exactly once from its own index.
   TotalPreorder(int num_terms, const RankFn& rank);
 
   int num_terms() const { return num_terms_; }
@@ -51,8 +55,28 @@ class TotalPreorder {
 ModelSet MinBy(const ModelSet& s, const RankFn& rank);
 
 /// Integer-rank variant to avoid double rounding for distance ranks.
+/// Runs on the thread pool for large candidate sets, so `rank` must be
+/// safe to call concurrently.  Results are bit-identical to the serial
+/// scan at any thread count.
 ModelSet MinByInt(const ModelSet& s,
                   const std::function<int64_t(uint64_t)>& rank);
+
+/// A rank function that may prune: rank(I, bound) must return the
+/// exact rank of I whenever that rank is < bound, and may return any
+/// value >= bound otherwise (aborting its scan early).  Ranks must be
+/// < INT64_MAX.  The bounded distance kernels in distance.h satisfy
+/// this contract directly.
+using BoundedRankFn = std::function<int64_t(uint64_t, int64_t)>;
+
+/// Pruned (and, for large candidate sets, parallel) argmin:
+/// Min(S, rank) where candidates are scored against a running
+/// incumbent so hopeless candidates abort early (branch-and-bound).
+/// Workers share the incumbent through an atomic, but a candidate is
+/// only ever pruned when its exact rank provably exceeds the final
+/// minimum, so the result — including ties, in sorted order — is
+/// bit-identical to the serial scan at any thread count.  `rank` must
+/// be safe to call concurrently.
+ModelSet MinByIntBounded(const ModelSet& s, const BoundedRankFn& rank);
 
 }  // namespace arbiter
 

@@ -2,6 +2,7 @@
 
 #include "util/bit.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace arbiter {
@@ -49,7 +50,11 @@ PostulateChecker::PostulateChecker(
   space_ = 1ULL << num_terms_;
   num_codes_ = space_ >= 32 ? 0 : (1ULL << space_);
   if (num_terms_ <= 3) {
-    flat_cache_.assign(num_codes_ * num_codes_, kUnusedCode);
+    const uint64_t slots = num_codes_ * num_codes_;
+    flat_cache_ = std::make_unique<std::atomic<SetCode>[]>(slots);
+    for (uint64_t i = 0; i < slots; ++i) {
+      flat_cache_[i].store(kUnusedCode, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -62,21 +67,25 @@ ModelSet PostulateChecker::CodeToModelSet(SetCode code) const {
 }
 
 SetCode PostulateChecker::Change(SetCode psi, SetCode mu) {
-  if (!flat_cache_.empty()) {
-    SetCode& slot = flat_cache_[psi * num_codes_ + mu];
-    if (slot == kUnusedCode) {
-      ++num_change_calls_;
-      ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(mu));
-      SetCode out = 0;
-      for (uint64_t m : result) out |= SetCode{1} << m;
-      slot = out;
-    }
-    return slot;
+  if (flat_cache_) {
+    // Lock-free memo: a result code fits in space_ <= 8 bits, so it can
+    // never collide with the kUnusedCode sentinel.  Racing workers may
+    // both compute a miss; the operator is deterministic, so both
+    // stores write the same value.
+    std::atomic<SetCode>& slot = flat_cache_[psi * num_codes_ + mu];
+    SetCode cached = slot.load(std::memory_order_relaxed);
+    if (cached != kUnusedCode) return cached;
+    num_change_calls_.fetch_add(1, std::memory_order_relaxed);
+    ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(mu));
+    SetCode out = 0;
+    for (uint64_t m : result) out |= SetCode{1} << m;
+    slot.store(out, std::memory_order_relaxed);
+    return out;
   }
   auto key = std::make_pair(psi, mu);
   auto it = map_cache_.find(key);
   if (it != map_cache_.end()) return it->second;
-  ++num_change_calls_;
+  num_change_calls_.fetch_add(1, std::memory_order_relaxed);
   ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(mu));
   SetCode out = 0;
   for (uint64_t m : result) out |= SetCode{1} << m;
@@ -182,53 +191,78 @@ std::optional<PostulateCounterexample> PostulateChecker::CheckExhaustive(
   ARBITER_CHECK_MSG(num_terms_ <= 3,
                     "exhaustive checking supported for num_terms <= 3");
   const uint64_t n = num_codes_;
+  const Shape shape = ShapeOf(p);
   auto make_cex = [&](SetCode a, SetCode b, SetCode c, SetCode d,
                       SetCode e) {
     return PostulateCounterexample{p, num_terms_, a, b, c, d, e};
   };
-  switch (ShapeOf(p)) {
-    case Shape::kPsiMu:
-      for (SetCode psi = 0; psi < n; ++psi) {
+  // Scans every tuple with outer code `a`, in the serial scan order;
+  // returns the first violation within the slice.
+  auto scan_slice =
+      [&](SetCode a) -> std::optional<PostulateCounterexample> {
+    switch (shape) {
+      case Shape::kPsiMu:
         for (SetCode mu = 0; mu < n; ++mu) {
-          if (!Holds(p, psi, kUnusedCode, mu, kUnusedCode, kUnusedCode)) {
-            return make_cex(psi, kUnusedCode, mu, kUnusedCode, kUnusedCode);
+          if (!Holds(p, a, kUnusedCode, mu, kUnusedCode, kUnusedCode)) {
+            return make_cex(a, kUnusedCode, mu, kUnusedCode, kUnusedCode);
           }
         }
-      }
-      break;
-    case Shape::kPsiMuPhi:
-      for (SetCode psi = 0; psi < n; ++psi) {
+        break;
+      case Shape::kPsiMuPhi:
         for (SetCode mu = 0; mu < n; ++mu) {
           for (SetCode phi = 0; phi < n; ++phi) {
-            if (!Holds(p, psi, kUnusedCode, mu, kUnusedCode, phi)) {
-              return make_cex(psi, kUnusedCode, mu, kUnusedCode, phi);
+            if (!Holds(p, a, kUnusedCode, mu, kUnusedCode, phi)) {
+              return make_cex(a, kUnusedCode, mu, kUnusedCode, phi);
             }
           }
         }
-      }
-      break;
-    case Shape::kPsiMu1Mu2:
-      for (SetCode psi = 0; psi < n; ++psi) {
+        break;
+      case Shape::kPsiMu1Mu2:
         for (SetCode mu1 = 0; mu1 < n; ++mu1) {
           for (SetCode mu2 = 0; mu2 < n; ++mu2) {
-            if (!Holds(p, psi, kUnusedCode, mu1, mu2, kUnusedCode)) {
-              return make_cex(psi, kUnusedCode, mu1, mu2, kUnusedCode);
+            if (!Holds(p, a, kUnusedCode, mu1, mu2, kUnusedCode)) {
+              return make_cex(a, kUnusedCode, mu1, mu2, kUnusedCode);
             }
           }
         }
-      }
-      break;
-    case Shape::kPsi1Psi2Mu:
-      for (SetCode psi1 = 0; psi1 < n; ++psi1) {
+        break;
+      case Shape::kPsi1Psi2Mu:
         for (SetCode psi2 = 0; psi2 < n; ++psi2) {
           for (SetCode mu = 0; mu < n; ++mu) {
-            if (!Holds(p, psi1, psi2, mu, kUnusedCode, kUnusedCode)) {
-              return make_cex(psi1, psi2, mu, kUnusedCode, kUnusedCode);
+            if (!Holds(p, a, psi2, mu, kUnusedCode, kUnusedCode)) {
+              return make_cex(a, psi2, mu, kUnusedCode, kUnusedCode);
             }
           }
         }
+        break;
+    }
+    return std::nullopt;
+  };
+  // Parallelize over outer-code slices.  Each worker records the first
+  // violation of each slice it owns; slices beyond an already-violating
+  // slice are skipped (pure speedup — the merged report is the first
+  // violation in slice order either way).  Only the n = 256 universe
+  // (three terms) is worth fanning out; smaller universes stay serial
+  // via the single-chunk fast path.
+  const uint64_t grain = n >= 256 ? 4 : n;
+  std::vector<std::optional<PostulateCounterexample>> found(n);
+  std::atomic<uint64_t> first_hit{n};
+  ParallelFor(0, n, grain, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t a = lo; a < hi; ++a) {
+      if (first_hit.load(std::memory_order_relaxed) < a) return;
+      std::optional<PostulateCounterexample> cex = scan_slice(a);
+      if (cex.has_value()) {
+        found[a] = std::move(cex);
+        uint64_t cur = first_hit.load(std::memory_order_relaxed);
+        while (a < cur && !first_hit.compare_exchange_weak(
+                              cur, a, std::memory_order_relaxed)) {
+        }
+        return;
       }
-      break;
+    }
+  });
+  for (uint64_t a = 0; a < n; ++a) {
+    if (found[a].has_value()) return found[a];
   }
   return std::nullopt;
 }

@@ -2,6 +2,7 @@
 #define ARBITER_POSTULATES_CHECKER_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -69,7 +70,11 @@ class PostulateChecker {
   const TheoryChangeOperator& op() const { return *op_; }
 
   /// Exhaustively checks one postulate over every knowledge-base tuple.
-  /// Returns the first counterexample, or nullopt if the postulate holds.
+  /// Returns the first counterexample (in ψ-major scan order), or
+  /// nullopt if the postulate holds.  The sweep over the outer ψ
+  /// universe runs on the thread pool; per-worker counterexamples are
+  /// merged in scan order, so the report is identical at any thread
+  /// count.
   std::optional<PostulateCounterexample> CheckExhaustive(Postulate p);
 
   /// Randomized check: `num_samples` tuples of set codes drawn
@@ -84,12 +89,16 @@ class PostulateChecker {
   /// Mod(code) as a ModelSet, for diagnostics.
   ModelSet CodeToModelSet(SetCode code) const;
 
-  /// Number of Change invocations so far (cache misses).
-  uint64_t num_change_calls() const { return num_change_calls_; }
+  /// Number of Change invocations so far (cache misses; concurrent
+  /// sweeps may recompute a slot they raced on, which counts twice).
+  uint64_t num_change_calls() const {
+    return num_change_calls_.load(std::memory_order_relaxed);
+  }
 
  private:
   SetCode Change(SetCode psi, SetCode mu);
   /// Evaluates postulate `p` on one tuple; returns false on violation.
+  /// Thread-safe on the flat-cache path (num_terms <= 3).
   bool Holds(Postulate p, SetCode psi1, SetCode psi2, SetCode mu1,
              SetCode mu2, SetCode phi);
 
@@ -98,10 +107,13 @@ class PostulateChecker {
   uint64_t space_;      // 2^num_terms
   uint64_t num_codes_;  // 2^space (only meaningful when space <= 32)
   /// Flat pair-indexed memo (num_terms <= 3); kUnusedCode = not cached.
-  std::vector<SetCode> flat_cache_;
-  /// Fallback memo for sampled checking on larger vocabularies.
+  /// Atomic slots: racing workers may both compute a miss, but the
+  /// operator is deterministic so every store writes the same value.
+  std::unique_ptr<std::atomic<SetCode>[]> flat_cache_;
+  /// Fallback memo for sampled checking on larger vocabularies
+  /// (sampled checks stay serial).
   std::map<std::pair<SetCode, SetCode>, SetCode> map_cache_;
-  uint64_t num_change_calls_ = 0;
+  std::atomic<uint64_t> num_change_calls_{0};
 };
 
 /// Convenience: true iff the operator satisfies every postulate in

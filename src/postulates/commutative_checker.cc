@@ -1,6 +1,7 @@
 #include "postulates/commutative_checker.h"
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace arbiter {
 
@@ -84,7 +85,11 @@ CommutativeChecker::CommutativeChecker(
   ARBITER_CHECK(num_terms >= 1 && num_terms <= 3);
   space_ = 1ULL << num_terms_;
   num_codes_ = 1ULL << space_;
-  cache_.assign(num_codes_ * num_codes_, kUnusedCode);
+  const uint64_t slots = num_codes_ * num_codes_;
+  cache_ = std::make_unique<std::atomic<SetCode>[]>(slots);
+  for (uint64_t i = 0; i < slots; ++i) {
+    cache_[i].store(kUnusedCode, std::memory_order_relaxed);
+  }
 }
 
 ModelSet CommutativeChecker::CodeToModelSet(SetCode code) const {
@@ -96,14 +101,14 @@ ModelSet CommutativeChecker::CodeToModelSet(SetCode code) const {
 }
 
 SetCode CommutativeChecker::Change(SetCode psi, SetCode phi) {
-  SetCode& slot = cache_[psi * num_codes_ + phi];
-  if (slot == kUnusedCode) {
-    ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(phi));
-    SetCode out = 0;
-    for (uint64_t m : result) out |= SetCode{1} << m;
-    slot = out;
-  }
-  return slot;
+  std::atomic<SetCode>& slot = cache_[psi * num_codes_ + phi];
+  SetCode cached = slot.load(std::memory_order_relaxed);
+  if (cached != kUnusedCode) return cached;
+  ModelSet result = op_->Change(CodeToModelSet(psi), CodeToModelSet(phi));
+  SetCode out = 0;
+  for (uint64_t m : result) out |= SetCode{1} << m;
+  slot.store(out, std::memory_order_relaxed);
+  return out;
 }
 
 std::optional<CommutativeCounterexample> CommutativeChecker::CheckExhaustive(
@@ -113,7 +118,9 @@ std::optional<CommutativeCounterexample> CommutativeChecker::CheckExhaustive(
     return CommutativeCounterexample{p, num_terms_, psi, phi1, phi2};
   };
   const uint64_t n = num_codes_;
-  for (SetCode psi = 0; psi < n; ++psi) {
+  // One slice = all tuples for one psi, scanned in serial order.
+  auto scan_slice =
+      [&](SetCode psi) -> std::optional<CommutativeCounterexample> {
     for (SetCode phi = 0; phi < n; ++phi) {
       switch (p) {
         case CommutativePostulate::kC1:
@@ -170,6 +177,29 @@ std::optional<CommutativeCounterexample> CommutativeChecker::CheckExhaustive(
         }
       }
     }
+    return std::nullopt;
+  };
+  // Parallel sweep over psi slices with deterministic first-in-order
+  // merging (same scheme as PostulateChecker::CheckExhaustive).
+  const uint64_t grain = n >= 256 ? 4 : n;
+  std::vector<std::optional<CommutativeCounterexample>> found(n);
+  std::atomic<uint64_t> first_hit{n};
+  ParallelFor(0, n, grain, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t psi = lo; psi < hi; ++psi) {
+      if (first_hit.load(std::memory_order_relaxed) < psi) return;
+      std::optional<CommutativeCounterexample> hit = scan_slice(psi);
+      if (hit.has_value()) {
+        found[psi] = std::move(hit);
+        uint64_t cur = first_hit.load(std::memory_order_relaxed);
+        while (psi < cur && !first_hit.compare_exchange_weak(
+                                cur, psi, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+  });
+  for (uint64_t psi = 0; psi < n; ++psi) {
+    if (found[psi].has_value()) return found[psi];
   }
   return std::nullopt;
 }

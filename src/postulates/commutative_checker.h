@@ -1,6 +1,7 @@
 #ifndef ARBITER_POSTULATES_COMMUTATIVE_CHECKER_H_
 #define ARBITER_POSTULATES_COMMUTATIVE_CHECKER_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -54,7 +55,9 @@ struct CommutativeCounterexample {
 };
 
 /// Exhaustive checker over every knowledge-base pair/triple of an
-/// n-term vocabulary (n <= 3), with memoized Change calls.
+/// n-term vocabulary (n <= 3), with memoized Change calls.  The sweep
+/// over the outer ψ universe runs on the thread pool; the first
+/// counterexample in scan order is reported at any thread count.
 class CommutativeChecker {
  public:
   CommutativeChecker(std::shared_ptr<const TheoryChangeOperator> op,
@@ -74,7 +77,8 @@ class CommutativeChecker {
   int num_terms_;
   uint64_t space_;
   uint64_t num_codes_;
-  std::vector<SetCode> cache_;
+  /// Lock-free memo (see PostulateChecker::flat_cache_).
+  std::unique_ptr<std::atomic<SetCode>[]> cache_;
 };
 
 }  // namespace arbiter

@@ -1,8 +1,11 @@
 #include "postulates/weighted_checker.h"
 
+#include <atomic>
+#include <optional>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace arbiter {
@@ -146,8 +149,13 @@ WeightedPostulateChecker::CheckExhaustiveBinary(WeightedPostulate p) {
     return kb;
   };
   const WeightedKnowledgeBase empty(num_terms_);
-  std::string what;
-  for (uint64_t a = 0; a < num_codes; ++a) {
+  // One slice = all tuples with outer code `a`, scanned in serial
+  // order; each worker keeps its own `what` buffer.  Slices run on the
+  // thread pool; the first violation in slice order is reported at any
+  // thread count.
+  auto scan_slice =
+      [&](uint64_t a) -> std::optional<WeightedCounterexample> {
+    std::string what;
     WeightedKnowledgeBase wa = from_code(a);
     for (uint64_t b = 0; b < num_codes; ++b) {
       WeightedKnowledgeBase wb = from_code(b);
@@ -168,6 +176,26 @@ WeightedPostulateChecker::CheckExhaustiveBinary(WeightedPostulate p) {
           break;
       }
     }
+    return std::nullopt;
+  };
+  std::vector<std::optional<WeightedCounterexample>> found(num_codes);
+  std::atomic<uint64_t> first_hit{num_codes};
+  ParallelFor(0, num_codes, 1, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t a = lo; a < hi; ++a) {
+      if (first_hit.load(std::memory_order_relaxed) < a) return;
+      std::optional<WeightedCounterexample> hit = scan_slice(a);
+      if (hit.has_value()) {
+        found[a] = std::move(hit);
+        uint64_t cur = first_hit.load(std::memory_order_relaxed);
+        while (a < cur && !first_hit.compare_exchange_weak(
+                              cur, a, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+  });
+  for (uint64_t a = 0; a < num_codes; ++a) {
+    if (found[a].has_value()) return found[a];
   }
   return std::nullopt;
 }

@@ -1,0 +1,137 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace arbiter {
+
+namespace {
+
+/// Default lane count: ARBITER_THREADS env var (clamped to [1, 512]),
+/// else hardware concurrency, else 1.
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("ARBITER_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) {
+      return static_cast<int>(std::min(parsed, 512L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : num_threads_(DefaultNumThreads()) {
+  StartWorkers();
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::StartWorkers() {
+  shutdown_ = false;
+  const int spawn = num_threads_ - 1;
+  workers_.reserve(spawn > 0 ? spawn : 0);
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ThreadPool::SetNumThreads(int n) {
+  StopWorkers();
+  num_threads_ = n <= 0 ? DefaultNumThreads() : std::min(n, 512);
+  StartWorkers();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      // All idle workers pile onto the front job; exhausted jobs are
+      // dropped (their in-flight chunks finish on the claiming threads).
+      job = queue_.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->num_chunks) {
+        queue_.erase(queue_.begin());
+        continue;
+      }
+    }
+    HelpWith(job);
+  }
+}
+
+void ThreadPool::HelpWith(const std::shared_ptr<Job>& job) {
+  uint64_t chunk;
+  while ((chunk = job->next.fetch_add(1, std::memory_order_relaxed)) <
+         job->num_chunks) {
+    (*job->fn)(chunk);
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_chunks) {
+      // The lock pairs with the waiter's predicate check so the final
+      // notify cannot slip between its check and its wait.
+      { std::lock_guard<std::mutex> lock(job->mu); }
+      job->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunChunks(uint64_t num_chunks,
+                           const std::function<void(uint64_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (num_threads_ <= 1 || num_chunks == 1) {
+    for (uint64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_all();
+  HelpWith(job);
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&job] {
+      return job->done.load(std::memory_order_acquire) == job->num_chunks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    auto it = std::find(queue_.begin(), queue_.end(), job);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+}
+
+void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                 const std::function<void(uint64_t, uint64_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const uint64_t num_chunks = (end - begin + grain - 1) / grain;
+  ThreadPool::Instance().RunChunks(num_chunks, [&](uint64_t chunk) {
+    const uint64_t lo = begin + chunk * grain;
+    const uint64_t hi = std::min(end, lo + grain);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace arbiter

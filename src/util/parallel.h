@@ -1,0 +1,131 @@
+#ifndef ARBITER_UTIL_PARALLEL_H_
+#define ARBITER_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file parallel.h
+/// A small, dependency-free execution layer for the enumeration-heavy
+/// subsystems (model fitting, merging, postulate sweeps).
+///
+/// Design constraints, in order:
+///
+///  1. **Determinism.** Work is always partitioned into the same
+///     grain-sized chunks regardless of thread count; callers keep
+///     per-chunk state and fold chunk results in chunk order.  Every
+///     algorithm built on top (MinByIntBounded, the checkers) is
+///     bit-identical to its serial execution at any thread count.
+///  2. **Zero overhead for tiny inputs.**  A range that fits in one
+///     chunk — or a pool configured with one thread — runs inline on
+///     the calling thread with no allocation, locking, or wakeups, so
+///     unit-test-sized problems keep exact seed-code performance.
+///  3. **Nested-safe.**  The calling thread always participates in its
+///     own job (work claiming is dynamic over the fixed chunk set), so
+///     a worker that issues a nested ParallelFor can never deadlock:
+///     in the worst case it executes all of its own chunks itself.
+///
+/// Thread count: `ARBITER_THREADS` env var if set (clamped to
+/// [1, 512]), else `std::thread::hardware_concurrency()`.  Tests and
+/// benchmarks may override at runtime with `SetNumThreads`.
+
+namespace arbiter {
+
+/// A lazily-started singleton pool of `num_threads() - 1` worker
+/// threads (the calling thread is the remaining lane).
+class ThreadPool {
+ public:
+  /// The process-wide pool.  First call starts the workers.
+  static ThreadPool& Instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured parallelism (worker threads + the calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Reconfigures the pool to `n` lanes; `n <= 0` restores the default
+  /// (ARBITER_THREADS env var, else hardware concurrency).  Must not
+  /// be called while parallel work is in flight.  For tests/benchmarks.
+  void SetNumThreads(int n);
+
+  /// Runs `fn(chunk)` once for every chunk in [0, num_chunks), possibly
+  /// concurrently, and blocks until all chunks completed.  The calling
+  /// thread participates.  `fn` must not throw.
+  void RunChunks(uint64_t num_chunks, const std::function<void(uint64_t)>& fn);
+
+ private:
+  /// One parallel region: a fixed chunk set claimed dynamically.
+  struct Job {
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> done{0};
+    uint64_t num_chunks = 0;
+    const std::function<void(uint64_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  ThreadPool();
+  void StartWorkers();
+  void StopWorkers();
+  void WorkerLoop();
+  /// Claims and executes chunks of `job` until none remain.
+  void HelpWith(const std::shared_ptr<Job>& job);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<std::shared_ptr<Job>> queue_;  // jobs with unclaimed chunks
+  bool shutdown_ = false;
+};
+
+/// Chunked parallel-for over [begin, end): partitions the range into
+/// grain-sized chunks (the last may be short) and invokes
+/// `fn(chunk_begin, chunk_end)` exactly once per chunk.  The chunk
+/// decomposition depends only on (begin, end, grain) — never on the
+/// thread count — so `(chunk_begin - begin) / grain` is a stable chunk
+/// index for per-chunk output slots.  `fn` must be thread-safe and must
+/// not throw.  Runs inline when the range fits in one chunk or the
+/// pool has a single thread.
+void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                 const std::function<void(uint64_t, uint64_t)>& fn);
+
+/// Number of chunks ParallelFor would use (for sizing per-chunk slots).
+inline uint64_t ParallelForNumChunks(uint64_t begin, uint64_t end,
+                                     uint64_t grain) {
+  if (begin >= end) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+/// Deterministic chunked reduction: maps each grain-sized chunk of
+/// [begin, end) to a T via `map(chunk_begin, chunk_end)`, then folds
+/// the chunk values **in chunk order** with `combine(acc, value)`.
+/// The fold order is independent of the thread count, so non-
+/// commutative / non-associative-in-floating-point combines are still
+/// reproducible.  `map` must be thread-safe.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(uint64_t begin, uint64_t end, uint64_t grain, T identity,
+                 const MapFn& map, const CombineFn& combine) {
+  const uint64_t num_chunks = ParallelForNumChunks(begin, end, grain);
+  if (num_chunks == 0) return identity;
+  if (grain == 0) grain = 1;
+  std::vector<T> parts(num_chunks, identity);
+  ParallelFor(begin, end, grain, [&](uint64_t lo, uint64_t hi) {
+    parts[(lo - begin) / grain] = map(lo, hi);
+  });
+  T acc = identity;
+  for (const T& part : parts) acc = combine(acc, part);
+  return acc;
+}
+
+}  // namespace arbiter
+
+#endif  // ARBITER_UTIL_PARALLEL_H_

@@ -1,0 +1,428 @@
+// Parallel-vs-serial equivalence property tests for the thread-pool
+// execution layer: for random formulas/model sets and thread counts
+// {1, 2, 7}, every fitting/merge operator must return a bit-identical
+// ModelSet and every postulate checker must report identical verdicts
+// and counterexamples.  Also pins the bounded-kernel contract and the
+// ParallelFor/ParallelReduce primitives.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "change/fitting.h"
+#include "change/merge.h"
+#include "change/revision.h"
+#include "change/weighted.h"
+#include "kb/weighted_kb.h"
+#include "model/distance.h"
+#include "model/preorder.h"
+#include "postulates/checker.h"
+#include "postulates/commutative_checker.h"
+#include "postulates/weighted_checker.h"
+#include "util/bit.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace arbiter {
+namespace {
+
+// Thread counts exercised by every equivalence test: serial, the
+// smallest parallel pool, and an odd count that misaligns with chunk
+// boundaries.
+const int kThreadCounts[] = {1, 2, 7};
+
+// Restores the default pool size when a test exits.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { ThreadPool::Instance().SetNumThreads(0); }
+};
+
+ModelSet RandomSet(Rng* rng, int n, double density) {
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng->NextBool(density)) masks.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(masks), n);
+}
+
+// ---- Reference (seed) implementations: serial, unpruned. ----
+
+int RefOverallDist(const ModelSet& psi, uint64_t i) {
+  int worst = -1;
+  for (uint64_t j : psi) worst = std::max(worst, Dist(i, j));
+  return worst;
+}
+
+int64_t RefSumDist(const ModelSet& psi, uint64_t i) {
+  int64_t total = 0;
+  for (uint64_t j : psi) total += Dist(i, j);
+  return total;
+}
+
+ModelSet RefMinByInt(const ModelSet& s,
+                     const std::function<int64_t(uint64_t)>& rank) {
+  if (s.empty()) return ModelSet(s.num_terms());
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (uint64_t m : s) best = std::min(best, rank(m));
+  std::vector<uint64_t> out;
+  for (uint64_t m : s) {
+    if (rank(m) == best) out.push_back(m);
+  }
+  return ModelSet::FromMasks(std::move(out), s.num_terms());
+}
+
+ModelSet RefMaxFitting(const ModelSet& psi, const ModelSet& mu) {
+  if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
+  return RefMinByInt(
+      mu, [&psi](uint64_t i) { return int64_t{1} * RefOverallDist(psi, i); });
+}
+
+ModelSet RefSumFitting(const ModelSet& psi, const ModelSet& mu) {
+  if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
+  return RefMinByInt(mu, [&psi](uint64_t i) { return RefSumDist(psi, i); });
+}
+
+// ---- Thread pool primitives ----
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadCountGuard guard;
+  for (int threads : kThreadCounts) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    for (uint64_t size : {0ULL, 1ULL, 5ULL, 513ULL, 4096ULL}) {
+      for (uint64_t grain : {1ULL, 3ULL, 64ULL, 10000ULL}) {
+        std::vector<std::atomic<int>> hits(size);
+        for (auto& h : hits) h.store(0);
+        ParallelFor(0, size, grain, [&](uint64_t lo, uint64_t hi) {
+          ASSERT_LE(lo, hi);
+          for (uint64_t i = lo; i < hi; ++i) {
+            hits[i].fetch_add(1);
+          }
+        });
+        for (uint64_t i = 0; i < size; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "index " << i << " size " << size << " grain " << grain
+              << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceFoldsInChunkOrder) {
+  ThreadCountGuard guard;
+  for (int threads : kThreadCounts) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    // Concatenation is non-commutative, so this also pins fold order.
+    std::string joined = ParallelReduce<std::string>(
+        0, 26, 3, "",
+        [](uint64_t lo, uint64_t hi) {
+          std::string part;
+          for (uint64_t i = lo; i < hi; ++i) {
+            part.push_back(static_cast<char>('a' + i));
+          }
+          return part;
+        },
+        [](std::string acc, const std::string& part) { return acc + part; });
+    EXPECT_EQ(joined, "abcdefghijklmnopqrstuvwxyz");
+
+    int64_t total = ParallelReduce<int64_t>(
+        5, 1000, 7, 0,
+        [](uint64_t lo, uint64_t hi) {
+          int64_t s = 0;
+          for (uint64_t i = lo; i < hi; ++i) s += static_cast<int64_t>(i);
+          return s;
+        },
+        [](int64_t a, int64_t b) { return a + b; });
+    EXPECT_EQ(total, 999LL * 1000 / 2 - 10);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadCountGuard guard;
+  ThreadPool::Instance().SetNumThreads(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 64, 4, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      ParallelFor(0, 100, 9, [&](uint64_t ilo, uint64_t ihi) {
+        total.fetch_add(static_cast<int64_t>(ihi - ilo));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 100);
+}
+
+// ---- Bounded kernel contract ----
+
+TEST(BoundedKernelTest, OverallDistExactBelowBound) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBelow(8));
+    ModelSet psi = RandomSet(&rng, n, 0.4);
+    if (psi.empty()) continue;
+    const uint64_t i = rng.Next() & LowMask(n);
+    const int exact = RefOverallDist(psi, i);
+    EXPECT_EQ(OverallDist(psi, i), exact);
+    for (int bound = 0; bound <= n + 1; ++bound) {
+      const int got = OverallDistBounded(psi, i, bound);
+      if (got < bound) {
+        EXPECT_EQ(got, exact) << "bound " << bound;
+      } else {
+        EXPECT_GE(exact, bound) << "bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(BoundedKernelTest, SumDistExactBelowBound) {
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBelow(8));
+    ModelSet psi = RandomSet(&rng, n, 0.4);
+    const uint64_t i = rng.Next() & LowMask(n);
+    const int64_t exact = RefSumDist(psi, i);
+    EXPECT_EQ(SumDist(psi, i), exact);
+    for (int64_t bound : {int64_t{0}, int64_t{1}, exact / 2, exact,
+                          exact + 1, exact + 100}) {
+      const int64_t got = SumDistBounded(psi, i, bound);
+      if (got < bound) {
+        EXPECT_EQ(got, exact) << "bound " << bound;
+      } else {
+        EXPECT_GE(exact, bound) << "bound " << bound;
+      }
+    }
+  }
+}
+
+// ---- Operator equivalence across thread counts ----
+
+TEST(ParallelEquivalenceTest, FittingAndRevisionOperators) {
+  ThreadCountGuard guard;
+  MaxFitting max_fit;
+  SumFitting sum_fit;
+  DalalRevision dalal;
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(12));
+    const double density = trial % 3 == 0 ? 0.05 : 0.3;
+    ModelSet psi = RandomSet(&rng, n, density);
+    ModelSet mu = RandomSet(&rng, n, density);
+    const ModelSet ref_max = RefMaxFitting(psi, mu);
+    const ModelSet ref_sum = RefSumFitting(psi, mu);
+    ThreadPool::Instance().SetNumThreads(1);
+    const ModelSet serial_dalal = dalal.Change(psi, mu);
+    for (int threads : kThreadCounts) {
+      ThreadPool::Instance().SetNumThreads(threads);
+      EXPECT_EQ(max_fit.Change(psi, mu), ref_max)
+          << "revesz-max n=" << n << " threads=" << threads;
+      EXPECT_EQ(sum_fit.Change(psi, mu), ref_sum)
+          << "revesz-sum n=" << n << " threads=" << threads;
+      EXPECT_EQ(dalal.Change(psi, mu), serial_dalal)
+          << "dalal n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, ArbitrationOperators) {
+  ThreadCountGuard guard;
+  ArbitrationOperator arb_max = MakeMaxArbitration();
+  ArbitrationOperator arb_sum = MakeSumArbitration();
+  Rng rng(43);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(10));
+    ModelSet psi = RandomSet(&rng, n, 0.25);
+    ModelSet phi = RandomSet(&rng, n, 0.25);
+    ThreadPool::Instance().SetNumThreads(1);
+    const ModelSet serial_max = arb_max.Change(psi, phi);
+    const ModelSet serial_sum = arb_sum.Change(psi, phi);
+    // The serial path must agree with the seed semantics: fit the full
+    // universe to the union.
+    EXPECT_EQ(serial_max, RefMaxFitting(psi.Union(phi), ModelSet::Full(n)));
+    for (int threads : kThreadCounts) {
+      ThreadPool::Instance().SetNumThreads(threads);
+      EXPECT_EQ(arb_max.Change(psi, phi), serial_max) << "threads=" << threads;
+      EXPECT_EQ(arb_sum.Change(psi, phi), serial_sum) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, MergeAggregates) {
+  ThreadCountGuard guard;
+  Rng rng(44);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBelow(9));
+    std::vector<ModelSet> sources;
+    const int k = 2 + static_cast<int>(rng.NextBelow(3));
+    for (int s = 0; s < k; ++s) sources.push_back(RandomSet(&rng, n, 0.3));
+    ModelSet mu = RandomSet(&rng, n, 0.5);
+    for (MergeAggregate agg : {MergeAggregate::kSum, MergeAggregate::kGMax,
+                               MergeAggregate::kMax}) {
+      ThreadPool::Instance().SetNumThreads(1);
+      const ModelSet serial = Merge(sources, mu, agg);
+      for (int threads : kThreadCounts) {
+        ThreadPool::Instance().SetNumThreads(threads);
+        EXPECT_EQ(Merge(sources, mu, agg), serial)
+            << MergeAggregateName(agg) << " n=" << n
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, WeightedFitting) {
+  ThreadCountGuard guard;
+  WdistFitting fitting;
+  Rng rng(45);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(8));
+    auto random_wkb = [&]() {
+      WeightedKnowledgeBase kb(n);
+      for (uint64_t m = 0; m < (1ULL << n); ++m) {
+        if (rng.NextBool(0.5)) kb.SetWeight(m, 1 + rng.NextBelow(9));
+      }
+      return kb;
+    };
+    WeightedKnowledgeBase psi = random_wkb();
+    WeightedKnowledgeBase mu = random_wkb();
+    ThreadPool::Instance().SetNumThreads(1);
+    const WeightedKnowledgeBase serial = fitting.Change(psi, mu);
+    for (int threads : kThreadCounts) {
+      ThreadPool::Instance().SetNumThreads(threads);
+      EXPECT_TRUE(fitting.Change(psi, mu) == serial)
+          << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+// ---- Checker equivalence across thread counts ----
+
+bool SameCex(const std::optional<PostulateCounterexample>& a,
+             const std::optional<PostulateCounterexample>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return a->postulate == b->postulate && a->psi1 == b->psi1 &&
+         a->psi2 == b->psi2 && a->mu1 == b->mu1 && a->mu2 == b->mu2 &&
+         a->phi == b->phi;
+}
+
+TEST(ParallelEquivalenceTest, PostulateCheckerMatrixTwoTerms) {
+  ThreadCountGuard guard;
+  ThreadPool::Instance().SetNumThreads(1);
+  PostulateChecker serial(std::make_shared<MaxFitting>(), 2);
+  std::vector<ComplianceEntry> expected = serial.ComplianceMatrix();
+  for (int threads : {2, 7}) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    PostulateChecker checker(std::make_shared<MaxFitting>(), 2);
+    std::vector<ComplianceEntry> got = checker.ComplianceMatrix();
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].satisfied, expected[i].satisfied)
+          << PostulateName(expected[i].postulate) << " threads=" << threads;
+      EXPECT_TRUE(SameCex(got[i].counterexample, expected[i].counterexample))
+          << PostulateName(expected[i].postulate) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, PostulateCheckerThreeTermSlices) {
+  ThreadCountGuard guard;
+  // Three terms = the 256-code universe where the sweep actually fans
+  // out.  A8 fails for revesz-max (EXPERIMENTS.md E4), so this pins a
+  // real counterexample tuple; A1 passes, pinning the no-cex path.
+  const Postulate probes[] = {Postulate::kA1, Postulate::kA7, Postulate::kA8};
+  ThreadPool::Instance().SetNumThreads(1);
+  PostulateChecker serial(std::make_shared<MaxFitting>(), 3);
+  std::vector<std::optional<PostulateCounterexample>> expected;
+  for (Postulate p : probes) expected.push_back(serial.CheckExhaustive(p));
+  for (int threads : {2, 7}) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    PostulateChecker checker(std::make_shared<MaxFitting>(), 3);
+    for (size_t i = 0; i < std::size(probes); ++i) {
+      EXPECT_TRUE(SameCex(checker.CheckExhaustive(probes[i]), expected[i]))
+          << PostulateName(probes[i]) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, CommutativeChecker) {
+  ThreadCountGuard guard;
+  auto op = std::make_shared<ArbitrationOperator>(MakeMaxArbitration());
+  ThreadPool::Instance().SetNumThreads(1);
+  CommutativeChecker serial(op, 2);
+  const std::vector<std::string> expected = serial.FailingPostulates();
+  std::vector<std::string> expected_cex;
+  for (CommutativePostulate p : AllCommutativePostulates()) {
+    auto cex = serial.CheckExhaustive(p);
+    expected_cex.push_back(cex.has_value() ? cex->Describe() : "-");
+  }
+  for (int threads : {2, 7}) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    CommutativeChecker checker(op, 2);
+    EXPECT_EQ(checker.FailingPostulates(), expected) << "threads=" << threads;
+    size_t i = 0;
+    for (CommutativePostulate p : AllCommutativePostulates()) {
+      auto cex = checker.CheckExhaustive(p);
+      EXPECT_EQ(cex.has_value() ? cex->Describe() : "-", expected_cex[i++])
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, WeightedChecker) {
+  ThreadCountGuard guard;
+  WdistFitting fitting;
+  ThreadPool::Instance().SetNumThreads(1);
+  WeightedPostulateChecker serial(&fitting, 2);
+  std::vector<std::string> expected;
+  for (WeightedPostulate p :
+       {WeightedPostulate::kF1, WeightedPostulate::kF2, WeightedPostulate::kF3,
+        WeightedPostulate::kF4, WeightedPostulate::kF5, WeightedPostulate::kF6,
+        WeightedPostulate::kF7, WeightedPostulate::kF8}) {
+    auto cex = serial.CheckExhaustiveBinary(p);
+    expected.push_back(cex.has_value() ? cex->description : "-");
+  }
+  for (int threads : {2, 7}) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    WeightedPostulateChecker checker(&fitting, 2);
+    size_t i = 0;
+    for (WeightedPostulate p :
+         {WeightedPostulate::kF1, WeightedPostulate::kF2,
+          WeightedPostulate::kF3, WeightedPostulate::kF4,
+          WeightedPostulate::kF5, WeightedPostulate::kF6,
+          WeightedPostulate::kF7, WeightedPostulate::kF8}) {
+      auto cex = checker.CheckExhaustiveBinary(p);
+      EXPECT_EQ(cex.has_value() ? cex->description : "-", expected[i++])
+          << "threads=" << threads;
+    }
+  }
+}
+
+// MinByIntBounded with a deliberately adversarial bounded rank: prunes
+// aggressively but honors the contract.  Cross-checked against the
+// unpruned reference on the same candidates.
+TEST(ParallelEquivalenceTest, MinByIntBoundedContract) {
+  ThreadCountGuard guard;
+  Rng rng(46);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBelow(11));
+    ModelSet s = RandomSet(&rng, n, 0.6);
+    if (s.empty()) continue;
+    // Exact rank: bit-mix; bounded variant prunes via the contract.
+    auto exact = [](uint64_t m) {
+      return static_cast<int64_t>((m * 2654435761u) % 1009);
+    };
+    const ModelSet ref = RefMinByInt(s, exact);
+    for (int threads : kThreadCounts) {
+      ThreadPool::Instance().SetNumThreads(threads);
+      const ModelSet got = MinByIntBounded(
+          s, [&exact](uint64_t m, int64_t bound) {
+            const int64_t r = exact(m);
+            return r >= bound ? bound : r;  // abort certificate
+          });
+      EXPECT_EQ(got, ref) << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,104 @@
+// ThreadSanitizer smoke test for the thread-pool execution layer.
+//
+// Built standalone (no gtest) with -fsanitize=thread directly from
+// parallel.cc, so the tier-1 ctest run exercises the pool's
+// synchronization under TSan even when the main build is
+// uninstrumented.  Hammers the primitives that carry all the
+// concurrency in the library: chunk claiming, completion signalling,
+// nested submission, and shared atomic incumbents (the pattern used by
+// the parallel argmin and the checker sweeps).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace {
+
+using arbiter::ParallelFor;
+using arbiter::ParallelReduce;
+using arbiter::ThreadPool;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    std::exit(1);
+  }
+}
+
+void HammerParallelFor() {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> total{0};
+    ParallelFor(0, 10000, 64, [&](uint64_t lo, uint64_t hi) {
+      int64_t local = 0;
+      for (uint64_t i = lo; i < hi; ++i) local += static_cast<int64_t>(i);
+      total.fetch_add(local, std::memory_order_relaxed);
+    });
+    Check(total.load() == 9999LL * 10000 / 2, "ParallelFor sum");
+  }
+}
+
+void HammerPerChunkSlots() {
+  // The determinism pattern: disjoint per-chunk writes, no atomics.
+  const uint64_t kSize = 8192, kGrain = 32;
+  std::vector<int64_t> slots(kSize / kGrain, -1);
+  for (int round = 0; round < 50; ++round) {
+    ParallelFor(0, kSize, kGrain, [&](uint64_t lo, uint64_t hi) {
+      slots[lo / kGrain] = static_cast<int64_t>(hi - lo);
+    });
+    for (int64_t s : slots) Check(s == kGrain, "chunk slot");
+  }
+}
+
+void HammerSharedIncumbent() {
+  // The argmin pattern: CAS-min on a shared atomic bound.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> best{1 << 20};
+    ParallelFor(0, 4096, 16, [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) {
+        const int64_t r = static_cast<int64_t>((i * 2654435761u) % 7919);
+        int64_t cur = best.load(std::memory_order_relaxed);
+        while (r < cur && !best.compare_exchange_weak(
+                              cur, r, std::memory_order_relaxed)) {
+        }
+      }
+    });
+    Check(best.load() == 0, "incumbent min");
+  }
+}
+
+void HammerNested() {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int64_t> total{0};
+    ParallelFor(0, 16, 1, [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) {
+        const int64_t inner = ParallelReduce<int64_t>(
+            0, 500, 13, 0,
+            [](uint64_t ilo, uint64_t ihi) {
+              return static_cast<int64_t>(ihi - ilo);
+            },
+            [](int64_t a, int64_t b) { return a + b; });
+        total.fetch_add(inner, std::memory_order_relaxed);
+      }
+    });
+    Check(total.load() == 16 * 500, "nested reduce");
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (int threads : {2, 4, 8}) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    HammerParallelFor();
+    HammerPerChunkSlots();
+    HammerSharedIncumbent();
+    HammerNested();
+  }
+  ThreadPool::Instance().SetNumThreads(0);
+  std::printf("parallel_tsan_smoke: OK\n");
+  return 0;
+}
