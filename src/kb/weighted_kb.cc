@@ -1,6 +1,7 @@
 #include "kb/weighted_kb.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "logic/interpretation.h"
 #include "model/distance.h"
@@ -128,9 +129,11 @@ std::string WeightedKnowledgeBase::ToString(const Vocabulary& vocab) const {
     if (!first) out += ", ";
     out += Interpretation(i, num_terms_).ToString(vocab);
     out += ":";
-    // Trim trailing zeros for integral weights.
+    // Trim trailing zeros for integral weights.  The cast is only
+    // defined for values representable as int64_t, so weights at or
+    // beyond 2^63 take the plain double path.
     double w = weights_[i];
-    if (w == static_cast<int64_t>(w)) {
+    if (w < 9223372036854775808.0 && w == std::floor(w)) {
       out += std::to_string(static_cast<int64_t>(w));
     } else {
       out += std::to_string(w);

@@ -47,6 +47,12 @@ Result<CnfInstance> ParseDimacs(const std::string& text) {
   if (!current.empty()) {
     return Status::InvalidArgument("final clause not terminated by 0");
   }
+  if (out.clauses.size() != static_cast<size_t>(declared_clauses)) {
+    return Status::InvalidArgument(
+        "clause count mismatch: header declares " +
+        std::to_string(declared_clauses) + " but body has " +
+        std::to_string(out.clauses.size()));
+  }
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "store/belief_store.h"
 
+#include <utility>
+
 #include "change/registry.h"
 #include "change/update.h"
 #include "logic/parser.h"
@@ -8,10 +10,26 @@
 
 namespace arbiter {
 
-Result<Formula> BeliefStore::ParseOverVocabulary(const std::string& text) {
-  Result<Formula> f = Parse(text, &vocab_);
+namespace {
+
+/// Journal payloads are persisted one per line; the parser treats all
+/// whitespace alike, so flattening embedded line breaks preserves the
+/// formula while keeping the Save format line-based.
+std::string SingleLine(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Formula> BeliefStore::ParseValidated(const std::string& text,
+                                            Vocabulary* scratch) {
+  Result<Formula> f = Parse(text, scratch);
   if (!f.ok()) return f;
-  if (vocab_.size() > kMaxEnumTerms) {
+  if (scratch->size() > kMaxEnumTerms) {
     return Status::CapacityExceeded(
         "store vocabulary exceeds the enumeration limit (" +
         std::to_string(kMaxEnumTerms) + " terms)");
@@ -31,8 +49,11 @@ Result<const BeliefStore::Entry*> BeliefStore::Find(
 Status BeliefStore::Define(const std::string& name,
                            const std::string& formula_text) {
   if (name.empty()) return Status::InvalidArgument("empty base name");
-  Result<Formula> f = ParseOverVocabulary(formula_text);
+  Vocabulary scratch = vocab_;
+  Result<Formula> f = ParseValidated(formula_text, &scratch);
   if (!f.ok()) return f.status();
+  // Commit point: every validation passed.
+  vocab_ = std::move(scratch);
   Entry& entry = bases_[name];
   entry.formula = *f;
   entry.undo_stack.clear();
@@ -73,13 +94,16 @@ Status BeliefStore::Apply(const std::string& target,
   }
   auto op = MakeOperator(op_name);
   if (!op.ok()) return op.status();
-  Result<Formula> evidence = ParseOverVocabulary(evidence_text);
+  Vocabulary scratch = vocab_;
+  Result<Formula> evidence = ParseValidated(evidence_text, &scratch);
   if (!evidence.ok()) return evidence.status();
 
   Entry& entry = it->second;
-  KnowledgeBase current(entry.formula, vocab_.size());
-  KnowledgeBase mu(*evidence, vocab_.size());
+  KnowledgeBase current(entry.formula, scratch.size());
+  KnowledgeBase mu(*evidence, scratch.size());
   KnowledgeBase changed = (*op)->Apply(current, mu);
+  // Commit point: vocabulary, journal, and formula move together.
+  vocab_ = std::move(scratch);
   entry.undo_stack.push_back(entry.formula);
   entry.journal.push_back(ChangeRecord{op_name, evidence_text});
   entry.formula = changed.formula();
@@ -117,23 +141,27 @@ std::vector<ChangeRecord> BeliefStore::History(
 
 Result<bool> BeliefStore::Entails(const std::string& name,
                                   const std::string& formula_text) {
-  Result<KnowledgeBase> kb = Get(name);
-  if (!kb.ok()) return kb.status();
-  Result<Formula> f = ParseOverVocabulary(formula_text);
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  Vocabulary scratch = vocab_;
+  Result<Formula> f = ParseValidated(formula_text, &scratch);
   if (!f.ok()) return f.status();
-  // Re-evaluate the base in case parsing grew the vocabulary.
-  KnowledgeBase base(kb->formula(), vocab_.size());
+  vocab_ = std::move(scratch);
+  // The base is evaluated over the (possibly grown) vocabulary.
+  KnowledgeBase base((*entry)->formula, vocab_.size());
   KnowledgeBase query(*f, vocab_.size());
   return base.Implies(query);
 }
 
 Result<bool> BeliefStore::ConsistentWith(const std::string& name,
                                          const std::string& formula_text) {
-  Result<KnowledgeBase> kb = Get(name);
-  if (!kb.ok()) return kb.status();
-  Result<Formula> f = ParseOverVocabulary(formula_text);
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  Vocabulary scratch = vocab_;
+  Result<Formula> f = ParseValidated(formula_text, &scratch);
   if (!f.ok()) return f.status();
-  KnowledgeBase base(kb->formula(), vocab_.size());
+  vocab_ = std::move(scratch);
+  KnowledgeBase base((*entry)->formula, vocab_.size());
   KnowledgeBase query(*f, vocab_.size());
   return !base.models().Intersect(query.models()).empty();
 }
@@ -141,13 +169,15 @@ Result<bool> BeliefStore::ConsistentWith(const std::string& name,
 Result<bool> BeliefStore::Counterfactual(
     const std::string& name, const std::string& antecedent_text,
     const std::string& consequent_text) {
-  Result<KnowledgeBase> kb = Get(name);
-  if (!kb.ok()) return kb.status();
-  Result<Formula> antecedent = ParseOverVocabulary(antecedent_text);
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  Vocabulary scratch = vocab_;
+  Result<Formula> antecedent = ParseValidated(antecedent_text, &scratch);
   if (!antecedent.ok()) return antecedent.status();
-  Result<Formula> consequent = ParseOverVocabulary(consequent_text);
+  Result<Formula> consequent = ParseValidated(consequent_text, &scratch);
   if (!consequent.ok()) return consequent.status();
-  KnowledgeBase base(kb->formula(), vocab_.size());
+  vocab_ = std::move(scratch);
+  KnowledgeBase base((*entry)->formula, vocab_.size());
   KnowledgeBase mu(*antecedent, vocab_.size());
   KnowledgeBase then(*consequent, vocab_.size());
   KnowledgeBase updated = WinslettUpdate().Apply(base, mu);
@@ -161,6 +191,18 @@ std::string BeliefStore::Save() const {
   out += "\n";
   for (const auto& [name, entry] : bases_) {
     out += "base " + name + " := " + ToString(entry.formula, vocab_) + "\n";
+    // Undo stack and journal are persisted verbatim (oldest first)
+    // rather than recomputed by replaying the operators: replay would
+    // re-run each change over the final (possibly larger) vocabulary,
+    // and not every operator commutes with adding free terms — the
+    // differential harness caught lex-fitting drifting exactly there.
+    for (const Formula& previous : entry.undo_stack) {
+      out += "undo " + name + " := " + ToString(previous, vocab_) + "\n";
+    }
+    for (const ChangeRecord& record : entry.journal) {
+      out += "hist " + name + " " + record.op_name + " := " +
+             SingleLine(record.evidence_text) + "\n";
+    }
   }
   return out;
 }
@@ -193,7 +235,67 @@ Result<BeliefStore> BeliefStore::Load(const std::string& text) {
       ARBITER_RETURN_NOT_OK(store.Define(name, formula));
       continue;
     }
+    if (line.rfind("undo ", 0) == 0) {
+      // "undo <base> := <previous formula>": one pre-state per past
+      // change, oldest first.  Restored verbatim — never recomputed by
+      // re-running the operator, whose result could differ over the
+      // final vocabulary.
+      size_t assign = line.find(" := ");
+      if (assign == std::string::npos) {
+        return Status::InvalidArgument("malformed undo line: " + line);
+      }
+      std::string name = Trim(line.substr(5, assign - 5));
+      auto it = store.bases_.find(name);
+      if (it == store.bases_.end()) {
+        return Status::InvalidArgument(
+            "undo line for undefined base: " + line);
+      }
+      Vocabulary scratch = store.vocab_;
+      Result<Formula> previous =
+          ParseValidated(line.substr(assign + 4), &scratch);
+      if (!previous.ok()) return previous.status();
+      store.vocab_ = std::move(scratch);
+      it->second.undo_stack.push_back(*previous);
+      continue;
+    }
+    if (line.rfind("hist ", 0) == 0) {
+      // "hist <base> <op> := <evidence>"; the operator name is the
+      // last pre-":=" token, so base names keep any interior spaces.
+      size_t assign = line.find(" := ");
+      if (assign == std::string::npos) {
+        return Status::InvalidArgument("malformed hist line: " + line);
+      }
+      std::string head = Trim(line.substr(5, assign - 5));
+      size_t op_start = head.rfind(' ');
+      if (op_start == std::string::npos) {
+        return Status::InvalidArgument("malformed hist line: " + line);
+      }
+      std::string name = Trim(head.substr(0, op_start));
+      std::string op_name = head.substr(op_start + 1);
+      std::string evidence = line.substr(assign + 4);
+      auto it = store.bases_.find(name);
+      if (it == store.bases_.end()) {
+        return Status::InvalidArgument(
+            "hist line for undefined base: " + line);
+      }
+      auto op = MakeOperator(op_name);
+      if (!op.ok()) return op.status();
+      Vocabulary scratch = store.vocab_;
+      Result<Formula> parsed = ParseValidated(evidence, &scratch);
+      if (!parsed.ok()) return parsed.status();
+      store.vocab_ = std::move(scratch);
+      it->second.journal.push_back(ChangeRecord{op_name, evidence});
+      continue;
+    }
     return Status::InvalidArgument("unrecognized line: " + line);
+  }
+  for (const auto& [name, entry] : store.bases_) {
+    if (entry.undo_stack.size() != entry.journal.size()) {
+      return Status::InvalidArgument(
+          "base \"" + name + "\" has " +
+          std::to_string(entry.undo_stack.size()) + " undo line(s) but " +
+          std::to_string(entry.journal.size()) + " hist line(s)");
+    }
   }
   return store;
 }

@@ -26,6 +26,22 @@
 /// earlier are transparently re-evaluated over the grown vocabulary
 /// (their formulas don't mention the new terms, so their models simply
 /// leave them free).
+///
+/// ## Failure semantics (strong error guarantee)
+///
+/// Every operation that can fail is transactional: inputs are parsed
+/// and validated against a *scratch copy* of the store vocabulary, and
+/// the store commits — vocabulary growth, base formula, undo stack and
+/// journal together — only after every validation step has succeeded.
+/// A non-OK Status therefore implies the store is observably unchanged:
+/// `Dump()`, `Names()`, `vocabulary()`, `History()` and `HistoryDepth()`
+/// all return exactly what they returned before the call.  In
+/// particular a parse error or capacity overflow in `Define`, `Apply`,
+/// `Entails`, `ConsistentWith` or `Counterfactual` never leaks
+/// partially-registered terms into the vocabulary (which would silently
+/// reinterpret every existing base over a larger universe).  The
+/// differential fuzz harness (`src/test_support/`) replays randomized
+/// op scripts with injected failures to enforce this guarantee.
 
 namespace arbiter {
 
@@ -92,11 +108,20 @@ class BeliefStore {
   /// Human-readable listing of every base and its models.
   std::string Dump() const;
 
-  /// Serializes the store (vocabulary + base formulas) to a line-based
-  /// text format.  Journals are not persisted.
+  /// Serializes the store (vocabulary, base formulas, undo stacks, and
+  /// journals) to a line-based text format.  Each base is written as
+  /// its *current* formula, one `undo` line per pre-change formula
+  /// (oldest first), and its journal as `hist` lines.  State is
+  /// persisted verbatim, never reconstructed by re-running operators:
+  /// not every operator commutes with vocabulary growth, so replay
+  /// over the final vocabulary could diverge from the saved state.
   std::string Save() const;
 
-  /// Reconstructs a store from Save() output.
+  /// Reconstructs a store from Save() output.  Formulas, undo stacks,
+  /// and journals are restored syntactically (operator names and
+  /// evidence are validated but not re-executed), so `History()`,
+  /// `HistoryDepth()`, and `Undo()` survive a Save/Load round trip
+  /// exactly.
   static Result<BeliefStore> Load(const std::string& text);
 
  private:
@@ -106,7 +131,11 @@ class BeliefStore {
     std::vector<ChangeRecord> journal;  // applied changes
   };
 
-  Result<Formula> ParseOverVocabulary(const std::string& text);
+  /// Parses `text` against `*scratch` (a copy of vocab_) and validates
+  /// the enumeration capacity.  Callers commit the scratch vocabulary
+  /// back into the store only once the whole operation has succeeded.
+  static Result<Formula> ParseValidated(const std::string& text,
+                                        Vocabulary* scratch);
   Result<const Entry*> Find(const std::string& name) const;
 
   Vocabulary vocab_;

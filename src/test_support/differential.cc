@@ -1,0 +1,416 @@
+#include "test_support/differential.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "change/commutative.h"
+#include "change/fitting.h"
+#include "change/registry.h"
+#include "change/weighted.h"
+#include "model/distance.h"
+#include "model/loyal.h"
+#include "model/preorder.h"
+#include "store/belief_store.h"
+#include "test_support/fuzz_generators.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace arbiter::test_support {
+
+namespace {
+
+/// Restores the pool to its default lane count when a sweep exits.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { ThreadPool::Instance().SetNumThreads(0); }
+};
+
+std::string Truncate(std::string s, size_t limit = 160) {
+  if (s.size() > limit) {
+    s.resize(limit);
+    s += "...";
+  }
+  return s;
+}
+
+/// Collects divergences for one case; counts every comparison made.
+class CaseContext {
+ public:
+  CaseContext(int case_index, uint64_t case_seed, DifferentialReport* report)
+      : case_index_(case_index), case_seed_(case_seed), report_(report) {}
+
+  void Check(bool ok, const std::string& check, const std::string& detail) {
+    ++report_->checks_run;
+    if (!ok) {
+      report_->divergences.push_back(
+          Divergence{case_index_, case_seed_, check, Truncate(detail)});
+    }
+  }
+
+ private:
+  int case_index_;
+  uint64_t case_seed_;
+  DifferentialReport* report_;
+};
+
+/// Byte-level observable state of a BeliefStore, for atomicity checks.
+struct StoreSnapshot {
+  std::string dump;
+  std::vector<std::string> names;
+  std::vector<std::string> vocab;
+  std::vector<int> depths;
+
+  static StoreSnapshot Of(const BeliefStore& store) {
+    StoreSnapshot snap;
+    snap.dump = store.Dump();
+    snap.names = store.Names();
+    snap.vocab = store.vocabulary().names();
+    for (const std::string& name : snap.names) {
+      snap.depths.push_back(store.HistoryDepth(name));
+    }
+    return snap;
+  }
+
+  bool operator==(const StoreSnapshot& o) const {
+    return dump == o.dump && names == o.names && vocab == o.vocab &&
+           depths == o.depths;
+  }
+};
+
+/// Executes one script op; returns its Status and whether the op kind
+/// mutates on success (Undo/Drop/Define/Apply).
+Status RunStoreOp(BeliefStore* store, const StoreOp& op) {
+  using Kind = StoreOp::Kind;
+  switch (op.kind) {
+    case Kind::kDefine:
+    case Kind::kBadDefine:
+      return store->Define(op.base, op.text);
+    case Kind::kApply:
+    case Kind::kBadApply:
+      return store->Apply(op.base, op.op_name, op.text);
+    case Kind::kUndo:
+      return store->Undo(op.base);
+    case Kind::kDrop:
+      return store->Drop(op.base);
+    case Kind::kEntails:
+    case Kind::kBadQuery:
+      return store->Entails(op.base, op.text).status();
+    case Kind::kConsistentWith:
+      return store->ConsistentWith(op.base, op.text).status();
+  }
+  return Status::Internal("unhandled op kind");
+}
+
+void CheckKernels(CaseContext* ctx, Rng* rng, const ModelSet& psi,
+                  const ModelSet& mu,
+                  const std::vector<int>& thread_counts) {
+  const int n = psi.num_terms();
+  const uint64_t space = 1ULL << n;
+
+  // Pointwise aggregates on sampled interpretations, including the
+  // exact-below-bound contract of the pruned kernels.
+  for (int s = 0; s < 24; ++s) {
+    const uint64_t i = rng->NextBelow(space);
+    const int ref_max = ReferenceOverallDist(psi, i);
+    const int64_t ref_sum = ReferenceSumDist(psi, i);
+    ctx->Check(OverallDist(psi, i) == ref_max, "kernel/odist",
+               "I=" + std::to_string(i) + " psi=" + psi.ToString());
+    ctx->Check(OverallDistBounded(psi, i, n + 1) == ref_max,
+               "kernel/odist-bounded-exact",
+               "I=" + std::to_string(i) + " psi=" + psi.ToString());
+    ctx->Check(SumDist(psi, i) == ref_sum, "kernel/sdist",
+               "I=" + std::to_string(i) + " psi=" + psi.ToString());
+    ctx->Check(
+        SumDistBounded(psi, i, std::numeric_limits<int64_t>::max()) ==
+            ref_sum,
+        "kernel/sdist-bounded-exact",
+        "I=" + std::to_string(i) + " psi=" + psi.ToString());
+
+    const int bound = static_cast<int>(rng->NextBelow(n + 2));
+    const int pruned = OverallDistBounded(psi, i, bound);
+    ctx->Check(ref_max < bound ? pruned == ref_max : pruned >= bound,
+               "kernel/odist-bounded-contract",
+               "I=" + std::to_string(i) + " bound=" + std::to_string(bound) +
+                   " got=" + std::to_string(pruned) +
+                   " exact=" + std::to_string(ref_max));
+    const int64_t sbound = static_cast<int64_t>(
+        rng->NextBelow(static_cast<uint64_t>(ref_sum) + 2));
+    const int64_t spruned = SumDistBounded(psi, i, sbound);
+    ctx->Check(ref_sum < sbound ? spruned == ref_sum : spruned >= sbound,
+               "kernel/sdist-bounded-contract",
+               "I=" + std::to_string(i) + " bound=" + std::to_string(sbound) +
+                   " got=" + std::to_string(spruned) +
+                   " exact=" + std::to_string(ref_sum));
+  }
+
+  // Column-count oracle vs direct summation, over the whole support.
+  const SumDistOracle oracle(psi);
+  for (int s = 0; s < 16; ++s) {
+    const uint64_t i = rng->NextBelow(space);
+    ctx->Check(oracle(i) == ReferenceSumDist(psi, i), "kernel/sdist-oracle",
+               "I=" + std::to_string(i) + " psi=" + psi.ToString());
+  }
+
+  // The production argmin (pruned, possibly parallel) vs the naive
+  // scan, bit-identical at every thread count.
+  const ModelSet ref_max_fit = ReferenceFitting(psi, mu, /*use_sum=*/false);
+  const ModelSet ref_sum_fit = ReferenceFitting(psi, mu, /*use_sum=*/true);
+  ThreadCountGuard guard;
+  for (int threads : thread_counts) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    ctx->Check(MaxFitting().Change(psi, mu) == ref_max_fit,
+               "kernel/max-fitting@t" + std::to_string(threads),
+               "psi=" + psi.ToString() + " mu=" + mu.ToString());
+    ctx->Check(SumFitting().Change(psi, mu) == ref_sum_fit,
+               "kernel/sum-fitting@t" + std::to_string(threads),
+               "psi=" + psi.ToString() + " mu=" + mu.ToString());
+  }
+}
+
+void CheckRepresentationTheorems(CaseContext* ctx, const ModelSet& psi,
+                                 const ModelSet& mu) {
+  // Theorem 3.1, concrete side: the operators must coincide with
+  // Min(Mod(mu), <=psi) for their loyal assignments.
+  ctx->Check(
+      OverallDistPreorder(psi).MinOf(mu) == MaxFitting().Change(psi, mu),
+      "representation/odist-preorder",
+      "psi=" + psi.ToString() + " mu=" + mu.ToString());
+  ctx->Check(SumDistPreorder(psi).MinOf(mu) == SumFitting().Change(psi, mu),
+             "representation/sdist-preorder",
+             "psi=" + psi.ToString() + " mu=" + mu.ToString());
+  const auto dalal = MakeOperator("dalal").ValueOrDie();
+  ctx->Check(DalalPreorder(psi).MinOf(mu) == dalal->Change(psi, mu),
+             "representation/dalal-preorder",
+             "psi=" + psi.ToString() + " mu=" + mu.ToString());
+  ctx->Check(ReferenceDalalRevision(psi, mu) == dalal->Change(psi, mu),
+             "representation/dalal-reference",
+             "psi=" + psi.ToString() + " mu=" + mu.ToString());
+}
+
+void CheckWeighted(CaseContext* ctx, Rng* rng, int num_terms) {
+  const WeightedKnowledgeBase psi = RandomWeightedBase(rng, num_terms, 0.4);
+  const WeightedKnowledgeBase mu = RandomWeightedBase(rng, num_terms, 0.4);
+  // Theorem 4.1, concrete side: production wdist fitting (preorder
+  // materialized through the thread pool) vs the naive weighted Min.
+  ctx->Check(WdistFitting().Change(psi, mu) == ReferenceWdistFitting(psi, mu),
+             "weighted/wdist-fitting", "num_terms=" +
+                 std::to_string(num_terms));
+  // Weighted arbitration is (psi u phi) fitted to the uniform base;
+  // pointwise sum commutes, so the operator must too.
+  WeightedArbitration arb;
+  ctx->Check(arb.Change(psi, mu) == arb.Change(mu, psi),
+             "weighted/arbitration-commutes",
+             "num_terms=" + std::to_string(num_terms));
+}
+
+void CheckCommutativity(CaseContext* ctx, const ModelSet& psi,
+                        const ModelSet& mu) {
+  for (const auto& op : AllOperators()) {
+    if (op->family() != OperatorFamily::kArbitration) continue;
+    ctx->Check(op->Change(psi, mu) == op->Change(mu, psi),
+               "commutativity/" + op->name(),
+               "psi=" + psi.ToString() + " mu=" + mu.ToString());
+  }
+}
+
+void CheckStore(CaseContext* ctx, Rng* rng, const Vocabulary& vocab) {
+  BeliefStore store;
+  const std::vector<StoreOp> script =
+      RandomStoreScript(rng, vocab, /*length=*/14, /*bad_prob=*/0.35);
+  for (const StoreOp& op : script) {
+    const StoreSnapshot before = StoreSnapshot::Of(store);
+    const Status status = RunStoreOp(&store, op);
+    if (!status.ok()) {
+      // Strong error guarantee: a failed op leaves the store
+      // byte-identical.
+      ctx->Check(StoreSnapshot::Of(store) == before, "store/atomicity",
+                 op.ToString() + " -> " + status.ToString());
+    }
+  }
+
+  // Save -> Load -> replay must reproduce the store.
+  const std::string saved = store.Save();
+  Result<BeliefStore> loaded = BeliefStore::Load(saved);
+  ctx->Check(loaded.ok(), "store/load", loaded.status().ToString());
+  if (!loaded.ok()) return;
+  BeliefStore copy = *std::move(loaded);
+
+  ctx->Check(copy.Save() == saved, "store/save-fixpoint", saved);
+  ctx->Check(copy.Names() == store.Names(), "store/names", saved);
+  ctx->Check(copy.vocabulary().names() == store.vocabulary().names(),
+             "store/vocab", saved);
+  for (const std::string& name : store.Names()) {
+    ctx->Check(copy.Get(name)->EquivalentTo(*store.Get(name)),
+               "store/base-equivalence", name);
+    ctx->Check(copy.HistoryDepth(name) == store.HistoryDepth(name),
+               "store/history-depth", name);
+    const auto lhs = store.History(name);
+    const auto rhs = copy.History(name);
+    bool journals_equal = lhs.size() == rhs.size();
+    for (size_t i = 0; journals_equal && i < lhs.size(); ++i) {
+      journals_equal = lhs[i].op_name == rhs[i].op_name &&
+                       lhs[i].evidence_text == rhs[i].evidence_text;
+    }
+    ctx->Check(journals_equal, "store/journal", name);
+  }
+
+  // Replay rebuilt the undo stacks: unwinding both stores step by step
+  // must stay semantically in lockstep.
+  for (const std::string& name : store.Names()) {
+    while (store.HistoryDepth(name) > 0) {
+      ctx->Check(store.Undo(name).ok() && copy.Undo(name).ok(),
+                 "store/undo-replay", name);
+      ctx->Check(copy.Get(name)->EquivalentTo(*store.Get(name)),
+                 "store/undo-equivalence", name);
+    }
+    ctx->Check(copy.HistoryDepth(name) == 0, "store/undo-depth", name);
+  }
+}
+
+}  // namespace
+
+int ReferenceOverallDist(const ModelSet& psi, uint64_t interpretation) {
+  int best = 0;
+  for (uint64_t j : psi) best = std::max(best, Dist(interpretation, j));
+  return best;
+}
+
+int64_t ReferenceSumDist(const ModelSet& psi, uint64_t interpretation) {
+  int64_t total = 0;
+  for (uint64_t j : psi) total += Dist(interpretation, j);
+  return total;
+}
+
+ModelSet ReferenceFitting(const ModelSet& psi, const ModelSet& mu,
+                          bool use_sum) {
+  if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
+  int64_t best = std::numeric_limits<int64_t>::max();
+  std::vector<uint64_t> ties;
+  for (uint64_t i : mu) {
+    const int64_t score = use_sum
+                              ? ReferenceSumDist(psi, i)
+                              : static_cast<int64_t>(
+                                    ReferenceOverallDist(psi, i));
+    if (score < best) {
+      best = score;
+      ties.clear();
+    }
+    if (score == best) ties.push_back(i);
+  }
+  return ModelSet::FromMasks(std::move(ties), mu.num_terms());
+}
+
+ModelSet ReferenceDalalRevision(const ModelSet& psi, const ModelSet& mu) {
+  if (mu.empty()) return ModelSet(mu.num_terms());
+  if (psi.empty()) return mu;
+  int best = std::numeric_limits<int>::max();
+  std::vector<uint64_t> ties;
+  for (uint64_t i : mu) {
+    int closest = std::numeric_limits<int>::max();
+    for (uint64_t j : psi) closest = std::min(closest, Dist(i, j));
+    if (closest < best) {
+      best = closest;
+      ties.clear();
+    }
+    if (closest == best) ties.push_back(i);
+  }
+  return ModelSet::FromMasks(std::move(ties), mu.num_terms());
+}
+
+WeightedKnowledgeBase ReferenceWdistFitting(const WeightedKnowledgeBase& psi,
+                                            const WeightedKnowledgeBase& mu) {
+  const int n = mu.num_terms();
+  WeightedKnowledgeBase out(n);
+  if (!psi.IsSatisfiable() || !mu.IsSatisfiable()) return out;
+  // wdist by direct summation, in the same ascending interpretation
+  // order as the production kernel so double rounding agrees exactly.
+  const uint64_t space = uint64_t{1} << n;
+  auto wdist = [&psi, space](uint64_t i) {
+    double total = 0;
+    for (uint64_t j = 0; j < space; ++j) {
+      if (psi.Weight(j) > 0) {
+        total += static_cast<double>(Dist(i, j)) * psi.Weight(j);
+      }
+    }
+    return total;
+  };
+  double best = std::numeric_limits<double>::infinity();
+  for (uint64_t i = 0; i < space; ++i) {
+    if (mu.Weight(i) > 0) best = std::min(best, wdist(i));
+  }
+  for (uint64_t i = 0; i < space; ++i) {
+    if (mu.Weight(i) > 0 && wdist(i) == best) out.SetWeight(i, mu.Weight(i));
+  }
+  return out;
+}
+
+std::string Divergence::ToString() const {
+  return "[case " + std::to_string(case_index) + " seed " +
+         std::to_string(case_seed) + "] " + check + ": " + detail;
+}
+
+std::string DifferentialReport::Summary() const {
+  std::string out = std::to_string(cases_run) + " cases, " +
+                    std::to_string(checks_run) + " checks, " +
+                    std::to_string(divergences.size()) + " divergences";
+  const size_t show = std::min<size_t>(divergences.size(), 10);
+  for (size_t i = 0; i < show; ++i) {
+    out += "\n  " + divergences[i].ToString();
+  }
+  if (divergences.size() > show) {
+    out += "\n  ... and " + std::to_string(divergences.size() - show) +
+           " more";
+  }
+  return out;
+}
+
+DifferentialReport RunDifferentialFuzz(const DifferentialOptions& options) {
+  DifferentialReport report;
+  uint64_t seed_state = options.seed;
+  for (int c = 0; c < options.num_cases; ++c) {
+    const uint64_t case_seed = SplitMix64(&seed_state);
+    Rng rng(case_seed);
+    CaseContext ctx(c, case_seed, &report);
+
+    const bool large = options.large_kernel_every > 0 &&
+                       c % options.large_kernel_every ==
+                           options.large_kernel_every - 1;
+    if (large) {
+      // A candidate set wide enough to leave the argmin's inline fast
+      // path: the pruned parallel scan really runs chunked here.
+      const int n = options.large_terms;
+      const ModelSet psi = RandomModelSet(&rng, n, 0.04);
+      const ModelSet mu = RandomModelSet(&rng, n, 0.7);
+      if (options.check_kernels) {
+        CheckKernels(&ctx, &rng, psi, mu, options.thread_counts);
+      }
+      ++report.cases_run;
+      continue;
+    }
+
+    const Vocabulary vocab =
+        RandomVocabulary(&rng, options.min_terms, options.max_terms);
+    const int n = vocab.size();
+    const ModelSet psi = RandomModelSet(&rng, n, 0.45);
+    const ModelSet mu = RandomModelSet(&rng, n, 0.45);
+
+    if (options.check_kernels) {
+      CheckKernels(&ctx, &rng, psi, mu, options.thread_counts);
+    }
+    if (options.check_representation) {
+      CheckRepresentationTheorems(&ctx, psi, mu);
+    }
+    if (options.check_weighted) {
+      CheckWeighted(&ctx, &rng, n);
+    }
+    if (options.check_commutativity) {
+      CheckCommutativity(&ctx, psi, mu);
+    }
+    if (options.check_store) {
+      CheckStore(&ctx, &rng, vocab);
+    }
+    ++report.cases_run;
+  }
+  return report;
+}
+
+}  // namespace arbiter::test_support

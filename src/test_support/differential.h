@@ -1,0 +1,110 @@
+#ifndef ARBITER_TEST_SUPPORT_DIFFERENTIAL_H_
+#define ARBITER_TEST_SUPPORT_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/weighted_kb.h"
+#include "model/model_set.h"
+
+/// \file differential.h
+/// The differential fuzz/invariant harness.  Each case draws a random
+/// vocabulary, model sets, weighted bases, and a BeliefStore op script
+/// from a per-case seed, then cross-checks independent implementations
+/// of the same semantics against each other:
+///
+///  * **Kernels** — the naive serial distance aggregates (re-implemented
+///    here with no pruning and no thread pool) vs the production
+///    `OverallDist`/`SumDist`, their `*Bounded` branch-and-bound
+///    variants (including the exact-below-bound contract), and the
+///    `SumDistOracle` column decomposition; the pruned+parallel
+///    `MinByIntBounded` argmin behind `MaxFitting`/`SumFitting` must be
+///    bit-identical to the naive scan at every configured thread count.
+///  * **Representation theorems** — `Min(Mod(μ), ≤ψ)` computed from the
+///    loyal assignments (`DalalPreorder`, `OverallDistPreorder`,
+///    `SumDistPreorder`) must equal the concrete operators (Theorems
+///    3.1/4.1); the weighted wdist operator must match a naive
+///    weighted-Min reference.
+///  * **Commutativity** — every registered arbitration-family operator
+///    and the weighted arbitration satisfy ψ Δ φ ≡ φ Δ ψ (the A7-side
+///    symmetry).
+///  * **Store** — random op scripts with injected failures: any op that
+///    returns non-OK must leave the store byte-identical (strong error
+///    guarantee), and Save → Load → replay must reproduce the store
+///    (bases, vocabulary, journals, and undo stacks).
+///
+/// Everything is deterministic in `seed`, so a reported divergence is
+/// reproducible by re-running its case seed.
+
+namespace arbiter::test_support {
+
+struct DifferentialOptions {
+  uint64_t seed = 0xA7B17E5;
+  int num_cases = 500;
+
+  /// Vocabulary size range for the full-check cases.
+  int min_terms = 2;
+  int max_terms = 5;
+
+  /// Every `large_kernel_every`-th case runs a kernel-only check over a
+  /// `large_terms`-bit space, big enough to leave the argmin's inline
+  /// fast path and exercise the chunked parallel scan.
+  int large_kernel_every = 16;
+  int large_terms = 10;
+
+  /// Thread counts the kernels are swept over (the pool is restored to
+  /// its default configuration afterwards).
+  std::vector<int> thread_counts = {1, 2, 7};
+
+  bool check_kernels = true;
+  bool check_representation = true;
+  bool check_weighted = true;
+  bool check_commutativity = true;
+  bool check_store = true;
+};
+
+/// One observed disagreement between implementations.
+struct Divergence {
+  int case_index = 0;
+  uint64_t case_seed = 0;
+  std::string check;   ///< short id, e.g. "kernel/odist" or "store/atomicity"
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct DifferentialReport {
+  int cases_run = 0;
+  int64_t checks_run = 0;
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+  /// One-paragraph human-readable outcome (lists first divergences).
+  std::string Summary() const;
+};
+
+/// Runs the harness.  Deterministic in options.seed.
+DifferentialReport RunDifferentialFuzz(const DifferentialOptions& options);
+
+/// Naive reference kernels: serial, unpruned, pool-free.  Exposed so
+/// unit tests can cross-check them directly.
+int ReferenceOverallDist(const ModelSet& psi, uint64_t interpretation);
+int64_t ReferenceSumDist(const ModelSet& psi, uint64_t interpretation);
+
+/// Naive model fitting: scores every candidate with the reference
+/// aggregate (max or sum) and keeps the argmin set.
+ModelSet ReferenceFitting(const ModelSet& psi, const ModelSet& mu,
+                          bool use_sum);
+
+/// Naive Dalal revision: argmin of the reference min-distance.
+ModelSet ReferenceDalalRevision(const ModelSet& psi, const ModelSet& mu);
+
+/// Naive weighted model fitting (paper, Section 4): wdist by direct
+/// summation, weighted Min by a serial scan over the support.
+WeightedKnowledgeBase ReferenceWdistFitting(const WeightedKnowledgeBase& psi,
+                                            const WeightedKnowledgeBase& mu);
+
+}  // namespace arbiter::test_support
+
+#endif  // ARBITER_TEST_SUPPORT_DIFFERENTIAL_H_

@@ -1,0 +1,196 @@
+#include "test_support/fuzz_generators.h"
+
+#include "change/registry.h"
+#include "logic/generator.h"
+#include "logic/printer.h"
+#include "util/logging.h"
+
+namespace arbiter::test_support {
+
+namespace {
+
+const char* const kBaseNames[] = {"alpha", "beta", "gamma", "delta"};
+constexpr int kNumBaseNames = 4;
+
+/// Malformed inputs the parser must reject.
+const char* const kBadFormulas[] = {"",     "a &",  "((b",   "!&",
+                                    "a b c", "-> x", "oops(", ")"};
+constexpr int kNumBadFormulas = 8;
+
+/// A conjunction of fresh terms wide enough to push any small store
+/// vocabulary past kMaxEnumTerms — parses fine, then trips the
+/// capacity validation.
+std::string CapacityBomb() {
+  std::string out = "cap0";
+  for (int i = 1; i <= kMaxEnumTerms; ++i) {
+    out += " & cap" + std::to_string(i);
+  }
+  return out;
+}
+
+std::string RandomBaseName(Rng* rng) {
+  return kBaseNames[rng->NextBelow(kNumBaseNames)];
+}
+
+std::string RandomOperatorName(Rng* rng) {
+  static const std::vector<std::string> names = RegisteredOperatorNames();
+  ARBITER_CHECK(!names.empty());
+  return names[rng->NextBelow(names.size())];
+}
+
+}  // namespace
+
+Vocabulary RandomVocabulary(Rng* rng, int min_terms, int max_terms) {
+  ARBITER_CHECK(1 <= min_terms && min_terms <= max_terms &&
+                max_terms <= kMaxEnumTerms);
+  const int n =
+      static_cast<int>(rng->NextInRange(min_terms, max_terms));
+  Vocabulary vocab;
+  for (int i = 0; i < n; ++i) {
+    vocab.AddTerm("t" + std::to_string(i)).ValueOrDie();
+  }
+  return vocab;
+}
+
+std::string RandomFormulaText(Rng* rng, const Vocabulary& vocab,
+                              int max_depth) {
+  ARBITER_CHECK(vocab.size() >= 1);
+  RandomFormulaOptions options;
+  options.num_terms = vocab.size();
+  options.max_depth = max_depth;
+  return ToString(RandomFormula(rng, options), vocab);
+}
+
+ModelSet RandomModelSet(Rng* rng, int num_terms, double density) {
+  return ModelSet::FromMasks(RandomModelSetMasks(rng, num_terms, density),
+                             num_terms);
+}
+
+WeightedKnowledgeBase RandomWeightedBase(Rng* rng, int num_terms,
+                                         double density) {
+  WeightedKnowledgeBase out(num_terms);
+  bool any = false;
+  for (uint64_t i = 0; i < out.space_size(); ++i) {
+    if (!rng->NextBool(density)) continue;
+    double w = 0;
+    switch (rng->NextBelow(4)) {
+      case 0:
+        w = static_cast<double>(rng->NextInRange(1, 16));
+        break;
+      case 1:
+        w = 0.5 * static_cast<double>(rng->NextInRange(1, 9));
+        break;
+      case 2:
+        w = static_cast<double>(rng->NextInRange(1, 1000)) * 1e6;
+        break;
+      default:
+        w = rng->NextDouble() + 1e-3;
+        break;
+    }
+    out.SetWeight(i, w);
+    any = true;
+  }
+  if (!any) out.SetWeight(rng->NextBelow(out.space_size()), 1.0);
+  return out;
+}
+
+std::string StoreOp::ToString() const {
+  switch (kind) {
+    case Kind::kDefine:
+      return "define " + base + " := " + text;
+    case Kind::kApply:
+      return "apply " + base + " " + op_name + " with " + text;
+    case Kind::kUndo:
+      return "undo " + base;
+    case Kind::kDrop:
+      return "drop " + base;
+    case Kind::kEntails:
+      return "entails " + base + " ? " + text;
+    case Kind::kConsistentWith:
+      return "consistent " + base + " ? " + text;
+    case Kind::kBadDefine:
+      return "bad-define " + base + " := " + text;
+    case Kind::kBadApply:
+      return "bad-apply " + base + " " + op_name + " with " + text;
+    case Kind::kBadQuery:
+      return "bad-query " + base + " ? " + text;
+  }
+  return "?";
+}
+
+std::vector<StoreOp> RandomStoreScript(Rng* rng, const Vocabulary& vocab,
+                                       int length, double bad_prob) {
+  std::vector<StoreOp> script;
+  script.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    StoreOp op;
+    if (rng->NextBool(bad_prob)) {
+      switch (rng->NextBelow(3)) {
+        case 0:
+          op.kind = StoreOp::Kind::kBadDefine;
+          op.base = RandomBaseName(rng);
+          // Mix parse errors with capacity overflows.
+          op.text = rng->NextBool(0.3)
+                        ? CapacityBomb()
+                        : kBadFormulas[rng->NextBelow(kNumBadFormulas)];
+          break;
+        case 1:
+          op.kind = StoreOp::Kind::kBadApply;
+          op.base = rng->NextBool(0.3) ? "no_such_base"
+                                       : RandomBaseName(rng);
+          op.op_name = rng->NextBool(0.5) ? "no-such-op"
+                                          : RandomOperatorName(rng);
+          op.text = rng->NextBool(0.3)
+                        ? CapacityBomb()
+                        : (rng->NextBool(0.5)
+                               ? std::string(kBadFormulas[rng->NextBelow(
+                                     kNumBadFormulas)])
+                               : RandomFormulaText(rng, vocab, 3));
+          break;
+        default:
+          op.kind = StoreOp::Kind::kBadQuery;
+          op.base = rng->NextBool(0.3) ? "no_such_base"
+                                       : RandomBaseName(rng);
+          op.text = rng->NextBool(0.3)
+                        ? CapacityBomb()
+                        : kBadFormulas[rng->NextBelow(kNumBadFormulas)];
+          break;
+      }
+      script.push_back(op);
+      continue;
+    }
+    switch (rng->NextBelow(6)) {
+      case 0:
+        op.kind = StoreOp::Kind::kDefine;
+        op.base = RandomBaseName(rng);
+        op.text = RandomFormulaText(rng, vocab, 4);
+        break;
+      case 1:
+      case 2:
+        op.kind = StoreOp::Kind::kApply;
+        op.base = RandomBaseName(rng);
+        op.op_name = RandomOperatorName(rng);
+        op.text = RandomFormulaText(rng, vocab, 3);
+        break;
+      case 3:
+        op.kind = rng->NextBool(0.7) ? StoreOp::Kind::kUndo
+                                     : StoreOp::Kind::kDrop;
+        op.base = RandomBaseName(rng);
+        break;
+      case 4:
+        op.kind = StoreOp::Kind::kEntails;
+        op.base = RandomBaseName(rng);
+        op.text = RandomFormulaText(rng, vocab, 3);
+        break;
+      default:
+        op.kind = StoreOp::Kind::kConsistentWith;
+        op.base = RandomBaseName(rng);
+        op.text = RandomFormulaText(rng, vocab, 3);
+        break;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+}  // namespace arbiter::test_support

@@ -1,0 +1,70 @@
+#ifndef ARBITER_TEST_SUPPORT_FUZZ_GENERATORS_H_
+#define ARBITER_TEST_SUPPORT_FUZZ_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/weighted_kb.h"
+#include "logic/vocabulary.h"
+#include "model/model_set.h"
+#include "util/random.h"
+
+/// \file fuzz_generators.h
+/// Randomized workload generators for the differential fuzz harness:
+/// vocabularies, formula texts, model sets, weighted bases, and
+/// BeliefStore op scripts (including deliberately invalid ops that
+/// exercise the store's error paths).  All generators are deterministic
+/// in the caller's Rng, so every fuzz case is reproducible from its
+/// seed.
+
+namespace arbiter::test_support {
+
+/// A vocabulary of `n` terms with n drawn uniformly from
+/// [min_terms, max_terms].
+Vocabulary RandomVocabulary(Rng* rng, int min_terms, int max_terms);
+
+/// Parseable text of a random formula over `vocab` (random AST, then
+/// pretty-printed).  Requires vocab nonempty.
+std::string RandomFormulaText(Rng* rng, const Vocabulary& vocab,
+                              int max_depth);
+
+/// A random nonempty model set over `num_terms` terms.
+ModelSet RandomModelSet(Rng* rng, int num_terms, double density);
+
+/// A random satisfiable weighted base: each interpretation gets a
+/// positive weight with probability `density`, drawn from a mix of
+/// small integers, halves, and large magnitudes.
+WeightedKnowledgeBase RandomWeightedBase(Rng* rng, int num_terms,
+                                         double density);
+
+/// One step of a random BeliefStore workload.  Bad variants carry
+/// malformed formulas, unknown operators/bases, or capacity bombs, and
+/// are expected (though not required) to fail.
+struct StoreOp {
+  enum class Kind {
+    kDefine,
+    kApply,
+    kUndo,
+    kDrop,
+    kEntails,
+    kConsistentWith,
+    kBadDefine,       ///< malformed or capacity-exceeding formula
+    kBadApply,        ///< unknown operator, bad evidence, or bad base
+    kBadQuery,        ///< Entails/ConsistentWith with bad input
+  };
+  Kind kind;
+  std::string base;
+  std::string op_name;  ///< kApply/kBadApply only
+  std::string text;     ///< formula payload
+
+  std::string ToString() const;
+};
+
+/// A script of `length` ops over a small pool of base names; each op
+/// is a bad variant with probability `bad_prob`.
+std::vector<StoreOp> RandomStoreScript(Rng* rng, const Vocabulary& vocab,
+                                       int length, double bad_prob);
+
+}  // namespace arbiter::test_support
+
+#endif  // ARBITER_TEST_SUPPORT_FUZZ_GENERATORS_H_

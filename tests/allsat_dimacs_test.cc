@@ -117,6 +117,16 @@ TEST(DimacsTest, Errors) {
   EXPECT_FALSE(ParseDimacs("p dnf 1 1\n1 0\n").ok()); // wrong format tag
 }
 
+TEST(DimacsTest, ClauseCountMustMatchHeader) {
+  // Too few clauses: a truncated file must not parse silently.
+  EXPECT_FALSE(ParseDimacs("p cnf 2 2\n1 0\n").ok());
+  // Too many clauses.
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n1 0\n-2 0\n").ok());
+  // Exact match still parses, including the zero-clause instance.
+  EXPECT_TRUE(ParseDimacs("p cnf 2 2\n1 0\n-2 0\n").ok());
+  EXPECT_TRUE(ParseDimacs("p cnf 2 0\n").ok());
+}
+
 TEST(DimacsTest, RoundTrip) {
   CnfInstance inst;
   inst.num_vars = 4;

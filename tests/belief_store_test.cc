@@ -151,8 +151,74 @@ TEST(BeliefStoreTest, SaveLoadRoundTrip) {
         copy.Get(name)->EquivalentTo(*store.Get(name)))
         << name;
   }
-  // Journals are not persisted.
-  EXPECT_EQ(copy.HistoryDepth("jury"), 0);
+  // Journals ARE persisted: Load restores the hist lines.
+  EXPECT_EQ(copy.HistoryDepth("jury"), 1);
+  std::vector<ChangeRecord> history = copy.History("jury");
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].op_name, "dalal");
+  EXPECT_EQ(history[0].evidence_text, "!v");
+  // ... so Undo works on the reloaded store and lands on the original.
+  ASSERT_TRUE(copy.Undo("jury").ok());
+  ASSERT_TRUE(store.Undo("jury").ok());
+  EXPECT_TRUE(copy.Get("jury")->EquivalentTo(*store.Get("jury")));
+}
+
+TEST(BeliefStoreTest, SaveEmitsUndoAndHistLines) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a").ok());
+  ASSERT_TRUE(store.Apply("kb", "winslett", "b | !a").ok());
+  ASSERT_TRUE(store.Apply("kb", "dalal", "!b").ok());
+  std::string saved = store.Save();
+  // The base line holds the CURRENT formula; each pre-change state is
+  // an undo line and each applied change a hist line, both in order.
+  EXPECT_NE(saved.find("base kb := "), std::string::npos) << saved;
+  EXPECT_NE(saved.find("undo kb := a\n"), std::string::npos) << saved;
+  size_t first = saved.find("hist kb winslett := b | !a");
+  size_t second = saved.find("hist kb dalal := !b");
+  ASSERT_NE(first, std::string::npos) << saved;
+  ASSERT_NE(second, std::string::npos) << saved;
+  EXPECT_LT(first, second);
+}
+
+TEST(BeliefStoreTest, LoadRejectsMalformedHistLines) {
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nhist broken\n").ok());
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nhist kb := x\n").ok());
+  // hist for a base that was never defined.
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nhist kb dalal := a\n").ok());
+  // hist naming an unregistered operator.
+  EXPECT_FALSE(
+      BeliefStore::Load(
+          "arbiter-store v1\nbase kb := a\nundo kb := a\n"
+          "hist kb zorp := a\n")
+          .ok());
+}
+
+TEST(BeliefStoreTest, LoadRejectsMalformedUndoLines) {
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nundo broken\n").ok());
+  // undo for a base that was never defined.
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nundo kb := a\n").ok());
+  // Each hist line needs a matching undo line and vice versa.
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nbase kb := a\n"
+                        "hist kb dalal := !a\n")
+          .ok());
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nbase kb := a\n"
+                        "undo kb := a\n")
+          .ok());
+}
+
+TEST(BeliefStoreTest, LoadAcceptsJournalFreeV1Files) {
+  // Files written before journal persistence (no hist lines) load.
+  Result<BeliefStore> loaded =
+      BeliefStore::Load("arbiter-store v1\nvocab a b\nbase kb := a & b\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->HistoryDepth("kb"), 0);
 }
 
 TEST(BeliefStoreTest, LoadRejectsGarbage) {

@@ -1,0 +1,77 @@
+// Fixed-seed smoke tier of the differential fuzz harness: >= 500
+// randomized cases cross-checking the serial/pruned/parallel kernels,
+// the Theorem 3.1/4.1 representation constructions, arbitration
+// commutativity, and BeliefStore atomicity + Save/Load/replay.  The
+// long-running configurable version lives in bench/fuzz_driver.cc.
+
+#include "test_support/differential.h"
+
+#include <gtest/gtest.h>
+
+#include "model/distance.h"
+#include "test_support/fuzz_generators.h"
+#include "util/random.h"
+
+namespace arbiter::test_support {
+namespace {
+
+TEST(DifferentialFuzzTest, FixedSeedSmokeTier) {
+  DifferentialOptions options;
+  options.seed = 0xA7B17E5;
+  options.num_cases = 500;
+  DifferentialReport report = RunDifferentialFuzz(options);
+  EXPECT_EQ(report.cases_run, 500);
+  EXPECT_GT(report.checks_run, 0);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(DifferentialFuzzTest, DeterministicInSeed) {
+  DifferentialOptions options;
+  options.seed = 0xDECAF;
+  options.num_cases = 20;
+  DifferentialReport a = RunDifferentialFuzz(options);
+  DifferentialReport b = RunDifferentialFuzz(options);
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.checks_run, b.checks_run);
+  EXPECT_EQ(a.divergences.size(), b.divergences.size());
+}
+
+TEST(DifferentialFuzzTest, ReferenceKernelsAgreeWithDefinitions) {
+  // Anchor the references themselves on a hand-computed example:
+  // psi = {00, 11} over 2 terms.
+  ModelSet psi = ModelSet::FromMasks({0b00, 0b11}, 2);
+  EXPECT_EQ(ReferenceOverallDist(psi, 0b00), 2);  // to 11
+  EXPECT_EQ(ReferenceOverallDist(psi, 0b01), 1);
+  EXPECT_EQ(ReferenceSumDist(psi, 0b00), 2);  // 0 + 2
+  EXPECT_EQ(ReferenceSumDist(psi, 0b01), 2);  // 1 + 1
+  EXPECT_EQ(OverallDist(psi, 0b00), 2);
+  EXPECT_EQ(SumDist(psi, 0b01), 2);
+}
+
+TEST(DifferentialFuzzTest, DivergenceFormattingIsStable) {
+  Divergence d{3, 42, "kernel/odist", "I=1"};
+  EXPECT_EQ(d.ToString(), "[case 3 seed 42] kernel/odist: I=1");
+  DifferentialReport report;
+  report.cases_run = 1;
+  report.checks_run = 7;
+  report.divergences.push_back(d);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.Summary().find("1 divergences"), std::string::npos);
+}
+
+TEST(DifferentialFuzzTest, GeneratorsAreDeterministicAndWellFormed) {
+  Rng a(123), b(123);
+  Vocabulary va = RandomVocabulary(&a, 2, 5);
+  Vocabulary vb = RandomVocabulary(&b, 2, 5);
+  EXPECT_EQ(va.names(), vb.names());
+  EXPECT_EQ(RandomFormulaText(&a, va, 4), RandomFormulaText(&b, vb, 4));
+  ModelSet ms = RandomModelSet(&a, 4, 0.3);
+  EXPECT_FALSE(ms.empty());
+  WeightedKnowledgeBase wkb = RandomWeightedBase(&a, 4, 0.3);
+  EXPECT_TRUE(wkb.IsSatisfiable());
+  std::vector<StoreOp> script = RandomStoreScript(&a, va, 10, 0.3);
+  EXPECT_EQ(script.size(), 10u);
+}
+
+}  // namespace
+}  // namespace arbiter::test_support

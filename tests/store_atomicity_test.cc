@@ -1,0 +1,170 @@
+// Error-path atomicity of the BeliefStore (strong error guarantee):
+// after ANY failed operation, Dump(), Names(), the vocabulary, and the
+// history must be byte-identical to before.  The seed code leaked
+// vocabulary terms from failed parses — every existing base was then
+// silently reinterpreted over a larger universe.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/belief_store.h"
+
+namespace arbiter {
+namespace {
+
+/// Full observable state of a store.
+struct Observed {
+  std::string dump;
+  std::vector<std::string> names;
+  std::vector<std::string> vocab;
+  std::vector<int> depths;
+  std::vector<std::string> journals;
+
+  static Observed Of(const BeliefStore& store) {
+    Observed o;
+    o.dump = store.Dump();
+    o.names = store.Names();
+    o.vocab = store.vocabulary().names();
+    for (const std::string& name : o.names) {
+      o.depths.push_back(store.HistoryDepth(name));
+      std::string journal;
+      for (const ChangeRecord& r : store.History(name)) {
+        journal += r.op_name + "|" + r.evidence_text + ";";
+      }
+      o.journals.push_back(journal);
+    }
+    return o;
+  }
+
+  bool operator==(const Observed& other) const {
+    return dump == other.dump && names == other.names &&
+           vocab == other.vocab && depths == other.depths &&
+           journals == other.journals;
+  }
+};
+
+/// A formula that parses but pushes the vocabulary past kMaxEnumTerms.
+std::string CapacityBomb() {
+  std::string out = "zz0";
+  for (int i = 1; i <= kMaxEnumTerms; ++i) out += " & zz" + std::to_string(i);
+  return out;
+}
+
+class StoreAtomicityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.Define("jury", "g & a & (g & a -> v)").ok());
+    ASSERT_TRUE(store_.Define("witness", "!v | w").ok());
+    ASSERT_TRUE(store_.Apply("jury", "dalal", "!v").ok());
+  }
+
+  /// Runs `fn`, expects it to fail, and asserts nothing was observed
+  /// to change.
+  template <typename Fn>
+  void ExpectFailedAndUnchanged(const Fn& fn, const char* what) {
+    const Observed before = Observed::Of(store_);
+    const Status status = fn();
+    EXPECT_FALSE(status.ok()) << what << " unexpectedly succeeded";
+    EXPECT_TRUE(Observed::Of(store_) == before)
+        << what << " failed (" << status.ToString()
+        << ") but mutated the store";
+  }
+
+  BeliefStore store_;
+};
+
+TEST_F(StoreAtomicityTest, FailedDefineParseError) {
+  // "brand_new" precedes the syntax error; it must not leak into the
+  // vocabulary.
+  ExpectFailedAndUnchanged(
+      [&] { return store_.Define("fresh", "brand_new & ("); },
+      "Define with parse error");
+}
+
+TEST_F(StoreAtomicityTest, FailedDefineCapacityOverflow) {
+  ExpectFailedAndUnchanged(
+      [&] { return store_.Define("fresh", CapacityBomb()); },
+      "Define past the enumeration limit");
+  EXPECT_FALSE(store_.vocabulary().Contains("zz0"));
+}
+
+TEST_F(StoreAtomicityTest, FailedDefineEmptyName) {
+  ExpectFailedAndUnchanged([&] { return store_.Define("", "g"); },
+                           "Define with empty name");
+}
+
+TEST_F(StoreAtomicityTest, FailedApplyUnknownBase) {
+  ExpectFailedAndUnchanged(
+      [&] { return store_.Apply("ghost", "dalal", "fresh_term"); },
+      "Apply on unknown base");
+  EXPECT_FALSE(store_.vocabulary().Contains("fresh_term"));
+}
+
+TEST_F(StoreAtomicityTest, FailedApplyUnknownOperator) {
+  ExpectFailedAndUnchanged(
+      [&] { return store_.Apply("jury", "zorp", "also_fresh"); },
+      "Apply with unknown operator");
+  EXPECT_FALSE(store_.vocabulary().Contains("also_fresh"));
+}
+
+TEST_F(StoreAtomicityTest, FailedApplyBadEvidence) {
+  ExpectFailedAndUnchanged(
+      [&] { return store_.Apply("jury", "dalal", "leaky & ("); },
+      "Apply with unparseable evidence");
+  EXPECT_FALSE(store_.vocabulary().Contains("leaky"));
+}
+
+TEST_F(StoreAtomicityTest, FailedApplyCapacityOverflow) {
+  ExpectFailedAndUnchanged(
+      [&] { return store_.Apply("jury", "dalal", CapacityBomb()); },
+      "Apply past the enumeration limit");
+}
+
+TEST_F(StoreAtomicityTest, FailedEntailsDoesNotLeakTerms) {
+  ExpectFailedAndUnchanged(
+      [&] { return store_.Entails("jury", "qqq & (").status(); },
+      "Entails with parse error");
+  EXPECT_FALSE(store_.vocabulary().Contains("qqq"));
+  ExpectFailedAndUnchanged(
+      [&] { return store_.Entails("jury", CapacityBomb()).status(); },
+      "Entails past the enumeration limit");
+}
+
+TEST_F(StoreAtomicityTest, FailedConsistentWithDoesNotLeakTerms) {
+  ExpectFailedAndUnchanged(
+      [&] { return store_.ConsistentWith("jury", "rrr |").status(); },
+      "ConsistentWith with parse error");
+  EXPECT_FALSE(store_.vocabulary().Contains("rrr"));
+}
+
+TEST_F(StoreAtomicityTest, FailedCounterfactualSecondParseRollsBackFirst) {
+  // The antecedent parses and registers "ante_term" on the scratch
+  // copy; the consequent then fails — NEITHER term may survive.
+  ExpectFailedAndUnchanged(
+      [&] {
+        return store_.Counterfactual("jury", "ante_term", "cons & (")
+            .status();
+      },
+      "Counterfactual with bad consequent");
+  EXPECT_FALSE(store_.vocabulary().Contains("ante_term"));
+}
+
+TEST_F(StoreAtomicityTest, FailedUndoAndDrop) {
+  ASSERT_TRUE(store_.Undo("jury").ok());
+  ExpectFailedAndUnchanged([&] { return store_.Undo("jury"); },
+                           "Undo with empty history");
+  ExpectFailedAndUnchanged([&] { return store_.Drop("ghost"); },
+                           "Drop on unknown base");
+}
+
+TEST_F(StoreAtomicityTest, SuccessfulQueryStillGrowsVocabulary) {
+  // The transactional rewrite must not break auto-registration on the
+  // success path.
+  ASSERT_TRUE(store_.Entails("jury", "novel | !novel").ok());
+  EXPECT_TRUE(store_.vocabulary().Contains("novel"));
+}
+
+}  // namespace
+}  // namespace arbiter

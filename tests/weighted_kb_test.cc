@@ -162,5 +162,24 @@ TEST(WeightedKbTest, ToStringShowsSupport) {
   EXPECT_EQ(kb.ToString(v), "{{S}:10}");
 }
 
+TEST(WeightedKbTest, ToStringHugeWeightAvoidsIntegralCast) {
+  // Regression: an integral-valued weight beyond int64_t range used to
+  // be cast to int64_t (undefined behavior).  It must take the plain
+  // double path instead.
+  auto v = Vocabulary::FromNames({"S", "D"}).ValueOrDie();
+  WeightedKnowledgeBase kb(2);
+  kb.SetWeight(0b10, 1e300);
+  EXPECT_EQ(kb.ToString(v), "{{D}:" + std::to_string(1e300) + "}");
+  // The largest double below 2^63 still trims to an integer...
+  WeightedKnowledgeBase in_range(2);
+  in_range.SetWeight(0b01, 4611686018427387904.0);  // 2^62
+  EXPECT_EQ(in_range.ToString(v), "{{S}:4611686018427387904}");
+  // ... and 2^63 itself (not representable as int64_t) does not.
+  WeightedKnowledgeBase at_edge(2);
+  at_edge.SetWeight(0b01, 9223372036854775808.0);  // 2^63
+  EXPECT_EQ(at_edge.ToString(v),
+            "{{S}:" + std::to_string(9223372036854775808.0) + "}");
+}
+
 }  // namespace
 }  // namespace arbiter
