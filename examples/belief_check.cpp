@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "lint/lint.h"
 #include "store/script.h"
 
 int main(int argc, char** argv) {
@@ -37,9 +38,12 @@ int main(int argc, char** argv) {
     text = buffer.str();
   }
 
+  // Lint findings ride along on each step of the report, so a CI log
+  // shows degenerate statements (vacuous changes, unreachable guards)
+  // next to the assertion that exercised them.
   arbiter::BeliefStore store;
   arbiter::Result<arbiter::ScriptReport> report =
-      arbiter::RunScriptText(text, &store);
+      arbiter::lint::RunScriptTextLinted(text, &store);
   if (!report.ok()) {
     std::fprintf(stderr, "script error: %s\n",
                  report.status().ToString().c_str());

@@ -1,0 +1,85 @@
+#include "kb/weighted_kb_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "logic/vocabulary.h"
+#include "util/string_util.h"
+
+namespace arbiter {
+
+namespace {
+
+Status LineError(int line, const std::string& msg) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 msg);
+}
+
+}  // namespace
+
+Result<WeightedKnowledgeBase> ParseWeightedKb(const std::string& text) {
+  const std::vector<std::string> lines = Split(text, '\n');
+  int num_terms = -1;
+  WeightedKnowledgeBase base(0);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const int line_no = static_cast<int>(i + 1);
+    const std::string line = Trim(lines[i]);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    if (num_terms < 0) {
+      std::string magic;
+      in >> magic >> num_terms;
+      if (magic != "wkb" || in.fail()) {
+        return LineError(line_no, "expected 'wkb <num_terms>' header");
+      }
+      std::string extra;
+      if (in >> extra) {
+        return LineError(line_no, "trailing input after header");
+      }
+      if (num_terms < 1 || num_terms > kMaxEnumTerms) {
+        return LineError(line_no, "num_terms must be in [1, " +
+                                      std::to_string(kMaxEnumTerms) +
+                                      "], got " + std::to_string(num_terms));
+      }
+      base = WeightedKnowledgeBase(num_terms);
+      continue;
+    }
+    uint64_t bits = 0;
+    double weight = 0;
+    in >> bits >> weight;
+    std::string extra;
+    if (in.fail() || (in >> extra) || line[0] == '-') {
+      return LineError(line_no, "expected '<bits> <weight>', got '" + line +
+                                    "'");
+    }
+    if (bits >= base.space_size()) {
+      return LineError(line_no, "interpretation " + std::to_string(bits) +
+                                    " out of range for " +
+                                    std::to_string(num_terms) + " terms");
+    }
+    if (!(weight >= 0) || !std::isfinite(weight)) {
+      return LineError(line_no, "weight must be finite and >= 0");
+    }
+    base.SetWeight(bits, weight);
+  }
+  if (num_terms < 0) {
+    return Status::InvalidArgument("missing 'wkb <num_terms>' header");
+  }
+  return base;
+}
+
+std::string ToWkbText(const WeightedKnowledgeBase& base) {
+  std::string out = "wkb " + std::to_string(base.num_terms()) + "\n";
+  char buf[64];
+  for (uint64_t i = 0; i < base.space_size(); ++i) {
+    const double w = base.Weight(i);
+    if (w <= 0) continue;
+    std::snprintf(buf, sizeof buf, "%llu %.17g\n",
+                  static_cast<unsigned long long>(i), w);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace arbiter

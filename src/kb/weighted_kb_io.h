@@ -1,0 +1,34 @@
+#ifndef ARBITER_KB_WEIGHTED_KB_IO_H_
+#define ARBITER_KB_WEIGHTED_KB_IO_H_
+
+#include <string>
+
+#include "kb/weighted_kb.h"
+#include "util/status.h"
+
+/// \file weighted_kb_io.h
+/// A line-based text format for weighted knowledge bases (paper,
+/// Section 4), so weighted workloads can be checked in next to belief
+/// scripts and linted/loaded without code:
+///
+///   wkb <num_terms>          # header; num_terms in [1, kMaxEnumTerms]
+///   # comment
+///   <bits> <weight>          # one support entry per line
+///
+/// `bits` is the interpretation's bitmask (term i == bit i) in decimal;
+/// `weight` is a nonnegative finite double.  Interpretations not listed
+/// have weight 0.  A later entry for the same interpretation overwrites
+/// the earlier one (arblint warns about such duplicates).
+
+namespace arbiter {
+
+/// Parses wkb text.  Errors carry 1-based line numbers.
+Result<WeightedKnowledgeBase> ParseWeightedKb(const std::string& text);
+
+/// Renders the support of `base` in the wkb format (round-trips through
+/// ParseWeightedKb).
+std::string ToWkbText(const WeightedKnowledgeBase& base);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_KB_WEIGHTED_KB_IO_H_

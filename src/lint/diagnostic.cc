@@ -1,0 +1,96 @@
+#include "lint/diagnostic.h"
+
+namespace arbiter::lint {
+
+namespace {
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = file + ":" + std::to_string(line) + ":" +
+                    std::to_string(col) + ": " + SeverityName(severity) +
+                    ": " + message + " [" + check_id + "]";
+  if (!note.empty()) out += "\n  note: " + note;
+  return out;
+}
+
+std::string RenderText(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"file\": \"" + JsonEscape(d.file) + "\"";
+    out += ", \"line\": " + std::to_string(d.line);
+    out += ", \"col\": " + std::to_string(d.col);
+    out += std::string(", \"severity\": \"") + SeverityName(d.severity) +
+           "\"";
+    out += ", \"check_id\": \"" + JsonEscape(d.check_id) + "\"";
+    out += ", \"message\": \"" + JsonEscape(d.message) + "\"";
+    out += ", \"note\": \"" + JsonEscape(d.note) + "\"}";
+  }
+  out += diagnostics.empty() ? "]" : "\n]";
+  out += "\n";
+  return out;
+}
+
+Severity MaxSeverity(const std::vector<Diagnostic>& diagnostics) {
+  Severity max = Severity::kNote;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity > max) max = d.severity;
+  }
+  return max;
+}
+
+int CountAtSeverity(const std::vector<Diagnostic>& diagnostics,
+                    Severity severity) {
+  int count = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++count;
+  }
+  return count;
+}
+
+}  // namespace arbiter::lint

@@ -1,0 +1,56 @@
+#ifndef ARBITER_LINT_DIAGNOSTIC_H_
+#define ARBITER_LINT_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+/// \file diagnostic.h
+/// The diagnostics engine behind arblint: a location-carrying finding
+/// type plus text and JSON renderers.  Checks are identified by stable
+/// string ids ("script/undo-empty", "dimacs/unused-var", ...) so CI
+/// configurations and the fixture corpus can pin them.
+
+namespace arbiter::lint {
+
+/// How bad a finding is.  Orderable: kError > kWarning > kNote.
+enum class Severity {
+  kNote = 0,     ///< informational; never affects exit codes
+  kWarning = 1,  ///< suspicious but executable (error under --werror)
+  kError = 2,    ///< the artifact is broken; executing it would fail
+};
+
+/// Short lowercase name ("note", "warning", "error").
+const char* SeverityName(Severity severity);
+
+/// One finding, anchored to a source location.
+struct Diagnostic {
+  std::string file;       ///< input path ("<stdin>" when piped)
+  int line = 0;           ///< 1-based; 0 anchors to the whole file
+  int col = 1;            ///< 1-based column of the offending token
+  Severity severity = Severity::kWarning;
+  std::string check_id;   ///< stable id, e.g. "script/use-before-define"
+  std::string message;    ///< what is wrong
+  std::string note;       ///< optional context or suggested fix
+
+  /// "file:line:col: severity: message [check_id]" (+ "  note: ...").
+  std::string ToString() const;
+};
+
+/// Renders diagnostics one per line, GCC style, ready for a terminal.
+std::string RenderText(const std::vector<Diagnostic>& diagnostics);
+
+/// Renders diagnostics as a JSON array of objects with keys
+/// {file, line, col, severity, check_id, message, note}.  The schema is
+/// documented in docs/LINTING.md.
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics);
+
+/// The highest severity present (kNote when empty).
+Severity MaxSeverity(const std::vector<Diagnostic>& diagnostics);
+
+/// Counts diagnostics at exactly `severity`.
+int CountAtSeverity(const std::vector<Diagnostic>& diagnostics,
+                    Severity severity);
+
+}  // namespace arbiter::lint
+
+#endif  // ARBITER_LINT_DIAGNOSTIC_H_

@@ -1,0 +1,103 @@
+#ifndef ARBITER_LINT_LINT_H_
+#define ARBITER_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "store/script.h"
+#include "util/status.h"
+
+/// \file lint.h
+/// arblint: a static analyzer for the belief artifacts this repository
+/// ships — `.belief` scripts, DIMACS CNF knowledge bases, and weighted
+/// knowledge bases — that finds broken or degenerate inputs *without
+/// executing them*.
+///
+/// The analyzer runs a registry of checks (see AllChecks()) grounded in
+/// the paper's postulates: an unsatisfiable base or evidence formula is
+/// the (A2)/(A3) absorbing edge, a `change` whose evidence is already
+/// entailed by the base is a revision/update no-op ((R2)/(U2)), an `if`
+/// guard that is tautological or unsatisfiable makes the guarded
+/// statement unconditionally taken or unreachable, and so on.
+/// Satisfiability questions are decided with the SAT core, never by
+/// running theory change.
+///
+/// Error-severity script diagnostics are calibrated against the
+/// runtime: a script that lints with no errors parses and executes
+/// without hard errors (assertions may still fail — that is what they
+/// are for).  The differential fuzz harness cross-checks this contract
+/// on randomized scripts.
+
+namespace arbiter::lint {
+
+/// What kind of artifact a file contains.
+enum class InputKind {
+  kBeliefScript,  ///< .belief — src/store/script.h language
+  kDimacsCnf,     ///< .cnf / .dimacs — DIMACS CNF
+  kWeightedKb,    ///< .wkb — weighted KB (src/kb/weighted_kb_io.h)
+};
+
+/// Maps a file path to its input kind by extension
+/// (.belief | .cnf | .dimacs | .wkb); unknown extensions are an error.
+Result<InputKind> InputKindForPath(const std::string& path);
+
+/// Static metadata for one registered check.
+struct CheckInfo {
+  const char* id;         ///< stable id, e.g. "script/undo-empty"
+  Severity severity;      ///< default severity of its diagnostics
+  const char* summary;    ///< one-line description
+};
+
+/// The full check registry, in a stable order.  Every diagnostic the
+/// analyzers emit carries the id and default severity of one entry.
+const std::vector<CheckInfo>& AllChecks();
+
+/// Registry lookup; nullptr for unknown ids.
+const CheckInfo* FindCheck(const std::string& id);
+
+struct LintOptions {
+  /// Check ids to suppress entirely.
+  std::vector<std::string> disabled_checks;
+
+  /// dimacs/unsat runs the DPLL core only when the instance declares at
+  /// most this many variables (the solver has no conflict budget).
+  int dimacs_solve_max_vars = 20;
+};
+
+/// Lints belief-script text.  Statement-level recovery: one malformed
+/// line yields one diagnostic and analysis continues on the next line.
+std::vector<Diagnostic> LintScriptText(const std::string& file,
+                                       const std::string& text,
+                                       const LintOptions& options = {});
+
+/// Lints DIMACS CNF text.
+std::vector<Diagnostic> LintDimacsText(const std::string& file,
+                                       const std::string& text,
+                                       const LintOptions& options = {});
+
+/// Lints weighted-KB text (the `wkb` format of weighted_kb_io.h).
+std::vector<Diagnostic> LintWeightedKbText(const std::string& file,
+                                           const std::string& text,
+                                           const LintOptions& options = {});
+
+/// Dispatches on `kind`.
+std::vector<Diagnostic> LintText(InputKind kind, const std::string& file,
+                                 const std::string& text,
+                                 const LintOptions& options = {});
+
+/// Builds a statement-level hook for RunScript: the script text is
+/// linted once up front and the hook hands each executed statement the
+/// diagnostics anchored on its source line, so run reports interleave
+/// lint findings with execution results.
+ScriptLintHook MakeScriptLintHook(const std::string& text,
+                                  const LintOptions& options = {});
+
+/// Parse + lint + run in one go; the report's steps carry lint lines.
+Result<ScriptReport> RunScriptTextLinted(const std::string& text,
+                                         BeliefStore* store,
+                                         const LintOptions& options = {});
+
+}  // namespace arbiter::lint
+
+#endif  // ARBITER_LINT_LINT_H_

@@ -229,6 +229,9 @@ std::string ScriptReport::ToString() const {
     out += "[line " + std::to_string(step.line) + "] " + step.text;
     if (!step.detail.empty()) out += "  -- " + step.detail;
     out += "\n";
+    for (const std::string& finding : step.lint) {
+      out += "       lint: " + finding + "\n";
+    }
   }
   out += AllPassed() ? "all passed\n"
                      : std::to_string(failures) + " failure(s)\n";
@@ -249,11 +252,20 @@ Result<BeliefScript> ParseScript(const std::string& text) {
   return script;
 }
 
-ScriptReport RunScript(const BeliefScript& script, BeliefStore* store) {
+ScriptReport RunScript(const BeliefScript& script, BeliefStore* store,
+                       const ScriptLintHook& lint_hook) {
   ARBITER_CHECK(store != nullptr);
   ScriptReport report;
   for (const ScriptStatement& stmt : script.statements) {
-    if (!Execute(stmt, store, &report)) break;
+    const size_t first_step = report.steps.size();
+    const bool keep_going = Execute(stmt, store, &report);
+    // Attach lint findings to the statement's first step (a conditional
+    // contributes one step for the guard plus one for the inner
+    // statement; findings anchor on the guard).
+    if (lint_hook && report.steps.size() > first_step) {
+      report.steps[first_step].lint = lint_hook(stmt);
+    }
+    if (!keep_going) break;
   }
   return report;
 }

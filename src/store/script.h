@@ -1,6 +1,7 @@
 #ifndef ARBITER_STORE_SCRIPT_H_
 #define ARBITER_STORE_SCRIPT_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,9 @@ struct ScriptStepResult {
   bool ok = false;    ///< executed without error and assertion held
   bool skipped = false;  ///< guarded statement whose condition was false
   std::string detail;    ///< error or assertion-failure description
+  /// Static-analysis findings anchored on this statement, supplied by
+  /// the lint hook passed to RunScript (rendered diagnostic lines).
+  std::vector<std::string> lint;
 };
 
 /// Outcome of a full run.
@@ -73,10 +77,20 @@ struct ScriptReport {
 /// Parses script text.  Syntax errors carry line numbers.
 Result<BeliefScript> ParseScript(const std::string& text);
 
+/// Statement-level lint hook: given a top-level statement about to run,
+/// returns rendered diagnostic lines to attach to its step result.
+/// src/lint/lint.h provides MakeScriptLintHook; the store layer only
+/// defines the injection point so it stays independent of the linter.
+using ScriptLintHook =
+    std::function<std::vector<std::string>(const ScriptStatement&)>;
+
 /// Runs a script against a store (mutating it).  Execution continues
 /// past failed assertions (they are recorded); it stops on the first
-/// hard error (unknown base/operator, parse error in a formula).
-ScriptReport RunScript(const BeliefScript& script, BeliefStore* store);
+/// hard error (unknown base/operator, parse error in a formula).  A
+/// non-null `lint_hook` is consulted once per top-level statement and
+/// its findings are attached to that statement's step result.
+ScriptReport RunScript(const BeliefScript& script, BeliefStore* store,
+                       const ScriptLintHook& lint_hook = nullptr);
 
 /// Convenience: parse and run in one go.
 Result<ScriptReport> RunScriptText(const std::string& text,

@@ -7,6 +7,7 @@
 #include "change/fitting.h"
 #include "change/registry.h"
 #include "change/weighted.h"
+#include "lint/lint.h"
 #include "model/distance.h"
 #include "model/loyal.h"
 #include "model/preorder.h"
@@ -266,6 +267,36 @@ void CheckStore(CaseContext* ctx, Rng* rng, const Vocabulary& vocab) {
   }
 }
 
+void CheckScriptLint(CaseContext* ctx, Rng* rng, const Vocabulary& vocab) {
+  const BeliefScriptCase c =
+      RandomBeliefScript(rng, vocab, /*length=*/10, /*bad_prob=*/0.4);
+  const std::vector<lint::Diagnostic> diags =
+      lint::LintScriptText("<fuzz>", c.text);
+  const int errors = lint::CountAtSeverity(diags, lint::Severity::kError);
+  if (c.ill_formed) {
+    // The generator injected a defect arblint certainly flags.
+    ctx->Check(errors > 0, "lint/injected-defect-missed", c.text);
+    return;
+  }
+  ctx->Check(errors == 0, "lint/false-positive",
+             c.text + " | " + lint::RenderText(diags));
+  // The contract the linter documents: no error-severity diagnostics
+  // => the script parses and executes without hard errors (assertion
+  // failures are fine — those need the runtime).
+  BeliefStore store;
+  const Result<ScriptReport> report =
+      lint::RunScriptTextLinted(c.text, &store);
+  ctx->Check(report.ok(), "lint/parse",
+             c.text + " | " + report.status().ToString());
+  if (!report.ok()) return;
+  for (const ScriptStepResult& step : report->steps) {
+    const bool hard_error = !step.ok && step.detail != "assertion failed";
+    ctx->Check(!hard_error, "lint/hard-error",
+               "line " + std::to_string(step.line) + ": " + step.detail +
+                   " | " + c.text);
+  }
+}
+
 }  // namespace
 
 int ReferenceOverallDist(const ModelSet& psi, uint64_t interpretation) {
@@ -407,6 +438,9 @@ DifferentialReport RunDifferentialFuzz(const DifferentialOptions& options) {
     }
     if (options.check_store) {
       CheckStore(&ctx, &rng, vocab);
+    }
+    if (options.check_script_lint) {
+      CheckScriptLint(&ctx, &rng, vocab);
     }
     ++report.cases_run;
   }

@@ -33,6 +33,12 @@
 ///    returns non-OK must leave the store byte-identical (strong error
 ///    guarantee), and Save → Load → replay must reproduce the store
 ///    (bases, vocabulary, journals, and undo stacks).
+///  * **Lint** — random `.belief` scripts cross-check the arblint
+///    contract: a well-formed script lints clean of error-severity
+///    diagnostics and executes without hard errors, while a script with
+///    an injected defect (unknown keyword, use-before-define, unknown
+///    operator, malformed formula, empty-history undo, capacity bomb)
+///    always produces at least one error diagnostic.
 ///
 /// Everything is deterministic in `seed`, so a reported divergence is
 /// reproducible by re-running its case seed.
@@ -62,6 +68,7 @@ struct DifferentialOptions {
   bool check_weighted = true;
   bool check_commutativity = true;
   bool check_store = true;
+  bool check_script_lint = true;
 };
 
 /// One observed disagreement between implementations.

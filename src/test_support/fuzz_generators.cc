@@ -193,4 +193,123 @@ std::vector<StoreOp> RandomStoreScript(Rng* rng, const Vocabulary& vocab,
   return script;
 }
 
+BeliefScriptCase RandomBeliefScript(Rng* rng, const Vocabulary& vocab,
+                                    int length, double bad_prob) {
+  BeliefScriptCase out;
+  out.ill_formed = rng->NextBool(bad_prob);
+  std::vector<std::string> lines;
+  std::vector<std::string> defined;
+  // Exact undo depth per defined base; mirrors the linter's tracking
+  // (define resets, change pushes, undo pops), which the store matches.
+  std::vector<int> depth;
+  auto define_index = [&](const std::string& base) {
+    for (size_t i = 0; i < defined.size(); ++i) {
+      if (defined[i] == base) return static_cast<int>(i);
+    }
+    defined.push_back(base);
+    depth.push_back(0);
+    return static_cast<int>(defined.size()) - 1;
+  };
+  auto pick_defined = [&]() {
+    return static_cast<int>(rng->NextBelow(defined.size()));
+  };
+  for (int i = 0; i < length; ++i) {
+    if (defined.empty()) {
+      const std::string base = RandomBaseName(rng);
+      lines.push_back("define " + base + " := " +
+                      RandomFormulaText(rng, vocab, 4));
+      define_index(base);
+      continue;
+    }
+    switch (rng->NextBelow(6)) {
+      case 0: {
+        const std::string base = RandomBaseName(rng);
+        lines.push_back("define " + base + " := " +
+                        RandomFormulaText(rng, vocab, 4));
+        depth[define_index(base)] = 0;
+        break;
+      }
+      case 1:
+      case 2: {
+        const int b = pick_defined();
+        lines.push_back("change " + defined[b] + " by " +
+                        RandomOperatorName(rng) + " with " +
+                        RandomFormulaText(rng, vocab, 3));
+        ++depth[b];
+        break;
+      }
+      case 3: {
+        const int b = pick_defined();
+        if (depth[b] > 0) {
+          lines.push_back("undo " + defined[b]);
+          --depth[b];
+        } else {
+          lines.push_back("assert " + defined[b] + " entails " +
+                          RandomFormulaText(rng, vocab, 3));
+        }
+        break;
+      }
+      case 4: {
+        static const char* const kRelations[] = {
+            "entails", "consistent-with", "equivalent-to"};
+        lines.push_back("assert " + defined[pick_defined()] + " " +
+                        kRelations[rng->NextBelow(3)] + " " +
+                        RandomFormulaText(rng, vocab, 3));
+        break;
+      }
+      default: {
+        // Conditionals only guard assertions on defined bases so both
+        // the linter's depth tracking and the runtime stay exact.
+        lines.push_back("if " + defined[pick_defined()] + " entails " +
+                        RandomFormulaText(rng, vocab, 2) +
+                        " then assert " + defined[pick_defined()] +
+                        " consistent-with " +
+                        RandomFormulaText(rng, vocab, 2));
+        break;
+      }
+    }
+  }
+  if (out.ill_formed) {
+    std::vector<std::string> defect;
+    switch (rng->NextBelow(6)) {
+      case 0:
+        defect.push_back("frobnicate " + RandomBaseName(rng));
+        break;
+      case 1:
+        defect.push_back("undo base_that_never_was");
+        break;
+      case 2:
+        defect.push_back("change " + RandomBaseName(rng) +
+                         " by no-such-op with " +
+                         RandomFormulaText(rng, vocab, 2));
+        break;
+      case 3:
+        defect.push_back(
+            "define " + RandomBaseName(rng) + " := " +
+            kBadFormulas[rng->NextBelow(kNumBadFormulas)]);
+        break;
+      case 4:
+        // A fresh base with an immediately-empty history.
+        defect.push_back("define ill_base := " +
+                         RandomFormulaText(rng, vocab, 2));
+        defect.push_back("undo ill_base");
+        break;
+      default:
+        defect.push_back("define " + RandomBaseName(rng) + " := " +
+                         CapacityBomb());
+        break;
+    }
+    // Splicing extra statements anywhere preserves the well-formed
+    // part's define-before-use order.
+    const size_t at = rng->NextBelow(lines.size() + 1);
+    lines.insert(lines.begin() + static_cast<int>(at), defect.begin(),
+                 defect.end());
+  }
+  for (const std::string& line : lines) {
+    out.text += line;
+    out.text += '\n';
+  }
+  return out;
+}
+
 }  // namespace arbiter::test_support

@@ -65,6 +65,26 @@ struct StoreOp {
 std::vector<StoreOp> RandomStoreScript(Rng* rng, const Vocabulary& vocab,
                                        int length, double bad_prob);
 
+/// A randomly generated `.belief` script (src/store/script.h language).
+struct BeliefScriptCase {
+  std::string text;
+  /// True iff an error-grade defect was injected.  Ill-formed scripts
+  /// carry exactly one defect from a set arblint certainly reports as
+  /// an error (unknown keyword, use-before-define, unknown operator,
+  /// malformed formula, undo with empty history, capacity bomb).
+  bool ill_formed = false;
+};
+
+/// Generates `.belief` script text over `vocab`'s atoms.  With
+/// probability `bad_prob` the script is ill-formed (see above);
+/// otherwise it is well-formed by construction: it parses, lints clean
+/// of error-severity diagnostics, and executes without hard errors
+/// (assertions may still fail).  Conditionals only ever wrap assertions
+/// on already-defined bases, so the linter's static undo-depth tracking
+/// stays exact.  The differential harness cross-checks this contract.
+BeliefScriptCase RandomBeliefScript(Rng* rng, const Vocabulary& vocab,
+                                    int length, double bad_prob);
+
 }  // namespace arbiter::test_support
 
 #endif  // ARBITER_TEST_SUPPORT_FUZZ_GENERATORS_H_

@@ -1,0 +1,120 @@
+// Golden-diagnostic corpus for arblint.  Every file under
+// tests/lint_fixtures/ embeds its expected findings as comment lines:
+//
+//   # expect: <line> <check_id>     (.belief and .wkb files)
+//   c expect: <line> <check_id>     (.cnf files)
+//
+// The test lints each file and requires the multiset of emitted
+// (line, check_id) pairs to equal the expectations exactly — pinned
+// diagnostics cannot silently move, vanish, or gain noise.  A second
+// test requires every check in the registry to be pinned by at least
+// one fixture, so new checks must ship with a golden example.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+#include "util/string_util.h"
+
+namespace arbiter::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char kFixtureDir[] = ARBITER_SOURCE_DIR "/tests/lint_fixtures";
+
+using LineCheck = std::pair<int, std::string>;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Extracts `expect:` annotations from fixture text.
+std::vector<LineCheck> ParseExpectations(const std::string& text) {
+  std::vector<LineCheck> out;
+  for (const std::string& raw : Split(text, '\n')) {
+    const std::string line = Trim(raw);
+    std::string rest;
+    if (line.rfind("# expect: ", 0) == 0) {
+      rest = line.substr(10);
+    } else if (line.rfind("c expect: ", 0) == 0) {
+      rest = line.substr(10);
+    } else {
+      continue;
+    }
+    std::istringstream in(rest);
+    LineCheck expectation;
+    in >> expectation.first >> expectation.second;
+    EXPECT_FALSE(in.fail()) << "malformed expectation: " << line;
+    out.push_back(expectation);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<fs::path> FixtureFiles() {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(kFixtureDir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(LintFixturesTest, CorpusExists) {
+  EXPECT_GE(FixtureFiles().size(), 15u) << kFixtureDir;
+}
+
+TEST(LintFixturesTest, GoldenDiagnosticsMatchExactly) {
+  for (const fs::path& path : FixtureFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = ReadFile(path);
+    const Result<InputKind> kind = InputKindForPath(path.string());
+    ASSERT_TRUE(kind.ok()) << kind.status().ToString();
+
+    std::vector<LineCheck> got;
+    for (const Diagnostic& d :
+         LintText(*kind, path.filename().string(), text)) {
+      got.emplace_back(d.line, d.check_id);
+    }
+    std::sort(got.begin(), got.end());
+
+    const std::vector<LineCheck> want = ParseExpectations(text);
+    std::string rendered;
+    for (const Diagnostic& d :
+         LintText(*kind, path.filename().string(), text)) {
+      rendered += d.ToString() + "\n";
+    }
+    EXPECT_EQ(got, want) << "diagnostics were:\n" << rendered;
+  }
+}
+
+TEST(LintFixturesTest, EveryCheckIsPinnedByAFixture) {
+  std::set<std::string> pinned;
+  for (const fs::path& path : FixtureFiles()) {
+    for (const LineCheck& e : ParseExpectations(ReadFile(path))) {
+      pinned.insert(e.second);
+    }
+  }
+  for (const CheckInfo& info : AllChecks()) {
+    EXPECT_TRUE(pinned.count(info.id) > 0)
+        << "check " << info.id
+        << " has no golden fixture under tests/lint_fixtures/";
+  }
+}
+
+}  // namespace
+}  // namespace arbiter::lint

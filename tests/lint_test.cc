@@ -1,0 +1,355 @@
+// Tests for the arblint diagnostics engine and static analyzers:
+// the check registry, renderers, script/DIMACS/wkb checks, and the
+// RunScript lint hook.
+
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kb/weighted_kb_io.h"
+#include "store/belief_store.h"
+
+namespace arbiter::lint {
+namespace {
+
+bool Has(const std::vector<Diagnostic>& diags, int line,
+         const std::string& check_id) {
+  for (const Diagnostic& d : diags) {
+    if (d.line == line && d.check_id == check_id) return true;
+  }
+  return false;
+}
+
+int Errors(const std::vector<Diagnostic>& diags) {
+  return CountAtSeverity(diags, Severity::kError);
+}
+
+std::vector<Diagnostic> LintScript(const std::string& text,
+                                   const LintOptions& options = {}) {
+  return LintScriptText("test.belief", text, options);
+}
+
+TEST(LintRegistryTest, RegistryIsWellFormed) {
+  const std::vector<CheckInfo>& checks = AllChecks();
+  EXPECT_GE(checks.size(), 29u);
+  std::set<std::string> ids;
+  for (const CheckInfo& info : checks) {
+    EXPECT_TRUE(ids.insert(info.id).second) << "duplicate id " << info.id;
+    EXPECT_EQ(FindCheck(info.id), &info);
+    const std::string id = info.id;
+    EXPECT_TRUE(id.rfind("script/", 0) == 0 || id.rfind("dimacs/", 0) == 0 ||
+                id.rfind("wkb/", 0) == 0)
+        << id;
+  }
+  EXPECT_EQ(FindCheck("script/no-such-check"), nullptr);
+}
+
+TEST(LintRegistryTest, InputKindForPath) {
+  EXPECT_EQ(*InputKindForPath("a/b/jury.belief"), InputKind::kBeliefScript);
+  EXPECT_EQ(*InputKindForPath("kb.cnf"), InputKind::kDimacsCnf);
+  EXPECT_EQ(*InputKindForPath("KB.DIMACS"), InputKind::kDimacsCnf);
+  EXPECT_EQ(*InputKindForPath("base.wkb"), InputKind::kWeightedKb);
+  EXPECT_FALSE(InputKindForPath("README.md").ok());
+  EXPECT_FALSE(InputKindForPath("no_extension").ok());
+}
+
+TEST(DiagnosticTest, ToStringAndRenderText) {
+  Diagnostic d;
+  d.file = "x.belief";
+  d.line = 3;
+  d.col = 7;
+  d.severity = Severity::kError;
+  d.check_id = "script/use-before-define";
+  d.message = "base 'b' is used before any define";
+  d.note = "add a define first";
+  const std::string s = d.ToString();
+  EXPECT_NE(s.find("x.belief:3:7: error:"), std::string::npos) << s;
+  EXPECT_NE(s.find("[script/use-before-define]"), std::string::npos) << s;
+  EXPECT_NE(s.find("note: add a define first"), std::string::npos) << s;
+  EXPECT_NE(RenderText({d}).find(s), std::string::npos);
+}
+
+TEST(DiagnosticTest, RenderJsonEscapesAndShapes) {
+  Diagnostic d;
+  d.file = "a\"b.belief";
+  d.line = 1;
+  d.severity = Severity::kWarning;
+  d.check_id = "script/redefine";
+  d.message = "tab\there\nnewline";
+  const std::string json = RenderJson({d});
+  EXPECT_NE(json.find("\"file\": \"a\\\"b.belief\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("tab\\there\\nnewline"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_EQ(RenderJson({}), "[]\n");
+}
+
+TEST(DiagnosticTest, SeverityAggregation) {
+  Diagnostic note, warn, err;
+  note.severity = Severity::kNote;
+  warn.severity = Severity::kWarning;
+  err.severity = Severity::kError;
+  EXPECT_EQ(MaxSeverity({}), Severity::kNote);
+  EXPECT_EQ(MaxSeverity({note, warn}), Severity::kWarning);
+  EXPECT_EQ(MaxSeverity({warn, err, note}), Severity::kError);
+  EXPECT_EQ(CountAtSeverity({warn, err, warn}, Severity::kWarning), 2);
+}
+
+TEST(ScriptLintTest, CleanScriptHasNoDiagnostics) {
+  const auto diags = LintScript(
+      "define jury := g & a & (g & a -> v)\n"
+      "assert jury entails v\n"
+      "change jury by dalal with !v\n"
+      "undo jury\n"
+      "if jury entails g then assert jury consistent-with a\n");
+  EXPECT_TRUE(diags.empty()) << RenderText(diags);
+}
+
+TEST(ScriptLintTest, UseBeforeDefine) {
+  const auto diags = LintScript("change b by dalal with x\n");
+  EXPECT_TRUE(Has(diags, 1, "script/use-before-define"))
+      << RenderText(diags);
+}
+
+TEST(ScriptLintTest, RecoversAndReportsMultipleErrors) {
+  const auto diags = LintScript(
+      "bogus statement\n"
+      "define kb := a & &\n"
+      "undo kb\n");
+  EXPECT_TRUE(Has(diags, 1, "script/syntax")) << RenderText(diags);
+  EXPECT_TRUE(Has(diags, 2, "script/formula-syntax"));
+  // kb counts as defined despite its broken formula, so the undo is
+  // flagged as empty-history, not use-before-define.
+  EXPECT_TRUE(Has(diags, 3, "script/undo-empty"));
+}
+
+TEST(ScriptLintTest, UndoDepthTracksChangesAndRedefines) {
+  const auto diags = LintScript(
+      "define kb := a\n"
+      "change kb by dalal with b\n"
+      "undo kb\n"
+      "undo kb\n"
+      "change kb by dalal with b\n"
+      "define kb := c\n"
+      "undo kb\n");
+  EXPECT_FALSE(Has(diags, 3, "script/undo-empty")) << RenderText(diags);
+  EXPECT_TRUE(Has(diags, 4, "script/undo-empty"));
+  EXPECT_TRUE(Has(diags, 6, "script/redefine"));
+  EXPECT_TRUE(Has(diags, 7, "script/undo-empty"))
+      << "redefinition clears history";
+}
+
+TEST(ScriptLintTest, GuardedChangeMakesUndoDepthInexact) {
+  // The guarded change may or may not run, so the linter cannot prove
+  // the final undo hits an empty history and must stay quiet.
+  const auto diags = LintScript(
+      "define kb := a | b\n"
+      "if kb entails a then change kb by dalal with b\n"
+      "undo kb\n");
+  EXPECT_FALSE(Has(diags, 3, "script/undo-empty")) << RenderText(diags);
+}
+
+TEST(ScriptLintTest, GuardedUndoAtProvablyEmptyHistoryIsFlagged) {
+  // Whenever the guard holds, this undo fails at runtime; flag it.
+  const auto diags = LintScript(
+      "define kb := a\n"
+      "if kb entails a then undo kb\n");
+  EXPECT_TRUE(Has(diags, 2, "script/undo-empty")) << RenderText(diags);
+}
+
+TEST(ScriptLintTest, UnknownOperator) {
+  const auto diags = LintScript(
+      "define kb := a\n"
+      "change kb by dallal with b\n");
+  EXPECT_TRUE(Has(diags, 2, "script/unknown-operator"))
+      << RenderText(diags);
+}
+
+TEST(ScriptLintTest, DegenerateFormulaWarnings) {
+  const auto diags = LintScript(
+      "define kb := a & !a\n"
+      "define phi := p\n"
+      "change phi by dalal with q & !q\n"
+      "assert phi entails p | !p\n"
+      "assert phi consistent-with q & !q\n"
+      "if phi entails p | !p then assert phi entails p\n"
+      "if phi entails p & !p then assert phi entails p\n");
+  EXPECT_TRUE(Has(diags, 1, "script/unsat-define")) << RenderText(diags);
+  EXPECT_TRUE(Has(diags, 3, "script/unsat-evidence"));
+  EXPECT_TRUE(Has(diags, 4, "script/trivial-assert"));
+  EXPECT_TRUE(Has(diags, 5, "script/trivial-assert"));
+  EXPECT_TRUE(Has(diags, 6, "script/guard-tautology"));
+  EXPECT_TRUE(Has(diags, 7, "script/guard-unsat"));
+  EXPECT_EQ(Errors(diags), 0) << "all of these are warnings";
+}
+
+TEST(ScriptLintTest, VacuousChangeOnlyForRevisionAndUpdate) {
+  const auto diags = LintScript(
+      "define kb := a & b\n"
+      "change kb by dalal with a\n"
+      "change kb by winslett with b\n"
+      "define chi := (s | d) & (!s | !d)\n"
+      "change chi by revesz-max with s | d\n"
+      "change chi by arbitration-max with s | d\n");
+  EXPECT_TRUE(Has(diags, 2, "script/vacuous-change")) << RenderText(diags);
+  EXPECT_TRUE(Has(diags, 3, "script/vacuous-change"));
+  // Model fitting is loyal to all of Mod(chi) and genuinely moves even
+  // when the evidence is entailed (paper, Example 3.1); arbitration
+  // likewise.  Neither may be flagged.
+  EXPECT_FALSE(Has(diags, 5, "script/vacuous-change"));
+  EXPECT_FALSE(Has(diags, 6, "script/vacuous-change"));
+}
+
+TEST(ScriptLintTest, TrackedFormulaSurvivesUndo) {
+  // After undo, the base is provably back to its pre-change formula,
+  // so a revision with entailed evidence is again a provable no-op.
+  const auto diags = LintScript(
+      "define kb := a & b\n"
+      "change kb by dalal with !a\n"
+      "undo kb\n"
+      "change kb by dalal with a\n");
+  EXPECT_TRUE(Has(diags, 4, "script/vacuous-change")) << RenderText(diags);
+}
+
+TEST(ScriptLintTest, UnconstrainedAtom) {
+  const auto diags = LintScript(
+      "define kb := a\n"
+      "assert kb entails mystery\n"
+      "assert kb entails mystery\n");
+  EXPECT_TRUE(Has(diags, 2, "script/unconstrained-atom"))
+      << RenderText(diags);
+  int count = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id == "script/unconstrained-atom") ++count;
+  }
+  EXPECT_EQ(count, 1) << "one diagnostic per atom, at its first use";
+}
+
+TEST(ScriptLintTest, CapacityMatchesRuntimeLimit) {
+  std::string define = "define kb := a0";
+  for (int i = 1; i < kMaxEnumTerms; ++i) {
+    define += " | a" + std::to_string(i);
+  }
+  // Exactly at the limit: fine.
+  EXPECT_EQ(Errors(LintScript(define + "\n")), 0);
+  // One more atom pushes past it, exactly where the store rejects.
+  const auto diags =
+      LintScript(define + "\nchange kb by dalal with a_extra\n");
+  EXPECT_TRUE(Has(diags, 2, "script/capacity")) << RenderText(diags);
+
+  BeliefStore store;
+  EXPECT_TRUE(store.Define("kb", define.substr(define.find(":=") + 3)).ok());
+  EXPECT_FALSE(store.Apply("kb", "dalal", "a_extra").ok());
+}
+
+TEST(ScriptLintTest, DisabledChecksAreSuppressed) {
+  LintOptions options;
+  options.disabled_checks.push_back("script/use-before-define");
+  const auto diags = LintScript("undo ghost\n", options);
+  EXPECT_TRUE(diags.empty()) << RenderText(diags);
+}
+
+TEST(ScriptLintTest, HookAttachesFindingsToSteps) {
+  const std::string text =
+      "define kb := a\n"
+      "assert kb entails ghost\n";
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptTextLinted(text, &store);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->steps.size(), 2u);
+  EXPECT_TRUE(report->steps[0].lint.empty());
+  ASSERT_EQ(report->steps[1].lint.size(), 1u);
+  EXPECT_NE(report->steps[1].lint[0].find("script/unconstrained-atom"),
+            std::string::npos)
+      << report->steps[1].lint[0];
+  EXPECT_NE(report->ToString().find("lint:"), std::string::npos);
+}
+
+TEST(DimacsLintTest, CleanInstanceIsClean) {
+  const auto diags =
+      LintDimacsText("t.cnf", "c ok\np cnf 2 2\n1 -2 0\n-1 2 0\n");
+  EXPECT_TRUE(diags.empty()) << RenderText(diags);
+}
+
+TEST(DimacsLintTest, UnsatInstanceIsReported) {
+  const auto diags = LintDimacsText(
+      "t.cnf", "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n");
+  EXPECT_TRUE(Has(diags, 1, "dimacs/unsat")) << RenderText(diags);
+}
+
+TEST(DimacsLintTest, SolveGateSkipsLargeInstances) {
+  LintOptions options;
+  options.dimacs_solve_max_vars = 1;
+  const auto diags = LintDimacsText(
+      "t.cnf", "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n", options);
+  EXPECT_FALSE(Has(diags, 1, "dimacs/unsat")) << RenderText(diags);
+}
+
+TEST(DimacsLintTest, EmptyClauseSuppressesSolverReport) {
+  const auto diags = LintDimacsText("t.cnf", "p cnf 1 2\n0\n1 0\n");
+  EXPECT_TRUE(Has(diags, 2, "dimacs/empty-clause")) << RenderText(diags);
+  EXPECT_FALSE(Has(diags, 1, "dimacs/unsat"))
+      << "trivial unsat already reported via the empty clause";
+}
+
+TEST(DimacsLintTest, MultiLineClausesAndFinalTermination) {
+  // A clause may span lines; the terminating 0 matters, not layout.
+  EXPECT_TRUE(LintDimacsText("t.cnf", "p cnf 3 1\n1\n2 3 0\n").empty());
+  const auto diags = LintDimacsText("t.cnf", "p cnf 2 1\n1 2\n");
+  EXPECT_TRUE(Has(diags, 2, "dimacs/syntax")) << RenderText(diags);
+}
+
+TEST(WkbLintTest, AgreesWithParserOnValidity) {
+  // Lint-clean-of-errors and ParseWeightedKb must accept/reject the
+  // same inputs (warnings are lint-only).
+  const std::vector<std::string> cases = {
+      "wkb 2\n0 1\n3 0.5\n",          // valid
+      "wkb 2\n0 1\n0 2\n",            // valid, duplicate warning
+      "wkb 2\n# only zeros\n0 0\n",   // valid, unsatisfiable warning
+      "wkb 0\n",                      // terms out of range
+      "wkb 2\n4 1\n",                 // bits out of range
+      "wkb 2\n1 -3\n",                // negative weight
+      "wkb 2\n1\n",                   // malformed entry
+      "nope\n",                       // malformed header
+  };
+  for (const std::string& text : cases) {
+    const bool lint_ok = Errors(LintWeightedKbText("t.wkb", text)) == 0;
+    const bool parse_ok = ParseWeightedKb(text).ok();
+    EXPECT_EQ(lint_ok, parse_ok)
+        << text << RenderText(LintWeightedKbText("t.wkb", text));
+  }
+}
+
+TEST(WkbLintTest, RoundTripThroughIo) {
+  Result<WeightedKnowledgeBase> base =
+      ParseWeightedKb("wkb 3\n0 1.5\n5 2\n7 0.25\n");
+  ASSERT_TRUE(base.ok());
+  Result<WeightedKnowledgeBase> again = ParseWeightedKb(ToWkbText(*base));
+  ASSERT_TRUE(again.ok());
+  for (uint64_t i = 0; i < base->space_size(); ++i) {
+    EXPECT_EQ(base->Weight(i), again->Weight(i)) << i;
+  }
+  EXPECT_TRUE(LintWeightedKbText("t.wkb", ToWkbText(*base)).empty());
+}
+
+TEST(WkbLintTest, AggregateOverflowWarning) {
+  // Individually representable weights whose wdist sum can still
+  // exceed 2^53: flagged once, anchored on the header.
+  const auto diags = LintWeightedKbText(
+      "t.wkb", "wkb 4\n0 3000000000000000\n1 3000000000000000\n");
+  EXPECT_TRUE(Has(diags, 1, "wkb/weight-overflow")) << RenderText(diags);
+}
+
+TEST(LintDispatchTest, LintTextDispatchesOnKind) {
+  EXPECT_TRUE(Has(LintText(InputKind::kBeliefScript, "f", "undo x\n"), 1,
+                  "script/use-before-define"));
+  EXPECT_TRUE(Has(LintText(InputKind::kDimacsCnf, "f", "garbage\n"), 1,
+                  "dimacs/syntax"));
+  EXPECT_TRUE(Has(LintText(InputKind::kWeightedKb, "f", "garbage\n"), 1,
+                  "wkb/syntax"));
+}
+
+}  // namespace
+}  // namespace arbiter::lint

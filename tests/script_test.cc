@@ -45,6 +45,58 @@ TEST(ScriptParseTest, SyntaxErrorsCarryLineNumbers) {
   EXPECT_FALSE(ParseScript("if x entails a change\n").ok());
 }
 
+TEST(ScriptParseTest, NestedConditionals) {
+  Result<BeliefScript> script = ParseScript(
+      "define kb := a & b\n"
+      "if kb entails a then if kb entails b then assert kb entails a\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->statements.size(), 2u);
+  const ScriptStatement& outer = script->statements[1];
+  ASSERT_EQ(outer.kind, ScriptStatement::Kind::kConditional);
+  EXPECT_EQ(outer.formula, "a");
+  ASSERT_EQ(outer.inner.size(), 1u);
+  const ScriptStatement& mid = outer.inner[0];
+  ASSERT_EQ(mid.kind, ScriptStatement::Kind::kConditional);
+  EXPECT_EQ(mid.formula, "b");
+  ASSERT_EQ(mid.inner.size(), 1u);
+  EXPECT_EQ(mid.inner[0].kind, ScriptStatement::Kind::kAssertEntails);
+
+  // Both guards hold, so the innermost assertion runs and passes.
+  BeliefStore store;
+  Result<ScriptReport> report = RunScript(*script, &store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->AllPassed()) << report->ToString();
+}
+
+TEST(ScriptParseTest, LineNumbersCountCommentsAndBlanks) {
+  const char* text =
+      "\n"
+      "# leading comment\n"
+      "define kb := a\n"
+      "\n"
+      "   # indented comment\n"
+      "assert kb entails a\n"
+      "if kb entails a then undo kb\n";
+  Result<BeliefScript> script = ParseScript(text);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->statements.size(), 3u);
+  EXPECT_EQ(script->statements[0].line, 3);
+  EXPECT_EQ(script->statements[1].line, 6);
+  EXPECT_EQ(script->statements[2].line, 7);
+  // The guarded statement shares its guard's source line.
+  ASSERT_EQ(script->statements[2].inner.size(), 1u);
+  EXPECT_EQ(script->statements[2].inner[0].line, 7);
+}
+
+TEST(ScriptParseTest, IndentedStatementsParse) {
+  Result<BeliefScript> script =
+      ParseScript("   define kb := a\n\t assert kb entails a\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->statements.size(), 2u);
+  EXPECT_EQ(script->statements[0].line, 1);
+  EXPECT_EQ(script->statements[1].line, 2);
+}
+
 TEST(ScriptRunTest, FullJuryScenario) {
   const char* text = R"(
 define jury := g & a & (g & a -> v)

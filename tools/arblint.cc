@@ -1,0 +1,167 @@
+// arblint: lint belief scripts and knowledge-base files without
+// executing them.
+//
+//   arblint [options] <file>...          # kind inferred from extension
+//   arblint --kind=belief -              # lint stdin
+//
+// Options:
+//   --format=text|json   output format (default text)
+//   --werror             promote warnings to errors
+//   --kind=belief|cnf|wkb  override extension-based dispatch
+//   --disable=<id>[,..]  suppress specific checks
+//   --list-checks        print the check registry and exit
+//
+// Exit codes: 0 clean (notes allowed), 1 warnings, 2 errors,
+// 3 usage or I/O failure.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/string_util.h"
+
+namespace {
+
+using arbiter::lint::AllChecks;
+using arbiter::lint::CheckInfo;
+using arbiter::lint::Diagnostic;
+using arbiter::lint::InputKind;
+using arbiter::lint::LintOptions;
+using arbiter::lint::LintText;
+using arbiter::lint::Severity;
+using arbiter::lint::SeverityName;
+
+int Usage() {
+  std::cerr
+      << "usage: arblint [options] <file>...\n"
+      << "  lints .belief scripts, .cnf/.dimacs CNF, and .wkb weighted\n"
+      << "  knowledge bases; '-' reads stdin (requires --kind)\n"
+      << "options:\n"
+      << "  --format=text|json     output format (default text)\n"
+      << "  --werror               promote warnings to errors\n"
+      << "  --kind=belief|cnf|wkb  override extension-based dispatch\n"
+      << "  --disable=<id>[,<id>]  suppress checks by id\n"
+      << "  --list-checks          print the check registry and exit\n"
+      << "exit codes: 0 clean, 1 warnings, 2 errors, 3 usage/IO error\n";
+  return 3;
+}
+
+int ListChecks() {
+  for (const CheckInfo& info : AllChecks()) {
+    std::printf("%-28s %-8s %s\n", info.id, SeverityName(info.severity),
+                info.summary);
+  }
+  return 0;
+}
+
+bool ReadInput(const std::string& path, std::string* text) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *text = buffer.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *text = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  bool werror = false;
+  bool have_kind = false;
+  InputKind forced_kind = InputKind::kBeliefScript;
+  LintOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--list-checks") {
+      return ListChecks();
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return Usage();
+    } else if (arg.rfind("--kind=", 0) == 0) {
+      const std::string kind = arg.substr(7);
+      have_kind = true;
+      if (kind == "belief") {
+        forced_kind = InputKind::kBeliefScript;
+      } else if (kind == "cnf" || kind == "dimacs") {
+        forced_kind = InputKind::kDimacsCnf;
+      } else if (kind == "wkb") {
+        forced_kind = InputKind::kWeightedKb;
+      } else {
+        return Usage();
+      }
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      for (const std::string& id : arbiter::Split(arg.substr(10), ',')) {
+        options.disabled_checks.push_back(arbiter::Trim(id));
+      }
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "arblint: unknown option '" << arg << "'\n";
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  bool io_error = false;
+  std::vector<Diagnostic> all;
+  for (const std::string& path : files) {
+    InputKind kind = forced_kind;
+    if (!have_kind) {
+      arbiter::Result<InputKind> inferred =
+          arbiter::lint::InputKindForPath(path);
+      if (!inferred.ok()) {
+        std::cerr << "arblint: " << inferred.status().message() << "\n";
+        io_error = true;
+        continue;
+      }
+      kind = *inferred;
+    } else if (path == "-" && files.size() > 1) {
+      std::cerr << "arblint: '-' cannot be combined with other inputs\n";
+      return Usage();
+    }
+    std::string text;
+    if (!ReadInput(path, &text)) {
+      std::cerr << "arblint: cannot read '" << path << "'\n";
+      io_error = true;
+      continue;
+    }
+    const std::string label = path == "-" ? "<stdin>" : path;
+    std::vector<Diagnostic> diags = LintText(kind, label, text, options);
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+
+  if (werror) {
+    for (Diagnostic& d : all) {
+      if (d.severity == Severity::kWarning) d.severity = Severity::kError;
+    }
+  }
+  if (format == "json") {
+    std::cout << arbiter::lint::RenderJson(all);
+  } else {
+    std::cout << arbiter::lint::RenderText(all);
+  }
+  if (io_error) return 3;
+  switch (arbiter::lint::MaxSeverity(all)) {
+    case Severity::kError: return 2;
+    case Severity::kWarning: return 1;
+    case Severity::kNote: break;
+  }
+  return 0;
+}
