@@ -1,0 +1,143 @@
+// Lint-throughput microbenchmark (ISSUE: arblint v2 dataflow layer).
+// Emits machine-readable JSON to BENCH_lint.json (or argv[1]).
+//
+// Arms, per synthetic N-statement belief script:
+//   * single_pass — LintScriptText with the dataflow layer disabled:
+//                   the per-statement checks only, the arblint v1 cost.
+//   * dataflow    — the full pipeline: CFG construction, the worklist
+//                   fixpoint over the satisfiability/fact/depth/count
+//                   domain, and the flow/* check family.
+//
+// The synthetic scripts cycle defines, changes, guarded statements,
+// and asserts over a fixed 4-atom vocabulary, so the semantic oracle
+// works over a 16-interpretation space and the numbers measure the
+// analysis machinery rather than SAT blowup.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+using namespace arbiter;
+using Clock = std::chrono::steady_clock;
+
+std::string SyntheticScript(int num_statements) {
+  // A four-statement motif per base; bases recycle every 8 motifs so
+  // dead-define and redundancy logic sees joins and redefinitions.
+  static const char* kFormulas[] = {"a & b", "b | c", "c -> d", "a ^ d"};
+  std::string text;
+  for (int i = 0; i < num_statements; ++i) {
+    const std::string base = "b" + std::to_string((i / 4) % 8);
+    const char* f = kFormulas[i % 4];
+    switch (i % 4) {
+      case 0:
+        text += "define " + base + " := " + f + "\n";
+        break;
+      case 1:
+        text += "change " + base + " by dalal with " + f + "\n";
+        break;
+      case 2:
+        text += "if " + base + " entails " + f + " then change " + base +
+                " by revesz-max with a | b\n";
+        break;
+      default:
+        text += "assert " + base + " consistent-with " + f + "\n";
+        break;
+    }
+  }
+  return text;
+}
+
+struct ArmResult {
+  std::string arm;
+  double ms_per_lint = 0;
+  double statements_per_sec = 0;
+  int reps = 0;
+  size_t diagnostics = 0;
+};
+
+template <typename Fn>
+ArmResult TimeArm(const std::string& name, int num_statements,
+                  const Fn& fn) {
+  constexpr double kTargetSec = 0.4;
+  constexpr int kMinReps = 3;
+  auto t0 = Clock::now();
+  size_t diags = fn();
+  double once = std::chrono::duration<double>(Clock::now() - t0).count();
+  int reps = std::max(kMinReps, static_cast<int>(kTargetSec / (once + 1e-9)));
+  reps = std::min(reps, 2000);
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  double total = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double per_call = total / reps;
+  return {name, per_call * 1e3, num_statements / per_call, reps, diags};
+}
+
+struct Workload {
+  int num_statements = 0;
+  std::vector<ArmResult> arms;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_lint.json";
+
+  std::vector<Workload> workloads;
+  for (int n : {64, 256, 1024}) {
+    const std::string text = SyntheticScript(n);
+    Workload w;
+    w.num_statements = n;
+
+    lint::LintOptions off;
+    off.enable_dataflow = false;
+    w.arms.push_back(TimeArm("single_pass", n, [&] {
+      return lint::LintScriptText("bench.belief", text, off).size();
+    }));
+
+    lint::LintOptions on;
+    w.arms.push_back(TimeArm("dataflow", n, [&] {
+      return lint::LintScriptText("bench.belief", text, on).size();
+    }));
+
+    std::printf("n=%-5d\n", n);
+    for (const ArmResult& a : w.arms) {
+      std::printf("  %-12s %10.3f ms/lint  %12.0f stmts/s  "
+                  "(%zu diagnostics, reps=%d)\n",
+                  a.arm.c_str(), a.ms_per_lint, a.statements_per_sec,
+                  a.diagnostics, a.reps);
+    }
+    workloads.push_back(std::move(w));
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_lint: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_lint\",\n  \"workloads\": [\n");
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const Workload& w = workloads[i];
+    std::fprintf(f, "    {\"num_statements\": %d, \"arms\": [\n",
+                 w.num_statements);
+    for (size_t j = 0; j < w.arms.size(); ++j) {
+      const ArmResult& a = w.arms[j];
+      std::fprintf(f,
+                   "      {\"arm\": \"%s\", \"ms_per_lint\": %.3f, "
+                   "\"statements_per_sec\": %.0f, \"diagnostics\": %zu, "
+                   "\"reps\": %d}%s\n",
+                   a.arm.c_str(), a.ms_per_lint, a.statements_per_sec,
+                   a.diagnostics, a.reps, j + 1 < w.arms.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < workloads.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "lint/cfg.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace arbiter::lint {
+
+namespace {
+
+/// Builder keeping the under-construction node list and edge helper.
+struct Builder {
+  std::vector<CfgNode>* nodes;
+
+  int NewNode(CfgNode::Kind kind, const ScriptStatement* stmt,
+              int top_level) {
+    CfgNode node;
+    node.kind = kind;
+    node.stmt = stmt;
+    node.is_guard =
+        stmt != nullptr && stmt->kind == ScriptStatement::Kind::kConditional;
+    node.top_level = top_level;
+    nodes->push_back(std::move(node));
+    return static_cast<int>(nodes->size()) - 1;
+  }
+
+  void AddEdge(int from, int to) {
+    (*nodes)[from].succs.push_back(to);
+    (*nodes)[to].preds.push_back(from);
+  }
+
+  /// Adds the node chain for one statement.  Returns the chain's entry
+  /// node and appends to `outs` every node whose next out-edge must be
+  /// connected to whatever follows the statement.  For a conditional,
+  /// the taken edge (succ 0) is wired here; the guard itself joins
+  /// `outs` so its fall-through edge (succ 1) reaches the join point.
+  int AddChain(const ScriptStatement* stmt, int top_level,
+               std::vector<int>* outs) {
+    const int id = NewNode(CfgNode::Kind::kStatement, stmt, top_level);
+    if (stmt->kind == ScriptStatement::Kind::kConditional &&
+        !stmt->inner.empty()) {
+      std::vector<int> inner_outs;
+      const int inner = AddChain(&stmt->inner[0], top_level, &inner_outs);
+      AddEdge(id, inner);        // succ 0: taken
+      outs->push_back(id);       // succ 1 (added later): fall-through
+      outs->insert(outs->end(), inner_outs.begin(), inner_outs.end());
+    } else {
+      outs->push_back(id);
+    }
+    return id;
+  }
+};
+
+void PostOrder(const std::vector<CfgNode>& nodes, int id,
+               std::vector<char>* seen, std::vector<int>* order) {
+  if ((*seen)[id]) return;
+  (*seen)[id] = 1;
+  for (int succ : nodes[id].succs) PostOrder(nodes, succ, seen, order);
+  order->push_back(id);
+}
+
+}  // namespace
+
+Cfg Cfg::Build(BeliefScript script) {
+  Cfg cfg;
+  cfg.script_ = std::move(script);
+  Builder b{&cfg.nodes_};
+
+  const int entry = b.NewNode(CfgNode::Kind::kEntry, nullptr, -1);
+  ARBITER_CHECK(entry == 0);
+  std::vector<int> dangling = {entry};
+  for (size_t i = 0; i < cfg.script_.statements.size(); ++i) {
+    std::vector<int> outs;
+    const int head = b.AddChain(&cfg.script_.statements[i],
+                                static_cast<int>(i), &outs);
+    for (int from : dangling) b.AddEdge(from, head);
+    dangling = std::move(outs);
+  }
+  cfg.exit_ = b.NewNode(CfgNode::Kind::kExit, nullptr, -1);
+  for (int from : dangling) b.AddEdge(from, cfg.exit_);
+
+  std::vector<char> seen(cfg.nodes_.size(), 0);
+  std::vector<int> post;
+  PostOrder(cfg.nodes_, entry, &seen, &post);
+  cfg.rpo_.assign(post.rbegin(), post.rend());
+  return cfg;
+}
+
+}  // namespace arbiter::lint

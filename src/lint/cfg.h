@@ -1,0 +1,76 @@
+#ifndef ARBITER_LINT_CFG_H_
+#define ARBITER_LINT_CFG_H_
+
+#include <vector>
+
+#include "store/script.h"
+
+/// \file cfg.h
+/// Control-flow graph over parsed `.belief` scripts, the substrate of
+/// the dataflow lint layer (dataflow.h, flow_checks.h).
+///
+/// The script language is line-based and loop-free, so the CFG is a
+/// DAG: statements chain in order, and each conditional forks into a
+/// *taken* edge (through its guarded inner statement, which may itself
+/// be a conditional) and a *fall-through* edge; both re-join at the
+/// next top-level statement.  A synthetic entry node precedes the
+/// first statement and a synthetic exit node terminates every path.
+///
+/// Edge convention: for a guard node (a kConditional statement),
+/// successor 0 is the taken edge and successor 1 the fall-through
+/// edge.  Every other node has exactly one successor.
+
+namespace arbiter::lint {
+
+struct CfgNode {
+  enum class Kind {
+    kEntry,      ///< synthetic start; no statement
+    kStatement,  ///< one ScriptStatement (guards included)
+    kExit,       ///< synthetic end; no statement
+  };
+
+  Kind kind = Kind::kStatement;
+  /// The statement this node executes; null for entry/exit.  Points
+  /// into the Cfg's owned script, stable for the Cfg's lifetime.
+  const ScriptStatement* stmt = nullptr;
+  /// True iff stmt is a conditional guard (two out-edges).
+  bool is_guard = false;
+  /// Index of the enclosing top-level statement (-1 for entry/exit);
+  /// nested inner statements share their guard's index and line.
+  int top_level = -1;
+
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// An immutable CFG.  Owns a copy of the script so statement pointers
+/// in nodes stay valid.
+class Cfg {
+ public:
+  /// Builds the CFG for `script`.
+  static Cfg Build(BeliefScript script);
+
+  const std::vector<CfgNode>& nodes() const { return nodes_; }
+  const CfgNode& node(int id) const { return nodes_[id]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int entry() const { return 0; }
+  int exit_node() const { return exit_; }
+  const BeliefScript& script() const { return script_; }
+
+  /// Node ids in reverse post-order from the entry (a topological
+  /// order, since the graph is a DAG): every node appears after all of
+  /// its predecessors.  Forward dataflow converges in one sweep.
+  const std::vector<int>& ReversePostOrder() const { return rpo_; }
+
+ private:
+  Cfg() = default;
+
+  BeliefScript script_;
+  std::vector<CfgNode> nodes_;
+  std::vector<int> rpo_;
+  int exit_ = 0;
+};
+
+}  // namespace arbiter::lint
+
+#endif  // ARBITER_LINT_CFG_H_

@@ -1,0 +1,489 @@
+#include "lint/dataflow.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "enc/tseitin.h"
+#include "sat/all_sat.h"
+#include "sat/solver.h"
+#include "solve/sat_bridge.h"
+#include "util/logging.h"
+
+namespace arbiter::lint {
+
+namespace {
+
+/// Cap on tracked facts per base; joins beyond it drop candidates.
+constexpr int kMaxFacts = 16;
+
+bool ContainsFormula(const std::vector<Formula>& haystack,
+                     const Formula& f) {
+  for (const Formula& g : haystack) {
+    if (g.Equals(f)) return true;
+  }
+  return false;
+}
+
+/// Flattens nested conjunctions into their conjunct list.
+void Conjuncts(const Formula& f, std::vector<Formula>* out) {
+  if (f.kind() == FormulaKind::kAnd) {
+    for (const Formula& child : f.children()) Conjuncts(child, out);
+  } else {
+    out->push_back(f);
+  }
+}
+
+/// Candidate facts a join may preserve from one side: its facts, its
+/// exact formula, and their top-level conjuncts (so `x & y` joined
+/// with `x & z` can keep `x`).
+std::vector<Formula> FactCandidates(const AbstractBase& v) {
+  std::vector<Formula> out;
+  auto add = [&out](const Formula& f) {
+    if (!f.is_true() && !ContainsFormula(out, f)) out.push_back(f);
+  };
+  for (const Formula& f : v.facts) {
+    add(f);
+    Conjuncts(f, &out);
+  }
+  if (v.exact) {
+    add(*v.exact);
+    std::vector<Formula> parts;
+    Conjuncts(*v.exact, &parts);
+    for (const Formula& part : parts) add(part);
+  }
+  return out;
+}
+
+/// Replaces v's value with the exact formula f (postulate-forced),
+/// refreshing satisfiability and the model-count interval.
+void SetExactValue(const SemanticOracle& oracle, AbstractBase* v,
+                   const Formula& f) {
+  v->exact = f;
+  v->facts.clear();
+  v->sat = oracle.Sat(f) ? SatLattice::kSat : SatLattice::kUnsat;
+  oracle.CountModels(f, &v->models_lo, &v->models_hi);
+}
+
+/// Replaces v's value with "satisfiable, entails each of `facts`".
+void SetFactsValue(const SemanticOracle& oracle, AbstractBase* v,
+                   std::vector<Formula> facts) {
+  v->exact.reset();
+  v->facts = std::move(facts);
+  v->sat = SatLattice::kSat;
+  v->models_lo = 1;
+  v->models_hi = oracle.space();
+}
+
+/// Forgets everything about v's value (keeps definedness and depth).
+void SetUnknownValue(const SemanticOracle& oracle, AbstractBase* v) {
+  v->exact.reset();
+  v->facts.clear();
+  v->sat = SatLattice::kTop;
+  v->models_lo = 0;
+  v->models_hi = oracle.space();
+}
+
+}  // namespace
+
+SatLattice JoinSat(SatLattice a, SatLattice b) {
+  if (a == SatLattice::kBottom) return b;
+  if (b == SatLattice::kBottom) return a;
+  if (a == b) return a;
+  return SatLattice::kTop;
+}
+
+SemanticOracle::SemanticOracle(int num_terms, int64_t model_cap)
+    : num_terms_(num_terms), model_cap_(std::max<int64_t>(model_cap, 1)) {
+  ARBITER_CHECK(num_terms_ >= 0 && num_terms_ <= 62);
+  space_ = int64_t{1} << num_terms_;
+}
+
+bool SemanticOracle::Sat(const Formula& f) const {
+  if (f.is_true()) return true;
+  if (f.is_false()) return false;
+  const uint64_t key = f.Hash();
+  auto it = sat_cache_.find(key);
+  if (it != sat_cache_.end()) return it->second;
+  const bool sat = solve::SatIsSatisfiable(f, std::max(num_terms_, 1));
+  sat_cache_.emplace(key, sat);
+  return sat;
+}
+
+void SemanticOracle::CountModels(const Formula& f, int64_t* lo,
+                                 int64_t* hi) const {
+  if (!Sat(f)) {
+    *lo = *hi = 0;
+    return;
+  }
+  if (num_terms_ == 0) {
+    *lo = *hi = 1;
+    return;
+  }
+  sat::Solver solver;
+  enc::TseitinEncoder encoder(&solver);
+  encoder.ReserveInputVars(num_terms_);
+  if (!encoder.Assert(f)) {
+    *lo = *hi = 0;
+    return;
+  }
+  sat::AllSatOptions options;
+  options.num_project = num_terms_;
+  options.max_models = model_cap_;
+  const int64_t count =
+      sat::EnumerateAllSat(&solver, options, [](uint64_t) { return true; });
+  if (count < model_cap_) {
+    *lo = *hi = count;
+  } else {
+    *lo = model_cap_;
+    *hi = space_;
+  }
+}
+
+bool BaseEquals(const AbstractBase& a, const AbstractBase& b) {
+  if (a.surely_defined != b.surely_defined || a.sat != b.sat ||
+      !(a.depth == b.depth) || a.models_lo != b.models_lo ||
+      a.models_hi != b.models_hi) {
+    return false;
+  }
+  if (a.exact.has_value() != b.exact.has_value()) return false;
+  if (a.exact && !a.exact->Equals(*b.exact)) return false;
+  if (a.facts.size() != b.facts.size()) return false;
+  for (size_t i = 0; i < a.facts.size(); ++i) {
+    if (!a.facts[i].Equals(b.facts[i])) return false;
+  }
+  if (a.stack.size() != b.stack.size()) return false;
+  for (size_t i = 0; i < a.stack.size(); ++i) {
+    if (a.stack[i].has_value() != b.stack[i].has_value()) return false;
+    if (a.stack[i] && !a.stack[i]->Equals(*b.stack[i])) return false;
+  }
+  return true;
+}
+
+bool StateEquals(const AbstractState& a, const AbstractState& b) {
+  if (a.reachable != b.reachable) return false;
+  if (a.bases.size() != b.bases.size()) return false;
+  auto ia = a.bases.begin();
+  auto ib = b.bases.begin();
+  for (; ia != a.bases.end(); ++ia, ++ib) {
+    if (ia->first != ib->first || !BaseEquals(ia->second, ib->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ProvesEntails(const SemanticOracle& oracle, const AbstractBase& value,
+                   const Formula& f) {
+  if (f.is_true() || oracle.Taut(f)) return true;
+  if (value.sat == SatLattice::kUnsat) return true;
+  if (value.exact) return oracle.Entails(*value.exact, f);
+  if (!value.facts.empty()) {
+    return oracle.Entails(And(value.facts), f);
+  }
+  return false;
+}
+
+bool ProvesNotEntails(const SemanticOracle& oracle,
+                      const AbstractBase& value, const Formula& f) {
+  if (value.exact) {
+    return oracle.Sat(*value.exact) && !oracle.Entails(*value.exact, f);
+  }
+  return value.sat == SatLattice::kSat && !oracle.Sat(f);
+}
+
+AbstractBase JoinBase(const SemanticOracle& oracle, const AbstractBase& a,
+                      const AbstractBase& b) {
+  AbstractBase out;
+  out.surely_defined = a.surely_defined && b.surely_defined;
+  out.sat = JoinSat(a.sat, b.sat);
+  if (a.exact && b.exact && a.exact->Equals(*b.exact)) {
+    out.exact = a.exact;
+  } else {
+    // Fact-preserving join: a candidate survives when the *other*
+    // side's value also proves the base entails it (both directions).
+    for (const Formula& f : FactCandidates(a)) {
+      if (static_cast<int>(out.facts.size()) >= kMaxFacts) break;
+      if (ProvesEntails(oracle, b, f) && !ContainsFormula(out.facts, f)) {
+        out.facts.push_back(f);
+      }
+    }
+    for (const Formula& f : FactCandidates(b)) {
+      if (static_cast<int>(out.facts.size()) >= kMaxFacts) break;
+      if (ProvesEntails(oracle, a, f) && !ContainsFormula(out.facts, f)) {
+        out.facts.push_back(f);
+      }
+    }
+  }
+  out.depth.lo = std::min(a.depth.lo, b.depth.lo);
+  out.depth.hi = std::max(a.depth.hi, b.depth.hi);
+  if (a.DepthExact() && b.DepthExact() && a.depth.lo == b.depth.lo) {
+    out.stack.resize(a.stack.size());
+    for (size_t i = 0; i < a.stack.size(); ++i) {
+      if (a.stack[i] && b.stack[i] && a.stack[i]->Equals(*b.stack[i])) {
+        out.stack[i] = a.stack[i];
+      }
+    }
+  }
+  out.models_lo = std::min(a.models_lo, b.models_lo);
+  out.models_hi = std::max(a.models_hi, b.models_hi);
+  return out;
+}
+
+AbstractState JoinState(const SemanticOracle& oracle,
+                        const AbstractState& a, const AbstractState& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  AbstractState out;
+  out.reachable = true;
+  for (const auto& [name, value] : a.bases) {
+    auto it = b.bases.find(name);
+    if (it == b.bases.end()) {
+      // Defined on one side only.  Keeping the value is sound because
+      // every verdict is conditioned on surely_defined (an undefined
+      // use halts the concrete run before the claim could be tested).
+      AbstractBase v = value;
+      v.surely_defined = false;
+      out.bases.emplace(name, std::move(v));
+    } else {
+      out.bases.emplace(name, JoinBase(oracle, value, it->second));
+    }
+  }
+  for (const auto& [name, value] : b.bases) {
+    if (a.bases.count(name)) continue;
+    AbstractBase v = value;
+    v.surely_defined = false;
+    out.bases.emplace(name, std::move(v));
+  }
+  return out;
+}
+
+ScriptDataflow::ScriptDataflow(
+    const Cfg* cfg,
+    const std::map<const ScriptStatement*, StatementInfo>* info,
+    SemanticOracle oracle)
+    : cfg_(cfg), info_(info), oracle_(std::move(oracle)) {
+  ARBITER_CHECK(cfg_ != nullptr && info_ != nullptr);
+}
+
+const StatementInfo& ScriptDataflow::InfoFor(
+    const ScriptStatement* stmt) const {
+  static const StatementInfo kEmpty;
+  auto it = info_->find(stmt);
+  return it == info_->end() ? kEmpty : it->second;
+}
+
+void ScriptDataflow::Transfer(int node_id, const AbstractState& in,
+                              std::vector<AbstractState>* outs) const {
+  const CfgNode& node = cfg_->node(node_id);
+  outs->assign(node.succs.size(), AbstractState{});
+  if (!in.reachable) return;
+  if (node.kind != CfgNode::Kind::kStatement) {
+    for (AbstractState& out : *outs) out = in;
+    return;
+  }
+  const ScriptStatement& stmt = *node.stmt;
+  const StatementInfo& info = InfoFor(node.stmt);
+  switch (stmt.kind) {
+    case ScriptStatement::Kind::kDefine: {
+      AbstractState out = in;
+      AbstractBase& v = out.bases[stmt.base];
+      v = AbstractBase{};
+      v.surely_defined = true;  // a failed define halts the run anyway
+      if (info.payload) {
+        SetExactValue(oracle_, &v, *info.payload);
+      } else {
+        SetUnknownValue(oracle_, &v);
+      }
+      (*outs)[0] = std::move(out);
+      return;
+    }
+    case ScriptStatement::Kind::kChange: {
+      AbstractState out = in;
+      AbstractBase& v = out.bases[stmt.base];
+      // History push; the abstract stack stays meaningful only while
+      // the depth is exact.
+      const bool was_exact_depth = v.DepthExact();
+      const std::optional<Formula> old_exact = v.exact;
+      const SatLattice old_sat = v.sat;
+      v.depth.lo += 1;
+      v.depth.hi += 1;
+      if (was_exact_depth) {
+        v.stack.push_back(old_exact);
+      } else {
+        v.stack.clear();
+      }
+      if (!info.payload || !info.family) {
+        SetUnknownValue(oracle_, &v);
+      } else {
+        const Formula& mu = *info.payload;
+        const OperatorFamily family = *info.family;
+        const bool revision = family == OperatorFamily::kRevision;
+        const bool update = family == OperatorFamily::kUpdate;
+        if (!revision && !update) {
+          // Model fitting / arbitration move the base in ways the
+          // postulates leave open (Example 3.1); track nothing.
+          SetUnknownValue(oracle_, &v);
+        } else if (!oracle_.Sat(mu)) {
+          // (R1)/(U1): success forces the inconsistent evidence.
+          SetExactValue(oracle_, &v, Formula::False());
+        } else if (revision) {
+          if (old_exact && oracle_.Sat(And(*old_exact, mu))) {
+            // (R2): consistent revision is plain conjunction.
+            SetExactValue(oracle_, &v, And(*old_exact, mu));
+          } else {
+            // Success + consistency: the result entails μ and is
+            // satisfiable (registered revisions fall back to Mod(μ)
+            // for inconsistent ψ).
+            SetFactsValue(oracle_, &v, {mu});
+          }
+        } else {  // update
+          if (old_sat == SatLattice::kUnsat) {
+            // Pointwise update of the empty model set stays empty.
+            SetExactValue(oracle_, &v, Formula::False());
+          } else if (old_exact && oracle_.Sat(*old_exact) &&
+                     oracle_.Entails(*old_exact, mu)) {
+            // (U2): updating with entailed evidence is the identity.
+            v.exact = old_exact;
+            v.sat = old_sat;
+          } else {
+            v.exact.reset();
+            v.facts = {mu};
+            v.sat = old_sat == SatLattice::kSat ? SatLattice::kSat
+                                                : SatLattice::kTop;
+            v.models_lo = v.sat == SatLattice::kSat ? 1 : 0;
+            v.models_hi = oracle_.space();
+          }
+        }
+      }
+      (*outs)[0] = std::move(out);
+      return;
+    }
+    case ScriptStatement::Kind::kUndo: {
+      AbstractState out = in;
+      auto it = out.bases.find(stmt.base);
+      if (it == out.bases.end()) {
+        // Undefined use: the run halts here; modeling fall-through as
+        // a no-op only over-approximates reachability.
+        (*outs)[0] = std::move(out);
+        return;
+      }
+      AbstractBase& v = it->second;
+      if (v.depth.hi == 0) {
+        // Provably empty history on every path: the concrete run
+        // hard-errors (flow/undo-empty); no-op keeps the analysis
+        // sound downstream.
+        (*outs)[0] = std::move(out);
+        return;
+      }
+      if (v.DepthExact() && !v.stack.empty()) {
+        const std::optional<Formula> restored = v.stack.back();
+        v.stack.pop_back();
+        v.depth.lo -= 1;
+        v.depth.hi -= 1;
+        if (restored) {
+          SetExactValue(oracle_, &v, *restored);
+        } else {
+          const IntInterval depth = v.depth;
+          auto stack = std::move(v.stack);
+          SetUnknownValue(oracle_, &v);
+          v.depth = depth;
+          v.stack = std::move(stack);
+        }
+      } else {
+        v.depth.lo = std::max(v.depth.lo - 1, 0);
+        v.depth.hi -= 1;
+        v.stack.clear();
+        const IntInterval depth = v.depth;
+        SetUnknownValue(oracle_, &v);
+        v.depth = depth;
+      }
+      (*outs)[0] = std::move(out);
+      return;
+    }
+    case ScriptStatement::Kind::kAssertEntails:
+    case ScriptStatement::Kind::kAssertConsistent:
+    case ScriptStatement::Kind::kAssertEquivalent: {
+      (*outs)[0] = in;
+      return;
+    }
+    case ScriptStatement::Kind::kConditional: {
+      AbstractState taken = in;
+      AbstractState fall = in;
+      auto it = in.bases.find(stmt.base);
+      const AbstractBase* v =
+          it == in.bases.end() ? nullptr : &it->second;
+      if (v != nullptr && info.payload) {
+        const Formula& f = *info.payload;
+        if (ProvesNotEntails(oracle_, *v, f)) {
+          taken.reachable = false;
+          taken.bases.clear();
+        } else {
+          AbstractBase& tv = taken.bases[stmt.base];
+          if (!tv.exact && !ContainsFormula(tv.facts, f) &&
+              static_cast<int>(tv.facts.size()) < kMaxFacts &&
+              !f.is_true()) {
+            tv.facts.push_back(f);
+          }
+        }
+        if (ProvesEntails(oracle_, *v, f)) {
+          fall.reachable = false;
+          fall.bases.clear();
+        }
+      }
+      if (outs->size() >= 1) (*outs)[0] = std::move(taken);
+      if (outs->size() >= 2) (*outs)[1] = std::move(fall);
+      return;
+    }
+  }
+}
+
+void ScriptDataflow::Run() {
+  const int n = cfg_->num_nodes();
+  in_states_.assign(n, AbstractState{});
+  edge_states_.assign(n, {});
+  for (int i = 0; i < n; ++i) {
+    edge_states_[i].resize(cfg_->node(i).succs.size());
+  }
+
+  // RPO-prioritized worklist: on the DAG cfgs the parser produces,
+  // every node pops after all its predecessors have stabilized.
+  std::vector<int> rpo_pos(n, n);
+  const std::vector<int>& rpo = cfg_->ReversePostOrder();
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    rpo_pos[rpo[i]] = static_cast<int>(i);
+  }
+  std::set<std::pair<int, int>> worklist;
+  worklist.insert({rpo_pos[cfg_->entry()], cfg_->entry()});
+
+  while (!worklist.empty()) {
+    const int node_id = worklist.begin()->second;
+    worklist.erase(worklist.begin());
+    const CfgNode& node = cfg_->node(node_id);
+
+    AbstractState in;
+    if (node_id == cfg_->entry()) {
+      in.reachable = true;
+    } else {
+      for (int pred : node.preds) {
+        const CfgNode& p = cfg_->node(pred);
+        for (size_t j = 0; j < p.succs.size(); ++j) {
+          if (p.succs[j] != node_id) continue;
+          in = JoinState(oracle_, in, edge_states_[pred][j]);
+        }
+      }
+    }
+    in_states_[node_id] = in;
+
+    std::vector<AbstractState> outs;
+    Transfer(node_id, in, &outs);
+    for (size_t i = 0; i < outs.size(); ++i) {
+      if (StateEquals(outs[i], edge_states_[node_id][i])) continue;
+      edge_states_[node_id][i] = std::move(outs[i]);
+      const int succ = node.succs[i];
+      worklist.insert({rpo_pos[succ], succ});
+    }
+  }
+}
+
+}  // namespace arbiter::lint

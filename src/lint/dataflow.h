@@ -1,0 +1,191 @@
+#ifndef ARBITER_LINT_DATAFLOW_H_
+#define ARBITER_LINT_DATAFLOW_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "change/operator.h"
+#include "lint/cfg.h"
+#include "logic/formula.h"
+
+/// \file dataflow.h
+/// Path-sensitive abstract interpretation of belief scripts: the
+/// abstract domain, join semantics, transfer functions, and a worklist
+/// fixpoint engine over the script CFG (cfg.h).  flow_checks.h turns
+/// the fixpoint into diagnostics.
+///
+/// Per base, the abstract value tracks
+///  * a satisfiability lattice ⊥ < {unsat, sat} < ⊤ over the base's
+///    current formula,
+///  * the exact current formula where the paper's postulates force it
+///    ((R1)/(U1)/(A1) unsat evidence, (R2) consistent revision, (R2)/
+///    (U2) entailed evidence, define, undo of a tracked change),
+///  * entailment facts — formulas the base provably entails on *every*
+///    path, decided by the SAT core; conditional guards contribute
+///    facts on their taken edge,
+///  * an undo-depth interval [lo, hi] (branching makes exact depths
+///    unknowable; the interval stays sound) plus an abstract history
+///    stack of restore formulas while the depth is exact, and
+///  * a model-count interval from bounded AllSAT.
+///
+/// Joins at merge points are fact-preserving: a formula survives the
+/// join if the *other* side's abstract value also proves the base
+/// entails it (so `define b := x & y` in one branch and `x & z` in the
+/// other still yields the joined fact `x`).  All proofs are decided by
+/// the SAT core, never by running theory change.
+
+namespace arbiter::lint {
+
+/// Satisfiability of a base's current formula.  kBottom = no value
+/// (the base is undefined); kTop = unknown.
+enum class SatLattice { kBottom, kUnsat, kSat, kTop };
+
+SatLattice JoinSat(SatLattice a, SatLattice b);
+
+/// Closed integer interval; joins widen to the convex hull.
+struct IntInterval {
+  int lo = 0;
+  int hi = 0;
+
+  bool operator==(const IntInterval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// Decides satisfiability / entailment / bounded model counts over the
+/// script's vocabulary via the SAT core.  Queries are memoized per
+/// analysis (formulas are compared structurally).
+class SemanticOracle {
+ public:
+  /// `num_terms` is the script vocabulary size; `model_cap` bounds the
+  /// AllSAT enumeration behind CountModels.
+  SemanticOracle(int num_terms, int64_t model_cap);
+
+  bool Sat(const Formula& f) const;
+  bool Taut(const Formula& f) const { return !Sat(Not(f)); }
+  bool Entails(const Formula& a, const Formula& b) const {
+    return !Sat(And(a, Not(b)));
+  }
+
+  /// Model-count interval of f: exact [c, c] when the bounded AllSAT
+  /// enumeration finishes under the cap, otherwise [cap, space()].
+  void CountModels(const Formula& f, int64_t* lo, int64_t* hi) const;
+
+  /// 2^num_terms, the size of the interpretation space.
+  int64_t space() const { return space_; }
+  int num_terms() const { return num_terms_; }
+
+ private:
+  int num_terms_;
+  int64_t model_cap_;
+  int64_t space_;
+  mutable std::map<uint64_t, bool> sat_cache_;
+};
+
+/// Abstract value of one base.
+struct AbstractBase {
+  /// True iff the base is defined on every path reaching here.  (Its
+  /// mere presence in AbstractState::bases means "defined on at least
+  /// one path".)
+  bool surely_defined = false;
+  SatLattice sat = SatLattice::kTop;
+  /// The base's exact current formula, when the postulates force it.
+  std::optional<Formula> exact;
+  /// Formulas the base provably entails on every reaching path.
+  std::vector<Formula> facts;
+  /// Undo-history depth interval.
+  IntInterval depth;
+  /// Abstract undo stack (restore formulas, top at back); meaningful
+  /// only while the depth is exact (lo == hi == stack.size()).
+  std::vector<std::optional<Formula>> stack;
+  /// Model-count interval of the current formula.
+  int64_t models_lo = 0;
+  int64_t models_hi = 0;
+
+  bool DepthExact() const {
+    return depth.lo == depth.hi &&
+           static_cast<size_t>(depth.lo) == stack.size();
+  }
+};
+
+bool BaseEquals(const AbstractBase& a, const AbstractBase& b);
+
+/// Abstract program state at a CFG point.
+struct AbstractState {
+  bool reachable = false;
+  std::map<std::string, AbstractBase> bases;
+};
+
+bool StateEquals(const AbstractState& a, const AbstractState& b);
+
+/// True iff `value` proves its base entails f (on every path the value
+/// summarizes): f is a tautology, the base is unsatisfiable, the exact
+/// formula entails f, or the conjunction of facts entails f.
+bool ProvesEntails(const SemanticOracle& oracle, const AbstractBase& value,
+                   const Formula& f);
+
+/// True iff `value` proves its base does NOT entail f on any path:
+/// the exact formula is satisfiable and fails to entail f, or the base
+/// is provably satisfiable while f is unsatisfiable.
+bool ProvesNotEntails(const SemanticOracle& oracle,
+                      const AbstractBase& value, const Formula& f);
+
+/// Fact-preserving join of two abstract values of the same base.
+AbstractBase JoinBase(const SemanticOracle& oracle, const AbstractBase& a,
+                      const AbstractBase& b);
+
+/// Join at a CFG merge point.  An unreachable side is the identity; a
+/// base present on one side only loses `surely_defined`.
+AbstractState JoinState(const SemanticOracle& oracle,
+                        const AbstractState& a, const AbstractState& b);
+
+/// Per-statement semantic inputs resolved by the front end: the parsed
+/// payload formula (nullopt on formula-syntax errors) and, for change
+/// statements, the named operator's family (nullopt when unknown).
+struct StatementInfo {
+  std::optional<Formula> payload;
+  std::optional<OperatorFamily> family;
+};
+
+/// The worklist fixpoint engine.  Owns nothing; cfg and info must
+/// outlive it.
+class ScriptDataflow {
+ public:
+  ScriptDataflow(const Cfg* cfg,
+                 const std::map<const ScriptStatement*, StatementInfo>* info,
+                 SemanticOracle oracle);
+
+  /// Iterates edge transfer + merge joins to a fixpoint.  Terminates
+  /// on any CFG (the worklist is RPO-prioritized; on the DAG cfgs the
+  /// script language produces, this is a single sweep).
+  void Run();
+
+  /// Joined in-state of a node (valid after Run()).
+  const AbstractState& InState(int node) const { return in_states_[node]; }
+
+  /// Out-state along `node`'s successor edge `i` (taken edge is 0 for
+  /// guards; see cfg.h).
+  const AbstractState& EdgeState(int node, int i) const {
+    return edge_states_[node][i];
+  }
+
+  const SemanticOracle& oracle() const { return oracle_; }
+  const StatementInfo& InfoFor(const ScriptStatement* stmt) const;
+
+ private:
+  void Transfer(int node, const AbstractState& in,
+                std::vector<AbstractState>* outs) const;
+
+  const Cfg* cfg_;
+  const std::map<const ScriptStatement*, StatementInfo>* info_;
+  SemanticOracle oracle_;
+  std::vector<AbstractState> in_states_;
+  std::vector<std::vector<AbstractState>> edge_states_;
+};
+
+}  // namespace arbiter::lint
+
+#endif  // ARBITER_LINT_DATAFLOW_H_

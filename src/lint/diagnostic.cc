@@ -1,10 +1,22 @@
 #include "lint/diagnostic.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace arbiter::lint {
 
 namespace {
 
-/// Escapes a string for inclusion in a JSON string literal.
+/// Total order used by NormalizeDiagnostics: location first so renders
+/// read in source order, then check id, then the remaining fields so
+/// exact duplicates become adjacent.
+auto SortKey(const Diagnostic& d) {
+  return std::tie(d.file, d.line, d.col, d.check_id, d.severity, d.message,
+                  d.note);
+}
+
+}  // namespace
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -29,8 +41,6 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
 const char* SeverityName(Severity severity) {
   switch (severity) {
     case Severity::kNote: return "note";
@@ -38,6 +48,13 @@ const char* SeverityName(Severity severity) {
     case Severity::kError: return "error";
   }
   return "?";
+}
+
+bool Diagnostic::operator==(const Diagnostic& other) const {
+  return file == other.file && line == other.line && col == other.col &&
+         severity == other.severity && check_id == other.check_id &&
+         message == other.message && note == other.note &&
+         fixits == other.fixits;
 }
 
 std::string Diagnostic::ToString() const {
@@ -69,10 +86,69 @@ std::string RenderJson(const std::vector<Diagnostic>& diagnostics) {
            "\"";
     out += ", \"check_id\": \"" + JsonEscape(d.check_id) + "\"";
     out += ", \"message\": \"" + JsonEscape(d.message) + "\"";
-    out += ", \"note\": \"" + JsonEscape(d.note) + "\"}";
+    out += ", \"note\": \"" + JsonEscape(d.note) + "\"";
+    out += ", \"fixits\": [";
+    for (size_t j = 0; j < d.fixits.size(); ++j) {
+      const FixIt& f = d.fixits[j];
+      if (j > 0) out += ", ";
+      out += "{\"offset\": " + std::to_string(f.offset) +
+             ", \"length\": " + std::to_string(f.length) +
+             ", \"replacement\": \"" + JsonEscape(f.replacement) + "\"}";
+    }
+    out += "]}";
   }
   out += diagnostics.empty() ? "]" : "\n]";
   out += "\n";
+  return out;
+}
+
+void NormalizeDiagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::stable_sort(diagnostics->begin(), diagnostics->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return SortKey(a) < SortKey(b);
+                   });
+  diagnostics->erase(
+      std::unique(diagnostics->begin(), diagnostics->end()),
+      diagnostics->end());
+}
+
+std::string ApplyFixIts(const std::string& text,
+                        const std::vector<Diagnostic>& diagnostics,
+                        int* applied, int* skipped) {
+  std::vector<FixIt> edits;
+  for (const Diagnostic& d : diagnostics) {
+    for (const FixIt& f : d.fixits) {
+      if (f.offset > text.size() || f.offset + f.length > text.size()) {
+        continue;  // stale edit; never apply out of range
+      }
+      edits.push_back(f);
+    }
+  }
+  std::sort(edits.begin(), edits.end(),
+            [](const FixIt& a, const FixIt& b) {
+              return std::tie(a.offset, a.length, a.replacement) <
+                     std::tie(b.offset, b.length, b.replacement);
+            });
+  edits.erase(std::unique(edits.begin(), edits.end()), edits.end());
+
+  int n_applied = 0;
+  int n_skipped = 0;
+  std::string out;
+  out.reserve(text.size());
+  size_t cursor = 0;
+  for (const FixIt& f : edits) {
+    if (f.offset < cursor) {
+      ++n_skipped;  // overlaps an already-accepted edit
+      continue;
+    }
+    out.append(text, cursor, f.offset - cursor);
+    out += f.replacement;
+    cursor = f.offset + f.length;
+    ++n_applied;
+  }
+  out.append(text, cursor, text.size() - cursor);
+  if (applied != nullptr) *applied = n_applied;
+  if (skipped != nullptr) *skipped = n_skipped;
   return out;
 }
 

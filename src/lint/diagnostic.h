@@ -1,6 +1,7 @@
 #ifndef ARBITER_LINT_DIAGNOSTIC_H_
 #define ARBITER_LINT_DIAGNOSTIC_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,12 @@
 /// type plus text and JSON renderers.  Checks are identified by stable
 /// string ids ("script/undo-empty", "dimacs/unused-var", ...) so CI
 /// configurations and the fixture corpus can pin them.
+///
+/// Diagnostics may carry *fix-its* — byte-range replacement edits over
+/// the original input text.  `ApplyFixIts` applies a batch of edits
+/// (sorted, deduplicated, overlap-safe); `tools/arblint --fix` drives
+/// it to a fixpoint.  The SARIF renderer (sarif.h) exports fix-its as
+/// SARIF `fixes` so code-scanning UIs can offer them.
 
 namespace arbiter::lint {
 
@@ -22,6 +29,24 @@ enum class Severity {
 /// Short lowercase name ("note", "warning", "error").
 const char* SeverityName(Severity severity);
 
+/// Escapes a string for inclusion in a JSON string literal (shared by
+/// the JSON and SARIF renderers).
+std::string JsonEscape(const std::string& s);
+
+/// One byte-range replacement edit over the *original* input text.
+/// Replacing [offset, offset+length) with `replacement` fixes the
+/// finding it is attached to.
+struct FixIt {
+  size_t offset = 0;        ///< byte offset into the input text
+  size_t length = 0;        ///< bytes to delete (0 = pure insertion)
+  std::string replacement;  ///< bytes to insert ("" = pure deletion)
+
+  bool operator==(const FixIt& other) const {
+    return offset == other.offset && length == other.length &&
+           replacement == other.replacement;
+  }
+};
+
 /// One finding, anchored to a source location.
 struct Diagnostic {
   std::string file;       ///< input path ("<stdin>" when piped)
@@ -31,6 +56,10 @@ struct Diagnostic {
   std::string check_id;   ///< stable id, e.g. "script/use-before-define"
   std::string message;    ///< what is wrong
   std::string note;       ///< optional context or suggested fix
+  /// Machine-applicable edits that fix the finding (usually 0 or 1).
+  std::vector<FixIt> fixits;
+
+  bool operator==(const Diagnostic& other) const;
 
   /// "file:line:col: severity: message [check_id]" (+ "  note: ...").
   std::string ToString() const;
@@ -40,9 +69,26 @@ struct Diagnostic {
 std::string RenderText(const std::vector<Diagnostic>& diagnostics);
 
 /// Renders diagnostics as a JSON array of objects with keys
-/// {file, line, col, severity, check_id, message, note}.  The schema is
-/// documented in docs/LINTING.md.
+/// {file, line, col, severity, check_id, message, note, fixits}.  The
+/// schema is documented in docs/LINTING.md.
 std::string RenderJson(const std::vector<Diagnostic>& diagnostics);
+
+/// Canonicalizes diagnostics for rendering: stable sort by
+/// (file, line, col, check id) — ties broken by severity, message,
+/// note — then exact-duplicate removal.  Multi-analyzer merges and any
+/// future parallel lint pass through this, so output is byte-identical
+/// regardless of emission order.
+void NormalizeDiagnostics(std::vector<Diagnostic>* diagnostics);
+
+/// Applies every fix-it carried by `diagnostics` to `text` in one
+/// batch: edits are sorted by offset, exact duplicates applied once,
+/// and an edit overlapping an already-accepted one is skipped (the
+/// batch stays well-defined even if two checks target the same bytes).
+/// Returns the edited text; `applied`/`skipped` (optional) receive the
+/// edit counts.
+std::string ApplyFixIts(const std::string& text,
+                        const std::vector<Diagnostic>& diagnostics,
+                        int* applied = nullptr, int* skipped = nullptr);
 
 /// The highest severity present (kNote when empty).
 Severity MaxSeverity(const std::vector<Diagnostic>& diagnostics);

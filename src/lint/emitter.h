@@ -1,0 +1,57 @@
+#ifndef ARBITER_LINT_EMITTER_H_
+#define ARBITER_LINT_EMITTER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "lint/lint.h"
+#include "util/logging.h"
+
+/// \file emitter.h
+/// Shared emission plumbing for the single-statement linter (lint.cc)
+/// and the dataflow pass (flow_checks.cc): registry lookup, per-check
+/// suppression, location fill-in, fix-it attachment.  Internal to
+/// src/lint; not part of the public lint API.
+
+namespace arbiter::lint {
+
+class Emitter {
+ public:
+  Emitter(std::string file, const LintOptions& options,
+          std::vector<Diagnostic>* out)
+      : file_(std::move(file)), options_(options), out_(out) {}
+
+  void Emit(const std::string& check_id, int line, int col,
+            std::string message, std::string note = "",
+            std::vector<FixIt> fixits = {}) {
+    const CheckInfo* info = FindCheck(check_id);
+    ARBITER_CHECK_MSG(info != nullptr, check_id.c_str());
+    for (const std::string& disabled : options_.disabled_checks) {
+      if (disabled == check_id) return;
+    }
+    Diagnostic d;
+    d.file = file_;
+    d.line = line;
+    d.col = col < 1 ? 1 : col;
+    d.severity = info->severity;
+    d.check_id = check_id;
+    d.message = std::move(message);
+    d.note = std::move(note);
+    d.fixits = std::move(fixits);
+    out_->push_back(std::move(d));
+  }
+
+  const LintOptions& options() const { return options_; }
+  const std::string& file() const { return file_; }
+
+ private:
+  std::string file_;
+  const LintOptions& options_;
+  std::vector<Diagnostic>* out_;
+};
+
+}  // namespace arbiter::lint
+
+#endif  // ARBITER_LINT_EMITTER_H_

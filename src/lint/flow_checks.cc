@@ -1,0 +1,590 @@
+#include "lint/flow_checks.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "change/registry.h"
+#include "lint/cfg.h"
+#include "lint/dataflow.h"
+#include "lint/emitter.h"
+#include "logic/parser.h"
+#include "logic/vocabulary.h"
+#include "store/script.h"
+#include "util/string_util.h"
+
+namespace arbiter::lint {
+
+namespace {
+
+void SetLineRecursive(ScriptStatement* stmt, int line) {
+  stmt->line = line;
+  for (ScriptStatement& inner : stmt->inner) SetLineRecursive(&inner, line);
+}
+
+bool ContainsDefine(const ScriptStatement& stmt) {
+  if (stmt.kind == ScriptStatement::Kind::kDefine) return true;
+  for (const ScriptStatement& inner : stmt.inner) {
+    if (ContainsDefine(inner)) return true;
+  }
+  return false;
+}
+
+bool ContainsUndoOf(const ScriptStatement& stmt, const std::string& base) {
+  if (stmt.kind == ScriptStatement::Kind::kUndo && stmt.base == base) {
+    return true;
+  }
+  for (const ScriptStatement& inner : stmt.inner) {
+    if (ContainsUndoOf(inner, base)) return true;
+  }
+  return false;
+}
+
+bool ContainsChange(const ScriptStatement& stmt) {
+  if (stmt.kind == ScriptStatement::Kind::kChange) return true;
+  for (const ScriptStatement& inner : stmt.inner) {
+    if (ContainsChange(inner)) return true;
+  }
+  return false;
+}
+
+/// Atom names mentioned by one formula text (empty for unparsable or
+/// empty payloads — such text registers nothing when evaluated).
+std::set<std::string> FormulaAtoms(const std::string& text) {
+  std::set<std::string> atoms;
+  if (text.empty()) return atoms;
+  Vocabulary vocab;
+  if (!Parse(text, &vocab).ok()) return atoms;
+  for (const std::string& name : vocab.names()) atoms.insert(name);
+  return atoms;
+}
+
+/// Every atom a statement (including its nested statements) could
+/// register in the store vocabulary if its text were evaluated.
+std::set<std::string> EvaluatedAtoms(const ScriptStatement& stmt) {
+  std::set<std::string> atoms = FormulaAtoms(stmt.formula);
+  for (const ScriptStatement& inner : stmt.inner) {
+    for (const std::string& atom : EvaluatedAtoms(inner)) atoms.insert(atom);
+  }
+  return atoms;
+}
+
+/// True iff executing this one statement (not its nested inner
+/// statements — those are separate CFG nodes) consults `base`'s value.
+bool ReadsBase(const ScriptStatement& stmt, const std::string& base) {
+  switch (stmt.kind) {
+    case ScriptStatement::Kind::kDefine:
+      return false;
+    case ScriptStatement::Kind::kChange:
+    case ScriptStatement::Kind::kUndo:
+    case ScriptStatement::Kind::kAssertEntails:
+    case ScriptStatement::Kind::kAssertConsistent:
+    case ScriptStatement::Kind::kAssertEquivalent:
+    case ScriptStatement::Kind::kConditional:
+      return stmt.base == base;
+  }
+  return false;
+}
+
+/// Byte span of each 1-based source line in the original text.
+struct LineSpan {
+  size_t offset = 0;   ///< byte offset of the line's first character
+  size_t length = 0;   ///< bytes excluding the newline
+  bool has_newline = false;
+};
+
+std::vector<LineSpan> ComputeLineSpans(const std::string& text) {
+  std::vector<LineSpan> spans;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t nl = text.find('\n', start);
+    LineSpan span;
+    span.offset = start;
+    if (nl == std::string::npos) {
+      span.length = text.size() - start;
+      spans.push_back(span);
+      break;
+    }
+    span.length = nl - start;
+    span.has_newline = true;
+    spans.push_back(span);
+    start = nl + 1;
+  }
+  return spans;
+}
+
+FixIt DeleteLine(const std::vector<LineSpan>& spans, int line) {
+  FixIt fix;
+  if (line < 1 || line > static_cast<int>(spans.size())) return fix;
+  const LineSpan& span = spans[line - 1];
+  fix.offset = span.offset;
+  fix.length = span.length + (span.has_newline ? 1 : 0);
+  return fix;
+}
+
+FixIt ReplaceLine(const std::vector<LineSpan>& spans, int line,
+                  std::string replacement) {
+  FixIt fix;
+  if (line < 1 || line > static_cast<int>(spans.size())) return fix;
+  const LineSpan& span = spans[line - 1];
+  fix.offset = span.offset;
+  fix.length = span.length;
+  fix.replacement = std::move(replacement);
+  return fix;
+}
+
+class FlowPass {
+ public:
+  FlowPass(const std::string& file, const std::string& text,
+           const LintOptions& options,
+           const std::set<std::pair<int, std::string>>& already_emitted,
+           FlowAnalysis* out)
+      : text_(text),
+        options_(options),
+        already_emitted_(already_emitted),
+        emit_(file, options, &out->diagnostics),
+        out_(out) {}
+
+  void Run() {
+    if (!options_.enable_dataflow) return;
+    BeliefScript script;
+    if (!ParseStatements(&script)) return;
+    if (script.statements.empty()) return;
+
+    Vocabulary vocab;
+    bool parse_trouble = false;
+    for (const ScriptStatement& stmt : script.statements) {
+      ResolvePayloads(stmt, &vocab, &parse_trouble);
+    }
+    if (vocab.size() > kMaxEnumTerms) return;  // script/capacity owns this
+    (void)parse_trouble;  // unparsed payloads degrade to kTop per statement
+
+    cfg_ = Cfg::Build(std::move(script));
+    // Payload resolution keyed the map by pre-copy statement pointers;
+    // re-key against the CFG-owned script (identical shape and order).
+    RekeyInfo();
+
+    SemanticOracle oracle(static_cast<int>(vocab.size()),
+                          options_.allsat_model_cap);
+    ScriptDataflow df(&cfg_, &info_, std::move(oracle));
+    df.Run();
+    spans_ = ComputeLineSpans(text_);
+    IndexVocabularyGrowth();
+
+    for (int id : cfg_.ReversePostOrder()) {
+      const CfgNode& node = cfg_.node(id);
+      if (node.kind != CfgNode::Kind::kStatement) continue;
+      Statement(df, id);
+    }
+    DeadDefines(df);
+    out_->ran = true;
+  }
+
+ private:
+  bool ParseStatements(BeliefScript* script) {
+    const std::vector<std::string> lines = Split(text_, '\n');
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string line = Trim(lines[i]);
+      if (line.empty() || line[0] == '#') continue;
+      Result<BeliefScript> one = ParseScript(line);
+      // A single bad line keeps the whole script from running, so
+      // dataflow claims would be vacuous; the single-statement pass
+      // already reported script/syntax.
+      if (!one.ok()) return false;
+      if (one->statements.empty()) continue;
+      ScriptStatement stmt = one->statements[0];
+      SetLineRecursive(&stmt, static_cast<int>(i + 1));
+      script->statements.push_back(std::move(stmt));
+    }
+    return true;
+  }
+
+  /// Parses payload formulas in source order against the script-wide
+  /// vocabulary (mirroring both the runtime store and the
+  /// single-statement pass) and resolves operator families.
+  void ResolvePayloads(const ScriptStatement& stmt, Vocabulary* vocab,
+                       bool* parse_trouble) {
+    StatementInfo info;
+    if (!stmt.formula.empty()) {
+      const Vocabulary backup = *vocab;
+      Result<Formula> f = Parse(stmt.formula, vocab);
+      if (f.ok()) {
+        info.payload = *f;
+      } else {
+        *vocab = backup;
+        *parse_trouble = true;
+      }
+    }
+    if (stmt.kind == ScriptStatement::Kind::kChange) {
+      Result<std::shared_ptr<const TheoryChangeOperator>> op =
+          MakeOperator(stmt.op_name);
+      if (op.ok()) info.family = (*op)->family();
+    }
+    info_by_line_kind_.push_back(std::move(info));
+    for (const ScriptStatement& inner : stmt.inner) {
+      ResolvePayloads(inner, vocab, parse_trouble);
+    }
+  }
+
+  void CollectStatements(const ScriptStatement& stmt,
+                         std::vector<const ScriptStatement*>* out) {
+    out->push_back(&stmt);
+    for (const ScriptStatement& inner : stmt.inner) {
+      CollectStatements(inner, out);
+    }
+  }
+
+  void RekeyInfo() {
+    std::vector<const ScriptStatement*> order;
+    for (const ScriptStatement& stmt : cfg_.script().statements) {
+      CollectStatements(stmt, &order);
+    }
+    ARBITER_CHECK(order.size() == info_by_line_kind_.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      info_.emplace(order[i], std::move(info_by_line_kind_[i]));
+    }
+  }
+
+  bool AlreadyEmitted(int line, const char* check_id) const {
+    return already_emitted_.count({line, std::string(check_id)}) > 0;
+  }
+
+  /// Per top-level line: the atoms surely registered in the store
+  /// vocabulary by the time execution reaches it (payload atoms of
+  /// earlier unguarded statements, guard atoms of earlier
+  /// conditionals — nested statements may be skipped, so only the
+  /// outermost guard counts), plus the lines that apply an operator.
+  void IndexVocabularyGrowth() {
+    std::set<std::string> registered;
+    for (const ScriptStatement& top : cfg_.script().statements) {
+      registered_before_[top.line] = registered;
+      for (const std::string& atom : FormulaAtoms(top.formula)) {
+        registered.insert(atom);
+      }
+      if (ContainsChange(top)) change_lines_.push_back(top.line);
+    }
+  }
+
+  /// The change operators do not commute with vocabulary growth (see
+  /// belief_store.h), and evaluating a line registers its formulas'
+  /// atoms even when the guarded statement is skipped.  A fix-it that
+  /// removes evaluated text is offered only when it cannot shift the
+  /// vocabulary seen by any operator application: either every removed
+  /// atom is already registered by an earlier top-level statement, or
+  /// no change statement runs at a later line (entailment,
+  /// consistency, and model-count queries are invariant under
+  /// vocabulary growth; Apply is not).  `line_survives` covers guard
+  /// unwraps, where the inner statement keeps executing on its line.
+  bool RemovalPreservesVocabulary(const std::set<std::string>& removed,
+                                  int line, bool line_survives) const {
+    const auto it = registered_before_.find(line);
+    bool all_registered = it != registered_before_.end();
+    for (const std::string& atom : removed) {
+      if (!all_registered || it->second.count(atom) == 0) {
+        all_registered = false;
+        break;
+      }
+    }
+    if (all_registered) return true;
+    for (const int change_line : change_lines_) {
+      if (change_line > line || (line_survives && change_line == line)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Verdict(FlowVerdict::Kind kind, const ScriptStatement& stmt) {
+    FlowVerdict v;
+    v.kind = kind;
+    v.line = stmt.line;
+    v.base = stmt.base;
+    v.statement = RenderStatement(stmt);
+    out_->verdicts.push_back(std::move(v));
+  }
+
+  const ScriptStatement& TopLevelOf(const CfgNode& node) const {
+    return cfg_.script().statements[node.top_level];
+  }
+
+  void Statement(const ScriptDataflow& df, int id) {
+    const CfgNode& node = cfg_.node(id);
+    const ScriptStatement& stmt = *node.stmt;
+    const AbstractState& in = df.InState(id);
+
+    if (!in.reachable) {
+      // Flag only the first statement of a dead chain; the rest are
+      // consequences.
+      bool frontier = false;
+      for (int pred : node.preds) {
+        if (df.InState(pred).reachable) frontier = true;
+      }
+      if (!frontier) return;
+      Verdict(FlowVerdict::Kind::kUnreachable, stmt);
+      std::vector<FixIt> fixits;
+      if (!ContainsDefine(TopLevelOf(node)) &&
+          RemovalPreservesVocabulary(EvaluatedAtoms(TopLevelOf(node)),
+                                     stmt.line, /*line_survives=*/false)) {
+        fixits.push_back(DeleteLine(spans_, stmt.line));
+      }
+      emit_.Emit("flow/unreachable", stmt.line, 1,
+                 "'" + RenderStatement(stmt) +
+                     "' provably never executes",
+                 "on every path reaching this line, the enclosing "
+                 "guard's outcome is already decided",
+                 std::move(fixits));
+      return;
+    }
+
+    const StatementInfo& info = df.InfoFor(node.stmt);
+    auto it = in.bases.find(stmt.base);
+    const AbstractBase* v = it == in.bases.end() ? nullptr : &it->second;
+
+    switch (stmt.kind) {
+      case ScriptStatement::Kind::kUndo:
+        if (v != nullptr && v->surely_defined && v->depth.hi == 0) {
+          Verdict(FlowVerdict::Kind::kUndoEmpty, stmt);
+          if (!AlreadyEmitted(stmt.line, "script/undo-empty")) {
+            std::vector<FixIt> fixits;
+            if (RemovalPreservesVocabulary(EvaluatedAtoms(TopLevelOf(node)),
+                                           stmt.line,
+                                           /*line_survives=*/false)) {
+              fixits.push_back(DeleteLine(spans_, stmt.line));
+            }
+            emit_.Emit("flow/undo-empty", stmt.line, 1,
+                       "'" + stmt.base + "' has an empty history on "
+                       "every path reaching this undo",
+                       "the run would stop here with a hard error",
+                       std::move(fixits));
+          }
+        }
+        return;
+      case ScriptStatement::Kind::kChange:
+        RedundantChange(df, node, stmt, info, v);
+        return;
+      case ScriptStatement::Kind::kAssertEntails:
+      case ScriptStatement::Kind::kAssertConsistent:
+      case ScriptStatement::Kind::kAssertEquivalent:
+        AssertVerdicts(df, stmt, info, v);
+        return;
+      case ScriptStatement::Kind::kConditional:
+        GuardUnwrap(df, node, stmt, info, v);
+        return;
+      case ScriptStatement::Kind::kDefine:
+        return;  // dead defines need the backward pass
+    }
+  }
+
+  void RedundantChange(const ScriptDataflow& df, const CfgNode& node,
+                       const ScriptStatement& stmt,
+                       const StatementInfo& info, const AbstractBase* v) {
+    if (v == nullptr || !v->surely_defined || !info.payload ||
+        !info.family) {
+      return;
+    }
+    const bool identity_family = *info.family == OperatorFamily::kRevision ||
+                                 *info.family == OperatorFamily::kUpdate;
+    // Model fitting and arbitration stay loyal to all models of the
+    // base and move even on entailed evidence (Example 3.1).
+    if (!identity_family) return;
+    const SemanticOracle& o = df.oracle();
+    if (v->sat != SatLattice::kSat || !o.Sat(*info.payload)) return;
+    if (!ProvesEntails(o, *v, *info.payload)) return;
+    Verdict(FlowVerdict::Kind::kRedundantChange, stmt);
+    if (AlreadyEmitted(stmt.line, "script/vacuous-change")) return;
+    std::vector<FixIt> fixits;
+    bool undone_later = false;
+    for (const ScriptStatement& top : cfg_.script().statements) {
+      if (ContainsUndoOf(top, stmt.base)) undone_later = true;
+    }
+    if (!undone_later &&
+        RemovalPreservesVocabulary(EvaluatedAtoms(TopLevelOf(node)),
+                                   stmt.line, /*line_survives=*/false)) {
+      fixits.push_back(DeleteLine(spans_, stmt.line));
+    }
+    emit_.Emit("flow/redundant-change", stmt.line, 1,
+               "on every path reaching this line '" + stmt.base +
+                   "' already entails the evidence; this " +
+                   std::string(OperatorFamilyName(*info.family)) +
+                   " is a no-op",
+               "(R2)/(U2) applied path-sensitively: the guard facts on "
+               "every incoming branch already force the evidence",
+               std::move(fixits));
+  }
+
+  void AssertVerdicts(const ScriptDataflow& df, const ScriptStatement& stmt,
+                      const StatementInfo& info, const AbstractBase* v) {
+    if (v == nullptr || !v->surely_defined || !info.payload) return;
+    const SemanticOracle& o = df.oracle();
+    const Formula& f = *info.payload;
+    bool passes = false;
+    bool fails = false;
+    if (stmt.kind == ScriptStatement::Kind::kAssertEntails) {
+      passes = ProvesEntails(o, *v, f);
+      fails = !passes && ProvesNotEntails(o, *v, f);
+    } else if (stmt.kind == ScriptStatement::Kind::kAssertConsistent) {
+      if (v->exact) {
+        passes = o.Sat(And(*v->exact, f));
+        fails = !passes;
+      } else if (v->sat == SatLattice::kUnsat || !o.Sat(f)) {
+        fails = true;
+      } else if (!v->facts.empty()) {
+        // b entails its facts on every path, so facts ∧ f unsat means
+        // b ∧ f unsat on every path.
+        std::vector<Formula> parts = v->facts;
+        parts.push_back(f);
+        fails = !o.Sat(And(parts));
+      }
+    } else {  // kAssertEquivalent
+      if (v->exact) {
+        passes = !o.Sat(Xor(*v->exact, f));
+        fails = !passes;
+      } else {
+        const bool f_sat = o.Sat(f);
+        if (v->sat == SatLattice::kUnsat) {
+          passes = !f_sat;
+          fails = f_sat;
+        } else if (v->sat == SatLattice::kSat && !f_sat) {
+          fails = true;
+        } else if (!v->facts.empty() && !o.Entails(f, And(v->facts))) {
+          // b entails its facts; an equivalent formula would too.
+          fails = true;
+        } else {
+          // Model-count interval: equivalent formulas have the same
+          // number of models over the shared vocabulary.
+          int64_t lo = 0;
+          int64_t hi = 0;
+          o.CountModels(f, &lo, &hi);
+          fails = lo == hi && (lo < v->models_lo || lo > v->models_hi);
+        }
+      }
+    }
+    if (!passes && !fails) return;
+    Verdict(passes ? FlowVerdict::Kind::kAssertPasses
+                   : FlowVerdict::Kind::kAssertFails,
+            stmt);
+    if (AlreadyEmitted(stmt.line, "script/trivial-assert")) return;
+    if (passes) {
+      emit_.Emit("flow/assert-passes", stmt.line, 1,
+                 "assertion provably holds on every path reaching it",
+                 "the abstract state already decides this assertion; "
+                 "it cannot catch a regression");
+    } else {
+      emit_.Emit("flow/assert-fails", stmt.line, 1,
+                 "assertion provably fails on every path reaching it",
+                 "every execution that reaches this line records a "
+                 "failed assertion");
+    }
+  }
+
+  void GuardUnwrap(const ScriptDataflow& df, const CfgNode& node,
+                   const ScriptStatement& stmt, const StatementInfo& info,
+                   const AbstractBase* v) {
+    // Unwrap `if b entails ⊤-equivalent then S` to plain `S`: only for
+    // top-level conditionals (the fix-it rewrites the whole line) on a
+    // surely-defined base (the runtime guard would hard-error on an
+    // undefined one, so unwrapping must not change that).
+    if (node.stmt != &TopLevelOf(node)) return;
+    if (stmt.inner.empty() || !info.payload) return;
+    if (v == nullptr || !v->surely_defined) return;
+    if (!df.oracle().Taut(*info.payload)) return;
+    // Unwrapping removes the guard's evaluation but keeps the inner
+    // statement running on this line.
+    if (!RemovalPreservesVocabulary(FormulaAtoms(stmt.formula), stmt.line,
+                                    /*line_survives=*/true)) {
+      return;
+    }
+    out_->guard_unwraps.emplace(
+        stmt.line,
+        ReplaceLine(spans_, stmt.line, RenderStatement(stmt.inner[0])));
+  }
+
+  void DeadDefines(const ScriptDataflow& df) {
+    // Which bases have define nodes at all.
+    std::set<std::string> defined_bases;
+    for (const CfgNode& node : cfg_.nodes()) {
+      if (node.kind == CfgNode::Kind::kStatement &&
+          node.stmt->kind == ScriptStatement::Kind::kDefine) {
+        defined_bases.insert(node.stmt->base);
+      }
+    }
+    const std::vector<int>& rpo = cfg_.ReversePostOrder();
+    for (const std::string& base : defined_bases) {
+      // reads_first[n]: some graph path from n reads `base` before any
+      // redefine.  Computed bottom-up (post order visits successors
+      // first on the DAG).
+      std::vector<char> reads_first(cfg_.num_nodes(), 0);
+      for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+        const CfgNode& node = cfg_.node(*it);
+        if (node.kind == CfgNode::Kind::kStatement) {
+          if (ReadsBase(*node.stmt, base)) {
+            reads_first[*it] = 1;
+            continue;
+          }
+          if (node.stmt->kind == ScriptStatement::Kind::kDefine &&
+              node.stmt->base == base) {
+            reads_first[*it] = 0;
+            continue;
+          }
+        }
+        for (int succ : node.succs) {
+          if (reads_first[succ]) reads_first[*it] = 1;
+        }
+      }
+      for (int id : rpo) {
+        const CfgNode& node = cfg_.node(id);
+        if (node.kind != CfgNode::Kind::kStatement ||
+            node.stmt->kind != ScriptStatement::Kind::kDefine ||
+            node.stmt->base != base) {
+          continue;
+        }
+        if (!df.InState(id).reachable) continue;
+        if (reads_first[node.succs[0]]) continue;
+        const ScriptStatement& stmt = *node.stmt;
+        Verdict(FlowVerdict::Kind::kDeadDefine, stmt);
+        std::vector<FixIt> fixits;
+        const ScriptStatement& top =
+            cfg_.script().statements[node.top_level];
+        if (RemovalPreservesVocabulary(EvaluatedAtoms(top), stmt.line,
+                                       /*line_survives=*/false)) {
+          fixits.push_back(DeleteLine(spans_, stmt.line));
+        }
+        emit_.Emit("flow/dead-define", stmt.line, 1,
+                   "the value defined for '" + stmt.base +
+                       "' is never read before it is redefined or the "
+                       "script ends",
+                   "no change, undo, assert, or guard consults it on "
+                   "any path",
+                   std::move(fixits));
+      }
+    }
+  }
+
+  const std::string& text_;
+  const LintOptions& options_;
+  const std::set<std::pair<int, std::string>>& already_emitted_;
+  Emitter emit_;
+  FlowAnalysis* out_;
+  Cfg cfg_ = Cfg::Build(BeliefScript{});
+  /// Statement info in pre-order collection order, before re-keying.
+  std::vector<StatementInfo> info_by_line_kind_;
+  std::map<const ScriptStatement*, StatementInfo> info_;
+  std::vector<LineSpan> spans_;
+  /// Top-level line -> atoms surely registered before that line runs.
+  std::map<int, std::set<std::string>> registered_before_;
+  /// Lines (sorted) holding a change statement at any nesting depth.
+  std::vector<int> change_lines_;
+};
+
+}  // namespace
+
+FlowAnalysis AnalyzeScriptFlow(
+    const std::string& file, const std::string& text,
+    const LintOptions& options,
+    const std::set<std::pair<int, std::string>>& already_emitted) {
+  FlowAnalysis out;
+  FlowPass pass(file, text, options, already_emitted, &out);
+  pass.Run();
+  return out;
+}
+
+}  // namespace arbiter::lint

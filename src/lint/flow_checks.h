@@ -1,0 +1,78 @@
+#ifndef ARBITER_LINT_FLOW_CHECKS_H_
+#define ARBITER_LINT_FLOW_CHECKS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "lint/lint.h"
+
+/// \file flow_checks.h
+/// The flow/* check family: verdicts read off the dataflow fixpoint
+/// (dataflow.h) over the script CFG (cfg.h).
+///
+///   flow/unreachable      statement provably never executes
+///   flow/redundant-change path-sensitive (R2)/(U2) no-op
+///   flow/dead-define      defined value never read before redefine/end
+///   flow/undo-empty       history provably empty on every path
+///   flow/assert-passes    assertion provably holds on every path
+///   flow/assert-fails     assertion provably fails whenever it runs
+///
+/// Every verdict is execution-conditional: it claims something about
+/// runs that *reach* the statement, so it stays true when an earlier
+/// hard error stops the script.  The differential fuzz harness holds
+/// these verdicts against concrete RunScript reports.
+
+namespace arbiter::lint {
+
+/// One dataflow verdict, in runtime-comparable form: `statement` is
+/// RenderStatement(stmt), exactly the text RunScript records, so
+/// harnesses can match verdicts to report steps by (line, text).
+struct FlowVerdict {
+  enum class Kind {
+    kUnreachable,
+    kRedundantChange,
+    kDeadDefine,
+    kUndoEmpty,
+    kAssertPasses,
+    kAssertFails,
+  };
+  Kind kind;
+  int line = 0;
+  std::string base;
+  std::string statement;
+};
+
+/// Result of the dataflow pass.
+struct FlowAnalysis {
+  /// flow/* diagnostics, after per-line duplicate suppression against
+  /// the single-statement pass but before global normalization.
+  std::vector<Diagnostic> diagnostics;
+  /// All verdicts the analysis proved, independent of diagnostic
+  /// suppression — the ground truth the fuzz harness checks.
+  std::vector<FlowVerdict> verdicts;
+  /// Guard-unwrap fix-its for provably tautological top-level guards,
+  /// keyed by line; LintScriptText attaches them to the
+  /// script/guard-tautology diagnostics of the single-statement pass.
+  std::map<int, FixIt> guard_unwraps;
+  /// False when the pass was skipped (disabled, statement syntax
+  /// errors, or vocabulary over the enumeration capacity).
+  bool ran = false;
+};
+
+/// Runs CFG construction, the abstract-interpretation fixpoint, and
+/// the verdict passes over `text`.  `already_emitted` holds the
+/// (line, check id) pairs of the single-statement pass so flow
+/// diagnostics restating the same finding on the same line are
+/// dropped (the verdict is still recorded).
+FlowAnalysis AnalyzeScriptFlow(
+    const std::string& file, const std::string& text,
+    const LintOptions& options,
+    const std::set<std::pair<int, std::string>>& already_emitted);
+
+}  // namespace arbiter::lint
+
+#endif  // ARBITER_LINT_FLOW_CHECKS_H_

@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "change/registry.h"
+#include "lint/emitter.h"
+#include "lint/flow_checks.h"
 #include "logic/parser.h"
 #include "logic/vocabulary.h"
 #include "sat/dpll.h"
@@ -53,6 +55,19 @@ const std::vector<CheckInfo> kChecks = {
      "assertion holds or fails for every possible base"},
     {"script/unconstrained-atom", Severity::kWarning,
      "atom queried but never constrained by any define/change"},
+    // Belief scripts: path-sensitive dataflow (flow_checks.h).
+    {"flow/unreachable", Severity::kError,
+     "statement provably never executes"},
+    {"flow/redundant-change", Severity::kWarning,
+     "revision/update provably a no-op on every path ((R2)/(U2))"},
+    {"flow/dead-define", Severity::kWarning,
+     "defined value never read before redefinition or script end"},
+    {"flow/undo-empty", Severity::kError,
+     "undo history provably empty on every path"},
+    {"flow/assert-passes", Severity::kNote,
+     "assertion provably holds on every path reaching it"},
+    {"flow/assert-fails", Severity::kError,
+     "assertion provably fails whenever it executes"},
     // DIMACS CNF.
     {"dimacs/syntax", Severity::kError,
      "malformed DIMACS input"},
@@ -85,39 +100,6 @@ const std::vector<CheckInfo> kChecks = {
      "no interpretation has positive weight (weighted (A2) edge)"},
     {"wkb/weight-overflow", Severity::kWarning,
      "weights large enough for wdist sums to lose integer precision"},
-};
-
-/// Shared emission plumbing: registry lookup, suppression, location.
-class Emitter {
- public:
-  Emitter(std::string file, const LintOptions& options,
-          std::vector<Diagnostic>* out)
-      : file_(std::move(file)), options_(options), out_(out) {}
-
-  void Emit(const std::string& check_id, int line, int col,
-            std::string message, std::string note = "") {
-    const CheckInfo* info = FindCheck(check_id);
-    ARBITER_CHECK_MSG(info != nullptr, check_id.c_str());
-    for (const std::string& disabled : options_.disabled_checks) {
-      if (disabled == check_id) return;
-    }
-    Diagnostic d;
-    d.file = file_;
-    d.line = line;
-    d.col = col < 1 ? 1 : col;
-    d.severity = info->severity;
-    d.check_id = check_id;
-    d.message = std::move(message);
-    d.note = std::move(note);
-    out_->push_back(std::move(d));
-  }
-
-  const LintOptions& options() const { return options_; }
-
- private:
-  std::string file_;
-  const LintOptions& options_;
-  std::vector<Diagnostic>* out_;
 };
 
 /// 1-based column of `token` in `line_text` (identifier-boundary aware
@@ -823,10 +805,22 @@ std::vector<Diagnostic> LintScriptText(const std::string& file,
   Emitter emit(file, options, &out);
   ScriptLinter linter(&emit, Split(text, '\n'));
   linter.Run();
-  std::stable_sort(out.begin(), out.end(),
-                   [](const Diagnostic& a, const Diagnostic& b) {
-                     return a.line < b.line;
-                   });
+
+  // The dataflow pass sees what the single-statement pass emitted so
+  // it can drop same-line restatements of the same finding.
+  std::set<std::pair<int, std::string>> emitted;
+  for (const Diagnostic& d : out) emitted.insert({d.line, d.check_id});
+  FlowAnalysis flow = AnalyzeScriptFlow(file, text, options, emitted);
+  for (Diagnostic& d : flow.diagnostics) out.push_back(std::move(d));
+  // Tautological-guard unwrap fix-its attach to the single-statement
+  // pass's script/guard-tautology diagnostics.
+  for (Diagnostic& d : out) {
+    if (d.check_id != "script/guard-tautology") continue;
+    auto it = flow.guard_unwraps.find(d.line);
+    if (it != flow.guard_unwraps.end()) d.fixits.push_back(it->second);
+  }
+
+  NormalizeDiagnostics(&out);
   return out;
 }
 
@@ -836,6 +830,7 @@ std::vector<Diagnostic> LintDimacsText(const std::string& file,
   std::vector<Diagnostic> out;
   Emitter emit(file, options, &out);
   LintDimacs(&emit, text);
+  NormalizeDiagnostics(&out);
   return out;
 }
 
@@ -845,6 +840,7 @@ std::vector<Diagnostic> LintWeightedKbText(const std::string& file,
   std::vector<Diagnostic> out;
   Emitter emit(file, options, &out);
   LintWeightedKb(&emit, text);
+  NormalizeDiagnostics(&out);
   return out;
 }
 
@@ -882,6 +878,28 @@ Result<ScriptReport> RunScriptTextLinted(const std::string& text,
   Result<BeliefScript> script = ParseScript(text);
   if (!script.ok()) return script.status();
   return RunScript(*script, store, MakeScriptLintHook(text, options));
+}
+
+FixResult ApplyAllFixIts(InputKind kind, const std::string& file,
+                         const std::string& text,
+                         const LintOptions& options, int max_iterations) {
+  FixResult result;
+  result.text = text;
+  while (result.iterations < max_iterations) {
+    const std::vector<Diagnostic> diagnostics =
+        LintText(kind, file, result.text, options);
+    bool any_fixit = false;
+    for (const Diagnostic& d : diagnostics) {
+      if (!d.fixits.empty()) any_fixit = true;
+    }
+    if (!any_fixit) break;
+    int applied = 0;
+    result.text = ApplyFixIts(result.text, diagnostics, &applied);
+    ++result.iterations;
+    if (applied == 0) break;  // every remaining edit overlapped/stale
+    result.applied += applied;
+  }
+  return result;
 }
 
 }  // namespace arbiter::lint

@@ -23,11 +23,24 @@
 /// Satisfiability questions are decided with the SAT core, never by
 /// running theory change.
 ///
+/// On top of the single-statement checks, a path-sensitive dataflow
+/// layer (cfg.h, dataflow.h, flow_checks.h) interprets scripts over an
+/// abstract domain — satisfiability lattice, SAT-decided entailment
+/// facts, undo-depth and model-count intervals — and contributes the
+/// `flow/*` check family: unreachable statements, path-sensitive
+/// redundant changes ((R2)/(U2) across joins), dead definitions,
+/// undo-on-empty-history on every path, and statically decided
+/// assertions.  Many diagnostics carry machine-applicable fix-its
+/// (Diagnostic::fixits); ApplyAllFixIts applies them to a fixpoint.
+///
 /// Error-severity script diagnostics are calibrated against the
 /// runtime: a script that lints with no errors parses and executes
 /// without hard errors (assertions may still fail — that is what they
-/// are for).  The differential fuzz harness cross-checks this contract
-/// on randomized scripts.
+/// are for), and a `flow/*` error verdict agrees with every concrete
+/// run (an unreachable statement never executes; an always-failing
+/// assertion fails whenever it runs).  The differential fuzz harness
+/// cross-checks these contracts on randomized scripts, including that
+/// applying all fix-its preserves assertion outcomes.
 
 namespace arbiter::lint {
 
@@ -63,6 +76,16 @@ struct LintOptions {
   /// dimacs/unsat runs the DPLL core only when the instance declares at
   /// most this many variables (the solver has no conflict budget).
   int dimacs_solve_max_vars = 20;
+
+  /// Run the path-sensitive dataflow pass (the flow/* checks) on
+  /// belief scripts.  It is skipped automatically when the script has
+  /// statement syntax errors or blows the vocabulary capacity.
+  bool enable_dataflow = true;
+
+  /// Bounded-AllSAT enumeration cap behind the dataflow layer's
+  /// model-count intervals: counts below the cap are exact, larger
+  /// ones widen to [cap, 2^n].
+  int allsat_model_cap = 64;
 };
 
 /// Lints belief-script text.  Statement-level recovery: one malformed
@@ -97,6 +120,23 @@ ScriptLintHook MakeScriptLintHook(const std::string& text,
 Result<ScriptReport> RunScriptTextLinted(const std::string& text,
                                          BeliefStore* store,
                                          const LintOptions& options = {});
+
+/// Outcome of ApplyAllFixIts.
+struct FixResult {
+  std::string text;    ///< input with all applicable fix-its applied
+  int applied = 0;     ///< total edits applied across iterations
+  int iterations = 0;  ///< lint+apply rounds run
+};
+
+/// Lints `text`, applies every fix-it the diagnostics carry, and
+/// repeats on the result until no diagnostic carries a fix-it (or
+/// `max_iterations` rounds) — deleting one statement can surface a new
+/// finding, so a single pass is not a fixpoint.  Overlapping edits
+/// within a round are applied first-wins (see ApplyFixIts).
+FixResult ApplyAllFixIts(InputKind kind, const std::string& file,
+                         const std::string& text,
+                         const LintOptions& options = {},
+                         int max_iterations = 8);
 
 }  // namespace arbiter::lint
 

@@ -1,0 +1,105 @@
+#include "lint/sarif.h"
+
+#include <map>
+
+#include "lint/lint.h"
+
+namespace arbiter::lint {
+
+namespace {
+
+const char* SarifLevel(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "none";
+}
+
+std::string Quoted(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+}  // namespace
+
+std::string RenderSarif(const std::vector<Diagnostic>& diagnostics) {
+  const std::vector<CheckInfo>& checks = AllChecks();
+  std::map<std::string, size_t> rule_index;
+  for (size_t i = 0; i < checks.size(); ++i) {
+    rule_index[checks[i].id] = i;
+  }
+
+  std::string out;
+  out += "{\n";
+  out +=
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"arblint\",\n";
+  out += "          \"informationUri\": "
+         "\"https://github.com/arbiter/arbiter\",\n";
+  out += "          \"rules\": [\n";
+  for (size_t i = 0; i < checks.size(); ++i) {
+    out += "            {\"id\": " + Quoted(checks[i].id) +
+           ", \"shortDescription\": {\"text\": " +
+           Quoted(checks[i].summary) +
+           "}, \"defaultConfiguration\": {\"level\": \"" +
+           SarifLevel(checks[i].severity) + "\"}}";
+    out += i + 1 < checks.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"results\": [\n";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out += "        {\n";
+    out += "          \"ruleId\": " + Quoted(d.check_id) + ",\n";
+    auto it = rule_index.find(d.check_id);
+    if (it != rule_index.end()) {
+      out += "          \"ruleIndex\": " + std::to_string(it->second) +
+             ",\n";
+    }
+    out += std::string("          \"level\": \"") + SarifLevel(d.severity) +
+           "\",\n";
+    std::string text = d.message;
+    if (!d.note.empty()) text += " (" + d.note + ")";
+    out += "          \"message\": {\"text\": " + Quoted(text) + "},\n";
+    out += "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": " +
+           Quoted(d.file) +
+           "}, \"region\": {\"startLine\": " +
+           std::to_string(d.line < 1 ? 1 : d.line) +
+           ", \"startColumn\": " + std::to_string(d.col < 1 ? 1 : d.col) +
+           "}}}]";
+    if (!d.fixits.empty()) {
+      out += ",\n          \"fixes\": [{\"description\": {\"text\": "
+             "\"apply arblint fix-it\"}, \"artifactChanges\": "
+             "[{\"artifactLocation\": {\"uri\": " +
+             Quoted(d.file) + "}, \"replacements\": [";
+      for (size_t j = 0; j < d.fixits.size(); ++j) {
+        const FixIt& f = d.fixits[j];
+        if (j > 0) out += ", ";
+        out += "{\"deletedRegion\": {\"charOffset\": " +
+               std::to_string(f.offset) +
+               ", \"charLength\": " + std::to_string(f.length) +
+               "}, \"insertedContent\": {\"text\": " +
+               Quoted(f.replacement) + "}}";
+      }
+      out += "]}]}]";
+    }
+    out += "\n        }";
+    out += i + 1 < diagnostics.size() ? ",\n" : "\n";
+  }
+  out += "      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace arbiter::lint

@@ -1,0 +1,29 @@
+#ifndef ARBITER_LINT_SARIF_H_
+#define ARBITER_LINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+/// \file sarif.h
+/// SARIF 2.1.0 renderer for arblint diagnostics, the interchange
+/// format GitHub code scanning and most SARIF viewers ingest.  One
+/// call produces one `run`: the tool driver lists every registered
+/// check as a `rule`, each diagnostic becomes a `result` referencing
+/// its rule by index, and fix-its export as SARIF `fixes` (byte-range
+/// `deletedRegion` + `insertedContent` replacements).
+///
+/// Severity mapping: kError → "error", kWarning → "warning",
+/// kNote → "note" (SARIF `level` values).
+
+namespace arbiter::lint {
+
+/// Renders `diagnostics` as a complete SARIF 2.1.0 log (a single run
+/// named "arblint").  Callers should NormalizeDiagnostics first so
+/// output is deterministic.
+std::string RenderSarif(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace arbiter::lint
+
+#endif  // ARBITER_LINT_SARIF_H_

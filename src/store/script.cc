@@ -115,6 +115,12 @@ Result<ScriptStatement> ParseStatement(std::string rest, int line) {
 }
 
 std::string Render(const ScriptStatement& stmt) {
+  return RenderStatement(stmt);
+}
+
+}  // namespace
+
+std::string RenderStatement(const ScriptStatement& stmt) {
   switch (stmt.kind) {
     case ScriptStatement::Kind::kDefine:
       return "define " + stmt.base + " := " + stmt.formula;
@@ -131,10 +137,12 @@ std::string Render(const ScriptStatement& stmt) {
       return "assert " + stmt.base + " equivalent-to " + stmt.formula;
     case ScriptStatement::Kind::kConditional:
       return "if " + stmt.base + " entails " + stmt.formula + " then " +
-             Render(stmt.inner[0]);
+             RenderStatement(stmt.inner[0]);
   }
   return "?";
 }
+
+namespace {
 
 /// Executes one statement; appends results to the report.  Returns
 /// false on a hard error (which stops the run).

@@ -77,6 +77,11 @@ struct ScriptReport {
 /// Parses script text.  Syntax errors carry line numbers.
 Result<BeliefScript> ParseScript(const std::string& text);
 
+/// Canonical one-line rendering of a statement — exactly the `text`
+/// RunScript records in its step results, so static analyses can match
+/// their verdicts against concrete run reports.
+std::string RenderStatement(const ScriptStatement& stmt);
+
 /// Statement-level lint hook: given a top-level statement about to run,
 /// returns rendered diagnostic lines to attach to its step result.
 /// src/lint/lint.h provides MakeScriptLintHook; the store layer only

@@ -7,6 +7,7 @@
 #include "change/fitting.h"
 #include "change/registry.h"
 #include "change/weighted.h"
+#include "lint/flow_checks.h"
 #include "lint/lint.h"
 #include "model/distance.h"
 #include "model/loyal.h"
@@ -267,33 +268,146 @@ void CheckStore(CaseContext* ctx, Rng* rng, const Vocabulary& vocab) {
   }
 }
 
+bool IsHardError(const ScriptStepResult& step) {
+  return !step.ok && step.detail != "assertion failed";
+}
+
+bool IsAssertText(const std::string& text) {
+  return text.rfind("assert ", 0) == 0;
+}
+
+/// Multiset of (text, ok) over the executed assert steps of a report —
+/// the behavioral footprint `arblint --fix` must preserve.
+std::vector<std::pair<std::string, bool>> AssertFootprint(
+    const ScriptReport& report) {
+  std::vector<std::pair<std::string, bool>> out;
+  for (const ScriptStepResult& step : report.steps) {
+    if (!step.skipped && IsAssertText(step.text)) {
+      out.emplace_back(step.text, step.ok);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Holds one flow verdict against the concrete run report.  Verdict
+/// claims are execution-conditional, so steps are matched by
+/// (line, rendered text) and an absent match is always consistent.
+void CheckVerdictAgainstRun(CaseContext* ctx,
+                            const lint::FlowVerdict& verdict,
+                            const ScriptReport& report,
+                            const std::string& text) {
+  for (const ScriptStepResult& step : report.steps) {
+    if (step.line != verdict.line || step.text != verdict.statement) {
+      continue;
+    }
+    switch (verdict.kind) {
+      case lint::FlowVerdict::Kind::kUnreachable:
+        // The statement provably never executes; the only way its
+        // rendered text appears as a step is behind a false guard,
+        // and then the step belongs to the guard, not the statement.
+        ctx->Check(step.skipped, "flow/unreachable-executed",
+                   "line " + std::to_string(step.line) + ": " + step.text +
+                       " | " + text);
+        break;
+      case lint::FlowVerdict::Kind::kAssertPasses:
+        ctx->Check(step.skipped || step.ok, "flow/assert-passes-failed",
+                   "line " + std::to_string(step.line) + ": " + step.text +
+                       " | " + text);
+        break;
+      case lint::FlowVerdict::Kind::kAssertFails:
+        ctx->Check(step.skipped || !step.ok, "flow/assert-fails-held",
+                   "line " + std::to_string(step.line) + ": " + step.text +
+                       " | " + text);
+        break;
+      case lint::FlowVerdict::Kind::kUndoEmpty:
+        // An executed empty-history undo is a hard error.
+        ctx->Check(step.skipped || IsHardError(step),
+                   "flow/undo-empty-succeeded",
+                   "line " + std::to_string(step.line) + ": " + step.text +
+                       " | " + text);
+        break;
+      case lint::FlowVerdict::Kind::kRedundantChange:
+      case lint::FlowVerdict::Kind::kDeadDefine:
+        // Value-level claims; not observable in the step report.
+        break;
+    }
+  }
+}
+
 void CheckScriptLint(CaseContext* ctx, Rng* rng, const Vocabulary& vocab) {
   const BeliefScriptCase c =
       RandomBeliefScript(rng, vocab, /*length=*/10, /*bad_prob=*/0.4);
   const std::vector<lint::Diagnostic> diags =
       lint::LintScriptText("<fuzz>", c.text);
-  const int errors = lint::CountAtSeverity(diags, lint::Severity::kError);
+  int errors = 0;
+  for (const lint::Diagnostic& d : diags) {
+    if (d.severity == lint::Severity::kError &&
+        d.check_id.rfind("flow/", 0) != 0) {
+      ++errors;
+    }
+  }
   if (c.ill_formed) {
     // The generator injected a defect arblint certainly flags.
     ctx->Check(errors > 0, "lint/injected-defect-missed", c.text);
     return;
   }
+  // Flow errors are legitimate on well-formed scripts (a random
+  // assertion can provably fail); every other error is a false
+  // positive.
   ctx->Check(errors == 0, "lint/false-positive",
              c.text + " | " + lint::RenderText(diags));
   // The contract the linter documents: no error-severity diagnostics
-  // => the script parses and executes without hard errors (assertion
-  // failures are fine — those need the runtime).
+  // outside flow/ => the script parses and executes without hard
+  // errors (assertion failures are fine — those need the runtime).
   BeliefStore store;
   const Result<ScriptReport> report =
       lint::RunScriptTextLinted(c.text, &store);
   ctx->Check(report.ok(), "lint/parse",
              c.text + " | " + report.status().ToString());
   if (!report.ok()) return;
+  bool any_hard_error = false;
   for (const ScriptStepResult& step : report->steps) {
-    const bool hard_error = !step.ok && step.detail != "assertion failed";
-    ctx->Check(!hard_error, "lint/hard-error",
+    if (IsHardError(step)) any_hard_error = true;
+    ctx->Check(!IsHardError(step), "lint/hard-error",
                "line " + std::to_string(step.line) + ": " + step.detail +
                    " | " + c.text);
+  }
+
+  // Soundness: every flow verdict (including suppressed ones) must
+  // agree with what the concrete run observed.
+  const lint::FlowAnalysis flow =
+      lint::AnalyzeScriptFlow("<fuzz>", c.text, lint::LintOptions{}, {});
+  for (const lint::FlowVerdict& verdict : flow.verdicts) {
+    CheckVerdictAgainstRun(ctx, verdict, *report, c.text);
+  }
+
+  // Fix-it preservation: applying every fix-it to a script that runs
+  // without hard errors must keep it parseable, hard-error free, and
+  // leave the executed assertion outcomes untouched.
+  if (any_hard_error) return;
+  const lint::FixResult fixed =
+      lint::ApplyAllFixIts(lint::InputKind::kBeliefScript, "<fuzz>", c.text);
+  if (fixed.applied == 0) return;
+  BeliefStore fixed_store;
+  const Result<ScriptReport> fixed_report =
+      lint::RunScriptTextLinted(fixed.text, &fixed_store);
+  ctx->Check(fixed_report.ok(), "fix/parse",
+             fixed.text + " | " + fixed_report.status().ToString());
+  if (!fixed_report.ok()) return;
+  for (const ScriptStepResult& step : fixed_report->steps) {
+    ctx->Check(!IsHardError(step), "fix/hard-error",
+               "line " + std::to_string(step.line) + ": " + step.detail +
+                   " | " + fixed.text);
+  }
+  ctx->Check(AssertFootprint(*report) == AssertFootprint(*fixed_report),
+             "fix/assert-footprint",
+             c.text + " =>\n" + fixed.text);
+  // The fixed text must be free of further fixable findings.
+  for (const lint::Diagnostic& d :
+       lint::LintScriptText("<fuzz>", fixed.text)) {
+    ctx->Check(d.fixits.empty(), "fix/not-fixpoint",
+               d.ToString() + " | " + fixed.text);
   }
 }
 

@@ -35,10 +35,16 @@
 ///    (bases, vocabulary, journals, and undo stacks).
 ///  * **Lint** — random `.belief` scripts cross-check the arblint
 ///    contract: a well-formed script lints clean of error-severity
-///    diagnostics and executes without hard errors, while a script with
-///    an injected defect (unknown keyword, use-before-define, unknown
-///    operator, malformed formula, empty-history undo, capacity bomb)
-///    always produces at least one error diagnostic.
+///    diagnostics outside the flow/ family and executes without hard
+///    errors, while a script with an injected defect (unknown keyword,
+///    use-before-define, unknown operator, malformed formula,
+///    empty-history undo, capacity bomb) always produces at least one
+///    error diagnostic.  Every dataflow verdict is additionally held
+///    against the concrete run report (a statement proved unreachable
+///    never executes, a proved assertion outcome matches the step, a
+///    proved empty-history undo hard-errors), and on scripts that run
+///    without hard errors `arblint --fix` must preserve the executed
+///    assertion outcomes and converge to a fix-clean text.
 ///
 /// Everything is deterministic in `seed`, so a reported divergence is
 /// reproducible by re-running its case seed.

@@ -199,19 +199,66 @@ BeliefScriptCase RandomBeliefScript(Rng* rng, const Vocabulary& vocab,
   out.ill_formed = rng->NextBool(bad_prob);
   std::vector<std::string> lines;
   std::vector<std::string> defined;
-  // Exact undo depth per defined base; mirrors the linter's tracking
-  // (define resets, change pushes, undo pops), which the store matches.
-  std::vector<int> depth;
+  // Undo-depth interval [lo, hi] per defined base.  Guarded statements
+  // may or may not run, so a guarded change widens hi, a guarded undo
+  // lowers lo, and a guarded define can clear the history on one path
+  // only.  Undo is emitted only where lo > 0, so a well-formed script
+  // never hits an empty history on any path — exactly the soundness
+  // claim the dataflow layer's interval domain makes.
+  struct Depth {
+    int lo = 0;
+    int hi = 0;
+  };
+  std::vector<Depth> depth;
   auto define_index = [&](const std::string& base) {
     for (size_t i = 0; i < defined.size(); ++i) {
       if (defined[i] == base) return static_cast<int>(i);
     }
     defined.push_back(base);
-    depth.push_back(0);
+    depth.push_back(Depth{});
     return static_cast<int>(defined.size()) - 1;
   };
   auto pick_defined = [&]() {
     return static_cast<int>(rng->NextBelow(defined.size()));
+  };
+  auto random_assert = [&]() {
+    static const char* const kRelations[] = {
+        "entails", "consistent-with", "equivalent-to"};
+    return "assert " + defined[pick_defined()] + " " +
+           kRelations[rng->NextBelow(3)] + " " +
+           RandomFormulaText(rng, vocab, 3);
+  };
+  // One statement usable inside a guard, targeting an already-defined
+  // base (a guarded define of a fresh base would leave it undefined on
+  // the fall-through path, and a later unguarded use would hard-error
+  // there).  Depth effects are applied as "may run".
+  auto guarded_simple = [&]() -> std::string {
+    const int b = pick_defined();
+    switch (rng->NextBelow(4)) {
+      case 0: {
+        depth[b].hi += 1;
+        return "change " + defined[b] + " by " + RandomOperatorName(rng) +
+               " with " + RandomFormulaText(rng, vocab, 3);
+      }
+      case 1: {
+        if (depth[b].lo > 0) {
+          depth[b].lo -= 1;
+          return "undo " + defined[b];
+        }
+        return random_assert();
+      }
+      case 2: {
+        depth[b].lo = 0;
+        return "define " + defined[b] + " := " +
+               RandomFormulaText(rng, vocab, 3);
+      }
+      default:
+        return random_assert();
+    }
+  };
+  auto random_guard = [&]() {
+    return "if " + defined[pick_defined()] + " entails " +
+           RandomFormulaText(rng, vocab, 2) + " then ";
   };
   for (int i = 0; i < length; ++i) {
     if (defined.empty()) {
@@ -226,7 +273,7 @@ BeliefScriptCase RandomBeliefScript(Rng* rng, const Vocabulary& vocab,
         const std::string base = RandomBaseName(rng);
         lines.push_back("define " + base + " := " +
                         RandomFormulaText(rng, vocab, 4));
-        depth[define_index(base)] = 0;
+        depth[define_index(base)] = Depth{};
         break;
       }
       case 1:
@@ -235,36 +282,35 @@ BeliefScriptCase RandomBeliefScript(Rng* rng, const Vocabulary& vocab,
         lines.push_back("change " + defined[b] + " by " +
                         RandomOperatorName(rng) + " with " +
                         RandomFormulaText(rng, vocab, 3));
-        ++depth[b];
+        depth[b].lo += 1;
+        depth[b].hi += 1;
         break;
       }
       case 3: {
         const int b = pick_defined();
-        if (depth[b] > 0) {
+        if (depth[b].lo > 0) {
           lines.push_back("undo " + defined[b]);
-          --depth[b];
+          depth[b].lo -= 1;
+          depth[b].hi -= 1;
         } else {
-          lines.push_back("assert " + defined[b] + " entails " +
-                          RandomFormulaText(rng, vocab, 3));
+          lines.push_back(random_assert());
         }
         break;
       }
       case 4: {
-        static const char* const kRelations[] = {
-            "entails", "consistent-with", "equivalent-to"};
-        lines.push_back("assert " + defined[pick_defined()] + " " +
-                        kRelations[rng->NextBelow(3)] + " " +
-                        RandomFormulaText(rng, vocab, 3));
+        lines.push_back(random_assert());
         break;
       }
       default: {
-        // Conditionals only guard assertions on defined bases so both
-        // the linter's depth tracking and the runtime stay exact.
-        lines.push_back("if " + defined[pick_defined()] + " entails " +
-                        RandomFormulaText(rng, vocab, 2) +
-                        " then assert " + defined[pick_defined()] +
-                        " consistent-with " +
-                        RandomFormulaText(rng, vocab, 2));
+        // Conditionals guard any statement on an already-defined base,
+        // including another conditional one level deep, so branch-local
+        // changes, undos, and redefines all occur.
+        const std::string guard = random_guard();
+        if (rng->NextBelow(4) == 0) {
+          lines.push_back(guard + random_guard() + guarded_simple());
+        } else {
+          lines.push_back(guard + guarded_simple());
+        }
         break;
       }
     }

@@ -78,10 +78,14 @@ struct BeliefScriptCase {
 /// Generates `.belief` script text over `vocab`'s atoms.  With
 /// probability `bad_prob` the script is ill-formed (see above);
 /// otherwise it is well-formed by construction: it parses, lints clean
-/// of error-severity diagnostics, and executes without hard errors
-/// (assertions may still fail).  Conditionals only ever wrap assertions
-/// on already-defined bases, so the linter's static undo-depth tracking
-/// stays exact.  The differential harness cross-checks this contract.
+/// of error-severity diagnostics outside the flow/ family, and executes
+/// without hard errors (assertions may still fail, which flow/
+/// assert-fails may prove in advance).  Conditionals guard arbitrary
+/// statements on already-defined bases — branch-local changes, undos,
+/// redefines, and nested conditionals one level deep — with undo only
+/// emitted where the generator's own depth interval proves every path
+/// still has history.  The differential harness cross-checks this
+/// contract and holds flow verdicts against the concrete run report.
 BeliefScriptCase RandomBeliefScript(Rng* rng, const Vocabulary& vocab,
                                     int length, double bad_prob);
 

@@ -1,0 +1,223 @@
+// Tests for the script control-flow graph (src/lint/cfg.h): node and
+// edge shape for straight-line scripts, conditional forks and joins,
+// nested conditionals, edge cases (conditional as the final statement,
+// empty script), and the reverse post-order invariant.
+
+#include "lint/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "store/script.h"
+
+namespace arbiter::lint {
+namespace {
+
+Cfg BuildFrom(const std::string& text) {
+  Result<BeliefScript> script = ParseScript(text);
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  return Cfg::Build(*script);
+}
+
+/// Returns the ids of statement nodes in node-id order.
+std::vector<int> StatementNodes(const Cfg& cfg) {
+  std::vector<int> out;
+  for (int id = 0; id < cfg.num_nodes(); ++id) {
+    if (cfg.node(id).kind == CfgNode::Kind::kStatement) out.push_back(id);
+  }
+  return out;
+}
+
+/// Checks structural invariants every CFG must satisfy: entry/exit
+/// shape, succ/pred symmetry, out-degree (2 for guards, 1 otherwise,
+/// 0 for exit), and that RPO is a topological order of a DAG.
+void CheckInvariants(const Cfg& cfg) {
+  ASSERT_GE(cfg.num_nodes(), 2);
+  EXPECT_EQ(cfg.entry(), 0);
+  EXPECT_EQ(cfg.node(cfg.entry()).kind, CfgNode::Kind::kEntry);
+  EXPECT_EQ(cfg.node(cfg.exit_node()).kind, CfgNode::Kind::kExit);
+  EXPECT_TRUE(cfg.node(cfg.entry()).preds.empty());
+  EXPECT_TRUE(cfg.node(cfg.exit_node()).succs.empty());
+
+  for (int id = 0; id < cfg.num_nodes(); ++id) {
+    const CfgNode& node = cfg.node(id);
+    if (node.kind == CfgNode::Kind::kExit) {
+      EXPECT_TRUE(node.succs.empty());
+    } else if (node.is_guard) {
+      EXPECT_EQ(node.succs.size(), 2u) << "guard node " << id;
+    } else {
+      EXPECT_EQ(node.succs.size(), 1u) << "node " << id;
+    }
+    for (int succ : node.succs) {
+      const std::vector<int>& back = cfg.node(succ).preds;
+      EXPECT_NE(std::find(back.begin(), back.end(), id), back.end())
+          << id << " -> " << succ << " has no matching pred edge";
+    }
+    for (int pred : node.preds) {
+      const std::vector<int>& fwd = cfg.node(pred).succs;
+      EXPECT_NE(std::find(fwd.begin(), fwd.end(), id), fwd.end())
+          << pred << " -> " << id << " has no matching succ edge";
+    }
+  }
+
+  // RPO covers every node once and places each node after all preds.
+  const std::vector<int>& rpo = cfg.ReversePostOrder();
+  ASSERT_EQ(static_cast<int>(rpo.size()), cfg.num_nodes());
+  std::vector<int> position(cfg.num_nodes(), -1);
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    ASSERT_GE(rpo[i], 0);
+    ASSERT_LT(rpo[i], cfg.num_nodes());
+    EXPECT_EQ(position[rpo[i]], -1) << "duplicate in RPO";
+    position[rpo[i]] = static_cast<int>(i);
+  }
+  EXPECT_EQ(rpo.front(), cfg.entry());
+  for (int id = 0; id < cfg.num_nodes(); ++id) {
+    for (int pred : cfg.node(id).preds) {
+      EXPECT_LT(position[pred], position[id])
+          << "RPO is not topological: " << pred << " -> " << id;
+    }
+  }
+}
+
+TEST(CfgTest, EmptyScript) {
+  const Cfg cfg = BuildFrom("# just a comment\n");
+  CheckInvariants(cfg);
+  EXPECT_EQ(cfg.num_nodes(), 2);  // entry -> exit
+  EXPECT_EQ(cfg.node(cfg.entry()).succs,
+            std::vector<int>{cfg.exit_node()});
+}
+
+TEST(CfgTest, StraightLineChains) {
+  const Cfg cfg = BuildFrom(
+      "define b := x\n"
+      "change b by dalal with y\n"
+      "undo b\n");
+  CheckInvariants(cfg);
+  EXPECT_EQ(cfg.num_nodes(), 5);  // entry, 3 statements, exit
+  const std::vector<int> stmts = StatementNodes(cfg);
+  ASSERT_EQ(stmts.size(), 3u);
+  int at = cfg.entry();
+  for (int id : stmts) {
+    ASSERT_EQ(cfg.node(at).succs.size(), 1u);
+    EXPECT_EQ(cfg.node(at).succs[0], id);
+    at = id;
+  }
+  EXPECT_EQ(cfg.node(at).succs[0], cfg.exit_node());
+  EXPECT_EQ(cfg.node(stmts[1]).top_level, 1);
+}
+
+TEST(CfgTest, ConditionalForksAndJoins) {
+  const Cfg cfg = BuildFrom(
+      "define b := x\n"
+      "if b entails x then undo b\n"
+      "assert b entails x\n");
+  CheckInvariants(cfg);
+  // entry, define, guard, inner undo, assert, exit.
+  EXPECT_EQ(cfg.num_nodes(), 6);
+
+  int guard = -1;
+  int inner = -1;
+  int join = -1;
+  for (int id = 0; id < cfg.num_nodes(); ++id) {
+    const CfgNode& node = cfg.node(id);
+    if (node.is_guard) guard = id;
+    if (node.stmt != nullptr &&
+        node.stmt->kind == ScriptStatement::Kind::kUndo) {
+      inner = id;
+    }
+    if (node.stmt != nullptr &&
+        node.stmt->kind == ScriptStatement::Kind::kAssertEntails) {
+      join = id;
+    }
+  }
+  ASSERT_NE(guard, -1);
+  ASSERT_NE(inner, -1);
+  ASSERT_NE(join, -1);
+  // Successor 0 is the taken edge (through the inner statement),
+  // successor 1 falls through to the join.
+  EXPECT_EQ(cfg.node(guard).succs[0], inner);
+  EXPECT_EQ(cfg.node(guard).succs[1], join);
+  EXPECT_EQ(cfg.node(inner).succs[0], join);
+  EXPECT_EQ(cfg.node(join).preds.size(), 2u);
+  // The inner statement shares the guard's top-level index and line.
+  EXPECT_EQ(cfg.node(inner).top_level, cfg.node(guard).top_level);
+  EXPECT_EQ(cfg.node(inner).stmt->line, cfg.node(guard).stmt->line);
+}
+
+TEST(CfgTest, NestedConditionals) {
+  const Cfg cfg = BuildFrom(
+      "define b := x & y\n"
+      "if b entails x then if b entails y then undo b\n"
+      "assert b entails x\n");
+  CheckInvariants(cfg);
+  // entry, define, outer guard, inner guard, undo, assert, exit.
+  EXPECT_EQ(cfg.num_nodes(), 7);
+
+  std::vector<int> guards;
+  int undo = -1;
+  int join = -1;
+  for (int id = 0; id < cfg.num_nodes(); ++id) {
+    const CfgNode& node = cfg.node(id);
+    if (node.is_guard) guards.push_back(id);
+    if (node.stmt != nullptr &&
+        node.stmt->kind == ScriptStatement::Kind::kUndo) {
+      undo = id;
+    }
+    if (node.stmt != nullptr &&
+        node.stmt->kind == ScriptStatement::Kind::kAssertEntails) {
+      join = id;
+    }
+  }
+  ASSERT_EQ(guards.size(), 2u);
+  ASSERT_NE(undo, -1);
+  ASSERT_NE(join, -1);
+  const int outer = guards[0];
+  const int nested = guards[1];
+  // Outer taken edge enters the nested guard; both fall-throughs and
+  // the undo all re-join at the next top-level statement.
+  EXPECT_EQ(cfg.node(outer).succs[0], nested);
+  EXPECT_EQ(cfg.node(outer).succs[1], join);
+  EXPECT_EQ(cfg.node(nested).succs[0], undo);
+  EXPECT_EQ(cfg.node(nested).succs[1], join);
+  EXPECT_EQ(cfg.node(undo).succs[0], join);
+  EXPECT_EQ(cfg.node(join).preds.size(), 3u);
+  EXPECT_EQ(cfg.node(undo).top_level, cfg.node(outer).top_level);
+}
+
+TEST(CfgTest, ConditionalAsFinalStatement) {
+  const Cfg cfg = BuildFrom(
+      "define b := x\n"
+      "if b entails x then undo b\n");
+  CheckInvariants(cfg);
+  // entry, define, guard, undo, exit: both guard edges reach exit.
+  EXPECT_EQ(cfg.num_nodes(), 5);
+  int guard = -1;
+  int undo = -1;
+  for (int id = 0; id < cfg.num_nodes(); ++id) {
+    if (cfg.node(id).is_guard) guard = id;
+    if (cfg.node(id).stmt != nullptr &&
+        cfg.node(id).stmt->kind == ScriptStatement::Kind::kUndo) {
+      undo = id;
+    }
+  }
+  ASSERT_NE(guard, -1);
+  ASSERT_NE(undo, -1);
+  EXPECT_EQ(cfg.node(guard).succs[0], undo);
+  EXPECT_EQ(cfg.node(guard).succs[1], cfg.exit_node());
+  EXPECT_EQ(cfg.node(undo).succs[0], cfg.exit_node());
+  EXPECT_EQ(cfg.node(cfg.exit_node()).preds.size(), 2u);
+}
+
+TEST(CfgTest, OwnsScriptCopy) {
+  Cfg cfg = BuildFrom("define b := x\n");
+  // Statement pointers must target the Cfg's own script storage.
+  const CfgNode& node = cfg.node(cfg.node(cfg.entry()).succs[0]);
+  ASSERT_NE(node.stmt, nullptr);
+  EXPECT_EQ(node.stmt, &cfg.script().statements[0]);
+  EXPECT_EQ(node.stmt->base, "b");
+}
+
+}  // namespace
+}  // namespace arbiter::lint

@@ -1,0 +1,494 @@
+// Tests for the dataflow lint layer (src/lint/dataflow.h,
+// src/lint/flow_checks.h): the semantic oracle, the abstract domain
+// and its fact-preserving join, and the flow/* verdicts the analysis
+// reads off the fixpoint — including the path-sensitive cases the
+// single-statement pass cannot see.
+
+#include "lint/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/flow_checks.h"
+#include "lint/lint.h"
+
+namespace arbiter::lint {
+namespace {
+
+Formula V(int i) { return Formula::Var(i); }
+
+FlowAnalysis Analyze(const std::string& text) {
+  return AnalyzeScriptFlow("test.belief", text, LintOptions{}, {});
+}
+
+bool HasVerdict(const FlowAnalysis& flow, FlowVerdict::Kind kind,
+                int line) {
+  for (const FlowVerdict& v : flow.verdicts) {
+    if (v.kind == kind && v.line == line) return true;
+  }
+  return false;
+}
+
+bool HasDiagnostic(const FlowAnalysis& flow, int line,
+                   const std::string& check_id) {
+  for (const Diagnostic& d : flow.diagnostics) {
+    if (d.line == line && d.check_id == check_id) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// SemanticOracle
+
+TEST(SemanticOracleTest, SatTautEntails) {
+  SemanticOracle oracle(2, 64);
+  EXPECT_TRUE(oracle.Sat(V(0)));
+  EXPECT_FALSE(oracle.Sat(And(V(0), Not(V(0)))));
+  EXPECT_TRUE(oracle.Taut(Or(V(0), Not(V(0)))));
+  EXPECT_FALSE(oracle.Taut(V(0)));
+  EXPECT_TRUE(oracle.Entails(And(V(0), V(1)), V(0)));
+  EXPECT_FALSE(oracle.Entails(V(0), V(1)));
+  EXPECT_EQ(oracle.space(), 4);
+}
+
+TEST(SemanticOracleTest, CountModelsExactUnderCap) {
+  SemanticOracle oracle(3, 64);
+  int64_t lo = -1;
+  int64_t hi = -1;
+  oracle.CountModels(V(0), &lo, &hi);
+  EXPECT_EQ(lo, 4);  // one free pair of terms
+  EXPECT_EQ(hi, 4);
+  oracle.CountModels(And(V(0), Not(V(0))), &lo, &hi);
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 0);
+  oracle.CountModels(Or(V(0), Not(V(0))), &lo, &hi);
+  EXPECT_EQ(lo, 8);
+  EXPECT_EQ(hi, 8);
+}
+
+TEST(SemanticOracleTest, CountModelsWidensAboveCap) {
+  SemanticOracle oracle(4, 4);  // cap below the 8 models of a literal
+  int64_t lo = -1;
+  int64_t hi = -1;
+  oracle.CountModels(V(0), &lo, &hi);
+  EXPECT_EQ(lo, 4);   // at least the cap's worth of models exist
+  EXPECT_EQ(hi, 16);  // and no more than the whole space
+}
+
+// ---------------------------------------------------------------------------
+// Abstract domain
+
+TEST(AbstractDomainTest, JoinSatIsAJoin) {
+  EXPECT_EQ(JoinSat(SatLattice::kBottom, SatLattice::kSat),
+            SatLattice::kSat);
+  EXPECT_EQ(JoinSat(SatLattice::kUnsat, SatLattice::kUnsat),
+            SatLattice::kUnsat);
+  EXPECT_EQ(JoinSat(SatLattice::kUnsat, SatLattice::kSat),
+            SatLattice::kTop);
+  EXPECT_EQ(JoinSat(SatLattice::kTop, SatLattice::kUnsat),
+            SatLattice::kTop);
+}
+
+TEST(AbstractDomainTest, ProvesEntailsUsesExactAndFacts) {
+  SemanticOracle oracle(3, 64);
+  AbstractBase value;
+  value.surely_defined = true;
+  value.sat = SatLattice::kSat;
+  value.exact = And(V(0), V(1));
+  EXPECT_TRUE(ProvesEntails(oracle, value, V(0)));
+  EXPECT_FALSE(ProvesEntails(oracle, value, V(2)));
+  EXPECT_TRUE(ProvesNotEntails(oracle, value, V(2)));
+
+  AbstractBase by_facts;
+  by_facts.surely_defined = true;
+  by_facts.sat = SatLattice::kSat;
+  by_facts.facts = {V(0), Or(V(1), V(2))};
+  EXPECT_TRUE(ProvesEntails(oracle, by_facts, Or(V(0), V(1))));
+  EXPECT_FALSE(ProvesEntails(oracle, by_facts, V(1)));
+  // Facts alone cannot refute an entailment (the true value may be
+  // stronger), so ProvesNotEntails must stay conservative.
+  EXPECT_FALSE(ProvesNotEntails(oracle, by_facts, V(1)));
+}
+
+TEST(AbstractDomainTest, JoinPreservesSharedConsequences) {
+  SemanticOracle oracle(3, 64);
+  AbstractBase a;
+  a.surely_defined = true;
+  a.sat = SatLattice::kSat;
+  a.exact = And(V(0), V(1));
+  AbstractBase b;
+  b.surely_defined = true;
+  b.sat = SatLattice::kSat;
+  b.exact = And(V(0), V(2));
+
+  const AbstractBase joined = JoinBase(oracle, a, b);
+  EXPECT_TRUE(joined.surely_defined);
+  EXPECT_EQ(joined.sat, SatLattice::kSat);
+  EXPECT_FALSE(joined.exact.has_value()) << "values differ across paths";
+  // x & y on one side and x & z on the other still join to fact x.
+  EXPECT_TRUE(ProvesEntails(oracle, joined, V(0)));
+  EXPECT_FALSE(ProvesEntails(oracle, joined, V(1)));
+  EXPECT_FALSE(ProvesEntails(oracle, joined, V(2)));
+}
+
+TEST(AbstractDomainTest, JoinEqualExactValuesKeepsExact) {
+  SemanticOracle oracle(2, 64);
+  AbstractBase a;
+  a.surely_defined = true;
+  a.sat = SatLattice::kSat;
+  a.exact = And(V(0), V(1));
+  const AbstractBase joined = JoinBase(oracle, a, a);
+  ASSERT_TRUE(joined.exact.has_value());
+  EXPECT_TRUE(joined.exact->Equals(And(V(0), V(1))));
+}
+
+TEST(AbstractDomainTest, JoinWidensDepthToHull) {
+  SemanticOracle oracle(1, 64);
+  AbstractBase a;
+  a.surely_defined = true;
+  a.depth = {0, 1};
+  AbstractBase b;
+  b.surely_defined = true;
+  b.depth = {3, 3};
+  b.stack = {std::nullopt, std::nullopt, std::nullopt};
+  const AbstractBase joined = JoinBase(oracle, a, b);
+  EXPECT_EQ(joined.depth, (IntInterval{0, 3}));
+  EXPECT_FALSE(joined.DepthExact());
+}
+
+TEST(AbstractDomainTest, JoinStateDropsSurelyDefinedOnOneSidedBases) {
+  SemanticOracle oracle(1, 64);
+  AbstractState a;
+  a.reachable = true;
+  a.bases["b"].surely_defined = true;
+  AbstractState unreachable;  // identity element
+  AbstractState other;
+  other.reachable = true;
+
+  const AbstractState keep = JoinState(oracle, a, unreachable);
+  EXPECT_TRUE(keep.bases.at("b").surely_defined);
+  const AbstractState merged = JoinState(oracle, a, other);
+  EXPECT_TRUE(merged.reachable);
+  ASSERT_TRUE(merged.bases.count("b"));
+  EXPECT_FALSE(merged.bases.at("b").surely_defined);
+}
+
+// ---------------------------------------------------------------------------
+// Flow verdicts: the path-sensitive cases the single-statement pass
+// cannot see.
+
+TEST(FlowChecksTest, RedundantChangeAtJoin) {
+  // Both branch values entail a, so fact a survives the join and the
+  // revision by a is (R2)-redundant on every path; neither branch is
+  // known at the change statement itself.
+  const FlowAnalysis flow = Analyze(
+      "define chi := p\n"
+      "change chi by revesz-max with q\n"
+      "define psi := a & b\n"
+      "if chi entails q then define psi := a & c\n"
+      "change psi by dalal with a\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(HasVerdict(flow, FlowVerdict::Kind::kRedundantChange, 5));
+  EXPECT_TRUE(HasDiagnostic(flow, 5, "flow/redundant-change"));
+}
+
+TEST(FlowChecksTest, GuardFactMakesInnerChangeRedundant) {
+  // After fitting the value is unknown; the dalal revision restores
+  // satisfiability (registered revisions with satisfiable evidence are
+  // satisfiable) with only the fact c.  On the taken edge the guard
+  // adds the fact a, so the guarded revision by a is a no-op exactly
+  // where it can execute — provable only with the guard's path fact.
+  const FlowAnalysis flow = Analyze(
+      "define psi := a\n"
+      "change psi by revesz-max with b\n"
+      "change psi by dalal with c\n"
+      "if psi entails a then change psi by dalal with a\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(HasVerdict(flow, FlowVerdict::Kind::kRedundantChange, 4));
+}
+
+TEST(FlowChecksTest, NoRedundancyWhileSatisfiabilityUnknown) {
+  // The guard proves psi entails a & b, but after fitting psi might be
+  // unsatisfiable, and revising an unsatisfiable base by a satisfiable
+  // formula genuinely moves it; the analysis must stay quiet.
+  const FlowAnalysis flow = Analyze(
+      "define psi := a\n"
+      "change psi by revesz-max with b\n"
+      "if psi entails a & b then change psi by dalal with a\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_FALSE(HasVerdict(flow, FlowVerdict::Kind::kRedundantChange, 3));
+}
+
+TEST(FlowChecksTest, UndoEmptyThroughDepthIntervalJoin) {
+  // The guard provably holds, so the redefinition always executes and
+  // the depth interval joins to [0, 0]: the undo must hit an empty
+  // history even though no single statement shows it.
+  const FlowAnalysis flow = Analyze(
+      "define psi := a\n"
+      "if psi entails a then define psi := b\n"
+      "undo psi\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(HasVerdict(flow, FlowVerdict::Kind::kUndoEmpty, 3));
+  EXPECT_TRUE(HasDiagnostic(flow, 3, "flow/undo-empty"));
+}
+
+TEST(FlowChecksTest, UndoAfterChangeIsFine) {
+  const FlowAnalysis flow = Analyze(
+      "define psi := a\n"
+      "change psi by dalal with b\n"
+      "undo psi\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(flow.verdicts.empty())
+      << "undo with depth [1, 1] must not be flagged";
+}
+
+TEST(FlowChecksTest, UndoPossiblyNonEmptyIsNotFlagged) {
+  // One path has depth 1, the other 0: interval [0, 1] — no verdict.
+  const FlowAnalysis flow = Analyze(
+      "define chi := p\n"
+      "change chi by revesz-max with q\n"
+      "define psi := a\n"
+      "if chi entails q then change psi by dalal with b\n"
+      "undo psi\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_FALSE(HasVerdict(flow, FlowVerdict::Kind::kUndoEmpty, 5));
+}
+
+TEST(FlowChecksTest, UnreachableBehindDecidedGuard) {
+  const FlowAnalysis flow = Analyze(
+      "define psi := a & b\n"
+      "if psi entails !a then assert psi entails b\n"
+      "assert psi entails a\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(HasVerdict(flow, FlowVerdict::Kind::kUnreachable, 2));
+  EXPECT_TRUE(HasVerdict(flow, FlowVerdict::Kind::kAssertPasses, 3));
+  // The unreachable inner assert must not also produce assert verdicts.
+  EXPECT_FALSE(HasVerdict(flow, FlowVerdict::Kind::kAssertPasses, 2));
+  EXPECT_FALSE(HasVerdict(flow, FlowVerdict::Kind::kAssertFails, 2));
+}
+
+TEST(FlowChecksTest, AssertDecidedByModelCountInterval) {
+  // psi joins to fact a with exactly 4 models on each branch (over
+  // {p, q, a, b}); a & (b | q) has 6 models, so equivalence provably
+  // fails even though the fact set cannot refute it.
+  const FlowAnalysis flow = Analyze(
+      "define chi := p\n"
+      "change chi by revesz-max with p | q\n"
+      "define psi := a & b\n"
+      "if chi entails q then define psi := a & !b\n"
+      "assert psi entails a\n"
+      "assert psi equivalent-to a & (b | q)\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(HasVerdict(flow, FlowVerdict::Kind::kAssertPasses, 5));
+  EXPECT_TRUE(HasVerdict(flow, FlowVerdict::Kind::kAssertFails, 6));
+}
+
+TEST(FlowChecksTest, DeadDefineFlagsOnlyUnreadValues) {
+  const FlowAnalysis flow = Analyze(
+      "define psi := a\n"
+      "define psi := b\n"
+      "assert psi entails b\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(HasVerdict(flow, FlowVerdict::Kind::kDeadDefine, 1));
+  EXPECT_FALSE(HasVerdict(flow, FlowVerdict::Kind::kDeadDefine, 2));
+  EXPECT_TRUE(HasDiagnostic(flow, 1, "flow/dead-define"));
+}
+
+TEST(FlowChecksTest, GuardReadKeepsDefineAlive) {
+  // The redefinition only happens on the taken edge; the fall-through
+  // path reads the first value, so neither define is dead.
+  const FlowAnalysis flow = Analyze(
+      "define chi := p\n"
+      "change chi by revesz-max with q\n"
+      "define psi := a\n"
+      "if chi entails q then define psi := b\n"
+      "assert psi entails a | b\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_FALSE(HasVerdict(flow, FlowVerdict::Kind::kDeadDefine, 3));
+  EXPECT_FALSE(HasVerdict(flow, FlowVerdict::Kind::kDeadDefine, 4));
+}
+
+TEST(FlowChecksTest, FittingAndArbitrationAreExemptFromRedundancy) {
+  // Example 3.1: fitting with entailed evidence still genuinely moves
+  // the base, so no redundancy verdict may fire for fitting or
+  // arbitration operators.
+  const FlowAnalysis flow = Analyze(
+      "define psi := a & b\n"
+      "change psi by revesz-max with a\n"
+      "define chi := a & b\n"
+      "change chi by arbitration-max with a\n");
+  ASSERT_TRUE(flow.ran);
+  for (const FlowVerdict& v : flow.verdicts) {
+    EXPECT_NE(v.kind, FlowVerdict::Kind::kRedundantChange)
+        << "line " << v.line;
+  }
+}
+
+TEST(FlowChecksTest, VerdictsRecordRuntimeComparableText) {
+  const FlowAnalysis flow = Analyze(
+      "define psi := a\n"
+      "if psi entails a then define psi := b\n"
+      "undo psi\n");
+  ASSERT_TRUE(flow.ran);
+  ASSERT_FALSE(flow.verdicts.empty());
+  bool found = false;
+  for (const FlowVerdict& v : flow.verdicts) {
+    if (v.kind == FlowVerdict::Kind::kUndoEmpty) {
+      found = true;
+      EXPECT_EQ(v.base, "psi");
+      EXPECT_EQ(v.statement, "undo psi");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FlowChecksTest, SuppressionKeepsVerdictDropsDiagnostic) {
+  const std::string text =
+      "define psi := a\n"
+      "undo psi\n";
+  const FlowAnalysis loud =
+      AnalyzeScriptFlow("test.belief", text, LintOptions{}, {});
+  EXPECT_TRUE(HasDiagnostic(loud, 2, "flow/undo-empty"));
+  const FlowAnalysis quiet = AnalyzeScriptFlow(
+      "test.belief", text, LintOptions{}, {{2, "script/undo-empty"}});
+  EXPECT_FALSE(HasDiagnostic(quiet, 2, "flow/undo-empty"))
+      << "same-line single-statement finding must suppress the restated "
+         "flow diagnostic";
+  EXPECT_TRUE(HasVerdict(quiet, FlowVerdict::Kind::kUndoEmpty, 2))
+      << "the verdict itself must survive suppression";
+}
+
+TEST(FlowChecksTest, TautologicalGuardGetsUnwrapFixIt) {
+  const FlowAnalysis flow = Analyze(
+      "define psi := a\n"
+      "if psi entails a | !a then undo psi\n");
+  ASSERT_TRUE(flow.ran);
+  ASSERT_TRUE(flow.guard_unwraps.count(2));
+  EXPECT_EQ(flow.guard_unwraps.at(2).replacement, "undo psi");
+}
+
+// Evaluating a guard registers its atoms in the store vocabulary even
+// when the guarded statement is skipped, and change operators do not
+// commute with vocabulary growth (belief_store.h).  Fix-its that
+// remove evaluated text are withheld unless the removal provably
+// leaves every later operator's vocabulary unchanged.
+
+bool FixItAt(const FlowAnalysis& flow, int line,
+             const std::string& check_id) {
+  for (const Diagnostic& d : flow.diagnostics) {
+    if (d.line == line && d.check_id == check_id) return !d.fixits.empty();
+  }
+  return false;
+}
+
+TEST(FlowChecksTest, DeleteFixItWithheldWhenRemovalShrinksVocabulary) {
+  // Line 2's guard is the only text registering `b` before the change
+  // on line 3, so deleting it would shift dalal's vocabulary.
+  const FlowAnalysis flow = Analyze(
+      "define psi := true\n"
+      "if psi entails b then undo psi\n"
+      "change psi by dalal with a\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(HasDiagnostic(flow, 2, "flow/unreachable"));
+  EXPECT_FALSE(FixItAt(flow, 2, "flow/unreachable"));
+}
+
+TEST(FlowChecksTest, DeleteFixItOfferedWhenAtomsRegisterEarlier) {
+  // `b` is already registered by line 1's payload, so removing the
+  // dead guard cannot move any registration point.
+  const FlowAnalysis flow = Analyze(
+      "define psi := a & !b\n"
+      "if psi entails b then undo psi\n"
+      "change psi by dalal with a\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(FixItAt(flow, 2, "flow/unreachable"));
+}
+
+TEST(FlowChecksTest, DeleteFixItOfferedWhenNoChangeFollows) {
+  // Fresh atoms are fine to drop when no operator application can see
+  // the difference: queries are invariant under vocabulary growth.
+  const FlowAnalysis flow = Analyze(
+      "define psi := true\n"
+      "if psi entails b then undo psi\n"
+      "assert psi entails true\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_TRUE(FixItAt(flow, 2, "flow/unreachable"));
+}
+
+TEST(FlowChecksTest, GuardUnwrapWithheldWhenGuardIntroducesAtoms) {
+  // The tautological guard is the first mention of `b`; unwrapping it
+  // would delay b's registration past the change on line 3.
+  const FlowAnalysis flow = Analyze(
+      "define psi := a\n"
+      "if psi entails b | !b then undo psi\n"
+      "change psi by dalal with a\n");
+  ASSERT_TRUE(flow.ran);
+  EXPECT_FALSE(flow.guard_unwraps.count(2));
+
+  // With `b` registered on line 1 the unwrap is safe again.
+  const FlowAnalysis safe = Analyze(
+      "define psi := a & b\n"
+      "if psi entails b | !b then undo psi\n"
+      "change psi by dalal with a\n");
+  ASSERT_TRUE(safe.ran);
+  EXPECT_TRUE(safe.guard_unwraps.count(2));
+}
+
+TEST(FlowChecksTest, SkipsOnSyntaxErrorsAndWhenDisabled) {
+  const FlowAnalysis broken = Analyze(
+      "define psi := a\n"
+      "not a statement\n"
+      "undo psi\n");
+  EXPECT_FALSE(broken.ran);
+  EXPECT_TRUE(broken.verdicts.empty());
+
+  LintOptions off;
+  off.enable_dataflow = false;
+  const FlowAnalysis disabled =
+      AnalyzeScriptFlow("test.belief", "define psi := a\nundo psi\n", off,
+                        {});
+  EXPECT_FALSE(disabled.ran);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through LintScriptText.
+
+TEST(FlowChecksTest, LintScriptTextCarriesFlowDiagnosticsAndFixIts) {
+  const std::vector<Diagnostic> diags = LintScriptText(
+      "test.belief",
+      "define psi := a\n"
+      "define psi := b\n"
+      "assert psi entails b\n",
+      LintOptions{});
+  bool dead = false;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id == "flow/dead-define") {
+      dead = true;
+      ASSERT_EQ(d.fixits.size(), 1u);
+      EXPECT_EQ(d.fixits[0].offset, 0u);
+      EXPECT_EQ(d.fixits[0].length, 16u);  // "define psi := a\n"
+      EXPECT_EQ(d.fixits[0].replacement, "");
+    }
+  }
+  EXPECT_TRUE(dead);
+}
+
+TEST(FlowChecksTest, DataflowOffRemovesFlowDiagnostics) {
+  LintOptions off;
+  off.enable_dataflow = false;
+  const std::vector<Diagnostic> diags = LintScriptText(
+      "test.belief",
+      "define psi := a\n"
+      "define psi := b\n",
+      off);
+  for (const Diagnostic& d : diags) {
+    EXPECT_NE(d.check_id.rfind("flow/", 0), 0u) << d.check_id;
+  }
+}
+
+}  // namespace
+}  // namespace arbiter::lint

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "kb/weighted_kb_io.h"
+#include "lint/sarif.h"
 #include "store/belief_store.h"
 
 namespace arbiter::lint {
@@ -33,22 +34,27 @@ std::vector<Diagnostic> LintScript(const std::string& text,
 
 TEST(LintRegistryTest, RegistryIsWellFormed) {
   const std::vector<CheckInfo>& checks = AllChecks();
-  EXPECT_GE(checks.size(), 29u);
+  EXPECT_GE(checks.size(), 35u);
   std::set<std::string> ids;
+  int flow_checks = 0;
   for (const CheckInfo& info : checks) {
     EXPECT_TRUE(ids.insert(info.id).second) << "duplicate id " << info.id;
     EXPECT_EQ(FindCheck(info.id), &info);
     const std::string id = info.id;
     EXPECT_TRUE(id.rfind("script/", 0) == 0 || id.rfind("dimacs/", 0) == 0 ||
-                id.rfind("wkb/", 0) == 0)
+                id.rfind("wkb/", 0) == 0 || id.rfind("flow/", 0) == 0)
         << id;
+    if (id.rfind("flow/", 0) == 0) ++flow_checks;
   }
+  EXPECT_EQ(flow_checks, 6);
   EXPECT_EQ(FindCheck("script/no-such-check"), nullptr);
 }
 
 TEST(LintRegistryTest, InputKindForPath) {
   EXPECT_EQ(*InputKindForPath("a/b/jury.belief"), InputKind::kBeliefScript);
+  EXPECT_EQ(*InputKindForPath("a/b/jury.Belief"), InputKind::kBeliefScript);
   EXPECT_EQ(*InputKindForPath("kb.cnf"), InputKind::kDimacsCnf);
+  EXPECT_EQ(*InputKindForPath("kb.CNF"), InputKind::kDimacsCnf);
   EXPECT_EQ(*InputKindForPath("KB.DIMACS"), InputKind::kDimacsCnf);
   EXPECT_EQ(*InputKindForPath("base.wkb"), InputKind::kWeightedKb);
   EXPECT_FALSE(InputKindForPath("README.md").ok());
@@ -98,13 +104,29 @@ TEST(DiagnosticTest, SeverityAggregation) {
 }
 
 TEST(ScriptLintTest, CleanScriptHasNoDiagnostics) {
+  // Both assertions are statically decided (the base formula is exact
+  // throughout), so the dataflow layer adds notes; nothing may warn or
+  // error.
   const auto diags = LintScript(
       "define jury := g & a & (g & a -> v)\n"
       "assert jury entails v\n"
       "change jury by dalal with !v\n"
       "undo jury\n"
       "if jury entails g then assert jury consistent-with a\n");
-  EXPECT_TRUE(diags.empty()) << RenderText(diags);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, Severity::kNote) << d.ToString();
+    EXPECT_EQ(d.check_id, "flow/assert-passes") << d.ToString();
+  }
+  LintOptions off;
+  off.enable_dataflow = false;
+  EXPECT_TRUE(LintScript(
+                  "define jury := g & a & (g & a -> v)\n"
+                  "assert jury entails v\n"
+                  "change jury by dalal with !v\n"
+                  "undo jury\n"
+                  "if jury entails g then assert jury consistent-with a\n",
+                  off)
+                  .empty());
 }
 
 TEST(ScriptLintTest, UseBeforeDefine) {
@@ -142,13 +164,17 @@ TEST(ScriptLintTest, UndoDepthTracksChangesAndRedefines) {
 }
 
 TEST(ScriptLintTest, GuardedChangeMakesUndoDepthInexact) {
-  // The guarded change may or may not run, so the linter cannot prove
-  // the final undo hits an empty history and must stay quiet.
+  // The single-statement pass cannot prove the final undo hits an
+  // empty history and must stay quiet.  The dataflow layer, however,
+  // decides the guard (a | b never entails a), proves the change dead
+  // and the undo empty on every path, and reports both.
   const auto diags = LintScript(
       "define kb := a | b\n"
       "if kb entails a then change kb by dalal with b\n"
       "undo kb\n");
   EXPECT_FALSE(Has(diags, 3, "script/undo-empty")) << RenderText(diags);
+  EXPECT_TRUE(Has(diags, 2, "flow/unreachable"));
+  EXPECT_TRUE(Has(diags, 3, "flow/undo-empty"));
 }
 
 TEST(ScriptLintTest, GuardedUndoAtProvablyEmptyHistoryIsFlagged) {
@@ -260,10 +286,15 @@ TEST(ScriptLintTest, HookAttachesFindingsToSteps) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   ASSERT_EQ(report->steps.size(), 2u);
   EXPECT_TRUE(report->steps[0].lint.empty());
-  ASSERT_EQ(report->steps[1].lint.size(), 1u);
-  EXPECT_NE(report->steps[1].lint[0].find("script/unconstrained-atom"),
+  // The assertion draws both the unconstrained-atom warning and the
+  // dataflow proof that it must fail (kb := a never entails ghost).
+  ASSERT_EQ(report->steps[1].lint.size(), 2u);
+  EXPECT_NE(report->steps[1].lint[0].find("flow/assert-fails"),
             std::string::npos)
       << report->steps[1].lint[0];
+  EXPECT_NE(report->steps[1].lint[1].find("script/unconstrained-atom"),
+            std::string::npos)
+      << report->steps[1].lint[1];
   EXPECT_NE(report->ToString().find("lint:"), std::string::npos);
 }
 
@@ -349,6 +380,180 @@ TEST(LintDispatchTest, LintTextDispatchesOnKind) {
                   "dimacs/syntax"));
   EXPECT_TRUE(Has(LintText(InputKind::kWeightedKb, "f", "garbage\n"), 1,
                   "wkb/syntax"));
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic output: NormalizeDiagnostics pins a stable total order
+// and removes exact duplicates.
+
+TEST(NormalizeTest, SortsByLocationThenCheckIdAndDedupes) {
+  Diagnostic a;
+  a.file = "a.belief";
+  a.line = 2;
+  a.col = 1;
+  a.check_id = "script/undo-empty";
+  Diagnostic b = a;
+  b.check_id = "flow/undo-empty";
+  Diagnostic c = a;
+  c.line = 1;
+  Diagnostic d = a;
+  d.file = "b.belief";
+  d.line = 1;
+
+  std::vector<Diagnostic> diags = {a, d, b, c, a};  // a twice
+  NormalizeDiagnostics(&diags);
+  ASSERT_EQ(diags.size(), 4u) << "exact duplicate must be removed";
+  EXPECT_EQ(diags[0], c) << "a.belief line 1 first";
+  EXPECT_EQ(diags[1], b) << "same line: flow/ sorts before script/";
+  EXPECT_EQ(diags[2], a);
+  EXPECT_EQ(diags[3], d) << "file is the primary key";
+}
+
+TEST(NormalizeTest, KeepsNearDuplicatesThatDifferInMessage) {
+  Diagnostic a;
+  a.check_id = "script/syntax";
+  a.message = "one";
+  Diagnostic b = a;
+  b.message = "two";
+  std::vector<Diagnostic> diags = {b, a};
+  NormalizeDiagnostics(&diags);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].message, "one");
+}
+
+// ---------------------------------------------------------------------------
+// Fix-its: application semantics and the lint -> fix -> re-lint loop.
+
+TEST(FixItTest, RenderJsonCarriesFixits) {
+  Diagnostic d;
+  d.file = "x.belief";
+  d.check_id = "flow/dead-define";
+  d.fixits.push_back(FixIt{0, 5, "abc"});
+  const std::string json = RenderJson({d});
+  EXPECT_NE(json.find("\"fixits\": [{\"offset\": 0, \"length\": 5, "
+                      "\"replacement\": \"abc\"}]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(RenderJson({Diagnostic{}}).find("\"fixits\": []"),
+            std::string::npos)
+      << "fixits key must be present even when empty";
+}
+
+TEST(FixItTest, ApplyFixItsEditsByteRanges) {
+  Diagnostic d;
+  d.fixits.push_back(FixIt{6, 5, "world"});
+  int applied = 0;
+  int skipped = 0;
+  EXPECT_EQ(ApplyFixIts("hello there!", {d}, &applied, &skipped),
+            "hello world!");
+  EXPECT_EQ(applied, 1);
+  EXPECT_EQ(skipped, 0);
+}
+
+TEST(FixItTest, ApplyFixItsSkipsOverlapsAndOutOfRange) {
+  Diagnostic d;
+  d.fixits.push_back(FixIt{0, 4, "AAAA"});
+  d.fixits.push_back(FixIt{2, 4, "BBBB"});   // overlaps the first
+  d.fixits.push_back(FixIt{90, 4, "CCCC"});  // out of range
+  d.fixits.push_back(FixIt{0, 4, "AAAA"});   // exact duplicate
+  int applied = 0;
+  int skipped = 0;
+  EXPECT_EQ(ApplyFixIts("0123456789", {d}, &applied, &skipped),
+            "AAAA456789");
+  EXPECT_EQ(applied, 1);
+  EXPECT_EQ(skipped, 1) << "only the genuine overlap counts as skipped";
+}
+
+TEST(FixItTest, ApplyAllFixItsReachesAFixpoint) {
+  // Line 1 is a dead define (fix: delete); once deleted the remaining
+  // script is fix-clean.
+  const std::string text =
+      "define psi := a\n"
+      "define psi := b\n"
+      "assert psi entails b\n";
+  const FixResult fixed =
+      ApplyAllFixIts(InputKind::kBeliefScript, "t.belief", text);
+  EXPECT_EQ(fixed.text,
+            "define psi := b\n"
+            "assert psi entails b\n");
+  EXPECT_GE(fixed.applied, 1);
+  EXPECT_GE(fixed.iterations, 1);
+  for (const Diagnostic& d : LintScriptText("t.belief", fixed.text, {})) {
+    EXPECT_TRUE(d.fixits.empty())
+        << "fixed text must re-lint free of fixable findings: "
+        << d.ToString();
+  }
+}
+
+TEST(FixItTest, ApplyAllFixItsUnwrapsTautologicalGuards) {
+  const FixResult fixed = ApplyAllFixIts(
+      InputKind::kBeliefScript, "t.belief",
+      "define psi := a\n"
+      "change psi by dalal with b\n"
+      "if psi entails b | !b then undo psi\n");
+  EXPECT_EQ(fixed.text,
+            "define psi := a\n"
+            "change psi by dalal with b\n"
+            "undo psi\n");
+}
+
+TEST(FixItTest, ApplyAllFixItsLeavesCleanTextAlone) {
+  const std::string text =
+      "define psi := a\n"
+      "change psi by dalal with b\n";
+  const FixResult fixed =
+      ApplyAllFixIts(InputKind::kBeliefScript, "t.belief", text);
+  EXPECT_EQ(fixed.text, text);
+  EXPECT_EQ(fixed.applied, 0);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF rendering.
+
+TEST(SarifTest, EmitsSchemaRulesAndResults) {
+  std::vector<Diagnostic> diags = LintScriptText(
+      "t.belief",
+      "define psi := a\n"
+      "define psi := b\n"
+      "assert psi entails b\n",
+      {});
+  NormalizeDiagnostics(&diags);
+  const std::string sarif = RenderSarif(diags);
+  EXPECT_NE(sarif.find("json.schemastore.org/sarif-2.1.0.json"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"arblint\""), std::string::npos);
+  // Every registered check appears as a rule.
+  for (const CheckInfo& info : AllChecks()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(info.id) + "\""),
+              std::string::npos)
+        << info.id;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"flow/dead-define\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  // The dead define's deletion exports as a SARIF fix.
+  EXPECT_NE(sarif.find("\"deletedRegion\": {\"charOffset\": 0, "
+                       "\"charLength\": 16}"),
+            std::string::npos)
+      << sarif;
+}
+
+TEST(SarifTest, EscapesMessageText) {
+  Diagnostic d;
+  d.file = "weird\"name.belief";
+  d.check_id = "script/syntax";
+  d.message = "line\nbreak";
+  const std::string sarif = RenderSarif({d});
+  EXPECT_NE(sarif.find("weird\\\"name.belief"), std::string::npos);
+  EXPECT_NE(sarif.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(SarifTest, EmptyDiagnosticsStillValidRun) {
+  const std::string sarif = RenderSarif({});
+  EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 //   arblint --kind=belief -              # lint stdin
 //
 // Options:
-//   --format=text|json   output format (default text)
+//   --format=text|json|sarif  output format (default text)
 //   --werror             promote warnings to errors
 //   --kind=belief|cnf|wkb  override extension-based dispatch
 //   --disable=<id>[,..]  suppress specific checks
+//   --fix                apply fix-its (in place for files; stdin input
+//                        writes fixed text to stdout, findings to stderr)
 //   --list-checks        print the check registry and exit
 //
 // Exit codes: 0 clean (notes allowed), 1 warnings, 2 errors,
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "lint/lint.h"
+#include "lint/sarif.h"
 #include "util/string_util.h"
 
 namespace {
@@ -30,6 +33,8 @@ using arbiter::lint::AllChecks;
 using arbiter::lint::CheckInfo;
 using arbiter::lint::Diagnostic;
 using arbiter::lint::InputKind;
+using arbiter::lint::ApplyAllFixIts;
+using arbiter::lint::FixResult;
 using arbiter::lint::LintOptions;
 using arbiter::lint::LintText;
 using arbiter::lint::Severity;
@@ -41,10 +46,12 @@ int Usage() {
       << "  lints .belief scripts, .cnf/.dimacs CNF, and .wkb weighted\n"
       << "  knowledge bases; '-' reads stdin (requires --kind)\n"
       << "options:\n"
-      << "  --format=text|json     output format (default text)\n"
+      << "  --format=text|json|sarif  output format (default text)\n"
       << "  --werror               promote warnings to errors\n"
       << "  --kind=belief|cnf|wkb  override extension-based dispatch\n"
       << "  --disable=<id>[,<id>]  suppress checks by id\n"
+      << "  --fix                  apply fix-its (files in place; stdin\n"
+      << "                         prints fixed text, findings to stderr)\n"
       << "  --list-checks          print the check registry and exit\n"
       << "exit codes: 0 clean, 1 warnings, 2 errors, 3 usage/IO error\n";
   return 3;
@@ -78,6 +85,7 @@ bool ReadInput(const std::string& path, std::string* text) {
 int main(int argc, char** argv) {
   std::string format = "text";
   bool werror = false;
+  bool fix = false;
   bool have_kind = false;
   InputKind forced_kind = InputKind::kBeliefScript;
   LintOptions options;
@@ -93,7 +101,9 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "text" && format != "json") return Usage();
+      if (format != "text" && format != "json" && format != "sarif") {
+        return Usage();
+      }
     } else if (arg.rfind("--kind=", 0) == 0) {
       const std::string kind = arg.substr(7);
       have_kind = true;
@@ -106,6 +116,8 @@ int main(int argc, char** argv) {
       } else {
         return Usage();
       }
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg.rfind("--disable=", 0) == 0) {
       for (const std::string& id : arbiter::Split(arg.substr(10), ',')) {
         options.disabled_checks.push_back(arbiter::Trim(id));
@@ -143,6 +155,28 @@ int main(int argc, char** argv) {
       continue;
     }
     const std::string label = path == "-" ? "<stdin>" : path;
+    if (fix) {
+      const FixResult fixed = ApplyAllFixIts(kind, label, text, options);
+      if (path == "-") {
+        std::cout << fixed.text;
+      } else if (fixed.applied > 0) {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+          std::cerr << "arblint: cannot write '" << path << "'\n";
+          io_error = true;
+          continue;
+        }
+        out << fixed.text;
+      }
+      std::cerr << "arblint: " << label << ": applied " << fixed.applied
+                << " fix-it(s) in " << fixed.iterations
+                << " iteration(s)\n";
+      // Findings below describe the *fixed* text.
+      std::vector<Diagnostic> diags =
+          LintText(kind, label, fixed.text, options);
+      all.insert(all.end(), diags.begin(), diags.end());
+      continue;
+    }
     std::vector<Diagnostic> diags = LintText(kind, label, text, options);
     all.insert(all.end(), diags.begin(), diags.end());
   }
@@ -152,10 +186,14 @@ int main(int argc, char** argv) {
       if (d.severity == Severity::kWarning) d.severity = Severity::kError;
     }
   }
+  arbiter::lint::NormalizeDiagnostics(&all);
+  std::ostream& sink = fix ? std::cerr : std::cout;
   if (format == "json") {
-    std::cout << arbiter::lint::RenderJson(all);
+    sink << arbiter::lint::RenderJson(all);
+  } else if (format == "sarif") {
+    sink << arbiter::lint::RenderSarif(all);
   } else {
-    std::cout << arbiter::lint::RenderText(all);
+    sink << arbiter::lint::RenderText(all);
   }
   if (io_error) return 3;
   switch (arbiter::lint::MaxSeverity(all)) {
