@@ -3,6 +3,8 @@
 #include <array>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 
 #include "model/distance.h"
 #include "model/preorder.h"
@@ -27,28 +29,29 @@ const ModelSet& CachedFullUniverse(int num_terms) {
 
 }  // namespace
 
+DistanceFittingOperator::DistanceFittingOperator(DistanceSemantics semantics,
+                                                 std::string name)
+    : semantics_(std::move(semantics)), name_(std::move(name)) {
+  if (name_.empty()) name_ = "fitting(" + semantics_.DebugName() + ")";
+}
+
+ModelSet DistanceFittingOperator::Change(const ModelSet& psi,
+                                         const ModelSet& mu) const {
+  return SemanticArgmin(semantics_, psi, mu);
+}
+
+std::shared_ptr<const DistanceFittingOperator> MakeFittingOperator(
+    DistanceSemantics semantics, std::string name) {
+  return std::make_shared<const DistanceFittingOperator>(std::move(semantics),
+                                                         std::move(name));
+}
+
 ModelSet MaxFitting::Change(const ModelSet& psi, const ModelSet& mu) const {
-  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
-  if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
-  // odist never exceeds the diameter, so clamping the prune bound to
-  // diameter + 1 keeps the kernel's exact-below-bound contract intact.
-  const int64_t diameter_bound = psi.num_terms() + 1;
-  return MinByIntBounded(
-      mu, [&psi, diameter_bound](uint64_t i, int64_t bound) -> int64_t {
-        const int b =
-            static_cast<int>(bound < diameter_bound ? bound : diameter_bound);
-        return OverallDistBounded(psi, i, b);
-      });
+  return SemanticArgmin(MaxSemantics(), psi, mu);
 }
 
 ModelSet SumFitting::Change(const ModelSet& psi, const ModelSet& mu) const {
-  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
-  if (psi.empty() || mu.empty()) return ModelSet(mu.num_terms());
-  // Column-count oracle: O(n) exact sdist per candidate, so the argmin
-  // is linear in |Mod(μ)| + |Mod(ψ)| and pruning is moot.
-  const SumDistOracle sdist(psi);
-  return MinByIntBounded(
-      mu, [&sdist](uint64_t i, int64_t /*bound*/) { return sdist(i); });
+  return SemanticArgmin(SumSemantics(), psi, mu);
 }
 
 ArbitrationOperator::ArbitrationOperator(

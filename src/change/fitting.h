@@ -2,8 +2,10 @@
 #define ARBITER_CHANGE_FITTING_H_
 
 #include <memory>
+#include <string>
 
 #include "change/operator.h"
+#include "model/distance_semantics.h"
 
 /// \file fitting.h
 /// Model-fitting operators (paper, Section 3) and arbitration.
@@ -36,6 +38,36 @@
 /// (A2); μ unsatisfiable → result unsatisfiable (A1).
 
 namespace arbiter {
+
+/// Model-fitting over an arbitrary distance semantics: Change is
+/// exactly SemanticArgmin(semantics, ψ, μ).  The concrete operators
+/// below (and Dalal revision in revision.h) are fixed instances; this
+/// class is the open end of the family — plug in a non-unit metric or
+/// a different aggregator and every downstream consumer (arbitration,
+/// the store, the postulate checkers) works unchanged.
+class DistanceFittingOperator : public TheoryChangeOperator {
+ public:
+  /// `name` is reported by name(); defaults to "fitting(<semantics>)".
+  explicit DistanceFittingOperator(DistanceSemantics semantics,
+                                   std::string name = "");
+
+  std::string name() const override { return name_; }
+  OperatorFamily family() const override {
+    return semantics_.aggregator == DistanceAggregator::kMin
+               ? OperatorFamily::kRevision
+               : OperatorFamily::kModelFitting;
+  }
+  const DistanceSemantics& semantics() const { return semantics_; }
+  ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+
+ private:
+  DistanceSemantics semantics_;
+  std::string name_;
+};
+
+/// Shared-ownership convenience used by the registry and tests.
+std::shared_ptr<const DistanceFittingOperator> MakeFittingOperator(
+    DistanceSemantics semantics, std::string name = "");
 
 /// The paper's max-based model-fitting operator (Section 3).
 class MaxFitting : public TheoryChangeOperator {

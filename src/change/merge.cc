@@ -23,6 +23,11 @@ const char* MergeAggregateName(MergeAggregate aggregate) {
 
 ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
                MergeAggregate aggregate) {
+  return Merge(sources, mu, aggregate, /*metric=*/{});
+}
+
+ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
+               MergeAggregate aggregate, const std::vector<int64_t>& metric) {
   const int n = mu.num_terms();
   std::vector<const ModelSet*> live;
   for (const ModelSet& s : sources) {
@@ -31,32 +36,39 @@ ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
   }
   if (live.empty() || mu.empty()) return ModelSet(n);
 
+  const DistanceSemantics semantics = MinSemantics(metric);
+  auto source_dist = [&semantics](const ModelSet& s, uint64_t i) {
+    return MetricMinDist(semantics, s, i);
+  };
+
   // Per-candidate distance vectors.
-  auto dist_vector = [&live](uint64_t i) {
-    std::vector<int> d;
+  auto dist_vector = [&live, &source_dist](uint64_t i) {
+    std::vector<int64_t> d;
     d.reserve(live.size());
-    for (const ModelSet* s : live) d.push_back(MinDist(*s, i));
+    for (const ModelSet* s : live) d.push_back(source_dist(*s, i));
     return d;
   };
 
   switch (aggregate) {
     case MergeAggregate::kSum: {
-      // Σ of per-source Dalal distances, pruned against the incumbent
+      // Σ of per-source metric distances, pruned against the incumbent
       // and parallelized through the shared argmin engine.
-      return MinByIntBounded(mu, [&live](uint64_t i, int64_t bound) {
+      return MinByIntBounded(mu, [&live, &source_dist](uint64_t i,
+                                                       int64_t bound) {
         int64_t total = 0;
         for (const ModelSet* s : live) {
-          total += MinDist(*s, i);
+          total += source_dist(*s, i);
           if (total >= bound) break;
         }
         return total;
       });
     }
     case MergeAggregate::kMax: {
-      return MinByIntBounded(mu, [&live](uint64_t i, int64_t bound) {
+      return MinByIntBounded(mu, [&live, &source_dist](uint64_t i,
+                                                       int64_t bound) {
         int64_t worst = 0;
         for (const ModelSet* s : live) {
-          worst = std::max<int64_t>(worst, MinDist(*s, i));
+          worst = std::max<int64_t>(worst, source_dist(*s, i));
           if (worst >= bound) break;
         }
         return worst;
@@ -69,7 +81,7 @@ ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
       // thread count because the vector order is total).
       constexpr uint64_t kGrain = 512;
       struct ChunkBest {
-        std::vector<int> best;
+        std::vector<int64_t> best;
         std::vector<uint64_t> ties;
       };
       const uint64_t size = mu.size();
@@ -77,8 +89,8 @@ ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
       ParallelFor(0, size, kGrain, [&](uint64_t lo, uint64_t hi) {
         ChunkBest& cb = parts[lo / kGrain];
         for (uint64_t idx = lo; idx < hi; ++idx) {
-          std::vector<int> d = dist_vector(mu[idx]);
-          std::sort(d.begin(), d.end(), std::greater<int>());
+          std::vector<int64_t> d = dist_vector(mu[idx]);
+          std::sort(d.begin(), d.end(), std::greater<int64_t>());
           if (cb.ties.empty() || d < cb.best) {
             cb.best = std::move(d);
             cb.ties.assign(1, mu[idx]);
@@ -87,7 +99,7 @@ ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
           }
         }
       });
-      std::vector<int> best;
+      std::vector<int64_t> best;
       std::vector<uint64_t> out;
       for (ChunkBest& cb : parts) {
         if (cb.ties.empty()) continue;

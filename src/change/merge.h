@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "kb/weighted_kb.h"
+#include "model/distance_semantics.h"
 #include "model/model_set.h"
 
 /// \file merge.h
@@ -38,6 +39,11 @@ const char* MergeAggregateName(MergeAggregate aggregate);
 /// sources are empty or μ is unsatisfiable the result is empty.
 ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
                MergeAggregate aggregate);
+
+/// Merge with a per-atom metric on the underlying Hamming distance
+/// (empty = unit weights, identical to the overload above).
+ModelSet Merge(const std::vector<ModelSet>& sources, const ModelSet& mu,
+               MergeAggregate aggregate, const std::vector<int64_t>& metric);
 
 /// Merge with μ = ⊤ (no integrity constraint).
 ModelSet Merge(const std::vector<ModelSet>& sources,

@@ -38,6 +38,39 @@ Result<std::shared_ptr<const TheoryChangeOperator>> MakeOperator(
   return Status::NotFound("no operator named \"" + name + "\"");
 }
 
+Result<std::shared_ptr<const TheoryChangeOperator>> MakeOperator(
+    const std::string& name, const std::vector<int64_t>& metric) {
+  bool unit = true;
+  for (int64_t w : metric) {
+    if (w < 0) return Status::InvalidArgument("negative metric weight");
+    if (w != 1) unit = false;
+  }
+  if (unit) return MakeOperator(name);
+  if (name == "dalal") {
+    return {MakeFittingOperator(MinSemantics(metric), "dalal")};
+  }
+  if (name == "forbus") return {std::make_shared<ForbusUpdate>(metric)};
+  if (name == "revesz-max") {
+    return {MakeFittingOperator(MaxSemantics(metric), "revesz-max")};
+  }
+  if (name == "revesz-sum") {
+    return {MakeFittingOperator(SumSemantics(metric), "revesz-sum")};
+  }
+  if (name == "arbitration-max") {
+    return {std::make_shared<ArbitrationOperator>(
+        MakeFittingOperator(MaxSemantics(metric)))};
+  }
+  if (name == "arbitration-sum") {
+    return {std::make_shared<ArbitrationOperator>(
+        MakeFittingOperator(SumSemantics(metric)))};
+  }
+  Result<std::shared_ptr<const TheoryChangeOperator>> base =
+      MakeOperator(name);
+  if (!base.ok()) return base;
+  return Status::InvalidArgument("operator \"" + name +
+                                 "\" does not support a non-unit metric");
+}
+
 std::vector<std::string> RegisteredOperatorNames() {
   return {"dalal",      "satoh",      "weber",
           "borgida",    "full-meet",  "winslett",   "forbus",

@@ -1,6 +1,7 @@
 #ifndef ARBITER_CHANGE_REGISTRY_H_
 #define ARBITER_CHANGE_REGISTRY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,15 @@ namespace arbiter {
 /// Creates the operator registered under `name`.
 Result<std::shared_ptr<const TheoryChangeOperator>> MakeOperator(
     const std::string& name);
+
+/// Creates the operator registered under `name`, computing distances
+/// under the per-atom `metric` (empty = unit weights = the overload
+/// above).  Only the distance-based operators support a non-unit
+/// metric: "dalal", "forbus", "revesz-max", "revesz-sum",
+/// "arbitration-max", "arbitration-sum".  Other names return
+/// InvalidArgument when the metric is non-unit.
+Result<std::shared_ptr<const TheoryChangeOperator>> MakeOperator(
+    const std::string& name, const std::vector<int64_t>& metric);
 
 /// Names of all registered operators, in a stable order.
 std::vector<std::string> RegisteredOperatorNames();

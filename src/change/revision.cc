@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "model/distance.h"
+#include "model/distance_semantics.h"
 #include "model/preorder.h"
 
 namespace arbiter {
@@ -53,12 +54,9 @@ std::vector<uint64_t> PointwiseInclusionClosest(uint64_t i,
 
 ModelSet DalalRevision::Change(const ModelSet& psi,
                                const ModelSet& mu) const {
-  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
-  if (mu.empty()) return ModelSet(mu.num_terms());
-  if (psi.empty()) return mu;
-  return MinByInt(mu, [&psi](uint64_t i) {
-    return static_cast<int64_t>(MinDist(psi, i));
-  });
+  // Min-aggregated Dalal metric; the semantics layer owns the edge
+  // conventions (μ unsat → empty, ψ unsat → μ).
+  return SemanticArgmin(MinSemantics(), psi, mu);
 }
 
 ModelSet SatohRevision::Change(const ModelSet& psi,

@@ -1,5 +1,6 @@
 #include "change/update.h"
 
+#include <utility>
 #include <vector>
 
 #include "model/distance.h"
@@ -27,16 +28,21 @@ ModelSet WinslettUpdate::Change(const ModelSet& psi,
   return ModelSet::FromMasks(std::move(result), mu.num_terms());
 }
 
+ForbusUpdate::ForbusUpdate(std::vector<int64_t> metric)
+    : semantics_(MinSemantics(std::move(metric))) {}
+
 ModelSet ForbusUpdate::Change(const ModelSet& psi,
                               const ModelSet& mu) const {
   ARBITER_CHECK(psi.num_terms() == mu.num_terms());
   std::vector<uint64_t> result;
   for (uint64_t i : psi) {
-    // Min(Mod(μ), dist(I, ·)).
-    int best = mu.num_terms() + 1;
-    for (uint64_t j : mu) best = std::min(best, Dist(i, j));
+    // Min(Mod(μ), metric-dist(I, ·)).
+    int64_t best = MetricDiameter(semantics_, mu.num_terms()) + 1;
     for (uint64_t j : mu) {
-      if (Dist(i, j) == best) result.push_back(j);
+      best = std::min(best, MetricDist(semantics_, i, j));
+    }
+    for (uint64_t j : mu) {
+      if (MetricDist(semantics_, i, j) == best) result.push_back(j);
     }
   }
   return ModelSet::FromMasks(std::move(result), mu.num_terms());

@@ -1,7 +1,10 @@
 #ifndef ARBITER_CHANGE_UPDATE_H_
 #define ARBITER_CHANGE_UPDATE_H_
 
+#include <vector>
+
 #include "change/operator.h"
+#include "model/distance_semantics.h"
 
 /// \file update.h
 /// Update operators in the Katsuno–Mendelzon sense: each model of ψ is
@@ -24,12 +27,19 @@ class WinslettUpdate : public TheoryChangeOperator {
 };
 
 /// Forbus-style update: per-model minimum Hamming distance (the
-/// cardinality analogue of Winslett).
+/// cardinality analogue of Winslett).  Optionally takes a per-atom
+/// metric; the default is the unit (Dalal) metric.
 class ForbusUpdate : public TheoryChangeOperator {
  public:
+  ForbusUpdate() = default;
+  explicit ForbusUpdate(std::vector<int64_t> metric);
+
   std::string name() const override { return "forbus"; }
   OperatorFamily family() const override { return OperatorFamily::kUpdate; }
   ModelSet Change(const ModelSet& psi, const ModelSet& mu) const override;
+
+ private:
+  DistanceSemantics semantics_ = MinSemantics();
 };
 
 }  // namespace arbiter

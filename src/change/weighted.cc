@@ -1,5 +1,7 @@
 #include "change/weighted.h"
 
+#include <utility>
+
 namespace arbiter {
 
 WeightedKnowledgeBase WdistFitting::Change(
@@ -11,6 +13,19 @@ WeightedKnowledgeBase WdistFitting::Change(
     return WeightedKnowledgeBase(mu.num_terms());
   }
   return mu.MinimalBy(psi.WdistPreorder());
+}
+
+MetricWdistFitting::MetricWdistFitting(std::vector<int64_t> metric)
+    : semantics_(SumSemantics(std::move(metric))) {}
+
+WeightedKnowledgeBase MetricWdistFitting::Change(
+    const WeightedKnowledgeBase& psi,
+    const WeightedKnowledgeBase& mu) const {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (!psi.IsSatisfiable() || !mu.IsSatisfiable()) {
+    return WeightedKnowledgeBase(mu.num_terms());
+  }
+  return mu.MinimalBy(psi.WdistPreorder(semantics_));
 }
 
 WeightedKnowledgeBase WeightedArbitration::Change(

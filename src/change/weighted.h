@@ -2,8 +2,10 @@
 #define ARBITER_CHANGE_WEIGHTED_H_
 
 #include <string>
+#include <vector>
 
 #include "kb/weighted_kb.h"
+#include "model/distance_semantics.h"
 
 /// \file weighted.h
 /// Weighted model-fitting and weighted arbitration (paper, Section 4).
@@ -35,6 +37,24 @@ class WdistFitting : public WeightedChangeOperator {
   WeightedKnowledgeBase Change(
       const WeightedKnowledgeBase& psi,
       const WeightedKnowledgeBase& mu) const override;
+};
+
+/// wdist fitting under an arbitrary per-atom metric: ranks by
+/// Σ_J metric-dist(I, J) · ψ̃(J).  The unit metric reproduces
+/// WdistFitting exactly; a non-unit metric is the Section 4 operator
+/// over a rescaled interpretation space (still a loyal assignment —
+/// the sum aggregator preserves strictness regardless of the metric).
+class MetricWdistFitting : public WeightedChangeOperator {
+ public:
+  explicit MetricWdistFitting(std::vector<int64_t> metric);
+
+  std::string name() const override { return "metric-wdist-fitting"; }
+  WeightedKnowledgeBase Change(
+      const WeightedKnowledgeBase& psi,
+      const WeightedKnowledgeBase& mu) const override;
+
+ private:
+  DistanceSemantics semantics_;
 };
 
 /// Weighted arbitration: (ψ̃ ∨ φ̃) ▷ M̃.

@@ -4,7 +4,7 @@
 #include <unordered_map>
 
 #include "logic/formula.h"
-#include "sat/solver.h"
+#include "sat/cnf.h"
 
 /// \file tseitin.h
 /// Tseitin transformation: clausifies an arbitrary formula into an
@@ -14,14 +14,20 @@
 /// Formula variable i maps to solver variable i; the encoder creates
 /// solver variables on demand so the projection onto the original
 /// vocabulary is simply the prefix [0, num_terms).
+///
+/// The encoding is a full equivalence (both directions of every
+/// definition clause), so every auxiliary variable is functionally
+/// determined by the input variables.  The model counter in
+/// sat/count.h relies on this: counting models over *all* variables of
+/// the encoding equals counting models projected onto the inputs.
 
 namespace arbiter::enc {
 
-/// Encodes formulas into a sat::Solver.
+/// Encodes formulas into any sat::ClauseSink (a Solver, a CnfFormula).
 class TseitinEncoder {
  public:
   /// The encoder appends clauses/variables to *solver (not owned).
-  explicit TseitinEncoder(sat::Solver* solver) : solver_(solver) {
+  explicit TseitinEncoder(sat::ClauseSink* solver) : solver_(solver) {
     ARBITER_CHECK(solver != nullptr);
   }
 
@@ -42,7 +48,7 @@ class TseitinEncoder {
   sat::Lit EncodeVar(int var);
   sat::Lit FreshLit();
 
-  sat::Solver* solver_;
+  sat::ClauseSink* solver_;
   /// Cache keyed by node identity (pointer), exploiting DAG sharing.
   std::unordered_map<const void*, sat::Lit> cache_;
 };

@@ -102,11 +102,33 @@ double WeightedKnowledgeBase::WeightedDistTo(uint64_t bits) const {
   return total;
 }
 
+double WeightedKnowledgeBase::WeightedDistTo(
+    uint64_t bits, const DistanceSemantics& semantics) const {
+  ARBITER_CHECK(bits < space_size());
+  double total = 0;
+  for (uint64_t j = 0; j < space_size(); ++j) {
+    if (weights_[j] > 0) {
+      total +=
+          static_cast<double>(MetricDist(semantics, bits, j)) * weights_[j];
+    }
+  }
+  return total;
+}
+
 TotalPreorder WeightedKnowledgeBase::WdistPreorder() const {
   ARBITER_CHECK_MSG(IsSatisfiable(),
                     "wdist pre-order needs a satisfiable base");
   return TotalPreorder(num_terms_,
                        [this](uint64_t i) { return WeightedDistTo(i); });
+}
+
+TotalPreorder WeightedKnowledgeBase::WdistPreorder(
+    const DistanceSemantics& semantics) const {
+  ARBITER_CHECK_MSG(IsSatisfiable(),
+                    "wdist pre-order needs a satisfiable base");
+  return TotalPreorder(num_terms_, [this, &semantics](uint64_t i) {
+    return WeightedDistTo(i, semantics);
+  });
 }
 
 WeightedKnowledgeBase WeightedKnowledgeBase::MinimalBy(

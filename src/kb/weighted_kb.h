@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "model/distance_semantics.h"
 #include "model/model_set.h"
 #include "model/preorder.h"
 
@@ -69,9 +70,18 @@ class WeightedKnowledgeBase {
   /// wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)  (paper, Section 4).
   double WeightedDistTo(uint64_t bits) const;
 
+  /// wdist under a non-Dalal metric: Σ_J metric-dist(I, J) · ψ̃(J),
+  /// with the per-atom weights from `semantics` (its aggregator and
+  /// model_weight are ignored — this base's weights play that role).
+  double WeightedDistTo(uint64_t bits,
+                        const DistanceSemantics& semantics) const;
+
   /// The pre-order ≤ψ̃ ranked by wdist — the paper's concrete weighted
   /// loyal assignment.  Requires satisfiability.
   TotalPreorder WdistPreorder() const;
+
+  /// WdistPreorder under a non-Dalal metric.
+  TotalPreorder WdistPreorder(const DistanceSemantics& semantics) const;
 
   /// The paper's weighted Min: keeps this base's weights on the
   /// ≤-minimal interpretations of its support and zeroes the rest.

@@ -403,7 +403,10 @@ void ScriptDataflow::Transfer(int node_id, const AbstractState& in,
     }
     case ScriptStatement::Kind::kAssertEntails:
     case ScriptStatement::Kind::kAssertConsistent:
-    case ScriptStatement::Kind::kAssertEquivalent: {
+    case ScriptStatement::Kind::kAssertEquivalent:
+    // Backend/metric selection never touches any base's belief state.
+    case ScriptStatement::Kind::kSetBackend:
+    case ScriptStatement::Kind::kSetWeight: {
       (*outs)[0] = in;
       return;
     }

@@ -61,7 +61,12 @@ std::set<std::string> FormulaAtoms(const std::string& text) {
 /// Every atom a statement (including its nested statements) could
 /// register in the store vocabulary if its text were evaluated.
 std::set<std::string> EvaluatedAtoms(const ScriptStatement& stmt) {
-  std::set<std::string> atoms = FormulaAtoms(stmt.formula);
+  std::set<std::string> atoms;
+  if (stmt.kind == ScriptStatement::Kind::kSetWeight) {
+    atoms.insert(stmt.base);  // the weighted term registers; no formula
+  } else if (stmt.kind != ScriptStatement::Kind::kSetBackend) {
+    atoms = FormulaAtoms(stmt.formula);
+  }
   for (const ScriptStatement& inner : stmt.inner) {
     for (const std::string& atom : EvaluatedAtoms(inner)) atoms.insert(atom);
   }
@@ -73,6 +78,8 @@ std::set<std::string> EvaluatedAtoms(const ScriptStatement& stmt) {
 bool ReadsBase(const ScriptStatement& stmt, const std::string& base) {
   switch (stmt.kind) {
     case ScriptStatement::Kind::kDefine:
+    case ScriptStatement::Kind::kSetBackend:
+    case ScriptStatement::Kind::kSetWeight:
       return false;
     case ScriptStatement::Kind::kChange:
     case ScriptStatement::Kind::kUndo:
@@ -155,7 +162,9 @@ class FlowPass {
     for (const ScriptStatement& stmt : script.statements) {
       ResolvePayloads(stmt, &vocab, &parse_trouble);
     }
-    if (vocab.size() > kMaxEnumTerms) return;  // script/capacity owns this
+    // script/capacity (or the counting backend's capacity-backend note)
+    // owns large vocabularies; the flow oracle needs 2^n model counts.
+    if (vocab.size() > kMaxEnumTerms) return;
     (void)parse_trouble;  // unparsed payloads degrade to kTop per statement
 
     cfg_ = Cfg::Build(std::move(script));
@@ -204,7 +213,16 @@ class FlowPass {
   void ResolvePayloads(const ScriptStatement& stmt, Vocabulary* vocab,
                        bool* parse_trouble) {
     StatementInfo info;
-    if (!stmt.formula.empty()) {
+    // `set` statements carry a backend name or a weight in `formula`,
+    // not a formula payload; a weighted term still joins the vocabulary
+    // (mirroring the runtime store).
+    const bool non_formula_payload =
+        stmt.kind == ScriptStatement::Kind::kSetBackend ||
+        stmt.kind == ScriptStatement::Kind::kSetWeight;
+    if (stmt.kind == ScriptStatement::Kind::kSetWeight) {
+      (void)vocab->GetOrAddTerm(stmt.base);
+    }
+    if (!stmt.formula.empty() && !non_formula_payload) {
       const Vocabulary backup = *vocab;
       Result<Formula> f = Parse(stmt.formula, vocab);
       if (f.ok()) {
@@ -371,6 +389,9 @@ class FlowPass {
         return;
       case ScriptStatement::Kind::kDefine:
         return;  // dead defines need the backward pass
+      case ScriptStatement::Kind::kSetBackend:
+      case ScriptStatement::Kind::kSetWeight:
+        return;  // no per-base verdicts; capacity lives in the linter
     }
   }
 

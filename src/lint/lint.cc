@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 
+#include "change/backend.h"
 #include "change/registry.h"
 #include "lint/emitter.h"
 #include "lint/flow_checks.h"
@@ -32,7 +33,14 @@ const std::vector<CheckInfo> kChecks = {
     {"script/formula-syntax", Severity::kError,
      "formula payload does not parse"},
     {"script/capacity", Severity::kError,
-     "script vocabulary exceeds the enumeration limit"},
+     "script vocabulary exceeds the selected backend's limit"},
+    {"script/capacity-backend", Severity::kNote,
+     "vocabulary beyond the enumeration limit, served by the counting "
+     "backend"},
+    {"script/unknown-backend", Severity::kError,
+     "set backend names an unregistered backend"},
+    {"script/negative-weight", Severity::kError,
+     "set weight with a negative metric weight"},
     {"script/use-before-define", Severity::kError,
      "base used before any define"},
     {"script/unknown-operator", Severity::kError,
@@ -222,17 +230,57 @@ class ScriptLinter {
       }
       return std::nullopt;
     }
-    if (vocab_.size() > kMaxEnumTerms && !capacity_blown_) {
+    CheckCapacity(line_no);
+    return *f;
+  }
+
+  /// Capacity limit of the backend selected so far in script order.
+  int CapacityLimit() const {
+    return backend_ == "enum" ? kMaxEnumTerms : kMaxVocabularyTerms - 1;
+  }
+
+  /// Emits the capacity diagnostic for the current vocabulary size under
+  /// the selected backend: a hard error past the enumeration wall on the
+  /// enumerating backend, a one-time note in the counting backend's
+  /// SAT-served range, and a hard error past the 63-term mask limit.
+  void CheckCapacity(int line_no) {
+    const int n = vocab_.size();
+    if (n <= kMaxEnumTerms) return;
+    if (backend_ == "enum") {
+      if (capacity_blown_) return;
       capacity_blown_ = true;
       emit_->Emit(
           "script/capacity", line_no, 1,
-          "script mentions " + std::to_string(vocab_.size()) +
+          "script mentions " + std::to_string(n) +
               " distinct atoms; execution enumerates at most 2^" +
               std::to_string(kMaxEnumTerms) + " interpretations",
           "the store rejects the first formula that grows its "
-          "vocabulary past " + std::to_string(kMaxEnumTerms) + " terms");
+          "vocabulary past " + std::to_string(kMaxEnumTerms) +
+          " terms; 'set backend counting' lifts the wall to " +
+          std::to_string(kMaxVocabularyTerms - 1) + " terms");
+      return;
     }
-    return *f;
+    if (n > kMaxVocabularyTerms - 1) {
+      if (capacity_blown_) return;
+      capacity_blown_ = true;
+      emit_->Emit(
+          "script/capacity", line_no, 1,
+          "script mentions " + std::to_string(n) +
+              " distinct atoms; even the counting backend serves at "
+              "most " + std::to_string(kMaxVocabularyTerms - 1),
+          "model masks must fit in 64 bits");
+      return;
+    }
+    if (counting_noted_) return;
+    counting_noted_ = true;
+    emit_->Emit(
+        "script/capacity-backend", line_no, 1,
+        "vocabulary has " + std::to_string(n) +
+            " atoms, past the 2^" + std::to_string(kMaxEnumTerms) +
+            " enumeration wall; the counting backend serves distance "
+            "operators via SAT without enumeration",
+        "non-distance operators and model dumps stay unavailable past " +
+            std::to_string(kMaxEnumTerms) + " terms");
   }
 
   /// Resolves a base for a use-site; reports use-before-define.
@@ -274,7 +322,53 @@ class ScriptLinter {
         return Assert(stmt);
       case ScriptStatement::Kind::kConditional:
         return Conditional(stmt, guarded);
+      case ScriptStatement::Kind::kSetBackend:
+        return SetBackend(stmt);
+      case ScriptStatement::Kind::kSetWeight:
+        return SetWeight(stmt);
     }
+  }
+
+  void SetBackend(const ScriptStatement& stmt) {
+    const std::vector<std::string> known = DistanceBackendNames();
+    if (std::find(known.begin(), known.end(), stmt.formula) == known.end()) {
+      emit_->Emit("script/unknown-backend", stmt.line,
+                  ColOf(LineText(stmt.line), stmt.formula),
+                  "unknown backend '" + stmt.formula + "'",
+                  "registered backends: " + Join(known, ", "));
+      return;
+    }
+    const int new_limit = stmt.formula == "enum"
+                              ? kMaxEnumTerms
+                              : kMaxVocabularyTerms - 1;
+    if (vocab_.size() > new_limit) {
+      if (!capacity_blown_) {
+        capacity_blown_ = true;
+        emit_->Emit("script/capacity", stmt.line,
+                    ColOf(LineText(stmt.line), stmt.formula),
+                    "cannot select the '" + stmt.formula +
+                        "' backend: the script already mentions " +
+                        std::to_string(vocab_.size()) +
+                        " atoms (limit " + std::to_string(new_limit) + ")",
+                    "the store rejects this statement at run time");
+      }
+      return;
+    }
+    backend_ = stmt.formula;
+  }
+
+  void SetWeight(const ScriptStatement& stmt) {
+    int64_t weight = 0;
+    if (ParseInt64(stmt.formula, &weight) && weight < 0) {
+      emit_->Emit("script/negative-weight", stmt.line,
+                  ColOf(LineText(stmt.line), stmt.formula),
+                  "metric weight must be >= 0, got " + stmt.formula,
+                  "the store rejects negative weights");
+    }
+    // The weighted term joins the script vocabulary like a payload atom
+    // would, so it counts against backend capacity.
+    Result<int> idx = vocab_.GetOrAddTerm(stmt.base);
+    if (idx.ok()) CheckCapacity(stmt.line);
   }
 
   void Define(const ScriptStatement& stmt, bool guarded) {
@@ -490,6 +584,10 @@ class ScriptLinter {
   std::vector<std::string> lines_;
   Vocabulary vocab_;
   bool capacity_blown_ = false;
+  /// Backend selected so far in script order ("enum" until a
+  /// `set backend` statement switches it).
+  std::string backend_ = "enum";
+  bool counting_noted_ = false;
   std::map<std::string, BaseState> bases_;
   std::set<std::string> payload_atoms_;
   /// (atom, first use line), ordered so reports are deterministic.

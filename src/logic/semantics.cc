@@ -84,9 +84,13 @@ Formula Minterm(uint64_t bits, int num_terms) {
 
 Formula FormulaFromModels(const std::vector<uint64_t>& models,
                           int num_terms) {
-  CheckEnumerable(num_terms);
+  // No enumeration happens here: the masks are already materialized, so
+  // any vocabulary whose interpretations fit in uint64 masks is fine.
+  ARBITER_CHECK(num_terms >= 0 && num_terms <= kMaxVocabularyTerms);
   if (models.empty()) return Formula::False();
-  if (models.size() == (1ULL << num_terms)) return Formula::True();
+  if (num_terms < 64 && models.size() == (1ULL << num_terms)) {
+    return Formula::True();
+  }
   std::vector<Formula> minterms;
   minterms.reserve(models.size());
   for (uint64_t bits : models) {

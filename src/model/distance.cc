@@ -60,8 +60,21 @@ int64_t SumDistBounded(const ModelSet& psi, uint64_t interpretation,
 }
 
 SumDistOracle::SumDistOracle(const ModelSet& psi)
+    : SumDistOracle(psi, /*metric=*/{}) {}
+
+SumDistOracle::SumDistOracle(const ModelSet& psi,
+                             const std::vector<int64_t>& metric)
     : num_terms_(psi.num_terms()),
       size_(static_cast<int64_t>(psi.size())) {
+  ARBITER_CHECK_MSG(!psi.empty(),
+                    "SumDistOracle over empty model set: column counts "
+                    "would be meaningless (sdist undefined for "
+                    "unsatisfiable psi)");
+  for (int b = 0; b < num_terms_; ++b) {
+    const int64_t w = b < static_cast<int>(metric.size()) ? metric[b] : 1;
+    ARBITER_CHECK_MSG(w >= 0, "negative metric weight");
+    weights_[b] = w;
+  }
   using Counts = std::array<int64_t, kMaxEnumTerms>;
   constexpr uint64_t kGrain = 4096;
   const Counts counts = ParallelReduce<Counts>(

@@ -2,6 +2,7 @@
 #define ARBITER_MODEL_DISTANCE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "model/model_set.h"
 #include "util/bit.h"
@@ -59,15 +60,26 @@ int64_t SumDistBounded(const ModelSet& psi, uint64_t interpretation,
 /// rather than their product.
 class SumDistOracle {
  public:
-  /// Builds the column counts (parallelized over Mod(ψ)).
+  /// Builds the column counts (parallelized over Mod(ψ)).  ψ must be
+  /// nonempty: over an empty set every column count is 0 and every
+  /// query would return the meaningless constant 0, silently ranking
+  /// all candidates equal — so construction fails loudly instead.
   explicit SumDistOracle(const ModelSet& psi);
 
-  /// sdist(ψ, I), exactly as SumDist would return it.
+  /// As above, but distances are the weighted Hamming metric with
+  /// per-atom weights `metric` (empty = unit weights).  Entries must
+  /// be >= 0; atoms beyond the vector's size weigh 1.
+  SumDistOracle(const ModelSet& psi, const std::vector<int64_t>& metric);
+
+  /// sdist(ψ, I), exactly as SumDist would return it (scaled per
+  /// column by the metric weights, if any).
   int64_t operator()(uint64_t interpretation) const {
     int64_t total = 0;
     for (int b = 0; b < num_terms_; ++b) {
       const int64_t ones = ones_[b];
-      total += ((interpretation >> b) & 1) != 0 ? size_ - ones : ones;
+      const int64_t column =
+          ((interpretation >> b) & 1) != 0 ? size_ - ones : ones;
+      total += weights_[b] * column;
     }
     return total;
   }
@@ -76,6 +88,7 @@ class SumDistOracle {
   int num_terms_;
   int64_t size_;
   int64_t ones_[kMaxEnumTerms] = {};
+  int64_t weights_[kMaxEnumTerms] = {};
 };
 
 }  // namespace arbiter

@@ -1,0 +1,163 @@
+#include "model/distance_semantics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "model/distance.h"
+#include "model/preorder.h"
+#include "util/logging.h"
+
+namespace arbiter {
+
+std::string AggregatorName(DistanceAggregator aggregator) {
+  switch (aggregator) {
+    case DistanceAggregator::kMin:
+      return "min";
+    case DistanceAggregator::kMax:
+      return "max";
+    case DistanceAggregator::kSum:
+      return "sum";
+    case DistanceAggregator::kWeightedSum:
+      return "weighted-sum";
+  }
+  return "?";
+}
+
+std::string DistanceSemantics::DebugName() const {
+  return AggregatorName(aggregator) +
+         (unit_metric() ? "/dalal" : "/weighted-metric");
+}
+
+DistanceSemantics MinSemantics(std::vector<int64_t> metric) {
+  DistanceSemantics s;
+  s.aggregator = DistanceAggregator::kMin;
+  s.metric = std::move(metric);
+  return s;
+}
+
+DistanceSemantics MaxSemantics(std::vector<int64_t> metric) {
+  DistanceSemantics s;
+  s.aggregator = DistanceAggregator::kMax;
+  s.metric = std::move(metric);
+  return s;
+}
+
+DistanceSemantics SumSemantics(std::vector<int64_t> metric) {
+  DistanceSemantics s;
+  s.aggregator = DistanceAggregator::kSum;
+  s.metric = std::move(metric);
+  return s;
+}
+
+DistanceSemantics WeightedSumSemantics(
+    std::function<double(uint64_t)> model_weight,
+    std::vector<int64_t> metric) {
+  DistanceSemantics s;
+  s.aggregator = DistanceAggregator::kWeightedSum;
+  s.metric = std::move(metric);
+  s.model_weight = std::move(model_weight);
+  return s;
+}
+
+int64_t MetricDist(const DistanceSemantics& semantics, uint64_t a,
+                   uint64_t b) {
+  if (semantics.metric.empty()) return Dist(a, b);
+  int64_t total = 0;
+  ForEachBit(a ^ b, [&semantics, &total](int bit) {
+    total += semantics.AtomWeight(bit);
+  });
+  return total;
+}
+
+int64_t MetricDiameter(const DistanceSemantics& semantics, int num_terms) {
+  int64_t total = 0;
+  for (int b = 0; b < num_terms; ++b) total += semantics.AtomWeight(b);
+  return total;
+}
+
+int64_t MetricMinDist(const DistanceSemantics& semantics,
+                      const ModelSet& psi, uint64_t interpretation) {
+  ARBITER_CHECK_MSG(!psi.empty(), "MetricMinDist over empty model set");
+  if (semantics.metric.empty()) return MinDist(psi, interpretation);
+  int64_t best = MetricDiameter(semantics, psi.num_terms()) + 1;
+  for (uint64_t j : psi) {
+    best = std::min(best, MetricDist(semantics, interpretation, j));
+    if (best == 0) break;
+  }
+  return best;
+}
+
+int64_t MetricOverallDistBounded(const DistanceSemantics& semantics,
+                                 const ModelSet& psi,
+                                 uint64_t interpretation, int64_t bound) {
+  ARBITER_CHECK_MSG(!psi.empty(),
+                    "MetricOverallDist over empty model set");
+  const int64_t diameter = MetricDiameter(semantics, psi.num_terms());
+  int64_t worst = -1;
+  for (uint64_t j : psi) {
+    worst = std::max(worst, MetricDist(semantics, interpretation, j));
+    if (worst >= bound || worst == diameter) break;
+  }
+  return worst;
+}
+
+ModelSet SemanticArgmin(const DistanceSemantics& semantics,
+                        const ModelSet& psi, const ModelSet& mu) {
+  ARBITER_CHECK(psi.num_terms() == mu.num_terms());
+  if (mu.empty()) return ModelSet(mu.num_terms());
+  if (psi.empty()) {
+    // Revision convention for min (ψ unsat ⇒ Mod(μ)); model-fitting
+    // (A2) for the aggregating semantics (ψ unsat ⇒ unsat).
+    return semantics.aggregator == DistanceAggregator::kMin
+               ? mu
+               : ModelSet(mu.num_terms());
+  }
+  switch (semantics.aggregator) {
+    case DistanceAggregator::kMin:
+      return MinByInt(mu, [&semantics, &psi](uint64_t i) {
+        return MetricMinDist(semantics, psi, i);
+      });
+    case DistanceAggregator::kMax: {
+      // The aggregate never exceeds the diameter, so clamping the
+      // prune bound keeps the kernel's exact-below-bound contract.
+      const int64_t diameter_bound =
+          MetricDiameter(semantics, psi.num_terms()) + 1;
+      if (semantics.metric.empty()) {
+        return MinByIntBounded(
+            mu,
+            [&psi, diameter_bound](uint64_t i, int64_t bound) -> int64_t {
+              const int b = static_cast<int>(
+                  bound < diameter_bound ? bound : diameter_bound);
+              return OverallDistBounded(psi, i, b);
+            });
+      }
+      return MinByIntBounded(
+          mu, [&semantics, &psi, diameter_bound](uint64_t i,
+                                                 int64_t bound) -> int64_t {
+            const int64_t b =
+                bound < diameter_bound ? bound : diameter_bound;
+            return MetricOverallDistBounded(semantics, psi, i, b);
+          });
+    }
+    case DistanceAggregator::kSum: {
+      const SumDistOracle sdist(psi, semantics.metric);
+      return MinByIntBounded(
+          mu, [&sdist](uint64_t i, int64_t /*bound*/) { return sdist(i); });
+    }
+    case DistanceAggregator::kWeightedSum: {
+      ARBITER_CHECK_MSG(semantics.model_weight != nullptr,
+                        "kWeightedSum requires a model_weight function");
+      return MinBy(mu, [&semantics, &psi](uint64_t i) {
+        double total = 0.0;
+        for (uint64_t j : psi) {
+          total += static_cast<double>(MetricDist(semantics, i, j)) *
+                   semantics.model_weight(j);
+        }
+        return total;
+      });
+    }
+  }
+  return ModelSet(mu.num_terms());
+}
+
+}  // namespace arbiter

@@ -1,0 +1,114 @@
+#ifndef ARBITER_MODEL_DISTANCE_SEMANTICS_H_
+#define ARBITER_MODEL_DISTANCE_SEMANTICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/model_set.h"
+#include "util/bit.h"
+
+/// \file distance_semantics.h
+/// The pluggable distance layer: a *distance semantics* is a metric on
+/// interpretations crossed with an aggregator over Mod(ψ).
+///
+///   * metric      — weighted Hamming distance with per-atom weights
+///                   m_b >= 0; the empty weight vector means unit
+///                   weights, i.e. Dalal's |I Δ J|.  (Weighted Hamming
+///                   is the decomposable family both backends exploit;
+///                   Lehmann–Magidor–Schlechta's distance semantics
+///                   shows the paper's operators are two points in this
+///                   family.)
+///   * aggregator  — how per-model distances combine over Mod(ψ):
+///                   min (Dalal revision), max (Revesz odist,
+///                   Section 3), Σ (sdist, unit-weight wdist), or
+///                   weighted Σ (Section 4 wdist, with a per-model
+///                   weight function).
+///
+/// `SemanticArgmin` is the shared enumeration kernel: every concrete
+/// operator in src/change/ (Dalal revision, max-/sum-fitting,
+/// arbitration, wdist fitting) is a thin delegate to it, and the
+/// enumerating `DistanceBackend` is exactly this kernel behind the
+/// registry.  Edge conventions (matching the operators' axioms):
+/// Mod(μ) empty → empty; Mod(ψ) empty → Mod(μ) for the min aggregator
+/// (revision convention: ψ unsatisfiable ⇒ result is μ) and empty for
+/// max/Σ/weighted-Σ (model-fitting (A2)).
+
+namespace arbiter {
+
+/// How per-model distances aggregate over Mod(ψ).
+enum class DistanceAggregator { kMin, kMax, kSum, kWeightedSum };
+
+/// Stable names: "min", "max", "sum", "weighted-sum".
+std::string AggregatorName(DistanceAggregator aggregator);
+
+/// A metric × aggregator pair (plus the per-model weight function for
+/// the weighted-Σ aggregator).  Plain value type; cheap to copy.
+struct DistanceSemantics {
+  DistanceAggregator aggregator = DistanceAggregator::kMax;
+
+  /// Per-atom metric weights m_b >= 0.  Empty means unit weights (the
+  /// Dalal metric).  Entries beyond the vocabulary are ignored; atoms
+  /// beyond the vector's size weigh 1.
+  std::vector<int64_t> metric;
+
+  /// Per-model weight for kWeightedSum (e.g. the vote counts of the
+  /// paper's Example 4.1).  Ignored by the other aggregators.
+  std::function<double(uint64_t)> model_weight;
+
+  /// True iff the metric is (effectively) unit weights.
+  bool unit_metric() const {
+    for (int64_t w : metric) {
+      if (w != 1) return false;
+    }
+    return true;
+  }
+
+  /// Weight of atom b under the metric (1 when unweighted).
+  int64_t AtomWeight(int b) const {
+    return b < static_cast<int>(metric.size()) ? metric[b] : 1;
+  }
+
+  /// E.g. "max/dalal", "sum/weighted-metric".
+  std::string DebugName() const;
+};
+
+/// Factories for the paper's semantics (optionally non-Dalal metric).
+DistanceSemantics MinSemantics(std::vector<int64_t> metric = {});
+DistanceSemantics MaxSemantics(std::vector<int64_t> metric = {});
+DistanceSemantics SumSemantics(std::vector<int64_t> metric = {});
+DistanceSemantics WeightedSumSemantics(
+    std::function<double(uint64_t)> model_weight,
+    std::vector<int64_t> metric = {});
+
+/// Weighted Hamming distance Σ_b m_b·[a_b ≠ b_b].  Unit metric
+/// degenerates to Dist(a, b) = PopCount(a ^ b).
+int64_t MetricDist(const DistanceSemantics& semantics, uint64_t a,
+                   uint64_t b);
+
+/// Σ_b m_b over the n-atom vocabulary: the diameter of the metric
+/// space (n for the unit metric).
+int64_t MetricDiameter(const DistanceSemantics& semantics, int num_terms);
+
+/// min_{J ∈ Mod(ψ)} metric-dist(I, J).  Requires psi nonempty.
+int64_t MetricMinDist(const DistanceSemantics& semantics,
+                      const ModelSet& psi, uint64_t interpretation);
+
+/// max_{J ∈ Mod(ψ)} metric-dist(I, J), pruned: exact whenever the
+/// result is < bound (same contract as OverallDistBounded).  Requires
+/// psi nonempty.
+int64_t MetricOverallDistBounded(const DistanceSemantics& semantics,
+                                 const ModelSet& psi,
+                                 uint64_t interpretation, int64_t bound);
+
+/// The shared enumeration kernel: Min(Mod(μ), ≤ψ) where ≤ψ ranks by
+/// the aggregated metric distance to Mod(ψ).  Bit-identical to the
+/// serial scan at any thread count (inherits the MinByIntBounded
+/// guarantees).  kWeightedSum requires `model_weight` to be set.
+ModelSet SemanticArgmin(const DistanceSemantics& semantics,
+                        const ModelSet& psi, const ModelSet& mu);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_MODEL_DISTANCE_SEMANTICS_H_

@@ -1,5 +1,8 @@
 #include "model/loyal.h"
 
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "model/distance.h"
@@ -95,6 +98,51 @@ TotalPreorder SumDistPreorder(const ModelSet& psi) {
   return TotalPreorder(psi.num_terms(), [&psi](uint64_t i) {
     return static_cast<double>(SumDist(psi, i));
   });
+}
+
+TotalPreorder SemanticsPreorder(const DistanceSemantics& semantics,
+                                const ModelSet& psi) {
+  ARBITER_CHECK(!psi.empty());
+  const int64_t no_bound = INT64_MAX;
+  switch (semantics.aggregator) {
+    case DistanceAggregator::kMin:
+      return TotalPreorder(psi.num_terms(), [&semantics, &psi](uint64_t i) {
+        return static_cast<double>(MetricMinDist(semantics, psi, i));
+      });
+    case DistanceAggregator::kMax:
+      return TotalPreorder(
+          psi.num_terms(), [&semantics, &psi, no_bound](uint64_t i) {
+            return static_cast<double>(
+                MetricOverallDistBounded(semantics, psi, i, no_bound));
+          });
+    case DistanceAggregator::kSum: {
+      // The oracle is shared across the whole materialization pass.
+      auto sdist = std::make_shared<SumDistOracle>(psi, semantics.metric);
+      return TotalPreorder(psi.num_terms(), [sdist](uint64_t i) {
+        return static_cast<double>((*sdist)(i));
+      });
+    }
+    case DistanceAggregator::kWeightedSum: {
+      ARBITER_CHECK_MSG(semantics.model_weight != nullptr,
+                        "kWeightedSum requires a model_weight function");
+      return TotalPreorder(psi.num_terms(), [&semantics, &psi](uint64_t i) {
+        double total = 0.0;
+        for (uint64_t j : psi) {
+          total += static_cast<double>(MetricDist(semantics, i, j)) *
+                   semantics.model_weight(j);
+        }
+        return total;
+      });
+    }
+  }
+  ARBITER_CHECK_MSG(false, "unknown aggregator");
+  return TotalPreorder(psi.num_terms(), [](uint64_t) { return 0.0; });
+}
+
+PreorderAssignment MakeSemanticsAssignment(DistanceSemantics semantics) {
+  return [semantics = std::move(semantics)](const ModelSet& psi) {
+    return SemanticsPreorder(semantics, psi);
+  };
 }
 
 }  // namespace arbiter

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "model/distance_semantics.h"
 #include "model/model_set.h"
 #include "model/preorder.h"
 
@@ -57,6 +58,18 @@ TotalPreorder OverallDistPreorder(const ModelSet& psi);
 
 /// ≤ψ ranked by Σ_J dist(I, J) (unit-weight wdist, Section 4).
 TotalPreorder SumDistPreorder(const ModelSet& psi);
+
+/// ≤ψ ranked by the given distance semantics (aggregated metric
+/// distance to Mod(ψ)).  Generalizes the three assignments above:
+/// MinSemantics() gives DalalPreorder, MaxSemantics() gives
+/// OverallDistPreorder, SumSemantics() gives SumDistPreorder — with
+/// identical ranks on the unit metric.  Requires psi nonempty.
+TotalPreorder SemanticsPreorder(const DistanceSemantics& semantics,
+                                const ModelSet& psi);
+
+/// The assignment ψ ↦ SemanticsPreorder(semantics, ψ), usable with
+/// CheckLoyalty and the representation checkers.
+PreorderAssignment MakeSemanticsAssignment(DistanceSemantics semantics);
 
 }  // namespace arbiter
 

@@ -1,0 +1,68 @@
+#ifndef ARBITER_SAT_CNF_H_
+#define ARBITER_SAT_CNF_H_
+
+#include <utility>
+#include <vector>
+
+#include "sat/types.h"
+
+/// \file cnf.h
+/// ClauseSink: the minimal variable/clause interface shared by the CDCL
+/// solver and the plain clause container below.  Encoders (Tseitin,
+/// cardinality) target this interface, so the same clausification can
+/// feed either a search engine or an analysis pass that needs to *hold*
+/// the clauses — the model counter in sat/count.h, for example, which
+/// the solver cannot serve because it enqueues level-0 units instead of
+/// storing them.
+
+namespace arbiter::sat {
+
+/// Anything that accepts fresh variables and clauses.
+class ClauseSink {
+ public:
+  virtual ~ClauseSink() = default;
+
+  /// Creates a fresh variable and returns it.
+  virtual Var NewVar() = 0;
+
+  /// Number of variables created so far.
+  virtual int NumVars() const = 0;
+
+  /// Adds a clause (disjunction of literals).  Returns false if the
+  /// sink became trivially unsatisfiable.
+  virtual bool AddClause(std::vector<Lit> lits) = 0;
+
+  /// Convenience single/double/triple literal forwarders.
+  bool AddUnit(Lit a) { return AddClause({a}); }
+  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+  bool AddTernary(Lit a, Lit b, Lit c) { return AddClause({a, b, c}); }
+};
+
+/// A CNF formula as plain data: a variable count plus a clause list.
+/// Unlike Solver, every added clause (including units) stays visible,
+/// which is what the counting backend's component decomposition needs.
+class CnfFormula : public ClauseSink {
+ public:
+  Var NewVar() override { return num_vars_++; }
+  int NumVars() const override { return num_vars_; }
+
+  bool AddClause(std::vector<Lit> lits) override {
+    if (lits.empty()) contradiction_ = true;
+    clauses_.push_back(std::move(lits));
+    return !contradiction_;
+  }
+
+  const std::vector<std::vector<Lit>>& clauses() const { return clauses_; }
+
+  /// True iff an empty clause was added.
+  bool contradiction() const { return contradiction_; }
+
+ private:
+  int num_vars_ = 0;
+  bool contradiction_ = false;
+  std::vector<std::vector<Lit>> clauses_;
+};
+
+}  // namespace arbiter::sat
+
+#endif  // ARBITER_SAT_CNF_H_

@@ -1,0 +1,299 @@
+#include "sat/count.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace arbiter::sat {
+namespace {
+
+using U128 = unsigned __int128;
+
+/// A subproblem's answer: model count over an explicit variable set,
+/// plus per-variable true-counts.  `ones` may be empty when count == 0
+/// (everything is zero then).
+struct SubResult {
+  U128 count = 0;
+  std::unordered_map<int, U128> ones;
+};
+
+/// Canonical serialization of a clause list: literal codes sorted
+/// within each clause, clauses sorted lexicographically.  Variables
+/// are *not* renamed, so cached per-variable tallies attribute to the
+/// right columns on a hit.
+std::string SerializeClauses(std::vector<std::vector<Lit>> clauses) {
+  for (auto& c : clauses) {
+    std::sort(c.begin(), c.end(),
+              [](Lit a, Lit b) { return a.code() < b.code(); });
+  }
+  std::sort(clauses.begin(), clauses.end(),
+            [](const std::vector<Lit>& a, const std::vector<Lit>& b) {
+              return std::lexicographical_compare(
+                  a.begin(), a.end(), b.begin(), b.end(),
+                  [](Lit x, Lit y) { return x.code() < y.code(); });
+            });
+  std::string key;
+  for (const auto& c : clauses) {
+    for (Lit l : c) {
+      key += std::to_string(l.code());
+      key += ',';
+    }
+    key += ';';
+  }
+  return key;
+}
+
+struct Counter {
+  std::unordered_map<std::string, SubResult> cache;
+  uint64_t steps_left;
+  bool aborted = false;
+  uint64_t cache_hits = 0;
+  uint64_t components_solved = 0;
+
+  /// Counts models of `clauses` over the variable universe `vars`
+  /// (a sorted vector that contains every variable occurring in
+  /// `clauses`, and possibly more — extras are unconstrained and
+  /// contribute a free factor of 2 each).
+  SubResult Count(std::vector<std::vector<Lit>> clauses,
+                  const std::vector<int>& vars);
+
+  /// Counts one connected component whose variable set is exactly the
+  /// variables occurring in its clauses.  Cached.
+  SubResult CountComponent(std::vector<std::vector<Lit>> clauses,
+                           const std::vector<int>& vars);
+};
+
+/// Applies `var := value` to `clauses` in place: satisfied clauses are
+/// dropped, falsified literals removed.  Returns false on an empty
+/// (falsified) clause.
+bool Reduce(std::vector<std::vector<Lit>>* clauses, int var, bool value) {
+  size_t out = 0;
+  for (size_t i = 0; i < clauses->size(); ++i) {
+    std::vector<Lit>& c = (*clauses)[i];
+    bool satisfied = false;
+    size_t keep = 0;
+    for (size_t j = 0; j < c.size(); ++j) {
+      Lit l = c[j];
+      if (l.var() == var) {
+        if (l.negated() != value) satisfied = true;  // literal is true
+        continue;                                    // literal resolved
+      }
+      c[keep++] = l;
+    }
+    if (satisfied) continue;
+    c.resize(keep);
+    if (c.empty()) return false;
+    if (out != i) (*clauses)[out] = std::move(c);
+    ++out;
+  }
+  clauses->resize(out);
+  return true;
+}
+
+SubResult Counter::Count(std::vector<std::vector<Lit>> clauses,
+                         const std::vector<int>& vars) {
+  if (aborted) return SubResult{};
+  // Unit propagation to fixpoint.
+  std::unordered_map<int, bool> assigned;
+  bool conflict = false;
+  bool changed = true;
+  while (changed && !conflict) {
+    changed = false;
+    for (const auto& c : clauses) {
+      if (c.size() == 1) {
+        Lit l = c[0];
+        assigned[l.var()] = !l.negated();
+        if (!Reduce(&clauses, l.var(), !l.negated())) conflict = true;
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (conflict) return SubResult{};
+
+  // Partition the residual clauses into connected components.
+  std::unordered_map<int, int> root;  // var -> union-find parent slot
+  std::vector<int> parent;
+  auto find = [&](int slot) {
+    while (parent[slot] != slot) {
+      parent[slot] = parent[parent[slot]];
+      slot = parent[slot];
+    }
+    return slot;
+  };
+  auto slot_of = [&](int var) {
+    auto it = root.find(var);
+    if (it != root.end()) return it->second;
+    int slot = static_cast<int>(parent.size());
+    parent.push_back(slot);
+    root.emplace(var, slot);
+    return slot;
+  };
+  std::vector<int> clause_slot(clauses.size(), -1);
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    int first = slot_of(clauses[i][0].var());
+    for (Lit l : clauses[i]) {
+      int a = find(first), b = find(slot_of(l.var()));
+      if (a != b) parent[a] = b;
+    }
+    clause_slot[i] = find(first);
+  }
+
+  std::unordered_map<int, std::vector<std::vector<Lit>>> comp_clauses;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    comp_clauses[find(clause_slot[i])].push_back(std::move(clauses[i]));
+  }
+
+  SubResult result;
+  result.count = 1;
+  std::vector<std::pair<U128, SubResult>> parts;  // (count, sub)
+  int unconstrained = 0;
+  std::vector<int> free_unconstrained;
+  {
+    // Classify every universe variable: assigned, in a component, or
+    // unconstrained.
+    for (int v : vars) {
+      if (assigned.count(v)) continue;
+      if (!root.count(v)) {
+        ++unconstrained;
+        free_unconstrained.push_back(v);
+      }
+    }
+  }
+  if (unconstrained >= 120) {  // 2^120 would overflow the combine math
+    aborted = true;
+    return SubResult{};
+  }
+
+  for (auto& [slot, cls] : comp_clauses) {
+    std::vector<int> comp_vars;
+    for (const auto& c : cls) {
+      for (Lit l : c) comp_vars.push_back(l.var());
+    }
+    std::sort(comp_vars.begin(), comp_vars.end());
+    comp_vars.erase(std::unique(comp_vars.begin(), comp_vars.end()),
+                    comp_vars.end());
+    SubResult sub = CountComponent(std::move(cls), comp_vars);
+    if (aborted) return SubResult{};
+    if (sub.count == 0) return SubResult{};  // whole product is zero
+    parts.emplace_back(sub.count, std::move(sub));
+  }
+
+  U128 total = static_cast<U128>(1) << unconstrained;
+  for (const auto& [c, sub] : parts) total *= c;
+
+  result.count = total;
+  for (const auto& [c, sub] : parts) {
+    const U128 scale = total / c;  // exact: total = c * (rest)
+    for (const auto& [v, ones] : sub.ones) result.ones[v] = ones * scale;
+  }
+  for (int v : free_unconstrained) result.ones[v] = total / 2;
+  for (const auto& [v, value] : assigned) {
+    result.ones[v] = value ? total : 0;
+  }
+  return result;
+}
+
+SubResult Counter::CountComponent(std::vector<std::vector<Lit>> clauses,
+                                  const std::vector<int>& vars) {
+  if (aborted) return SubResult{};
+  if (steps_left == 0) {
+    aborted = true;
+    return SubResult{};
+  }
+  --steps_left;
+
+  const std::string key = SerializeClauses(clauses);
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    ++cache_hits;
+    return it->second;
+  }
+  ++components_solved;
+
+  // Branch on the most frequent variable (ties: lowest index).
+  std::unordered_map<int, int> occurrences;
+  for (const auto& c : clauses) {
+    for (Lit l : c) ++occurrences[l.var()];
+  }
+  int branch = -1, best = -1;
+  for (int v : vars) {
+    auto oc = occurrences.find(v);
+    const int n = oc == occurrences.end() ? 0 : oc->second;
+    if (n > best) {
+      best = n;
+      branch = v;
+    }
+  }
+  ARBITER_DCHECK(branch >= 0);
+
+  std::vector<int> rest;
+  rest.reserve(vars.size() - 1);
+  for (int v : vars) {
+    if (v != branch) rest.push_back(v);
+  }
+
+  SubResult combined;
+  for (bool value : {false, true}) {
+    std::vector<std::vector<Lit>> reduced = clauses;
+    if (!Reduce(&reduced, branch, value)) continue;  // branch conflicts
+    SubResult sub = Count(std::move(reduced), rest);
+    if (aborted) return SubResult{};
+    combined.count += sub.count;
+    if (value) combined.ones[branch] += sub.count;
+    for (const auto& [v, ones] : sub.ones) combined.ones[v] += ones;
+  }
+  cache.emplace(key, combined);
+  return combined;
+}
+
+}  // namespace
+
+ColumnCountResult CountColumns(const CnfFormula& cnf, int num_inputs,
+                               uint64_t max_steps) {
+  ARBITER_CHECK(num_inputs >= 0 && num_inputs <= cnf.NumVars());
+  ColumnCountResult result;
+  result.ones.assign(num_inputs, 0);
+  if (cnf.contradiction()) return result;
+
+  // Preprocess: drop tautologies, dedupe literals within clauses.
+  std::vector<std::vector<Lit>> clauses;
+  clauses.reserve(cnf.clauses().size());
+  for (const auto& raw : cnf.clauses()) {
+    std::vector<Lit> c = raw;
+    std::sort(c.begin(), c.end(),
+              [](Lit a, Lit b) { return a.code() < b.code(); });
+    c.erase(std::unique(c.begin(), c.end(),
+                        [](Lit a, Lit b) { return a.code() == b.code(); }),
+            c.end());
+    bool tautology = false;
+    for (size_t i = 0; i + 1 < c.size(); ++i) {
+      if (c[i].var() == c[i + 1].var()) tautology = true;
+    }
+    if (!tautology) clauses.push_back(std::move(c));
+  }
+
+  std::vector<int> vars(cnf.NumVars());
+  for (int v = 0; v < cnf.NumVars(); ++v) vars[v] = v;
+
+  Counter counter;
+  counter.steps_left = max_steps;
+  SubResult sub = counter.Count(std::move(clauses), vars);
+  result.cache_hits = counter.cache_hits;
+  result.components_solved = counter.components_solved;
+  if (counter.aborted) {
+    result.completed = false;
+    return result;
+  }
+  result.total = sub.count;
+  for (int b = 0; b < num_inputs; ++b) {
+    auto it = sub.ones.find(b);
+    result.ones[b] = it == sub.ones.end() ? 0 : it->second;
+  }
+  return result;
+}
+
+}  // namespace arbiter::sat

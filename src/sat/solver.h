@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "sat/cnf.h"
 #include "sat/types.h"
 
 /// \file solver.h
@@ -40,24 +41,24 @@ struct SolverStats {
 ///   Var a = s.NewVar(), b = s.NewVar();
 ///   s.AddClause({Lit::Pos(a), Lit::Neg(b)});
 ///   if (s.Solve() == SolveStatus::kSat) { bool va = s.ModelValue(a); }
-class Solver {
+class Solver : public ClauseSink {
  public:
   Solver();
-  ~Solver();
+  ~Solver() override;
 
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
 
   /// Creates a fresh variable and returns it.
-  Var NewVar();
+  Var NewVar() override;
 
   /// Number of variables created so far.
-  int NumVars() const { return static_cast<int>(assigns_.size()); }
+  int NumVars() const override { return static_cast<int>(assigns_.size()); }
 
   /// Adds a clause (disjunction of literals).  Returns false if the
   /// solver became trivially unsatisfiable (empty clause, or conflict
   /// at decision level 0).  Literals over unseen variables are invalid.
-  bool AddClause(std::vector<Lit> lits);
+  bool AddClause(std::vector<Lit> lits) override;
 
   /// Convenience single/double/triple literal overloads.
   bool AddUnit(Lit a) { return AddClause({a}); }

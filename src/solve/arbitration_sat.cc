@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "enc/totalizer.h"
 #include "enc/tseitin.h"
@@ -14,7 +15,7 @@ using sat::Solver;
 using sat::SolveStatus;
 
 int SatOverallDist(const Formula& psi, int num_terms, uint64_t point,
-                   uint64_t* witness) {
+                   uint64_t* witness, const std::vector<int64_t>& metric) {
   ARBITER_CHECK(num_terms >= 1 && num_terms <= 63);
   Solver solver;
   enc::TseitinEncoder encoder(&solver);
@@ -31,11 +32,12 @@ int SatOverallDist(const Formula& psi, int num_terms, uint64_t point,
   };
   uint64_t best_witness = extract();
 
-  enc::Totalizer counter(&solver,
-                            MakeConstDiffLits(num_terms, point));
+  const std::vector<Lit> diffs =
+      RepeatByWeights(MakeConstDiffLits(num_terms, point), metric);
+  enc::Totalizer counter(&solver, diffs);
   // Largest k such that some y ⊨ ψ has dist(point, y) >= k.
   int lo = 0;
-  int hi = num_terms;
+  int hi = static_cast<int>(diffs.size());
   while (lo < hi) {
     int mid = (lo + hi + 1) / 2;
     if (solver.SolveAssuming({counter.AtLeast(mid)}) == SolveStatus::kSat) {
@@ -55,11 +57,13 @@ namespace {
 struct Master {
   Solver solver;
   int num_terms;
-  /// One unary counter per collected witness y: counts the bits where
-  /// the candidate x differs from y.
+  std::vector<int64_t> metric;
+  /// One unary counter per collected witness y: counts the (metric-
+  /// weighted) bits where the candidate x differs from y.
   std::vector<std::unique_ptr<enc::Totalizer>> counters;
 
-  explicit Master(const Formula& mu, int n) : num_terms(n) {
+  Master(const Formula& mu, int n, std::vector<int64_t> m)
+      : num_terms(n), metric(std::move(m)) {
     enc::TseitinEncoder encoder(&solver);
     encoder.ReserveInputVars(n);
     encoder.Assert(mu);
@@ -67,7 +71,8 @@ struct Master {
 
   void AddWitness(uint64_t y) {
     counters.push_back(std::make_unique<enc::Totalizer>(
-        &solver, MakeConstDiffLits(num_terms, y)));
+        &solver,
+        RepeatByWeights(MakeConstDiffLits(num_terms, y), metric)));
   }
 
   /// Assumption set bounding the distance to every witness by k.
@@ -98,26 +103,114 @@ struct Master {
   }
 };
 
+/// Incremental oracle for the CEGAR verification queries.  One solver
+/// holds x on [0, n) (free), y on [n, 2n) with ψ asserted, and a single
+/// totalizer over the metric-weighted diff bits; a candidate is pinned
+/// with n unit assumptions.  Every query reuses the learned clauses of
+/// the previous ones — rebuilding a fresh `SatOverallDist` solver per
+/// candidate made enumerating large tie sets quadratically expensive.
+struct MaxDistOracle {
+  Solver solver;
+  int num_terms;
+  std::unique_ptr<enc::Totalizer> counter;
+  int diameter = 0;
+
+  MaxDistOracle(const Formula& psi, int n,
+                const std::vector<int64_t>& metric)
+      : num_terms(n) {
+    enc::TseitinEncoder encoder(&solver);
+    encoder.ReserveInputVars(2 * n);
+    encoder.Assert(ShiftVars(psi, n));
+    std::vector<Lit> diffs =
+        RepeatByWeights(MakeDiffBits(&solver, n, n), metric);
+    diameter = static_cast<int>(diffs.size());
+    counter = std::make_unique<enc::Totalizer>(&solver, diffs);
+  }
+
+  /// Assumptions pinning the x block to the candidate.
+  std::vector<Lit> Pin(uint64_t x) const {
+    std::vector<Lit> out;
+    out.reserve(num_terms);
+    for (int i = 0; i < num_terms; ++i) {
+      out.push_back(Lit(i, /*negated=*/((x >> i) & 1) == 0));
+    }
+    return out;
+  }
+
+  uint64_t ExtractWitness() const {
+    uint64_t y = 0;
+    for (int i = 0; i < num_terms; ++i) {
+      if (solver.ModelValue(num_terms + i)) y |= 1ULL << i;
+    }
+    return y;
+  }
+
+  /// True iff some y ⊨ ψ has dist(x, y) > k; fills `witness` with it.
+  bool Exceeds(uint64_t x, int k, uint64_t* witness) {
+    if (k + 1 > diameter) return false;
+    std::vector<Lit> assumptions = Pin(x);
+    assumptions.push_back(counter->AtLeast(k + 1));
+    if (solver.SolveAssuming(assumptions) != SolveStatus::kSat) return false;
+    *witness = ExtractWitness();
+    return true;
+  }
+
+  /// Exact odist(ψ, x) with a maximizing witness; -1 iff ψ is unsat.
+  int MaxDist(uint64_t x, uint64_t* witness) {
+    const std::vector<Lit> pin = Pin(x);
+    if (solver.SolveAssuming(pin) != SolveStatus::kSat) return -1;
+    *witness = ExtractWitness();
+    int lo = 0;
+    int hi = diameter;
+    while (lo < hi) {
+      int mid = (lo + hi + 1) / 2;
+      std::vector<Lit> assumptions = pin;
+      assumptions.push_back(counter->AtLeast(mid));
+      if (solver.SolveAssuming(assumptions) == SolveStatus::kSat) {
+        *witness = ExtractWitness();
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
+};
+
 }  // namespace
 
 CegarResult CegarMaxFitting(const Formula& psi, const Formula& mu,
-                            int num_terms, int64_t max_models) {
+                            int num_terms, int64_t max_models,
+                            const std::vector<int64_t>& metric) {
   ARBITER_CHECK(num_terms >= 1 && num_terms <= 63);
   CegarResult result;
   if (!SatIsSatisfiable(psi, num_terms)) return result;  // (A2)
 
-  Master master(mu, num_terms);
+  Master master(mu, num_terms, metric);
   if (master.solver.Solve() != SolveStatus::kSat) return result;  // μ unsat
+
+  MaxDistOracle oracle(psi, num_terms, metric);
+
+  // Each witness counter prunes every candidate too far from its y,
+  // but costs a quadratic totalizer plus a permanent assumption, and a
+  // master with hundreds of counters turns both loops quadratic.  Past
+  // the cap, a settled candidate is blocked outright instead — sound
+  // (an equal-distance candidate is stashed as a tie, a worse one can
+  // never enter the result), just without the collective pruning.
+  constexpr int kMaxWitnesses = 64;
 
   // Initialize the incumbent from any model of μ.
   uint64_t incumbent = master.ExtractModel();
   uint64_t y0 = 0;
-  int best = SatOverallDist(psi, num_terms, incumbent, &y0);
+  int best = oracle.MaxDist(incumbent, &y0);
   ARBITER_CHECK(best >= 0);
   master.AddWitness(y0);
   ++result.iterations;
 
   // Tighten: look for x ⊨ μ with all witness distances <= best - 1.
+  // Blocked candidates with odist == best are kept aside; they belong
+  // to the result iff `best` never improves past them.
+  std::vector<uint64_t> ties;
   while (best > 0) {
     ++result.iterations;
     SolveStatus status =
@@ -125,37 +218,53 @@ CegarResult CegarMaxFitting(const Formula& psi, const Formula& mu,
     if (status != SolveStatus::kSat) break;  // best is optimal
     uint64_t candidate = master.ExtractModel();
     uint64_t y = 0;
-    int value = SatOverallDist(psi, num_terms, candidate, &y);
+    int value = oracle.MaxDist(candidate, &y);
     ARBITER_CHECK(value >= 0);
     if (value < best) {
       best = value;
       incumbent = candidate;
+      ties.clear();
     }
-    // dist(candidate, y) = value >= best, so the new counter excludes
-    // this candidate at every future threshold: guaranteed progress.
-    master.AddWitness(y);
+    if (static_cast<int>(master.counters.size()) < kMaxWitnesses) {
+      // dist(candidate, y) = value >= best, so the new counter excludes
+      // this candidate at every future threshold: guaranteed progress.
+      master.AddWitness(y);
+    } else {
+      if (value == best) ties.push_back(candidate);
+      if (!master.Block(candidate)) break;
+    }
   }
 
   result.optimal_value = best;
   result.optimal_model = incumbent;
 
-  // Enumerate all optimal models: candidates passing the witness
-  // bounds at k = best, verified (and either recorded or refuted) by
-  // the oracle.
-  std::vector<Lit> bounds = master.BoundAssumptions(best);
+  // Enumerate all optimal models: the stashed ties plus candidates
+  // passing the witness bounds at k = best, verified (recorded or
+  // blocked) by a single incremental oracle query each.  The threshold
+  // never moves again, so the witness bounds become unit clauses — the
+  // solver propagates them once instead of re-assuming them per solve.
+  result.models = std::move(ties);
+  auto freeze_bounds = [&master, best](size_t from) {
+    for (size_t i = from; i < master.counters.size(); ++i) {
+      if (best < master.counters[i]->size()) {
+        master.solver.AddUnit(master.counters[i]->AtMost(best));
+      }
+    }
+  };
+  freeze_bounds(0);
   while (static_cast<int64_t>(result.models.size()) <= max_models) {
     ++result.iterations;
-    if (master.solver.SolveAssuming(bounds) != SolveStatus::kSat) break;
+    if (master.solver.Solve() != SolveStatus::kSat) break;
     uint64_t candidate = master.ExtractModel();
     uint64_t y = 0;
-    int value = SatOverallDist(psi, num_terms, candidate, &y);
-    if (value <= best) {
+    if (!oracle.Exceeds(candidate, best, &y)) {
       result.models.push_back(candidate);
-      if (!master.Block(candidate)) break;
-    } else {
+    } else if (static_cast<int>(master.counters.size()) < kMaxWitnesses) {
+      const size_t from = master.counters.size();
       master.AddWitness(y);
-      bounds = master.BoundAssumptions(best);
+      freeze_bounds(from);
     }
+    if (!master.Block(candidate)) break;
   }
   if (static_cast<int64_t>(result.models.size()) > max_models) {
     result.models.resize(max_models);
@@ -166,9 +275,10 @@ CegarResult CegarMaxFitting(const Formula& psi, const Formula& mu,
 }
 
 CegarResult CegarMaxArbitration(const Formula& psi, const Formula& phi,
-                                int num_terms, int64_t max_models) {
+                                int num_terms, int64_t max_models,
+                                const std::vector<int64_t>& metric) {
   return CegarMaxFitting(Or(psi, phi), Formula::True(), num_terms,
-                         max_models);
+                         max_models, metric);
 }
 
 }  // namespace arbiter::solve

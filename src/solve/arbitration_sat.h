@@ -29,8 +29,11 @@ namespace arbiter::solve {
 /// odist(ψ, point) = max_{y ⊨ ψ} dist(point, y), computed by binary
 /// search with cardinality constraints.  Returns -1 if ψ is
 /// unsatisfiable.  If `witness` is non-null it receives a maximizing y.
+/// A non-empty `metric` switches to the weighted Hamming distance
+/// (per-atom weights, difference bits repeated weight-many times).
 int SatOverallDist(const Formula& psi, int num_terms, uint64_t point,
-                   uint64_t* witness = nullptr);
+                   uint64_t* witness = nullptr,
+                   const std::vector<int64_t>& metric = {});
 
 /// Outcome of a CEGAR min–max run.
 struct CegarResult {
@@ -47,12 +50,15 @@ struct CegarResult {
 
 /// Computes the paper's max-based model-fitting ψ ▷ μ by CEGAR
 /// (n <= 63 terms).  Enumerates up to `max_models` optimal models.
+/// A non-empty `metric` switches the distance to weighted Hamming.
 CegarResult CegarMaxFitting(const Formula& psi, const Formula& mu,
-                            int num_terms, int64_t max_models = 1024);
+                            int num_terms, int64_t max_models = 1024,
+                            const std::vector<int64_t>& metric = {});
 
 /// Arbitration ψ Δ φ = (ψ ∨ φ) ▷ ⊤ via CEGAR.
 CegarResult CegarMaxArbitration(const Formula& psi, const Formula& phi,
-                                int num_terms, int64_t max_models = 1024);
+                                int num_terms, int64_t max_models = 1024,
+                                const std::vector<int64_t>& metric = {});
 
 }  // namespace arbiter::solve
 

@@ -12,7 +12,8 @@ using sat::Solver;
 using sat::SolveStatus;
 
 SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
-                                 int num_terms, int64_t max_models) {
+                                 int num_terms, int64_t max_models,
+                                 const std::vector<int64_t>& metric) {
   ARBITER_CHECK(num_terms >= 1 && num_terms <= 63);
   SatRevisionResult result;
 
@@ -47,13 +48,15 @@ SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
   encoder.ReserveInputVars(2 * num_terms);
   encoder.Assert(mu);
   encoder.Assert(ShiftVars(psi, num_terms));
-  std::vector<Lit> diffs = MakeDiffBits(&solver, num_terms, num_terms);
+  std::vector<Lit> diffs = RepeatByWeights(
+      MakeDiffBits(&solver, num_terms, num_terms), metric);
   enc::Totalizer counter(&solver, diffs);
 
-  // Binary search the least k with a solution at distance <= k.
-  // Both inputs are satisfiable, so k = n always works.
+  // Binary search the least k with a solution at distance <= k.  Both
+  // inputs are satisfiable, so k = diameter (Σ weights) always works.
+  const int diameter = static_cast<int>(diffs.size());
   int lo = 0;
-  int hi = num_terms;
+  int hi = diameter;
   while (lo < hi) {
     int mid = (lo + hi) / 2;
     ++result.num_sat_calls;
@@ -68,7 +71,7 @@ SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
   result.min_distance = lo;
 
   // Freeze the optimum and enumerate result models projected onto x.
-  if (lo < num_terms) solver.AddUnit(counter.AtMost(lo));
+  if (lo < diameter) solver.AddUnit(counter.AtMost(lo));
   sat::AllSatOptions options;
   options.num_project = num_terms;
   options.max_models = max_models + 1;

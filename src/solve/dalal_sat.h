@@ -17,7 +17,7 @@ namespace arbiter::solve {
 
 /// Outcome of a SAT-based revision.
 struct SatRevisionResult {
-  /// Minimum distance between Mod(ψ) and Mod(μ); -1 if μ is
+  /// Minimum (metric) distance between Mod(ψ) and Mod(μ); -1 if μ is
   /// unsatisfiable, 0 with `psi_unsat` set if ψ is unsatisfiable
   /// (convention: result is Mod(μ)).
   int min_distance = -1;
@@ -33,8 +33,13 @@ struct SatRevisionResult {
 /// Computes Dalal's revision of ψ by μ over an n-term vocabulary
 /// (n <= 63) using CDCL + cardinality constraints only — no 2^n
 /// enumeration.  At most `max_models` result models are produced.
+/// A non-empty `metric` switches the distance to weighted Hamming
+/// with the given per-atom weights (each difference bit is repeated
+/// weight-many times into the cardinality counter, so keep Σ weights
+/// modest — the counter is quadratic).
 SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
-                                 int num_terms, int64_t max_models = 1024);
+                                 int num_terms, int64_t max_models = 1024,
+                                 const std::vector<int64_t>& metric = {});
 
 }  // namespace arbiter::solve
 

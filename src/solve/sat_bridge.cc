@@ -73,4 +73,17 @@ std::vector<sat::Lit> MakeConstDiffLits(int num_terms, uint64_t constant) {
   return lits;
 }
 
+std::vector<sat::Lit> RepeatByWeights(const std::vector<sat::Lit>& lits,
+                                      const std::vector<int64_t>& weights) {
+  if (weights.empty()) return lits;
+  std::vector<sat::Lit> out;
+  out.reserve(lits.size());
+  for (size_t i = 0; i < lits.size(); ++i) {
+    const int64_t w = i < weights.size() ? weights[i] : 1;
+    ARBITER_CHECK_MSG(w >= 0, "negative metric weight");
+    for (int64_t k = 0; k < w; ++k) out.push_back(lits[i]);
+  }
+  return out;
+}
+
 }  // namespace arbiter::solve

@@ -32,6 +32,16 @@ std::vector<sat::Lit> MakeDiffBits(sat::Solver* solver, int num_terms,
 /// No auxiliary variables needed.
 std::vector<sat::Lit> MakeConstDiffLits(int num_terms, uint64_t constant);
 
+/// Repeats lits[i] `weights[i]` times (entries beyond the weight
+/// vector repeat once; weight 0 drops the literal).  Feeding the
+/// result to a cardinality counter turns a unit-metric distance bound
+/// into a *weighted* Hamming bound — the trick that lets the SAT
+/// backends serve non-Dalal metrics.  Weights must be >= 0 and small
+/// (the totalizer is quadratic in its input size); callers enforce a
+/// budget before expanding.
+std::vector<sat::Lit> RepeatByWeights(const std::vector<sat::Lit>& lits,
+                                      const std::vector<int64_t>& weights);
+
 }  // namespace arbiter::solve
 
 #endif  // ARBITER_SOLVE_SAT_BRIDGE_H_

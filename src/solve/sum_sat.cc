@@ -1,0 +1,386 @@
+#include "solve/sum_sat.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "enc/tseitin.h"
+#include "sat/count.h"
+#include "solve/sat_bridge.h"
+#include "util/logging.h"
+
+namespace arbiter::solve {
+
+using sat::Lit;
+
+std::string Int128ToString(Int128 value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  // Negate via the unsigned type to survive Int128's minimum value.
+  unsigned __int128 magnitude =
+      negative ? static_cast<unsigned __int128>(-(value + 1)) + 1
+               : static_cast<unsigned __int128>(value);
+  std::string out;
+  while (magnitude != 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+    magnitude /= 10;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// DPLL branch-and-bound minimizing a linear objective over the inputs.
+///
+/// The admissible bound at any node is
+///   obj (true inputs so far)  +  Σ min(0, w_v) over unassigned inputs,
+/// maintained incrementally.  Pruning is strict (lb > best) when ties
+/// must be collected, non-strict (lb >= best) in value-only mode.
+struct LinearBnB {
+  const std::vector<std::vector<Lit>>& clauses;
+  const std::vector<Int128>& weights;
+  const int num_inputs;
+  const int64_t max_models;
+  const bool collect;
+
+  std::vector<int8_t> value;  // per var: -1 unassigned, else 0/1
+  std::vector<int> trail;
+  std::vector<int> input_order;  // inputs by |weight| descending
+  Int128 obj = 0;
+  Int128 neg_slack = 0;  // Σ min(0, w) over unassigned inputs
+
+  bool found = false;
+  Int128 best = 0;
+  std::vector<uint64_t> models;
+  bool truncated = false;
+  uint64_t steps_left;
+  uint64_t decisions = 0;
+  bool aborted = false;
+
+  LinearBnB(const sat::CnfFormula& cnf, int inputs,
+            const std::vector<Int128>& w, int64_t cap, uint64_t budget)
+      : clauses(cnf.clauses()),
+        weights(w),
+        num_inputs(inputs),
+        max_models(cap),
+        collect(inputs <= 63 && cap > 0),
+        value(cnf.NumVars(), -1),
+        steps_left(budget) {
+    input_order.reserve(num_inputs);
+    for (int v = 0; v < num_inputs; ++v) {
+      input_order.push_back(v);
+      if (weights[v] < 0) neg_slack += weights[v];
+    }
+    std::stable_sort(input_order.begin(), input_order.end(),
+                     [&](int a, int b) {
+                       Int128 wa = weights[a] < 0 ? -weights[a] : weights[a];
+                       Int128 wb = weights[b] < 0 ? -weights[b] : weights[b];
+                       return wa > wb;
+                     });
+  }
+
+  bool LitTrue(Lit lit) const {
+    return (value[lit.var()] == 1) != lit.negated();
+  }
+
+  void Assign(int var, bool to) {
+    value[var] = to ? 1 : 0;
+    trail.push_back(var);
+    if (var < num_inputs) {
+      if (weights[var] < 0) neg_slack -= weights[var];
+      if (to) obj += weights[var];
+    }
+  }
+
+  void UndoTo(size_t mark) {
+    while (trail.size() > mark) {
+      int var = trail.back();
+      trail.pop_back();
+      if (var < num_inputs) {
+        if (value[var] == 1) obj -= weights[var];
+        if (weights[var] < 0) neg_slack += weights[var];
+      }
+      value[var] = -1;
+    }
+  }
+
+  /// Unit propagation by repeated clause scan.  Returns false on
+  /// conflict (a clause with every literal false).
+  bool Propagate() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& clause : clauses) {
+        Lit unit(0, false);
+        int unassigned = 0;
+        bool satisfied = false;
+        for (Lit lit : clause) {
+          int8_t v = value[lit.var()];
+          if (v < 0) {
+            if (++unassigned >= 2) break;  // neither unit nor conflict
+            unit = lit;
+          } else if ((v == 1) != lit.negated()) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (satisfied || unassigned >= 2) continue;
+        if (unassigned == 0) return false;
+        Assign(unit.var(), !unit.negated());
+        changed = true;
+      }
+    }
+    return true;
+  }
+
+  bool AllClausesSatisfied() const {
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      for (Lit lit : clause) {
+        if (value[lit.var()] >= 0 && LitTrue(lit)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) return false;
+    }
+    return true;
+  }
+
+  int PickBranchVar() const {
+    for (int v : input_order) {
+      if (value[v] < 0) return v;
+    }
+    for (int v = num_inputs; v < static_cast<int>(value.size()); ++v) {
+      if (value[v] < 0) return v;
+    }
+    return -1;
+  }
+
+  uint64_t InputMask() const {
+    uint64_t mask = 0;
+    for (int v = 0; v < num_inputs; ++v) {
+      if (value[v] == 1) mask |= 1ULL << v;
+    }
+    return mask;
+  }
+
+  void RecordValue(Int128 candidate) {
+    if (!found || candidate < best) {
+      found = true;
+      best = candidate;
+    }
+  }
+
+  void RecordModel() {
+    if (!found || obj < best) {
+      found = true;
+      best = obj;
+      models.clear();
+      truncated = false;
+    } else if (obj > best) {
+      return;
+    }
+    if (static_cast<int64_t>(models.size()) >= max_models) {
+      truncated = true;
+      return;
+    }
+    models.push_back(InputMask());
+  }
+
+  void Search() {
+    if (aborted) return;
+    const size_t mark = trail.size();
+    if (!Propagate()) {
+      UndoTo(mark);
+      return;
+    }
+    if (found) {
+      const Int128 lb = obj + neg_slack;
+      const bool prune = collect ? (lb > best) : (lb >= best);
+      if (prune) {
+        UndoTo(mark);
+        return;
+      }
+    }
+    if (AllClausesSatisfied()) {
+      bool all_inputs_assigned = true;
+      for (int v = 0; v < num_inputs; ++v) {
+        if (value[v] < 0) {
+          all_inputs_assigned = false;
+          break;
+        }
+      }
+      if (!collect) {
+        // Every remaining input is free; the best completion sets
+        // exactly the negative-weight ones.
+        RecordValue(obj + neg_slack);
+        UndoTo(mark);
+        return;
+      }
+      if (all_inputs_assigned) {
+        RecordModel();
+        UndoTo(mark);
+        return;
+      }
+      // collect mode with free inputs: fall through and branch them so
+      // every optimal projection is materialized.
+    }
+    const int var = PickBranchVar();
+    if (var < 0) {
+      // All variables assigned without conflict: a full model.
+      if (collect) {
+        RecordModel();
+      } else {
+        RecordValue(obj);
+      }
+      UndoTo(mark);
+      return;
+    }
+    if (steps_left == 0) {
+      aborted = true;
+      UndoTo(mark);
+      return;
+    }
+    --steps_left;
+    ++decisions;
+    // Try the objective-friendly polarity first so the incumbent drops
+    // fast and the bound starts pruning early.
+    const bool prefer_true = var < num_inputs && weights[var] < 0;
+    for (int attempt = 0; attempt < 2 && !aborted; ++attempt) {
+      const size_t branch_mark = trail.size();
+      Assign(var, attempt == 0 ? prefer_true : !prefer_true);
+      Search();
+      UndoTo(branch_mark);
+    }
+    UndoTo(mark);
+  }
+};
+
+}  // namespace
+
+LinearMinResult MinimizeLinearOverCnf(const sat::CnfFormula& cnf,
+                                      int num_inputs,
+                                      const std::vector<Int128>& weights,
+                                      int64_t max_models,
+                                      uint64_t max_decisions) {
+  ARBITER_CHECK(num_inputs >= 0 && num_inputs <= cnf.NumVars());
+  ARBITER_CHECK(static_cast<int>(weights.size()) == num_inputs);
+  LinearMinResult result;
+  if (cnf.contradiction()) return result;
+
+  LinearBnB bnb(cnf, num_inputs, weights, max_models, max_decisions);
+  bnb.Search();
+  result.decisions = bnb.decisions;
+  if (bnb.aborted) {
+    result.completed = false;
+    return result;
+  }
+  result.sat = bnb.found;
+  if (!bnb.found) return result;
+  result.optimal = bnb.best;
+  result.truncated = bnb.truncated;
+  std::sort(bnb.models.begin(), bnb.models.end());
+  bnb.models.erase(std::unique(bnb.models.begin(), bnb.models.end()),
+                   bnb.models.end());
+  result.models = std::move(bnb.models);
+  return result;
+}
+
+const sat::ColumnCountResult* ColumnCountCache::Find(const Formula& psi,
+                                                     int num_terms) {
+  auto it = map_.find(psi.Hash());
+  if (it != map_.end()) {
+    for (const Entry& entry : it->second) {
+      if (entry.num_terms == num_terms && entry.psi.Equals(psi)) {
+        ++hits_;
+        return &entry.counts;
+      }
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void ColumnCountCache::Insert(const Formula& psi, int num_terms,
+                              sat::ColumnCountResult counts) {
+  map_[psi.Hash()].push_back(Entry{psi, num_terms, std::move(counts)});
+}
+
+SumFittingResult SatSumFitting(const Formula& psi, const Formula& mu,
+                               int num_terms, int64_t max_models,
+                               const std::vector<int64_t>& metric,
+                               ColumnCountCache* cache) {
+  ARBITER_CHECK(num_terms >= 1 && num_terms <= 120);
+  SumFittingResult result;
+
+  // μ first: unsatisfiable μ makes the fitting empty regardless of ψ.
+  // The CDCL check only covers vocabularies the solver handles; past
+  // that the optimizer's own unsat answer is authoritative.
+  if (num_terms <= 63 && !SatIsSatisfiable(mu, num_terms)) {
+    result.mu_unsat = true;
+    return result;
+  }
+
+  // One counting pass over ψ yields C = |Mod(ψ)| and the column
+  // tallies o_b, collapsing sdist into a linear objective over I.
+  sat::ColumnCountResult counts;
+  const sat::ColumnCountResult* cached =
+      cache != nullptr ? cache->Find(psi, num_terms) : nullptr;
+  if (cached != nullptr) {
+    counts = *cached;
+  } else {
+    sat::CnfFormula psi_cnf;
+    enc::TseitinEncoder psi_encoder(&psi_cnf);
+    psi_encoder.ReserveInputVars(num_terms);
+    psi_encoder.Assert(psi);
+    counts = sat::CountColumns(psi_cnf, num_terms);
+    if (cache != nullptr && counts.completed) {
+      cache->Insert(psi, num_terms, counts);
+    }
+  }
+  result.count_components = counts.components_solved;
+  result.count_cache_hits = counts.cache_hits;
+  if (!counts.completed) {
+    result.completed = false;
+    return result;
+  }
+  if (counts.total == 0) {
+    result.psi_unsat = true;  // (A2): Σ-fitting of unsat ψ is empty
+    return result;
+  }
+
+  const Int128 c = static_cast<Int128>(counts.total);
+  Int128 constant_part = 0;  // Σ_b m_b·o_b
+  std::vector<Int128> weights(num_terms);
+  for (int b = 0; b < num_terms; ++b) {
+    int64_t m = b < static_cast<int>(metric.size()) ? metric[b] : 1;
+    ARBITER_CHECK_MSG(m >= 0, "metric weights must be non-negative");
+    const Int128 ones = static_cast<Int128>(counts.ones[b]);
+    constant_part += static_cast<Int128>(m) * ones;
+    weights[b] = static_cast<Int128>(m) * (c - 2 * ones);
+  }
+
+  sat::CnfFormula mu_cnf;
+  enc::TseitinEncoder mu_encoder(&mu_cnf);
+  mu_encoder.ReserveInputVars(num_terms);
+  mu_encoder.Assert(mu);
+  LinearMinResult optimum = MinimizeLinearOverCnf(
+      mu_cnf, num_terms, weights, num_terms <= 63 ? max_models : 0);
+  if (!optimum.completed) {
+    result.completed = false;
+    return result;
+  }
+  if (!optimum.sat) {
+    result.mu_unsat = true;
+    return result;
+  }
+  result.optimal_decimal = Int128ToString(constant_part + optimum.optimal);
+  result.models = std::move(optimum.models);
+  result.truncated = optimum.truncated;
+  return result;
+}
+
+}  // namespace arbiter::solve

@@ -1,0 +1,129 @@
+#ifndef ARBITER_SOLVE_SUM_SAT_H_
+#define ARBITER_SOLVE_SUM_SAT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/formula.h"
+#include "sat/cnf.h"
+#include "sat/count.h"
+
+/// \file sum_sat.h
+/// Counting-based Σ-fitting: the scalable implementation of the
+/// paper's sdist (and metric-weighted wdist-with-unit-model-weights)
+/// argmin, with no enumeration of Mod(ψ) or Mod(μ).
+///
+/// The key identity (see sat/count.h): with C = |Mod(ψ)| and o_b the
+/// per-column true-counts of Mod(ψ),
+///
+///   sdist(ψ, I) = Σ_b m_b·o_b + Σ_b I_b · m_b·(C − 2·o_b),
+///
+/// a *linear* pseudo-Boolean objective over I.  So Σ-fitting is:
+///  1. count ψ's models and columns once (#SAT with component
+///     caching) — O(1) per candidate afterwards;
+///  2. minimize the linear objective over Mod(μ) with a DPLL
+///     branch-and-bound that collects *all* optima (ties kept), which
+///     is what makes the result bit-identical to the enumerating
+///     oracle.
+///
+/// Vocabulary bound: models are materialized as uint64 masks, so
+/// num_terms <= 63 for model extraction; the counting itself is exact
+/// to ~120 atoms (unsigned __int128).
+
+namespace arbiter::solve {
+
+/// Signed 128-bit integers carry the objective: column counts reach
+/// 2^n for n up to ~120 atoms, past what int64 holds.
+using Int128 = __int128;
+
+/// Decimal rendering of an Int128 (for reports and goldens).
+std::string Int128ToString(Int128 value);
+
+/// Minimizes  Σ_{v < num_inputs, v true} weights[v]  over the models
+/// of `cnf`, collecting every input-projection that attains the
+/// minimum.  `weights` has one entry per input (may be negative —
+/// that's how the column identity arrives).  When num_inputs <= 63,
+/// all optimal projections are collected up to `max_models`
+/// (`truncated` beyond that); for larger vocabularies only the
+/// optimal value is computed and `models` stays empty.
+struct LinearMinResult {
+  bool sat = false;
+  /// False if the decision budget ran out (treat as failure).
+  bool completed = true;
+  /// The minimal objective value (valid when sat).
+  Int128 optimal = 0;
+  /// All optimal models projected onto the inputs (sorted, deduped);
+  /// only populated when num_inputs <= 63.
+  std::vector<uint64_t> models;
+  bool truncated = false;
+  uint64_t decisions = 0;
+};
+
+LinearMinResult MinimizeLinearOverCnf(const sat::CnfFormula& cnf,
+                                      int num_inputs,
+                                      const std::vector<Int128>& weights,
+                                      int64_t max_models,
+                                      uint64_t max_decisions = 1ull << 24);
+
+/// Memo for ψ's column counts across repeated fittings against the
+/// same belief base (the expensive half of Σ-fitting is the #SAT pass
+/// over ψ; the μ-side optimization is different every call).  Keyed on
+/// structural formula equality plus the vocabulary size.
+class ColumnCountCache {
+ public:
+  /// Returns the cached counts for (psi, num_terms), or nullptr.
+  const sat::ColumnCountResult* Find(const Formula& psi, int num_terms);
+
+  void Insert(const Formula& psi, int num_terms,
+              sat::ColumnCountResult counts);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    Formula psi;
+    int num_terms;
+    sat::ColumnCountResult counts;
+  };
+  /// Structural hash → entries (chained to survive collisions).
+  std::unordered_map<uint64_t, std::vector<Entry>> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Outcome of a counting-backed Σ-fitting run.
+struct SumFittingResult {
+  bool psi_unsat = false;
+  bool mu_unsat = false;
+  /// False if a counting/optimization budget was exhausted.
+  bool completed = true;
+  /// sdist value at the argmin, as a decimal string (the aggregate can
+  /// exceed 64 bits: |Mod(ψ)| alone may be 2^60).  Empty when the
+  /// result is empty.
+  std::string optimal_decimal;
+  /// All models of ψ ▷_Σ μ (sorted), capped at max_models.
+  std::vector<uint64_t> models;
+  bool truncated = false;
+  /// #SAT statistics for benchmarks.
+  uint64_t count_components = 0;
+  uint64_t count_cache_hits = 0;
+};
+
+/// Computes Σ-fitting ψ ▷ μ = argmin_{x ⊨ μ} sdist(ψ, x) over an
+/// n-term vocabulary (n <= 120; models are only collected for n <= 63,
+/// past that only the optimum is reported) by column counting + linear
+/// branch-and-bound.  Edge conventions match SumFitting: ψ or μ
+/// unsatisfiable ⇒ empty result.  A non-empty `metric` weights the
+/// per-atom distances (sdist becomes the metric-weighted sum).  An
+/// optional `cache` memoizes ψ's column counts across calls.
+SumFittingResult SatSumFitting(const Formula& psi, const Formula& mu,
+                               int num_terms, int64_t max_models = 1024,
+                               const std::vector<int64_t>& metric = {},
+                               ColumnCountCache* cache = nullptr);
+
+}  // namespace arbiter::solve
+
+#endif  // ARBITER_SOLVE_SUM_SAT_H_

@@ -6,11 +6,17 @@
 #include "change/update.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
+#include "solve/sat_bridge.h"
 #include "util/string_util.h"
 
 namespace arbiter {
 
 namespace {
+
+/// Largest exact result a backend-served Apply may produce: the store
+/// holds results as formulas built from their models, so a truncated
+/// model list would silently change the base's meaning.
+constexpr int64_t kStoreBackendMaxModels = 4096;
 
 /// Journal payloads are persisted one per line; the parser treats all
 /// whitespace alike, so flattening embedded line breaks preserves the
@@ -25,16 +31,87 @@ std::string SingleLine(const std::string& text) {
 
 }  // namespace
 
+int BeliefStore::CapacityLimit() const {
+  // The enum backend materializes 2^n interpretations; the counting
+  // backend only needs model masks to fit in a uint64.
+  return backend_name_ == "enum" ? kMaxEnumTerms : kMaxVocabularyTerms - 1;
+}
+
 Result<Formula> BeliefStore::ParseValidated(const std::string& text,
-                                            Vocabulary* scratch) {
+                                            Vocabulary* scratch) const {
   Result<Formula> f = Parse(text, scratch);
   if (!f.ok()) return f;
-  if (scratch->size() > kMaxEnumTerms) {
+  if (scratch->size() > CapacityLimit()) {
+    if (backend_name_ == "enum") {
+      return Status::CapacityExceeded(
+          "store vocabulary exceeds the enumeration limit (" +
+          std::to_string(kMaxEnumTerms) +
+          " terms); select the counting backend to go further");
+    }
     return Status::CapacityExceeded(
-        "store vocabulary exceeds the enumeration limit (" +
-        std::to_string(kMaxEnumTerms) + " terms)");
+        "store vocabulary exceeds the " + backend_name_ +
+        " backend limit (" + std::to_string(CapacityLimit()) + " terms)");
   }
   return f;
+}
+
+Status BeliefStore::SetBackend(const std::string& name) {
+  Result<std::shared_ptr<DistanceBackend>> backend =
+      MakeDistanceBackend(name);
+  if (!backend.ok()) return backend.status();
+  const int new_limit =
+      name == "enum" ? kMaxEnumTerms : kMaxVocabularyTerms - 1;
+  if (vocab_.size() > new_limit) {
+    return Status::InvalidArgument(
+        "cannot select backend \"" + name + "\": vocabulary already has " +
+        std::to_string(vocab_.size()) + " terms (limit " +
+        std::to_string(new_limit) + ")");
+  }
+  backend_name_ = name;
+  backend_ = name == "enum" ? nullptr : *std::move(backend);
+  return Status::OK();
+}
+
+Status BeliefStore::SetWeight(const std::string& term, int64_t weight) {
+  if (weight < 0) {
+    return Status::InvalidArgument("metric weights must be >= 0, got " +
+                                   std::to_string(weight));
+  }
+  Vocabulary scratch = vocab_;
+  Result<int> index = scratch.GetOrAddTerm(term);
+  if (!index.ok()) return index.status();
+  if (scratch.size() > CapacityLimit()) {
+    return Status::CapacityExceeded(
+        "cannot register weighted term \"" + term +
+        "\": vocabulary limit is " + std::to_string(CapacityLimit()));
+  }
+  vocab_ = std::move(scratch);
+  weights_[term] = weight;
+  return Status::OK();
+}
+
+std::vector<int64_t> BeliefStore::MetricVector() const {
+  return MetricVectorFor(vocab_);
+}
+
+std::vector<int64_t> BeliefStore::MetricVectorFor(
+    const Vocabulary& vocab) const {
+  if (weights_.empty()) return {};
+  std::vector<int64_t> metric(vocab.size(), 1);
+  for (const auto& [term, weight] : weights_) {
+    Result<int> index = vocab.Lookup(term);
+    // Weighted terms are registered at SetWeight time; a scratch vocab
+    // derived from vocab_ therefore always contains them.
+    if (index.ok()) metric[*index] = weight;
+  }
+  return metric;
+}
+
+bool BeliefStore::IsSatisfiable(const Formula& f) const {
+  if (vocab_.size() <= kMaxEnumTerms) {
+    return !ModelSet::FromFormula(f, vocab_.size()).empty();
+  }
+  return solve::SatIsSatisfiable(f, vocab_.size());
 }
 
 Result<const BeliefStore::Entry*> BeliefStore::Find(
@@ -82,6 +159,12 @@ std::vector<std::string> BeliefStore::Names() const {
 Result<KnowledgeBase> BeliefStore::Get(const std::string& name) const {
   Result<const Entry*> entry = Find(name);
   if (!entry.ok()) return entry.status();
+  if (vocab_.size() > kMaxEnumTerms) {
+    return Status::CapacityExceeded(
+        "Get materializes the model set, which needs <= " +
+        std::to_string(kMaxEnumTerms) +
+        " terms; use Entails/ConsistentWith/EquivalentTo instead");
+  }
   return KnowledgeBase((*entry)->formula, vocab_.size());
 }
 
@@ -92,21 +175,58 @@ Status BeliefStore::Apply(const std::string& target,
   if (it == bases_.end()) {
     return Status::NotFound("no belief base named \"" + target + "\"");
   }
-  auto op = MakeOperator(op_name);
-  if (!op.ok()) return op.status();
   Vocabulary scratch = vocab_;
   Result<Formula> evidence = ParseValidated(evidence_text, &scratch);
   if (!evidence.ok()) return evidence.status();
+  const std::vector<int64_t> metric = MetricVectorFor(scratch);
 
   Entry& entry = it->second;
-  KnowledgeBase current(entry.formula, scratch.size());
-  KnowledgeBase mu(*evidence, scratch.size());
-  KnowledgeBase changed = (*op)->Apply(current, mu);
+  // Within the enumeration limit the registry operators are the
+  // reference path; the registry metric overload handles weights.
+  auto enumerate_apply = [&]() -> Result<Formula> {
+    auto op = MakeOperator(op_name, metric);
+    if (!op.ok()) return op.status();
+    KnowledgeBase current(entry.formula, scratch.size());
+    KnowledgeBase mu(*evidence, scratch.size());
+    return (*op)->Apply(current, mu).formula();
+  };
+
+  Result<Formula> changed = Status::Internal("unset");
+  if (backend_name_ == "enum") {
+    changed = enumerate_apply();
+  } else {
+    Result<BackendOperatorSpec> spec = BackendOperatorFor(op_name, metric);
+    if (spec.ok() && scratch.size() > 0) {
+      ARBITER_CHECK(backend_ != nullptr);
+      const Formula psi = spec->arbitration
+                              ? Or(entry.formula, *evidence)
+                              : entry.formula;
+      const Formula mu =
+          spec->arbitration ? Formula::True() : *evidence;
+      Result<DistanceChangeResult> result = backend_->Change(
+          spec->semantics, psi, mu, scratch.size(), kStoreBackendMaxModels);
+      if (!result.ok()) return result.status();
+      if (result->truncated || result->models_omitted) {
+        return Status::CapacityExceeded(
+            "change result exceeds " +
+            std::to_string(kStoreBackendMaxModels) +
+            " models; the store must hold the exact result");
+      }
+      changed = result->models.ToFormula();
+    } else if (scratch.size() <= kMaxEnumTerms) {
+      // Non-distance operators (updates, set-theoretic revisions) keep
+      // enumerating while the vocabulary permits it.
+      changed = enumerate_apply();
+    } else {
+      return spec.status();
+    }
+  }
+  if (!changed.ok()) return changed.status();
   // Commit point: vocabulary, journal, and formula move together.
   vocab_ = std::move(scratch);
   entry.undo_stack.push_back(entry.formula);
   entry.journal.push_back(ChangeRecord{op_name, evidence_text});
-  entry.formula = changed.formula();
+  entry.formula = *changed;
   return Status::OK();
 }
 
@@ -148,6 +268,10 @@ Result<bool> BeliefStore::Entails(const std::string& name,
   if (!f.ok()) return f.status();
   vocab_ = std::move(scratch);
   // The base is evaluated over the (possibly grown) vocabulary.
+  if (vocab_.size() > kMaxEnumTerms) {
+    // base ⊨ f  ⟺  base ∧ ¬f is unsatisfiable.
+    return !IsSatisfiable(And((*entry)->formula, Not(*f)));
+  }
   KnowledgeBase base((*entry)->formula, vocab_.size());
   KnowledgeBase query(*f, vocab_.size());
   return base.Implies(query);
@@ -161,9 +285,30 @@ Result<bool> BeliefStore::ConsistentWith(const std::string& name,
   Result<Formula> f = ParseValidated(formula_text, &scratch);
   if (!f.ok()) return f.status();
   vocab_ = std::move(scratch);
+  if (vocab_.size() > kMaxEnumTerms) {
+    return IsSatisfiable(And((*entry)->formula, *f));
+  }
   KnowledgeBase base((*entry)->formula, vocab_.size());
   KnowledgeBase query(*f, vocab_.size());
   return !base.models().Intersect(query.models()).empty();
+}
+
+Result<bool> BeliefStore::EquivalentTo(const std::string& name,
+                                       const std::string& formula_text) {
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  Vocabulary scratch = vocab_;
+  Result<Formula> f = ParseValidated(formula_text, &scratch);
+  if (!f.ok()) return f.status();
+  vocab_ = std::move(scratch);
+  if (vocab_.size() > kMaxEnumTerms) {
+    // Equivalence as two unsatisfiability checks.
+    return !IsSatisfiable(And((*entry)->formula, Not(*f))) &&
+           !IsSatisfiable(And(Not((*entry)->formula), *f));
+  }
+  KnowledgeBase base((*entry)->formula, vocab_.size());
+  KnowledgeBase query(*f, vocab_.size());
+  return base.EquivalentTo(query);
 }
 
 Result<bool> BeliefStore::Counterfactual(
@@ -176,6 +321,12 @@ Result<bool> BeliefStore::Counterfactual(
   if (!antecedent.ok()) return antecedent.status();
   Result<Formula> consequent = ParseValidated(consequent_text, &scratch);
   if (!consequent.ok()) return consequent.status();
+  if (scratch.size() > kMaxEnumTerms) {
+    return Status::CapacityExceeded(
+        "counterfactual update is pointwise over interpretations and "
+        "needs <= " +
+        std::to_string(kMaxEnumTerms) + " terms");
+  }
   vocab_ = std::move(scratch);
   KnowledgeBase base((*entry)->formula, vocab_.size());
   KnowledgeBase mu(*antecedent, vocab_.size());
@@ -189,6 +340,13 @@ std::string BeliefStore::Save() const {
   out += "vocab";
   for (const std::string& name : vocab_.names()) out += " " + name;
   out += "\n";
+  // Backend and metric lines precede the bases so Load applies the
+  // right capacity limit while parsing them.  The default backend and
+  // unit weights are elided (older files stay loadable unchanged).
+  if (backend_name_ != "enum") out += "backend " + backend_name_ + "\n";
+  for (const auto& [term, weight] : weights_) {
+    out += "weight " + term + " " + std::to_string(weight) + "\n";
+  }
   for (const auto& [name, entry] : bases_) {
     out += "base " + name + " := " + ToString(entry.formula, vocab_) + "\n";
     // Undo stack and journal are persisted verbatim (oldest first)
@@ -225,6 +383,23 @@ Result<BeliefStore> BeliefStore::Load(const std::string& text) {
       }
       continue;
     }
+    if (line.rfind("backend ", 0) == 0) {
+      ARBITER_RETURN_NOT_OK(store.SetBackend(Trim(line.substr(8))));
+      continue;
+    }
+    if (line.rfind("weight ", 0) == 0) {
+      // "weight <term> <integer>"
+      std::vector<std::string> parts = Split(Trim(line.substr(7)), ' ');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument("malformed weight line: " + line);
+      }
+      int64_t weight = 0;
+      if (!ParseInt64(parts[1], &weight)) {
+        return Status::InvalidArgument("malformed weight line: " + line);
+      }
+      ARBITER_RETURN_NOT_OK(store.SetWeight(parts[0], weight));
+      continue;
+    }
     if (line.rfind("base ", 0) == 0) {
       size_t assign = line.find(" := ");
       if (assign == std::string::npos) {
@@ -252,7 +427,7 @@ Result<BeliefStore> BeliefStore::Load(const std::string& text) {
       }
       Vocabulary scratch = store.vocab_;
       Result<Formula> previous =
-          ParseValidated(line.substr(assign + 4), &scratch);
+          store.ParseValidated(line.substr(assign + 4), &scratch);
       if (!previous.ok()) return previous.status();
       store.vocab_ = std::move(scratch);
       it->second.undo_stack.push_back(*previous);
@@ -281,7 +456,7 @@ Result<BeliefStore> BeliefStore::Load(const std::string& text) {
       auto op = MakeOperator(op_name);
       if (!op.ok()) return op.status();
       Vocabulary scratch = store.vocab_;
-      Result<Formula> parsed = ParseValidated(evidence, &scratch);
+      Result<Formula> parsed = store.ParseValidated(evidence, &scratch);
       if (!parsed.ok()) return parsed.status();
       store.vocab_ = std::move(scratch);
       it->second.journal.push_back(ChangeRecord{op_name, evidence});
@@ -303,9 +478,14 @@ Result<BeliefStore> BeliefStore::Load(const std::string& text) {
 std::string BeliefStore::Dump() const {
   std::string out;
   for (const auto& [name, entry] : bases_) {
-    KnowledgeBase kb(entry.formula, vocab_.size());
     out += name + " := " + ToString(entry.formula, vocab_) + "\n";
-    out += "  models: " + kb.models().ToString(vocab_) + "\n";
+    if (vocab_.size() <= kMaxEnumTerms) {
+      KnowledgeBase kb(entry.formula, vocab_.size());
+      out += "  models: " + kb.models().ToString(vocab_) + "\n";
+    } else {
+      out += "  models: (not enumerated: " +
+             std::to_string(vocab_.size()) + " terms)\n";
+    }
     if (!entry.journal.empty()) {
       out += "  history:";
       for (const ChangeRecord& record : entry.journal) {

@@ -1,10 +1,13 @@
 #ifndef ARBITER_STORE_BELIEF_STORE_H_
 #define ARBITER_STORE_BELIEF_STORE_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "change/backend.h"
 #include "kb/knowledge_base.h"
 #include "logic/vocabulary.h"
 #include "util/status.h"
@@ -26,6 +29,22 @@
 /// earlier are transparently re-evaluated over the grown vocabulary
 /// (their formulas don't mention the new terms, so their models simply
 /// leave them free).
+///
+/// ## Distance backends and metrics
+///
+/// Each store owns a distance backend (change/backend.h) selecting how
+/// distance-based operators are computed.  The default "enum" backend
+/// enumerates interpretations and caps the vocabulary at kMaxEnumTerms
+/// (24) terms.  Selecting "counting" (`SetBackend("counting")`, or
+/// `set backend counting` in a belief script) lifts the cap to 63
+/// terms: distance operators (dalal, revesz-max, revesz-sum,
+/// arbitration-max/-sum) run via SAT/#SAT, and entailment/consistency
+/// queries switch to CDCL past the enumeration limit.  Non-distance
+/// operators still enumerate and stay capped at 24 terms.
+///
+/// Per-atom metric weights (`SetWeight("S", 3)`, or `set weight S 3`)
+/// turn every distance into the weighted Hamming metric; operators
+/// that cannot honor a non-unit metric fail loudly.
 ///
 /// ## Failure semantics (strong error guarantee)
 ///
@@ -56,6 +75,28 @@ class BeliefStore {
   BeliefStore() = default;
 
   const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Selects the distance backend ("enum" or "counting").  Fails with
+  /// kNotFound for unknown names and kInvalidArgument if the current
+  /// vocabulary already exceeds the new backend's capacity.
+  Status SetBackend(const std::string& name);
+
+  /// The selected backend's registry name ("enum" by default).
+  const std::string& backend_name() const { return backend_name_; }
+
+  /// Sets the metric weight of a term (registering the term if new).
+  /// Weights must be >= 0; unset terms weigh 1.
+  Status SetWeight(const std::string& term, int64_t weight);
+
+  /// The explicitly-set weights, by term name.
+  const std::map<std::string, int64_t>& weights() const { return weights_; }
+
+  /// Per-index metric vector over the current vocabulary; empty when no
+  /// weight was ever set (the unit/Dalal metric).
+  std::vector<int64_t> MetricVector() const;
+
+  /// Largest vocabulary the selected backend supports.
+  int CapacityLimit() const;
 
   /// Defines (or redefines) a named base from formula text.
   /// Redefinition clears the base's history.
@@ -90,13 +131,20 @@ class BeliefStore {
   /// The journal of a base, oldest first.
   std::vector<ChangeRecord> History(const std::string& name) const;
 
-  /// Semantic entailment: does the base imply the formula?
+  /// Semantic entailment: does the base imply the formula?  Enumerates
+  /// up to kMaxEnumTerms; decided by CDCL past that (counting backend).
   Result<bool> Entails(const std::string& name,
                        const std::string& formula_text);
 
-  /// Consistency: is base ∧ formula satisfiable?
+  /// Consistency: is base ∧ formula satisfiable?  Same dual-path rule
+  /// as Entails.
   Result<bool> ConsistentWith(const std::string& name,
                               const std::string& formula_text);
+
+  /// Logical equivalence of the base and the formula.  Same dual-path
+  /// rule as Entails.
+  Result<bool> EquivalentTo(const std::string& name,
+                            const std::string& formula_text);
 
   /// KM counterfactual via update (the Ramsey test): "if `antecedent`
   /// were made true, would `consequent` hold?" — evaluated as
@@ -132,14 +180,24 @@ class BeliefStore {
   };
 
   /// Parses `text` against `*scratch` (a copy of vocab_) and validates
-  /// the enumeration capacity.  Callers commit the scratch vocabulary
+  /// the backend's capacity.  Callers commit the scratch vocabulary
   /// back into the store only once the whole operation has succeeded.
-  static Result<Formula> ParseValidated(const std::string& text,
-                                        Vocabulary* scratch);
+  Result<Formula> ParseValidated(const std::string& text,
+                                 Vocabulary* scratch) const;
   Result<const Entry*> Find(const std::string& name) const;
+
+  /// MetricVector over an arbitrary (scratch) vocabulary.
+  std::vector<int64_t> MetricVectorFor(const Vocabulary& vocab) const;
+
+  /// Satisfiability of `f` over the current vocabulary, routed by size:
+  /// enumeration within kMaxEnumTerms, CDCL beyond.
+  bool IsSatisfiable(const Formula& f) const;
 
   Vocabulary vocab_;
   std::map<std::string, Entry> bases_;
+  std::string backend_name_ = "enum";
+  std::shared_ptr<DistanceBackend> backend_;
+  std::map<std::string, int64_t> weights_;
 };
 
 }  // namespace arbiter

@@ -86,6 +86,31 @@ Result<ScriptStatement> ParseAfterKeyword(const std::string& keyword,
     }
     return stmt;
   }
+  if (keyword == "set") {
+    // set backend <name>  |  set weight <term> <integer>
+    std::string what;
+    if (!EatWord(&rest, &what)) {
+      return err("expected 'backend' or 'weight' after 'set'");
+    }
+    if (what == "backend") {
+      if (!EatWord(&rest, &stmt.formula)) return err("expected backend name");
+      if (!rest.empty()) return err("trailing input after backend name");
+      stmt.kind = ScriptStatement::Kind::kSetBackend;
+      return stmt;
+    }
+    if (what == "weight") {
+      if (!EatWord(&rest, &stmt.base)) return err("expected term name");
+      if (!EatWord(&rest, &stmt.formula)) return err("expected a weight");
+      if (!rest.empty()) return err("trailing input after weight");
+      int64_t weight = 0;
+      if (!ParseInt64(stmt.formula, &weight)) {
+        return err("weight must be an integer, got '" + stmt.formula + "'");
+      }
+      stmt.kind = ScriptStatement::Kind::kSetWeight;
+      return stmt;
+    }
+    return err("unknown set target '" + what + "' (backend | weight)");
+  }
   if (keyword == "if") {
     // if <base> entails <formula> then <statement>
     if (!EatWord(&rest, &stmt.base)) return err("expected base name");
@@ -138,6 +163,10 @@ std::string RenderStatement(const ScriptStatement& stmt) {
     case ScriptStatement::Kind::kConditional:
       return "if " + stmt.base + " entails " + stmt.formula + " then " +
              RenderStatement(stmt.inner[0]);
+    case ScriptStatement::Kind::kSetBackend:
+      return "set backend " + stmt.formula;
+    case ScriptStatement::Kind::kSetWeight:
+      return "set weight " + stmt.base + " " + stmt.formula;
   }
   return "?";
 }
@@ -186,21 +215,9 @@ bool Execute(const ScriptStatement& stmt, BeliefStore* store,
       } else if (stmt.kind == ScriptStatement::Kind::kAssertConsistent) {
         held = store->ConsistentWith(stmt.base, stmt.formula);
       } else {
-        // Equivalence: compare model sets via a scratch copy of the
-        // store, so parsing the right-hand side cannot disturb it.
-        BeliefStore scratch = *store;
-        Status defined = scratch.Define("__rhs", stmt.formula);
-        if (!defined.ok()) {
-          held = defined;
-        } else {
-          Result<KnowledgeBase> lhs = scratch.Get(stmt.base);
-          Result<KnowledgeBase> rhs = scratch.Get("__rhs");
-          if (lhs.ok() && rhs.ok()) {
-            held = lhs->EquivalentTo(*rhs);
-          } else {
-            held = lhs.ok() ? rhs.status() : lhs.status();
-          }
-        }
+        // Backend-aware equivalence (enumerates within kMaxEnumTerms,
+        // CDCL beyond).
+        held = store->EquivalentTo(stmt.base, stmt.formula);
       }
       if (!held.ok()) return hard_error(held.status());
       step.ok = *held;
@@ -208,6 +225,25 @@ bool Execute(const ScriptStatement& stmt, BeliefStore* store,
         step.detail = "assertion failed";
         ++report->failures;
       }
+      break;
+    }
+    case ScriptStatement::Kind::kSetBackend: {
+      Status status = store->SetBackend(stmt.formula);
+      if (!status.ok()) return hard_error(status);
+      step.ok = true;
+      break;
+    }
+    case ScriptStatement::Kind::kSetWeight: {
+      int64_t weight = 0;
+      // Validated at parse time; re-parsed here to keep the statement
+      // a plain value type.
+      if (!ParseInt64(stmt.formula, &weight)) {
+        return hard_error(Status::InvalidArgument(
+            "weight must be an integer, got '" + stmt.formula + "'"));
+      }
+      Status status = store->SetWeight(stmt.base, weight);
+      if (!status.ok()) return hard_error(status);
+      step.ok = true;
       break;
     }
     case ScriptStatement::Kind::kConditional: {

@@ -19,6 +19,12 @@
 ///   assert <base> consistent-with <formula>
 ///   assert <base> equivalent-to <formula>
 ///   if <base> entails <formula> then <statement>
+///   set backend <name>
+///   set weight <term> <integer>
+///
+/// `set backend` selects the store's distance backend ("enum" or
+/// "counting"); `set weight` assigns a per-term metric weight (the
+/// distance becomes weighted Hamming).
 ///
 /// Scripts parse to a statement list and run against a store; the run
 /// report records each executed statement, failed assertions, and
@@ -37,12 +43,15 @@ struct ScriptStatement {
     kAssertConsistent,
     kAssertEquivalent,
     kConditional,
+    kSetBackend,
+    kSetWeight,
   };
   Kind kind;
   int line = 0;           ///< 1-based source line
-  std::string base;       ///< target base name
+  std::string base;       ///< target base name; kSetWeight: the term
   std::string op_name;    ///< kChange only
-  std::string formula;    ///< payload formula text
+  std::string formula;    ///< payload formula text; kSetBackend: the
+                          ///< backend name; kSetWeight: the weight
   /// kConditional: the guard is (base entails formula); `inner` holds
   /// the guarded statement.
   std::vector<ScriptStatement> inner;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "change/backend.h"
 #include "change/commutative.h"
 #include "change/fitting.h"
 #include "change/registry.h"
 #include "change/weighted.h"
+#include "logic/parser.h"
 #include "lint/flow_checks.h"
 #include "lint/lint.h"
 #include "model/distance.h"
@@ -165,6 +167,70 @@ void CheckKernels(CaseContext* ctx, Rng* rng, const ModelSet& psi,
     ctx->Check(SumFitting().Change(psi, mu) == ref_sum_fit,
                "kernel/sum-fitting@t" + std::to_string(threads),
                "psi=" + psi.ToString() + " mu=" + mu.ToString());
+  }
+}
+
+/// Cross-checks the counting backend against the enumerating oracle on
+/// a random formula pair: min/max/Σ aggregation, unit and weighted
+/// metrics, every configured thread count.  Bit-identical means equal
+/// model sets, equal optimal-distance strings, and equal flags.
+void CheckBackends(CaseContext* ctx, Rng* rng, const Vocabulary& vocab,
+                   const std::vector<int>& thread_counts) {
+  Vocabulary scratch = vocab;
+  const std::string psi_text = RandomFormulaText(rng, scratch, 4);
+  const std::string mu_text = RandomFormulaText(rng, scratch, 4);
+  const Result<Formula> psi = Parse(psi_text, &scratch);
+  const Result<Formula> mu = Parse(mu_text, &scratch);
+  ctx->Check(psi.ok() && mu.ok(), "backend/generator-parse",
+             psi_text + " | " + mu_text);
+  if (!psi.ok() || !mu.ok()) return;
+  const int n = vocab.size();
+
+  // Half the cases run weighted: the metric reshapes every aggregate
+  // and sends the counting backend down its weighted encodings.
+  std::vector<int64_t> metric;
+  if (rng->NextBelow(2) == 1) {
+    metric.resize(n);
+    for (int b = 0; b < n; ++b) {
+      metric[b] = static_cast<int64_t>(rng->NextBelow(5)) + 1;
+    }
+  }
+  const std::vector<std::pair<std::string, DistanceSemantics>> semantics = {
+      {"min", MinSemantics(metric)},
+      {"max", MaxSemantics(metric)},
+      {"sum", SumSemantics(metric)},
+  };
+
+  const auto oracle = MakeEnumeratingBackend();
+  const auto counting = MakeCountingBackend();
+  constexpr int64_t kMaxModels = int64_t{1} << 20;
+  ThreadCountGuard guard;
+  for (const auto& [name, sem] : semantics) {
+    // The counting backend is serial SAT code — one run suffices.  The
+    // enumerating side's argmin scan goes through the thread pool, so
+    // that is the side swept over thread counts.
+    const Result<DistanceChangeResult> got =
+        counting->Change(sem, *psi, *mu, n, kMaxModels);
+    ctx->Check(got.ok(), "backend/counting-" + name,
+               psi_text + " |> " + mu_text + ": " + got.status().ToString());
+    if (!got.ok()) continue;
+    for (int threads : thread_counts) {
+      ThreadPool::Instance().SetNumThreads(threads);
+      const Result<DistanceChangeResult> ref =
+          oracle->Change(sem, *psi, *mu, n, kMaxModels);
+      ctx->Check(ref.ok(), "backend/enum-" + name,
+                 psi_text + " |> " + mu_text + ": " +
+                     ref.status().ToString());
+      if (!ref.ok()) continue;
+      ctx->Check(got->models == ref->models && got->optimal == ref->optimal &&
+                     got->truncated == ref->truncated &&
+                     got->models_omitted == ref->models_omitted,
+                 "backend/" + name + "@t" + std::to_string(threads),
+                 psi_text + " |> " + mu_text + ": enum={" +
+                     ref->models.ToString() + " d=" + ref->optimal +
+                     "} counting={" + got->models.ToString() +
+                     " d=" + got->optimal + "}");
+    }
   }
 }
 
@@ -528,6 +594,12 @@ DifferentialReport RunDifferentialFuzz(const DifferentialOptions& options) {
       if (options.check_kernels) {
         CheckKernels(&ctx, &rng, psi, mu, options.thread_counts);
       }
+      if (options.check_backends) {
+        // The same wide space stresses the counting backend's CEGAR /
+        // branch-and-bound paths well past the toy vocabularies.
+        CheckBackends(&ctx, &rng, Vocabulary::Synthetic(n),
+                      options.thread_counts);
+      }
       ++report.cases_run;
       continue;
     }
@@ -540,6 +612,9 @@ DifferentialReport RunDifferentialFuzz(const DifferentialOptions& options) {
 
     if (options.check_kernels) {
       CheckKernels(&ctx, &rng, psi, mu, options.thread_counts);
+    }
+    if (options.check_backends) {
+      CheckBackends(&ctx, &rng, vocab, options.thread_counts);
     }
     if (options.check_representation) {
       CheckRepresentationTheorems(&ctx, psi, mu);

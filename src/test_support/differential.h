@@ -29,6 +29,11 @@
 ///  * **Commutativity** — every registered arbitration-family operator
 ///    and the weighted arbitration satisfy ψ Δ φ ≡ φ Δ ψ (the A7-side
 ///    symmetry).
+///  * **Backends** — the counting `DistanceBackend` (SAT/#SAT argmins)
+///    vs the enumerating oracle on random formula pairs: the model
+///    sets, optimal-distance strings, and truncation flags must be
+///    bit-identical for min/max/Σ aggregation under unit and random
+///    weighted metrics, at every configured thread count.
 ///  * **Store** — random op scripts with injected failures: any op that
 ///    returns non-OK must leave the store byte-identical (strong error
 ///    guarantee), and Save → Load → replay must reproduce the store
@@ -70,6 +75,7 @@ struct DifferentialOptions {
   std::vector<int> thread_counts = {1, 2, 7};
 
   bool check_kernels = true;
+  bool check_backends = true;
   bool check_representation = true;
   bool check_weighted = true;
   bool check_commutativity = true;

@@ -42,4 +42,23 @@ bool IsIdentCont(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
 }
 
+bool ParseInt64(const std::string& s, int64_t* out) {
+  size_t i = 0;
+  const bool negative = !s.empty() && s[0] == '-';
+  if (negative) i = 1;
+  if (i == s.size()) return false;
+  uint64_t magnitude = 0;
+  const uint64_t limit =
+      negative ? (1ull << 63) : (1ull << 63) - 1;  // |INT64_MIN|, INT64_MAX
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    const uint64_t digit = static_cast<uint64_t>(s[i] - '0');
+    if (magnitude > (limit - digit) / 10) return false;
+    magnitude = magnitude * 10 + digit;
+  }
+  *out = negative ? -static_cast<int64_t>(magnitude - 1) - 1
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
+
 }  // namespace arbiter

@@ -1,6 +1,7 @@
 #ifndef ARBITER_UTIL_STRING_UTIL_H_
 #define ARBITER_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,11 @@ bool IsIdentStart(char c);
 
 /// True iff c can continue an identifier ([A-Za-z0-9_']).
 bool IsIdentCont(char c);
+
+/// Strict base-10 int64 parse (optional leading '-', digits only, no
+/// surrounding whitespace).  Returns false on malformed input or
+/// overflow, leaving *out untouched.
+bool ParseInt64(const std::string& s, int64_t* out);
 
 }  // namespace arbiter
 

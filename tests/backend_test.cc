@@ -1,0 +1,321 @@
+// DistanceBackend contract tests: the enumerating oracle and the
+// SAT/#SAT counting backend must agree bit-identically on every shared
+// aggregator, including the edge conventions (empty mu, psi == True,
+// psi unsatisfiable, single-model psi) and the paper's worked examples
+// (3.1 and 4.1).  The counting backend must also serve vocabularies the
+// oracle cannot touch, and fail loudly (not wrongly) where it cannot.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "change/backend.h"
+#include "logic/parser.h"
+#include "logic/vocabulary.h"
+#include "model/distance.h"
+#include "model/distance_semantics.h"
+#include "model/model_set.h"
+#include "solve/sum_sat.h"
+
+namespace arbiter {
+namespace {
+
+Formula Syn(const std::string& text, int num_terms) {
+  Result<Formula> f = ParseSynthetic(text, num_terms);
+  ARBITER_CHECK_MSG(f.ok(), f.status().message().c_str());
+  return *f;
+}
+
+/// Runs psi |> mu on both backends and requires identical model sets,
+/// identical optimal-distance strings, and no truncation.
+void ExpectBackendsAgree(const DistanceSemantics& semantics,
+                         const Formula& psi, const Formula& mu,
+                         int num_terms) {
+  SCOPED_TRACE(semantics.DebugName() + " over " +
+               std::to_string(num_terms) + " terms");
+  std::shared_ptr<DistanceBackend> enumerating = MakeEnumeratingBackend();
+  std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+  Result<DistanceChangeResult> a =
+      enumerating->Change(semantics, psi, mu, num_terms, /*max_models=*/
+                          int64_t{1} << 24);
+  Result<DistanceChangeResult> b =
+      counting->Change(semantics, psi, mu, num_terms, /*max_models=*/
+                       int64_t{1} << 24);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_FALSE(a->truncated);
+  EXPECT_FALSE(b->truncated);
+  EXPECT_FALSE(a->models_omitted);
+  EXPECT_FALSE(b->models_omitted);
+  EXPECT_EQ(a->models, b->models);
+  EXPECT_EQ(a->optimal, b->optimal);
+}
+
+std::vector<DistanceSemantics> SharedSemantics() {
+  return {MinSemantics(), MaxSemantics(), SumSemantics(),
+          MinSemantics({2, 1, 3, 1}), MaxSemantics({2, 1, 3, 1}),
+          SumSemantics({2, 1, 3, 1})};
+}
+
+// --- Registry ----------------------------------------------------------
+
+TEST(BackendRegistry, NamesAndLookup) {
+  EXPECT_EQ(DistanceBackendNames(),
+            (std::vector<std::string>{"enum", "counting"}));
+  for (const std::string& name : DistanceBackendNames()) {
+    Result<std::shared_ptr<DistanceBackend>> backend =
+        MakeDistanceBackend(name);
+    ASSERT_TRUE(backend.ok());
+    EXPECT_EQ((*backend)->name(), name);
+  }
+  Result<std::shared_ptr<DistanceBackend>> missing =
+      MakeDistanceBackend("no-such-backend");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BackendRegistry, MaxTermsReflectTheRepresentation) {
+  std::shared_ptr<DistanceBackend> enumerating = MakeEnumeratingBackend();
+  std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+  EXPECT_EQ(enumerating->MaxTerms(MaxSemantics()), kMaxEnumTerms);
+  EXPECT_EQ(counting->MaxTerms(MaxSemantics()), kMaxVocabularyTerms - 1);
+  EXPECT_GE(counting->MaxTerms(SumSemantics()), 100)
+      << "the sum aggregator only needs the optimum, not model masks";
+  EXPECT_EQ(counting->MaxTerms(WeightedSumSemantics([](uint64_t) {
+              return 1.0;
+            })),
+            0)
+      << "per-model weight functions require enumeration";
+}
+
+// --- Operator-name resolution ------------------------------------------
+
+TEST(BackendOperatorSpec, DistanceOperatorsResolve) {
+  Result<BackendOperatorSpec> dalal = BackendOperatorFor("dalal");
+  ASSERT_TRUE(dalal.ok());
+  EXPECT_EQ(dalal->semantics.aggregator, DistanceAggregator::kMin);
+  EXPECT_FALSE(dalal->arbitration);
+
+  Result<BackendOperatorSpec> arb = BackendOperatorFor("arbitration-sum");
+  ASSERT_TRUE(arb.ok());
+  EXPECT_EQ(arb->semantics.aggregator, DistanceAggregator::kSum);
+  EXPECT_TRUE(arb->arbitration);
+
+  EXPECT_EQ(BackendOperatorFor("wu").status().code(),
+            StatusCode::kUnsupported)
+      << "updates are pointwise, not distance argmins";
+}
+
+// --- Edge conventions, identical across backends -----------------------
+
+TEST(BackendEdgeCases, EmptyMuIsEmptyEverywhere) {
+  const int n = 4;
+  const Formula psi = Syn("p0 | p1", n);
+  const Formula mu = Syn("p2 & !p2", n);
+  for (const DistanceSemantics& semantics : SharedSemantics()) {
+    ExpectBackendsAgree(semantics, psi, mu, n);
+    std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+    Result<DistanceChangeResult> r =
+        counting->Change(semantics, psi, mu, n);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->models.empty());
+    EXPECT_TRUE(r->optimal.empty());
+  }
+}
+
+TEST(BackendEdgeCases, TautologicalPsiKeepsAllOfMu) {
+  const int n = 4;
+  const Formula psi = Formula::True();
+  const Formula mu = Syn("(p0 & p1) | (!p2 & p3)", n);
+  const ModelSet expected = ModelSet::FromFormula(mu, n);
+  for (const DistanceSemantics& semantics : SharedSemantics()) {
+    ExpectBackendsAgree(semantics, psi, mu, n);
+    std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+    Result<DistanceChangeResult> r =
+        counting->Change(semantics, psi, mu, n);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->models, expected)
+        << "a full psi ranks every candidate equally";
+  }
+}
+
+TEST(BackendEdgeCases, UnsatPsiFollowsTheAggregatorConvention) {
+  const int n = 4;
+  const Formula psi = Syn("p0 & !p0", n);
+  const Formula mu = Syn("p1 | p2", n);
+  const ModelSet mu_models = ModelSet::FromFormula(mu, n);
+  for (const DistanceSemantics& semantics : SharedSemantics()) {
+    ExpectBackendsAgree(semantics, psi, mu, n);
+    std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+    Result<DistanceChangeResult> r =
+        counting->Change(semantics, psi, mu, n);
+    ASSERT_TRUE(r.ok());
+    if (semantics.aggregator == DistanceAggregator::kMin) {
+      EXPECT_EQ(r->models, mu_models) << "revision convention: Mod(mu)";
+    } else {
+      EXPECT_TRUE(r->models.empty()) << "model-fitting (A2): empty";
+    }
+    EXPECT_TRUE(r->optimal.empty()) << "distance to nothing is undefined";
+  }
+}
+
+TEST(BackendEdgeCases, SingleModelPsiCollapsesAllAggregators) {
+  // With |Mod(psi)| = 1 min, max, and sum all rank by plain distance
+  // to that one model, so every aggregator returns the same argmin.
+  const int n = 4;
+  const Formula psi = Syn("p0 & !p1 & p2 & !p3", n);
+  const Formula mu = Syn("!p0 | p3", n);
+  ModelSet reference = ModelSet(0);
+  bool first = true;
+  for (const DistanceSemantics& semantics :
+       {MinSemantics(), MaxSemantics(), SumSemantics()}) {
+    ExpectBackendsAgree(semantics, psi, mu, n);
+    std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+    Result<DistanceChangeResult> r =
+        counting->Change(semantics, psi, mu, n);
+    ASSERT_TRUE(r.ok());
+    if (first) {
+      reference = r->models;
+      first = false;
+    } else {
+      EXPECT_EQ(r->models, reference);
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+// --- The paper's worked examples ---------------------------------------
+
+TEST(BackendPaperExamples, Example31OnBothBackends) {
+  // Vocabulary in paper order: S=p0, D=p1, Q=p2.
+  const int n = 3;
+  const Formula psi =
+      Syn("(p0 & !p1 & !p2) | (!p0 & p1 & !p2) | (p0 & p1 & p2)", n);
+  const Formula mu = Syn("((!p0 & p1) | (p0 & p1)) & !p2", n);
+  for (auto backend : {MakeEnumeratingBackend(), MakeCountingBackend()}) {
+    SCOPED_TRACE(backend->name());
+    Result<DistanceChangeResult> r =
+        backend->Change(MaxSemantics(), psi, mu, n);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // odist(psi, {D}) = 2 and odist(psi, {S,D}) = 1: fitting keeps
+    // exactly {S,D}.
+    EXPECT_EQ(r->models, ModelSet::FromMasks({0b011}, n));
+    EXPECT_EQ(r->optimal, "1");
+  }
+  ExpectBackendsAgree(MaxSemantics(), psi, mu, n);
+  ExpectBackendsAgree(SumSemantics(), psi, mu, n);
+}
+
+TEST(BackendPaperExamples, Example41WeightedSumIsEnumerationOnly) {
+  // 10 students want SQL only, 20 Datalog only, 5 all three;
+  // wdist(psi, {D}) = 30 beats wdist(psi, {S,D}) = 35.
+  const int n = 3;
+  const Formula psi =
+      Syn("(p0 & !p1 & !p2) | (!p0 & p1 & !p2) | (p0 & p1 & p2)", n);
+  const Formula mu = Syn("((!p0 & p1) | (p0 & p1)) & !p2", n);
+  DistanceSemantics semantics = WeightedSumSemantics([](uint64_t model) {
+    switch (model) {
+      case 0b001: return 10.0;  // {S}
+      case 0b010: return 20.0;  // {D}
+      case 0b111: return 5.0;   // {S,D,Q}
+      default: return 0.0;
+    }
+  });
+  std::shared_ptr<DistanceBackend> enumerating = MakeEnumeratingBackend();
+  Result<DistanceChangeResult> r =
+      enumerating->Change(semantics, psi, mu, n);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->models, ModelSet::FromMasks({0b010}, n));
+
+  std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+  EXPECT_EQ(counting->Change(semantics, psi, mu, n).status().code(),
+            StatusCode::kUnsupported);
+}
+
+// --- Cross-checks on denser formulas -----------------------------------
+
+TEST(BackendAgreement, StructuredFormulasAgreeOnAllAggregators) {
+  const int n = 6;
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"(p0 | p1) & (p2 | !p3) & (p4 | p5)", "!p0 & (p1 | p2) & !p5"},
+      {"p0 ^ p1 ^ p2", "(p3 & p4) | (!p1 & p5)"},
+      {"(p0 -> p1) & (p1 -> p2) & (p2 -> p0)", "p3 | (p4 & !p0)"},
+      {"!(p0 & p1 & p2 & p3)", "p0 & p1 & (p2 | p3) & !p4"},
+  };
+  for (const auto& [psi_text, mu_text] : cases) {
+    SCOPED_TRACE(psi_text + "  |>  " + mu_text);
+    const Formula psi = Syn(psi_text, n);
+    const Formula mu = Syn(mu_text, n);
+    for (const DistanceSemantics& semantics : SharedSemantics()) {
+      ExpectBackendsAgree(semantics, psi, mu, n);
+    }
+  }
+}
+
+// --- Past the enumeration wall -----------------------------------------
+
+TEST(BackendCapacity, EnumeratingBackendRefusesLargeVocabularies) {
+  const int n = 30;
+  const Formula psi = Syn("p0", n);
+  const Formula mu = Syn("p1", n);
+  std::shared_ptr<DistanceBackend> enumerating = MakeEnumeratingBackend();
+  Result<DistanceChangeResult> r =
+      enumerating->Change(MinSemantics(), psi, mu, n);
+  EXPECT_EQ(r.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(BackendCapacity, CountingBackendServesThirtyAtomMinAndMax) {
+  // psi pins p0..p4 true; mu forces p0 false.  The closest mu-world
+  // flips exactly p0, so the Dalal optimum is 1 at every vocabulary
+  // size; the max aggregator's optimum stays diameter-dependent.
+  const int n = 30;
+  const Formula psi = Syn("p0 & p1 & p2 & p3 & p4", n);
+  const Formula mu = Syn("!p0 & p1", n);
+  std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+  Result<DistanceChangeResult> min_r =
+      counting->Change(MinSemantics(), psi, mu, n);
+  ASSERT_TRUE(min_r.ok()) << min_r.status().ToString();
+  EXPECT_EQ(min_r->optimal, "1");
+  EXPECT_FALSE(min_r->models.empty());
+  for (uint64_t model : min_r->models) {
+    EXPECT_EQ(model & 0b11, uint64_t{0b10}) << "must satisfy mu";
+  }
+}
+
+TEST(BackendCapacity, SumOptimumBeyondSixtyThreeAtomsOmitsModels) {
+  // 70 atoms: psi = p0, so C = 2^69 and the column counts are C for
+  // p0 and C/2 elsewhere.  sdist is minimized by any mu-world with p0
+  // true; the optimum is 69 * 2^68 (every free column contributes
+  // C/2 regardless of the candidate's bit).
+  // Vocabulary objects cap at 64 names, but the backend only needs
+  // variable indices: build the formulas directly.
+  const int n = 70;
+  const Formula psi = Formula::Var(0);
+  const Formula mu = Formula::Var(1);
+  std::shared_ptr<DistanceBackend> counting = MakeCountingBackend();
+  Result<DistanceChangeResult> r =
+      counting->Change(SumSemantics(), psi, mu, n);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->models_omitted);
+  EXPECT_TRUE(r->models.empty());
+  solve::Int128 expected = solve::Int128{69} << 68;
+  EXPECT_EQ(r->optimal, solve::Int128ToString(expected));
+}
+
+// --- SumDistOracle regression ------------------------------------------
+
+TEST(SumDistOracleDeath, EmptyModelSetFailsLoudly) {
+  // Column counts over an empty Mod(psi) would rank every candidate
+  // equal (sdist == 0 everywhere); construction must abort instead of
+  // silently degenerating.
+  EXPECT_DEATH(SumDistOracle(ModelSet(3)), "empty model set");
+}
+
+TEST(SumDistOracleDeath, NegativeMetricWeightFailsLoudly) {
+  const ModelSet psi = ModelSet::FromMasks({0b01}, 2);
+  EXPECT_DEATH(SumDistOracle(psi, {1, -2}), "negative metric weight");
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -250,5 +250,133 @@ TEST(BeliefStoreTest, DumpListsEverything) {
   EXPECT_NE(dump.find("dalal"), std::string::npos);
 }
 
+// --- Distance backends and metric weights ------------------------------
+
+/// p1 <op> p2 <op> ... <op> pn: grows the vocabulary past the 24-term
+/// enumeration wall in one statement.
+std::string WideChain(int n, const std::string& op) {
+  std::string text;
+  for (int i = 1; i <= n; ++i) {
+    if (i > 1) text += " " + op + " ";
+    text += "p" + std::to_string(i);
+  }
+  return text;
+}
+
+TEST(BeliefStoreBackend, SetBackendRaisesTheCapacityLimit) {
+  BeliefStore store;
+  EXPECT_EQ(store.backend_name(), "enum");
+  EXPECT_EQ(store.CapacityLimit(), kMaxEnumTerms);
+  ASSERT_TRUE(store.SetBackend("counting").ok());
+  EXPECT_EQ(store.backend_name(), "counting");
+  EXPECT_EQ(store.CapacityLimit(), kMaxVocabularyTerms - 1);
+  EXPECT_EQ(store.SetBackend("no-such").code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.backend_name(), "counting") << "failed set is a no-op";
+}
+
+TEST(BeliefStoreBackend, EnumBackendStillRejectsWideVocabularies) {
+  BeliefStore store;
+  EXPECT_EQ(store.Define("wide", WideChain(30, "|")).code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(BeliefStoreBackend, CountingBackendServesThirtyAtoms) {
+  BeliefStore store;
+  ASSERT_TRUE(store.SetBackend("counting").ok());
+  // A conjunction pins every atom, so the revised base stays a single
+  // model (the store must hold the exact result).
+  ASSERT_TRUE(store.Define("wide", WideChain(30, "&")).ok());
+  ASSERT_TRUE(store.Apply("wide", "dalal", "!p1").ok());
+  // Queries route through CDCL past the enumeration wall.
+  EXPECT_EQ(*store.Entails("wide", "!p1"), true);
+  EXPECT_EQ(*store.Entails("wide", "p2"), true);
+  EXPECT_EQ(*store.ConsistentWith("wide", "p3"), true);
+  // Model materialization stays out of reach.
+  EXPECT_EQ(store.Get("wide").status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(BeliefStoreBackend, SwitchingBackToEnumNeedsASmallVocabulary) {
+  BeliefStore store;
+  ASSERT_TRUE(store.SetBackend("counting").ok());
+  ASSERT_TRUE(store.Define("wide", WideChain(30, "|")).ok());
+  EXPECT_EQ(store.SetBackend("enum").code(),
+            StatusCode::kInvalidArgument);
+
+  BeliefStore small;
+  ASSERT_TRUE(small.SetBackend("counting").ok());
+  ASSERT_TRUE(small.Define("kb", "a & b").ok());
+  EXPECT_TRUE(small.SetBackend("enum").ok());
+}
+
+TEST(BeliefStoreBackend, CountingApplyMatchesEnumOnSmallVocabularies) {
+  // Example 3.1 through both backends: S=s, D=d, Q=q.
+  const std::string psi = "(s & !d & !q) | (!s & d & !q) | (s & d & q)";
+  const std::string mu = "((!s & d) | (s & d)) & !q";
+  for (const std::string& op : {std::string("dalal"),
+                                std::string("revesz-max"),
+                                std::string("revesz-sum"),
+                                std::string("arbitration-max")}) {
+    SCOPED_TRACE(op);
+    BeliefStore enumerating;
+    ASSERT_TRUE(enumerating.Define("kb", psi).ok());
+    ASSERT_TRUE(enumerating.Apply("kb", op, mu).ok());
+
+    BeliefStore counting;
+    ASSERT_TRUE(counting.SetBackend("counting").ok());
+    ASSERT_TRUE(counting.Define("kb", psi).ok());
+    ASSERT_TRUE(counting.Apply("kb", op, mu).ok());
+
+    Result<KnowledgeBase> a = enumerating.Get("kb");
+    Result<KnowledgeBase> b = counting.Get("kb");
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->models(), b->models());
+  }
+}
+
+TEST(BeliefStoreBackend, WeightsShapeTheMetric) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "a & b").ok());
+  // Flipping a costs 5, flipping b costs 1: revision by !(a & b)
+  // prefers to give up b.
+  ASSERT_TRUE(store.SetWeight("a", 5).ok());
+  ASSERT_TRUE(store.SetWeight("b", 1).ok());
+  EXPECT_EQ(store.weights().at("a"), 5);
+  ASSERT_TRUE(store.Apply("kb", "dalal", "!(a & b)").ok());
+  EXPECT_EQ(*store.Entails("kb", "a"), true);
+  EXPECT_EQ(*store.Entails("kb", "!b"), true);
+  EXPECT_EQ(store.SetWeight("a", -1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BeliefStoreBackend, SaveLoadRoundTripsBackendAndWeights) {
+  BeliefStore store;
+  ASSERT_TRUE(store.SetBackend("counting").ok());
+  ASSERT_TRUE(store.Define("kb", "a & b").ok());
+  ASSERT_TRUE(store.SetWeight("a", 7).ok());
+  const std::string saved = store.Save();
+  EXPECT_NE(saved.find("backend counting"), std::string::npos);
+  EXPECT_NE(saved.find("weight a 7"), std::string::npos);
+
+  Result<BeliefStore> loaded = BeliefStore::Load(saved);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->backend_name(), "counting");
+  EXPECT_EQ(loaded->weights().at("a"), 7);
+
+  // The default backend writes no backend line.
+  BeliefStore plain;
+  ASSERT_TRUE(plain.Define("kb", "a").ok());
+  EXPECT_EQ(plain.Save().find("backend"), std::string::npos);
+}
+
+TEST(BeliefStoreBackend, LoadRejectsMalformedBackendAndWeightLines) {
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nbackend zorp\n").ok());
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nweight a\n").ok());
+  EXPECT_FALSE(
+      BeliefStore::Load("arbiter-store v1\nweight a twelve\n").ok());
+}
+
 }  // namespace
 }  // namespace arbiter

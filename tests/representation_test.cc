@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include "change/fitting.h"
 #include "change/registry.h"
 #include "model/distance.h"
+#include "model/distance_semantics.h"
+#include "model/loyal.h"
 
 namespace arbiter {
 namespace {
@@ -86,6 +89,57 @@ TEST(DeriveRelationTest, MatchesOdistOrderForMaxFitting) {
     }
   }
 }
+
+// --- Parametric over the distance-semantics family ---------------------
+//
+// Theorem 3.1's construction is not specific to odist: any operator
+// that is an argmin of a per-psi total pre-order must survive steps 1
+// (totality/transitivity) and 3 (exact reproduction).  Run the checker
+// across metric x aggregator combinations, and require the derived
+// relation to coincide with the semantics' own pre-order.
+
+struct SemanticsCase {
+  std::string label;
+  DistanceSemantics semantics;
+};
+
+class SemanticsRepresentation
+    : public ::testing::TestWithParam<SemanticsCase> {};
+
+TEST_P(SemanticsRepresentation, ConstructionRecoversThePreorder) {
+  const SemanticsCase& c = GetParam();
+  auto op = MakeFittingOperator(c.semantics, c.label);
+  for (int n = 2; n <= 3; ++n) {
+    RepresentationReport report = CheckRepresentation(op, n);
+    EXPECT_TRUE(report.preorders_total) << report.detail;
+    EXPECT_TRUE(report.preorders_transitive) << report.detail;
+    EXPECT_TRUE(report.representation_exact) << report.detail;
+  }
+  // The derived relation is exactly the semantics' pre-order.
+  const int n = 3;
+  ModelSet psi = ModelSet::FromMasks({0b001, 0b010, 0b111}, n);
+  DerivedRelation rel = DeriveRelation(*op, psi);
+  TotalPreorder expected = SemanticsPreorder(c.semantics, psi);
+  for (uint64_t i = 0; i < 8; ++i) {
+    for (uint64_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(rel.leq[i][j], expected.Leq(i, j))
+          << c.label << ": " << i << " vs " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistanceSemanticsFamily, SemanticsRepresentation,
+    ::testing::Values(
+        SemanticsCase{"min_dalal", MinSemantics()},
+        SemanticsCase{"max_dalal", MaxSemantics()},
+        SemanticsCase{"sum_dalal", SumSemantics()},
+        SemanticsCase{"min_weighted", MinSemantics({2, 1, 3})},
+        SemanticsCase{"max_weighted", MaxSemantics({2, 1, 3})},
+        SemanticsCase{"sum_weighted", SumSemantics({2, 1, 3})}),
+    [](const ::testing::TestParamInfo<SemanticsCase>& info) {
+      return info.param.label;
+    });
 
 TEST(DeriveRelationTest, MinOfUsesStrictDomination) {
   auto op = MakeOperator("revesz-max").ValueOrDie();

@@ -200,5 +200,86 @@ TEST(ScriptRunTest, EquivalenceScratchDoesNotPolluteStore) {
   EXPECT_FALSE(store.Contains("__rhs"));
 }
 
+// --- set backend / set weight ------------------------------------------
+
+TEST(ScriptParseTest, SetStatementsParseAndRenderRoundTrip) {
+  Result<BeliefScript> script = ParseScript(
+      "set backend counting\n"
+      "set weight gears 12\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->statements.size(), 2u);
+  const ScriptStatement& backend = script->statements[0];
+  EXPECT_EQ(backend.kind, ScriptStatement::Kind::kSetBackend);
+  EXPECT_EQ(backend.formula, "counting");
+  EXPECT_EQ(RenderStatement(backend), "set backend counting");
+  const ScriptStatement& weight = script->statements[1];
+  EXPECT_EQ(weight.kind, ScriptStatement::Kind::kSetWeight);
+  EXPECT_EQ(weight.base, "gears");
+  EXPECT_EQ(weight.formula, "12");
+  EXPECT_EQ(RenderStatement(weight), "set weight gears 12");
+}
+
+TEST(ScriptParseTest, SetStatementSyntaxErrors) {
+  EXPECT_FALSE(ParseScript("set\n").ok());
+  EXPECT_FALSE(ParseScript("set backend\n").ok());
+  EXPECT_FALSE(ParseScript("set backend counting extra\n").ok());
+  EXPECT_FALSE(ParseScript("set weight a\n").ok());
+  EXPECT_FALSE(ParseScript("set weight a twelve\n").ok());
+  EXPECT_FALSE(ParseScript("set gears b 3\n").ok());
+}
+
+TEST(ScriptRunTest, SetBackendUnlocksWideVocabularies) {
+  std::string wide;
+  for (int i = 1; i <= 30; ++i) {
+    if (i > 1) wide += " & ";
+    wide += "p" + std::to_string(i);
+  }
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(
+      "set backend counting\n"
+      "define kb := " + wide + "\n"
+      "change kb by dalal with !p1\n"
+      "assert kb entails !p1\n"
+      "assert kb entails p2\n"
+      "assert kb equivalent-to !p1 & " + wide.substr(5) + "\n",
+      &store);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->AllPassed()) << report->ToString();
+}
+
+TEST(ScriptRunTest, SetBackendUnknownNameIsAHardError) {
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(
+      "set backend zorp\ndefine kb := a\n", &store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->AllPassed());
+  ASSERT_EQ(report->steps.size(), 1u) << "hard error stops the run";
+  EXPECT_FALSE(report->steps[0].ok);
+}
+
+TEST(ScriptRunTest, SetWeightChangesTheOutcome) {
+  // Unweighted, revising a & b by !(a & b) keeps both one-flip worlds;
+  // weighting a at 5 makes giving up b strictly cheaper.
+  BeliefStore store;
+  Result<ScriptReport> report = RunScriptText(
+      "define kb := a & b\n"
+      "set weight a 5\n"
+      "set weight b 1\n"
+      "change kb by dalal with !(a & b)\n"
+      "assert kb entails a\n"
+      "assert kb entails !b\n",
+      &store);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->AllPassed()) << report->ToString();
+}
+
+TEST(ScriptRunTest, SetWeightRejectsNegativeAtRunTime) {
+  BeliefStore store;
+  Result<ScriptReport> report =
+      RunScriptText("set weight a -3\n", &store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->AllPassed());
+}
+
 }  // namespace
 }  // namespace arbiter

@@ -1,0 +1,279 @@
+// Unit tests for the counting backend's Σ machinery:
+//  * CountColumns — exact model counts and per-column tallies, checked
+//    against brute-force enumeration of the input space,
+//  * MinimizeLinearOverCnf — branch-and-bound minimization of a linear
+//    pseudo-Boolean objective over CNF models, collecting all ties,
+//  * SatSumFitting — the glue that turns one counting pass over psi
+//    into a linear objective minimized over Mod(mu),
+//  * ColumnCountCache — structural memoization of psi's counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "enc/tseitin.h"
+#include "logic/formula.h"
+#include "logic/parser.h"
+#include "model/distance.h"
+#include "model/model_set.h"
+#include "sat/cnf.h"
+#include "sat/count.h"
+#include "solve/sum_sat.h"
+
+namespace arbiter::solve {
+namespace {
+
+Formula Syn(const std::string& text, int num_terms) {
+  Result<Formula> f = ParseSynthetic(text, num_terms);
+  ARBITER_CHECK_MSG(f.ok(), f.status().message().c_str());
+  return *f;
+}
+
+sat::CnfFormula EncodeCnf(const Formula& f, int num_inputs) {
+  sat::CnfFormula cnf;
+  enc::TseitinEncoder encoder(&cnf);
+  encoder.ReserveInputVars(num_inputs);
+  encoder.Assert(f);
+  return cnf;
+}
+
+// --- Int128ToString ----------------------------------------------------
+
+TEST(Int128ToString, RendersDecimalExactly) {
+  EXPECT_EQ(Int128ToString(0), "0");
+  EXPECT_EQ(Int128ToString(42), "42");
+  EXPECT_EQ(Int128ToString(-7), "-7");
+  // 2^100 = 1267650600228229401496703205376.
+  EXPECT_EQ(Int128ToString(Int128{1} << 100),
+            "1267650600228229401496703205376");
+  EXPECT_EQ(Int128ToString(-(Int128{1} << 100)),
+            "-1267650600228229401496703205376");
+}
+
+// --- CountColumns vs brute force ---------------------------------------
+
+TEST(CountColumns, MatchesBruteForceEnumeration) {
+  const int n = 6;
+  const std::vector<std::string> formulas = {
+      "p0",
+      "p0 | p1 | p2",
+      "(p0 | p1) & (p2 | !p3) & (p4 | p5)",
+      "p0 ^ p1 ^ p2 ^ p3",
+      "(p0 -> p1) & (p1 -> p2) & !(p3 & p4 & p5)",
+      "(p0 <-> p1) & (p2 | p3) & (!p4 | p5)",
+  };
+  for (const std::string& text : formulas) {
+    SCOPED_TRACE(text);
+    const Formula f = Syn(text, n);
+    sat::CnfFormula cnf = EncodeCnf(f, n);
+    sat::ColumnCountResult counts = sat::CountColumns(cnf, n);
+    ASSERT_TRUE(counts.completed);
+
+    const ModelSet models = ModelSet::FromFormula(f, n);
+    EXPECT_EQ(static_cast<uint64_t>(counts.total), models.size());
+    ASSERT_EQ(counts.ones.size(), static_cast<size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      uint64_t expected = 0;
+      for (uint64_t m : models) expected += (m >> b) & 1;
+      EXPECT_EQ(static_cast<uint64_t>(counts.ones[b]), expected)
+          << "column " << b;
+    }
+  }
+}
+
+TEST(CountColumns, UnsatisfiableFormulaCountsZero) {
+  const Formula f = Syn("p0 & !p0", 3);
+  sat::CnfFormula cnf = EncodeCnf(f, 3);
+  sat::ColumnCountResult counts = sat::CountColumns(cnf, 3);
+  ASSERT_TRUE(counts.completed);
+  EXPECT_EQ(static_cast<uint64_t>(counts.total), 0u);
+}
+
+TEST(CountColumns, DecomposesIndependentBlocks) {
+  // Ten independent 2-var blocks: count = 3^10, far beyond what a
+  // non-decomposing DPLL could touch in the step budget used here.
+  const int n = 20;
+  std::string text;
+  for (int b = 0; b < 10; ++b) {
+    if (b > 0) text += " & ";
+    text += "(p" + std::to_string(2 * b) + " | p" +
+            std::to_string(2 * b + 1) + ")";
+  }
+  sat::CnfFormula cnf = EncodeCnf(Syn(text, n), n);
+  sat::ColumnCountResult counts =
+      sat::CountColumns(cnf, n, /*max_steps=*/1 << 16);
+  ASSERT_TRUE(counts.completed);
+  uint64_t expected = 1;
+  for (int b = 0; b < 10; ++b) expected *= 3;
+  EXPECT_EQ(static_cast<uint64_t>(counts.total), expected);
+  // Each variable is true in 2 of its block's 3 assignments.
+  for (int b = 0; b < n; ++b) {
+    EXPECT_EQ(static_cast<uint64_t>(counts.ones[b]), expected / 3 * 2);
+  }
+  EXPECT_GT(counts.components_solved, 1u);
+}
+
+// --- MinimizeLinearOverCnf ---------------------------------------------
+
+TEST(MinimizeLinear, FindsOptimumAndAllTies) {
+  // Minimize 2*p0 + p1 - 3*p2 over (p0 | p1): optimum is p1 alone with
+  // p2 on, objective 1 - 3 = -2, a single model {p1, p2} = 0b110.
+  const int n = 3;
+  sat::CnfFormula cnf = EncodeCnf(Syn("p0 | p1", n), n);
+  LinearMinResult r = MinimizeLinearOverCnf(cnf, n, {2, 1, -3},
+                                            /*max_models=*/64);
+  ASSERT_TRUE(r.sat);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(Int128ToString(r.optimal), "-2");
+  EXPECT_EQ(r.models, (std::vector<uint64_t>{0b110}));
+}
+
+TEST(MinimizeLinear, CollectsEveryTiedModel) {
+  // Objective 0 everywhere: every model of mu ties at 0.
+  const int n = 3;
+  const Formula mu = Syn("p0 | p1 | p2", n);
+  sat::CnfFormula cnf = EncodeCnf(mu, n);
+  LinearMinResult r = MinimizeLinearOverCnf(cnf, n, {0, 0, 0},
+                                            /*max_models=*/64);
+  ASSERT_TRUE(r.sat);
+  const ModelSet expected = ModelSet::FromFormula(mu, n);
+  ASSERT_EQ(r.models.size(), expected.size());
+  for (size_t i = 0; i < r.models.size(); ++i) {
+    EXPECT_EQ(r.models[i], expected[i]);
+  }
+}
+
+TEST(MinimizeLinear, UnsatisfiableCnfReportsUnsat) {
+  sat::CnfFormula cnf = EncodeCnf(Syn("p0 & !p0", 2), 2);
+  LinearMinResult r = MinimizeLinearOverCnf(cnf, 2, {1, 1}, 16);
+  EXPECT_FALSE(r.sat);
+}
+
+TEST(MinimizeLinear, MatchesBruteForceOnDenseObjectives) {
+  const int n = 5;
+  const std::vector<std::string> formulas = {
+      "(p0 | p1) & (!p2 | p3 | p4)",
+      "p0 ^ p1 ^ p2",
+      "(p0 -> p1) & (p2 -> p3) & (p0 | p2 | p4)",
+  };
+  const std::vector<Int128> weights = {3, -2, 5, -1, 4};
+  for (const std::string& text : formulas) {
+    SCOPED_TRACE(text);
+    const Formula f = Syn(text, n);
+    sat::CnfFormula cnf = EncodeCnf(f, n);
+    LinearMinResult r = MinimizeLinearOverCnf(cnf, n, weights, 64);
+    ASSERT_TRUE(r.sat);
+
+    Int128 best = 0;
+    bool first = true;
+    std::vector<uint64_t> argmin;
+    for (const uint64_t m : ModelSet::FromFormula(f, n)) {
+      Int128 obj = 0;
+      for (int b = 0; b < n; ++b) {
+        if ((m >> b) & 1) obj += weights[b];
+      }
+      if (first || obj < best) {
+        best = obj;
+        argmin = {m};
+        first = false;
+      } else if (obj == best) {
+        argmin.push_back(m);
+      }
+    }
+    EXPECT_EQ(Int128ToString(r.optimal), Int128ToString(best));
+    EXPECT_EQ(r.models, argmin);
+  }
+}
+
+// --- SatSumFitting vs the enumeration oracle ---------------------------
+
+TEST(SatSumFitting, MatchesSumDistOracleArgmin) {
+  const int n = 5;
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"(p0 | p1) & !p4", "p2 | p3"},
+      {"p0 ^ p1", "(p2 & p3) | p4"},
+      {"!(p0 & p1 & p2)", "p0 & (p1 | p3)"},
+  };
+  for (const auto& [psi_text, mu_text] : cases) {
+    SCOPED_TRACE(psi_text + "  |>  " + mu_text);
+    const Formula psi = Syn(psi_text, n);
+    const Formula mu = Syn(mu_text, n);
+    SumFittingResult r = SatSumFitting(psi, mu, n, /*max_models=*/64);
+    ASSERT_TRUE(r.completed);
+    ASSERT_FALSE(r.psi_unsat);
+    ASSERT_FALSE(r.mu_unsat);
+
+    const ModelSet psi_models = ModelSet::FromFormula(psi, n);
+    const SumDistOracle sdist(psi_models);
+    int64_t best = 0;
+    bool first = true;
+    std::vector<uint64_t> argmin;
+    for (const uint64_t m : ModelSet::FromFormula(mu, n)) {
+      const int64_t d = sdist(m);
+      if (first || d < best) {
+        best = d;
+        argmin = {m};
+        first = false;
+      } else if (d == best) {
+        argmin.push_back(m);
+      }
+    }
+    EXPECT_EQ(r.optimal_decimal, std::to_string(best));
+    EXPECT_EQ(r.models, argmin);
+  }
+}
+
+TEST(SatSumFitting, WeightedMetricScalesColumns) {
+  // psi = p0 & p1 with metric {5, 1, 1}: flipping p0 costs 5.
+  // Mod(psi) = {0b011}; mu = !p0 forces the flip, so the optimum is 5
+  // plus whatever p1/p2 choices minimize (keep p1, keep !p2): 5.
+  const int n = 3;
+  const Formula psi = Syn("p0 & p1 & !p2", n);
+  const Formula mu = Syn("!p0", n);
+  SumFittingResult r =
+      SatSumFitting(psi, mu, n, /*max_models=*/16, /*metric=*/{5, 1, 1});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.optimal_decimal, "5");
+  EXPECT_EQ(r.models, (std::vector<uint64_t>{0b010}));
+}
+
+TEST(SatSumFitting, PsiAndMuUnsatEdges) {
+  const int n = 3;
+  SumFittingResult psi_unsat =
+      SatSumFitting(Syn("p0 & !p0", n), Syn("p1", n), n);
+  EXPECT_TRUE(psi_unsat.psi_unsat);
+  EXPECT_TRUE(psi_unsat.models.empty());
+
+  SumFittingResult mu_unsat =
+      SatSumFitting(Syn("p1", n), Syn("p0 & !p0", n), n);
+  EXPECT_TRUE(mu_unsat.mu_unsat);
+  EXPECT_TRUE(mu_unsat.models.empty());
+}
+
+// --- ColumnCountCache --------------------------------------------------
+
+TEST(ColumnCountCacheTest, HitsOnStructurallyEqualPsi) {
+  const int n = 4;
+  const Formula psi = Syn("(p0 | p1) & p2", n);
+  const Formula mu_a = Syn("p3", n);
+  const Formula mu_b = Syn("!p3 & p0", n);
+  ColumnCountCache cache;
+  SumFittingResult a = SatSumFitting(psi, mu_a, n, 16, {}, &cache);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  SumFittingResult b = SatSumFitting(psi, mu_b, n, 16, {}, &cache);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(cache.hits(), 1u)
+      << "the second call must reuse psi's column counts";
+  EXPECT_EQ(cache.misses(), 1u);
+  // Both fittings pull toward psi's mass at {p0, p1, p2}: with p3
+  // forced by mu, the unique argmin keeps all three set.
+  EXPECT_EQ(a.models, (std::vector<uint64_t>{0b1111}));
+  EXPECT_EQ(b.models, (std::vector<uint64_t>{0b0111}));
+}
+
+}  // namespace
+}  // namespace arbiter::solve
