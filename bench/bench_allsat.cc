@@ -7,6 +7,7 @@
 #include "logic/generator.h"
 #include "logic/semantics.h"
 #include "sat/all_sat.h"
+#include "sat/solver.h"
 
 namespace {
 

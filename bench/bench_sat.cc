@@ -1,12 +1,24 @@
-// Microbenchmarks for the SAT substrate: CDCL vs the DPLL baseline on
-// random 3-CNF (below, at, and above the satisfiability phase
-// transition) and on pigeonhole instances.
+// Microbenchmarks for the SAT substrate: the production tier
+// (SatPreprocessor in front of the arena CDCL solver) vs the raw
+// solver and the DPLL baseline, on random 3-CNF (below, at, and above
+// the satisfiability phase transition), pigeonhole, and BVE-heavy
+// instances.
+//
+// Emits solver counters (conflicts/s, propagations/s, preprocessing
+// stats) per arm, plus hardware_concurrency and build-type context so
+// recorded JSON is interpretable across machines (the PR 1 bench
+// numbers could not be told apart from a 1-core container run).
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <thread>
+
 #include "logic/generator.h"
 #include "sat/dpll.h"
+#include "sat/preprocessor.h"
 #include "sat/solver.h"
+#include "test_support/cnf_instances.h"
 #include "util/random.h"
 
 namespace {
@@ -14,59 +26,78 @@ namespace {
 using namespace arbiter;
 using sat::DpllSolver;
 using sat::Lit;
+using sat::SatPreprocessor;
 using sat::Solver;
+using test_support::AddBveChains;
+using test_support::AddPigeonhole;
+using test_support::LoadKCnf;
 
-// Loads the clauses of a k-CNF formula into any solver via a callback.
-template <typename AddClauseFn>
-void LoadKCnf(const Formula& f, const AddClauseFn& add) {
-  auto clause_lits = [](const Formula& clause) {
-    std::vector<Lit> lits;
-    const std::vector<Formula> singleton = {clause};
-    const std::vector<Formula>& parts =
-        clause.kind() == FormulaKind::kOr ? clause.children() : singleton;
-    for (const Formula& lit : parts) {
-      if (lit.is_var()) {
-        lits.push_back(Lit::Pos(lit.var()));
-      } else {
-        lits.push_back(Lit::Neg(lit.child(0).var()));
-      }
-    }
-    return lits;
-  };
-  if (f.kind() == FormulaKind::kAnd) {
-    for (const Formula& clause : f.children()) add(clause_lits(clause));
-  } else {
-    add(clause_lits(f));
-  }
+// Attaches per-second rate counters from solver stats accumulated over
+// the timed region.
+void ReportSolverRates(benchmark::State& state, uint64_t conflicts,
+                       uint64_t propagations) {
+  state.counters["conflicts/iter"] = benchmark::Counter(
+      static_cast<double>(conflicts), benchmark::Counter::kAvgIterations);
+  state.counters["conflicts/s"] = benchmark::Counter(
+      static_cast<double>(conflicts), benchmark::Counter::kIsRate);
+  state.counters["props/s"] = benchmark::Counter(
+      static_cast<double>(propagations), benchmark::Counter::kIsRate);
 }
 
+// The production solving tier: preprocessing + arena CDCL, as used by
+// src/solve/ and src/lint/.  Arm names are kept from the pre-tier
+// bench so BENCH_sat.json stays comparable across PRs.
 void BM_CdclRandom3Cnf(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const double ratio = static_cast<double>(state.range(1)) / 10.0;
   const int clauses = static_cast<int>(n * ratio);
   Rng rng(n * 31 + clauses);
-  int64_t conflicts = 0;
+  uint64_t conflicts = 0;
+  uint64_t propagations = 0;
   for (auto _ : state) {
     state.PauseTiming();
     Formula f = RandomKCnf(&rng, n, clauses, 3);
-    Solver solver;
+    SatPreprocessor solver;
     for (int i = 0; i < n; ++i) solver.NewVar();
-    LoadKCnf(f, [&](std::vector<Lit> lits) {
-      solver.AddClause(std::move(lits));
-    });
+    LoadKCnf(f, &solver);
     state.ResumeTiming();
     benchmark::DoNotOptimize(solver.Solve());
-    conflicts += static_cast<int64_t>(solver.stats().conflicts);
+    conflicts += solver.solver().stats().conflicts;
+    propagations += solver.solver().stats().propagations;
   }
-  state.counters["conflicts/iter"] = benchmark::Counter(
-      static_cast<double>(conflicts), benchmark::Counter::kAvgIterations);
+  ReportSolverRates(state, conflicts, propagations);
 }
 BENCHMARK(BM_CdclRandom3Cnf)
     ->Args({50, 30})    // under-constrained (SAT)
     ->Args({50, 43})    // phase transition
     ->Args({50, 55})    // over-constrained (UNSAT)
     ->Args({100, 43})
-    ->Args({150, 43});
+    ->Args({150, 43})
+    ->Args({200, 43});
+
+// The raw solver with no preprocessing pass, for isolating the
+// contribution of each layer of the tier.
+void BM_RawCdclRandom3Cnf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double ratio = static_cast<double>(state.range(1)) / 10.0;
+  const int clauses = static_cast<int>(n * ratio);
+  Rng rng(n * 31 + clauses);
+  uint64_t conflicts = 0;
+  uint64_t propagations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Formula f = RandomKCnf(&rng, n, clauses, 3);
+    Solver solver;
+    for (int i = 0; i < n; ++i) solver.NewVar();
+    LoadKCnf(f, &solver);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.Solve());
+    conflicts += solver.stats().conflicts;
+    propagations += solver.stats().propagations;
+  }
+  ReportSolverRates(state, conflicts, propagations);
+}
+BENCHMARK(BM_RawCdclRandom3Cnf)->Args({50, 43})->Args({150, 43});
 
 void BM_DpllRandom3Cnf(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -76,47 +107,73 @@ void BM_DpllRandom3Cnf(benchmark::State& state) {
     state.PauseTiming();
     Formula f = RandomKCnf(&rng, n, clauses, 3);
     DpllSolver solver(n);
-    LoadKCnf(f, [&](std::vector<Lit> lits) {
+    for (auto& lits : test_support::KCnfClauses(f)) {
       solver.AddClause(std::move(lits));
-    });
+    }
     state.ResumeTiming();
     benchmark::DoNotOptimize(solver.Solve());
   }
 }
 BENCHMARK(BM_DpllRandom3Cnf)->Arg(20)->Arg(30)->Arg(40);
 
-void AddPigeonhole(Solver* s, int holes) {
-  const int pigeons = holes + 1;
-  std::vector<std::vector<sat::Var>> in(pigeons,
-                                        std::vector<sat::Var>(holes));
-  for (int p = 0; p < pigeons; ++p) {
-    for (int h = 0; h < holes; ++h) in[p][h] = s->NewVar();
-  }
-  for (int p = 0; p < pigeons; ++p) {
-    std::vector<Lit> clause;
-    for (int h = 0; h < holes; ++h) clause.push_back(Lit::Pos(in[p][h]));
-    s->AddClause(clause);
-  }
-  for (int h = 0; h < holes; ++h) {
-    for (int p1 = 0; p1 < pigeons; ++p1) {
-      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
-        s->AddBinary(Lit::Neg(in[p1][h]), Lit::Neg(in[p2][h]));
-      }
-    }
-  }
-}
-
 void BM_CdclPigeonhole(benchmark::State& state) {
   const int holes = static_cast<int>(state.range(0));
+  uint64_t conflicts = 0;
+  uint64_t propagations = 0;
+  uint64_t eliminated = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SatPreprocessor solver;
+    AddPigeonhole(&solver, holes);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.Solve());
+    conflicts += solver.solver().stats().conflicts;
+    propagations += solver.solver().stats().propagations;
+    eliminated += solver.pstats().eliminated_vars;
+  }
+  ReportSolverRates(state, conflicts, propagations);
+  state.counters["eliminated/iter"] = benchmark::Counter(
+      static_cast<double>(eliminated), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CdclPigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_RawCdclPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  uint64_t conflicts = 0;
+  uint64_t propagations = 0;
   for (auto _ : state) {
     state.PauseTiming();
     Solver solver;
     AddPigeonhole(&solver, holes);
     state.ResumeTiming();
     benchmark::DoNotOptimize(solver.Solve());
+    conflicts += solver.stats().conflicts;
+    propagations += solver.stats().propagations;
   }
+  ReportSolverRates(state, conflicts, propagations);
 }
-BENCHMARK(BM_CdclPigeonhole)->Arg(5)->Arg(6)->Arg(7);
+BENCHMARK(BM_RawCdclPigeonhole)->Arg(6)->Arg(7);
+
+// Preprocessing throughput on an instance BVE can mostly dissolve:
+// measures the occurrence-list/subsumption machinery itself.
+void BM_PreprocessBveChains(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  const int length = static_cast<int>(state.range(1));
+  uint64_t eliminated = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SatPreprocessor solver;
+    AddBveChains(&solver, chains, length);
+    solver.FreezeRange(0, chains * length);
+    state.ResumeTiming();
+    solver.Preprocess();
+    benchmark::DoNotOptimize(solver.Solve());
+    eliminated += solver.pstats().eliminated_vars;
+  }
+  state.counters["eliminated/iter"] = benchmark::Counter(
+      static_cast<double>(eliminated), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PreprocessBveChains)->Args({10, 50})->Args({50, 100});
 
 void BM_UnitPropagationThroughput(benchmark::State& state) {
   // A long implication chain: measures raw propagation speed.
@@ -138,3 +195,19 @@ void BM_UnitPropagationThroughput(benchmark::State& state) {
 BENCHMARK(BM_UnitPropagationThroughput)->Arg(1000)->Arg(10000);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+  benchmark::AddCustomContext("arbiter_build_type", "Release");
+#else
+  benchmark::AddCustomContext("arbiter_build_type", "Debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,78 +3,78 @@
 namespace arbiter::enc {
 
 using sat::Lit;
-using sat::Solver;
+using sat::ClauseSink;
 
-void AddAtMostK(Solver* solver, const std::vector<Lit>& lits, int k) {
-  ARBITER_CHECK(solver != nullptr);
+void AddAtMostK(ClauseSink* sink, const std::vector<Lit>& lits, int k) {
+  ARBITER_CHECK(sink != nullptr);
   const int n = static_cast<int>(lits.size());
   if (k < 0) {
-    solver->AddClause({});  // unsatisfiable
+    sink->AddClause({});  // unsatisfiable
     return;
   }
   if (k >= n) return;
   if (k == 0) {
-    for (Lit l : lits) solver->AddUnit(~l);
+    for (Lit l : lits) sink->AddUnit(~l);
     return;
   }
   // Sinz sequential counter: registers s[i][j] = "at least j+1 true
   // among lits[0..i]".
   std::vector<std::vector<Lit>> s(n - 1, std::vector<Lit>(k));
   for (int i = 0; i < n - 1; ++i) {
-    for (int j = 0; j < k; ++j) s[i][j] = Lit::Pos(solver->NewVar());
+    for (int j = 0; j < k; ++j) s[i][j] = Lit::Pos(sink->NewVar());
   }
   // lits[0] -> s[0][0]
-  solver->AddBinary(~lits[0], s[0][0]);
+  sink->AddBinary(~lits[0], s[0][0]);
   // !s[0][j] for j >= 1
-  for (int j = 1; j < k; ++j) solver->AddUnit(~s[0][j]);
+  for (int j = 1; j < k; ++j) sink->AddUnit(~s[0][j]);
   for (int i = 1; i < n - 1; ++i) {
     // lits[i] -> s[i][0];  s[i-1][0] -> s[i][0]
-    solver->AddBinary(~lits[i], s[i][0]);
-    solver->AddBinary(~s[i - 1][0], s[i][0]);
+    sink->AddBinary(~lits[i], s[i][0]);
+    sink->AddBinary(~s[i - 1][0], s[i][0]);
     for (int j = 1; j < k; ++j) {
       // lits[i] & s[i-1][j-1] -> s[i][j];  s[i-1][j] -> s[i][j]
-      solver->AddTernary(~lits[i], ~s[i - 1][j - 1], s[i][j]);
-      solver->AddBinary(~s[i - 1][j], s[i][j]);
+      sink->AddTernary(~lits[i], ~s[i - 1][j - 1], s[i][j]);
+      sink->AddBinary(~s[i - 1][j], s[i][j]);
     }
     // lits[i] & s[i-1][k-1] -> conflict
-    solver->AddBinary(~lits[i], ~s[i - 1][k - 1]);
+    sink->AddBinary(~lits[i], ~s[i - 1][k - 1]);
   }
   // Final element.
-  solver->AddBinary(~lits[n - 1], ~s[n - 2][k - 1]);
+  sink->AddBinary(~lits[n - 1], ~s[n - 2][k - 1]);
 }
 
-void AddAtLeastK(Solver* solver, const std::vector<Lit>& lits, int k) {
-  ARBITER_CHECK(solver != nullptr);
+void AddAtLeastK(ClauseSink* sink, const std::vector<Lit>& lits, int k) {
+  ARBITER_CHECK(sink != nullptr);
   const int n = static_cast<int>(lits.size());
   if (k <= 0) return;
   if (k > n) {
-    solver->AddClause({});
+    sink->AddClause({});
     return;
   }
   // At least k of lits  ==  at most n-k of their negations.
   std::vector<Lit> negs;
   negs.reserve(n);
   for (Lit l : lits) negs.push_back(~l);
-  AddAtMostK(solver, negs, n - k);
+  AddAtMostK(sink, negs, n - k);
 }
 
-void AddExactlyK(Solver* solver, const std::vector<Lit>& lits, int k) {
-  AddAtMostK(solver, lits, k);
-  AddAtLeastK(solver, lits, k);
+void AddExactlyK(ClauseSink* sink, const std::vector<Lit>& lits, int k) {
+  AddAtMostK(sink, lits, k);
+  AddAtLeastK(sink, lits, k);
 }
 
-Lit EncodeXorEquals(Solver* solver, Lit a, Lit b) {
-  ARBITER_CHECK(solver != nullptr);
-  Lit d = Lit::Pos(solver->NewVar());
-  solver->AddTernary(~d, a, b);
-  solver->AddTernary(~d, ~a, ~b);
-  solver->AddTernary(d, ~a, b);
-  solver->AddTernary(d, a, ~b);
+Lit EncodeXorEquals(ClauseSink* sink, Lit a, Lit b) {
+  ARBITER_CHECK(sink != nullptr);
+  Lit d = Lit::Pos(sink->NewVar());
+  sink->AddTernary(~d, a, b);
+  sink->AddTernary(~d, ~a, ~b);
+  sink->AddTernary(d, ~a, b);
+  sink->AddTernary(d, a, ~b);
   return d;
 }
 
-UnaryCounter::UnaryCounter(Solver* solver, const std::vector<Lit>& lits) {
-  ARBITER_CHECK(solver != nullptr);
+UnaryCounter::UnaryCounter(ClauseSink* sink, const std::vector<Lit>& lits) {
+  ARBITER_CHECK(sink != nullptr);
   const int n = static_cast<int>(lits.size());
   outputs_.resize(n);
   if (n == 0) return;
@@ -84,35 +84,35 @@ UnaryCounter::UnaryCounter(Solver* solver, const std::vector<Lit>& lits) {
   std::vector<Lit> prev;   // row for prefix length i
   for (int i = 0; i < n; ++i) {
     std::vector<Lit> row(i + 1);
-    for (int j = 0; j <= i; ++j) row[j] = Lit::Pos(solver->NewVar());
+    for (int j = 0; j <= i; ++j) row[j] = Lit::Pos(sink->NewVar());
     if (i == 0) {
       // row[0] <-> lits[0]
-      solver->AddBinary(~row[0], lits[0]);
-      solver->AddBinary(row[0], ~lits[0]);
+      sink->AddBinary(~row[0], lits[0]);
+      sink->AddBinary(row[0], ~lits[0]);
     } else {
       for (int j = 0; j <= i; ++j) {
         // row[j] is true iff at least j+1 true among first i+1 inputs:
         //   row[j] <- prev[j]                    (already enough)
         //   row[j] <- prev[j-1] & lits[i]        (becomes enough)
         //   row[j] -> prev[j] | (prev[j-1] & lits[i])
-        if (j < i) solver->AddBinary(~prev[j], row[j]);
+        if (j < i) sink->AddBinary(~prev[j], row[j]);
         if (j == 0) {
-          solver->AddBinary(~lits[i], row[0]);
+          sink->AddBinary(~lits[i], row[0]);
           // row[0] -> prev[0] | lits[i]
-          solver->AddTernary(~row[0], prev[0], lits[i]);
+          sink->AddTernary(~row[0], prev[0], lits[i]);
         } else {
           if (j - 1 <= i - 1) {
-            solver->AddTernary(~prev[j - 1], ~lits[i], row[j]);
+            sink->AddTernary(~prev[j - 1], ~lits[i], row[j]);
           }
           // row[j] -> prev[j] | (prev[j-1] & lits[i])
           // CNF: (!row[j] | prev[j] | prev[j-1]) & (!row[j] | prev[j] | lits[i])
           if (j < i) {
-            solver->AddTernary(~row[j], prev[j], prev[j - 1]);
-            solver->AddTernary(~row[j], prev[j], lits[i]);
+            sink->AddTernary(~row[j], prev[j], prev[j - 1]);
+            sink->AddTernary(~row[j], prev[j], lits[i]);
           } else {
             // j == i: prev[j] does not exist (can't have i+1 of i inputs)
-            solver->AddBinary(~row[j], prev[j - 1]);
-            solver->AddBinary(~row[j], lits[i]);
+            sink->AddBinary(~row[j], prev[j - 1]);
+            sink->AddBinary(~row[j], lits[i]);
           }
         }
       }

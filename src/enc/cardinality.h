@@ -3,7 +3,8 @@
 
 #include <vector>
 
-#include "sat/solver.h"
+#include "sat/cnf.h"
+#include "util/logging.h"
 
 /// \file cardinality.h
 /// Cardinality constraints over literals, encoded with the sequential
@@ -13,21 +14,21 @@
 namespace arbiter::enc {
 
 /// Adds clauses enforcing  Σ lits <= k.  k >= lits.size() adds nothing;
-/// k == 0 forces every literal false; k < 0 makes the solver UNSAT.
-void AddAtMostK(sat::Solver* solver, const std::vector<sat::Lit>& lits,
+/// k == 0 forces every literal false; k < 0 adds the empty clause.
+void AddAtMostK(sat::ClauseSink* sink, const std::vector<sat::Lit>& lits,
                 int k);
 
 /// Adds clauses enforcing  Σ lits >= k  (via at-most on negations).
-void AddAtLeastK(sat::Solver* solver, const std::vector<sat::Lit>& lits,
+void AddAtLeastK(sat::ClauseSink* sink, const std::vector<sat::Lit>& lits,
                  int k);
 
 /// Adds clauses enforcing  Σ lits == k.
-void AddExactlyK(sat::Solver* solver, const std::vector<sat::Lit>& lits,
+void AddExactlyK(sat::ClauseSink* sink, const std::vector<sat::Lit>& lits,
                  int k);
 
 /// Creates a fresh literal d with  d <-> (a xor b)  and returns it.
 /// This is the "difference bit" used for Hamming distance encodings.
-sat::Lit EncodeXorEquals(sat::Solver* solver, sat::Lit a, sat::Lit b);
+sat::Lit EncodeXorEquals(sat::ClauseSink* sink, sat::Lit a, sat::Lit b);
 
 /// A unary counter exposing per-threshold outputs: output(k) is a
 /// literal that is true iff at least k of the inputs are true.  Built
@@ -35,8 +36,8 @@ sat::Lit EncodeXorEquals(sat::Solver* solver, sat::Lit a, sat::Lit b);
 /// the core of the binary-search distance minimization in src/solve/.
 class UnaryCounter {
  public:
-  /// Builds the counter circuit over `lits` in `solver`.
-  UnaryCounter(sat::Solver* solver, const std::vector<sat::Lit>& lits);
+  /// Builds the counter circuit over `lits` in `sink`.
+  UnaryCounter(sat::ClauseSink* sink, const std::vector<sat::Lit>& lits);
 
   int size() const { return static_cast<int>(outputs_.size()); }
 

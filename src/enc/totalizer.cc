@@ -3,21 +3,21 @@
 namespace arbiter::enc {
 
 using sat::Lit;
-using sat::Solver;
+using sat::ClauseSink;
 
-std::vector<Lit> Totalizer::Build(Solver* solver,
+std::vector<Lit> Totalizer::Build(ClauseSink* sink,
                                   const std::vector<Lit>& lits, int lo,
                                   int hi) {
   const int n = hi - lo;
   ARBITER_DCHECK(n >= 1);
   if (n == 1) return {lits[lo]};
   const int mid = lo + n / 2;
-  std::vector<Lit> left = Build(solver, lits, lo, mid);
-  std::vector<Lit> right = Build(solver, lits, mid, hi);
+  std::vector<Lit> left = Build(sink, lits, lo, mid);
+  std::vector<Lit> right = Build(sink, lits, mid, hi);
   const int p = static_cast<int>(left.size());
   const int q = static_cast<int>(right.size());
   std::vector<Lit> out(n);
-  for (int i = 0; i < n; ++i) out[i] = Lit::Pos(solver->NewVar());
+  for (int i = 0; i < n; ++i) out[i] = Lit::Pos(sink->NewVar());
   // Merge clauses.  Convention: left[-1] / right[-1] are "true",
   // left[p] / right[q] are "false".
   for (int i = 0; i <= p; ++i) {
@@ -29,7 +29,7 @@ std::vector<Lit> Totalizer::Build(Solver* solver,
         if (i >= 1) clause.push_back(~left[i - 1]);
         if (j >= 1) clause.push_back(~right[j - 1]);
         clause.push_back(out[i + j - 1]);
-        solver->AddClause(std::move(clause));
+        sink->AddClause(std::move(clause));
       }
       // (<=i left) & (<=j right) -> (<=i+j out):
       //   left[i] | right[j] | !out[i+j]   (indices as counts)
@@ -38,17 +38,17 @@ std::vector<Lit> Totalizer::Build(Solver* solver,
         if (i < p) clause.push_back(left[i]);
         if (j < q) clause.push_back(right[j]);
         clause.push_back(~out[i + j]);
-        solver->AddClause(std::move(clause));
+        sink->AddClause(std::move(clause));
       }
     }
   }
   return out;
 }
 
-Totalizer::Totalizer(Solver* solver, const std::vector<Lit>& lits) {
-  ARBITER_CHECK(solver != nullptr);
+Totalizer::Totalizer(ClauseSink* sink, const std::vector<Lit>& lits) {
+  ARBITER_CHECK(sink != nullptr);
   if (lits.empty()) return;
-  outputs_ = Build(solver, lits, 0, static_cast<int>(lits.size()));
+  outputs_ = Build(sink, lits, 0, static_cast<int>(lits.size()));
 }
 
 }  // namespace arbiter::enc

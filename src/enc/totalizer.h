@@ -3,7 +3,8 @@
 
 #include <vector>
 
-#include "sat/solver.h"
+#include "sat/cnf.h"
+#include "util/logging.h"
 
 /// \file totalizer.h
 /// The totalizer cardinality encoding of Bailleux & Boufkhad (2003):
@@ -24,7 +25,7 @@ namespace arbiter::enc {
 /// assumptions or asserted as units, exactly like UnaryCounter.
 class Totalizer {
  public:
-  Totalizer(sat::Solver* solver, const std::vector<sat::Lit>& lits);
+  Totalizer(sat::ClauseSink* sink, const std::vector<sat::Lit>& lits);
 
   int size() const { return static_cast<int>(outputs_.size()); }
 
@@ -40,7 +41,7 @@ class Totalizer {
  private:
   /// Builds the subtree over lits[lo, hi) and returns its unary
   /// output vector (outputs[i] <=> at least i+1 true in the range).
-  std::vector<sat::Lit> Build(sat::Solver* solver,
+  std::vector<sat::Lit> Build(sat::ClauseSink* sink,
                               const std::vector<sat::Lit>& lits, int lo,
                               int hi);
 

@@ -6,7 +6,7 @@
 
 #include "enc/tseitin.h"
 #include "sat/all_sat.h"
-#include "sat/solver.h"
+#include "sat/preprocessor.h"
 #include "solve/sat_bridge.h"
 #include "util/logging.h"
 
@@ -120,13 +120,14 @@ void SemanticOracle::CountModels(const Formula& f, int64_t* lo,
     *lo = *hi = 1;
     return;
   }
-  sat::Solver solver;
+  sat::SatPreprocessor solver;
   enc::TseitinEncoder encoder(&solver);
   encoder.ReserveInputVars(num_terms_);
   if (!encoder.Assert(f)) {
     *lo = *hi = 0;
     return;
   }
+  solver.FreezeRange(0, num_terms_);  // enumeration projects onto inputs
   sat::AllSatOptions options;
   options.num_project = num_terms_;
   options.max_models = model_cap_;

@@ -4,7 +4,7 @@
 
 namespace arbiter::sat {
 
-int64_t EnumerateAllSat(Solver* solver, const AllSatOptions& options,
+int64_t EnumerateAllSat(SatEngine* solver, const AllSatOptions& options,
                         const std::function<bool(uint64_t)>& on_model) {
   ARBITER_CHECK(solver != nullptr);
   ARBITER_CHECK(options.num_project > 0 && options.num_project <= 64);
@@ -31,7 +31,7 @@ int64_t EnumerateAllSat(Solver* solver, const AllSatOptions& options,
   return count;
 }
 
-std::vector<uint64_t> CollectAllSat(Solver* solver,
+std::vector<uint64_t> CollectAllSat(SatEngine* solver,
                                     const AllSatOptions& options) {
   std::vector<uint64_t> models;
   EnumerateAllSat(solver, options, [&](uint64_t bits) {

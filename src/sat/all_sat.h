@@ -5,13 +5,15 @@
 #include <functional>
 #include <vector>
 
-#include "sat/solver.h"
+#include "sat/engine.h"
 
 /// \file all_sat.h
-/// Model enumeration (AllSAT) on top of the CDCL solver using blocking
+/// Model enumeration (AllSAT) on top of a SAT engine using blocking
 /// clauses, with optional projection onto a variable prefix.  This is
 /// how Mod(φ) is computed for formulas whose Tseitin encoding
-/// introduces auxiliary variables.
+/// introduces auxiliary variables.  Works against any `SatEngine` —
+/// the plain CDCL solver or the preprocessing wrapper (whose freeze
+/// API keeps the projected prefix intact).
 
 namespace arbiter::sat {
 
@@ -32,11 +34,11 @@ struct AllSatOptions {
 ///
 /// The solver is left with the blocking clauses added; callers that
 /// need to reuse it must account for that.
-int64_t EnumerateAllSat(Solver* solver, const AllSatOptions& options,
+int64_t EnumerateAllSat(SatEngine* solver, const AllSatOptions& options,
                         const std::function<bool(uint64_t)>& on_model);
 
 /// Convenience wrapper collecting all projected models, sorted.
-std::vector<uint64_t> CollectAllSat(Solver* solver,
+std::vector<uint64_t> CollectAllSat(SatEngine* solver,
                                     const AllSatOptions& options);
 
 }  // namespace arbiter::sat

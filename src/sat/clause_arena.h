@@ -1,0 +1,136 @@
+#ifndef ARBITER_SAT_CLAUSE_ARENA_H_
+#define ARBITER_SAT_CLAUSE_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sat/types.h"
+
+/// \file clause_arena.h
+/// Arena allocation for clauses.  All clauses live in one contiguous
+/// `uint32_t` buffer; a clause is identified by a `ClauseRef` — its
+/// word offset into that buffer — instead of a heap pointer.  This
+/// removes one pointer-chase (and one cache line) per watched-clause
+/// visit in `Propagate()`, and makes compaction a simple two-space
+/// copy.
+///
+/// Per-clause layout (`kHeaderWords` header words, then the literals):
+///
+///   word 0   size << 3 | learnt | deleted << 1 | reloced << 2
+///   word 1   float activity bits (forwarding ClauseRef once reloced)
+///   word 2   LBD (literal block distance; 0 for problem clauses)
+///   word 3+  literal codes
+///
+/// Deletion only sets a header bit and counts the words as wasted; the
+/// solver triggers `Reloc`-based compaction into a fresh arena when
+/// wasted words dominate (see Solver::MaybeGarbageCollect).
+
+namespace arbiter::sat {
+
+/// Word offset of a clause in its arena.
+using ClauseRef = uint32_t;
+
+inline constexpr ClauseRef kClauseRefUndef = 0xFFFFFFFFu;
+
+class ClauseArena {
+ public:
+  static constexpr int kHeaderWords = 3;
+
+  /// Allocates a clause over the given literals and returns its ref.
+  ClauseRef Alloc(const std::vector<Lit>& lits, bool learnt) {
+    const ClauseRef ref = static_cast<ClauseRef>(mem_.size());
+    mem_.push_back((static_cast<uint32_t>(lits.size()) << 3) |
+                   (learnt ? 1u : 0u));
+    mem_.push_back(FloatBits(0.0f));
+    mem_.push_back(0);  // LBD
+    for (const Lit l : lits) {
+      mem_.push_back(static_cast<uint32_t>(l.code()));
+    }
+    return ref;
+  }
+
+  int Size(ClauseRef c) const { return static_cast<int>(mem_[c] >> 3); }
+  bool Learnt(ClauseRef c) const { return (mem_[c] & 1u) != 0; }
+  bool Deleted(ClauseRef c) const { return (mem_[c] & 2u) != 0; }
+
+  /// Marks the clause deleted and counts its words as wasted.
+  void MarkDeleted(ClauseRef c) {
+    ARBITER_DCHECK(!Deleted(c));
+    mem_[c] |= 2u;
+    wasted_ += static_cast<size_t>(kHeaderWords) + Size(c);
+  }
+
+  /// Shrinks the clause to `new_size` literals (root-level literal
+  /// stripping).  The trailing words become wasted.
+  void Shrink(ClauseRef c, int new_size) {
+    const int old_size = Size(c);
+    ARBITER_DCHECK(new_size >= 1 && new_size <= old_size);
+    mem_[c] = (mem_[c] & 7u) | (static_cast<uint32_t>(new_size) << 3);
+    wasted_ += static_cast<size_t>(old_size - new_size);
+  }
+
+  float Activity(ClauseRef c) const { return BitsFloat(mem_[c + 1]); }
+  void SetActivity(ClauseRef c, float a) { mem_[c + 1] = FloatBits(a); }
+
+  uint32_t Lbd(ClauseRef c) const { return mem_[c + 2]; }
+  void SetLbd(ClauseRef c, uint32_t lbd) { mem_[c + 2] = lbd; }
+
+  Lit LitAt(ClauseRef c, int i) const {
+    return Lit::FromCode(static_cast<int>(mem_[c + kHeaderWords + i]));
+  }
+  void SetLitAt(ClauseRef c, int i, Lit l) {
+    mem_[c + kHeaderWords + i] = static_cast<uint32_t>(l.code());
+  }
+  void SwapLits(ClauseRef c, int i, int j) {
+    std::swap(mem_[c + kHeaderWords + i], mem_[c + kHeaderWords + j]);
+  }
+
+  /// Words in use (including wasted ones) / wasted by deletions.
+  size_t size() const { return mem_.size(); }
+  size_t wasted() const { return wasted_; }
+
+  void Reserve(size_t words) { mem_.reserve(words); }
+
+  // --- two-space compaction ---
+
+  bool Reloced(ClauseRef c) const { return (mem_[c] & 4u) != 0; }
+  ClauseRef Forward(ClauseRef c) const {
+    ARBITER_DCHECK(Reloced(c));
+    return mem_[c + 1];
+  }
+
+  /// Copies the clause into `to` (once; later calls return the same
+  /// forwarding ref) and returns its new ref.  Deleted clauses must
+  /// not be relocated — drop the reference instead.
+  ClauseRef Reloc(ClauseRef c, ClauseArena* to) {
+    if (Reloced(c)) return Forward(c);
+    ARBITER_DCHECK(!Deleted(c));
+    const size_t words = static_cast<size_t>(kHeaderWords) + Size(c);
+    const ClauseRef fresh = static_cast<ClauseRef>(to->mem_.size());
+    to->mem_.insert(to->mem_.end(), mem_.begin() + c,
+                    mem_.begin() + c + words);
+    mem_[c] |= 4u;
+    mem_[c + 1] = fresh;
+    return fresh;
+  }
+
+ private:
+  static uint32_t FloatBits(float f) {
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+  }
+  static float BitsFloat(uint32_t u) {
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+  }
+
+  std::vector<uint32_t> mem_;
+  size_t wasted_ = 0;
+};
+
+}  // namespace arbiter::sat
+
+#endif  // ARBITER_SAT_CLAUSE_ARENA_H_

@@ -1,0 +1,42 @@
+#ifndef ARBITER_SAT_ENGINE_H_
+#define ARBITER_SAT_ENGINE_H_
+
+#include <vector>
+
+#include "sat/cnf.h"
+#include "sat/types.h"
+
+/// \file engine.h
+/// SatEngine: the solving interface shared by the plain CDCL `Solver`
+/// and the preprocessing wrapper `SatPreprocessor`.  Consumers that
+/// only need "load clauses, solve, read a model" (AllSAT, the solve/
+/// distance encodings, lint) target this so either engine can serve
+/// them — in particular the preprocessor, whose variable remapping and
+/// model reconstruction stay invisible behind this interface.
+
+namespace arbiter::sat {
+
+/// A clause sink that can also decide satisfiability.
+class SatEngine : public ClauseSink {
+ public:
+  /// Solves the current formula.  kUnknown only under a conflict budget.
+  virtual SolveStatus Solve() = 0;
+
+  /// Solves under the given assumptions (temporary unit literals).
+  virtual SolveStatus SolveAssuming(const std::vector<Lit>& assumptions) = 0;
+
+  /// Value of v in the most recent satisfying model.  Only valid after
+  /// a solve returned kSat.
+  virtual bool ModelValue(Var v) const = 0;
+
+  /// After SolveAssuming returned kUnsat: a subset of the assumptions
+  /// already inconsistent with the clause database.
+  virtual const std::vector<Lit>& FailedAssumptions() const = 0;
+
+  /// True iff top-level unsatisfiability has been derived.
+  virtual bool InConflict() const = 0;
+};
+
+}  // namespace arbiter::sat
+
+#endif  // ARBITER_SAT_ENGINE_H_

@@ -1,0 +1,644 @@
+#include "sat/preprocessor.h"
+
+#include <algorithm>
+#include <utility>
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace arbiter::sat {
+
+namespace {
+
+// Process-wide switch, sampled by each SatPreprocessor at construction.
+std::atomic<bool> g_preprocessing_enabled{true};
+
+// Pipeline size floor, read when Preprocess runs.
+std::atomic<int> g_pp_min_clauses{160};
+
+// Resolvent-size guards, in the SatELite tradition: skip a variable if
+// either side's occurrence list is long (quadratic resolvent count) or
+// any resolvent would be long (clause blowup); eliminate only when the
+// clause count does not grow.
+constexpr size_t kBveMaxSideOccs = 10;
+constexpr size_t kBveMaxResolventLen = 24;
+constexpr uint64_t kMaxRounds = 12;
+
+}  // namespace
+
+void SetSatPreprocessingEnabled(bool enabled) {
+  g_preprocessing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool SatPreprocessingEnabled() {
+  return g_preprocessing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetSatPreprocessMinClauses(int min_clauses) {
+  g_pp_min_clauses.store(min_clauses, std::memory_order_relaxed);
+}
+
+int SatPreprocessMinClauses() {
+  return g_pp_min_clauses.load(std::memory_order_relaxed);
+}
+
+uint64_t SatPreprocessor::Signature(const std::vector<Lit>& lits) {
+  uint64_t sig = 0;
+  for (const Lit l : lits) sig |= uint64_t{1} << (l.var() & 63);
+  return sig;
+}
+
+Var SatPreprocessor::NewVar() {
+  if (replay_) {
+    ++num_vars_;
+    return solver_.NewVar();
+  }
+  const Var v = num_vars_++;
+  frozen_.push_back(0);
+  fixed_.push_back(LBool::kUndef);
+  if (preprocessed_) {
+    // Post-preprocess variables map straight through.  (Before
+    // preprocessing only `frozen_` and `fixed_` are maintained;
+    // `Preprocess` sizes the occurrence-list arrays in one shot.)
+    eliminated_.push_back(0);
+    touched_.push_back(1);
+    occ_.emplace_back();
+    occ_.emplace_back();
+    const Var sv = solver_.NewVar();
+    orig2solver_.push_back(sv);
+    ARBITER_DCHECK(static_cast<size_t>(sv) == solver2orig_.size());
+    solver2orig_.push_back(v);
+  }
+  return v;
+}
+
+void SatPreprocessor::Freeze(Var v) {
+  ARBITER_CHECK_MSG(v >= 0 && v < num_vars_, "freezing unknown variable");
+  if (replay_) return;  // nothing is ever eliminated in replay mode
+  ARBITER_CHECK_MSG(!preprocessed_ || !eliminated_[v],
+                    "variable frozen after elimination");
+  frozen_[v] = 1;
+}
+
+void SatPreprocessor::FreezeRange(Var begin, Var end) {
+  for (Var v = begin; v < end; ++v) Freeze(v);
+}
+
+LBool SatPreprocessor::FixedValue(Lit l) const {
+  return LitValue(fixed_[l.var()], l.negated());
+}
+
+bool SatPreprocessor::SetFixed(Lit l) {
+  const LBool cur = FixedValue(l);
+  if (cur == LBool::kTrue) return true;
+  if (cur == LBool::kFalse) {
+    contradiction_ = true;
+    return false;
+  }
+  fixed_[l.var()] = BoolToLBool(!l.negated());
+  ++pstats_.fixed_vars;
+  fixed_queue_.push_back(l);
+  return true;
+}
+
+void SatPreprocessor::AttachOcc(int ci) {
+  for (const Lit l : pending_[ci].lits) occ_[l.code()].push_back(ci);
+  if (!in_subsume_queue_[ci]) {
+    in_subsume_queue_[ci] = 1;
+    subsume_queue_.push_back(ci);
+  }
+}
+
+bool SatPreprocessor::ClauseContains(const PendingClause& c, Lit l) const {
+  return std::binary_search(c.lits.begin(), c.lits.end(), l);
+}
+
+bool SatPreprocessor::AddPending(std::vector<Lit> lits) {
+  // Same normalization as Solver::AddClause: sort, dedup, drop
+  // root-false literals, detect tautologies and satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev;
+  for (const Lit l : lits) {
+    ARBITER_CHECK_MSG(l.var() >= 0 && l.var() < num_vars_,
+                      "literal over unknown variable");
+    if (FixedValue(l) == LBool::kTrue || (prev.defined() && l == ~prev)) {
+      return true;
+    }
+    if (FixedValue(l) == LBool::kFalse || l == prev) continue;
+    out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    contradiction_ = true;
+    return false;
+  }
+  if (out.size() == 1) return SetFixed(out[0]);
+  const int ci = static_cast<int>(pending_.size());
+  pending_.push_back(PendingClause{std::move(out), 0, false});
+  pending_[ci].sig = Signature(pending_[ci].lits);
+  in_subsume_queue_.push_back(0);
+  AttachOcc(ci);
+  TouchClause(ci);
+  return true;
+}
+
+bool SatPreprocessor::AddClause(std::vector<Lit> lits) {
+  if (replay_) return solver_.AddClause(std::move(lits));
+  if (contradiction_) return false;
+  if (!preprocessed_) {
+    // Units (and the empty clause) are handled eagerly so root
+    // contradictions are reported at add time; everything else is
+    // buffered verbatim, with normalization and occurrence bookkeeping
+    // deferred to Preprocess so tiny instances can skip it entirely.
+    for (const Lit l : lits) {
+      ARBITER_CHECK_MSG(l.var() >= 0 && l.var() < num_vars_,
+                        "literal over unknown variable");
+    }
+    if (lits.empty()) {
+      contradiction_ = true;
+      return false;
+    }
+    if (lits.size() == 1) return SetFixed(lits[0]);
+    buffer_.push_back(std::move(lits));
+    return true;
+  }
+  // After preprocessing: translate to solver indices, simplifying
+  // against root-fixed values on the way.
+  std::vector<Lit> mapped;
+  mapped.reserve(lits.size());
+  for (const Lit l : lits) {
+    const Var v = l.var();
+    ARBITER_CHECK_MSG(v >= 0 && v < num_vars_,
+                      "literal over unknown variable");
+    ARBITER_CHECK_MSG(!eliminated_[v],
+                      "clause over an eliminated variable; freeze "
+                      "variables that are mentioned after preprocessing");
+    const LBool fv = FixedValue(l);
+    if (fv == LBool::kTrue) return true;
+    if (fv == LBool::kFalse) continue;
+    mapped.push_back(Lit(orig2solver_[v], l.negated()));
+  }
+  if (mapped.empty()) {
+    contradiction_ = true;
+    return false;
+  }
+  return solver_.AddClause(std::move(mapped));
+}
+
+void SatPreprocessor::TouchClause(int ci) {
+  for (const Lit l : pending_[ci].lits) touched_[l.var()] = 1;
+}
+
+void SatPreprocessor::KillClause(int ci) {
+  TouchClause(ci);  // neighbours may have become eliminable
+  pending_[ci].dead = true;
+}
+
+bool SatPreprocessor::StrengthenClause(int ci, Lit l) {
+  PendingClause& c = pending_[ci];
+  const auto it = std::lower_bound(c.lits.begin(), c.lits.end(), l);
+  if (it == c.lits.end() || *it != l) return true;  // already gone
+  c.lits.erase(it);
+  touched_[l.var()] = 1;
+  TouchClause(ci);
+  ++pstats_.strengthened_literals;
+  if (c.lits.size() == 1) {
+    const Lit unit = c.lits[0];
+    KillClause(ci);
+    return SetFixed(unit);
+  }
+  c.sig = Signature(c.lits);
+  if (!in_subsume_queue_[ci]) {
+    in_subsume_queue_[ci] = 1;
+    subsume_queue_.push_back(ci);
+  }
+  return true;
+}
+
+bool SatPreprocessor::PropagateFixed() {
+  while (!fixed_queue_.empty() && !contradiction_) {
+    const Lit l = fixed_queue_.back();
+    fixed_queue_.pop_back();
+    // Clauses containing l are satisfied; clauses containing ~l lose
+    // the literal (which may cascade into further units).
+    std::vector<int> pos_occs = std::move(occ_[l.code()]);
+    occ_[l.code()].clear();
+    for (const int ci : pos_occs) {
+      if (!pending_[ci].dead && ClauseContains(pending_[ci], l)) {
+        KillClause(ci);
+      }
+    }
+    std::vector<int> neg_occs = std::move(occ_[(~l).code()]);
+    occ_[(~l).code()].clear();
+    for (const int ci : neg_occs) {
+      if (!pending_[ci].dead && ClauseContains(pending_[ci], ~l)) {
+        if (!StrengthenClause(ci, ~l)) return false;
+      }
+    }
+  }
+  return !contradiction_;
+}
+
+// Returns kLitUndefCode-coded "subsumes" or the single flipped literal.
+// `small` must be a subset of `big` up to at most one flipped literal;
+// both are sorted by code (hence by variable).
+namespace {
+enum class SubsumeResult { kNone, kSubsumes, kStrengthen };
+
+/// Length of the resolvent of two sorted clauses on `skip_a`/`skip_b`
+/// (the pivot literals), or -1 if it is a tautology.  A two-pointer
+/// merge: no allocation, so variable elimination can price every
+/// candidate before materializing anything.
+int ResolventLen(const std::vector<Lit>& a, Lit skip_a,
+                 const std::vector<Lit>& b, Lit skip_b) {
+  size_t i = 0, j = 0;
+  int len = 0;
+  while (true) {
+    while (i < a.size() && a[i] == skip_a) ++i;
+    while (j < b.size() && b[j] == skip_b) ++j;
+    if (i == a.size() && j == b.size()) return len;
+    if (i == a.size() || (j < b.size() && b[j] < a[i])) {
+      if (i < a.size() && a[i].var() == b[j].var()) return -1;
+      ++len;
+      ++j;
+      continue;
+    }
+    if (j == b.size()) {
+      ++len;
+      ++i;
+      continue;
+    }
+    if (a[i] == b[j]) {
+      ++len;
+      ++i;
+      ++j;
+      continue;
+    }
+    if (a[i].var() == b[j].var()) return -1;  // opposite polarities
+    ++len;
+    ++i;
+  }
+}
+
+SubsumeResult SubsumeCheck(const std::vector<Lit>& small,
+                           const std::vector<Lit>& big, Lit* flipped) {
+  size_t j = 0;
+  Lit flip;
+  for (const Lit lc : small) {
+    const Var vc = lc.var();
+    while (j < big.size() && big[j].var() < vc) ++j;
+    if (j >= big.size() || big[j].var() > vc) return SubsumeResult::kNone;
+    if (big[j] != lc) {
+      // Same variable, opposite sign: one flip allowed.
+      if (flip.defined()) return SubsumeResult::kNone;
+      flip = lc;
+    }
+    ++j;
+  }
+  if (!flip.defined()) return SubsumeResult::kSubsumes;
+  *flipped = flip;
+  return SubsumeResult::kStrengthen;
+}
+}  // namespace
+
+bool SatPreprocessor::TrySubsumeWith(int ci) {
+  bool changed = false;
+  const PendingClause& c = pending_[ci];
+  // Scan the occurrence list of the least-occurring literal in c; the
+  // negated list too, which catches strengthenings where that literal
+  // itself is the flipped one (occurrence lists are per-literal, so the
+  // positive scan alone would miss them).
+  Lit best = c.lits[0];
+  size_t best_size = occ_[best.code()].size() + occ_[(~best).code()].size();
+  for (const Lit l : c.lits) {
+    const size_t s = occ_[l.code()].size() + occ_[(~l).code()].size();
+    if (s < best_size) {
+      best = l;
+      best_size = s;
+    }
+  }
+  for (const int list_code : {best.code(), (~best).code()}) {
+    std::vector<int>& list = occ_[list_code];
+    size_t keep = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      const int cj = list[i];
+      // Lazily compact stale entries (dead or strengthened-away).
+      if (pending_[cj].dead ||
+          !ClauseContains(pending_[cj], Lit::FromCode(list_code))) {
+        continue;
+      }
+      list[keep++] = cj;
+      if (cj == ci || pending_[ci].dead) continue;
+      const PendingClause& d = pending_[cj];
+      if (d.lits.size() < c.lits.size()) continue;
+      if ((c.sig & ~d.sig) != 0) continue;
+      Lit flipped;
+      switch (SubsumeCheck(c.lits, d.lits, &flipped)) {
+        case SubsumeResult::kNone:
+          break;
+        case SubsumeResult::kSubsumes:
+          KillClause(cj);
+          ++pstats_.subsumed_clauses;
+          changed = true;
+          --keep;  // entry now stale
+          break;
+        case SubsumeResult::kStrengthen:
+          if (!StrengthenClause(cj, ~flipped)) {
+            list.resize(keep);
+            return changed;
+          }
+          changed = true;
+          break;
+      }
+    }
+    list.resize(keep);
+  }
+  return changed;
+}
+
+bool SatPreprocessor::SubsumptionPass() {
+  bool changed = false;
+  while (!subsume_queue_.empty() && !contradiction_) {
+    const int ci = subsume_queue_.back();
+    subsume_queue_.pop_back();
+    in_subsume_queue_[ci] = 0;
+    if (pending_[ci].dead) continue;
+    changed |= TrySubsumeWith(ci);
+    if (!fixed_queue_.empty() && !PropagateFixed()) break;
+  }
+  return changed;
+}
+
+bool SatPreprocessor::TryEliminate(Var v) {
+  // Collect the live clauses of each polarity, compacting stale
+  // occurrence entries on the way.
+  auto gather = [this](Lit l, std::vector<int>* out) {
+    std::vector<int>& list = occ_[l.code()];
+    size_t keep = 0;
+    for (const int ci : list) {
+      if (pending_[ci].dead || !ClauseContains(pending_[ci], l)) continue;
+      list[keep++] = ci;
+      out->push_back(ci);
+    }
+    list.resize(keep);
+  };
+  const Lit pos = Lit::Pos(v);
+  const Lit neg = Lit::Neg(v);
+  std::vector<int> ps, ns;
+  gather(pos, &ps);
+  gather(neg, &ns);
+  if (ps.size() > kBveMaxSideOccs || ns.size() > kBveMaxSideOccs) {
+    return false;
+  }
+  // Dry run: price the elimination before allocating anything.  Most
+  // candidates fail the growth bound, so the resolvents are only
+  // materialized once the counting pass has committed to eliminating.
+  size_t count = 0;
+  for (const int pi : ps) {
+    for (const int ni : ns) {
+      const int len =
+          ResolventLen(pending_[pi].lits, pos, pending_[ni].lits, neg);
+      if (len < 0) continue;  // tautology
+      if (len > static_cast<int>(kBveMaxResolventLen)) return false;
+      if (++count > ps.size() + ns.size()) return false;
+    }
+  }
+  std::vector<std::vector<Lit>> resolvents;
+  resolvents.reserve(count);
+  for (const int pi : ps) {
+    for (const int ni : ns) {
+      if (ResolventLen(pending_[pi].lits, pos, pending_[ni].lits, neg) < 0) {
+        continue;
+      }
+      std::vector<Lit> res;
+      res.reserve(pending_[pi].lits.size() + pending_[ni].lits.size() - 2);
+      for (const Lit l : pending_[pi].lits) {
+        if (l != pos) res.push_back(l);
+      }
+      for (const Lit l : pending_[ni].lits) {
+        if (l != neg) res.push_back(l);
+      }
+      std::sort(res.begin(), res.end());
+      res.erase(std::unique(res.begin(), res.end()), res.end());
+      resolvents.push_back(std::move(res));
+    }
+  }
+  // Commit: record the smaller polarity side for model reconstruction,
+  // retire the originals, add the resolvents.
+  ElimRecord record;
+  record.p = ps.size() <= ns.size() ? pos : neg;
+  const std::vector<int>& side = ps.size() <= ns.size() ? ps : ns;
+  for (const int ci : side) {
+    std::vector<Lit> others;
+    others.reserve(pending_[ci].lits.size() - 1);
+    for (const Lit l : pending_[ci].lits) {
+      if (l != record.p) others.push_back(l);
+    }
+    record.clauses.push_back(std::move(others));
+  }
+  elim_stack_.push_back(std::move(record));
+  for (const int ci : ps) KillClause(ci);
+  for (const int ci : ns) KillClause(ci);
+  occ_[pos.code()].clear();
+  occ_[neg.code()].clear();
+  eliminated_[v] = 1;
+  ++pstats_.eliminated_vars;
+  for (std::vector<Lit>& res : resolvents) {
+    ++pstats_.resolvents_added;
+    if (!AddPending(std::move(res))) return true;  // contradiction
+  }
+  return true;
+}
+
+bool SatPreprocessor::BvePass() {
+  // Cheapest variables first: fewest occurrences, so the resolvent
+  // count bound usually holds and the formula shrinks monotonically.
+  // Only variables whose occurrence lists changed since their last
+  // attempt are candidates — a failed attempt stays failed until its
+  // neighbourhood changes, so later rounds are nearly free.
+  std::vector<std::pair<size_t, Var>> order;
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (!touched_[v] || frozen_[v] || eliminated_[v] ||
+        fixed_[v] != LBool::kUndef) {
+      continue;
+    }
+    const size_t occs = occ_[Lit::Pos(v).code()].size() +
+                        occ_[Lit::Neg(v).code()].size();
+    order.emplace_back(occs, v);
+  }
+  std::sort(order.begin(), order.end());
+  bool changed = false;
+  for (const auto& [occs, v] : order) {
+    if (contradiction_) break;
+    if (fixed_[v] != LBool::kUndef) continue;  // fixed by a cascade
+    touched_[v] = 0;
+    if (TryEliminate(v)) {
+      changed = true;
+      if (!fixed_queue_.empty() && !PropagateFixed()) break;
+    }
+  }
+  return changed;
+}
+
+void SatPreprocessor::BuildSolver() {
+  orig2solver_.assign(num_vars_, -1);
+  solver2orig_.clear();
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (eliminated_[v] || fixed_[v] != LBool::kUndef) continue;
+    const Var sv = solver_.NewVar();
+    orig2solver_[v] = sv;
+    ARBITER_DCHECK(static_cast<size_t>(sv) == solver2orig_.size());
+    solver2orig_.push_back(v);
+  }
+  for (const PendingClause& c : pending_) {
+    if (c.dead) continue;
+    std::vector<Lit> mapped;
+    mapped.reserve(c.lits.size());
+    for (const Lit l : c.lits) {
+      ARBITER_DCHECK(orig2solver_[l.var()] >= 0);
+      mapped.push_back(Lit(orig2solver_[l.var()], l.negated()));
+    }
+    solver_.AddClause(std::move(mapped));
+  }
+}
+
+void SatPreprocessor::Preprocess() {
+  if (preprocessed_) return;
+  preprocessed_ = true;
+  if (replay_) return;  // clauses already went straight to the solver
+  if (contradiction_) {
+    buffer_.clear();
+    fixed_queue_.clear();
+    return;  // every solve path reports kUnsat before touching solver_
+  }
+  eliminated_.assign(num_vars_, 0);
+  touched_.assign(num_vars_, 1);
+  occ_.assign(2 * static_cast<size_t>(num_vars_), std::vector<int>());
+  if (buffer_.size() < static_cast<size_t>(SatPreprocessMinClauses())) {
+    // Below the size floor the pipeline costs more than it saves: load
+    // identically (root units included) and let the solver's own
+    // simplification do the rest.  Nothing is eliminated and variable
+    // numbering is unchanged, so the wrapper degenerates to the same
+    // passthrough as disabled mode from here on.
+    for (Var v = 0; v < num_vars_; ++v) solver_.NewVar();
+    for (const Lit l : fixed_queue_) solver_.AddClause({l});
+    fixed_queue_.clear();
+    for (std::vector<Lit>& lits : buffer_) solver_.AddClause(std::move(lits));
+    buffer_.clear();
+    replay_ = true;
+    return;
+  }
+  for (std::vector<Lit>& lits : buffer_) {
+    if (!AddPending(std::move(lits))) break;  // contradiction at root
+  }
+  buffer_.clear();
+  if (!contradiction_) PropagateFixed();
+  // Seed the subsumption queue with everything, then alternate
+  // subsumption/strengthening and elimination until a fixpoint.
+  bool changed = true;
+  while (changed && !contradiction_ && pstats_.rounds < kMaxRounds) {
+    ++pstats_.rounds;
+    changed = SubsumptionPass();
+    if (!contradiction_) changed |= BvePass();
+  }
+  if (!contradiction_) BuildSolver();
+}
+
+SolveStatus SatPreprocessor::Solve() { return SolveAssuming({}); }
+
+SolveStatus SatPreprocessor::SolveAssuming(
+    const std::vector<Lit>& assumptions) {
+  if (replay_) {
+    preprocessed_ = true;
+    return solver_.SolveAssuming(assumptions);
+  }
+  if (!preprocessed_) {
+    // Assumption variables of the triggering solve stay meaningful.
+    for (const Lit a : assumptions) Freeze(a.var());
+    Preprocess();
+    // Preprocess may have taken the identity-load path, leaving the
+    // wrapper in passthrough mode.
+    if (replay_) return solver_.SolveAssuming(assumptions);
+  }
+  failed_assumptions_.clear();
+  if (contradiction_) return SolveStatus::kUnsat;
+  std::vector<Lit> mapped;
+  mapped.reserve(assumptions.size());
+  for (const Lit a : assumptions) {
+    const Var v = a.var();
+    ARBITER_CHECK_MSG(v >= 0 && v < num_vars_, "assumption over unknown var");
+    ARBITER_CHECK_MSG(!eliminated_[v],
+                      "assumption over an eliminated variable; freeze "
+                      "assumption variables before preprocessing");
+    const LBool fv = FixedValue(a);
+    if (fv == LBool::kTrue) continue;
+    if (fv == LBool::kFalse) {
+      // Refuted at the root: this assumption alone is a core.
+      failed_assumptions_.assign(1, a);
+      return SolveStatus::kUnsat;
+    }
+    mapped.push_back(Lit(orig2solver_[v], a.negated()));
+  }
+  const SolveStatus status = solver_.SolveAssuming(mapped);
+  if (status == SolveStatus::kSat) {
+    ExtendModel();
+  } else if (status == SolveStatus::kUnsat) {
+    for (const Lit l : solver_.FailedAssumptions()) {
+      failed_assumptions_.push_back(Lit(solver2orig_[l.var()], l.negated()));
+    }
+  }
+  return status;
+}
+
+void SatPreprocessor::ExtendModel() {
+  model_.assign(num_vars_, LBool::kUndef);
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (orig2solver_[v] >= 0) {
+      model_[v] = BoolToLBool(solver_.ModelValue(orig2solver_[v]));
+    } else if (fixed_[v] != LBool::kUndef) {
+      model_[v] = fixed_[v];
+    }
+  }
+  // Reverse order: a record's stored clauses mention only variables
+  // still live when it was pushed, so later eliminations (extended
+  // first) and solver variables are all decided by the time they are
+  // read here.
+  auto lit_true = [this](Lit l) {
+    return LitValue(model_[l.var()], l.negated()) == LBool::kTrue;
+  };
+  for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+    bool forced = false;
+    for (const std::vector<Lit>& others : it->clauses) {
+      bool sat = false;
+      for (const Lit l : others) {
+        if (lit_true(l)) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        forced = true;
+        break;
+      }
+    }
+    // p true iff some stored clause needs it; otherwise p false (the
+    // resolvents guarantee the ~p side is then satisfied elsewhere).
+    const bool var_value = forced != it->p.negated();
+    model_[it->p.var()] = BoolToLBool(var_value);
+  }
+}
+
+bool SatPreprocessor::ModelValue(Var v) const {
+  if (replay_) return solver_.ModelValue(v);
+  ARBITER_DCHECK(v >= 0 && v < num_vars_);
+  ARBITER_DCHECK(static_cast<size_t>(v) < model_.size());
+  return model_[v] == LBool::kTrue;
+}
+
+bool SatPreprocessor::InConflict() const {
+  if (replay_) return solver_.InConflict();
+  return contradiction_ || solver_.InConflict();
+}
+
+}  // namespace arbiter::sat

@@ -12,9 +12,11 @@ Var Solver::NewVar() {
   Var v = NumVars();
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   assigns_.push_back(LBool::kUndef);
   polarity_.push_back(false);
-  reason_.push_back(nullptr);
+  reason_.push_back(kClauseRefUndef);
   level_.push_back(0);
   activity_.push_back(0.0);
   heap_index_.push_back(-1);
@@ -27,53 +29,87 @@ Var Solver::NewVar() {
 // Clause management
 // ---------------------------------------------------------------------------
 
-Clause* Solver::AllocClause(std::vector<Lit> lits, bool learnt) {
-  auto clause = std::make_unique<Clause>();
-  clause->lits = std::move(lits);
-  clause->learnt = learnt;
-  Clause* raw = clause.get();
-  clauses_.push_back(std::move(clause));
+ClauseRef Solver::AllocClause(const std::vector<Lit>& lits, bool learnt) {
+  ClauseRef c = arena_.Alloc(lits, learnt);
   if (learnt) {
+    learnts_.push_back(c);
     ++num_learnt_clauses_;
   } else {
+    clauses_.push_back(c);
     ++num_problem_clauses_;
   }
-  return raw;
+  return c;
 }
 
-void Solver::AttachClause(Clause* c) {
-  ARBITER_DCHECK(c->size() >= 2);
-  watches_[(~(*c)[0]).code()].push_back(Watcher{c, (*c)[1]});
-  watches_[(~(*c)[1]).code()].push_back(Watcher{c, (*c)[0]});
+void Solver::AttachClause(ClauseRef c) {
+  ARBITER_DCHECK(arena_.Size(c) >= 2);
+  const Lit c0 = arena_.LitAt(c, 0);
+  const Lit c1 = arena_.LitAt(c, 1);
+  if (arena_.Size(c) == 2) {
+    bin_watches_[(~c0).code()].push_back(BinWatcher{c1, c});
+    bin_watches_[(~c1).code()].push_back(BinWatcher{c0, c});
+  } else {
+    watches_[(~c0).code()].push_back(Watcher{c, c1});
+    watches_[(~c1).code()].push_back(Watcher{c, c0});
+  }
 }
 
-void Solver::DetachClause(Clause* c) {
-  ARBITER_DCHECK(c->size() >= 2);
-  for (Lit w : {(*c)[0], (*c)[1]}) {
-    std::vector<Watcher>& ws = watches_[(~w).code()];
-    for (size_t i = 0; i < ws.size(); ++i) {
-      if (ws[i].clause == c) {
-        ws[i] = ws.back();
-        ws.pop_back();
-        break;
+void Solver::DetachClause(ClauseRef c) {
+  ARBITER_DCHECK(arena_.Size(c) >= 2);
+  const Lit c0 = arena_.LitAt(c, 0);
+  const Lit c1 = arena_.LitAt(c, 1);
+  if (arena_.Size(c) == 2) {
+    for (Lit w : {c0, c1}) {
+      std::vector<BinWatcher>& ws = bin_watches_[(~w).code()];
+      for (size_t i = 0; i < ws.size(); ++i) {
+        if (ws[i].cref == c) {
+          ws[i] = ws.back();
+          ws.pop_back();
+          break;
+        }
+      }
+    }
+  } else {
+    for (Lit w : {c0, c1}) {
+      std::vector<Watcher>& ws = watches_[(~w).code()];
+      for (size_t i = 0; i < ws.size(); ++i) {
+        if (ws[i].cref == c) {
+          ws[i] = ws.back();
+          ws.pop_back();
+          break;
+        }
       }
     }
   }
 }
 
-void Solver::RemoveClause(Clause* c) {
+void Solver::RemoveClause(ClauseRef c) {
   DetachClause(c);
-  c->deleted = true;
-  if (c->learnt) {
+  if (arena_.Learnt(c)) {
     --num_learnt_clauses_;
   } else {
     --num_problem_clauses_;
   }
+  // The clause ref stays in clauses_/learnts_ until the next list
+  // compaction (ReduceDB / SimplifyDb / GC); the header bit makes it
+  // skippable.
+  arena_.MarkDeleted(c);
 }
 
-bool Solver::Satisfied(const Clause& c) const {
-  for (Lit l : c.lits) {
-    if (Value(l) == LBool::kTrue) return true;
+bool Solver::Locked(ClauseRef c) const {
+  // Valid for clauses in the main watch tier only: propagation keeps
+  // the implied literal of a reason clause at position 0.  Binary
+  // reasons can sit at either position, but binaries are never
+  // candidates for removal while locked (ReduceDB keeps them, and
+  // SimplifyDb clears root reasons first).
+  const Lit c0 = arena_.LitAt(c, 0);
+  return reason_[c0.var()] == c && Value(c0) == LBool::kTrue;
+}
+
+bool Solver::Satisfied(ClauseRef c) const {
+  const int size = arena_.Size(c);
+  for (int i = 0; i < size; ++i) {
+    if (Value(arena_.LitAt(c, i)) == LBool::kTrue) return true;
   }
   return false;
 }
@@ -101,11 +137,11 @@ bool Solver::AddClause(std::vector<Lit> lits) {
     return false;
   }
   if (out.size() == 1) {
-    UncheckedEnqueue(out[0], nullptr);
-    ok_ = (Propagate() == nullptr);
+    UncheckedEnqueue(out[0], kClauseRefUndef);
+    ok_ = (Propagate() == kClauseRefUndef);
     return ok_;
   }
-  Clause* c = AllocClause(std::move(out), /*learnt=*/false);
+  ClauseRef c = AllocClause(out, /*learnt=*/false);
   AttachClause(c);
   return true;
 }
@@ -114,63 +150,93 @@ bool Solver::AddClause(std::vector<Lit> lits) {
 // Trail / propagation
 // ---------------------------------------------------------------------------
 
-void Solver::UncheckedEnqueue(Lit l, Clause* reason) {
+void Solver::UncheckedEnqueue(Lit l, ClauseRef reason) {
   ARBITER_DCHECK(Value(l) == LBool::kUndef);
-  assigns_[l.var()] = BoolToLBool(!l.negated());
+  assigns_[l.var()] = static_cast<LBool>(1 ^ static_cast<int>(l.negated()));
   reason_[l.var()] = reason;
   level_[l.var()] = DecisionLevel();
   trail_.push_back(l);
 }
 
-Clause* Solver::Propagate() {
-  Clause* conflict = nullptr;
+ClauseRef Solver::Propagate() {
+  ClauseRef conflict = kClauseRefUndef;
   while (qhead_ < static_cast<int>(trail_.size())) {
     const Lit p = trail_[qhead_++];  // p is now true
+    // Binary tier first: no arena access, no watch moves.  Pointers are
+    // hoisted because UncheckedEnqueue only touches other vectors.
+    {
+      const std::vector<BinWatcher>& bws = bin_watches_[p.code()];
+      const BinWatcher* bw = bws.data();
+      const BinWatcher* const bend = bw + bws.size();
+      for (; bw != bend; ++bw) {
+        const int v = ValueCode(bw->other);
+        if (v == 0) {  // other watch false: conflict
+          conflict = bw->cref;
+          qhead_ = static_cast<int>(trail_.size());
+          break;
+        }
+        if (v >= 2) {  // unassigned: unit
+          UncheckedEnqueue(bw->other, bw->cref);
+          ++stats_.propagations;
+        }
+      }
+      if (conflict != kClauseRefUndef) break;
+    }
+    // Watcher moves only ever push onto OTHER literals' lists (the
+    // replacement watch c[1] is non-false while ~p is false, so its
+    // negation is never p), so ws never reallocates under us and the
+    // bounds can live in registers.
     std::vector<Watcher>& ws = watches_[p.code()];
-    size_t keep = 0;
-    size_t i = 0;
-    for (; i < ws.size(); ++i) {
+    Watcher* const wbegin = ws.data();
+    Watcher* const wend = wbegin + ws.size();
+    Watcher* out = wbegin;
+    Watcher* in = wbegin;
+    for (; in != wend; ++in) {
       // Fast path: blocker already true.
-      if (Value(ws[i].blocker) == LBool::kTrue) {
-        ws[keep++] = ws[i];
+      if (ValueCode(in->blocker) == 1) {
+        *out++ = *in;
         continue;
       }
-      Clause& c = *ws[i].clause;
+      const ClauseRef c = in->cref;
       // Normalize so the false watched literal (~p) is c[1].
       const Lit false_lit = ~p;
-      if (c[0] == false_lit) std::swap(c[0], c[1]);
-      ARBITER_DCHECK(c[1] == false_lit);
+      if (arena_.LitAt(c, 0) == false_lit) arena_.SwapLits(c, 0, 1);
+      ARBITER_DCHECK(arena_.LitAt(c, 1) == false_lit);
       // If the other watch is true the clause is satisfied.
-      if (Value(c[0]) == LBool::kTrue) {
-        ws[keep++] = Watcher{&c, c[0]};
+      const Lit first = arena_.LitAt(c, 0);
+      const int first_value = ValueCode(first);
+      if (first_value == 1) {
+        *out++ = Watcher{c, first};
         continue;
       }
       // Look for a replacement watch.
       bool moved = false;
-      for (int k = 2; k < c.size(); ++k) {
-        if (Value(c[k]) != LBool::kFalse) {
-          std::swap(c[1], c[k]);
-          watches_[(~c[1]).code()].push_back(Watcher{&c, c[0]});
+      const int size = arena_.Size(c);
+      for (int k = 2; k < size; ++k) {
+        if (ValueCode(arena_.LitAt(c, k)) != 0) {
+          arena_.SwapLits(c, 1, k);
+          watches_[(~arena_.LitAt(c, 1)).code()].push_back(
+              Watcher{c, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // Clause is unit or conflicting.
-      if (Value(c[0]) == LBool::kFalse) {
-        conflict = &c;
-        ws[keep++] = Watcher{&c, c[0]};
+      if (first_value == 0) {
+        conflict = c;
+        *out++ = Watcher{c, first};
         // Copy the remaining watchers and stop propagating.
-        for (++i; i < ws.size(); ++i) ws[keep++] = ws[i];
+        for (++in; in != wend; ++in) *out++ = *in;
         qhead_ = static_cast<int>(trail_.size());
         break;
       }
-      ws[keep++] = Watcher{&c, c[0]};
-      UncheckedEnqueue(c[0], &c);
+      *out++ = Watcher{c, first};
+      UncheckedEnqueue(first, c);
       ++stats_.propagations;
     }
-    ws.resize(keep);
-    if (conflict != nullptr) break;
+    ws.resize(out - wbegin);
+    if (conflict != kClauseRefUndef) break;
   }
   return conflict;
 }
@@ -182,7 +248,7 @@ void Solver::CancelUntil(int target_level) {
     Var v = trail_[i].var();
     polarity_[v] = (assigns_[v] == LBool::kTrue);
     assigns_[v] = LBool::kUndef;
-    reason_[v] = nullptr;
+    reason_[v] = kClauseRefUndef;
     if (!HeapContains(v)) HeapInsert(v);
   }
   trail_.resize(bound);
@@ -194,7 +260,42 @@ void Solver::CancelUntil(int target_level) {
 // Conflict analysis (first UIP + recursive minimization)
 // ---------------------------------------------------------------------------
 
-void Solver::Analyze(Clause* conflict, std::vector<Lit>* out_learnt,
+uint32_t Solver::ComputeLbd(ClauseRef c) {
+  ++lbd_stamp_counter_;
+  uint32_t lbd = 0;
+  const int size = arena_.Size(c);
+  for (int i = 0; i < size; ++i) {
+    const int lvl = level_[arena_.LitAt(c, i).var()];
+    if (lvl <= 0) continue;
+    if (static_cast<size_t>(lvl) >= lbd_stamp_.size()) {
+      lbd_stamp_.resize(lvl + 1, 0);
+    }
+    if (lbd_stamp_[lvl] != lbd_stamp_counter_) {
+      lbd_stamp_[lvl] = lbd_stamp_counter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+uint32_t Solver::ComputeLbd(const std::vector<Lit>& lits) {
+  ++lbd_stamp_counter_;
+  uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const int lvl = level_[l.var()];
+    if (lvl <= 0) continue;
+    if (static_cast<size_t>(lvl) >= lbd_stamp_.size()) {
+      lbd_stamp_.resize(lvl + 1, 0);
+    }
+    if (lbd_stamp_[lvl] != lbd_stamp_counter_) {
+      lbd_stamp_[lvl] = lbd_stamp_counter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
                      int* out_btlevel) {
   out_learnt->clear();
   out_learnt->push_back(Lit());  // placeholder for the asserting literal
@@ -202,11 +303,22 @@ void Solver::Analyze(Clause* conflict, std::vector<Lit>* out_learnt,
   Lit p;  // undefined
   int index = static_cast<int>(trail_.size()) - 1;
 
-  Clause* reason = conflict;
+  ClauseRef reason = conflict;
   do {
-    ARBITER_DCHECK(reason != nullptr);
-    if (reason->learnt) ClauseBumpActivity(reason);
-    for (Lit q : reason->lits) {
+    ARBITER_DCHECK(reason != kClauseRefUndef);
+    if (arena_.Learnt(reason)) {
+      ClauseBumpActivity(reason);
+      // Glucose-style LBD refresh: a learnt clause participating in
+      // another conflict gets its glue re-measured; keep the minimum.
+      const uint32_t lbd = arena_.Lbd(reason) > 2 ? ComputeLbd(reason) : 0;
+      if (lbd > 0 && lbd < arena_.Lbd(reason)) {
+        arena_.SetLbd(reason, lbd);
+        ++stats_.lbd_updates;
+      }
+    }
+    const int size = arena_.Size(reason);
+    for (int j = 0; j < size; ++j) {
+      const Lit q = arena_.LitAt(reason, j);
       if (p.defined() && q == p) continue;
       Var v = q.var();
       if (!seen_[v] && level_[v] > 0) {
@@ -239,7 +351,8 @@ void Solver::Analyze(Clause* conflict, std::vector<Lit>* out_learnt,
   size_t keep = 1;
   for (size_t i = 1; i < out_learnt->size(); ++i) {
     Lit l = (*out_learnt)[i];
-    if (reason_[l.var()] == nullptr || !LitRedundant(l, abstract_levels)) {
+    if (reason_[l.var()] == kClauseRefUndef ||
+        !LitRedundant(l, abstract_levels)) {
       (*out_learnt)[keep++] = l;
     } else {
       ++stats_.minimized_literals;
@@ -275,21 +388,23 @@ bool Solver::LitRedundant(Lit l, uint32_t abstract_levels) {
   while (!analyze_stack_.empty()) {
     Lit cur = analyze_stack_.back();
     analyze_stack_.pop_back();
-    Clause* reason = reason_[cur.var()];
-    ARBITER_DCHECK(reason != nullptr);
-    for (Lit q : reason->lits) {
+    const ClauseRef reason = reason_[cur.var()];
+    ARBITER_DCHECK(reason != kClauseRefUndef);
+    const int size = arena_.Size(reason);
+    for (int j = 0; j < size; ++j) {
+      const Lit q = arena_.LitAt(reason, j);
       Var v = q.var();
       if (v == cur.var()) continue;  // the implied literal itself
       if (seen_[v] || level_[v] == 0) continue;
-      if (reason_[v] != nullptr &&
+      if (reason_[v] != kClauseRefUndef &&
           ((1u << (level_[v] & 31)) & abstract_levels) != 0) {
         seen_[v] = true;
         analyze_stack_.push_back(q);
         analyze_toclear_.push_back(q);
       } else {
         // Not removable: undo the marks added during this call.
-        for (size_t j = top; j < analyze_toclear_.size(); ++j) {
-          seen_[analyze_toclear_[j].var()] = false;
+        for (size_t j2 = top; j2 < analyze_toclear_.size(); ++j2) {
+          seen_[analyze_toclear_[j2].var()] = false;
         }
         analyze_toclear_.resize(top);
         return false;
@@ -308,11 +423,14 @@ void Solver::AnalyzeFinal(Lit p, std::vector<Lit>* out_conflict) {
        i >= trail_lim_[0]; --i) {
     Var v = trail_[i].var();
     if (!seen_[v]) continue;
-    if (reason_[v] == nullptr) {
+    const ClauseRef reason = reason_[v];
+    if (reason == kClauseRefUndef) {
       ARBITER_DCHECK(level_[v] > 0);
       out_conflict->push_back(~trail_[i]);
     } else {
-      for (Lit q : reason_[v]->lits) {
+      const int size = arena_.Size(reason);
+      for (int j = 0; j < size; ++j) {
+        const Lit q = arena_.LitAt(reason, j);
         if (q.var() != v && level_[q.var()] > 0) seen_[q.var()] = true;
       }
     }
@@ -336,11 +454,14 @@ void Solver::VarBumpActivity(Var v) {
 
 void Solver::VarDecayActivity() { var_inc_ /= var_decay_; }
 
-void Solver::ClauseBumpActivity(Clause* c) {
-  c->activity += clause_inc_;
-  if (c->activity > 1e20) {
-    for (const auto& clause : clauses_) {
-      if (clause->learnt && !clause->deleted) clause->activity *= 1e-20;
+void Solver::ClauseBumpActivity(ClauseRef c) {
+  const float a = arena_.Activity(c) + static_cast<float>(clause_inc_);
+  arena_.SetActivity(c, a);
+  if (a > 1e20f) {
+    for (ClauseRef l : learnts_) {
+      if (!arena_.Deleted(l)) {
+        arena_.SetActivity(l, arena_.Activity(l) * 1e-20f);
+      }
     }
     clause_inc_ *= 1e-20;
   }
@@ -423,44 +544,95 @@ void Solver::HeapPercolateDown(int i) {
 
 void Solver::ReduceDB() {
   ++stats_.reduce_db_runs;
-  std::vector<Clause*> learnts;
-  for (const auto& c : clauses_) {
-    if (c->learnt && !c->deleted) learnts.push_back(c.get());
+  // Drop refs already deleted in earlier passes, then split off the
+  // eviction candidates: ternary-or-longer, non-glue, not currently a
+  // reason.  Binaries and glue clauses (LBD <= 2) are kept forever.
+  size_t live = 0;
+  for (ClauseRef c : learnts_) {
+    if (!arena_.Deleted(c)) learnts_[live++] = c;
   }
-  std::sort(learnts.begin(), learnts.end(),
-            [](const Clause* a, const Clause* b) {
-              if ((a->size() > 2) != (b->size() > 2)) return a->size() > 2;
-              return a->activity < b->activity;
-            });
+  learnts_.resize(live);
+  std::vector<ClauseRef> cands;
+  cands.reserve(learnts_.size());
+  for (ClauseRef c : learnts_) {
+    if (arena_.Size(c) > 2 && arena_.Lbd(c) > 2 && !Locked(c)) {
+      cands.push_back(c);
+    }
+  }
+  // Worst first: highest LBD, then lowest activity.  Only the
+  // worse-half partition is needed, not a total order.
+  const auto worse = [this](ClauseRef a, ClauseRef b) {
+    const uint32_t la = arena_.Lbd(a);
+    const uint32_t lb = arena_.Lbd(b);
+    if (la != lb) return la > lb;
+    const float aa = arena_.Activity(a);
+    const float ab = arena_.Activity(b);
+    if (aa != ab) return aa < ab;
+    return a < b;  // deterministic tie-break on arena age
+  };
+  const size_t half = cands.size() / 2;
+  if (half > 0 && half < cands.size()) {
+    std::nth_element(cands.begin(), cands.begin() + half, cands.end(), worse);
+  }
   const double threshold =
-      clause_inc_ / std::max<size_t>(learnts.size(), 1);
-  size_t removed = 0;
-  for (size_t i = 0; i < learnts.size(); ++i) {
-    Clause* c = learnts[i];
-    if (c->size() <= 2) continue;
-    // Never remove reason clauses of current assignments.
-    bool locked = false;
-    for (Lit l : c->lits) {
-      if (reason_[l.var()] == c && Value(l) == LBool::kTrue) {
-        locked = true;
-        break;
-      }
-    }
-    if (locked) continue;
-    if (i < learnts.size() / 2 || c->activity < threshold) {
+      clause_inc_ / std::max<size_t>(learnts_.size(), 1);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    ClauseRef c = cands[i];
+    if (i < half || arena_.Activity(c) < threshold) {
       RemoveClause(c);
-      ++removed;
     }
   }
-  // Physically drop deleted clauses when they dominate the arena.
-  if (removed > 0 && clauses_.size() > 64 &&
-      removed * 4 > clauses_.size()) {
-    clauses_.erase(std::remove_if(clauses_.begin(), clauses_.end(),
-                                  [](const std::unique_ptr<Clause>& c) {
-                                    return c->deleted;
-                                  }),
-                   clauses_.end());
+  live = 0;
+  for (ClauseRef c : learnts_) {
+    if (!arena_.Deleted(c)) learnts_[live++] = c;
   }
+  learnts_.resize(live);
+  MaybeGarbageCollect();
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection (two-space arena compaction)
+// ---------------------------------------------------------------------------
+
+void Solver::MaybeGarbageCollect() {
+  // Compact once deleted clauses waste ~20% of the arena.
+  if (arena_.size() > 1024 && arena_.wasted() * 5 > arena_.size()) {
+    GarbageCollect();
+  }
+}
+
+void Solver::GarbageCollect() {
+  ClauseArena to;
+  to.Reserve(arena_.size() - arena_.wasted());
+  RelocAll(&to);
+  ++stats_.gc_runs;
+  stats_.gc_words_reclaimed += arena_.size() - to.size();
+  arena_ = std::move(to);
+}
+
+void Solver::RelocAll(ClauseArena* to) {
+  // Watchers reference only attached (live) clauses.
+  for (std::vector<Watcher>& ws : watches_) {
+    for (Watcher& w : ws) w.cref = arena_.Reloc(w.cref, to);
+  }
+  for (std::vector<BinWatcher>& ws : bin_watches_) {
+    for (BinWatcher& w : ws) w.cref = arena_.Reloc(w.cref, to);
+  }
+  // Reasons of currently assigned variables; CancelUntil/SimplifyDb
+  // clear all others.
+  for (const Lit l : trail_) {
+    ClauseRef& r = reason_[l.var()];
+    if (r != kClauseRefUndef) r = arena_.Reloc(r, to);
+  }
+  auto rebuild = [this, to](std::vector<ClauseRef>& list) {
+    size_t keep = 0;
+    for (ClauseRef c : list) {
+      if (!arena_.Deleted(c)) list[keep++] = arena_.Reloc(c, to);
+    }
+    list.resize(keep);
+  };
+  rebuild(clauses_);
+  rebuild(learnts_);
 }
 
 // ---------------------------------------------------------------------------
@@ -486,27 +658,55 @@ double Solver::LubySequence(double y, int i) {
 SolveStatus Solver::Search(int64_t max_conflicts) {
   int64_t conflicts_here = 0;
   std::vector<Lit> learnt;
-  double max_learnts =
-      max_learnts_factor_ * std::max(num_problem_clauses_, 100);
+  if (max_learnts_ < 0) {
+    max_learnts_ = max_learnts_factor_ * std::max(num_problem_clauses_, 100);
+  }
 
   for (;;) {
-    Clause* conflict = Propagate();
-    if (conflict != nullptr) {
+    ClauseRef conflict = Propagate();
+    if (conflict != kClauseRefUndef) {
       ++stats_.conflicts;
       ++conflicts_here;
       if (DecisionLevel() == 0) return SolveStatus::kUnsat;
       int btlevel = 0;
       Analyze(conflict, &learnt, &btlevel);
+      // LBD must be measured before backtracking unassigns the
+      // asserting literal's level.
+      const uint32_t lbd = ComputeLbd(learnt);
+      // Dynamic-restart bookkeeping, on conflict-time data (trail depth
+      // before backtracking).  A deep trail postpones the pending
+      // restart; otherwise the LBD joins the recent ring.
+      trail_size_sum_ += trail_.size();
+      if (lbd_ring_size_ == kLbdRingSize &&
+          stats_.conflicts >= kTrailBlockWarmup &&
+          static_cast<double>(trail_.size()) * stats_.conflicts >
+              kTrailBlockFactor * static_cast<double>(trail_size_sum_)) {
+        lbd_ring_size_ = 0;
+        lbd_ring_pos_ = 0;
+        lbd_ring_sum_ = 0;
+        ++stats_.blocked_restarts;
+      }
+      if (lbd_ring_size_ == kLbdRingSize) {
+        lbd_ring_sum_ -= lbd_ring_[lbd_ring_pos_];
+      } else {
+        ++lbd_ring_size_;
+      }
+      lbd_ring_[lbd_ring_pos_] = lbd;
+      lbd_ring_sum_ += lbd;
+      lbd_ring_pos_ = (lbd_ring_pos_ + 1) % kLbdRingSize;
       CancelUntil(btlevel);
       if (learnt.size() == 1) {
-        UncheckedEnqueue(learnt[0], nullptr);
+        UncheckedEnqueue(learnt[0], kClauseRefUndef);
       } else {
-        Clause* c = AllocClause(learnt, /*learnt=*/true);
+        ClauseRef c = AllocClause(learnt, /*learnt=*/true);
+        arena_.SetLbd(c, lbd);
         ClauseBumpActivity(c);
         AttachClause(c);
         UncheckedEnqueue(learnt[0], c);
       }
       ++stats_.learnt_clauses;
+      stats_.lbd_sum += lbd;
+      if (lbd <= 2) ++stats_.glue_learnts;
       VarDecayActivity();
       ClauseDecayActivity();
       continue;
@@ -515,17 +715,29 @@ SolveStatus Solver::Search(int64_t max_conflicts) {
     // No conflict.
     if (conflicts_here >= max_conflicts) {
       CancelUntil(0);
-      return SolveStatus::kUnknown;  // restart
+      return SolveStatus::kUnknown;  // restart (Luby budget cap)
+    }
+    if (lbd_ring_size_ == kLbdRingSize &&
+        static_cast<double>(lbd_ring_sum_) * kRestartMargin *
+                static_cast<double>(stats_.learnt_clauses) >
+            static_cast<double>(stats_.lbd_sum) * kLbdRingSize) {
+      // Recent learnt clauses are worse than the lifetime trend:
+      // restart early rather than grind on in a bad region.
+      lbd_ring_size_ = 0;
+      lbd_ring_pos_ = 0;
+      lbd_ring_sum_ = 0;
+      CancelUntil(0);
+      return SolveStatus::kUnknown;
     }
     if (conflict_budget_ >= 0 &&
         static_cast<int64_t>(stats_.conflicts) > conflict_budget_) {
       CancelUntil(0);
       return SolveStatus::kUnknown;
     }
-    if (num_learnt_clauses_ > max_learnts +
+    if (num_learnt_clauses_ > max_learnts_ +
                                   static_cast<double>(trail_.size())) {
       ReduceDB();
-      max_learnts *= learnt_growth_;
+      max_learnts_ *= learnt_growth_;
     }
 
     // Assumptions first, then a decision.
@@ -557,47 +769,53 @@ SolveStatus Solver::Search(int64_t max_conflicts) {
       ++stats_.decisions;
     }
     trail_lim_.push_back(static_cast<int>(trail_.size()));
-    UncheckedEnqueue(next, nullptr);
+    UncheckedEnqueue(next, kClauseRefUndef);
   }
 }
 
 void Solver::SimplifyDb() {
   if (!ok_ || DecisionLevel() != 0) return;
   // Make sure root-level propagation is complete first.
-  if (Propagate() != nullptr) {
+  if (Propagate() != kClauseRefUndef) {
     ok_ = false;
     return;
   }
   // Root-level assignments are permanent facts; drop their reason
-  // pointers so removing the (now satisfied) reason clauses is safe.
-  for (Lit l : trail_) reason_[l.var()] = nullptr;
-  size_t removed = 0;
-  for (const auto& owned : clauses_) {
-    Clause* c = owned.get();
-    if (c->deleted) continue;
-    if (Satisfied(*c)) {
-      RemoveClause(c);
-      ++removed;
-      continue;
-    }
-    // Not satisfied and fully propagated at level 0: both watches are
-    // unassigned, so falsified literals sit at positions >= 2 and can
-    // be dropped without touching the watcher lists.
-    for (int k = c->size() - 1; k >= 2; --k) {
-      if (Value((*c)[k]) == LBool::kFalse) {
-        (*c)[k] = c->lits.back();
-        c->lits.pop_back();
+  // references so removing the (now satisfied) reason clauses is safe.
+  for (Lit l : trail_) reason_[l.var()] = kClauseRefUndef;
+  auto process = [this](std::vector<ClauseRef>& list) {
+    size_t keep = 0;
+    for (ClauseRef c : list) {
+      if (arena_.Deleted(c)) continue;  // stale ref from ReduceDB
+      if (Satisfied(c)) {
+        RemoveClause(c);
+        continue;
       }
+      // Not satisfied and fully propagated at level 0: both watches
+      // are unassigned, so falsified literals sit at positions >= 2
+      // and can be dropped without touching the watcher lists.
+      int size = arena_.Size(c);
+      for (int k = size - 1; k >= 2; --k) {
+        if (Value(arena_.LitAt(c, k)) == LBool::kFalse) {
+          arena_.SetLitAt(c, k, arena_.LitAt(c, size - 1));
+          --size;
+        }
+      }
+      if (size != arena_.Size(c)) {
+        // A clause stripped down to two literals moves to the binary
+        // watch tier.
+        const bool rebin = (size == 2);
+        if (rebin) DetachClause(c);
+        arena_.Shrink(c, size);
+        if (rebin) AttachClause(c);
+      }
+      list[keep++] = c;
     }
-  }
-  if (removed > 0 && clauses_.size() > 64 &&
-      removed * 4 > clauses_.size()) {
-    clauses_.erase(std::remove_if(clauses_.begin(), clauses_.end(),
-                                  [](const std::unique_ptr<Clause>& c) {
-                                    return c->deleted;
-                                  }),
-                   clauses_.end());
-  }
+    list.resize(keep);
+  };
+  process(clauses_);
+  process(learnts_);
+  MaybeGarbageCollect();
 }
 
 SolveStatus Solver::Solve() { return SolveAssuming({}); }
@@ -612,7 +830,7 @@ SolveStatus Solver::SolveAssuming(const std::vector<Lit>& assumptions) {
 
   SolveStatus status = SolveStatus::kUnknown;
   for (int restart = 0; status == SolveStatus::kUnknown; ++restart) {
-    const double base = 100.0;
+    const double base = 10000.0;
     int64_t budget = static_cast<int64_t>(LubySequence(2.0, restart) * base);
     status = Search(budget);
     if (status == SolveStatus::kUnknown) ++stats_.restarts;

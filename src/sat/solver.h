@@ -2,24 +2,33 @@
 #define ARBITER_SAT_SOLVER_H_
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "sat/cnf.h"
+#include "sat/clause_arena.h"
+#include "sat/engine.h"
 #include "sat/types.h"
 
 /// \file solver.h
 /// A conflict-driven clause-learning (CDCL) SAT solver built from
-/// scratch in the MiniSat tradition:
+/// scratch in the MiniSat/Glucose tradition:
 ///
-///  * two-watched-literal propagation with blocker literals,
+///  * arena-allocated clauses (ClauseRef offsets into one flat buffer)
+///    with a compacting garbage collector,
+///  * two-watched-literal propagation with blocker literals and a
+///    dedicated binary-clause watch tier,
 ///  * first-UIP conflict analysis with recursive clause minimization,
 ///  * exponential VSIDS variable activities with a binary heap,
 ///  * phase saving,
-///  * Luby-sequence restarts,
-///  * activity-driven learnt-clause database reduction,
-///  * incremental solving under assumptions (used by AllSAT and the
-///    CEGAR arbitration loop in src/solve/).
+///  * Glucose-style dynamic restarts — fire when the recent-50 learnt
+///    LBD average drifts above the lifetime average, blocked when the
+///    trail is unusually deep (near-model heuristic) — under a Luby
+///    budget cap,
+///  * LBD-aware learnt-clause database reduction (glue clauses with
+///    LBD <= 2 are never removed; eviction order is worst (LBD,
+///    activity) first),
+///  * incremental solving under assumptions with a learnt-DB limit
+///    that persists across Solve calls (used by AllSAT and the CEGAR
+///    arbitration loop in src/solve/).
 
 namespace arbiter::sat {
 
@@ -33,6 +42,19 @@ struct SolverStats {
   uint64_t learnt_literals = 0;
   uint64_t minimized_literals = 0;
   uint64_t reduce_db_runs = 0;
+  /// Sum of learn-time LBDs (lbd_sum / learnt_clauses = mean glue).
+  uint64_t lbd_sum = 0;
+  /// Learnt clauses born with LBD <= 2 (protected from ReduceDB).
+  uint64_t glue_learnts = 0;
+  /// LBD improvements discovered when a learnt clause reappeared as a
+  /// reason during conflict analysis.
+  uint64_t lbd_updates = 0;
+  /// Dynamic restarts suppressed because the trail was unusually deep
+  /// (the solver looked close to a model).
+  uint64_t blocked_restarts = 0;
+  /// Arena compactions and the words they reclaimed.
+  uint64_t gc_runs = 0;
+  uint64_t gc_words_reclaimed = 0;
 };
 
 /// CDCL SAT solver.  Not thread-safe.  Typical use:
@@ -41,7 +63,7 @@ struct SolverStats {
 ///   Var a = s.NewVar(), b = s.NewVar();
 ///   s.AddClause({Lit::Pos(a), Lit::Neg(b)});
 ///   if (s.Solve() == SolveStatus::kSat) { bool va = s.ModelValue(a); }
-class Solver : public ClauseSink {
+class Solver : public SatEngine {
  public:
   Solver();
   ~Solver() override;
@@ -60,11 +82,6 @@ class Solver : public ClauseSink {
   /// at decision level 0).  Literals over unseen variables are invalid.
   bool AddClause(std::vector<Lit> lits) override;
 
-  /// Convenience single/double/triple literal overloads.
-  bool AddUnit(Lit a) { return AddClause({a}); }
-  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
-  bool AddTernary(Lit a, Lit b, Lit c) { return AddClause({a, b, c}); }
-
   /// Top-level (decision level 0) database simplification: removes
   /// clauses satisfied by root assignments and strips falsified
   /// literals.  Called automatically at the start of each Solve; safe
@@ -73,28 +90,28 @@ class Solver : public ClauseSink {
 
   /// Solves the current formula.  Returns kUnsat/kSat, or kUnknown if
   /// the conflict budget (if any) is exhausted.
-  SolveStatus Solve();
+  SolveStatus Solve() override;
 
   /// Solves under the given assumptions (temporary unit literals).
-  SolveStatus SolveAssuming(const std::vector<Lit>& assumptions);
+  SolveStatus SolveAssuming(const std::vector<Lit>& assumptions) override;
 
   /// After SolveAssuming returned kUnsat: a subset of the assumptions
   /// that is already inconsistent with the clause database (the
   /// "unsat core" over assumptions; empty if the database is
   /// unsatisfiable on its own).
-  const std::vector<Lit>& FailedAssumptions() const {
+  const std::vector<Lit>& FailedAssumptions() const override {
     return failed_assumptions_;
   }
 
   /// Value of v in the most recent satisfying model.  Only valid after
   /// Solve() returned kSat.
-  bool ModelValue(Var v) const {
+  bool ModelValue(Var v) const override {
     ARBITER_DCHECK(v >= 0 && v < static_cast<int>(model_.size()));
     return model_[v] == LBool::kTrue;
   }
 
   /// True iff the solver has derived top-level unsatisfiability.
-  bool InConflict() const { return !ok_; }
+  bool InConflict() const override { return !ok_; }
 
   /// Sets a conflict budget for subsequent Solve calls; < 0 disables.
   void SetConflictBudget(int64_t conflicts) { conflict_budget_ = conflicts; }
@@ -106,30 +123,55 @@ class Solver : public ClauseSink {
   /// Number of learnt clauses currently held.
   int NumLearntClauses() const { return num_learnt_clauses_; }
 
+  /// The current learnt-DB size limit.  Initialized lazily on the
+  /// first Search, then grown geometrically at each ReduceDB — and
+  /// kept across Solve/SolveAssuming calls, so incremental users
+  /// (CEGAR's MaxDistOracle) don't thrash ReduceDB by restarting the
+  /// growth from scratch every query.  < 0 means not yet initialized.
+  double MaxLearnts() const { return max_learnts_; }
+
  private:
   struct Watcher {
-    Clause* clause;
+    ClauseRef cref;
     Lit blocker;
+  };
+  /// Binary clauses get their own watch tier: the watcher itself holds
+  /// the other literal, so propagation over binaries never touches the
+  /// arena (the cref is only needed when the clause becomes a reason
+  /// or a conflict).
+  struct BinWatcher {
+    Lit other;
+    ClauseRef cref;
   };
 
   // --- assignment & trail ---
   LBool Value(Var v) const { return assigns_[v]; }
   LBool Value(Lit l) const { return LitValue(assigns_[l.var()], l.negated()); }
+  // Branchless literal value for the propagation hot loop: XOR with the
+  // sign flips kFalse <-> kTrue and maps kUndef to 2 or 3.  Returns
+  // 0 = false, 1 = true, >= 2 = unassigned.
+  int ValueCode(Lit l) const {
+    return static_cast<int>(assigns_[l.var()]) ^
+           static_cast<int>(l.negated());
+  }
   int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
-  void UncheckedEnqueue(Lit l, Clause* reason);
-  Clause* Propagate();
+  void UncheckedEnqueue(Lit l, ClauseRef reason);
+  ClauseRef Propagate();
   void CancelUntil(int level);
 
   // --- conflict analysis ---
-  void Analyze(Clause* conflict, std::vector<Lit>* out_learnt,
+  void Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
                int* out_btlevel);
   bool LitRedundant(Lit l, uint32_t abstract_levels);
   void AnalyzeFinal(Lit p, std::vector<Lit>* out_conflict);
+  /// Distinct decision levels among the clause's literals.
+  uint32_t ComputeLbd(ClauseRef c);
+  uint32_t ComputeLbd(const std::vector<Lit>& lits);
 
   // --- decision heuristics ---
   void VarBumpActivity(Var v);
   void VarDecayActivity();
-  void ClauseBumpActivity(Clause* c);
+  void ClauseBumpActivity(ClauseRef c);
   void ClauseDecayActivity();
   Lit PickBranchLit();
 
@@ -143,12 +185,18 @@ class Solver : public ClauseSink {
   bool HeapContains(Var v) const { return heap_index_[v] >= 0; }
 
   // --- clause management ---
-  Clause* AllocClause(std::vector<Lit> lits, bool learnt);
-  void AttachClause(Clause* c);
-  void DetachClause(Clause* c);
-  void RemoveClause(Clause* c);
+  ClauseRef AllocClause(const std::vector<Lit>& lits, bool learnt);
+  void AttachClause(ClauseRef c);
+  void DetachClause(ClauseRef c);
+  void RemoveClause(ClauseRef c);
+  bool Locked(ClauseRef c) const;
   void ReduceDB();
-  bool Satisfied(const Clause& c) const;
+  bool Satisfied(ClauseRef c) const;
+
+  // --- garbage collection ---
+  void MaybeGarbageCollect();
+  void GarbageCollect();
+  void RelocAll(ClauseArena* to);
 
   // --- search ---
   SolveStatus Search(int64_t max_conflicts);
@@ -156,15 +204,18 @@ class Solver : public ClauseSink {
 
   bool ok_ = true;
 
-  std::vector<std::unique_ptr<Clause>> clauses_;  // owns all clauses
+  ClauseArena arena_;
+  std::vector<ClauseRef> clauses_;  // problem clauses
+  std::vector<ClauseRef> learnts_;  // learnt clauses
   int num_problem_clauses_ = 0;
   int num_learnt_clauses_ = 0;
 
-  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
-  std::vector<LBool> assigns_;                 // indexed by var
-  std::vector<bool> polarity_;                 // saved phase, per var
-  std::vector<Clause*> reason_;                // per var
-  std::vector<int> level_;                     // per var
+  std::vector<std::vector<Watcher>> watches_;        // indexed by lit code
+  std::vector<std::vector<BinWatcher>> bin_watches_;  // indexed by lit code
+  std::vector<LBool> assigns_;    // indexed by var
+  std::vector<bool> polarity_;    // saved phase, per var
+  std::vector<ClauseRef> reason_;  // per var
+  std::vector<int> level_;        // per var
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;
   int qhead_ = 0;
@@ -186,10 +237,32 @@ class Solver : public ClauseSink {
   std::vector<bool> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_toclear_;
+  // Scratch for ComputeLbd: per-level stamp.
+  std::vector<uint64_t> lbd_stamp_;
+  uint64_t lbd_stamp_counter_ = 0;
+
+  // --- Glucose-style dynamic restarts ---
+  // Ring of the most recent learnt-clause LBDs.  A restart fires when
+  // the ring is full and its average, scaled by kRestartMargin, still
+  // exceeds the lifetime average: recent learning is getting worse, so
+  // explore elsewhere.  A conflict whose trail is deeper than
+  // kTrailBlockFactor times the mean conflict-time trail instead
+  // empties the ring, postponing the restart — the solver looks close
+  // to a model and aggressive restarts would throw that progress away.
+  static constexpr int kLbdRingSize = 50;
+  static constexpr double kRestartMargin = 0.8;
+  static constexpr double kTrailBlockFactor = 1.4;
+  static constexpr uint64_t kTrailBlockWarmup = 100;
+  uint32_t lbd_ring_[kLbdRingSize] = {};
+  int lbd_ring_size_ = 0;
+  int lbd_ring_pos_ = 0;
+  uint64_t lbd_ring_sum_ = 0;
+  uint64_t trail_size_sum_ = 0;  // over all conflicts, for the mean
 
   int64_t conflict_budget_ = -1;
   double max_learnts_factor_ = 1.0 / 3.0;
-  double learnt_growth_ = 1.1;
+  double learnt_growth_ = 1.02;
+  double max_learnts_ = -1.0;
 
   SolverStats stats_;
 };

@@ -2,7 +2,6 @@
 #define ARBITER_SAT_TYPES_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "util/logging.h"
 
@@ -66,19 +65,6 @@ inline LBool LitValue(LBool var_value, bool negated) {
   bool v = (var_value == LBool::kTrue);
   return BoolToLBool(negated ? !v : v);
 }
-
-/// A clause: a disjunction of literals.
-struct Clause {
-  std::vector<Lit> lits;
-  double activity = 0.0;
-  bool learnt = false;
-  /// Marked for deletion by ReduceDB; physically removed lazily.
-  bool deleted = false;
-
-  int size() const { return static_cast<int>(lits.size()); }
-  Lit& operator[](int i) { return lits[i]; }
-  const Lit& operator[](int i) const { return lits[i]; }
-};
 
 /// Result of a solve call.
 enum class SolveStatus { kSat, kUnsat, kUnknown };

@@ -6,21 +6,23 @@
 
 #include "enc/totalizer.h"
 #include "enc/tseitin.h"
+#include "sat/preprocessor.h"
 #include "solve/sat_bridge.h"
 
 namespace arbiter::solve {
 
 using sat::Lit;
-using sat::Solver;
+using sat::SatPreprocessor;
 using sat::SolveStatus;
 
 int SatOverallDist(const Formula& psi, int num_terms, uint64_t point,
                    uint64_t* witness, const std::vector<int64_t>& metric) {
   ARBITER_CHECK(num_terms >= 1 && num_terms <= 63);
-  Solver solver;
+  SatPreprocessor solver;
   enc::TseitinEncoder encoder(&solver);
   encoder.ReserveInputVars(num_terms);
   if (!encoder.Assert(psi)) return -1;
+  solver.FreezeRange(0, num_terms);  // the diff layer re-mentions them
   if (solver.Solve() != SolveStatus::kSat) return -1;
 
   auto extract = [&]() {
@@ -55,7 +57,7 @@ namespace {
 
 /// Shared master-problem state for the CEGAR loop.
 struct Master {
-  Solver solver;
+  SatPreprocessor solver;
   int num_terms;
   std::vector<int64_t> metric;
   /// One unary counter per collected witness y: counts the (metric-
@@ -67,6 +69,10 @@ struct Master {
     enc::TseitinEncoder encoder(&solver);
     encoder.ReserveInputVars(n);
     encoder.Assert(mu);
+    // Inputs are revisited by every witness counter and blocking
+    // clause; only μ's Tseitin auxiliaries may be eliminated.
+    solver.FreezeRange(0, n);
+    solver.Preprocess();
   }
 
   void AddWitness(uint64_t y) {
@@ -110,7 +116,7 @@ struct Master {
 /// the previous ones — rebuilding a fresh `SatOverallDist` solver per
 /// candidate made enumerating large tie sets quadratically expensive.
 struct MaxDistOracle {
-  Solver solver;
+  SatPreprocessor solver;
   int num_terms;
   std::unique_ptr<enc::Totalizer> counter;
   int diameter = 0;
@@ -121,6 +127,10 @@ struct MaxDistOracle {
     enc::TseitinEncoder encoder(&solver);
     encoder.ReserveInputVars(2 * n);
     encoder.Assert(ShiftVars(psi, n));
+    // The free x block [0, n) is pinned by assumptions each query and
+    // the y block is read back from models — freeze both halves.
+    solver.FreezeRange(0, 2 * n);
+    solver.Preprocess();
     std::vector<Lit> diffs =
         RepeatByWeights(MakeDiffBits(&solver, n, n), metric);
     diameter = static_cast<int>(diffs.size());

@@ -3,12 +3,13 @@
 #include "enc/totalizer.h"
 #include "enc/tseitin.h"
 #include "sat/all_sat.h"
+#include "sat/preprocessor.h"
 #include "solve/sat_bridge.h"
 
 namespace arbiter::solve {
 
 using sat::Lit;
-using sat::Solver;
+using sat::SatPreprocessor;
 using sat::SolveStatus;
 
 SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
@@ -27,10 +28,11 @@ SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
     result.psi_unsat = true;
     result.min_distance = 0;
     // Convention: ψ unsatisfiable ⇒ result is Mod(μ).
-    Solver solver;
+    SatPreprocessor solver;
     enc::TseitinEncoder encoder(&solver);
     encoder.ReserveInputVars(num_terms);
     encoder.Assert(mu);
+    solver.FreezeRange(0, num_terms);  // AllSAT projects onto the inputs
     sat::AllSatOptions options;
     options.num_project = num_terms;
     options.max_models = max_models + 1;
@@ -43,11 +45,16 @@ SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
   }
 
   // Joint solver: x = model of μ on [0, n), y = model of ψ on [n, 2n).
-  Solver solver;
+  // Preprocessing runs after the two Asserts (eliminating Tseitin
+  // auxiliaries) and before the diff/totalizer layers, whose fresh
+  // variables are then never elimination candidates.
+  SatPreprocessor solver;
   enc::TseitinEncoder encoder(&solver);
   encoder.ReserveInputVars(2 * num_terms);
   encoder.Assert(mu);
   encoder.Assert(ShiftVars(psi, num_terms));
+  solver.FreezeRange(0, 2 * num_terms);
+  solver.Preprocess();
   std::vector<Lit> diffs = RepeatByWeights(
       MakeDiffBits(&solver, num_terms, num_terms), metric);
   enc::Totalizer counter(&solver, diffs);

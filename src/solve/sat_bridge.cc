@@ -2,6 +2,7 @@
 
 #include "enc/cardinality.h"
 #include "enc/tseitin.h"
+#include "sat/preprocessor.h"
 
 namespace arbiter::solve {
 
@@ -45,19 +46,20 @@ Formula ShiftVars(const Formula& f, int offset) {
 }
 
 bool SatIsSatisfiable(const Formula& f, int num_terms) {
-  sat::Solver solver;
+  // Nothing is queried after the solve, so no variable needs freezing.
+  sat::SatPreprocessor solver;
   enc::TseitinEncoder encoder(&solver);
   encoder.ReserveInputVars(num_terms);
   if (!encoder.Assert(f)) return false;
   return solver.Solve() == sat::SolveStatus::kSat;
 }
 
-std::vector<sat::Lit> MakeDiffBits(sat::Solver* solver, int num_terms,
+std::vector<sat::Lit> MakeDiffBits(sat::ClauseSink* sink, int num_terms,
                                    int offset) {
   std::vector<sat::Lit> diffs;
   diffs.reserve(num_terms);
   for (int i = 0; i < num_terms; ++i) {
-    diffs.push_back(enc::EncodeXorEquals(solver, sat::Lit::Pos(i),
+    diffs.push_back(enc::EncodeXorEquals(sink, sat::Lit::Pos(i),
                                          sat::Lit::Pos(i + offset)));
   }
   return diffs;

@@ -24,7 +24,7 @@ bool SatIsSatisfiable(const Formula& f, int num_terms);
 /// The literals whose true-count equals dist(x, y) where x lives on
 /// variables [0, n) and y on [offset, offset+n): one fresh XOR bit per
 /// position, added to `solver`.
-std::vector<sat::Lit> MakeDiffBits(sat::Solver* solver, int num_terms,
+std::vector<sat::Lit> MakeDiffBits(sat::ClauseSink* sink, int num_terms,
                                    int offset);
 
 /// The literals whose true-count equals dist(x, c) for the *constant*

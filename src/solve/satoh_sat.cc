@@ -4,13 +4,14 @@
 
 #include "enc/tseitin.h"
 #include "sat/all_sat.h"
+#include "sat/preprocessor.h"
 #include "solve/sat_bridge.h"
 #include "util/bit.h"
 
 namespace arbiter::solve {
 
 using sat::Lit;
-using sat::Solver;
+using sat::SatPreprocessor;
 using sat::SolveStatus;
 
 namespace {
@@ -18,7 +19,7 @@ namespace {
 /// The joint encoding used by both phases: x ⊨ μ on [0, n),
 /// y ⊨ ψ on [n, 2n), difference bits d_i <-> x_i xor y_i.
 struct JointProblem {
-  Solver solver;
+  SatPreprocessor solver;
   std::vector<Lit> diffs;
 
   JointProblem(const Formula& psi, const Formula& mu, int n) {
@@ -26,6 +27,11 @@ struct JointProblem {
     encoder.ReserveInputVars(2 * n);
     encoder.Assert(mu);
     encoder.Assert(ShiftVars(psi, n));
+    // Simplify away the Tseitin auxiliaries before the diff-bit layer;
+    // the diff variables are created post-preprocess, so assumptions
+    // over them stay valid.
+    solver.FreezeRange(0, 2 * n);
+    solver.Preprocess();
     diffs = MakeDiffBits(&solver, n, n);
   }
 
@@ -79,10 +85,11 @@ SatSatohResult SatSatohRevise(const Formula& psi, const Formula& mu,
   if (!SatIsSatisfiable(psi, num_terms)) {
     result.num_sat_calls += 2;
     result.psi_unsat = true;
-    Solver solver;
+    SatPreprocessor solver;
     enc::TseitinEncoder encoder(&solver);
     encoder.ReserveInputVars(num_terms);
     encoder.Assert(mu);
+    solver.FreezeRange(0, num_terms);  // AllSAT projects onto the inputs
     sat::AllSatOptions options;
     options.num_project = num_terms;
     options.max_models = max_models + 1;

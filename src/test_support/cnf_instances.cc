@@ -1,0 +1,96 @@
+#include "test_support/cnf_instances.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace arbiter::test_support {
+
+using sat::Lit;
+using sat::Var;
+
+std::vector<std::vector<Lit>> KCnfClauses(const Formula& f) {
+  auto clause_lits = [](const Formula& clause) {
+    std::vector<Lit> lits;
+    const std::vector<Formula> singleton = {clause};
+    const std::vector<Formula>& parts =
+        clause.kind() == FormulaKind::kOr ? clause.children() : singleton;
+    for (const Formula& lit : parts) {
+      if (lit.is_var()) {
+        lits.push_back(Lit::Pos(lit.var()));
+      } else {
+        ARBITER_DCHECK(lit.kind() == FormulaKind::kNot);
+        lits.push_back(Lit::Neg(lit.child(0).var()));
+      }
+    }
+    return lits;
+  };
+  std::vector<std::vector<Lit>> clauses;
+  if (f.kind() == FormulaKind::kAnd) {
+    clauses.reserve(f.num_children());
+    for (const Formula& clause : f.children()) {
+      clauses.push_back(clause_lits(clause));
+    }
+  } else {
+    clauses.push_back(clause_lits(f));
+  }
+  return clauses;
+}
+
+void LoadKCnf(const Formula& f, sat::ClauseSink* sink) {
+  for (std::vector<Lit>& lits : KCnfClauses(f)) {
+    sink->AddClause(std::move(lits));
+  }
+}
+
+void AddPigeonhole(sat::ClauseSink* sink, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> in(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) in[p][h] = sink->NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    clause.reserve(holes);
+    for (int h = 0; h < holes; ++h) clause.push_back(Lit::Pos(in[p][h]));
+    sink->AddClause(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        sink->AddBinary(Lit::Neg(in[p1][h]), Lit::Neg(in[p2][h]));
+      }
+    }
+  }
+}
+
+void AddBveChains(sat::ClauseSink* sink, int chains, int length) {
+  // Inputs first so callers can freeze the prefix [0, chains * length).
+  std::vector<Var> inputs;
+  inputs.reserve(static_cast<size_t>(chains) * length);
+  for (int i = 0; i < chains * length; ++i) inputs.push_back(sink->NewVar());
+  std::vector<Lit> heads;
+  heads.reserve(chains);
+  for (int c = 0; c < chains; ++c) {
+    // aux_0 := input, aux_{i+1} <-> (aux_i AND input_{i+1}); every aux
+    // has 2-3 occurrences per polarity, well inside the BVE bounds, and
+    // its definition resolvents are mostly tautological — the classic
+    // shape variable elimination dissolves.
+    Var prev = inputs[static_cast<size_t>(c) * length];
+    for (int i = 1; i < length; ++i) {
+      const Var input = inputs[static_cast<size_t>(c) * length + i];
+      const Var aux = sink->NewVar();
+      sink->AddBinary(Lit::Neg(aux), Lit::Pos(prev));
+      sink->AddBinary(Lit::Neg(aux), Lit::Pos(input));
+      sink->AddTernary(Lit::Pos(aux), Lit::Neg(prev), Lit::Neg(input));
+      prev = aux;
+    }
+    heads.push_back(Lit::Pos(prev));
+  }
+  // At least one full chain must hold.  A disjunction (not per-chain
+  // units) keeps root unit propagation from dissolving the chains
+  // before variable elimination gets to them.
+  sink->AddClause(std::move(heads));
+}
+
+}  // namespace arbiter::test_support

@@ -1,0 +1,40 @@
+#ifndef ARBITER_TEST_SUPPORT_CNF_INSTANCES_H_
+#define ARBITER_TEST_SUPPORT_CNF_INSTANCES_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "sat/cnf.h"
+
+/// \file cnf_instances.h
+/// Shared CNF instance builders for benchmarks, fuzzing, and tests:
+/// formula-to-clause conversion for the random k-CNF generator, plus
+/// the crafted families (pigeonhole, BVE-heavy definition chains) used
+/// to exercise the solver and preprocessor.  Lives in test_support so
+/// bench/, tests/, and the fuzz harness share one copy.
+
+namespace arbiter::test_support {
+
+/// Flattens a k-CNF formula (an And of Or-of-literal clauses, as
+/// produced by RandomKCnf) into literal vectors.
+std::vector<std::vector<sat::Lit>> KCnfClauses(const Formula& f);
+
+/// Loads a k-CNF formula into a sink that already has the variables.
+void LoadKCnf(const Formula& f, sat::ClauseSink* sink);
+
+/// The pigeonhole principle PHP(holes+1, holes): holes*(holes+1)
+/// variables, unsatisfiable, resolution-hard.  Creates its own
+/// variables in `sink`.
+void AddPigeonhole(sat::ClauseSink* sink, int holes);
+
+/// A BVE-heavy instance: `chains` parallel Tseitin-style definition
+/// chains of length `length` (aux_{i+1} <-> aux_i AND input_i) whose
+/// auxiliary variables are all eliminable by bounded variable
+/// elimination, anchored by a unit on each chain head.  Satisfiable.
+/// Creates its own variables in `sink`; the first `chains * length`
+/// variables are the (frozen-worthy) inputs.
+void AddBveChains(sat::ClauseSink* sink, int chains, int length);
+
+}  // namespace arbiter::test_support
+
+#endif  // ARBITER_TEST_SUPPORT_CNF_INSTANCES_H_

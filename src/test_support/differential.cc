@@ -8,10 +8,14 @@
 #include "change/fitting.h"
 #include "change/registry.h"
 #include "change/weighted.h"
+#include "logic/generator.h"
 #include "logic/parser.h"
 #include "lint/flow_checks.h"
 #include "lint/lint.h"
 #include "model/distance.h"
+#include "sat/dpll.h"
+#include "sat/preprocessor.h"
+#include "test_support/cnf_instances.h"
 #include "model/loyal.h"
 #include "model/preorder.h"
 #include "store/belief_store.h"
@@ -26,6 +30,20 @@ namespace {
 /// Restores the pool to its default lane count when a sweep exits.
 struct ThreadCountGuard {
   ~ThreadCountGuard() { ThreadPool::Instance().SetNumThreads(0); }
+};
+
+/// Re-enables SAT preprocessing when a disabled-mode sweep exits.
+struct PreprocessingGuard {
+  ~PreprocessingGuard() { sat::SetSatPreprocessingEnabled(true); }
+};
+
+/// Drops the preprocessing size floor to zero for a scope, so the
+/// small fuzz instances still exercise the full simplification
+/// pipeline (production keeps the floor: tiny instances skip it).
+struct PpFloorGuard {
+  const int saved = sat::SatPreprocessMinClauses();
+  PpFloorGuard() { sat::SetSatPreprocessMinClauses(0); }
+  ~PpFloorGuard() { sat::SetSatPreprocessMinClauses(saved); }
 };
 
 std::string Truncate(std::string s, size_t limit = 160) {
@@ -214,6 +232,20 @@ void CheckBackends(CaseContext* ctx, Rng* rng, const Vocabulary& vocab,
     ctx->Check(got.ok(), "backend/counting-" + name,
                psi_text + " |> " + mu_text + ": " + got.status().ToString());
     if (!got.ok()) continue;
+    {
+      // Same query with SAT preprocessing off: the simplification layer
+      // must be semantically invisible, down to truncation flags.
+      PreprocessingGuard pp_guard;
+      sat::SetSatPreprocessingEnabled(false);
+      const Result<DistanceChangeResult> plain =
+          counting->Change(sem, *psi, *mu, n, kMaxModels);
+      ctx->Check(plain.ok() && got->models == plain->models &&
+                     got->optimal == plain->optimal &&
+                     got->truncated == plain->truncated &&
+                     got->models_omitted == plain->models_omitted,
+                 "backend/" + name + "-preprocess-toggle",
+                 psi_text + " |> " + mu_text);
+    }
     for (int threads : thread_counts) {
       ThreadPool::Instance().SetNumThreads(threads);
       const Result<DistanceChangeResult> ref =
@@ -231,6 +263,118 @@ void CheckBackends(CaseContext* ctx, Rng* rng, const Vocabulary& vocab,
                      "} counting={" + got->models.ToString() +
                      " d=" + got->optimal + "}");
     }
+  }
+}
+
+/// Cross-checks the preprocessing solver tier against the DPLL baseline
+/// on random 3-CNF with a random frozen subset.  Statuses must agree;
+/// tier models — including values reconstructed for variables BVE
+/// eliminated — must satisfy every original clause; assumption solves
+/// must auto-freeze their variables (no explicit Freeze here); failed-
+/// assumption cores must be subsets that are genuinely unsatisfiable
+/// with the clause set; and the preprocessing-disabled replay must
+/// agree on status too.
+void CheckSatTier(CaseContext* ctx, Rng* rng) {
+  PpFloorGuard floor_guard;
+  const int n = 4 + static_cast<int>(rng->NextBelow(12));
+  const int m =
+      2 * n + static_cast<int>(rng->NextBelow(static_cast<uint64_t>(3 * n)));
+  const Formula f = RandomKCnf(rng, n, m, 3);
+  const std::vector<std::vector<sat::Lit>> clauses = KCnfClauses(f);
+  const std::string tag = "n=" + std::to_string(n) + " m=" + std::to_string(m);
+
+  auto model_satisfies = [&clauses](const sat::SatEngine& engine) {
+    for (const std::vector<sat::Lit>& c : clauses) {
+      bool satisfied = false;
+      for (const sat::Lit l : c) {
+        if (engine.ModelValue(l.var()) != l.negated()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) return false;
+    }
+    return true;
+  };
+  auto load = [n, &clauses](sat::SatEngine* engine) {
+    for (int i = 0; i < n; ++i) engine->NewVar();
+    for (const std::vector<sat::Lit>& c : clauses) engine->AddClause(c);
+  };
+
+  sat::DpllSolver reference(n);
+  for (const std::vector<sat::Lit>& c : clauses) reference.AddClause(c);
+  const bool ref_sat = reference.Solve() == sat::SolveStatus::kSat;
+
+  // Plain solve, with a random half of the variables frozen: the rest
+  // are elimination candidates, so a SAT model exercises the
+  // reconstruction stack.
+  sat::SatPreprocessor tier;
+  load(&tier);
+  for (int v = 0; v < n; ++v) {
+    if (rng->NextBelow(2) == 1) tier.Freeze(v);
+  }
+  const bool tier_sat = tier.Solve() == sat::SolveStatus::kSat;
+  ctx->Check(tier_sat == ref_sat, "sat/tier-status", tag);
+  if (tier_sat && ref_sat) {
+    ctx->Check(model_satisfies(tier), "sat/tier-model", tag);
+  }
+
+  // Disabled mode is a verbatim replay: status must match as well.
+  {
+    PreprocessingGuard pp_guard;
+    sat::SetSatPreprocessingEnabled(false);
+    sat::SatPreprocessor replay;
+    load(&replay);
+    ctx->Check((replay.Solve() == sat::SolveStatus::kSat) == ref_sat,
+               "sat/replay-status", tag);
+  }
+
+  // Assumption solve with lazy preprocessing: the assumption variables
+  // are frozen automatically, nothing else is.
+  std::vector<sat::Lit> assumptions;
+  for (int v = 0; v < n; ++v) {
+    if (rng->NextBelow(4) == 0) {
+      assumptions.push_back(sat::Lit(v, /*negated=*/rng->NextBelow(2) == 1));
+    }
+  }
+  sat::SatPreprocessor assuming;
+  load(&assuming);
+  const sat::SolveStatus status = assuming.SolveAssuming(assumptions);
+
+  sat::DpllSolver assumed_ref(n);
+  for (const std::vector<sat::Lit>& c : clauses) assumed_ref.AddClause(c);
+  for (const sat::Lit a : assumptions) assumed_ref.AddClause({a});
+  const bool assumed_sat = assumed_ref.Solve() == sat::SolveStatus::kSat;
+  ctx->Check((status == sat::SolveStatus::kSat) == assumed_sat,
+             "sat/assume-status",
+             tag + " k=" + std::to_string(assumptions.size()));
+  if (status == sat::SolveStatus::kSat) {
+    bool honored = true;
+    for (const sat::Lit a : assumptions) {
+      if (assuming.ModelValue(a.var()) == a.negated()) honored = false;
+    }
+    ctx->Check(honored && model_satisfies(assuming), "sat/assume-model",
+               tag + " k=" + std::to_string(assumptions.size()));
+  } else {
+    // The core must be a subset of the assumptions (in original
+    // variable indices) that is itself inconsistent with the clauses.
+    const std::vector<sat::Lit>& core = assuming.FailedAssumptions();
+    bool subset = true;
+    for (const sat::Lit l : core) {
+      bool found = false;
+      for (const sat::Lit a : assumptions) {
+        if (a == l) found = true;
+      }
+      if (!found) subset = false;
+    }
+    ctx->Check(subset, "sat/assume-core-subset",
+               tag + " core=" + std::to_string(core.size()));
+    sat::DpllSolver core_ref(n);
+    for (const std::vector<sat::Lit>& c : clauses) core_ref.AddClause(c);
+    for (const sat::Lit l : core) core_ref.AddClause({l});
+    ctx->Check(core_ref.Solve() == sat::SolveStatus::kUnsat,
+               "sat/assume-core-unsat",
+               tag + " core=" + std::to_string(core.size()));
   }
 }
 
@@ -615,6 +759,9 @@ DifferentialReport RunDifferentialFuzz(const DifferentialOptions& options) {
     }
     if (options.check_backends) {
       CheckBackends(&ctx, &rng, vocab, options.thread_counts);
+    }
+    if (options.check_sat) {
+      CheckSatTier(&ctx, &rng);
     }
     if (options.check_representation) {
       CheckRepresentationTheorems(&ctx, psi, mu);

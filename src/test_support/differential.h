@@ -33,7 +33,16 @@
 ///    vs the enumerating oracle on random formula pairs: the model
 ///    sets, optimal-distance strings, and truncation flags must be
 ///    bit-identical for min/max/Σ aggregation under unit and random
-///    weighted metrics, at every configured thread count.
+///    weighted metrics, at every configured thread count — and, on the
+///    counting side, bit-identical with SAT preprocessing enabled and
+///    disabled.
+///  * **SAT tier** — the preprocessing solver tier (subsumption + BVE
+///    in front of the CDCL solver) vs the DPLL baseline on random
+///    3-CNF with a random frozen subset: statuses agree, models
+///    (including values reconstructed for eliminated variables)
+///    satisfy every clause, assumption solves auto-freeze their
+///    variables, and failed-assumption cores are genuine unsatisfiable
+///    subsets.
 ///  * **Store** — random op scripts with injected failures: any op that
 ///    returns non-OK must leave the store byte-identical (strong error
 ///    guarantee), and Save → Load → replay must reproduce the store
@@ -76,6 +85,7 @@ struct DifferentialOptions {
 
   bool check_kernels = true;
   bool check_backends = true;
+  bool check_sat = true;
   bool check_representation = true;
   bool check_weighted = true;
   bool check_commutativity = true;

@@ -7,6 +7,7 @@
 #include "logic/parser.h"
 #include "logic/semantics.h"
 #include "sat/all_sat.h"
+#include "sat/solver.h"
 #include "sat/dimacs.h"
 
 namespace arbiter::sat {

@@ -9,6 +9,7 @@
 #include "logic/generator.h"
 #include "logic/semantics.h"
 #include "sat/all_sat.h"
+#include "sat/solver.h"
 #include "util/bit.h"
 
 namespace arbiter::enc {

@@ -14,6 +14,7 @@
 #include "logic/semantics.h"
 #include "logic/simplify.h"
 #include "sat/all_sat.h"
+#include "sat/solver.h"
 #include "util/random.h"
 
 namespace arbiter {

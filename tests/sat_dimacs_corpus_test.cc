@@ -1,0 +1,143 @@
+// DIMACS regression corpus for the SAT tier: every instance under
+// tests/dimacs_corpus/ carries a "c expect: sat|unsat" annotation and
+// is solved four ways — preprocessing tier, preprocessing disabled,
+// raw CDCL solver, and (small instances) the DPLL baseline.  SAT
+// answers are checked against the original clauses through the tier's
+// ModelValue, which exercises model reconstruction for every variable
+// BVE eliminated (nothing is frozen here).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sat/dimacs.h"
+#include "sat/dpll.h"
+#include "sat/preprocessor.h"
+#include "sat/solver.h"
+
+namespace arbiter::sat {
+namespace {
+
+constexpr const char* kCorpusDir =
+    ARBITER_SOURCE_DIR "/tests/dimacs_corpus";
+
+struct CorpusCase {
+  std::string name;
+  bool expect_sat = false;
+  CnfInstance instance;
+};
+
+std::vector<CorpusCase> LoadCorpus() {
+  std::vector<CorpusCase> cases;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(kCorpusDir)) {
+    if (entry.path().extension() != ".cnf") continue;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    CorpusCase c;
+    c.name = entry.path().filename().string();
+    const size_t pos = text.find("c expect: ");
+    EXPECT_NE(pos, std::string::npos)
+        << c.name << " is missing its 'c expect:' annotation";
+    if (pos == std::string::npos) continue;
+    // "unsat" also contains "sat", so match the longer word first.
+    c.expect_sat = text.compare(pos + 10, 5, "unsat") != 0;
+    Result<CnfInstance> parsed = ParseDimacs(text);
+    EXPECT_TRUE(parsed.ok()) << c.name << ": " << parsed.status().ToString();
+    if (!parsed.ok()) continue;
+    c.instance = std::move(parsed).ValueOrDie();
+    cases.push_back(std::move(c));
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const CorpusCase& a, const CorpusCase& b) {
+              return a.name < b.name;
+            });
+  return cases;
+}
+
+void Load(const CnfInstance& instance, ClauseSink* sink) {
+  for (int v = 0; v < instance.num_vars; ++v) sink->NewVar();
+  for (const std::vector<Lit>& c : instance.clauses) sink->AddClause(c);
+}
+
+bool ModelSatisfies(const CnfInstance& instance, const SatEngine& engine) {
+  for (const std::vector<Lit>& c : instance.clauses) {
+    bool satisfied = false;
+    for (const Lit l : c) {
+      if (engine.ModelValue(l.var()) != l.negated()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+TEST(SatDimacsCorpusTest, CorpusIsNonTrivial) {
+  const std::vector<CorpusCase> corpus = LoadCorpus();
+  EXPECT_GE(corpus.size(), 5u);
+  bool any_sat = false, any_unsat = false;
+  for (const CorpusCase& c : corpus) {
+    (c.expect_sat ? any_sat : any_unsat) = true;
+  }
+  EXPECT_TRUE(any_sat);
+  EXPECT_TRUE(any_unsat);
+}
+
+TEST(SatDimacsCorpusTest, TierMatchesAnnotations) {
+  for (const CorpusCase& c : LoadCorpus()) {
+    SatPreprocessor tier;
+    Load(c.instance, &tier);
+    const SolveStatus status = tier.Solve();
+    EXPECT_EQ(status == SolveStatus::kSat, c.expect_sat) << c.name;
+    if (status == SolveStatus::kSat) {
+      EXPECT_TRUE(ModelSatisfies(c.instance, tier))
+          << c.name << " (eliminated=" << tier.pstats().eliminated_vars
+          << ")";
+    }
+  }
+}
+
+TEST(SatDimacsCorpusTest, DisabledReplayMatchesAnnotations) {
+  SetSatPreprocessingEnabled(false);
+  for (const CorpusCase& c : LoadCorpus()) {
+    SatPreprocessor replay;
+    Load(c.instance, &replay);
+    const SolveStatus status = replay.Solve();
+    EXPECT_EQ(status == SolveStatus::kSat, c.expect_sat) << c.name;
+    if (status == SolveStatus::kSat) {
+      EXPECT_TRUE(ModelSatisfies(c.instance, replay)) << c.name;
+    }
+  }
+  SetSatPreprocessingEnabled(true);
+}
+
+TEST(SatDimacsCorpusTest, RawSolverMatchesAnnotations) {
+  for (const CorpusCase& c : LoadCorpus()) {
+    Solver solver;
+    Load(c.instance, &solver);
+    EXPECT_EQ(solver.Solve() == SolveStatus::kSat, c.expect_sat) << c.name;
+  }
+}
+
+TEST(SatDimacsCorpusTest, DpllAgreesOnSmallInstances) {
+  for (const CorpusCase& c : LoadCorpus()) {
+    if (c.instance.num_vars > 45) continue;  // DPLL is exponential
+    DpllSolver dpll(c.instance.num_vars);
+    for (const std::vector<Lit>& cl : c.instance.clauses) {
+      dpll.AddClause(cl);
+    }
+    EXPECT_EQ(dpll.Solve() == SolveStatus::kSat, c.expect_sat) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace arbiter::sat
