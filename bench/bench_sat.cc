@@ -11,13 +11,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "logic/generator.h"
 #include "sat/dpll.h"
 #include "sat/preprocessor.h"
 #include "sat/solver.h"
+#include "solve/dalal_sat.h"
 #include "test_support/cnf_instances.h"
 #include "util/random.h"
 
@@ -174,6 +180,44 @@ void BM_PreprocessBveChains(benchmark::State& state) {
       static_cast<double>(eliminated), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_PreprocessBveChains)->Args({10, 50})->Args({50, 100});
+
+// End-to-end Dalal revision through the SAT tier, recorded here so the
+// number lands in BENCH_sat.json.  A single random 3-CNF instance is
+// trajectory-noisy (the old n=36 arm swung several-fold between runs
+// on its one fixed seed), so each iteration times 8 seeded instances
+// and reports the median.  Seed 0 is the original bench_solve seed
+// (n*3), keeping history comparable.
+constexpr int kDalalSweepSeeds = 8;
+
+void BM_SatDalalReviseSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::pair<Formula, Formula>> instances;
+  instances.reserve(kDalalSweepSeeds);
+  for (int s = 0; s < kDalalSweepSeeds; ++s) {
+    Rng rng(static_cast<uint64_t>(n) * 3 + 101 * s);
+    Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
+    Formula mu = RandomKCnf(&rng, n, 2 * n, 3);
+    instances.emplace_back(std::move(psi), std::move(mu));
+  }
+  for (auto _ : state) {
+    std::array<double, kDalalSweepSeeds> seconds;
+    for (int s = 0; s < kDalalSweepSeeds; ++s) {
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(solve::SatDalalRevise(
+          instances[s].first, instances[s].second, n, /*max_models=*/1));
+      const auto stop = std::chrono::steady_clock::now();
+      seconds[s] = std::chrono::duration<double>(stop - start).count();
+    }
+    std::nth_element(seconds.begin(),
+                     seconds.begin() + kDalalSweepSeeds / 2, seconds.end());
+    state.SetIterationTime(seconds[kDalalSweepSeeds / 2]);
+  }
+}
+BENCHMARK(BM_SatDalalReviseSweep)
+    ->Arg(28)
+    ->Arg(36)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_UnitPropagationThroughput(benchmark::State& state) {
   // A long implication chain: measures raw propagation speed.

@@ -1,0 +1,296 @@
+// Throughput/latency benchmark for the belief server (ISSUE:
+// arbitration-as-a-service).  Emits machine-readable JSON to
+// BENCH_server.json (or --out).
+//
+// Workload: a fixed pool of 6 request variants — 8 `.belief`
+// statements each (define / change / assert / undo), cycling over 8
+// named stores.  The variants repeat, so after warmup every `change`
+// is answered by the shared canonical-form operator-result cache; this
+// is the high-cache-hit batch regime the server is built for.
+//
+// Arms:
+//   * server_T            — one in-process BeliefServer, T worker
+//                           threads pulling requests from a shared
+//                           queue and executing them as batches
+//                           (T = 1, 2, 7).  Reports sustained req/s,
+//                           p50/p99 batch latency, and cache counters.
+//   * belief_check_sub    — the pre-server deployment model: the SAME
+//                           statements, one belief_check process per
+//                           request (--belief-check <path>; skipped
+//                           when absent).
+//
+// Every server arm's rendered responses are compared bit for bit
+// against the single-thread arm before timing is reported; a mismatch
+// aborts the run.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace arbiter;
+using server::BatchResult;
+using server::BeliefServer;
+using server::RenderOutcome;
+using Clock = std::chrono::steady_clock;
+
+struct Request {
+  std::string store;
+  std::vector<std::string> lines;
+};
+
+// Six variants over a shared 3-atom vocabulary.  Each is self-contained
+// (starts by redefining its base), every assertion holds for every
+// operator pair below (all return a nonempty subset of the minimal-
+// distance models), and the statement language is exactly what
+// belief_check runs — the baseline arm feeds the identical text.
+std::vector<std::vector<std::string>> RequestVariants() {
+  const std::pair<const char*, const char*> ops[] = {
+      {"dalal", "satoh"},      {"winslett", "forbus"},
+      {"borgida", "dalal"},    {"revesz-max", "satoh"},
+      {"satoh", "winslett"},   {"dalal", "borgida"},
+  };
+  std::vector<std::vector<std::string>> variants;
+  for (const auto& [op1, op2] : ops) {
+    variants.push_back({
+        "define kb := g & a & p",
+        "assert kb entails g",
+        std::string("change kb by ") + op1 + " with !a",
+        "assert kb consistent-with g",
+        std::string("change kb by ") + op2 + " with a | !p",
+        "assert kb entails g",
+        "undo kb",
+        "assert kb consistent-with !a",
+    });
+  }
+  return variants;
+}
+
+std::vector<Request> MakeRequests(int count, int num_stores) {
+  const std::vector<std::vector<std::string>> variants = RequestVariants();
+  std::vector<Request> requests;
+  requests.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    requests.push_back({"s" + std::to_string(i % num_stores),
+                        variants[i % variants.size()]});
+  }
+  return requests;
+}
+
+struct ServerArm {
+  std::string arm;
+  int threads = 1;
+  double wall_s = 0;
+  double requests_per_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  OperatorResultCache::Stats cache;
+  std::vector<std::string> responses;  // one flattened response per request
+};
+
+void Fail(const std::string& msg) {
+  std::fprintf(stderr, "bench_server: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+// Runs all requests through one fresh BeliefServer with `threads`
+// workers pulling from a shared index.
+ServerArm RunServerArm(const std::vector<Request>& requests, int threads) {
+  ServerArm result;
+  result.arm = "server_" + std::to_string(threads);
+  result.threads = threads;
+  result.responses.resize(requests.size());
+  std::vector<double> latencies(requests.size(), 0.0);
+
+  BeliefServer server;
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= requests.size()) return;
+      const auto t0 = Clock::now();
+      BatchResult batch = server.ExecuteBatch(requests[i].store,
+                                              requests[i].lines);
+      latencies[i] = std::chrono::duration<double>(Clock::now() - t0).count();
+      std::string flat;
+      for (const server::StatementOutcome& o : batch.outcomes) {
+        flat += RenderOutcome(o);
+        flat += '\n';
+      }
+      result.responses[i] = std::move(flat);
+    }
+  };
+
+  const auto start = Clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  result.requests_per_s = requests.size() / result.wall_s;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_ms = latencies[latencies.size() / 2] * 1e3;
+  result.p99_ms =
+      latencies[std::min(latencies.size() - 1, latencies.size() * 99 / 100)] *
+      1e3;
+  result.cache = server.CacheStats();
+  return result;
+}
+
+// The pre-server model: one belief_check process per request, script on
+// stdin, output discarded.  Spawn + full solve each time, no cache.
+double RunSubprocessArm(const std::string& belief_check,
+                        const std::vector<Request>& requests, int count) {
+  const std::string command = "'" + belief_check + "' >/dev/null 2>&1";
+  const auto start = Clock::now();
+  for (int i = 0; i < count; ++i) {
+    FILE* pipe = popen(command.c_str(), "w");
+    if (pipe == nullptr) Fail("popen(" + belief_check + ") failed");
+    for (const std::string& line : requests[i].lines) {
+      std::fputs(line.c_str(), pipe);
+      std::fputc('\n', pipe);
+    }
+    const int status = pclose(pipe);
+    if (status != 0) {
+      Fail("belief_check exited with status " + std::to_string(status) +
+           " on request " + std::to_string(i) +
+           " — workload and baseline disagree");
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double HitRate(const OperatorResultCache::Stats& s) {
+  const uint64_t total = s.hits + s.misses;
+  return total == 0 ? 0.0 : static_cast<double>(s.hits) / total;
+}
+
+int Usage(std::FILE* out, int code) {
+  std::fprintf(out,
+               "usage: bench_server [--requests <n>] [--baseline-requests "
+               "<n>]\n                    [--belief-check <path>] [--out "
+               "<path>] [--quick]\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_requests = 600;
+  int baseline_requests = 40;
+  std::string belief_check;
+  std::string out_path = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int64_t value = 0;
+    if (arg == "--requests" && i + 1 < argc &&
+        ParseInt64(argv[i + 1], &value) && value > 0) {
+      num_requests = static_cast<int>(value);
+      ++i;
+    } else if (arg == "--baseline-requests" && i + 1 < argc &&
+               ParseInt64(argv[i + 1], &value) && value >= 0) {
+      baseline_requests = static_cast<int>(value);
+      ++i;
+    } else if (arg == "--belief-check" && i + 1 < argc) {
+      belief_check = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quick") {
+      num_requests = 64;
+      baseline_requests = 4;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(stdout, 0);
+    } else {
+      std::fprintf(stderr, "bench_server: bad argument '%s'\n", arg.c_str());
+      return Usage(stderr, 2);
+    }
+  }
+
+  const int kStores = 8;
+  const std::vector<Request> requests = MakeRequests(num_requests, kStores);
+  const int thread_arms[] = {1, 2, 7};
+
+  std::vector<ServerArm> arms;
+  for (int threads : thread_arms) {
+    arms.push_back(RunServerArm(requests, threads));
+    const ServerArm& a = arms.back();
+    if (a.responses != arms.front().responses) {
+      Fail(a.arm + ": responses differ from server_1 — snapshot isolation "
+           "is broken");
+    }
+    std::printf(
+        "%-10s %8.0f req/s  p50 %6.3f ms  p99 %6.3f ms  "
+        "cache %.0f%% hit (%llu/%llu)\n",
+        a.arm.c_str(), a.requests_per_s, a.p50_ms, a.p99_ms,
+        HitRate(a.cache) * 100,
+        static_cast<unsigned long long>(a.cache.hits),
+        static_cast<unsigned long long>(a.cache.hits + a.cache.misses));
+  }
+
+  double baseline_wall_s = 0;
+  double baseline_req_s = 0;
+  double speedup = 0;
+  if (!belief_check.empty() && baseline_requests > 0) {
+    baseline_wall_s =
+        RunSubprocessArm(belief_check, requests, baseline_requests);
+    baseline_req_s = baseline_requests / baseline_wall_s;
+    speedup = arms.front().requests_per_s / baseline_req_s;
+    std::printf(
+        "%-10s %8.0f req/s  (%d requests, one process each)\n"
+        "speedup: server_1 is %.1fx the subprocess baseline\n",
+        "subprocess", baseline_req_s, baseline_requests, speedup);
+  } else {
+    std::printf("subprocess baseline skipped (pass --belief-check <path>)\n");
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) Fail("cannot open " + out_path);
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_server\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
+               static_cast<int>(std::thread::hardware_concurrency()));
+  std::fprintf(f,
+               "  \"requests\": %d,\n  \"statements_per_request\": 8,\n"
+               "  \"stores\": %d,\n  \"responses_identical\": true,\n",
+               num_requests, kStores);
+  std::fprintf(f, "  \"arms\": [\n");
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const ServerArm& a = arms[i];
+    std::fprintf(f,
+                 "    {\"arm\": \"%s\", \"threads\": %d, \"wall_s\": %.4f, "
+                 "\"requests_per_s\": %.1f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu, \"cache_evictions\": %llu, "
+                 "\"cache_hit_rate\": %.4f},\n",
+                 a.arm.c_str(), a.threads, a.wall_s, a.requests_per_s,
+                 a.p50_ms, a.p99_ms,
+                 static_cast<unsigned long long>(a.cache.hits),
+                 static_cast<unsigned long long>(a.cache.misses),
+                 static_cast<unsigned long long>(a.cache.evictions),
+                 HitRate(a.cache));
+  }
+  if (!belief_check.empty() && baseline_requests > 0) {
+    std::fprintf(f,
+                 "    {\"arm\": \"belief_check_subprocess\", \"threads\": 1, "
+                 "\"requests\": %d, \"wall_s\": %.4f, "
+                 "\"requests_per_s\": %.1f}\n  ],\n"
+                 "  \"speedup_server1_vs_subprocess\": %.2f\n}\n",
+                 baseline_requests, baseline_wall_s, baseline_req_s, speedup);
+  } else {
+    std::fprintf(f,
+                 "    {\"arm\": \"belief_check_subprocess\", "
+                 "\"skipped\": true}\n  ]\n}\n");
+  }
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

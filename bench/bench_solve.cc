@@ -5,6 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <utility>
+#include <vector>
+
 #include "change/backend.h"
 #include "change/fitting.h"
 #include "change/revision.h"
@@ -20,14 +26,42 @@ namespace {
 
 using namespace arbiter;
 
+// Random 3-CNF at 2n clauses puts single instances on wildly different
+// solver trajectories — the n=36 arm used to swing several-fold run to
+// run on its one fixed seed.  Each iteration therefore times a sweep
+// of 8 seeded instances and reports the median, which tracks the
+// instance family instead of one trajectory.  Seed 0 is the original
+// n*3 seed, keeping history comparable.
+constexpr int kDalalSweepSeeds = 8;
+
+std::vector<std::pair<Formula, Formula>> DalalSweepInstances(int n) {
+  std::vector<std::pair<Formula, Formula>> instances;
+  instances.reserve(kDalalSweepSeeds);
+  for (int s = 0; s < kDalalSweepSeeds; ++s) {
+    Rng rng(static_cast<uint64_t>(n) * 3 + 101 * s);
+    Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
+    Formula mu = RandomKCnf(&rng, n, 2 * n, 3);
+    instances.emplace_back(std::move(psi), std::move(mu));
+  }
+  return instances;
+}
+
 void BM_SatDalalRevise(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(n * 3);
-  Formula psi = RandomKCnf(&rng, n, 2 * n, 3);
-  Formula mu = RandomKCnf(&rng, n, 2 * n, 3);
+  const std::vector<std::pair<Formula, Formula>> instances =
+      DalalSweepInstances(n);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        solve::SatDalalRevise(psi, mu, n, /*max_models=*/1));
+    std::array<double, kDalalSweepSeeds> seconds;
+    for (int s = 0; s < kDalalSweepSeeds; ++s) {
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(solve::SatDalalRevise(
+          instances[s].first, instances[s].second, n, /*max_models=*/1));
+      const auto stop = std::chrono::steady_clock::now();
+      seconds[s] = std::chrono::duration<double>(stop - start).count();
+    }
+    std::nth_element(seconds.begin(),
+                     seconds.begin() + kDalalSweepSeeds / 2, seconds.end());
+    state.SetIterationTime(seconds[kDalalSweepSeeds / 2]);
   }
 }
 BENCHMARK(BM_SatDalalRevise)
@@ -35,6 +69,7 @@ BENCHMARK(BM_SatDalalRevise)
     ->Arg(20)
     ->Arg(28)
     ->Arg(36)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_CegarArbitrationRandom(benchmark::State& state) {

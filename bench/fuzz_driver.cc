@@ -6,6 +6,12 @@
 //
 //   fuzz_driver [--cases N] [--seed S] [--min-terms N] [--max-terms N]
 //               [--large-terms N] [--no-store] [--no-kernels]
+//               [--server-cases N]
+//
+// --server-cases additionally runs N concurrent-session interleaving
+// cases through the belief server's differential harness
+// (src/server/differential.h): randomized writer/reader threads, then
+// a serial replay that must reproduce every batch bit for bit.
 //
 // CI runs a small fixed-seed tier (see bench/CMakeLists.txt); nightly
 // or manual runs can push --cases into the millions.
@@ -16,6 +22,7 @@
 #include <cstring>
 #include <string>
 
+#include "server/differential.h"
 #include "test_support/differential.h"
 
 namespace {
@@ -34,6 +41,7 @@ uint64_t ParseU64(const char* text, const char* flag) {
 
 int main(int argc, char** argv) {
   arbiter::test_support::DifferentialOptions options;
+  int server_cases = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -58,10 +66,13 @@ int main(int argc, char** argv) {
       options.check_store = false;
     } else if (arg == "--no-kernels") {
       options.check_kernels = false;
+    } else if (arg == "--server-cases") {
+      server_cases = static_cast<int>(ParseU64(next(), "--server-cases"));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: fuzz_driver [--cases N] [--seed S] [--min-terms N] "
-          "[--max-terms N] [--large-terms N] [--no-store] [--no-kernels]\n");
+          "[--max-terms N] [--large-terms N] [--no-store] [--no-kernels] "
+          "[--server-cases N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "fuzz_driver: unknown flag %s\n", arg.c_str());
@@ -78,6 +89,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "DIVERGENCE %s\n", d.ToString().c_str());
     }
     return 1;
+  }
+
+  for (int c = 0; c < server_cases; ++c) {
+    arbiter::server::ServerFuzzOptions server_options;
+    server_options.seed = options.seed + static_cast<uint64_t>(c);
+    const arbiter::server::ServerFuzzReport server_report =
+        arbiter::server::RunServerInterleavingFuzz(server_options);
+    if (!server_report.ok()) {
+      std::fprintf(stderr,
+                   "SERVER DIVERGENCE case %d (seed 0x%llx), %d mismatched "
+                   "batches:\n%s\n",
+                   c,
+                   static_cast<unsigned long long>(server_options.seed),
+                   server_report.mismatches, server_report.detail.c_str());
+      return 1;
+    }
+  }
+  if (server_cases > 0) {
+    std::printf("fuzz_driver: %d server interleaving cases, 0 mismatches\n",
+                server_cases);
   }
   return 0;
 }

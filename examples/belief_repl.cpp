@@ -18,8 +18,21 @@
 // Try:
 //   printf 'define jury g & a\narbitration-max jury !a\nshow\nquit\n' |
 //       ./build/examples/belief_repl
+//
+// With --connect <socket> the shell becomes the reference client for a
+// running belief_serve: every input line is sent as a one-statement
+// BATCH frame in the `.belief` statement language (define/change/
+// assert/query/...; see docs/SERVER.md), and the reply lines are
+// printed.  --store <name> picks the server-side store (default
+// "main"); 'quit' leaves, 'shutdown' stops the server.
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -43,13 +56,171 @@ bool SplitHead(const std::string& input, std::string* head,
   return true;
 }
 
+// Reads one logical line: strips a trailing '\r' (CRLF input) so
+// formulas never pick up stray carriage returns.
+bool ReadLine(std::string* line) {
+  if (!std::getline(std::cin, *line)) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Client mode: speak the belief_serve frame protocol over AF_UNIX.
+
+bool SendAll(int fd, const std::string& data) {
+  const char* p = data.data();
+  size_t len = data.size();
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool Read(std::string* out) {
+    out->clear();
+    while (true) {
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *out = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        if (!out->empty() && out->back() == '\r') out->pop_back();
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::read(fd_, chunk, sizeof(chunk));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+// Parses "REPLY <id> <epoch> <n>"; returns false on anything else.
+bool ParseReplyHeader(const std::string& header, long* count) {
+  std::istringstream in(header);
+  std::string verb, id, epoch;
+  return (in >> verb >> id >> epoch >> *count) && verb == "REPLY" &&
+         *count >= 0;
+}
+
+int RunClient(const std::string& socket_path, const std::string& store) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: socket(): %s\n", std::strerror(errno));
+    return 1;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long\n");
+    ::close(fd);
+    return 1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: connect(%s): %s\n", socket_path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  if (isatty(STDIN_FILENO)) {
+    std::fprintf(stderr,
+                 "connected to %s (store \"%s\") — statements per line; "
+                 "'quit' to leave, 'shutdown' to stop the server\n",
+                 socket_path.c_str(), store.c_str());
+  }
+
+  LineReader reader(fd);
+  unsigned long next_id = 1;
+  std::string line;
+  int exit_code = 0;
+  while (ReadLine(&line)) {
+    if (line == "quit" || line == "exit") break;
+    if (line == "shutdown") {
+      SendAll(fd, "SHUTDOWN " + std::to_string(next_id++) + "\n");
+      std::string bye;
+      if (reader.Read(&bye)) std::printf("%s\n", bye.c_str());
+      break;
+    }
+    std::string frame = "BATCH " + std::to_string(next_id++) + " " + store +
+                        " 1\n" + line + "\n";
+    if (!SendAll(fd, frame)) {
+      std::fprintf(stderr, "error: connection lost\n");
+      exit_code = 1;
+      break;
+    }
+    std::string header;
+    if (!reader.Read(&header)) {
+      std::fprintf(stderr, "error: server closed the connection\n");
+      exit_code = 1;
+      break;
+    }
+    long count = 0;
+    if (!ParseReplyHeader(header, &count)) {
+      // ERR or protocol violation: report and stop (the session is
+      // unrecoverable by design).
+      std::printf("%s\n", header.c_str());
+      std::fflush(stdout);
+      exit_code = 1;
+      break;
+    }
+    for (long i = 0; i < count; ++i) {
+      std::string outcome;
+      if (!reader.Read(&outcome)) {
+        std::fprintf(stderr, "error: truncated reply\n");
+        ::close(fd);
+        return 1;
+      }
+      std::printf("%s\n", outcome.c_str());
+    }
+    std::fflush(stdout);
+  }
+  ::close(fd);
+  return exit_code;
+}
+
 }  // namespace
 
-int main() {
-  arbiter::BeliefStore store;
+int main(int argc, char** argv) {
+  std::string connect_path;
+  std::string store = "main";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_path = argv[++i];
+    } else if (arg == "--store" && i + 1 < argc) {
+      store = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: belief_repl [--connect <socket> [--store <n>]]\n");
+      return 2;
+    }
+  }
+  if (!connect_path.empty()) return RunClient(connect_path, store);
+
+  arbiter::BeliefStore local_store;
   std::string line;
-  std::printf("arbiter belief shell — 'help' for commands\n");
-  while (std::getline(std::cin, line)) {
+  // The banner is chatter, not output: keep it off pipes so scripted
+  // use sees only answers.
+  if (isatty(STDIN_FILENO)) {
+    std::printf("arbiter belief shell — 'help' for commands\n");
+  }
+  while (ReadLine(&line)) {
     std::string command, rest;
     if (!SplitHead(line, &command, &rest)) continue;
     if (command == "quit" || command == "exit") break;
@@ -62,33 +233,38 @@ int main() {
         std::printf(" %s", name.c_str());
       }
       std::printf("\n");
+      std::fflush(stdout);
       continue;
     }
     if (command == "show") {
-      std::printf("%s", store.Dump().c_str());
+      std::printf("%s", local_store.Dump().c_str());
+      std::fflush(stdout);
       continue;
     }
     std::string name, text;
     if (!SplitHead(rest, &name, &text)) {
       std::printf("error: expected a base name\n");
+      std::fflush(stdout);
       continue;
     }
     arbiter::Status status;
     if (command == "define") {
-      status = store.Define(name, text);
+      status = local_store.Define(name, text);
     } else if (command == "undo") {
-      status = store.Undo(name);
+      status = local_store.Undo(name);
     } else if (command == "ask") {
-      arbiter::Result<bool> r = store.Entails(name, text);
+      arbiter::Result<bool> r = local_store.Entails(name, text);
       if (r.ok()) {
         std::printf("%s\n", *r ? "yes" : "no");
+        std::fflush(stdout);
         continue;
       }
       status = r.status();
     } else if (command == "consistent") {
-      arbiter::Result<bool> r = store.ConsistentWith(name, text);
+      arbiter::Result<bool> r = local_store.ConsistentWith(name, text);
       if (r.ok()) {
         std::printf("%s\n", *r ? "yes" : "no");
+        std::fflush(stdout);
         continue;
       }
       status = r.status();
@@ -97,12 +273,14 @@ int main() {
       if (qmark == std::string::npos) {
         std::printf("error: counterfactual needs '<antecedent> ? "
                     "<consequent>'\n");
+        std::fflush(stdout);
         continue;
       }
-      arbiter::Result<bool> r = store.Counterfactual(
+      arbiter::Result<bool> r = local_store.Counterfactual(
           name, text.substr(0, qmark), text.substr(qmark + 1));
       if (r.ok()) {
         std::printf("%s\n", *r ? "yes" : "no");
+        std::fflush(stdout);
         continue;
       }
       status = r.status();
@@ -111,19 +289,22 @@ int main() {
       std::string base, formula;
       if (!SplitHead(text, &base, &formula)) {
         std::printf("error: explain <op> <base> <formula>\n");
+        std::fflush(stdout);
         continue;
       }
-      arbiter::Result<arbiter::KnowledgeBase> kb = store.Get(base);
+      arbiter::Result<arbiter::KnowledgeBase> kb = local_store.Get(base);
       if (!kb.ok()) {
         std::printf("error: %s\n", kb.status().ToString().c_str());
+        std::fflush(stdout);
         continue;
       }
       // Parse the evidence over a scratch copy of the vocabulary so a
       // failed parse cannot half-grow the store's terms.
-      arbiter::Vocabulary vocab = store.vocabulary();
+      arbiter::Vocabulary vocab = local_store.vocabulary();
       arbiter::Result<arbiter::Formula> mu = arbiter::Parse(formula, &vocab);
       if (!mu.ok()) {
         std::printf("error: %s\n", mu.status().ToString().c_str());
+        std::fflush(stdout);
         continue;
       }
       arbiter::KnowledgeBase evidence(*mu, vocab.size());
@@ -134,17 +315,20 @@ int main() {
       if (!explanation.ok()) {
         std::printf("error: %s\n",
                     explanation.status().ToString().c_str());
+        std::fflush(stdout);
         continue;
       }
       std::printf("%s", explanation->ToString(vocab).c_str());
+      std::fflush(stdout);
       continue;
     } else {
       // Treat the command as an operator name.
-      status = store.Apply(name, command, text);
+      status = local_store.Apply(name, command, text);
     }
     if (!status.ok()) {
       std::printf("error: %s\n", status.ToString().c_str());
     }
+    std::fflush(stdout);
   }
   return 0;
 }

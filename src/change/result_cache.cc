@@ -1,0 +1,96 @@
+#include "change/result_cache.h"
+
+#include "logic/canonical.h"
+
+namespace arbiter {
+
+OperatorResultCache::OperatorResultCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  stats_.capacity = capacity_;
+}
+
+std::optional<OperatorResultCache::Value> OperatorResultCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void OperatorResultCache::Insert(const std::string& key, Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  stats_.size = lru_.size();
+}
+
+void OperatorResultCache::RecordSkip() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.skipped;
+}
+
+OperatorResultCache::Stats OperatorResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.size = lru_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+void OperatorResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats();
+  stats_.capacity = capacity_;
+}
+
+Result<std::string> OperatorCacheKey(const std::string& backend_name,
+                                     const std::string& op_name,
+                                     const std::vector<int64_t>& metric,
+                                     const Vocabulary& vocab,
+                                     const Formula& base,
+                                     const Formula& evidence) {
+  Result<std::string> base_form = CanonicalFormText(base, vocab);
+  if (!base_form.ok()) return base_form.status();
+  Result<std::string> evidence_form = CanonicalFormText(evidence, vocab);
+  if (!evidence_form.ok()) return evidence_form.status();
+  std::string key = backend_name;
+  key += '\x1f';
+  key += op_name;
+  key += '\x1f';
+  for (int64_t w : metric) {
+    key += std::to_string(w);
+    key += ',';
+  }
+  key += '\x1f';
+  // Ordered names: the cached Formula is over indices, so index
+  // binding is part of the key.
+  for (const std::string& name : vocab.names()) {
+    key += name;
+    key += ' ';
+  }
+  key += '\x1f';
+  key += *base_form;
+  key += '\x1f';
+  key += *evidence_form;
+  return key;
+}
+
+}  // namespace arbiter

@@ -1,0 +1,100 @@
+#ifndef ARBITER_CHANGE_RESULT_CACHE_H_
+#define ARBITER_CHANGE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "util/status.h"
+
+/// \file result_cache.h
+/// Operator-result cache: memoized Mod(ψ ▷ μ).
+///
+/// KM-style change operators are pure functions of (Mod(ψ), Mod(μ))
+/// and the distance semantics, so their results are safely memoizable
+/// under a key that pins everything the computation reads:
+///
+///   backend ⊕ operator ⊕ metric ⊕ vocabulary (ordered names)
+///           ⊕ canonical(ψ) ⊕ canonical(μ)
+///
+/// The ordered vocabulary is part of the key because a cached result
+/// is stored as a Formula over term *indices*: two stores sharing the
+/// cache may bind the same names to different indices.  Canonical
+/// forms come from logic/canonical.h; requests whose canonicalization
+/// exceeds its budget are simply not cached (counted as `skipped`).
+///
+/// The cache is a mutex-guarded LRU safe for concurrent use by many
+/// stores/sessions; this is what turns the "millions of users, few
+/// distinct KBs" traffic shape into cache hits instead of solver runs.
+
+namespace arbiter {
+
+/// Thread-safe LRU cache of operator results with hit/miss/eviction
+/// counters.
+class OperatorResultCache {
+ public:
+  /// A memoized change result: the committed formula, plus the
+  /// aggregated optimal distance in decimal when the computing path
+  /// produced one (backend paths do; registry enumeration does not).
+  struct Value {
+    Formula result;
+    std::string optimal;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    /// Requests that bypassed the cache (canonicalization over budget).
+    uint64_t skipped = 0;
+    uint64_t size = 0;
+    uint64_t capacity = 0;
+  };
+
+  explicit OperatorResultCache(size_t capacity = 1024);
+
+  /// Returns the cached value and refreshes its recency, or nullopt
+  /// (counted as hit/miss respectively).
+  std::optional<Value> Lookup(const std::string& key);
+
+  /// Inserts or refreshes `key`, evicting the least recently used
+  /// entry when at capacity.
+  void Insert(const std::string& key, Value value);
+
+  /// Records a request that could not be cached.
+  void RecordSkip();
+
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  using LruList = std::list<std::pair<std::string, Value>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  Stats stats_;
+};
+
+/// Builds the canonical cache key described above.  Fails with
+/// kCapacityExceeded when either formula exceeds the canonicalization
+/// budget (callers should RecordSkip and compute directly).
+Result<std::string> OperatorCacheKey(const std::string& backend_name,
+                                     const std::string& op_name,
+                                     const std::vector<int64_t>& metric,
+                                     const Vocabulary& vocab,
+                                     const Formula& base,
+                                     const Formula& evidence);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_CHANGE_RESULT_CACHE_H_

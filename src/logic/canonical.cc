@@ -1,0 +1,178 @@
+#include "logic/canonical.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace arbiter {
+
+namespace {
+
+/// One canonicalized subformula: its rendered text plus enough shape
+/// information to flatten nested ∧/∨ and fold constants.
+struct CanonPart {
+  enum class Shape { kTrue, kFalse, kLeaf, kAnd, kOr };
+  Shape shape = Shape::kLeaf;
+  std::string text;
+  /// Sorted, deduplicated child renderings (kAnd/kOr only).
+  std::vector<std::string> parts;
+};
+
+class Canonicalizer {
+ public:
+  Canonicalizer(const Vocabulary& vocab, int64_t budget)
+      : vocab_(vocab), budget_(budget) {}
+
+  Result<CanonPart> Run(const Formula& f, bool positive) {
+    if (--budget_ < 0) {
+      return Status::CapacityExceeded(
+          "canonicalization budget exhausted (iff/xor chains expand "
+          "exponentially under NNF)");
+    }
+    switch (f.kind()) {
+      case FormulaKind::kTrue:
+        return Constant(positive);
+      case FormulaKind::kFalse:
+        return Constant(!positive);
+      case FormulaKind::kVar: {
+        CanonPart out;
+        out.shape = CanonPart::Shape::kLeaf;
+        out.text = positive ? vocab_.Name(f.var())
+                            : "!" + vocab_.Name(f.var());
+        return out;
+      }
+      case FormulaKind::kNot:
+        return Run(f.child(0), !positive);
+      case FormulaKind::kAnd:
+        return Nary(f.children(), positive, /*conjunctive=*/positive);
+      case FormulaKind::kOr:
+        return Nary(f.children(), positive, /*conjunctive=*/!positive);
+      case FormulaKind::kImplies: {
+        // a -> b  ==  !a | b.
+        Result<CanonPart> lhs = Run(f.child(0), !positive);
+        if (!lhs.ok()) return lhs;
+        Result<CanonPart> rhs = Run(f.child(1), positive);
+        if (!rhs.ok()) return rhs;
+        return Combine({*lhs, *rhs}, /*conjunctive=*/!positive);
+      }
+      case FormulaKind::kIff:
+        return Biconditional(f, positive);
+      case FormulaKind::kXor:
+        return Biconditional(f, !positive);
+    }
+    return Status::Internal("unreachable formula kind");
+  }
+
+ private:
+  static CanonPart Constant(bool value) {
+    CanonPart out;
+    out.shape = value ? CanonPart::Shape::kTrue : CanonPart::Shape::kFalse;
+    out.text = value ? "T" : "F";
+    return out;
+  }
+
+  /// (a <-> b) under `positive` polarity:
+  ///   pos: (a & b) | (!a & !b);   neg: (a & !b) | (!a & b).
+  Result<CanonPart> Biconditional(const Formula& f, bool positive) {
+    const Formula& a = f.child(0);
+    const Formula& b = f.child(1);
+    Result<CanonPart> at = Run(a, true);
+    if (!at.ok()) return at;
+    Result<CanonPart> af = Run(a, false);
+    if (!af.ok()) return af;
+    Result<CanonPart> bt = Run(b, true);
+    if (!bt.ok()) return bt;
+    Result<CanonPart> bf = Run(b, false);
+    if (!bf.ok()) return bf;
+    Result<CanonPart> left =
+        Combine({*at, positive ? *bt : *bf}, /*conjunctive=*/true);
+    if (!left.ok()) return left;
+    Result<CanonPart> right =
+        Combine({*af, positive ? *bf : *bt}, /*conjunctive=*/true);
+    if (!right.ok()) return right;
+    return Combine({*left, *right}, /*conjunctive=*/false);
+  }
+
+  Result<CanonPart> Nary(const std::vector<Formula>& children, bool positive,
+                         bool conjunctive) {
+    std::vector<CanonPart> parts;
+    parts.reserve(children.size());
+    for (const Formula& child : children) {
+      Result<CanonPart> part = Run(child, positive);
+      if (!part.ok()) return part;
+      parts.push_back(*std::move(part));
+    }
+    return Combine(parts, conjunctive);
+  }
+
+  /// Builds the flattened, sorted, deduplicated ∧/∨ over `parts`,
+  /// folding ⊤/⊥ and collapsing singletons.
+  Result<CanonPart> Combine(const std::vector<CanonPart>& parts,
+                            bool conjunctive) {
+    const CanonPart::Shape same = conjunctive ? CanonPart::Shape::kAnd
+                                              : CanonPart::Shape::kOr;
+    std::vector<std::string> flat;
+    for (const CanonPart& part : parts) {
+      if (--budget_ < 0) {
+        return Status::CapacityExceeded(
+            "canonicalization budget exhausted while flattening");
+      }
+      if (conjunctive ? part.shape == CanonPart::Shape::kTrue
+                      : part.shape == CanonPart::Shape::kFalse) {
+        continue;  // identity element
+      }
+      if (conjunctive ? part.shape == CanonPart::Shape::kFalse
+                      : part.shape == CanonPart::Shape::kTrue) {
+        return Constant(!conjunctive);  // absorbing element
+      }
+      if (part.shape == same) {
+        flat.insert(flat.end(), part.parts.begin(), part.parts.end());
+      } else {
+        flat.push_back(part.text);
+      }
+    }
+    std::sort(flat.begin(), flat.end());
+    flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+    if (flat.empty()) return Constant(conjunctive);
+    CanonPart out;
+    if (flat.size() == 1) {
+      // A singleton keeps its child's shape only if it is a leaf; a
+      // nested n-ary child was already flattened above.
+      out.shape = CanonPart::Shape::kLeaf;
+      out.text = flat[0];
+      return out;
+    }
+    out.shape = same;
+    std::string text = conjunctive ? "(&" : "(|";
+    for (const std::string& piece : flat) {
+      text += ' ';
+      text += piece;
+    }
+    text += ')';
+    out.text = std::move(text);
+    out.parts = std::move(flat);
+    return out;
+  }
+
+  const Vocabulary& vocab_;
+  int64_t budget_;
+};
+
+}  // namespace
+
+Result<std::string> CanonicalFormText(const Formula& f,
+                                      const Vocabulary& vocab,
+                                      int64_t max_nodes) {
+  if (f.MaxVar() >= vocab.size()) {
+    return Status::InvalidArgument(
+        "formula mentions term index " + std::to_string(f.MaxVar()) +
+        " beyond the vocabulary (" + std::to_string(vocab.size()) +
+        " terms)");
+  }
+  Canonicalizer canon(vocab, max_nodes);
+  Result<CanonPart> part = canon.Run(f, /*positive=*/true);
+  if (!part.ok()) return part.status();
+  return part->text;
+}
+
+}  // namespace arbiter

@@ -1,0 +1,54 @@
+#ifndef ARBITER_LOGIC_CANONICAL_H_
+#define ARBITER_LOGIC_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "util/status.h"
+
+/// \file canonical.h
+/// Canonical syntactic forms — the cache-key substrate.
+///
+/// Katsuno–Mendelzon-style operators are pure functions of
+/// (Mod(ψ), Mod(μ)) and the distance semantics, so an operator result
+/// may be memoized under any key that identifies the *models* of its
+/// inputs.  Full semantic canonization (a truth table or BDD) is as
+/// expensive as the operator itself; instead we use a cheap syntactic
+/// normal form that is insensitive to the noise real traffic actually
+/// produces — reordered conjuncts/disjuncts, duplicated clauses,
+/// double negation, vocabulary index permutation:
+///
+///   * the formula is rewritten into negation normal form on the fly
+///     (polarity propagation; →, ↔, ⊕ expanded),
+///   * ∧/∨ are flattened, their children rendered, sorted, and
+///     deduplicated; ⊤/⊥ are folded,
+///   * terms appear by *name*, so two stores that registered the same
+///     terms in different order produce the same form.
+///
+/// CNF input therefore yields a canonical CNF rendering (sorted
+/// clauses of sorted literals).  Distinct canonical texts may still be
+/// logically equivalent — that only costs a cache miss, never
+/// soundness.
+///
+/// ↔/⊕ chains can expand exponentially under NNF, so rendering runs
+/// under a node budget; exceeding it returns kCapacityExceeded, which
+/// cache layers treat as "this request is not cacheable" rather than
+/// as a failure of the underlying operation.
+
+namespace arbiter {
+
+/// Default canonicalization work budget (visited nodes).
+inline constexpr int64_t kDefaultCanonicalBudget = 1 << 20;
+
+/// Renders the canonical form of `f` with term names from `vocab`.
+/// Requires f.MaxVar() < vocab.size().  Fails with kCapacityExceeded
+/// when NNF expansion exceeds `max_nodes` visited nodes.
+Result<std::string> CanonicalFormText(
+    const Formula& f, const Vocabulary& vocab,
+    int64_t max_nodes = kDefaultCanonicalBudget);
+
+}  // namespace arbiter
+
+#endif  // ARBITER_LOGIC_CANONICAL_H_

@@ -8,6 +8,12 @@ namespace arbiter {
 
 namespace {
 
+// Maximum recursion depth before parsing fails with kInvalidArgument.
+// Deep enough for any sane formula, shallow enough that hostile inputs
+// ("(((((...x...)))))", "!!!!...x") cannot overflow the stack even
+// under sanitizers' smaller frames.
+constexpr int kMaxParseDepth = 1000;
+
 // A single-pass tokenizer + recursive-descent parser.
 class Parser {
  public:
@@ -120,12 +126,25 @@ class Parser {
   }
 
   Result<Formula> ParseUnary() {
-    if (Eat("!") || Eat("~") || Eat("not")) {
-      Result<Formula> operand = ParseUnary();
-      if (!operand.ok()) return operand;
-      return Not(*operand);
+    // Every unbounded recursion path (nested parens, `!` chains,
+    // right-associative `->`) passes through here, so one depth guard
+    // bounds the parser's stack: without it a hostile input like
+    // "((((...x...))))" crashes the process instead of failing.
+    if (++depth_ > kMaxParseDepth) {
+      return Status::InvalidArgument(
+          "formula nesting exceeds the limit of " +
+          std::to_string(kMaxParseDepth));
     }
-    return ParseAtom();
+    Result<Formula> out = [&]() -> Result<Formula> {
+      if (Eat("!") || Eat("~") || Eat("not")) {
+        Result<Formula> operand = ParseUnary();
+        if (!operand.ok()) return operand;
+        return Not(*operand);
+      }
+      return ParseAtom();
+    }();
+    --depth_;
+    return out;
   }
 
   Result<Formula> ParseAtom() {
@@ -157,6 +176,7 @@ class Parser {
   Vocabulary* vocab_;
   ParseMode mode_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

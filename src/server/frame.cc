@@ -1,0 +1,162 @@
+#include "server/frame.h"
+
+#include <streambuf>
+
+#include "util/string_util.h"
+
+namespace arbiter::server {
+
+namespace {
+
+enum class LineOutcome { kLine, kEof, kTooLong };
+
+/// Bounded line read straight off the streambuf: a hostile peer
+/// sending gigabytes without a newline hits kMaxLineBytes instead of
+/// growing a std::string without limit.
+LineOutcome ReadLineBounded(std::istream& in, std::string* out) {
+  out->clear();
+  std::streambuf* sb = in.rdbuf();
+  bool saw_any = false;
+  while (true) {
+    const int c = sb->sbumpc();
+    if (c == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      return saw_any ? LineOutcome::kLine : LineOutcome::kEof;
+    }
+    saw_any = true;
+    if (c == '\n') return LineOutcome::kLine;
+    if (out->size() >= kMaxLineBytes) return LineOutcome::kTooLong;
+    out->push_back(static_cast<char>(c));
+  }
+}
+
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+bool IsToken(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FlattenLine(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+ReadOutcome ReadFrame(std::istream& in, Frame* frame, std::string* error) {
+  std::string line;
+  // Skip blank separator lines before the header.
+  while (true) {
+    switch (ReadLineBounded(in, &line)) {
+      case LineOutcome::kEof:
+        return ReadOutcome::kEof;
+      case LineOutcome::kTooLong:
+        *error = "protocol line exceeds " + std::to_string(kMaxLineBytes) +
+                 " bytes";
+        return ReadOutcome::kError;
+      case LineOutcome::kLine:
+        break;
+    }
+    StripTrailingCr(&line);
+    if (!Trim(line).empty()) break;
+  }
+
+  std::vector<std::string> parts = Split(Trim(line), ' ');
+  // Split may produce empty tokens on repeated spaces; drop them.
+  std::vector<std::string> tokens;
+  for (std::string& part : parts) {
+    if (!part.empty()) tokens.push_back(std::move(part));
+  }
+  if (tokens.empty()) {
+    *error = "empty frame header";
+    return ReadOutcome::kError;
+  }
+
+  const std::string& verb = tokens[0];
+  if (verb == "PING" || verb == "SHUTDOWN") {
+    if (tokens.size() != 2 || !IsToken(tokens[1])) {
+      *error = "malformed " + verb + " header: expected '" + verb + " <id>'";
+      return ReadOutcome::kError;
+    }
+    frame->kind = verb == "PING" ? Frame::Kind::kPing : Frame::Kind::kShutdown;
+    frame->id = tokens[1];
+    frame->store.clear();
+    frame->statements.clear();
+    return ReadOutcome::kFrame;
+  }
+  if (verb != "BATCH") {
+    *error = "unknown frame verb \"" + FlattenLine(verb) + "\"";
+    return ReadOutcome::kError;
+  }
+  if (tokens.size() != 4) {
+    *error = "malformed BATCH header: expected 'BATCH <id> <store> <n>'";
+    return ReadOutcome::kError;
+  }
+  int64_t count = 0;
+  if (!IsToken(tokens[1]) || !IsToken(tokens[2]) ||
+      !ParseInt64(tokens[3], &count) || count < 0) {
+    *error = "malformed BATCH header: expected 'BATCH <id> <store> <n>'";
+    return ReadOutcome::kError;
+  }
+  if (static_cast<size_t>(count) > kMaxFrameStatements) {
+    *error = "BATCH of " + std::to_string(count) + " statements exceeds the " +
+             std::to_string(kMaxFrameStatements) + "-statement limit";
+    return ReadOutcome::kError;
+  }
+  frame->kind = Frame::Kind::kBatch;
+  frame->id = tokens[1];
+  frame->store = tokens[2];
+  frame->statements.clear();
+  frame->statements.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    switch (ReadLineBounded(in, &line)) {
+      case LineOutcome::kEof:
+        *error = "stream ended inside a BATCH body (" + std::to_string(i) +
+                 " of " + std::to_string(count) + " statements read)";
+        return ReadOutcome::kError;
+      case LineOutcome::kTooLong:
+        *error = "statement line exceeds " + std::to_string(kMaxLineBytes) +
+                 " bytes";
+        return ReadOutcome::kError;
+      case LineOutcome::kLine:
+        break;
+    }
+    StripTrailingCr(&line);
+    frame->statements.push_back(line);
+  }
+  return ReadOutcome::kFrame;
+}
+
+void WriteReply(std::ostream& out, const std::string& id, uint64_t epoch,
+                const std::vector<std::string>& lines) {
+  out << "REPLY " << FlattenLine(id) << ' ' << epoch << ' ' << lines.size()
+      << '\n';
+  for (const std::string& line : lines) out << FlattenLine(line) << '\n';
+  out.flush();
+}
+
+void WritePong(std::ostream& out, const std::string& id) {
+  out << "PONG " << FlattenLine(id) << '\n';
+  out.flush();
+}
+
+void WriteBye(std::ostream& out, const std::string& id) {
+  out << "BYE " << FlattenLine(id) << '\n';
+  out.flush();
+}
+
+void WriteError(std::ostream& out, const std::string& message) {
+  out << "ERR " << FlattenLine(message) << '\n';
+  out.flush();
+}
+
+}  // namespace arbiter::server

@@ -1,0 +1,80 @@
+#ifndef ARBITER_SERVER_FRAME_H_
+#define ARBITER_SERVER_FRAME_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file frame.h
+/// The belief-server wire protocol: newline-framed, human-typable, and
+/// bounded so a hostile peer can neither overflow the process nor make
+/// it allocate without limit.
+///
+/// Requests (one header line, statements on following lines):
+///
+///   BATCH <id> <store> <n>      n statement lines follow (see
+///                               docs/SERVER.md for the statement
+///                               language; blank / '#' lines are no-ops)
+///   PING <id>
+///   SHUTDOWN <id>
+///
+/// Responses:
+///
+///   REPLY <id> <epoch> <n>      n outcome lines follow, in statement
+///                               order: `ok` | `val <text>` |
+///                               `fail <text>` | `err <code> <text>`
+///   PONG <id>
+///   BYE <id>
+///   ERR <message>               malformed frame; the session ends
+///
+/// <id> is an opaque client token echoed verbatim; <epoch> is the store
+/// snapshot the batch observed.  Every limit violation is a protocol
+/// error, never an abort: the server must survive arbitrary bytes.
+
+namespace arbiter::server {
+
+/// Hard ceiling on statements per BATCH frame.
+inline constexpr size_t kMaxFrameStatements = 4096;
+
+/// Hard ceiling on any single protocol line, in bytes.
+inline constexpr size_t kMaxLineBytes = 1 << 20;
+
+/// One parsed request frame.
+struct Frame {
+  enum class Kind { kBatch, kPing, kShutdown };
+  Kind kind = Kind::kPing;
+  std::string id;
+  std::string store;                     ///< kBatch only
+  std::vector<std::string> statements;   ///< kBatch only
+};
+
+enum class ReadOutcome {
+  kFrame,  ///< *frame was filled
+  kEof,    ///< clean end of stream before any frame byte
+  kError,  ///< malformed input; *error describes it, session should end
+};
+
+/// Reads the next frame.  Blank lines between frames are tolerated;
+/// CR before LF is stripped (so CRLF peers work).  Oversized lines,
+/// unknown verbs, malformed headers, and EOF inside a BATCH body are
+/// kError.
+ReadOutcome ReadFrame(std::istream& in, Frame* frame, std::string* error);
+
+/// Response writers.  `lines` / messages are flattened to single lines
+/// (embedded newlines become spaces) so the framing cannot be broken
+/// by payload content.  Writers flush: a reply must not sit in a
+/// buffer while the client waits.
+void WriteReply(std::ostream& out, const std::string& id, uint64_t epoch,
+                const std::vector<std::string>& lines);
+void WritePong(std::ostream& out, const std::string& id);
+void WriteBye(std::ostream& out, const std::string& id);
+void WriteError(std::ostream& out, const std::string& message);
+
+/// Replaces newlines (and CR) with spaces.
+std::string FlattenLine(const std::string& text);
+
+}  // namespace arbiter::server
+
+#endif  // ARBITER_SERVER_FRAME_H_

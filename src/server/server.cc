@@ -1,0 +1,422 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace arbiter::server {
+
+namespace {
+
+/// Consumes a leading word from *rest; returns false if none.
+bool EatWord(std::string* rest, std::string* word) {
+  *rest = Trim(*rest);
+  if (rest->empty()) return false;
+  size_t space = rest->find(' ');
+  if (space == std::string::npos) {
+    *word = *rest;
+    rest->clear();
+  } else {
+    *word = rest->substr(0, space);
+    *rest = Trim(rest->substr(space + 1));
+  }
+  return true;
+}
+
+StatementOutcome ErrorOutcome(const Status& status) {
+  StatementOutcome out;
+  out.kind = StatementOutcome::Kind::kError;
+  out.code = status.code();
+  out.text = status.message();
+  return out;
+}
+
+StatementOutcome ValueOutcome(std::string text) {
+  StatementOutcome out;
+  out.kind = StatementOutcome::Kind::kValue;
+  out.text = std::move(text);
+  return out;
+}
+
+StatementOutcome OkOutcome() { return StatementOutcome(); }
+
+/// Runs one script statement against `write` (never null here: the
+/// batch classifier routes scripts with mutating statements to the
+/// write path, and read-only scripts contain only asserts and
+/// conditionals, handled below).
+StatementOutcome ExecuteScriptStatement(const ScriptStatement& stmt,
+                                        const BeliefStore& snapshot,
+                                        BeliefStore* write, bool* mutated) {
+  BeliefStore* store = write;
+  const BeliefStore& reader = write != nullptr ? *write : snapshot;
+  auto mutating = [&](const Status& status) -> StatementOutcome {
+    if (store == nullptr) {
+      return ErrorOutcome(Status::Unsupported(
+          "mutating statement reached a read-only execution"));
+    }
+    if (!status.ok()) return ErrorOutcome(status);
+    *mutated = true;
+    return OkOutcome();
+  };
+  switch (stmt.kind) {
+    case ScriptStatement::Kind::kDefine:
+      if (store == nullptr) return mutating(Status::OK());
+      return mutating(store->Define(stmt.base, stmt.formula));
+    case ScriptStatement::Kind::kChange:
+      if (store == nullptr) return mutating(Status::OK());
+      return mutating(store->Apply(stmt.base, stmt.op_name, stmt.formula));
+    case ScriptStatement::Kind::kUndo:
+      if (store == nullptr) return mutating(Status::OK());
+      return mutating(store->Undo(stmt.base));
+    case ScriptStatement::Kind::kSetBackend:
+      if (store == nullptr) return mutating(Status::OK());
+      return mutating(store->SetBackend(stmt.formula));
+    case ScriptStatement::Kind::kSetWeight: {
+      if (store == nullptr) return mutating(Status::OK());
+      int64_t weight = 0;
+      if (!ParseInt64(stmt.formula, &weight)) {
+        return ErrorOutcome(Status::InvalidArgument(
+            "weight must be an integer, got '" + stmt.formula + "'"));
+      }
+      return mutating(store->SetWeight(stmt.base, weight));
+    }
+    case ScriptStatement::Kind::kAssertEntails:
+    case ScriptStatement::Kind::kAssertConsistent:
+    case ScriptStatement::Kind::kAssertEquivalent: {
+      // Asserts run through the snapshot-read family: they never grow
+      // the vocabulary, so a batch of asserts is a read-only batch.
+      Result<bool> held = Status::Internal("unset");
+      if (stmt.kind == ScriptStatement::Kind::kAssertEntails) {
+        held = reader.QueryEntails(stmt.base, stmt.formula);
+      } else if (stmt.kind == ScriptStatement::Kind::kAssertConsistent) {
+        held = reader.QueryConsistentWith(stmt.base, stmt.formula);
+      } else {
+        held = reader.QueryEquivalentTo(stmt.base, stmt.formula);
+      }
+      if (!held.ok()) return ErrorOutcome(held.status());
+      if (*held) return OkOutcome();
+      StatementOutcome out;
+      out.kind = StatementOutcome::Kind::kFailed;
+      out.text = "assertion failed: " + RenderStatement(stmt);
+      return out;
+    }
+    case ScriptStatement::Kind::kConditional: {
+      Result<bool> guard = reader.QueryEntails(stmt.base, stmt.formula);
+      if (!guard.ok()) return ErrorOutcome(guard.status());
+      if (!*guard) return OkOutcome();  // guard false: skipped
+      return ExecuteScriptStatement(stmt.inner[0], snapshot, write, mutated);
+    }
+  }
+  return ErrorOutcome(Status::Internal("unreachable statement kind"));
+}
+
+StatementOutcome ExecuteOne(const ServerStatement& stmt,
+                            const BeliefStore& snapshot, BeliefStore* write,
+                            const BeliefServer* server, bool* mutated) {
+  const BeliefStore& reader = write != nullptr ? *write : snapshot;
+  switch (stmt.kind) {
+    case ServerStatement::Kind::kNoop:
+      return OkOutcome();
+    case ServerStatement::Kind::kScript:
+      return ExecuteScriptStatement(stmt.script, snapshot, write, mutated);
+    case ServerStatement::Kind::kQueryEntails:
+    case ServerStatement::Kind::kQueryConsistent:
+    case ServerStatement::Kind::kQueryEquivalent: {
+      Result<bool> held = Status::Internal("unset");
+      if (stmt.kind == ServerStatement::Kind::kQueryEntails) {
+        held = reader.QueryEntails(stmt.base, stmt.formula);
+      } else if (stmt.kind == ServerStatement::Kind::kQueryConsistent) {
+        held = reader.QueryConsistentWith(stmt.base, stmt.formula);
+      } else {
+        held = reader.QueryEquivalentTo(stmt.base, stmt.formula);
+      }
+      if (!held.ok()) return ErrorOutcome(held.status());
+      return ValueOutcome(*held ? "true" : "false");
+    }
+    case ServerStatement::Kind::kQueryModels: {
+      Result<std::string> models = reader.QueryModels(stmt.base);
+      if (!models.ok()) return ErrorOutcome(models.status());
+      return ValueOutcome(*models);
+    }
+    case ServerStatement::Kind::kQueryDist: {
+      Result<std::string> dist =
+          reader.QueryDistance(stmt.base, stmt.op_name, stmt.formula);
+      if (!dist.ok()) return ErrorOutcome(dist.status());
+      return ValueOutcome(*dist);
+    }
+    case ServerStatement::Kind::kStats: {
+      if (server == nullptr) {
+        return ErrorOutcome(
+            Status::Unsupported("no cache counters in this execution"));
+      }
+      OperatorResultCache::Stats stats = server->CacheStats();
+      return ValueOutcome(
+          "hits=" + std::to_string(stats.hits) +
+          " misses=" + std::to_string(stats.misses) +
+          " evictions=" + std::to_string(stats.evictions) +
+          " skipped=" + std::to_string(stats.skipped) +
+          " size=" + std::to_string(stats.size) +
+          " capacity=" + std::to_string(stats.capacity));
+    }
+  }
+  return ErrorOutcome(Status::Internal("unreachable statement kind"));
+}
+
+std::vector<StatementOutcome> ExecuteParsed(
+    const std::vector<Result<ServerStatement>>& parsed,
+    const BeliefStore& snapshot, BeliefStore* write,
+    const BeliefServer* server, bool* mutated) {
+  std::vector<StatementOutcome> outcomes;
+  outcomes.reserve(parsed.size());
+  for (const Result<ServerStatement>& stmt : parsed) {
+    if (!stmt.ok()) {
+      outcomes.push_back(ErrorOutcome(stmt.status()));
+      continue;
+    }
+    outcomes.push_back(ExecuteOne(*stmt, snapshot, write, server, mutated));
+  }
+  return outcomes;
+}
+
+}  // namespace
+
+std::string RenderOutcome(const StatementOutcome& outcome) {
+  switch (outcome.kind) {
+    case StatementOutcome::Kind::kOk:
+      return "ok";
+    case StatementOutcome::Kind::kValue:
+      return "val " + outcome.text;
+    case StatementOutcome::Kind::kFailed:
+      return "fail " + outcome.text;
+    case StatementOutcome::Kind::kError:
+      return std::string("err ") + StatusCodeName(outcome.code) + " " +
+             outcome.text;
+  }
+  return "err internal unreachable outcome kind";
+}
+
+Result<ServerStatement> ParseServerStatement(const std::string& line) {
+  ServerStatement out;
+  std::string rest = Trim(line);
+  if (rest.empty() || rest[0] == '#') {
+    out.kind = ServerStatement::Kind::kNoop;
+    return out;
+  }
+  std::string word;
+  std::string peek = rest;
+  EatWord(&peek, &word);
+  if (word == "stats") {
+    if (!peek.empty()) {
+      return Status::InvalidArgument("trailing input after 'stats'");
+    }
+    out.kind = ServerStatement::Kind::kStats;
+    return out;
+  }
+  if (word == "query") {
+    rest = peek;
+    if (!EatWord(&rest, &out.base)) {
+      return Status::InvalidArgument("expected base name after 'query'");
+    }
+    std::string relation;
+    if (!EatWord(&rest, &relation)) {
+      return Status::InvalidArgument(
+          "expected a relation (entails | consistent-with | equivalent-to "
+          "| models | dist) after the base name");
+    }
+    if (relation == "models") {
+      if (!rest.empty()) {
+        return Status::InvalidArgument("trailing input after 'models'");
+      }
+      out.kind = ServerStatement::Kind::kQueryModels;
+      return out;
+    }
+    if (relation == "dist") {
+      if (!EatWord(&rest, &out.op_name)) {
+        return Status::InvalidArgument("expected an operator after 'dist'");
+      }
+      if (rest.empty()) {
+        return Status::InvalidArgument("expected a formula after the operator");
+      }
+      out.kind = ServerStatement::Kind::kQueryDist;
+      out.formula = rest;
+      return out;
+    }
+    if (rest.empty()) {
+      return Status::InvalidArgument("expected a formula after '" + relation +
+                                     "'");
+    }
+    out.formula = rest;
+    if (relation == "entails") {
+      out.kind = ServerStatement::Kind::kQueryEntails;
+    } else if (relation == "consistent-with") {
+      out.kind = ServerStatement::Kind::kQueryConsistent;
+    } else if (relation == "equivalent-to") {
+      out.kind = ServerStatement::Kind::kQueryEquivalent;
+    } else {
+      return Status::InvalidArgument(
+          "unknown query relation '" + relation +
+          "' (entails | consistent-with | equivalent-to | models | dist)");
+    }
+    return out;
+  }
+  Result<BeliefScript> script = ParseScript(rest);
+  if (!script.ok()) return script.status();
+  if (script->statements.size() != 1) {
+    return Status::InvalidArgument("expected exactly one statement per line");
+  }
+  out.kind = ServerStatement::Kind::kScript;
+  out.script = script->statements[0];
+  return out;
+}
+
+bool StatementMutates(const ServerStatement& statement) {
+  if (statement.kind != ServerStatement::Kind::kScript) return false;
+  const ScriptStatement* stmt = &statement.script;
+  while (stmt->kind == ScriptStatement::Kind::kConditional) {
+    stmt = &stmt->inner[0];
+  }
+  switch (stmt->kind) {
+    case ScriptStatement::Kind::kDefine:
+    case ScriptStatement::Kind::kChange:
+    case ScriptStatement::Kind::kUndo:
+    case ScriptStatement::Kind::kSetBackend:
+    case ScriptStatement::Kind::kSetWeight:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<StatementOutcome> ExecuteStatements(
+    const BeliefStore& snapshot, BeliefStore* write,
+    const std::vector<std::string>& lines, const BeliefServer* server,
+    bool* mutated) {
+  std::vector<Result<ServerStatement>> parsed;
+  parsed.reserve(lines.size());
+  for (const std::string& line : lines) {
+    parsed.push_back(ParseServerStatement(line));
+  }
+  bool local_mutated = false;
+  std::vector<StatementOutcome> outcomes =
+      ExecuteParsed(parsed, snapshot, write, server, &local_mutated);
+  if (mutated != nullptr) *mutated = local_mutated;
+  return outcomes;
+}
+
+BeliefServer::BeliefServer(Options options)
+    : cache_(std::make_shared<OperatorResultCache>(options.cache_capacity)) {}
+
+BeliefServer::Hosted* BeliefServer::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  std::unique_ptr<Hosted>& slot = stores_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Hosted>();
+    auto store = std::make_shared<BeliefStore>();
+    store->SetResultCache(cache_);
+    slot->snapshot = std::move(store);
+  }
+  return slot.get();
+}
+
+const BeliefServer::Hosted* BeliefServer::FindHosted(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  auto it = stores_.find(name);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+BatchResult BeliefServer::ExecuteBatch(
+    const std::string& store_name,
+    const std::vector<std::string>& statements) {
+  // One parse pass for the whole batch, which also classifies it:
+  // batches without a mutating statement run lock-free on a snapshot.
+  std::vector<Result<ServerStatement>> parsed;
+  parsed.reserve(statements.size());
+  bool writes = false;
+  for (const std::string& line : statements) {
+    parsed.push_back(ParseServerStatement(line));
+    if (parsed.back().ok() && StatementMutates(*parsed.back())) writes = true;
+  }
+
+  Hosted* hosted = GetOrCreate(store_name);
+  BatchResult out;
+  bool mutated = false;
+  if (!writes) {
+    std::shared_ptr<const BeliefStore> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+      snapshot = hosted->snapshot;
+      out.epoch = hosted->epoch;
+    }
+    out.outcomes = ExecuteParsed(parsed, *snapshot, nullptr, this, &mutated);
+    return out;
+  }
+
+  // Single writer per store; readers keep serving the old epoch while
+  // this batch works on its private copy.
+  std::lock_guard<std::mutex> writer(hosted->writer_mu);
+  std::shared_ptr<const BeliefStore> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+    snapshot = hosted->snapshot;
+    out.epoch = hosted->epoch;
+  }
+  BeliefStore working = *snapshot;  // fresh backend, shared result cache
+  out.outcomes = ExecuteParsed(parsed, working, &working, this, &mutated);
+  if (mutated) {
+    auto next = std::make_shared<const BeliefStore>(std::move(working));
+    std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+    hosted->snapshot = std::move(next);
+    hosted->epoch = out.epoch + 1;
+    out.committed = true;
+  }
+  return out;
+}
+
+OperatorResultCache::Stats BeliefServer::CacheStats() const {
+  return cache_->stats();
+}
+
+std::vector<std::string> BeliefServer::StoreNames() const {
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  std::vector<std::string> names;
+  names.reserve(stores_.size());
+  for (const auto& [name, hosted] : stores_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> BeliefServer::SaveStore(
+    const std::string& store_name) const {
+  const Hosted* hosted = FindHosted(store_name);
+  if (hosted == nullptr) {
+    return Status::NotFound("no hosted store named \"" + store_name + "\"");
+  }
+  std::shared_ptr<const BeliefStore> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+    snapshot = hosted->snapshot;
+  }
+  return snapshot->Save();
+}
+
+uint64_t BeliefServer::StoreEpoch(const std::string& store_name) const {
+  const Hosted* hosted = FindHosted(store_name);
+  if (hosted == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+  return hosted->epoch;
+}
+
+BatchResult ReplayBatch(const BeliefStore& snapshot,
+                        const std::vector<std::string>& lines,
+                        BeliefStore* final_state) {
+  BeliefStore working = snapshot;
+  BatchResult out;
+  bool mutated = false;
+  out.outcomes =
+      ExecuteStatements(working, &working, lines, nullptr, &mutated);
+  out.committed = mutated;
+  if (final_state != nullptr) *final_state = std::move(working);
+  return out;
+}
+
+}  // namespace arbiter::server

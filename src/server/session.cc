@@ -1,0 +1,44 @@
+#include "server/session.h"
+
+#include <vector>
+
+namespace arbiter::server {
+
+bool ServeStream(std::istream& in, std::ostream& out, BeliefServer* server) {
+  Frame frame;
+  std::string error;
+  while (true) {
+    switch (ReadFrame(in, &frame, &error)) {
+      case ReadOutcome::kEof:
+        return false;
+      case ReadOutcome::kError:
+        // A malformed frame leaves the stream position unknowable, so
+        // the session ends rather than guessing at resynchronization.
+        WriteError(out, error);
+        return false;
+      case ReadOutcome::kFrame:
+        break;
+    }
+    switch (frame.kind) {
+      case Frame::Kind::kPing:
+        WritePong(out, frame.id);
+        break;
+      case Frame::Kind::kShutdown:
+        WriteBye(out, frame.id);
+        return true;
+      case Frame::Kind::kBatch: {
+        BatchResult result =
+            server->ExecuteBatch(frame.store, frame.statements);
+        std::vector<std::string> lines;
+        lines.reserve(result.outcomes.size());
+        for (const StatementOutcome& outcome : result.outcomes) {
+          lines.push_back(RenderOutcome(outcome));
+        }
+        WriteReply(out, frame.id, result.epoch, lines);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace arbiter::server

@@ -1,0 +1,25 @@
+#ifndef ARBITER_SERVER_SESSION_H_
+#define ARBITER_SERVER_SESSION_H_
+
+#include <istream>
+#include <ostream>
+
+#include "server/frame.h"
+#include "server/server.h"
+
+/// \file session.h
+/// One client session: a frame loop over an istream/ostream pair.
+/// The same loop serves stdio and every accepted socket connection.
+
+namespace arbiter::server {
+
+/// Serves frames from `in` until end of stream, a protocol error
+/// (reported as an ERR response), or a SHUTDOWN frame.  Returns true
+/// iff the session ended with SHUTDOWN — the transport decides whether
+/// that stops the whole process (stdio/belief_serve) or just the
+/// connection.
+bool ServeStream(std::istream& in, std::ostream& out, BeliefServer* server);
+
+}  // namespace arbiter::server
+
+#endif  // ARBITER_SERVER_SESSION_H_

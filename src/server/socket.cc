@@ -1,0 +1,174 @@
+#include "server/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <utility>
+
+#include "server/session.h"
+
+namespace arbiter::server {
+
+namespace {
+
+/// Minimal buffered streambuf over a file descriptor — enough for the
+/// line-based frame protocol, with EINTR retries.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_, sizeof(in_));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (Flush() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return Flush(); }
+
+ private:
+  int Flush() {
+    const char* p = pbase();
+    size_t len = static_cast<size_t>(pptr() - pbase());
+    while (len > 0) {
+      ssize_t n = ::write(fd_, p, len);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return -1;
+      p += n;
+      len -= static_cast<size_t>(n);
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+UnixSocketServer::UnixSocketServer(BeliefServer* server) : server_(server) {}
+
+UnixSocketServer::~UnixSocketServer() { Stop(); }
+
+Status UnixSocketServer::Start(const std::string& path) {
+  if (listen_fd_ >= 0) {
+    return Status::InvalidArgument("socket server already started");
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "socket path exceeds " + std::to_string(sizeof(addr.sun_path) - 1) +
+        " bytes: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // a stale file from a dead server blocks bind
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status(StatusCode::kInternal,
+                  "bind(" + path + "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status status(StatusCode::kInternal,
+                  "listen(" + path + "): " + std::strerror(errno));
+    ::close(fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+  path_ = path;
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread(&UnixSocketServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void UnixSocketServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or fatal error
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    live_fds_.push_back(fd);
+    conn_threads_.emplace_back(&UnixSocketServer::ServeConnection, this, fd);
+  }
+}
+
+void UnixSocketServer::ServeConnection(int fd) {
+  {
+    FdStreambuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    if (ServeStream(in, out, server_)) {
+      shutdown_requested_.store(true, std::memory_order_release);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (size_t i = 0; i < live_fds_.size(); ++i) {
+      if (live_fds_[i] == fd) {
+        live_fds_.erase(live_fds_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void UnixSocketServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept(); shutting down live
+  // connections unblocks their reads.  The connection threads own
+  // their fds and close them on exit.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads = std::move(conn_threads_);
+    conn_threads_.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(path_.c_str());
+  listen_fd_ = -1;
+}
+
+}  // namespace arbiter::server

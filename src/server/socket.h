@@ -1,0 +1,61 @@
+#ifndef ARBITER_SERVER_SOCKET_H_
+#define ARBITER_SERVER_SOCKET_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "util/status.h"
+
+/// \file socket.h
+/// AF_UNIX transport: a listener thread accepts connections and serves
+/// each with the shared frame loop (session.h) on its own thread.  All
+/// sessions hit the same BeliefServer, so its snapshot/epoch model is
+/// what keeps them coherent.
+
+namespace arbiter::server {
+
+class UnixSocketServer {
+ public:
+  explicit UnixSocketServer(BeliefServer* server);
+  ~UnixSocketServer();
+
+  UnixSocketServer(const UnixSocketServer&) = delete;
+  UnixSocketServer& operator=(const UnixSocketServer&) = delete;
+
+  /// Binds and listens on `path` (unlinking a stale socket file first)
+  /// and starts the accept thread.
+  Status Start(const std::string& path);
+
+  /// Closes the listener, shuts down live connections, joins all
+  /// threads, and removes the socket file.  Idempotent.
+  void Stop();
+
+  /// True once any session received a SHUTDOWN frame.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  BeliefServer* server_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::mutex conns_mu_;
+  std::vector<int> live_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace arbiter::server
+
+#endif  // ARBITER_SERVER_SOCKET_H_

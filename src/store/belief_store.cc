@@ -31,6 +31,29 @@ std::string SingleLine(const std::string& text) {
 
 }  // namespace
 
+BeliefStore::BeliefStore(const BeliefStore& other)
+    : vocab_(other.vocab_),
+      bases_(other.bases_),
+      backend_name_(other.backend_name_),
+      weights_(other.weights_),
+      cache_(other.cache_) {
+  if (other.backend_ != nullptr) {
+    Result<std::shared_ptr<DistanceBackend>> fresh =
+        MakeDistanceBackend(backend_name_);
+    // backend_name_ was validated when the source store selected it.
+    ARBITER_CHECK(fresh.ok());
+    backend_ = *std::move(fresh);
+  }
+}
+
+BeliefStore& BeliefStore::operator=(const BeliefStore& other) {
+  if (this != &other) {
+    BeliefStore copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
 int BeliefStore::CapacityLimit() const {
   // The enum backend materializes 2^n interpretations; the counting
   // backend only needs model masks to fit in a uint64.
@@ -77,6 +100,13 @@ Status BeliefStore::SetWeight(const std::string& term, int64_t weight) {
     return Status::InvalidArgument("metric weights must be >= 0, got " +
                                    std::to_string(weight));
   }
+  if (weight > kMaxMetricWeight) {
+    // Unbounded weights let diameter and Σ accumulations overflow
+    // int64 — a hostile `set weight` must fail, not corrupt distances.
+    return Status::OutOfRange("metric weights must be <= " +
+                              std::to_string(kMaxMetricWeight) + ", got " +
+                              std::to_string(weight));
+  }
   Vocabulary scratch = vocab_;
   Result<int> index = scratch.GetOrAddTerm(term);
   if (!index.ok()) return index.status();
@@ -107,11 +137,15 @@ std::vector<int64_t> BeliefStore::MetricVectorFor(
   return metric;
 }
 
-bool BeliefStore::IsSatisfiable(const Formula& f) const {
-  if (vocab_.size() <= kMaxEnumTerms) {
-    return !ModelSet::FromFormula(f, vocab_.size()).empty();
+void BeliefStore::SetResultCache(std::shared_ptr<OperatorResultCache> cache) {
+  cache_ = std::move(cache);
+}
+
+bool BeliefStore::IsSatisfiableOver(const Formula& f, int num_terms) const {
+  if (num_terms <= kMaxEnumTerms) {
+    return !ModelSet::FromFormula(f, num_terms).empty();
   }
-  return solve::SatIsSatisfiable(f, vocab_.size());
+  return solve::SatIsSatisfiable(f, num_terms);
 }
 
 Result<const BeliefStore::Entry*> BeliefStore::Find(
@@ -181,6 +215,31 @@ Status BeliefStore::Apply(const std::string& target,
   const std::vector<int64_t> metric = MetricVectorFor(scratch);
 
   Entry& entry = it->second;
+
+  // A successful Apply is a pure function of (backend, operator,
+  // metric, vocabulary binding, base, evidence) — exactly the cache
+  // key.  An uncacheable request (canonicalization over budget) only
+  // skips memoization.
+  std::string cache_key;
+  std::string optimal;
+  if (cache_ != nullptr) {
+    Result<std::string> key = OperatorCacheKey(
+        backend_name_, op_name, metric, scratch, entry.formula, *evidence);
+    if (key.ok()) {
+      cache_key = *std::move(key);
+      if (std::optional<OperatorResultCache::Value> hit =
+              cache_->Lookup(cache_key)) {
+        vocab_ = std::move(scratch);
+        entry.undo_stack.push_back(entry.formula);
+        entry.journal.push_back(ChangeRecord{op_name, evidence_text});
+        entry.formula = hit->result;
+        return Status::OK();
+      }
+    } else {
+      cache_->RecordSkip();
+    }
+  }
+
   // Within the enumeration limit the registry operators are the
   // reference path; the registry metric overload handles weights.
   auto enumerate_apply = [&]() -> Result<Formula> {
@@ -212,6 +271,7 @@ Status BeliefStore::Apply(const std::string& target,
             std::to_string(kStoreBackendMaxModels) +
             " models; the store must hold the exact result");
       }
+      optimal = result->optimal;
       changed = result->models.ToFormula();
     } else if (scratch.size() <= kMaxEnumTerms) {
       // Non-distance operators (updates, set-theoretic revisions) keep
@@ -222,6 +282,10 @@ Status BeliefStore::Apply(const std::string& target,
     }
   }
   if (!changed.ok()) return changed.status();
+  if (cache_ != nullptr && !cache_key.empty()) {
+    cache_->Insert(cache_key,
+                   OperatorResultCache::Value{*changed, std::move(optimal)});
+  }
   // Commit point: vocabulary, journal, and formula move together.
   vocab_ = std::move(scratch);
   entry.undo_stack.push_back(entry.formula);
@@ -259,6 +323,42 @@ std::vector<ChangeRecord> BeliefStore::History(
   return it->second.journal;
 }
 
+Result<bool> BeliefStore::ComputeEntails(const Formula& base,
+                                         const Formula& query,
+                                         int num_terms) const {
+  if (num_terms > kMaxEnumTerms) {
+    // base ⊨ f  ⟺  base ∧ ¬f is unsatisfiable.
+    return !IsSatisfiableOver(And(base, Not(query)), num_terms);
+  }
+  KnowledgeBase base_kb(base, num_terms);
+  KnowledgeBase query_kb(query, num_terms);
+  return base_kb.Implies(query_kb);
+}
+
+Result<bool> BeliefStore::ComputeConsistentWith(const Formula& base,
+                                                const Formula& query,
+                                                int num_terms) const {
+  if (num_terms > kMaxEnumTerms) {
+    return IsSatisfiableOver(And(base, query), num_terms);
+  }
+  KnowledgeBase base_kb(base, num_terms);
+  KnowledgeBase query_kb(query, num_terms);
+  return !base_kb.models().Intersect(query_kb.models()).empty();
+}
+
+Result<bool> BeliefStore::ComputeEquivalentTo(const Formula& base,
+                                              const Formula& query,
+                                              int num_terms) const {
+  if (num_terms > kMaxEnumTerms) {
+    // Equivalence as two unsatisfiability checks.
+    return !IsSatisfiableOver(And(base, Not(query)), num_terms) &&
+           !IsSatisfiableOver(And(Not(base), query), num_terms);
+  }
+  KnowledgeBase base_kb(base, num_terms);
+  KnowledgeBase query_kb(query, num_terms);
+  return base_kb.EquivalentTo(query_kb);
+}
+
 Result<bool> BeliefStore::Entails(const std::string& name,
                                   const std::string& formula_text) {
   Result<const Entry*> entry = Find(name);
@@ -268,13 +368,7 @@ Result<bool> BeliefStore::Entails(const std::string& name,
   if (!f.ok()) return f.status();
   vocab_ = std::move(scratch);
   // The base is evaluated over the (possibly grown) vocabulary.
-  if (vocab_.size() > kMaxEnumTerms) {
-    // base ⊨ f  ⟺  base ∧ ¬f is unsatisfiable.
-    return !IsSatisfiable(And((*entry)->formula, Not(*f)));
-  }
-  KnowledgeBase base((*entry)->formula, vocab_.size());
-  KnowledgeBase query(*f, vocab_.size());
-  return base.Implies(query);
+  return ComputeEntails((*entry)->formula, *f, vocab_.size());
 }
 
 Result<bool> BeliefStore::ConsistentWith(const std::string& name,
@@ -285,12 +379,7 @@ Result<bool> BeliefStore::ConsistentWith(const std::string& name,
   Result<Formula> f = ParseValidated(formula_text, &scratch);
   if (!f.ok()) return f.status();
   vocab_ = std::move(scratch);
-  if (vocab_.size() > kMaxEnumTerms) {
-    return IsSatisfiable(And((*entry)->formula, *f));
-  }
-  KnowledgeBase base((*entry)->formula, vocab_.size());
-  KnowledgeBase query(*f, vocab_.size());
-  return !base.models().Intersect(query.models()).empty();
+  return ComputeConsistentWith((*entry)->formula, *f, vocab_.size());
 }
 
 Result<bool> BeliefStore::EquivalentTo(const std::string& name,
@@ -301,14 +390,107 @@ Result<bool> BeliefStore::EquivalentTo(const std::string& name,
   Result<Formula> f = ParseValidated(formula_text, &scratch);
   if (!f.ok()) return f.status();
   vocab_ = std::move(scratch);
+  return ComputeEquivalentTo((*entry)->formula, *f, vocab_.size());
+}
+
+Result<bool> BeliefStore::QueryEntails(const std::string& name,
+                                       const std::string& formula_text) const {
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  Vocabulary scratch = vocab_;
+  Result<Formula> f = ParseValidated(formula_text, &scratch);
+  if (!f.ok()) return f.status();
+  // The scratch vocabulary is discarded: terms the store never saw are
+  // free in every base, so the verdict matches the committing variant.
+  return ComputeEntails((*entry)->formula, *f, scratch.size());
+}
+
+Result<bool> BeliefStore::QueryConsistentWith(
+    const std::string& name, const std::string& formula_text) const {
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  Vocabulary scratch = vocab_;
+  Result<Formula> f = ParseValidated(formula_text, &scratch);
+  if (!f.ok()) return f.status();
+  return ComputeConsistentWith((*entry)->formula, *f, scratch.size());
+}
+
+Result<bool> BeliefStore::QueryEquivalentTo(
+    const std::string& name, const std::string& formula_text) const {
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  Vocabulary scratch = vocab_;
+  Result<Formula> f = ParseValidated(formula_text, &scratch);
+  if (!f.ok()) return f.status();
+  return ComputeEquivalentTo((*entry)->formula, *f, scratch.size());
+}
+
+Result<std::string> BeliefStore::QueryModels(const std::string& name) const {
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
   if (vocab_.size() > kMaxEnumTerms) {
-    // Equivalence as two unsatisfiability checks.
-    return !IsSatisfiable(And((*entry)->formula, Not(*f))) &&
-           !IsSatisfiable(And(Not((*entry)->formula), *f));
+    return Status::CapacityExceeded(
+        "models enumerates the interpretation space, which needs <= " +
+        std::to_string(kMaxEnumTerms) + " terms (store has " +
+        std::to_string(vocab_.size()) + ")");
   }
-  KnowledgeBase base((*entry)->formula, vocab_.size());
-  KnowledgeBase query(*f, vocab_.size());
-  return base.EquivalentTo(query);
+  KnowledgeBase kb((*entry)->formula, vocab_.size());
+  return kb.models().ToString(vocab_);
+}
+
+Result<std::string> BeliefStore::QueryDistance(
+    const std::string& name, const std::string& op_name,
+    const std::string& mu_text) const {
+  Result<const Entry*> entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  Vocabulary scratch = vocab_;
+  Result<Formula> mu = ParseValidated(mu_text, &scratch);
+  if (!mu.ok()) return mu.status();
+  if (scratch.size() == 0) {
+    return Status::InvalidArgument(
+        "dist needs at least one registered term");
+  }
+  const std::vector<int64_t> metric = MetricVectorFor(scratch);
+  Result<BackendOperatorSpec> spec = BackendOperatorFor(op_name, metric);
+  if (!spec.ok()) return spec.status();
+
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    Result<std::string> key = OperatorCacheKey(
+        backend_name_, op_name, metric, scratch, (*entry)->formula, *mu);
+    if (key.ok()) {
+      cache_key = *std::move(key);
+      std::optional<OperatorResultCache::Value> hit =
+          cache_->Lookup(cache_key);
+      // Entries inserted by the enumeration Apply path carry no
+      // distance; fall through and compute (refreshing the entry).
+      if (hit.has_value() && !hit->optimal.empty()) return hit->optimal;
+      if (hit.has_value() && hit->result.kind() == FormulaKind::kFalse) {
+        return std::string("undefined");
+      }
+    } else {
+      cache_->RecordSkip();
+    }
+  }
+
+  // Fresh backend per call: `this` may be a snapshot shared across
+  // readers, and backends memoize internal state.
+  Result<std::shared_ptr<DistanceBackend>> backend =
+      MakeDistanceBackend(backend_name_);
+  if (!backend.ok()) return backend.status();
+  const Formula psi = spec->arbitration ? Or((*entry)->formula, *mu)
+                                        : (*entry)->formula;
+  const Formula goal = spec->arbitration ? Formula::True() : *mu;
+  Result<DistanceChangeResult> result = (*backend)->Change(
+      spec->semantics, psi, goal, scratch.size(), kStoreBackendMaxModels);
+  if (!result.ok()) return result.status();
+  if (!cache_key.empty() && !result->truncated && !result->models_omitted) {
+    cache_->Insert(cache_key,
+                   OperatorResultCache::Value{result->models.ToFormula(),
+                                              result->optimal});
+  }
+  if (result->optimal.empty()) return std::string("undefined");
+  return result->optimal;
 }
 
 Result<bool> BeliefStore::Counterfactual(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "change/backend.h"
+#include "change/result_cache.h"
 #include "kb/knowledge_base.h"
 #include "logic/vocabulary.h"
 #include "util/status.h"
@@ -70,9 +71,25 @@ struct ChangeRecord {
   std::string evidence_text;
 };
 
+/// Largest accepted metric weight.  Aggregated distances multiply
+/// weights by atom flips and sum across up to ~120 atoms and 4096
+/// models; capping each weight at 1e9 keeps every int64 accumulation
+/// (diameters, Σ-aggregates) far from signed overflow.
+inline constexpr int64_t kMaxMetricWeight = 1'000'000'000;
+
 class BeliefStore {
  public:
   BeliefStore() = default;
+
+  /// Copies share the operator-result cache (it is thread-safe and
+  /// keyed independently of any one store) but never the distance
+  /// backend: backends memoize mutable state (#SAT column caches), so
+  /// each copy gets a fresh instance.  This is what makes
+  /// copy-on-write snapshots safe for concurrent readers.
+  BeliefStore(const BeliefStore& other);
+  BeliefStore& operator=(const BeliefStore& other);
+  BeliefStore(BeliefStore&&) = default;
+  BeliefStore& operator=(BeliefStore&&) = default;
 
   const Vocabulary& vocabulary() const { return vocab_; }
 
@@ -85,8 +102,19 @@ class BeliefStore {
   const std::string& backend_name() const { return backend_name_; }
 
   /// Sets the metric weight of a term (registering the term if new).
-  /// Weights must be >= 0; unset terms weigh 1.
+  /// Weights must be in [0, kMaxMetricWeight]; unset terms weigh 1.
   Status SetWeight(const std::string& term, int64_t weight);
+
+  /// Attaches a (possibly shared) operator-result cache.  Apply and
+  /// QueryDistance consult it before computing; pass nullptr to
+  /// detach.  The cache key pins backend, operator, metric, ordered
+  /// vocabulary, and the canonical forms of both formulas, so sharing
+  /// one cache across many stores is sound.
+  void SetResultCache(std::shared_ptr<OperatorResultCache> cache);
+
+  const std::shared_ptr<OperatorResultCache>& result_cache() const {
+    return cache_;
+  }
 
   /// The explicitly-set weights, by term name.
   const std::map<std::string, int64_t>& weights() const { return weights_; }
@@ -153,6 +181,35 @@ class BeliefStore {
                               const std::string& antecedent_text,
                               const std::string& consequent_text);
 
+  /// ## Snapshot reads
+  ///
+  /// The Query* family answers the same questions as Entails /
+  /// ConsistentWith / EquivalentTo but never mutates the store: query
+  /// formulas are parsed against a scratch vocabulary that is thrown
+  /// away afterwards.  Terms the store has never seen are free in
+  /// every base, so the answers are identical to the committing
+  /// variants'.  Being `const`, these are safe to run concurrently
+  /// from many readers against an immutable snapshot.
+  Result<bool> QueryEntails(const std::string& name,
+                            const std::string& formula_text) const;
+  Result<bool> QueryConsistentWith(const std::string& name,
+                                   const std::string& formula_text) const;
+  Result<bool> QueryEquivalentTo(const std::string& name,
+                                 const std::string& formula_text) const;
+
+  /// Renders the base's model set (enumeration only: <= kMaxEnumTerms
+  /// terms, kCapacityExceeded past that).
+  Result<std::string> QueryModels(const std::string& name) const;
+
+  /// The aggregated optimal distance of `base <op> mu` in decimal, or
+  /// "undefined" when the distance is undefined (empty result / ψ
+  /// unsatisfiable convention).  Runs on a fresh backend instance (the
+  /// store's own backend memoizes state and this is const), consulting
+  /// the result cache when one is attached.
+  Result<std::string> QueryDistance(const std::string& name,
+                                    const std::string& op_name,
+                                    const std::string& mu_text) const;
+
   /// Human-readable listing of every base and its models.
   std::string Dump() const;
 
@@ -189,15 +246,25 @@ class BeliefStore {
   /// MetricVector over an arbitrary (scratch) vocabulary.
   std::vector<int64_t> MetricVectorFor(const Vocabulary& vocab) const;
 
-  /// Satisfiability of `f` over the current vocabulary, routed by size:
+  /// Satisfiability of `f` over an n-term universe, routed by size:
   /// enumeration within kMaxEnumTerms, CDCL beyond.
-  bool IsSatisfiable(const Formula& f) const;
+  bool IsSatisfiableOver(const Formula& f, int num_terms) const;
+
+  Result<bool> ComputeEntails(const Formula& base, const Formula& query,
+                              int num_terms) const;
+  Result<bool> ComputeConsistentWith(const Formula& base,
+                                     const Formula& query,
+                                     int num_terms) const;
+  Result<bool> ComputeEquivalentTo(const Formula& base,
+                                   const Formula& query,
+                                   int num_terms) const;
 
   Vocabulary vocab_;
   std::map<std::string, Entry> bases_;
   std::string backend_name_ = "enum";
   std::shared_ptr<DistanceBackend> backend_;
   std::map<std::string, int64_t> weights_;
+  std::shared_ptr<OperatorResultCache> cache_;
 };
 
 }  // namespace arbiter

@@ -378,5 +378,59 @@ TEST(BeliefStoreBackend, LoadRejectsMalformedBackendAndWeightLines) {
       BeliefStore::Load("arbiter-store v1\nweight a twelve\n").ok());
 }
 
+TEST(BeliefStoreBackend, WeightsPastTheCapAreOutOfRange) {
+  // A weight near INT64_MAX would overflow the Σ accumulation in
+  // diameter/sum distances; the cap keeps every reachable sum exact.
+  BeliefStore store;
+  ASSERT_TRUE(store.SetWeight("a", kMaxMetricWeight).ok());
+  EXPECT_EQ(store.SetWeight("a", kMaxMetricWeight + 1).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(store.weights().at("a"), kMaxMetricWeight)
+      << "rejected weight must not half-apply";
+}
+
+// --- Const query family (server read path) -----------------------------
+
+TEST(BeliefStoreQuery, QueriesMatchMutatingCountsAndCommitNothing) {
+  BeliefStore store;
+  ASSERT_TRUE(store.Define("kb", "g & a").ok());
+  const size_t vocab_before = store.vocabulary().size();
+
+  const BeliefStore& reader = store;
+  EXPECT_EQ(*reader.QueryEntails("kb", "g"), true);
+  EXPECT_EQ(*reader.QueryEntails("kb", "!g"), false);
+  EXPECT_EQ(*reader.QueryConsistentWith("kb", "g & z"), true);
+  EXPECT_EQ(*reader.QueryEquivalentTo("kb", "a & g"), true);
+  // Queries parse over a scratch vocabulary: the new term z above must
+  // not have grown the store.
+  EXPECT_EQ(store.vocabulary().size(), vocab_before);
+
+  Result<std::string> models = reader.QueryModels("kb");
+  ASSERT_TRUE(models.ok());
+  EXPECT_FALSE(models->empty());
+  Result<std::string> dist = reader.QueryDistance("kb", "dalal", "!g & !a");
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, "2");
+
+  EXPECT_EQ(reader.QueryEntails("ghost", "g").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(reader.QueryDistance("kb", "zorp", "a").ok());
+}
+
+TEST(BeliefStoreQuery, CopySharesCacheButNotBackendState) {
+  auto cache = std::make_shared<OperatorResultCache>(16);
+  BeliefStore store;
+  store.SetResultCache(cache);
+  ASSERT_TRUE(store.Define("kb", "g & a").ok());
+  ASSERT_TRUE(store.Apply("kb", "dalal", "!a").ok());
+  EXPECT_EQ(cache->stats().misses, 1u);
+
+  BeliefStore copy = store;
+  ASSERT_TRUE(copy.Define("kb", "g & a").ok());
+  ASSERT_TRUE(copy.Apply("kb", "dalal", "!a").ok());
+  EXPECT_EQ(cache->stats().hits, 1u) << "copies share the result cache";
+  EXPECT_EQ(copy.Save(), store.Save());
+}
+
 }  // namespace
 }  // namespace arbiter

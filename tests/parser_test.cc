@@ -165,5 +165,36 @@ TEST(MustParseTest, ReturnsFormula) {
   EXPECT_TRUE(MustParse("A | !A", &v).kind() == FormulaKind::kOr);
 }
 
+TEST(ParserTest, DeepNestingIsAnErrorNotAStackOverflow) {
+  // Each of these used to recurse once per character with no bound; a
+  // hostile 100k-byte line could blow the stack.  The depth cap turns
+  // all three shapes into kInvalidArgument.
+  const int kDepth = 200000;
+  const std::string cases[] = {
+      std::string(kDepth, '(') + "A" + std::string(kDepth, ')'),
+      std::string(kDepth, '!') + "A",
+      [] {
+        std::string imp;
+        for (int i = 0; i < kDepth; ++i) imp += "A -> (";
+        imp += "A" + std::string(kDepth, ')');
+        return imp;
+      }(),
+  };
+  for (const std::string& text : cases) {
+    Vocabulary v;
+    Result<Formula> r = Parse(text, &v);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ParserTest, NestingWithinTheCapStillParses) {
+  Vocabulary v;
+  const int kDepth = 900;  // under the 1000 cap
+  std::string text = std::string(kDepth, '(') + "A & B" +
+                     std::string(kDepth, ')');
+  EXPECT_TRUE(Parse(text, &v).ok());
+}
+
 }  // namespace
 }  // namespace arbiter

@@ -1,0 +1,327 @@
+// Tests for the belief server: wire-protocol framing, statement
+// parsing, batch execution with epoch snapshots, the shared operator-
+// result cache, and the hostile-input guarantee (a malformed client
+// gets a structured error, never an abort).
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/frame.h"
+#include "server/session.h"
+
+namespace arbiter::server {
+namespace {
+
+// ---------------------------------------------------------------------
+// Framing
+
+TEST(FrameTest, ReadsBatchFrame) {
+  std::istringstream in("BATCH 7 main 2\ndefine kb := a\nassert kb entails a\n");
+  Frame frame;
+  std::string error;
+  ASSERT_EQ(ReadFrame(in, &frame, &error), ReadOutcome::kFrame) << error;
+  EXPECT_EQ(frame.kind, Frame::Kind::kBatch);
+  EXPECT_EQ(frame.id, "7");
+  EXPECT_EQ(frame.store, "main");
+  ASSERT_EQ(frame.statements.size(), 2u);
+  EXPECT_EQ(frame.statements[0], "define kb := a");
+}
+
+TEST(FrameTest, ReadsPingAndShutdown) {
+  std::istringstream in("PING a1\n\nSHUTDOWN a2\n");
+  Frame frame;
+  std::string error;
+  ASSERT_EQ(ReadFrame(in, &frame, &error), ReadOutcome::kFrame);
+  EXPECT_EQ(frame.kind, Frame::Kind::kPing);
+  EXPECT_EQ(frame.id, "a1");
+  // The blank line between frames is tolerated.
+  ASSERT_EQ(ReadFrame(in, &frame, &error), ReadOutcome::kFrame);
+  EXPECT_EQ(frame.kind, Frame::Kind::kShutdown);
+  EXPECT_EQ(frame.id, "a2");
+  EXPECT_EQ(ReadFrame(in, &frame, &error), ReadOutcome::kEof);
+}
+
+TEST(FrameTest, StripsCarriageReturns) {
+  std::istringstream in("BATCH 1 s 1\r\ndefine kb := a\r\n");
+  Frame frame;
+  std::string error;
+  ASSERT_EQ(ReadFrame(in, &frame, &error), ReadOutcome::kFrame) << error;
+  EXPECT_EQ(frame.statements[0], "define kb := a");
+}
+
+TEST(FrameTest, RejectsMalformedHeaders) {
+  for (const char* bad : {
+           "NOPE 1\n",              // unknown verb
+           "BATCH 1 main\n",        // missing count
+           "BATCH 1 main x\n",      // non-numeric count
+           "BATCH 1 main -1\n",     // negative count
+           "BATCH 1 main 2\nonly one line\n",  // EOF inside the body
+           "PING\n",                // missing id
+       }) {
+    std::istringstream in(bad);
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(ReadFrame(in, &frame, &error), ReadOutcome::kError)
+        << "accepted: " << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(FrameTest, RejectsOversizedBatchAndLine) {
+  {
+    std::istringstream in("BATCH 1 main 1000000\n");
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(ReadFrame(in, &frame, &error), ReadOutcome::kError);
+  }
+  {
+    std::string huge(kMaxLineBytes + 10, 'a');
+    std::istringstream in("PING " + huge + "\n");
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(ReadFrame(in, &frame, &error), ReadOutcome::kError);
+  }
+}
+
+TEST(FrameTest, FlattenLineKeepsFramingIntact) {
+  EXPECT_EQ(FlattenLine("a\nb\rc"), "a b c");
+  std::ostringstream out;
+  WriteReply(out, "9", 3, {"ok", "val evil\ninjection"});
+  EXPECT_EQ(out.str(), "REPLY 9 3 2\nok\nval evil injection\n");
+}
+
+// ---------------------------------------------------------------------
+// Statement parsing
+
+TEST(ParseServerStatementTest, ParsesQueryForms) {
+  Result<ServerStatement> s =
+      ParseServerStatement("query kb entails a & b");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, ServerStatement::Kind::kQueryEntails);
+  EXPECT_EQ(s->base, "kb");
+  EXPECT_EQ(s->formula, "a & b");
+
+  s = ParseServerStatement("query kb models");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, ServerStatement::Kind::kQueryModels);
+
+  s = ParseServerStatement("query kb dist dalal !a");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, ServerStatement::Kind::kQueryDist);
+  EXPECT_EQ(s->op_name, "dalal");
+
+  s = ParseServerStatement("stats");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, ServerStatement::Kind::kStats);
+}
+
+TEST(ParseServerStatementTest, FallsBackToScriptGrammar) {
+  Result<ServerStatement> s =
+      ParseServerStatement("change kb by dalal with !a");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, ServerStatement::Kind::kScript);
+  EXPECT_TRUE(StatementMutates(*s));
+
+  s = ParseServerStatement("assert kb entails a");
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(StatementMutates(*s));
+
+  s = ParseServerStatement("# a comment");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, ServerStatement::Kind::kNoop);
+
+  EXPECT_FALSE(ParseServerStatement("frobnicate kb").ok());
+  EXPECT_FALSE(ParseServerStatement("query kb telepathy a").ok());
+}
+
+// ---------------------------------------------------------------------
+// Batch execution and epochs
+
+std::vector<std::string> Render(const BatchResult& batch) {
+  std::vector<std::string> lines;
+  for (const StatementOutcome& o : batch.outcomes) {
+    lines.push_back(RenderOutcome(o));
+  }
+  return lines;
+}
+
+TEST(BeliefServerTest, WriteBatchCommitsAndBumpsEpoch) {
+  BeliefServer server;
+  EXPECT_EQ(server.StoreEpoch("main"), 0u);
+  BatchResult batch = server.ExecuteBatch(
+      "main", {"define kb := g & a", "assert kb entails g",
+               "change kb by dalal with !a", "assert kb entails !a"});
+  EXPECT_TRUE(batch.committed);
+  EXPECT_EQ(batch.epoch, 0u) << "epoch observed, not published";
+  EXPECT_EQ(server.StoreEpoch("main"), 1u);
+  EXPECT_EQ(Render(batch), (std::vector<std::string>{"ok", "ok", "ok", "ok"}));
+}
+
+TEST(BeliefServerTest, ReadOnlyBatchDoesNotBumpEpoch) {
+  BeliefServer server;
+  server.ExecuteBatch("main", {"define kb := g & a"});
+  BatchResult batch = server.ExecuteBatch(
+      "main", {"query kb entails g", "query kb consistent-with !a",
+               "assert kb entails a & g"});
+  EXPECT_FALSE(batch.committed);
+  EXPECT_EQ(batch.epoch, 1u);
+  EXPECT_EQ(server.StoreEpoch("main"), 1u);
+  EXPECT_EQ(Render(batch),
+            (std::vector<std::string>{"val true", "val false", "ok"}));
+}
+
+TEST(BeliefServerTest, FailedAssertionRendersFailNotError) {
+  BeliefServer server;
+  server.ExecuteBatch("main", {"define kb := g"});
+  BatchResult batch = server.ExecuteBatch("main", {"assert kb entails !g"});
+  ASSERT_EQ(batch.outcomes.size(), 1u);
+  EXPECT_EQ(batch.outcomes[0].kind, StatementOutcome::Kind::kFailed);
+  EXPECT_FALSE(batch.committed);
+}
+
+TEST(BeliefServerTest, MutatingNothingPublishesNothing) {
+  BeliefServer server;
+  server.ExecuteBatch("main", {"define kb := g"});
+  // A write-classified batch whose only statement errors must not
+  // publish a new epoch.
+  BatchResult batch =
+      server.ExecuteBatch("main", {"change kb by zorp with a"});
+  EXPECT_FALSE(batch.committed);
+  EXPECT_EQ(batch.outcomes[0].kind, StatementOutcome::Kind::kError);
+  EXPECT_EQ(batch.outcomes[0].code, StatusCode::kNotFound);
+  EXPECT_EQ(server.StoreEpoch("main"), 1u);
+}
+
+TEST(BeliefServerTest, StoresAreIndependent) {
+  BeliefServer server;
+  server.ExecuteBatch("left", {"define kb := a"});
+  server.ExecuteBatch("right", {"define kb := !a"});
+  EXPECT_EQ(Render(server.ExecuteBatch("left", {"query kb entails a"})),
+            (std::vector<std::string>{"val true"}));
+  EXPECT_EQ(Render(server.ExecuteBatch("right", {"query kb entails a"})),
+            (std::vector<std::string>{"val false"}));
+  EXPECT_EQ(server.StoreNames(),
+            (std::vector<std::string>{"left", "right"}));
+  EXPECT_TRUE(server.SaveStore("left").ok());
+  EXPECT_EQ(server.SaveStore("gone").status().code(), StatusCode::kNotFound);
+}
+
+TEST(BeliefServerTest, QueryDistReportsOptimalDistance) {
+  BeliefServer server;
+  server.ExecuteBatch("main", {"define kb := a & b & c"});
+  BatchResult batch =
+      server.ExecuteBatch("main", {"query kb dist dalal !a & !b"});
+  ASSERT_EQ(batch.outcomes.size(), 1u);
+  EXPECT_EQ(RenderOutcome(batch.outcomes[0]), "val 2");
+}
+
+TEST(BeliefServerTest, SharedCacheHitsAcrossStores) {
+  BeliefServer server;
+  const std::vector<std::string> lines = {"define kb := g & a",
+                                          "change kb by dalal with !a"};
+  server.ExecuteBatch("one", lines);
+  const OperatorResultCache::Stats cold = server.CacheStats();
+  EXPECT_GE(cold.misses, 1u);
+  // Same change, different store, differently shaped but equivalent
+  // base text (duplicate conjunct, extra parens): canonical-form keys
+  // make these the same entry.  (Term first-mention order must match —
+  // vocabulary order is part of the key, since cached formulas carry
+  // term indices.)
+  server.ExecuteBatch("two", {"define kb := g & (a & g)",
+                              "change kb by dalal with !a"});
+  const OperatorResultCache::Stats warm = server.CacheStats();
+  EXPECT_GE(warm.hits, cold.hits + 1);
+  // And the answers agree.
+  EXPECT_EQ(Render(server.ExecuteBatch("one", {"query kb models"})),
+            Render(server.ExecuteBatch("two", {"query kb models"})));
+}
+
+TEST(BeliefServerTest, StatsStatementReportsCounters) {
+  BeliefServer server;
+  BatchResult batch = server.ExecuteBatch("main", {"stats"});
+  ASSERT_EQ(batch.outcomes.size(), 1u);
+  EXPECT_EQ(batch.outcomes[0].kind, StatementOutcome::Kind::kValue);
+  EXPECT_NE(batch.outcomes[0].text.find("hits="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Hostile input: structured errors, never an abort
+
+TEST(BeliefServerTest, SurvivesHostileStatements) {
+  BeliefServer server;
+  server.ExecuteBatch("main", {"define kb := a"});
+  // Deeply nested formula: the parser's depth cap turns what was a
+  // stack overflow into kInvalidArgument.
+  std::string deep(5000, '(');
+  deep += "a";
+  deep += std::string(5000, ')');
+  BatchResult batch = server.ExecuteBatch("main", {"define bomb := " + deep});
+  ASSERT_EQ(batch.outcomes.size(), 1u);
+  EXPECT_EQ(batch.outcomes[0].kind, StatementOutcome::Kind::kError);
+  EXPECT_EQ(batch.outcomes[0].code, StatusCode::kInvalidArgument);
+
+  // Absurd metric weight: kOutOfRange, not a later overflow.
+  batch = server.ExecuteBatch(
+      "main", {"set weight a 99999999999999999999999999"});
+  EXPECT_EQ(batch.outcomes[0].kind, StatementOutcome::Kind::kError);
+  batch = server.ExecuteBatch("main", {"set weight a 2000000000"});
+  EXPECT_EQ(batch.outcomes[0].kind, StatementOutcome::Kind::kError);
+  EXPECT_EQ(batch.outcomes[0].code, StatusCode::kOutOfRange);
+
+  // Unknown backend, unknown store reads, garbage statements.
+  batch = server.ExecuteBatch("main", {"set backend quantum"});
+  EXPECT_EQ(batch.outcomes[0].kind, StatementOutcome::Kind::kError);
+  batch = server.ExecuteBatch("main", {"query ghost entails a", "]]]]"});
+  EXPECT_EQ(batch.outcomes[0].code, StatusCode::kNotFound);
+  EXPECT_EQ(batch.outcomes[1].kind, StatementOutcome::Kind::kError);
+
+  // The server is still alive and correct.
+  EXPECT_EQ(Render(server.ExecuteBatch("main", {"query kb entails a"})),
+            (std::vector<std::string>{"val true"}));
+}
+
+// ---------------------------------------------------------------------
+// Sessions over streams
+
+TEST(ServeStreamTest, RunsAFullSession) {
+  BeliefServer server;
+  std::istringstream in(
+      "PING 1\n"
+      "BATCH 2 main 2\n"
+      "define kb := g & a\n"
+      "assert kb entails g\n"
+      "BATCH 3 main 1\n"
+      "query kb entails a\n"
+      "SHUTDOWN 4\n");
+  std::ostringstream out;
+  EXPECT_TRUE(ServeStream(in, out, &server)) << "shutdown requested";
+  EXPECT_EQ(out.str(),
+            "PONG 1\n"
+            "REPLY 2 0 2\nok\nok\n"
+            "REPLY 3 1 1\nval true\n"
+            "BYE 4\n");
+}
+
+TEST(ServeStreamTest, MalformedFrameEndsSessionWithErr) {
+  BeliefServer server;
+  std::istringstream in("BATCH oops\n");
+  std::ostringstream out;
+  EXPECT_FALSE(ServeStream(in, out, &server));
+  EXPECT_EQ(out.str().rfind("ERR ", 0), 0u) << out.str();
+}
+
+TEST(ServeStreamTest, EofEndsSessionQuietly) {
+  BeliefServer server;
+  std::istringstream in("PING 1\n");
+  std::ostringstream out;
+  EXPECT_FALSE(ServeStream(in, out, &server));
+  EXPECT_EQ(out.str(), "PONG 1\n");
+}
+
+}  // namespace
+}  // namespace arbiter::server

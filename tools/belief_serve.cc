@@ -1,0 +1,120 @@
+// belief_serve — the arbitration server.
+//
+// Hosts many named BeliefStores behind the framed batch protocol
+// (src/server/frame.h) on stdin/stdout and, optionally, an AF_UNIX
+// socket.  Readers get snapshot-consistent epochs; writers serialize
+// per store; operator results are cached across all sessions.
+//
+//   belief_serve                          serve stdin/stdout
+//   belief_serve --socket /tmp/arb.sock   ... plus a local socket
+//   belief_serve --socket /tmp/arb.sock --no-stdio
+//   belief_serve --cache-capacity 4096
+//
+// Try:
+//   printf 'BATCH 1 main 2\ndefine jury := g & a\nassert jury entails g\n\
+//   SHUTDOWN 2\n' | ./build/tools/belief_serve
+//
+// The process exits on stdin EOF, a SHUTDOWN frame (any transport), or
+// SIGINT/SIGTERM — always cleanly: sessions are joined and the socket
+// file removed.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+#include "server/session.h"
+#include "server/socket.h"
+#include "util/string_util.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int) { g_signal = 1; }
+
+int Usage(std::FILE* out, int code) {
+  std::fprintf(out,
+               "usage: belief_serve [--socket <path>] [--no-stdio] "
+               "[--cache-capacity <n>]\n"
+               "  --socket <path>       also serve an AF_UNIX socket\n"
+               "  --no-stdio            socket only (requires --socket)\n"
+               "  --cache-capacity <n>  operator-result cache entries "
+               "(default 1024)\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool use_stdio = true;
+  arbiter::server::BeliefServer::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--no-stdio") {
+      use_stdio = false;
+    } else if (arg == "--cache-capacity" && i + 1 < argc) {
+      int64_t capacity = 0;
+      if (!arbiter::ParseInt64(argv[++i], &capacity) || capacity <= 0) {
+        std::fprintf(stderr, "belief_serve: --cache-capacity wants a "
+                             "positive integer, got '%s'\n", argv[i]);
+        return 2;
+      }
+      options.cache_capacity = static_cast<size_t>(capacity);
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(stdout, 0);
+    } else {
+      std::fprintf(stderr, "belief_serve: unknown argument '%s'\n",
+                   arg.c_str());
+      return Usage(stderr, 2);
+    }
+  }
+  if (!use_stdio && socket_path.empty()) {
+    std::fprintf(stderr, "belief_serve: --no-stdio requires --socket\n");
+    return 2;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+#endif
+
+  arbiter::server::BeliefServer server(options);
+  arbiter::server::UnixSocketServer socket_server(&server);
+  if (!socket_path.empty()) {
+    arbiter::Status status = socket_server.Start(socket_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "belief_serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "belief_serve: listening on %s\n",
+                 socket_path.c_str());
+  }
+
+  if (use_stdio) {
+    // stdout is the protocol channel; all human chatter goes to stderr.
+    if (isatty(STDIN_FILENO)) {
+      std::fprintf(stderr,
+                   "belief_serve: frames on stdin (BATCH/PING/SHUTDOWN); "
+                   "see docs/SERVER.md\n");
+    }
+    arbiter::server::ServeStream(std::cin, std::cout, &server);
+  } else {
+    while (g_signal == 0 && !socket_server.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  if (!socket_path.empty()) socket_server.Stop();
+  std::fprintf(stderr, "belief_serve: bye\n");
+  return 0;
+}
