@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "logic/generator.h"
+#include "proof/certify.h"
+#include "proof/proof_log.h"
 #include "sat/dpll.h"
 #include "sat/preprocessor.h"
 #include "sat/solver.h"
@@ -159,6 +161,54 @@ void BM_RawCdclPigeonhole(benchmark::State& state) {
   ReportSolverRates(state, conflicts, propagations);
 }
 BENCHMARK(BM_RawCdclPigeonhole)->Arg(6)->Arg(7);
+
+// DRAT logging overhead: identical to BM_CdclPigeonhole except an
+// in-memory proof sink is attached, so the delta between the two arms
+// is the cost of recording every learnt/deleted clause.  (With no sink
+// attached the logging hooks are single-branch no-ops; the bit-identity
+// test in proof_solver_test.cc pins that.)
+void BM_CdclPigeonholeProofLogged(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  uint64_t conflicts = 0;
+  uint64_t propagations = 0;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SatPreprocessor solver;
+    proof::ProofRecorder recorder;
+    solver.SetProofLog(&recorder);
+    AddPigeonhole(&solver, holes);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.Solve());
+    conflicts += solver.solver().stats().conflicts;
+    propagations += solver.solver().stats().propagations;
+    steps += recorder.steps().size();
+  }
+  ReportSolverRates(state, conflicts, propagations);
+  state.counters["proof_steps/iter"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CdclPigeonholeProofLogged)->Arg(5)->Arg(6)->Arg(7);
+
+// The full certified pipeline — proof-logged solve plus the
+// independent DRAT checker's backward verification of the refutation.
+void BM_CertifyPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    proof::CertifyingSolver solver(/*enabled=*/true);
+    AddPigeonhole(&solver, holes);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(solver.Solve());
+    const proof::CertifyOutcome outcome = solver.CertifyLastUnsat();
+    if (!outcome.ok) state.SkipWithError("refutation rejected");
+    steps += solver.BuildProof().size();
+  }
+  state.counters["proof_steps/iter"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CertifyPigeonhole)->Arg(5)->Arg(6)->Arg(7);
 
 // Preprocessing throughput on an instance BVE can mostly dissolve:
 // measures the occurrence-list/subsumption machinery itself.

@@ -6,12 +6,18 @@
 //
 //   fuzz_driver [--cases N] [--seed S] [--min-terms N] [--max-terms N]
 //               [--large-terms N] [--no-store] [--no-kernels]
-//               [--server-cases N]
+//               [--server-cases N] [--proof-cases N]
 //
 // --server-cases additionally runs N concurrent-session interleaving
 // cases through the belief server's differential harness
 // (src/server/differential.h): randomized writer/reader threads, then
 // a serial replay that must reproduce every batch bit for bit.
+//
+// --proof-cases additionally runs N random CNF instances through both
+// solving pipelines with DRAT recording on
+// (src/test_support/proof_fuzz.h): every UNSAT verdict must come back
+// with a refutation the independent checker accepts, and every SAT
+// model must satisfy the instance.
 //
 // CI runs a small fixed-seed tier (see bench/CMakeLists.txt); nightly
 // or manual runs can push --cases into the millions.
@@ -24,6 +30,7 @@
 
 #include "server/differential.h"
 #include "test_support/differential.h"
+#include "test_support/proof_fuzz.h"
 
 namespace {
 
@@ -42,6 +49,7 @@ uint64_t ParseU64(const char* text, const char* flag) {
 int main(int argc, char** argv) {
   arbiter::test_support::DifferentialOptions options;
   int server_cases = 0;
+  int proof_cases = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -68,11 +76,13 @@ int main(int argc, char** argv) {
       options.check_kernels = false;
     } else if (arg == "--server-cases") {
       server_cases = static_cast<int>(ParseU64(next(), "--server-cases"));
+    } else if (arg == "--proof-cases") {
+      proof_cases = static_cast<int>(ParseU64(next(), "--proof-cases"));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: fuzz_driver [--cases N] [--seed S] [--min-terms N] "
           "[--max-terms N] [--large-terms N] [--no-store] [--no-kernels] "
-          "[--server-cases N]\n");
+          "[--server-cases N] [--proof-cases N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "fuzz_driver: unknown flag %s\n", arg.c_str());
@@ -109,6 +119,25 @@ int main(int argc, char** argv) {
   if (server_cases > 0) {
     std::printf("fuzz_driver: %d server interleaving cases, 0 mismatches\n",
                 server_cases);
+  }
+
+  if (proof_cases > 0) {
+    arbiter::test_support::ProofFuzzOptions proof_options;
+    proof_options.seed = options.seed;
+    proof_options.cases = proof_cases;
+    proof_options.stop_on_failure = false;
+    const arbiter::test_support::ProofFuzzResult proof_report =
+        arbiter::test_support::RunProofFuzz(proof_options);
+    std::printf(
+        "fuzz_driver: %d proof cases (%d unsat certified, %d sat), "
+        "%d failures\n",
+        proof_report.cases_run, proof_report.unsat_cases,
+        proof_report.sat_cases, proof_report.failures);
+    if (proof_report.failures > 0) {
+      std::fprintf(stderr, "PROOF FAILURE %s\n",
+                   proof_report.first_failure.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -105,7 +105,15 @@ bool SemanticOracle::Sat(const Formula& f) const {
   const uint64_t key = f.Hash();
   auto it = sat_cache_.find(key);
   if (it != sat_cache_.end()) return it->second;
-  const bool sat = solve::SatIsSatisfiable(f, std::max(num_terms_, 1));
+  bool sat;
+  if (certify_) {
+    const solve::CertifiedSatResult r =
+        solve::SatIsSatisfiableCertified(f, std::max(num_terms_, 1));
+    sat = r.sat;
+    if (r.certify_attempted && !r.certified) all_unsat_certified_ = false;
+  } else {
+    sat = solve::SatIsSatisfiable(f, std::max(num_terms_, 1));
+  }
   sat_cache_.emplace(key, sat);
   return sat;
 }

@@ -70,6 +70,16 @@ class SemanticOracle {
     return !Sat(And(a, Not(b)));
   }
 
+  /// Certified mode (arblint --certify): every UNSAT answer is solved
+  /// with DRAT recording and re-checked by the independent proof
+  /// checker.  Flow verdicts are read off the whole fixpoint, so
+  /// certification is aggregated rather than attributed per query:
+  /// `all_unsat_certified()` is true iff every UNSAT verdict this
+  /// oracle produced was accepted by the checker.
+  void EnableCertification() { certify_ = true; }
+  bool certify_enabled() const { return certify_; }
+  bool all_unsat_certified() const { return all_unsat_certified_; }
+
   /// Model-count interval of f: exact [c, c] when the bounded AllSAT
   /// enumeration finishes under the cap, otherwise [cap, space()].
   void CountModels(const Formula& f, int64_t* lo, int64_t* hi) const;
@@ -82,6 +92,8 @@ class SemanticOracle {
   int num_terms_;
   int64_t model_cap_;
   int64_t space_;
+  bool certify_ = false;
+  mutable bool all_unsat_certified_ = true;
   mutable std::map<uint64_t, bool> sat_cache_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "util/version.h"
+
 namespace arbiter::lint {
 
 namespace {
@@ -12,7 +14,7 @@ namespace {
 /// exact duplicates become adjacent.
 auto SortKey(const Diagnostic& d) {
   return std::tie(d.file, d.line, d.col, d.check_id, d.severity, d.message,
-                  d.note);
+                  d.note, d.certified);
 }
 
 }  // namespace
@@ -54,7 +56,7 @@ bool Diagnostic::operator==(const Diagnostic& other) const {
   return file == other.file && line == other.line && col == other.col &&
          severity == other.severity && check_id == other.check_id &&
          message == other.message && note == other.note &&
-         fixits == other.fixits;
+         fixits == other.fixits && certified == other.certified;
 }
 
 std::string Diagnostic::ToString() const {
@@ -95,10 +97,27 @@ std::string RenderJson(const std::vector<Diagnostic>& diagnostics) {
              ", \"length\": " + std::to_string(f.length) +
              ", \"replacement\": \"" + JsonEscape(f.replacement) + "\"}";
     }
-    out += "]}";
+    out += "]";
+    if (d.certified != -1) {
+      out += std::string(", \"certified\": ") +
+             (d.certified == 1 ? "true" : "false");
+    }
+    out += "}";
   }
   out += diagnostics.empty() ? "]" : "\n]";
   out += "\n";
+  return out;
+}
+
+std::string RenderJsonReport(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "{\n";
+  out += "\"tool\": {\"name\": \"arblint\", \"version\": \"";
+  out += JsonEscape(kArblintVersion);
+  out += "\", \"solver\": \"";
+  out += JsonEscape(kSolverVersion);
+  out += "\"},\n\"diagnostics\": ";
+  out += RenderJson(diagnostics);
+  out += "}\n";
   return out;
 }
 

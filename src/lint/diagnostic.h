@@ -58,6 +58,13 @@ struct Diagnostic {
   std::string note;       ///< optional context or suggested fix
   /// Machine-applicable edits that fix the finding (usually 0 or 1).
   std::vector<FixIt> fixits;
+  /// Proof-certification status of the SAT verdict behind the finding
+  /// (arblint --certify): -1 = not applicable (certification off, or
+  /// the finding is not SAT-derived), 1 = the refutation was accepted
+  /// by the independent DRAT checker, 0 = certification failed (the
+  /// finding is emitted downgraded one severity notch).  Serialized to
+  /// JSON/SARIF only when != -1.
+  int certified = -1;
 
   bool operator==(const Diagnostic& other) const;
 
@@ -69,9 +76,19 @@ struct Diagnostic {
 std::string RenderText(const std::vector<Diagnostic>& diagnostics);
 
 /// Renders diagnostics as a JSON array of objects with keys
-/// {file, line, col, severity, check_id, message, note, fixits}.  The
-/// schema is documented in docs/LINTING.md.
+/// {file, line, col, severity, check_id, message, note, fixits} plus
+/// "certified" when the diagnostic carries a certification verdict.
+/// The schema is documented in docs/LINTING.md.
 std::string RenderJson(const std::vector<Diagnostic>& diagnostics);
+
+/// Renders a full report object:
+///   {"tool": {"name": "arblint", "version": ..., "solver": ...},
+///    "diagnostics": [...]}
+/// where the diagnostics array is exactly RenderJson's output and the
+/// solver string identifies the decision procedure behind semantic
+/// verdicts (util/version.h).  `tools/arblint --format=json` emits
+/// this shape.
+std::string RenderJsonReport(const std::vector<Diagnostic>& diagnostics);
 
 /// Canonicalizes diagnostics for rendering: stable sort by
 /// (file, line, col, check id) — ties broken by severity, message,

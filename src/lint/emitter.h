@@ -23,9 +23,14 @@ class Emitter {
           std::vector<Diagnostic>* out)
       : file_(std::move(file)), options_(options), out_(out) {}
 
+  /// `certified` is the proof-certification status of the SAT verdict
+  /// behind the finding (Diagnostic::certified): pass 1/0 under
+  /// --certify, leave -1 otherwise.  An uncertified finding (0) is
+  /// emitted one severity notch lower — its verdict rests on a solver
+  /// answer the independent checker could not reproduce.
   void Emit(const std::string& check_id, int line, int col,
             std::string message, std::string note = "",
-            std::vector<FixIt> fixits = {}) {
+            std::vector<FixIt> fixits = {}, int certified = -1) {
     const CheckInfo* info = FindCheck(check_id);
     ARBITER_CHECK_MSG(info != nullptr, check_id.c_str());
     for (const std::string& disabled : options_.disabled_checks) {
@@ -40,7 +45,21 @@ class Emitter {
     d.message = std::move(message);
     d.note = std::move(note);
     d.fixits = std::move(fixits);
+    d.certified = certified;
+    if (certified == 0) Downgrade(&d);
     out_->push_back(std::move(d));
+  }
+
+  /// One-notch severity downgrade for a finding whose SAT verdict
+  /// failed proof certification.
+  static void Downgrade(Diagnostic* d) {
+    if (d->severity == Severity::kError) {
+      d->severity = Severity::kWarning;
+    } else if (d->severity == Severity::kWarning) {
+      d->severity = Severity::kNote;
+    }
+    if (!d->note.empty()) d->note += "; ";
+    d->note += "verdict could not be certified by the proof checker";
   }
 
   const LintOptions& options() const { return options_; }

@@ -174,17 +174,32 @@ class FlowPass {
 
     SemanticOracle oracle(static_cast<int>(vocab.size()),
                           options_.allsat_model_cap);
+    if (options_.certify) oracle.EnableCertification();
     ScriptDataflow df(&cfg_, &info_, std::move(oracle));
     df.Run();
     spans_ = ComputeLineSpans(text_);
     IndexVocabularyGrowth();
 
+    const size_t first_flow = out_->diagnostics.size();
     for (int id : cfg_.ReversePostOrder()) {
       const CfgNode& node = cfg_.node(id);
       if (node.kind != CfgNode::Kind::kStatement) continue;
       Statement(df, id);
     }
     DeadDefines(df);
+
+    // Flow verdicts are read off the whole fixpoint, so certification
+    // is an aggregate over every UNSAT verdict the oracle produced:
+    // if any failed the proof check, every flow finding of this pass
+    // is downgraded (the fixpoint they were read from is tainted).
+    if (options_.certify) {
+      const int certified = df.oracle().all_unsat_certified() ? 1 : 0;
+      for (size_t i = first_flow; i < out_->diagnostics.size(); ++i) {
+        Diagnostic* d = &out_->diagnostics[i];
+        d->certified = certified;
+        if (certified == 0) Emitter::Downgrade(d);
+      }
+    }
     out_->ran = true;
   }
 

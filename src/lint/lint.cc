@@ -14,6 +14,8 @@
 #include "lint/flow_checks.h"
 #include "logic/parser.h"
 #include "logic/vocabulary.h"
+#include "proof/certify.h"
+#include "sat/dimacs.h"
 #include "sat/dpll.h"
 #include "solve/sat_bridge.h"
 #include "util/string_util.h"
@@ -207,13 +209,28 @@ class ScriptLinter {
     return lines_[line_no - 1];
   }
 
+  /// Satisfiability over the script vocabulary.  Under --certify an
+  /// UNSAT answer is recorded+re-checked by the independent DRAT
+  /// checker, and `last_certified_` is set to the verdict (1/0) — the
+  /// check sites pass it to Emit for the diagnostic that the answer
+  /// decides.  SAT answers (and certification off) reset it to -1.
   bool Sat(const Formula& f) const {
-    return solve::SatIsSatisfiable(f, vocab_.size());
+    last_certified_ = -1;
+    if (!emit_->options().certify) {
+      return solve::SatIsSatisfiable(f, vocab_.size());
+    }
+    const solve::CertifiedSatResult r =
+        solve::SatIsSatisfiableCertified(f, vocab_.size());
+    if (r.certify_attempted) last_certified_ = r.certified ? 1 : 0;
+    return r.sat;
   }
   bool Taut(const Formula& f) const { return !Sat(Not(f)); }
   bool Entails(const Formula& a, const Formula& b) const {
     return !Sat(And(a, Not(b)));
   }
+  /// Certification status of the UNSAT verdict the most recent Sat /
+  /// Taut / Entails query produced (see Sat).
+  int LastCertified() const { return last_certified_; }
 
   /// Parses a statement's formula payload against the script-wide
   /// vocabulary.  Reports formula-syntax and capacity diagnostics; the
@@ -381,7 +398,8 @@ class ScriptLinter {
                     "base '" + stmt.base + "' is defined unsatisfiable",
                     "model fitting keeps an unsatisfiable base "
                     "unsatisfiable ((A2)), and every 'entails' "
-                    "assertion on it holds vacuously");
+                    "assertion on it holds vacuously",
+                    {}, LastCertified());
       }
     }
     BaseState& state = bases_[stmt.base];
@@ -436,7 +454,8 @@ class ScriptLinter {
                       "change evidence is unsatisfiable",
                       "revision, update, and fitting results entail "
                       "their evidence ((R1)/(U1)/(A1)), so '" +
-                          stmt.base + "' becomes unsatisfiable");
+                          stmt.base + "' becomes unsatisfiable",
+                      {}, LastCertified());
         }
       }
     }
@@ -459,7 +478,8 @@ class ScriptLinter {
                     "this " + std::string(OperatorFamilyName(*family)) +
                         " is a no-op",
                     "(R2)/(U2): when the base entails the evidence the "
-                    "result is equivalent to the base");
+                    "result is equivalent to the base",
+                    {}, LastCertified());
       }
     }
 
@@ -526,14 +546,14 @@ class ScriptLinter {
       emit_->Emit("script/trivial-assert", stmt.line,
                   ColOf(LineText(stmt.line), stmt.formula),
                   "formula is a tautology; every base entails it",
-                  "the assertion can never fail");
+                  "the assertion can never fail", {}, LastCertified());
     } else if (stmt.kind == ScriptStatement::Kind::kAssertConsistent &&
                !Sat(*f)) {
       emit_->Emit("script/trivial-assert", stmt.line,
                   ColOf(LineText(stmt.line), stmt.formula),
                   "formula is unsatisfiable; no base is consistent "
                   "with it",
-                  "the assertion can never hold");
+                  "the assertion can never hold", {}, LastCertified());
     }
   }
 
@@ -548,7 +568,8 @@ class ScriptLinter {
                       ColOf(LineText(stmt.line), stmt.formula),
                       "guard formula is a tautology; the condition "
                       "always holds",
-                      "drop the 'if ... then' wrapper");
+                      "drop the 'if ... then' wrapper", {},
+                      LastCertified());
         } else if (!Sat(*guard)) {
           emit_->Emit("script/guard-unsat", stmt.line,
                       ColOf(LineText(stmt.line), stmt.formula),
@@ -556,7 +577,8 @@ class ScriptLinter {
                       "statement only runs if '" + stmt.base +
                           "' is itself inconsistent",
                       "an inconsistent base entails everything, "
-                      "including unsatisfiable formulas");
+                      "including unsatisfiable formulas",
+                      {}, LastCertified());
         }
       }
     }
@@ -581,6 +603,7 @@ class ScriptLinter {
   }
 
   Emitter* emit_;
+  mutable int last_certified_ = -1;
   std::vector<std::string> lines_;
   Vocabulary vocab_;
   bool capacity_blown_ = false;
@@ -756,11 +779,27 @@ void LintDimacs(Emitter* emit, const std::string& text) {
       solver.AddClause(clause);
     }
     if (solver.Solve() == sat::SolveStatus::kUnsat) {
+      // Under --certify the verdict is re-derived with the CDCL tier
+      // recording a DRAT refutation, which the independent checker
+      // then re-checks; the DPLL default path stays untouched.
+      int certified = -1;
+      if (emit->options().certify) {
+        sat::CnfInstance instance;
+        instance.num_vars = num_vars;
+        instance.clauses = clauses;
+        const proof::CnfProofResult certified_run =
+            proof::SolveCnfWithProof(instance, /*use_preprocessor=*/true);
+        certified = certified_run.status == sat::SolveStatus::kUnsat &&
+                            certified_run.certified
+                        ? 1
+                        : 0;
+      }
       emit->Emit("dimacs/unsat", header_line, 1,
                  "the instance is unsatisfiable",
                  "as a knowledge base it is the (A2) absorbing edge; "
                  "as evidence it forces any revision, update, or "
-                 "fitting result to be inconsistent ((A3) fails)");
+                 "fitting result to be inconsistent ((A3) fails)",
+                 {}, certified);
     }
   }
 }

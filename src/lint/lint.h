@@ -86,6 +86,16 @@ struct LintOptions {
   /// model-count intervals: counts below the cap are exact, larger
   /// ones widen to [cap, 2^n].
   int allsat_model_cap = 64;
+
+  /// Certified verdicts (arblint --certify): every UNSAT answer behind
+  /// a SAT-derived diagnostic is solved with DRAT recording and
+  /// re-checked by the independent proof checker (src/proof/).  A
+  /// finding whose refutation fails the check is emitted downgraded
+  /// one severity notch with `certified: false` in JSON/SARIF output;
+  /// certified findings carry `certified: true`.  Off by default —
+  /// certification re-solves with the CDCL tier (dimacs/unsat normally
+  /// uses the budget-free DPLL core) and roughly doubles SAT work.
+  bool certify = false;
 };
 
 /// Lints belief-script text.  Statement-level recovery: one malformed

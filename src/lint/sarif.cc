@@ -3,6 +3,7 @@
 #include <map>
 
 #include "lint/lint.h"
+#include "util/version.h"
 
 namespace arbiter::lint {
 
@@ -40,8 +41,11 @@ std::string RenderSarif(const std::vector<Diagnostic>& diagnostics) {
   out += "      \"tool\": {\n";
   out += "        \"driver\": {\n";
   out += "          \"name\": \"arblint\",\n";
+  out += "          \"version\": " + Quoted(kArblintVersion) + ",\n";
   out += "          \"informationUri\": "
          "\"https://github.com/arbiter/arbiter\",\n";
+  out += "          \"properties\": {\"solver\": " + Quoted(kSolverVersion) +
+         "},\n";
   out += "          \"rules\": [\n";
   for (size_t i = 0; i < checks.size(); ++i) {
     out += "            {\"id\": " + Quoted(checks[i].id) +
@@ -91,6 +95,11 @@ std::string RenderSarif(const std::vector<Diagnostic>& diagnostics) {
                Quoted(f.replacement) + "}}";
       }
       out += "]}]}]";
+    }
+    if (d.certified != -1) {
+      out += ",\n          \"properties\": {\"certified\": ";
+      out += d.certified ? "true" : "false";
+      out += "}";
     }
     out += "\n        }";
     out += i + 1 < diagnostics.size() ? ",\n" : "\n";

@@ -1,0 +1,102 @@
+#include "proof/certify.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace arbiter::proof {
+
+namespace {
+
+int g_certify_override = -1;  // -1 env, 0 off, 1 on
+bool g_force_failure = false;
+
+}  // namespace
+
+bool CertificationEnabled() {
+  if (g_certify_override >= 0) return g_certify_override != 0;
+  const char* env = std::getenv("ARBITER_CERTIFY");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+void SetCertificationEnabled(bool enabled) {
+  g_certify_override = enabled ? 1 : 0;
+}
+
+void ClearCertificationOverride() { g_certify_override = -1; }
+
+void SetCertificationFailureForTesting(bool force_fail) {
+  g_force_failure = force_fail;
+}
+
+CertifyingSolver::CertifyingSolver(bool enabled) : enabled_(enabled) {
+  if (enabled_) pp_.SetProofLog(&recorder_);
+}
+
+bool CertifyingSolver::AddClause(std::vector<sat::Lit> lits) {
+  if (enabled_) formula_.push_back(lits);
+  return pp_.AddClause(std::move(lits));
+}
+
+sat::SolveStatus CertifyingSolver::Solve() {
+  last_assumptions_.clear();
+  return pp_.Solve();
+}
+
+sat::SolveStatus CertifyingSolver::SolveAssuming(
+    const std::vector<sat::Lit>& assumptions) {
+  last_assumptions_ = assumptions;
+  return pp_.SolveAssuming(assumptions);
+}
+
+std::vector<ProofStep> CertifyingSolver::BuildProof() const {
+  std::vector<ProofStep> proof = recorder_.steps();
+  if (!recorder_.HasEmptyClause()) {
+    proof.push_back(ProofStep{false, {}});
+  }
+  return proof;
+}
+
+CertifyOutcome CertifyingSolver::CertifyLastUnsat() {
+  CertifyOutcome outcome;
+  outcome.enabled = enabled_;
+  if (!enabled_) return outcome;
+  DratChecker checker;
+  for (const auto& clause : formula_) checker.AddFormulaClause(clause);
+  // An assumption-refuted solve is a refutation of formula ∧ assumptions;
+  // the assumptions enter the checker as unit clauses.
+  for (const sat::Lit a : last_assumptions_) {
+    checker.AddFormulaClause({a});
+  }
+  outcome.check = checker.Check(BuildProof());
+  outcome.ok = outcome.check.ok && !g_force_failure;
+  return outcome;
+}
+
+CnfProofResult SolveCnfWithProof(const sat::CnfInstance& cnf,
+                                 bool use_preprocessor) {
+  CnfProofResult result;
+  // The preprocessing switch is sampled at construction; scope it.
+  const bool old_pp = sat::SatPreprocessingEnabled();
+  sat::SetSatPreprocessingEnabled(use_preprocessor);
+  CertifyingSolver solver(/*enabled=*/true);
+  sat::SetSatPreprocessingEnabled(old_pp);
+
+  while (solver.NumVars() < cnf.num_vars) solver.NewVar();
+  for (const auto& clause : cnf.clauses) solver.AddClause(clause);
+  result.status = solver.Solve();
+  if (result.status == sat::SolveStatus::kSat) {
+    result.model.resize(static_cast<size_t>(cnf.num_vars));
+    for (sat::Var v = 0; v < cnf.num_vars; ++v) {
+      result.model[static_cast<size_t>(v)] = solver.ModelValue(v);
+    }
+  } else if (result.status == sat::SolveStatus::kUnsat) {
+    result.proof = solver.BuildProof();
+    CertifyOutcome outcome = solver.CertifyLastUnsat();
+    result.check = std::move(outcome.check);
+    result.certified = outcome.ok;
+  }
+  return result;
+}
+
+}  // namespace arbiter::proof

@@ -1,0 +1,122 @@
+#ifndef ARBITER_PROOF_CERTIFY_H_
+#define ARBITER_PROOF_CERTIFY_H_
+
+#include <vector>
+
+#include "proof/checker.h"
+#include "proof/proof_log.h"
+#include "sat/dimacs.h"
+#include "sat/engine.h"
+#include "sat/preprocessor.h"
+
+/// \file certify.h
+/// Certification glue: a SatEngine wrapper that records the formula it
+/// was fed and the DRAT steps the solving stack emitted, and re-checks
+/// every UNSAT verdict with the independent DratChecker before anyone
+/// is allowed to believe it.  This is what `arblint --certify` and the
+/// counting backend's certified revision steps are built on.
+
+namespace arbiter::proof {
+
+/// Process-wide certification toggle.  Defaults to the ARBITER_CERTIFY
+/// environment variable (unset, empty, or "0" = off); the setters
+/// override the environment until cleared.
+bool CertificationEnabled();
+void SetCertificationEnabled(bool enabled);
+void ClearCertificationOverride();
+
+/// Test hook: when set, every certification attempt reports failure
+/// even if the checker accepted the proof.  Exercises the diagnostic
+/// downgrade path without needing a genuinely broken proof.
+void SetCertificationFailureForTesting(bool force_fail);
+
+/// Result of re-checking one UNSAT verdict.
+struct CertifyOutcome {
+  /// Recording was on for this solver; when false nothing was checked.
+  bool enabled = false;
+  /// The proof was accepted by the independent checker.
+  bool ok = false;
+  DratCheckResult check;
+};
+
+/// A `SatPreprocessor` (CDCL + SatELite pipeline) that additionally
+/// keeps the verbatim formula clauses and a `ProofRecorder` of every
+/// derived addition/deletion when certification is enabled.  With
+/// certification disabled it adds one untaken branch per AddClause and
+/// never touches the solving stack's behavior.
+class CertifyingSolver : public sat::SatEngine {
+ public:
+  explicit CertifyingSolver(bool enabled = CertificationEnabled());
+
+  // ClauseSink.
+  sat::Var NewVar() override { return pp_.NewVar(); }
+  int NumVars() const override { return pp_.NumVars(); }
+  bool AddClause(std::vector<sat::Lit> lits) override;
+
+  // SatPreprocessor passthroughs used by the counting backend.
+  void Freeze(sat::Var v) { pp_.Freeze(v); }
+  void FreezeRange(sat::Var begin, sat::Var end) {
+    pp_.FreezeRange(begin, end);
+  }
+  void Preprocess() { pp_.Preprocess(); }
+
+  // SatEngine.
+  sat::SolveStatus Solve() override;
+  sat::SolveStatus SolveAssuming(
+      const std::vector<sat::Lit>& assumptions) override;
+  bool ModelValue(sat::Var v) const override { return pp_.ModelValue(v); }
+  const std::vector<sat::Lit>& FailedAssumptions() const override {
+    return pp_.FailedAssumptions();
+  }
+  bool InConflict() const override { return pp_.InConflict(); }
+
+  bool enabled() const { return enabled_; }
+  const ProofRecorder& recorder() const { return recorder_; }
+  const std::vector<std::vector<sat::Lit>>& formula() const {
+    return formula_;
+  }
+
+  /// The recorded DRAT proof with a trailing empty clause guaranteed
+  /// (the certifier always closes the refutation explicitly).
+  std::vector<ProofStep> BuildProof() const;
+
+  /// Re-checks the most recent UNSAT verdict: runs the DratChecker on
+  /// the recorded formula (plus the last solve's assumptions as unit
+  /// clauses) against the recorded proof.  Call only after a solve
+  /// returned kUnsat, and — for callers that go on to enumerate models
+  /// with AllSAT-style blocking clauses — *before* any non-implied
+  /// clause is added, since those would not certify.
+  CertifyOutcome CertifyLastUnsat();
+
+  sat::SatPreprocessor& preprocessor() { return pp_; }
+
+ private:
+  bool enabled_;
+  ProofRecorder recorder_;
+  std::vector<std::vector<sat::Lit>> formula_;
+  std::vector<sat::Lit> last_assumptions_;
+  sat::SatPreprocessor pp_;
+};
+
+/// Solve outcome of `SolveCnfWithProof`.
+struct CnfProofResult {
+  sat::SolveStatus status = sat::SolveStatus::kUnknown;
+  /// On kUnsat: the recorded DRAT refutation (trailing empty clause
+  /// included) and the independent checker's verdict on it.
+  std::vector<ProofStep> proof;
+  DratCheckResult check;
+  bool certified = false;
+  /// On kSat: the model, indexed by variable.
+  std::vector<bool> model;
+};
+
+/// Solves a CNF instance with proof recording on, and certifies the
+/// refutation when the answer is UNSAT.  `use_preprocessor` toggles
+/// the SatELite pipeline (both paths must certify — the fuzz harness
+/// runs each instance through both).
+CnfProofResult SolveCnfWithProof(const sat::CnfInstance& cnf,
+                                 bool use_preprocessor);
+
+}  // namespace arbiter::proof
+
+#endif  // ARBITER_PROOF_CERTIFY_H_

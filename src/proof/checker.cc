@@ -1,0 +1,446 @@
+#include "proof/checker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace arbiter::proof {
+
+namespace {
+
+// FNV-1a over the canonical (sorted, deduplicated) literal codes.
+uint64_t CanonHash(const std::vector<int>& canon) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const int code : canon) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(code));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void DratChecker::AddFormulaClause(const std::vector<sat::Lit>& lits) {
+  formula_.push_back(lits);
+}
+
+std::vector<int> DratChecker::Canonicalize(const std::vector<sat::Lit>& lits,
+                                           bool* tautology) {
+  std::vector<int> canon;
+  canon.reserve(lits.size());
+  for (const sat::Lit l : lits) canon.push_back(l.code());
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  *tautology = false;
+  for (size_t i = 0; i + 1 < canon.size(); ++i) {
+    if ((canon[i] ^ 1) == canon[i + 1]) {
+      *tautology = true;
+      break;
+    }
+  }
+  return canon;
+}
+
+void DratChecker::Reset() {
+  clauses_.clear();
+  watches_.clear();
+  units_.clear();
+  canon_index_.clear();
+  value_.clear();
+  reason_.clear();
+  trail_.clear();
+  qhead_ = 0;
+  visit_counter_ = 0;
+  num_vars_ = 0;
+  stats_ = DratCheckStats{};
+}
+
+void DratChecker::EnsureVar(int var) {
+  if (var < num_vars_) return;
+  num_vars_ = var + 1;
+  value_.resize(static_cast<size_t>(num_vars_), 0);
+  reason_.resize(static_cast<size_t>(num_vars_), -1);
+  watches_.resize(static_cast<size_t>(num_vars_) * 2);
+}
+
+int DratChecker::AddDbClause(const std::vector<int>& canon,
+                             int formula_index) {
+  const int ci = static_cast<int>(clauses_.size());
+  Clause c;
+  c.lits = canon;
+  c.formula_index = formula_index;
+  bool taut = false;
+  for (size_t i = 0; i + 1 < canon.size(); ++i) {
+    if ((canon[i] ^ 1) == canon[i + 1]) taut = true;
+  }
+  c.tautology = taut;
+  for (const int code : canon) EnsureVar(code >> 1);
+  clauses_.push_back(std::move(c));
+  canon_index_[CanonHash(canon)].push_back(ci);
+  Activate(ci);
+  return ci;
+}
+
+void DratChecker::Activate(int ci) {
+  Clause& c = clauses_[static_cast<size_t>(ci)];
+  ARBITER_DCHECK(!c.active);
+  c.active = true;
+  // Watch entries persist across deactivate/reactivate (the watched
+  // positions cannot move while the clause is inactive), so only the
+  // first activation attaches them.
+  if (c.attached) return;
+  c.attached = true;
+  if (c.lits.size() == 1) {
+    units_.push_back(ci);
+  } else if (c.lits.size() >= 2) {
+    watches_[static_cast<size_t>(c.lits[0])].push_back(ci);
+    watches_[static_cast<size_t>(c.lits[1])].push_back(ci);
+  }
+}
+
+int DratChecker::FindActive(const std::vector<int>& canon) const {
+  const auto it = canon_index_.find(CanonHash(canon));
+  if (it == canon_index_.end()) return -1;
+  for (const int ci : it->second) {
+    const Clause& c = clauses_[static_cast<size_t>(ci)];
+    if (!c.active) continue;
+    // Compare as sets; both sides are sorted + deduplicated, but watch
+    // maintenance reorders c.lits, so compare sorted copies.
+    if (c.lits.size() != canon.size()) continue;
+    std::vector<int> sorted = c.lits;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted == canon) return ci;
+  }
+  return -1;
+}
+
+int DratChecker::LitValue(int code) const {
+  const int8_t v = value_[static_cast<size_t>(code >> 1)];
+  if (v == 0) return 0;
+  return (code & 1) != 0 ? -v : v;
+}
+
+void DratChecker::Assign(int code, int reason) {
+  value_[static_cast<size_t>(code >> 1)] =
+      (code & 1) != 0 ? static_cast<int8_t>(-1) : static_cast<int8_t>(1);
+  reason_[static_cast<size_t>(code >> 1)] = reason;
+  trail_.push_back(code);
+}
+
+int DratChecker::Propagate() {
+  while (qhead_ < trail_.size()) {
+    const int p = trail_[qhead_++];
+    const int fl = p ^ 1;  // literal that just became false
+    std::vector<int>& ws = watches_[static_cast<size_t>(fl)];
+    size_t out = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      const int ci = ws[i];
+      Clause& c = clauses_[static_cast<size_t>(ci)];
+      if (!c.active) {
+        // Keep the entry: an inactive clause's watches stay valid and
+        // must survive reactivation during the backward pass.
+        ws[out++] = ci;
+        continue;
+      }
+      if (c.lits[0] == fl) std::swap(c.lits[0], c.lits[1]);
+      ARBITER_DCHECK(c.lits[1] == fl);
+      const int first = c.lits[0];
+      const int fv = LitValue(first);
+      if (fv > 0) {  // satisfied by the other watch
+        ws[out++] = ci;
+        continue;
+      }
+      bool moved = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (LitValue(c.lits[k]) >= 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<size_t>(c.lits[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch moved; drop from this list
+      ws[out++] = ci;
+      if (fv < 0) {  // all literals false: conflict
+        for (++i; i < ws.size(); ++i) ws[out++] = ws[i];
+        ws.resize(out);
+        qhead_ = trail_.size();
+        return ci;
+      }
+      ++stats_.propagations;
+      Assign(first, ci);
+    }
+    ws.resize(out);
+  }
+  return -1;
+}
+
+void DratChecker::UndoAll() {
+  for (const int code : trail_) {
+    value_[static_cast<size_t>(code >> 1)] = 0;
+    reason_[static_cast<size_t>(code >> 1)] = -1;
+  }
+  trail_.clear();
+  qhead_ = 0;
+}
+
+void DratChecker::MarkConflict(int conflict_ci) {
+  ++visit_counter_;
+  std::vector<int> stack = {conflict_ci};
+  while (!stack.empty()) {
+    const int ci = stack.back();
+    stack.pop_back();
+    Clause& c = clauses_[static_cast<size_t>(ci)];
+    if (c.visit_stamp == visit_counter_) continue;
+    c.visit_stamp = visit_counter_;
+    c.marked = true;
+    for (const int code : c.lits) {
+      const int r = reason_[static_cast<size_t>(code >> 1)];
+      if (r >= 0 &&
+          clauses_[static_cast<size_t>(r)].visit_stamp != visit_counter_) {
+        stack.push_back(r);
+      }
+    }
+  }
+}
+
+bool DratChecker::Rup(const std::vector<int>& canon, bool mark) {
+  ARBITER_DCHECK(trail_.empty());
+  int conflict = -1;
+  // Assume the negation of the candidate clause.
+  for (const int code : canon) {
+    const int v = LitValue(code);
+    if (v > 0) {
+      // ~code is already false, i.e. the negation of the clause is
+      // contradictory on its own (tautology) — vacuously RUP.
+      UndoAll();
+      return true;
+    }
+    if (v == 0) Assign(code ^ 1, -1);
+  }
+  // Enqueue the database's unit clauses.
+  for (const int ci : units_) {
+    const Clause& c = clauses_[static_cast<size_t>(ci)];
+    if (!c.active) continue;
+    const int l = c.lits[0];
+    const int v = LitValue(l);
+    if (v < 0) {
+      conflict = ci;
+      break;
+    }
+    if (v == 0) {
+      ++stats_.propagations;
+      Assign(l, ci);
+    }
+  }
+  if (conflict < 0) conflict = Propagate();
+  const bool ok = conflict >= 0;
+  if (ok && mark) MarkConflict(conflict);
+  UndoAll();
+  return ok;
+}
+
+bool DratChecker::Rat(const std::vector<int>& canon, int pivot, bool mark) {
+  ++stats_.rat_checks;
+  const int neg_pivot = pivot ^ 1;
+  // Resolve against every active clause containing ~pivot.  This scans
+  // the whole database — acceptable because RAT is the rare fallback
+  // (RUP covers every clause the solver itself derives).
+  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+    const Clause& d = clauses_[ci];
+    if (!d.active) continue;
+    if (std::find(d.lits.begin(), d.lits.end(), neg_pivot) == d.lits.end()) {
+      continue;
+    }
+    // Resolvent = (canon \ {pivot}) ∪ (d \ {~pivot}).
+    std::vector<int> resolvent;
+    resolvent.reserve(canon.size() + d.lits.size());
+    for (const int code : canon) {
+      if (code != pivot) resolvent.push_back(code);
+    }
+    for (const int code : d.lits) {
+      if (code != neg_pivot) resolvent.push_back(code);
+    }
+    std::sort(resolvent.begin(), resolvent.end());
+    resolvent.erase(std::unique(resolvent.begin(), resolvent.end()),
+                    resolvent.end());
+    bool taut = false;
+    for (size_t i = 0; i + 1 < resolvent.size(); ++i) {
+      if ((resolvent[i] ^ 1) == resolvent[i + 1]) {
+        taut = true;
+        break;
+      }
+    }
+    if (taut) continue;
+    if (!Rup(resolvent, mark)) return false;
+    if (mark) clauses_[ci].marked = true;
+  }
+  return true;
+}
+
+DratCheckResult DratChecker::Check(const std::vector<ProofStep>& proof,
+                                   const DratCheckOptions& options) {
+  Reset();
+  DratCheckResult result;
+
+  // Load the formula.  An explicit empty formula clause makes the
+  // instance trivially unsatisfiable whatever the proof says.
+  int trivial_empty = -1;
+  for (size_t fi = 0; fi < formula_.size(); ++fi) {
+    bool taut = false;
+    const std::vector<int> canon = Canonicalize(formula_[fi], &taut);
+    const int ci = AddDbClause(canon, static_cast<int>(fi));
+    if (canon.empty() && trivial_empty < 0) trivial_empty = ci;
+  }
+  if (trivial_empty >= 0) {
+    result.ok = true;
+    result.core.push_back(static_cast<size_t>(
+        clauses_[static_cast<size_t>(trivial_empty)].formula_index));
+    result.stats = stats_;
+    return result;
+  }
+
+  struct StepInfo {
+    bool is_delete = false;
+    int clause = -1;  ///< added clause id, or matched deleted clause id
+  };
+  std::vector<StepInfo> infos;
+  infos.reserve(proof.size());
+
+  // Forward pass: replay the proof into the database, stopping at the
+  // first empty-clause addition (the refutation target).  In forward
+  // mode every addition is verified before insertion.
+  bool have_target = false;
+  for (size_t s = 0; s < proof.size() && !have_target; ++s) {
+    const ProofStep& step = proof[s];
+    ++stats_.steps;
+    StepInfo info;
+    info.is_delete = step.is_delete;
+    bool taut = false;
+    const std::vector<int> canon = Canonicalize(step.lits, &taut);
+    if (step.is_delete) {
+      ++stats_.deletions;
+      const int ci = FindActive(canon);
+      if (ci >= 0) {
+        clauses_[static_cast<size_t>(ci)].active = false;
+        info.clause = ci;
+      } else {
+        ++stats_.unmatched_deletions;
+        if (options.strict_deletions) {
+          result.error = "unmatched deletion at proof step " +
+                         std::to_string(s);
+          result.stats = stats_;
+          return result;
+        }
+      }
+    } else {
+      ++stats_.additions;
+      if (canon.empty()) {
+        have_target = true;
+        infos.push_back(info);
+        break;
+      }
+      if (!options.backward) {
+        const int pivot = step.lits.empty() ? -1 : step.lits[0].code();
+        // Grow var state first so Rup can assign the new literals.
+        for (const int code : canon) EnsureVar(code >> 1);
+        ++stats_.verified;
+        if (!taut && !Rup(canon, /*mark=*/true) &&
+            !Rat(canon, pivot, /*mark=*/true)) {
+          result.error = "addition at proof step " + std::to_string(s) +
+                         " is neither RUP nor RAT";
+          result.stats = stats_;
+          return result;
+        }
+      }
+      info.clause = AddDbClause(canon, -1);
+    }
+    infos.push_back(info);
+  }
+
+  // Establish the refutation: either the proof's empty clause is RUP
+  // over the database at that point, or (for proofs that end without
+  // an explicit empty step) the final database propagates to conflict.
+  if (!Rup({}, /*mark=*/true)) {
+    result.error = have_target
+                       ? "empty clause at proof step " +
+                             std::to_string(infos.size() - 1) + " is not RUP"
+                       : "proof does not derive the empty clause";
+    result.stats = stats_;
+    return result;
+  }
+  if (have_target) ++stats_.verified;
+
+  if (options.backward) {
+    // Backward pass: undo steps newest-first; verify marked additions
+    // against the database as it stood just before them.
+    const size_t last = infos.empty() ? 0 : infos.size() - 1;
+    for (size_t s = infos.size(); s-- > 0;) {
+      const StepInfo& info = infos[s];
+      if (have_target && s == last && !info.is_delete) continue;  // target
+      if (info.is_delete) {
+        if (info.clause >= 0) clauses_[static_cast<size_t>(info.clause)].active = true;
+        continue;
+      }
+      if (info.clause < 0) continue;
+      Clause& c = clauses_[static_cast<size_t>(info.clause)];
+      c.active = false;
+      if (!c.marked) {
+        ++stats_.skipped;
+        continue;
+      }
+      ++stats_.verified;
+      if (c.tautology) continue;
+      std::vector<int> canon = c.lits;
+      std::sort(canon.begin(), canon.end());
+      const int pivot = proof[s].lits.empty() ? -1 : proof[s].lits[0].code();
+      if (!Rup(canon, /*mark=*/true) && !Rat(canon, pivot, /*mark=*/true)) {
+        result.error = "addition at proof step " + std::to_string(s) +
+                       " is neither RUP nor RAT";
+        result.stats = stats_;
+        return result;
+      }
+    }
+  }
+
+  for (const Clause& c : clauses_) {
+    if (c.formula_index >= 0 && c.marked) {
+      result.core.push_back(static_cast<size_t>(c.formula_index));
+    }
+  }
+  std::sort(result.core.begin(), result.core.end());
+  result.ok = true;
+  result.stats = stats_;
+  return result;
+}
+
+bool DratChecker::IsRupForTesting(const std::vector<sat::Lit>& lits) {
+  Reset();
+  for (const auto& f : formula_) {
+    bool taut = false;
+    AddDbClause(Canonicalize(f, &taut), -1);
+  }
+  bool taut = false;
+  const std::vector<int> canon = Canonicalize(lits, &taut);
+  if (taut) return true;
+  for (const int code : canon) EnsureVar(code >> 1);
+  return Rup(canon, /*mark=*/false);
+}
+
+bool DratChecker::IsRatForTesting(const std::vector<sat::Lit>& lits) {
+  Reset();
+  for (const auto& f : formula_) {
+    bool taut = false;
+    AddDbClause(Canonicalize(f, &taut), -1);
+  }
+  bool taut = false;
+  const std::vector<int> canon = Canonicalize(lits, &taut);
+  if (taut) return true;
+  if (lits.empty()) return Rup(canon, /*mark=*/false);
+  for (const int code : canon) EnsureVar(code >> 1);
+  if (Rup(canon, /*mark=*/false)) return true;
+  return Rat(canon, lits[0].code(), /*mark=*/false);
+}
+
+}  // namespace arbiter::proof

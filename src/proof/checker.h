@@ -1,0 +1,144 @@
+#ifndef ARBITER_PROOF_CHECKER_H_
+#define ARBITER_PROOF_CHECKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proof/proof_log.h"
+#include "sat/types.h"
+
+/// \file checker.h
+/// An independent DRAT proof checker in the drat-trim tradition.  It
+/// shares *nothing* with the CDCL solver beyond the literal encoding
+/// (sat/types.h): its own clause storage, its own two-watched-literal
+/// propagation, its own trail.  That separation is the point — the
+/// checker is the trust base, so a solver bug cannot also be a checker
+/// bug (docs/PROOFS.md discusses the trust argument).
+///
+/// Checking modes:
+///  * **Backward** (default): a forward pass replays the proof into
+///    the clause database up to the first empty-clause addition, then
+///    a backward pass undoes each step and verifies only the additions
+///    that were *marked* as antecedents of some later verified
+///    conflict.  Unmarked lemmas are skipped (they cost nothing), and
+///    the marked formula clauses form an unsat core, reported in
+///    `DratCheckResult::core`.
+///  * **Forward**: every addition is verified, in order, before it
+///    enters the database.
+///
+/// Additions are verified as RUP (reverse unit propagation: assume the
+/// negation, propagate, require a conflict) with a RAT fallback on the
+/// step's first literal (resolution asymmetric tautology — every
+/// resolvent against the pivot's negation must be RUP).  Deletions are
+/// matched set-wise against an active database clause; unmatched
+/// deletions are counted and skipped by default (they only ever leave
+/// the database stronger, which cannot turn a bogus proof valid), or
+/// rejected under `strict_deletions`.
+
+namespace arbiter::proof {
+
+struct DratCheckOptions {
+  /// Backward checking with lemma marking (see file comment); when
+  /// false every addition is verified forward.
+  bool backward = true;
+  /// Reject a deletion that matches no active database clause.
+  bool strict_deletions = false;
+};
+
+struct DratCheckStats {
+  size_t steps = 0;             ///< proof steps processed
+  size_t additions = 0;
+  size_t deletions = 0;
+  size_t verified = 0;          ///< additions actually RUP/RAT-checked
+  size_t skipped = 0;           ///< unmarked additions (backward mode)
+  size_t rat_checks = 0;        ///< additions that needed the RAT fallback
+  size_t unmatched_deletions = 0;
+  uint64_t propagations = 0;
+};
+
+struct DratCheckResult {
+  bool ok = false;
+  /// Empty when ok; otherwise what failed and at which proof step.
+  std::string error;
+  DratCheckStats stats;
+  /// Indices (in AddFormulaClause order) of the formula clauses marked
+  /// as antecedents of the refutation — an unsat core.  Backward mode
+  /// only; forward mode reports every formula clause used in some
+  /// verified conflict.
+  std::vector<size_t> core;
+};
+
+class DratChecker {
+ public:
+  /// Adds one formula (input CNF) clause, in original literals.
+  void AddFormulaClause(const std::vector<sat::Lit>& lits);
+
+  size_t NumFormulaClauses() const { return formula_.size(); }
+
+  /// Checks that `proof` is a valid DRAT refutation of the formula.
+  /// Reusable: each call rebuilds the database from the formula.
+  DratCheckResult Check(const std::vector<ProofStep>& proof,
+                        const DratCheckOptions& options = {});
+
+  /// Test hooks: whether `lits` is RUP / RAT-on-first-literal with
+  /// respect to the formula alone.
+  bool IsRupForTesting(const std::vector<sat::Lit>& lits);
+  bool IsRatForTesting(const std::vector<sat::Lit>& lits);
+
+ private:
+  struct Clause {
+    std::vector<int> lits;   ///< literal codes; [0] and [1] are watched
+    bool active = false;
+    bool attached = false;   ///< watch/unit entries exist (attach-once)
+    bool tautology = false;
+    bool marked = false;
+    int formula_index = -1;  ///< >= 0 for formula clauses
+    uint64_t visit_stamp = 0;
+  };
+
+  // --- database construction ---
+  void Reset();
+  void EnsureVar(int var);
+  int AddDbClause(const std::vector<int>& canon, int formula_index);
+  void Activate(int ci);
+  /// Finds an active clause equal (as a set) to `canon`; -1 if none.
+  int FindActive(const std::vector<int>& canon) const;
+  static std::vector<int> Canonicalize(const std::vector<sat::Lit>& lits,
+                                       bool* tautology);
+
+  // --- propagation over the checker's own watch lists ---
+  int LitValue(int code) const;  ///< 1 true, -1 false, 0 unassigned
+  void Assign(int code, int reason);
+  int Propagate();               ///< conflict clause id or -1
+  void UndoAll();
+
+  // --- checks ---
+  /// RUP: assume the negation of `canon`, propagate; true iff conflict.
+  /// Marks antecedents of the conflict when `mark`.
+  bool Rup(const std::vector<int>& canon, bool mark);
+  /// RAT on `pivot` (a literal code): every resolvent with an active
+  /// clause containing ~pivot must be RUP.
+  bool Rat(const std::vector<int>& canon, int pivot, bool mark);
+  void MarkConflict(int conflict_ci);
+
+  std::vector<std::vector<sat::Lit>> formula_;
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  ///< by literal code
+  std::vector<int> units_;                 ///< ids of size-1 clauses
+  std::unordered_map<uint64_t, std::vector<int>> canon_index_;
+  std::vector<int8_t> value_;              ///< by var
+  std::vector<int> reason_;                ///< by var; clause id or -1
+  std::vector<int> trail_;                 ///< literal codes
+  size_t qhead_ = 0;
+  uint64_t visit_counter_ = 0;
+  int num_vars_ = 0;
+  DratCheckStats stats_;
+};
+
+}  // namespace arbiter::proof
+
+#endif  // ARBITER_PROOF_CHECKER_H_

@@ -1,0 +1,181 @@
+#include "proof/drat.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace arbiter::proof {
+
+namespace {
+
+void AppendAsciiStep(std::string* out, bool is_delete,
+                     const std::vector<sat::Lit>& lits) {
+  if (is_delete) *out += "d ";
+  for (const sat::Lit l : lits) {
+    if (l.negated()) *out += '-';
+    *out += std::to_string(l.var() + 1);
+    *out += ' ';
+  }
+  *out += "0\n";
+}
+
+void AppendBinaryStep(std::string* out, bool is_delete,
+                      const std::vector<sat::Lit>& lits) {
+  *out += is_delete ? 'd' : 'a';
+  for (const sat::Lit l : lits) {
+    uint64_t u = (static_cast<uint64_t>(l.var()) + 1) * 2 +
+                 (l.negated() ? 1 : 0);
+    while (u >= 0x80) {
+      *out += static_cast<char>(0x80 | (u & 0x7F));
+      u >>= 7;
+    }
+    *out += static_cast<char>(u);
+  }
+  *out += '\0';
+}
+
+}  // namespace
+
+void DratWriter::Append(bool is_delete, const std::vector<sat::Lit>& lits) {
+  if (binary_) {
+    AppendBinaryStep(&data_, is_delete, lits);
+  } else {
+    AppendAsciiStep(&data_, is_delete, lits);
+  }
+}
+
+std::string ToDratAscii(const std::vector<ProofStep>& steps) {
+  std::string out;
+  for (const ProofStep& s : steps) AppendAsciiStep(&out, s.is_delete, s.lits);
+  return out;
+}
+
+std::string ToDratBinary(const std::vector<ProofStep>& steps) {
+  std::string out;
+  for (const ProofStep& s : steps) {
+    AppendBinaryStep(&out, s.is_delete, s.lits);
+  }
+  return out;
+}
+
+Result<std::vector<ProofStep>> ParseDratAscii(const std::string& text) {
+  std::vector<ProofStep> steps;
+  ProofStep current;
+  bool in_step = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == 'c') {  // comment line (drat-trim tolerates them)
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == 'd' && !in_step) {
+      current.is_delete = true;
+      in_step = true;
+      ++i;
+      continue;
+    }
+    if (c != '-' && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      return Status::InvalidArgument(
+          "drat: unexpected character '" + std::string(1, c) +
+          "' at offset " + std::to_string(i));
+    }
+    const size_t start = i;
+    if (c == '-') ++i;
+    while (i < n && std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    if (i == start || (text[start] == '-' && i == start + 1)) {
+      return Status::InvalidArgument("drat: bare '-' at offset " +
+                                     std::to_string(start));
+    }
+    const long long v = std::strtoll(text.c_str() + start, nullptr, 10);
+    if (v == 0) {
+      steps.push_back(std::move(current));
+      current = ProofStep{};
+      in_step = false;
+      continue;
+    }
+    in_step = true;
+    const long long var = v > 0 ? v : -v;
+    current.lits.push_back(
+        sat::Lit(static_cast<sat::Var>(var - 1), v < 0));
+  }
+  if (in_step) {
+    return Status::InvalidArgument(
+        "drat: final step not terminated by 0");
+  }
+  return steps;
+}
+
+Result<std::vector<ProofStep>> ParseDratBinary(const std::string& bytes) {
+  std::vector<ProofStep> steps;
+  size_t i = 0;
+  const size_t n = bytes.size();
+  while (i < n) {
+    const char tag = bytes[i++];
+    if (tag != 'a' && tag != 'd') {
+      return Status::InvalidArgument(
+          "drat: unknown binary step tag at offset " +
+          std::to_string(i - 1));
+    }
+    ProofStep step;
+    step.is_delete = (tag == 'd');
+    for (;;) {
+      if (i >= n) {
+        return Status::InvalidArgument(
+            "drat: truncated binary step (missing terminator)");
+      }
+      if (bytes[i] == '\0') {
+        ++i;
+        break;
+      }
+      uint64_t u = 0;
+      int shift = 0;
+      for (;;) {
+        if (i >= n) {
+          return Status::InvalidArgument("drat: truncated binary literal");
+        }
+        const uint8_t b = static_cast<uint8_t>(bytes[i++]);
+        if (shift >= 63) {
+          return Status::InvalidArgument("drat: binary literal overflow");
+        }
+        u |= static_cast<uint64_t>(b & 0x7F) << shift;
+        shift += 7;
+        if ((b & 0x80) == 0) break;
+      }
+      if (u < 2) {
+        return Status::InvalidArgument("drat: binary literal under 2");
+      }
+      step.lits.push_back(sat::Lit(
+          static_cast<sat::Var>(u / 2 - 1), (u & 1) != 0));
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+bool DetectDratBinary(const std::string& bytes) {
+  // drat-trim heuristic, simplified: a binary proof starts with an
+  // 'a'/'d' tag whose payload byte is either a terminator (0), has the
+  // continuation bit set, or encodes a literal — none of which are
+  // legal second characters of an ASCII proof ("d " or a digit/sign).
+  if (bytes.empty()) return false;
+  if (bytes[0] != 'a' && bytes[0] != 'd') return false;
+  if (bytes.size() == 1) return bytes[0] == 'a';
+  const uint8_t second = static_cast<uint8_t>(bytes[1]);
+  if (bytes[0] == 'a') return true;  // ASCII steps never start with 'a'
+  // 'd' is ambiguous: ASCII deletions continue with whitespace.
+  return second != ' ' && second != '\t';
+}
+
+Result<std::vector<ProofStep>> ParseDrat(const std::string& bytes) {
+  return DetectDratBinary(bytes) ? ParseDratBinary(bytes)
+                                 : ParseDratAscii(bytes);
+}
+
+}  // namespace arbiter::proof

@@ -1,0 +1,78 @@
+#ifndef ARBITER_PROOF_DRAT_H_
+#define ARBITER_PROOF_DRAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proof/proof_log.h"
+#include "util/status.h"
+
+/// \file drat.h
+/// Standard DRAT serialization of proof steps, in both interchange
+/// formats (docs/PROOFS.md documents the choices):
+///
+///  * **ASCII** — one step per line; deletions are prefixed `d `,
+///    literals are 1-based signed DIMACS integers, each step ends in
+///    `0`.  This is the drat-trim text format.
+///  * **Binary** — each step starts with byte 'a' (0x61, addition) or
+///    'd' (0x64, deletion) followed by the literals as variable-byte
+///    encoded unsigned integers `(var+1)*2 + sign` (7 data bits per
+///    byte, high bit = continuation), terminated by a 0 byte.  This is
+///    the drat-trim binary format.
+///
+/// Parsers accept exactly what the writers produce plus whitespace
+/// slack in ASCII; `DetectDratBinary` applies the drat-trim heuristic
+/// so `tools/arbproof` can autodetect the format.
+
+namespace arbiter::proof {
+
+/// Serializes steps as ASCII DRAT.
+std::string ToDratAscii(const std::vector<ProofStep>& steps);
+
+/// Serializes steps as binary DRAT.
+std::string ToDratBinary(const std::vector<ProofStep>& steps);
+
+/// Parses ASCII DRAT.  Fails on malformed literals or a truncated
+/// final step.
+Result<std::vector<ProofStep>> ParseDratAscii(const std::string& text);
+
+/// Parses binary DRAT.  Fails on an unknown step tag, a truncated
+/// varint, or a missing terminator.
+Result<std::vector<ProofStep>> ParseDratBinary(const std::string& bytes);
+
+/// True iff `bytes` looks like *binary* DRAT: the first step tag is
+/// 'a'/'d' followed by data that cannot start an ASCII proof line
+/// (binary literal bytes for variable 1+ are >= 2 and either have the
+/// high bit set or fall outside "[-d0-9 \n]").
+bool DetectDratBinary(const std::string& bytes);
+
+/// Parses either format, autodetecting via DetectDratBinary.
+Result<std::vector<ProofStep>> ParseDrat(const std::string& bytes);
+
+/// Streaming ProofLog that serializes each step into an owned buffer
+/// as it arrives (ASCII or binary).  Used by `arbproof --solve --emit`
+/// and anywhere the full in-memory step list is not wanted.
+class DratWriter : public ProofLog {
+ public:
+  explicit DratWriter(bool binary) : binary_(binary) {}
+
+  void OnAdd(const std::vector<sat::Lit>& lits) override {
+    Append(false, lits);
+  }
+  void OnDelete(const std::vector<sat::Lit>& lits) override {
+    Append(true, lits);
+  }
+
+  const std::string& data() const { return data_; }
+
+ private:
+  void Append(bool is_delete, const std::vector<sat::Lit>& lits);
+
+  bool binary_;
+  std::string data_;
+};
+
+}  // namespace arbiter::proof
+
+#endif  // ARBITER_PROOF_DRAT_H_

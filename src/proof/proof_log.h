@@ -1,0 +1,117 @@
+#ifndef ARBITER_PROOF_PROOF_LOG_H_
+#define ARBITER_PROOF_PROOF_LOG_H_
+
+#include <utility>
+#include <vector>
+
+#include "sat/types.h"
+#include "util/logging.h"
+
+/// \file proof_log.h
+/// The proof-logging sink interface between the CDCL tier and the
+/// proof subsystem.  The solver and the preprocessor call `OnAdd` for
+/// every clause they *derive* (learnt clauses, strengthened forms,
+/// BVE resolvents, derived units, the empty clause on refutation) and
+/// `OnDelete` for every clause they retire (ReduceDB eviction,
+/// root-satisfied removal, subsumption, BVE originals).  The sequence
+/// of calls is exactly a DRAT proof of the solver's UNSAT verdicts:
+/// every added clause is RUP with respect to the clause database at
+/// the time of the call (see docs/PROOFS.md for the per-site
+/// arguments), and deletions only ever weaken the database.
+///
+/// This header is intentionally dependency-free beyond sat/types.h so
+/// `src/sat` can name the interface without linking the proof library;
+/// the checker, serializers, and certification glue live in
+/// src/proof/*.cc and depend on sat only for the literal encoding.
+///
+/// Logging is off by default everywhere: a null sink costs one
+/// untaken branch per site.
+
+namespace arbiter::proof {
+
+/// One DRAT step: an addition or a deletion of a clause, in original
+/// (caller-visible) variable numbering.
+struct ProofStep {
+  bool is_delete = false;
+  std::vector<sat::Lit> lits;
+
+  bool operator==(const ProofStep& other) const {
+    return is_delete == other.is_delete && lits == other.lits;
+  }
+};
+
+/// Receives derived-clause additions and clause deletions.
+class ProofLog {
+ public:
+  virtual ~ProofLog() = default;
+
+  /// `lits` is a clause implied by the current database (RUP or RAT).
+  virtual void OnAdd(const std::vector<sat::Lit>& lits) = 0;
+
+  /// `lits` is a clause the producer will no longer use.
+  virtual void OnDelete(const std::vector<sat::Lit>& lits) = 0;
+};
+
+/// In-memory recorder: keeps the step sequence for later
+/// serialization (drat.h) or direct checking (checker.h).
+class ProofRecorder : public ProofLog {
+ public:
+  void OnAdd(const std::vector<sat::Lit>& lits) override {
+    steps_.push_back(ProofStep{false, lits});
+  }
+  void OnDelete(const std::vector<sat::Lit>& lits) override {
+    steps_.push_back(ProofStep{true, lits});
+  }
+
+  const std::vector<ProofStep>& steps() const { return steps_; }
+  void Clear() { steps_.clear(); }
+
+  /// True iff some addition is the empty clause (a complete
+  /// refutation has been logged).
+  bool HasEmptyClause() const {
+    for (const ProofStep& s : steps_) {
+      if (!s.is_delete && s.lits.empty()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<ProofStep> steps_;
+};
+
+/// Adapter installed on the preprocessor's inner solver: translates
+/// the solver's dense variable numbering back to the caller's original
+/// numbering before forwarding (the map is `solver2orig`, owned by the
+/// preprocessor and read at call time so post-preprocess NewVar growth
+/// is picked up).
+class RemapProofLog : public ProofLog {
+ public:
+  RemapProofLog(ProofLog* sink, const std::vector<sat::Var>* solver2orig)
+      : sink_(sink), solver2orig_(solver2orig) {}
+
+  void OnAdd(const std::vector<sat::Lit>& lits) override {
+    sink_->OnAdd(Map(lits));
+  }
+  void OnDelete(const std::vector<sat::Lit>& lits) override {
+    sink_->OnDelete(Map(lits));
+  }
+
+ private:
+  std::vector<sat::Lit> Map(const std::vector<sat::Lit>& lits) const {
+    std::vector<sat::Lit> out;
+    out.reserve(lits.size());
+    for (const sat::Lit l : lits) {
+      ARBITER_DCHECK(l.var() >= 0 &&
+                     static_cast<size_t>(l.var()) < solver2orig_->size());
+      out.push_back(sat::Lit((*solver2orig_)[l.var()], l.negated()));
+    }
+    return out;
+  }
+
+  ProofLog* sink_;
+  const std::vector<sat::Var>* solver2orig_;
+};
+
+}  // namespace arbiter::proof
+
+#endif  // ARBITER_PROOF_PROOF_LOG_H_

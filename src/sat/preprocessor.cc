@@ -42,6 +42,24 @@ int SatPreprocessMinClauses() {
   return g_pp_min_clauses.load(std::memory_order_relaxed);
 }
 
+void SatPreprocessor::SetProofLog(proof::ProofLog* log) {
+  proof_ = log;
+  if (replay_) {
+    // Passthrough mode: solver numbering is the original numbering.
+    solver_.SetProofLog(log);
+  } else if (log != nullptr) {
+    // The inner solver works in dense post-elimination indices; its
+    // steps are translated back through solver2orig_, which is read at
+    // call time (so it is fine that the map is built later, and that
+    // post-preprocess NewVar calls keep growing it).
+    remap_log_ = std::make_unique<proof::RemapProofLog>(log, &solver2orig_);
+    solver_.SetProofLog(remap_log_.get());
+  } else {
+    remap_log_.reset();
+    solver_.SetProofLog(nullptr);
+  }
+}
+
 uint64_t SatPreprocessor::Signature(const std::vector<Lit>& lits) {
   uint64_t sig = 0;
   for (const Lit l : lits) sig |= uint64_t{1} << (l.var() & 63);
@@ -92,9 +110,16 @@ bool SatPreprocessor::SetFixed(Lit l) {
   const LBool cur = FixedValue(l);
   if (cur == LBool::kTrue) return true;
   if (cur == LBool::kFalse) {
+    // Both polarities derived: the refutation is complete ({~l} is
+    // already in the proof database, and l's derivation is RUP there).
+    if (proof_ != nullptr) {
+      proof_->OnAdd({l});
+      proof_->OnAdd({});
+    }
     contradiction_ = true;
     return false;
   }
+  if (proof_ != nullptr) proof_->OnAdd({l});
   fixed_[l.var()] = BoolToLBool(!l.negated());
   ++pstats_.fixed_vars;
   fixed_queue_.push_back(l);
@@ -130,10 +155,14 @@ bool SatPreprocessor::AddPending(std::vector<Lit> lits) {
     prev = l;
   }
   if (out.empty()) {
+    if (proof_ != nullptr) proof_->OnAdd(out);
     contradiction_ = true;
     return false;
   }
-  if (out.size() == 1) return SetFixed(out[0]);
+  if (out.size() == 1) return SetFixed(out[0]);  // logs the unit
+  // A root-shrunk form is a derived clause (RUP via the original plus
+  // the fixed-literal units, all of which are in the proof database).
+  if (proof_ != nullptr && out.size() != lits.size()) proof_->OnAdd(out);
   const int ci = static_cast<int>(pending_.size());
   pending_.push_back(PendingClause{std::move(out), 0, false});
   pending_[ci].sig = Signature(pending_[ci].lits);
@@ -166,6 +195,7 @@ bool SatPreprocessor::AddClause(std::vector<Lit> lits) {
   // After preprocessing: translate to solver indices, simplifying
   // against root-fixed values on the way.
   std::vector<Lit> mapped;
+  std::vector<Lit> kept;  // original numbering, for proof logging
   mapped.reserve(lits.size());
   for (const Lit l : lits) {
     const Var v = l.var();
@@ -177,12 +207,19 @@ bool SatPreprocessor::AddClause(std::vector<Lit> lits) {
     const LBool fv = FixedValue(l);
     if (fv == LBool::kTrue) return true;
     if (fv == LBool::kFalse) continue;
+    if (proof_ != nullptr) kept.push_back(l);
     mapped.push_back(Lit(orig2solver_[v], l.negated()));
   }
   if (mapped.empty()) {
+    if (proof_ != nullptr) proof_->OnAdd(mapped);
     contradiction_ = true;
     return false;
   }
+  // Literals dropped against root-fixed values make the loaded clause
+  // a derived form; log it in original numbering (the fixed-literal
+  // units are in the proof database, so it is RUP).  The inner solver
+  // then logs only what *it* changes, remapped back the same way.
+  if (proof_ != nullptr && kept.size() != lits.size()) proof_->OnAdd(kept);
   return solver_.AddClause(std::move(mapped));
 }
 
@@ -199,14 +236,26 @@ bool SatPreprocessor::StrengthenClause(int ci, Lit l) {
   PendingClause& c = pending_[ci];
   const auto it = std::lower_bound(c.lits.begin(), c.lits.end(), l);
   if (it == c.lits.end() || *it != l) return true;  // already gone
+  std::vector<Lit> old_lits;
+  if (proof_ != nullptr) old_lits = c.lits;
   c.lits.erase(it);
   touched_[l.var()] = 1;
   TouchClause(ci);
   ++pstats_.strengthened_literals;
   if (c.lits.size() == 1) {
     const Lit unit = c.lits[0];
+    // Derive-then-retire order: SetFixed logs the unit addition (RUP
+    // via the old form, still in the proof database), after which the
+    // old form can be deleted.  KillClause only marks/touches, so the
+    // swap from the historical kill-then-fix order is behavior-neutral.
+    const bool ok = SetFixed(unit);
+    if (proof_ != nullptr) proof_->OnDelete(old_lits);
     KillClause(ci);
-    return SetFixed(unit);
+    return ok;
+  }
+  if (proof_ != nullptr) {
+    proof_->OnAdd(c.lits);
+    proof_->OnDelete(old_lits);
   }
   c.sig = Signature(c.lits);
   if (!in_subsume_queue_[ci]) {
@@ -226,6 +275,7 @@ bool SatPreprocessor::PropagateFixed() {
     occ_[l.code()].clear();
     for (const int ci : pos_occs) {
       if (!pending_[ci].dead && ClauseContains(pending_[ci], l)) {
+        if (proof_ != nullptr) proof_->OnDelete(pending_[ci].lits);
         KillClause(ci);
       }
     }
@@ -338,6 +388,7 @@ bool SatPreprocessor::TrySubsumeWith(int ci) {
         case SubsumeResult::kNone:
           break;
         case SubsumeResult::kSubsumes:
+          if (proof_ != nullptr) proof_->OnDelete(pending_[cj].lits);
           KillClause(cj);
           ++pstats_.subsumed_clauses;
           changed = true;
@@ -438,6 +489,17 @@ bool SatPreprocessor::TryEliminate(Var v) {
     record.clauses.push_back(std::move(others));
   }
   elim_stack_.push_back(std::move(record));
+  if (proof_ != nullptr) {
+    // Additions strictly before deletions: each resolvent is RUP via
+    // its two parent clauses, so the parents must still be in the
+    // proof database when the resolvent is introduced.  (DRAT-wise the
+    // originals are merely deleted — the UNSAT direction of BVE needs
+    // no RAT step; RAT is only required to *add* clauses of the
+    // eliminated variable, which this pipeline never does.)
+    for (const std::vector<Lit>& res : resolvents) proof_->OnAdd(res);
+    for (const int ci : ps) proof_->OnDelete(pending_[ci].lits);
+    for (const int ci : ns) proof_->OnDelete(pending_[ci].lits);
+  }
   for (const int ci : ps) KillClause(ci);
   for (const int ci : ns) KillClause(ci);
   occ_[pos.code()].clear();
@@ -521,6 +583,11 @@ void SatPreprocessor::Preprocess() {
     // simplification do the rest.  Nothing is eliminated and variable
     // numbering is unchanged, so the wrapper degenerates to the same
     // passthrough as disabled mode from here on.
+    if (proof_ != nullptr) {
+      // Identity numbering: the solver logs directly, no remap.
+      remap_log_.reset();
+      solver_.SetProofLog(proof_);
+    }
     for (Var v = 0; v < num_vars_; ++v) solver_.NewVar();
     for (const Lit l : fixed_queue_) solver_.AddClause({l});
     fixed_queue_.clear();
@@ -574,7 +641,10 @@ SolveStatus SatPreprocessor::SolveAssuming(
     const LBool fv = FixedValue(a);
     if (fv == LBool::kTrue) continue;
     if (fv == LBool::kFalse) {
-      // Refuted at the root: this assumption alone is a core.
+      // Refuted at the root: this assumption alone is a core.  {~a} is
+      // the corresponding derived clause (RUP: the unit ~a is already
+      // in the proof database).
+      if (proof_ != nullptr) proof_->OnAdd({~a});
       failed_assumptions_.assign(1, a);
       return SolveStatus::kUnsat;
     }

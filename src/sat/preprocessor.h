@@ -2,8 +2,10 @@
 #define ARBITER_SAT_PREPROCESSOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "proof/proof_log.h"
 #include "sat/engine.h"
 #include "sat/solver.h"
 
@@ -104,6 +106,14 @@ class SatPreprocessor : public SatEngine {
   }
   bool InConflict() const override;
 
+  /// Installs a DRAT sink covering the whole pipeline, in *original*
+  /// variable numbering: the buffered-phase simplifications (derived
+  /// units, strengthening, subsumption, BVE resolvents/originals) log
+  /// directly, and the inner solver's steps are translated back
+  /// through `solver2orig_`.  Install before adding clauses.  Nullptr
+  /// or never calling this keeps every site a single untaken branch.
+  void SetProofLog(proof::ProofLog* log);
+
   const PreprocessStats& pstats() const { return pstats_; }
   /// The backing solver (valid after preprocessing) — for stats and
   /// budget control.
@@ -181,6 +191,8 @@ class SatPreprocessor : public SatEngine {
   std::vector<Lit> failed_assumptions_;    // in original variables
 
   PreprocessStats pstats_;
+  proof::ProofLog* proof_ = nullptr;
+  std::unique_ptr<proof::RemapProofLog> remap_log_;
   Solver solver_;
 };
 

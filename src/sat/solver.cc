@@ -84,6 +84,13 @@ void Solver::DetachClause(ClauseRef c) {
 }
 
 void Solver::RemoveClause(ClauseRef c) {
+  if (proof_ != nullptr) {
+    std::vector<Lit> lits;
+    const int size = arena_.Size(c);
+    lits.reserve(size);
+    for (int i = 0; i < size; ++i) lits.push_back(arena_.LitAt(c, i));
+    proof_->OnDelete(lits);
+  }
   DetachClause(c);
   if (arena_.Learnt(c)) {
     --num_learnt_clauses_;
@@ -133,14 +140,20 @@ bool Solver::AddClause(std::vector<Lit> lits) {
     prev = l;
   }
   if (out.empty()) {
+    if (proof_ != nullptr) proof_->OnAdd(out);
     ok_ = false;
     return false;
   }
   if (out.size() == 1) {
-    UncheckedEnqueue(out[0], kClauseRefUndef);
+    UncheckedEnqueue(out[0], kClauseRefUndef);  // logs the root unit
     ok_ = (Propagate() == kClauseRefUndef);
+    if (!ok_ && proof_ != nullptr) proof_->OnAdd({});
     return ok_;
   }
+  // A shrunk clause (dropped false/duplicate literals) is a derived
+  // form: the checker needs it explicitly, since the original may
+  // never re-simplify the same way.
+  if (proof_ != nullptr && out.size() != lits.size()) proof_->OnAdd(out);
   ClauseRef c = AllocClause(out, /*learnt=*/false);
   AttachClause(c);
   return true;
@@ -152,6 +165,12 @@ bool Solver::AddClause(std::vector<Lit> lits) {
 
 void Solver::UncheckedEnqueue(Lit l, ClauseRef reason) {
   ARBITER_DCHECK(Value(l) == LBool::kUndef);
+  // Every decision-level-0 assignment is a permanent fact; logging it
+  // as a unit addition keeps the checker's database self-sufficient
+  // even after the fact's antecedent clauses are deleted (ReduceDB,
+  // root-satisfied removal).  Decisions and assumptions are enqueued
+  // above level 0 and are never logged.
+  if (proof_ != nullptr && DecisionLevel() == 0) proof_->OnAdd({l});
   assigns_[l.var()] = static_cast<LBool>(1 ^ static_cast<int>(l.negated()));
   reason_[l.var()] = reason;
   level_[l.var()] = DecisionLevel();
@@ -667,7 +686,10 @@ SolveStatus Solver::Search(int64_t max_conflicts) {
     if (conflict != kClauseRefUndef) {
       ++stats_.conflicts;
       ++conflicts_here;
-      if (DecisionLevel() == 0) return SolveStatus::kUnsat;
+      if (DecisionLevel() == 0) {
+        if (proof_ != nullptr) proof_->OnAdd({});
+        return SolveStatus::kUnsat;
+      }
       int btlevel = 0;
       Analyze(conflict, &learnt, &btlevel);
       // LBD must be measured before backtracking unassigns the
@@ -696,8 +718,9 @@ SolveStatus Solver::Search(int64_t max_conflicts) {
       lbd_ring_pos_ = (lbd_ring_pos_ + 1) % kLbdRingSize;
       CancelUntil(btlevel);
       if (learnt.size() == 1) {
-        UncheckedEnqueue(learnt[0], kClauseRefUndef);
+        UncheckedEnqueue(learnt[0], kClauseRefUndef);  // logs the unit
       } else {
+        if (proof_ != nullptr) proof_->OnAdd(learnt);
         ClauseRef c = AllocClause(learnt, /*learnt=*/true);
         arena_.SetLbd(c, lbd);
         ClauseBumpActivity(c);
@@ -751,6 +774,10 @@ SolveStatus Solver::Search(int64_t max_conflicts) {
         // extract the failing subset for FailedAssumptions().
         std::vector<Lit> negated_core;
         AnalyzeFinal(~a, &negated_core);
+        // negated_core is the clause ¬(failed assumptions) — implied
+        // by the database alone, so it is a legal DRAT addition; the
+        // certifier closes the refutation against the assumption units.
+        if (proof_ != nullptr) proof_->OnAdd(negated_core);
         failed_assumptions_.clear();
         for (Lit l : negated_core) failed_assumptions_.push_back(~l);
         return SolveStatus::kUnsat;
@@ -777,6 +804,7 @@ void Solver::SimplifyDb() {
   if (!ok_ || DecisionLevel() != 0) return;
   // Make sure root-level propagation is complete first.
   if (Propagate() != kClauseRefUndef) {
+    if (proof_ != nullptr) proof_->OnAdd({});
     ok_ = false;
     return;
   }
@@ -794,12 +822,27 @@ void Solver::SimplifyDb() {
       // Not satisfied and fully propagated at level 0: both watches
       // are unassigned, so falsified literals sit at positions >= 2
       // and can be dropped without touching the watcher lists.
+      std::vector<Lit> old_lits;
+      if (proof_ != nullptr) {
+        const int s = arena_.Size(c);
+        old_lits.reserve(s);
+        for (int k = 0; k < s; ++k) old_lits.push_back(arena_.LitAt(c, k));
+      }
       int size = arena_.Size(c);
       for (int k = size - 1; k >= 2; --k) {
         if (Value(arena_.LitAt(c, k)) == LBool::kFalse) {
           arena_.SetLitAt(c, k, arena_.LitAt(c, size - 1));
           --size;
         }
+      }
+      if (proof_ != nullptr && size != arena_.Size(c)) {
+        // The strip loop compacted in place; the survivors are the
+        // first `size` arena slots.
+        std::vector<Lit> new_lits;
+        new_lits.reserve(size);
+        for (int k = 0; k < size; ++k) new_lits.push_back(arena_.LitAt(c, k));
+        proof_->OnAdd(new_lits);
+        proof_->OnDelete(old_lits);
       }
       if (size != arena_.Size(c)) {
         // A clause stripped down to two literals moves to the binary

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "proof/proof_log.h"
 #include "sat/clause_arena.h"
 #include "sat/engine.h"
 #include "sat/types.h"
@@ -129,6 +130,16 @@ class Solver : public SatEngine {
   /// (CEGAR's MaxDistOracle) don't thrash ReduceDB by restarting the
   /// growth from scratch every query.  < 0 means not yet initialized.
   double MaxLearnts() const { return max_learnts_; }
+
+  /// Installs a DRAT proof sink (nullptr disables).  The solver then
+  /// reports every derived clause (root units, learnt clauses,
+  /// simplified forms, the empty clause on refutation) and every
+  /// retired clause (ReduceDB eviction, root-satisfied removal).
+  /// Deletions already logged are not re-reported at arena GC time —
+  /// GC only compacts clauses RemoveClause marked.  With no sink
+  /// installed every site is a single untaken branch.
+  void SetProofLog(proof::ProofLog* log) { proof_ = log; }
+  proof::ProofLog* proof_log() const { return proof_; }
 
  private:
   struct Watcher {
@@ -258,6 +269,8 @@ class Solver : public SatEngine {
   int lbd_ring_pos_ = 0;
   uint64_t lbd_ring_sum_ = 0;
   uint64_t trail_size_sum_ = 0;  // over all conflicts, for the mean
+
+  proof::ProofLog* proof_ = nullptr;
 
   int64_t conflict_budget_ = -1;
   double max_learnts_factor_ = 1.0 / 3.0;

@@ -2,6 +2,7 @@
 
 #include "enc/totalizer.h"
 #include "enc/tseitin.h"
+#include "proof/certify.h"
 #include "sat/all_sat.h"
 #include "sat/preprocessor.h"
 #include "solve/sat_bridge.h"
@@ -12,18 +13,36 @@ using sat::Lit;
 using sat::SatPreprocessor;
 using sat::SolveStatus;
 
+namespace {
+
+// Satisfiability for the degenerate input checks, certifying the
+// UNSAT verdict when certification is on.
+bool InputSatisfiable(const Formula& f, int num_terms, bool certify,
+                      SatRevisionResult* result) {
+  if (!certify) return SatIsSatisfiable(f, num_terms);
+  const CertifiedSatResult r = SatIsSatisfiableCertified(f, num_terms);
+  if (r.certify_attempted) {
+    ++(r.certified ? result->unsat_steps_certified
+                   : result->unsat_steps_uncertified);
+  }
+  return r.sat;
+}
+
+}  // namespace
+
 SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
                                  int num_terms, int64_t max_models,
                                  const std::vector<int64_t>& metric) {
   ARBITER_CHECK(num_terms >= 1 && num_terms <= 63);
   SatRevisionResult result;
+  const bool certify = proof::CertificationEnabled();
 
   // Degenerate cases first.
-  if (!SatIsSatisfiable(mu, num_terms)) {
+  if (!InputSatisfiable(mu, num_terms, certify, &result)) {
     ++result.num_sat_calls;
     return result;  // Mod(μ) empty ⇒ revision empty.
   }
-  if (!SatIsSatisfiable(psi, num_terms)) {
+  if (!InputSatisfiable(psi, num_terms, certify, &result)) {
     result.num_sat_calls += 2;
     result.psi_unsat = true;
     result.min_distance = 0;
@@ -47,8 +66,10 @@ SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
   // Joint solver: x = model of μ on [0, n), y = model of ψ on [n, 2n).
   // Preprocessing runs after the two Asserts (eliminating Tseitin
   // auxiliaries) and before the diff/totalizer layers, whose fresh
-  // variables are then never elimination candidates.
-  SatPreprocessor solver;
+  // variables are then never elimination candidates.  With
+  // certification off the wrapper is a passthrough to the plain
+  // pipeline (one untaken branch per AddClause).
+  proof::CertifyingSolver solver(certify);
   enc::TseitinEncoder encoder(&solver);
   encoder.ReserveInputVars(2 * num_terms);
   encoder.Assert(mu);
@@ -72,6 +93,13 @@ SatRevisionResult SatDalalRevise(const Formula& psi, const Formula& mu,
     if (status == SolveStatus::kSat) {
       hi = mid;
     } else {
+      // Certify the "no solution within mid" half-step now — after the
+      // search, AllSAT blocking clauses (not formula-implied) would
+      // poison the recorded derivation.
+      if (certify) {
+        ++(solver.CertifyLastUnsat().ok ? result.unsat_steps_certified
+                                        : result.unsat_steps_uncertified);
+      }
       lo = mid + 1;
     }
   }

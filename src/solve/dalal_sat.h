@@ -28,6 +28,14 @@ struct SatRevisionResult {
   bool truncated = false;
   /// Number of SAT solver calls made.
   int num_sat_calls = 0;
+  /// With proof::CertificationEnabled(): UNSAT verdicts inside the
+  /// binary search (and the degenerate unsatisfiable-input checks)
+  /// whose DRAT refutations the independent checker accepted vs
+  /// rejected.  Both stay 0 when certification is off.  Each step is
+  /// certified *before* AllSAT enumeration adds blocking clauses,
+  /// which are not formula-implied and would never certify.
+  int unsat_steps_certified = 0;
+  int unsat_steps_uncertified = 0;
 };
 
 /// Computes Dalal's revision of ψ by μ over an n-term vocabulary

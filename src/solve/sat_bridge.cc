@@ -2,6 +2,7 @@
 
 #include "enc/cardinality.h"
 #include "enc/tseitin.h"
+#include "proof/certify.h"
 #include "sat/preprocessor.h"
 
 namespace arbiter::solve {
@@ -52,6 +53,24 @@ bool SatIsSatisfiable(const Formula& f, int num_terms) {
   encoder.ReserveInputVars(num_terms);
   if (!encoder.Assert(f)) return false;
   return solver.Solve() == sat::SolveStatus::kSat;
+}
+
+CertifiedSatResult SatIsSatisfiableCertified(const Formula& f,
+                                             int num_terms) {
+  CertifiedSatResult result;
+  proof::CertifyingSolver solver(/*enabled=*/true);
+  enc::TseitinEncoder encoder(&solver);
+  encoder.ReserveInputVars(num_terms);
+  // A failed Assert means the encoder tripped the solver into a root
+  // contradiction; the empty clause is already in the recorded proof,
+  // so the solve below returns UNSAT immediately and certifies.
+  encoder.Assert(f);
+  result.sat = solver.Solve() == sat::SolveStatus::kSat;
+  if (!result.sat) {
+    result.certify_attempted = true;
+    result.certified = solver.CertifyLastUnsat().ok;
+  }
+  return result;
 }
 
 std::vector<sat::Lit> MakeDiffBits(sat::ClauseSink* sink, int num_terms,

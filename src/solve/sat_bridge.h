@@ -21,6 +21,22 @@ Formula ShiftVars(const Formula& f, int offset);
 /// True iff f is satisfiable over its variables, decided by CDCL.
 bool SatIsSatisfiable(const Formula& f, int num_terms);
 
+/// `SatIsSatisfiable` with DRAT certification: the solve runs with
+/// proof recording, and an UNSAT verdict is re-checked by the
+/// independent proof checker (src/proof/checker.h) before being
+/// reported.  Callers gate on proof::CertificationEnabled() — this
+/// function always records, so the uncertified path keeps its zero
+/// overhead.
+struct CertifiedSatResult {
+  bool sat = false;
+  /// The verdict was UNSAT, so a refutation was checked.
+  bool certify_attempted = false;
+  /// The independent checker accepted the recorded refutation.
+  bool certified = false;
+};
+CertifiedSatResult SatIsSatisfiableCertified(const Formula& f,
+                                             int num_terms);
+
 /// The literals whose true-count equals dist(x, y) where x lives on
 /// variables [0, n) and y on [offset, offset+n): one fresh XOR bit per
 /// position, added to `solver`.

@@ -1,0 +1,135 @@
+#include "test_support/proof_fuzz.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "logic/generator.h"
+#include "proof/certify.h"
+#include "sat/dimacs.h"
+#include "test_support/cnf_instances.h"
+#include "util/random.h"
+
+namespace arbiter::test_support {
+namespace {
+
+// ClauseSink collecting into a CnfInstance, for the crafted builders.
+struct CollectSink : sat::ClauseSink {
+  sat::CnfInstance cnf;
+  sat::Var NewVar() override { return cnf.num_vars++; }
+  int NumVars() const override { return cnf.num_vars; }
+  bool AddClause(std::vector<sat::Lit> lits) override {
+    cnf.clauses.push_back(std::move(lits));
+    return true;
+  }
+};
+
+sat::CnfInstance RandomInstance(Rng* rng, std::string* label) {
+  std::ostringstream desc;
+  CollectSink sink;
+  if (rng->NextBool(0.15)) {
+    // Crafted UNSAT with real search: pigeonhole.
+    const int holes = static_cast<int>(rng->NextInRange(2, 4));
+    AddPigeonhole(&sink, holes);
+    desc << "php(" << holes << ")";
+  } else if (rng->NextBool(0.15)) {
+    // BVE-heavy chains, optionally made UNSAT by a contradiction.
+    const int chains = static_cast<int>(rng->NextInRange(1, 3));
+    const int length = static_cast<int>(rng->NextInRange(2, 4));
+    AddBveChains(&sink, chains, length);
+    desc << "bve(" << chains << "x" << length << ")";
+    if (rng->NextBool(0.5)) {
+      const sat::Var x = sink.NewVar();
+      sink.AddClause({sat::Lit::Pos(x)});
+      sink.AddClause({sat::Lit::Neg(x)});
+      desc << "+contradiction";
+    }
+  } else {
+    // Random 3-CNF straddling the SAT/UNSAT threshold (ratio ~3-6).
+    const int n = static_cast<int>(rng->NextInRange(4, 10));
+    const int m = static_cast<int>(rng->NextInRange(3 * n, 6 * n));
+    const Formula f = RandomKCnf(rng, n, m, 3);
+    sink.cnf.num_vars = n;
+    sink.cnf.clauses = KCnfClauses(f);
+    desc << "k3(n=" << n << ",m=" << m << ")";
+  }
+  *label = desc.str();
+  return sink.cnf;
+}
+
+bool ModelSatisfies(const sat::CnfInstance& cnf,
+                    const std::vector<bool>& model) {
+  for (const auto& clause : cnf.clauses) {
+    bool sat = false;
+    for (const sat::Lit l : clause) {
+      if (l.var() < static_cast<int>(model.size()) &&
+          model[l.var()] != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ProofFuzzResult RunProofFuzz(const ProofFuzzOptions& options) {
+  ProofFuzzResult result;
+  Rng rng(options.seed);
+  // The generated instances are tiny; exercise the real pipeline.
+  const int saved_floor = sat::SatPreprocessMinClauses();
+  sat::SetSatPreprocessMinClauses(0);
+  for (int i = 0; i < options.cases; ++i) {
+    std::string label;
+    const sat::CnfInstance cnf = RandomInstance(&rng, &label);
+    ++result.cases_run;
+    sat::SolveStatus first_status = sat::SolveStatus::kUnknown;
+    bool case_failed = false;
+    bool case_unsat = false;
+    for (const bool pp : {false, true}) {
+      const proof::CnfProofResult r = proof::SolveCnfWithProof(cnf, pp);
+      std::ostringstream err;
+      if (r.status == sat::SolveStatus::kUnknown) {
+        err << "solver returned kUnknown";
+      } else if (!pp) {
+        first_status = r.status;
+      } else if (r.status != first_status) {
+        err << "pipelines disagree on status";
+      }
+      if (r.status == sat::SolveStatus::kUnsat) {
+        case_unsat = true;
+        if (!r.certified) {
+          err << "UNSAT proof rejected: " << r.check.error;
+        }
+      } else if (r.status == sat::SolveStatus::kSat &&
+                 !ModelSatisfies(cnf, r.model)) {
+        err << "SAT model does not satisfy the instance";
+      }
+      if (!err.str().empty()) {
+        case_failed = true;
+        if (result.first_failure.empty()) {
+          std::ostringstream msg;
+          msg << "case " << i << " (" << label << ", seed " << options.seed
+              << ", preprocessor " << (pp ? "on" : "off") << "): "
+              << err.str();
+          result.first_failure = msg.str();
+        }
+      }
+    }
+    if (case_unsat) {
+      ++result.unsat_cases;
+    } else if (first_status == sat::SolveStatus::kSat) {
+      ++result.sat_cases;
+    }
+    if (case_failed) {
+      ++result.failures;
+      if (options.stop_on_failure) break;
+    }
+  }
+  sat::SetSatPreprocessMinClauses(saved_floor);
+  return result;
+}
+
+}  // namespace arbiter::test_support

@@ -1,0 +1,41 @@
+#ifndef ARBITER_TEST_SUPPORT_PROOF_FUZZ_H_
+#define ARBITER_TEST_SUPPORT_PROOF_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+
+/// \file proof_fuzz.h
+/// Proof-certification fuzzing: random CNF instances (over- and
+/// under-constrained k-CNF plus crafted pigeonhole cases) solved with
+/// proof recording on, through both the raw CDCL path and the full
+/// SatELite pipeline.  Every UNSAT verdict must come back with a
+/// DRAT refutation the independent checker accepts; every SAT verdict
+/// must come back with a model that satisfies the instance.  Shared by
+/// the fixed-seed ctest smoke tier and bench/fuzz_driver --proof-cases.
+
+namespace arbiter::test_support {
+
+struct ProofFuzzOptions {
+  uint64_t seed = 0;
+  int cases = 100;
+  /// Stop at the first failing case (the driver keeps going to count).
+  bool stop_on_failure = true;
+};
+
+struct ProofFuzzResult {
+  int cases_run = 0;
+  int unsat_cases = 0;    // instances with at least one UNSAT verdict
+  int sat_cases = 0;
+  int failures = 0;
+  /// Human-readable description of the first failure (seed, pipeline,
+  /// and checker error), empty when all cases passed.
+  std::string first_failure;
+};
+
+/// Runs `options.cases` random instances through both pipelines with
+/// certification on.  Deterministic in `options.seed`.
+ProofFuzzResult RunProofFuzz(const ProofFuzzOptions& options);
+
+}  // namespace arbiter::test_support
+
+#endif  // ARBITER_TEST_SUPPORT_PROOF_FUZZ_H_

@@ -1,0 +1,23 @@
+#ifndef ARBITER_UTIL_VERSION_H_
+#define ARBITER_UTIL_VERSION_H_
+
+/// \file version.h
+/// Tool and solver identification strings, carried in machine-readable
+/// lint output (arblint --format=json / SARIF) so downstream consumers
+/// can pin which decision procedure produced a verdict.  Bump
+/// kSolverVersion when the CDCL tier, the preprocessor, or the proof
+/// subsystem changes behavior.
+
+namespace arbiter {
+
+/// The arblint tool version.
+inline constexpr const char* kArblintVersion = "0.4.0";
+
+/// The SAT stack behind every semantic verdict: CDCL solver, SatELite
+/// preprocessor, and the DRAT proof subsystem used by --certify.
+inline constexpr const char* kSolverVersion =
+    "arbiter-cdcl 0.4.0 (satelite-pre, drat)";
+
+}  // namespace arbiter
+
+#endif  // ARBITER_UTIL_VERSION_H_

@@ -10,7 +10,9 @@
 
 #include "kb/weighted_kb_io.h"
 #include "lint/sarif.h"
+#include "proof/certify.h"
 #include "store/belief_store.h"
+#include "util/version.h"
 
 namespace arbiter::lint {
 namespace {
@@ -554,6 +556,158 @@ TEST(SarifTest, EmptyDiagnosticsStillValidRun) {
   const std::string sarif = RenderSarif({});
   EXPECT_NE(sarif.find("\"results\": ["), std::string::npos);
   EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+TEST(SarifTest, DriverCarriesToolAndSolverVersions) {
+  const std::string sarif = RenderSarif({});
+  EXPECT_NE(sarif.find(std::string("\"version\": \"") + kArblintVersion +
+                       "\""),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find(std::string("\"solver\": \"") + kSolverVersion +
+                       "\""),
+            std::string::npos)
+      << sarif;
+}
+
+TEST(SarifTest, CertifiedPropertyOnlyWhenSet) {
+  Diagnostic d;
+  d.check_id = "script/unsat-define";
+  d.message = "m";
+  EXPECT_EQ(RenderSarif({d}).find("certified"), std::string::npos);
+  d.certified = 0;
+  EXPECT_NE(RenderSarif({d}).find("\"properties\": {\"certified\": false}"),
+            std::string::npos);
+  d.certified = 1;
+  EXPECT_NE(RenderSarif({d}).find("\"properties\": {\"certified\": true}"),
+            std::string::npos);
+}
+
+// --- Certified verdicts (arblint --certify) ------------------------
+
+TEST(ReportTest, RenderJsonReportPinsToolAndSolverVersion) {
+  // The version strings are part of the machine-readable surface;
+  // bumping util/version.h must be a deliberate act that updates this
+  // pin alongside it.
+  EXPECT_STREQ(kArblintVersion, "0.4.0");
+  EXPECT_STREQ(kSolverVersion, "arbiter-cdcl 0.4.0 (satelite-pre, drat)");
+  Diagnostic d;
+  d.check_id = "script/syntax";
+  d.message = "m";
+  const std::string report = RenderJsonReport({d});
+  EXPECT_NE(report.find("\"tool\": {\"name\": \"arblint\", \"version\": "
+                        "\"0.4.0\", \"solver\": \"arbiter-cdcl 0.4.0 "
+                        "(satelite-pre, drat)\"}"),
+            std::string::npos)
+      << report;
+  // The report wraps the plain RenderJson array unchanged.
+  EXPECT_NE(report.find("\"diagnostics\": ["), std::string::npos);
+  EXPECT_NE(report.find(RenderJson({d})), std::string::npos);
+}
+
+class CertifyLintTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    arbiter::proof::SetCertificationFailureForTesting(false);
+  }
+  static LintOptions CertifyOptions() {
+    LintOptions options;
+    options.certify = true;
+    return options;
+  }
+};
+
+TEST_F(CertifyLintTest, CertifiedVerdictKeepsSeverityAndTagsJson) {
+  const auto diags = LintScript("define kb := a & !a\n", CertifyOptions());
+  bool found = false;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id != "script/unsat-define") continue;
+    found = true;
+    EXPECT_EQ(d.certified, 1);
+    EXPECT_EQ(d.severity, Severity::kWarning);
+  }
+  ASSERT_TRUE(found) << RenderText(diags);
+  const std::string json = RenderJson(diags);
+  EXPECT_NE(json.find("\"certified\": true"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"certified\": false"), std::string::npos) << json;
+}
+
+TEST_F(CertifyLintTest, DefaultModeHasNoCertifiedField) {
+  const auto diags = LintScript("define kb := a & !a\n");
+  ASSERT_TRUE(Has(diags, 1, "script/unsat-define")) << RenderText(diags);
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.certified, -1);
+  EXPECT_EQ(RenderJson(diags).find("certified"), std::string::npos);
+}
+
+TEST_F(CertifyLintTest, FailedCertificationDowngradesOneNotch) {
+  arbiter::proof::SetCertificationFailureForTesting(true);
+  const auto diags = LintScript("define kb := a & !a\n", CertifyOptions());
+  bool found = false;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id != "script/unsat-define") continue;
+    found = true;
+    EXPECT_EQ(d.certified, 0);
+    // unsat-define is registered as a warning; uncertified drops it to
+    // a note and explains why.
+    EXPECT_EQ(d.severity, Severity::kNote);
+    EXPECT_NE(d.note.find("could not be certified"), std::string::npos)
+        << d.note;
+  }
+  ASSERT_TRUE(found) << RenderText(diags);
+  EXPECT_NE(RenderJson(diags).find("\"certified\": false"),
+            std::string::npos);
+}
+
+TEST_F(CertifyLintTest, FlowFindingsShareTheOracleCertification) {
+  // Flow verdicts are read off the whole fixpoint, so a certification
+  // failure anywhere in the oracle taints every flow finding: the
+  // flow/unreachable error below downgrades to a warning.
+  arbiter::proof::SetCertificationFailureForTesting(true);
+  const auto diags = LintScript(
+      "define psi := a & !b\n"
+      "if psi entails b then undo psi\n"
+      "change psi by dalal with a\n",
+      CertifyOptions());
+  bool found = false;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id != "flow/unreachable") continue;
+    found = true;
+    EXPECT_EQ(d.certified, 0);
+    EXPECT_EQ(d.severity, Severity::kWarning);
+  }
+  ASSERT_TRUE(found) << RenderText(diags);
+}
+
+TEST_F(CertifyLintTest, FlowFindingsCertifyWhenAllChecksPass) {
+  const auto diags = LintScript(
+      "define psi := a & !b\n"
+      "if psi entails b then undo psi\n"
+      "change psi by dalal with a\n",
+      CertifyOptions());
+  bool found = false;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id != "flow/unreachable") continue;
+    found = true;
+    EXPECT_EQ(d.certified, 1);
+    EXPECT_EQ(d.severity, Severity::kError);
+  }
+  ASSERT_TRUE(found) << RenderText(diags);
+}
+
+TEST_F(CertifyLintTest, DimacsUnsatVerdictCertifies) {
+  // The default DPLL verdict is untouched; under --certify the
+  // instance is re-solved with the proof-logging CDCL pipeline and
+  // the resulting refutation is checked.
+  const auto diags = LintDimacsText(
+      "t.cnf", "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n",
+      CertifyOptions());
+  bool found = false;
+  for (const Diagnostic& d : diags) {
+    if (d.check_id != "dimacs/unsat") continue;
+    found = true;
+    EXPECT_EQ(d.certified, 1);
+  }
+  ASSERT_TRUE(found) << RenderText(diags);
 }
 
 }  // namespace

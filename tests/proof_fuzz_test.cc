@@ -1,0 +1,34 @@
+// Fixed-seed smoke tier for the proof-certification fuzz harness:
+// random instances solved through both pipelines with proof recording
+// on; every UNSAT verdict must certify and every SAT model must check.
+// bench/fuzz_driver --proof-cases runs the same harness at scale.
+
+#include "test_support/proof_fuzz.h"
+
+#include <gtest/gtest.h>
+
+namespace arbiter::test_support {
+namespace {
+
+TEST(ProofFuzzTest, FixedSeedSmoke) {
+  ProofFuzzOptions options;
+  options.seed = 0xA5B17EB5EEDULL;
+  options.cases = 150;
+  const ProofFuzzResult result = RunProofFuzz(options);
+  EXPECT_EQ(result.failures, 0) << result.first_failure;
+  EXPECT_EQ(result.cases_run, options.cases);
+  // The mix must actually exercise both verdicts.
+  EXPECT_GT(result.unsat_cases, 10);
+  EXPECT_GT(result.sat_cases, 10);
+}
+
+TEST(ProofFuzzTest, SecondSeedSmoke) {
+  ProofFuzzOptions options;
+  options.seed = 42;
+  options.cases = 100;
+  const ProofFuzzResult result = RunProofFuzz(options);
+  EXPECT_EQ(result.failures, 0) << result.first_failure;
+}
+
+}  // namespace
+}  // namespace arbiter::test_support

@@ -1,0 +1,350 @@
+// End-to-end proof tests across the solving stack: raw CDCL with a
+// DRAT sink, the SatELite pipeline's logging (subsumption, SSR, BVE,
+// derived units) translated back to original variables, assumption
+// refutations, the CertifyingSolver wrapper, SolveCnfWithProof, the
+// certification toggles, and the logging-disabled bit-identity
+// guarantee the bench tier relies on.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proof/certify.h"
+#include "proof/checker.h"
+#include "proof/proof_log.h"
+#include "sat/dimacs.h"
+#include "sat/preprocessor.h"
+#include "sat/solver.h"
+#include "test_support/cnf_instances.h"
+
+namespace arbiter::proof {
+namespace {
+
+using sat::Lit;
+using sat::SolveStatus;
+using sat::Var;
+
+Lit P(Var v) { return Lit::Pos(v); }
+Lit N(Var v) { return Lit::Neg(v); }
+
+// Tiny instances below must still exercise the real preprocessing
+// pipeline, not the size-floor passthrough.
+const bool kFloorDropped = [] {
+  sat::SetSatPreprocessMinClauses(0);
+  return true;
+}();
+
+// Checks `proof` against `formula` with the independent checker,
+// closing the refutation with an explicit empty clause if the log
+// never recorded one (a root conflict logs it; a failed final
+// propagation may not).
+DratCheckResult CheckProof(const std::vector<std::vector<Lit>>& formula,
+                           std::vector<ProofStep> proof) {
+  bool closed = false;
+  for (const ProofStep& s : proof) {
+    if (!s.is_delete && s.lits.empty()) closed = true;
+  }
+  if (!closed) proof.push_back(ProofStep{false, {}});
+  DratChecker checker;
+  for (const auto& c : formula) checker.AddFormulaClause(c);
+  return checker.Check(proof, DratCheckOptions{});
+}
+
+// A clause sink that tees AddClause into a formula copy, so tests can
+// drive `Solver`/`SatPreprocessor` directly and still hand the checker
+// the exact original clauses.
+template <typename Engine>
+class RecordedEngine {
+ public:
+  Var NewVar() { return engine_.NewVar(); }
+  void Add(std::vector<Lit> lits) {
+    formula_.push_back(lits);
+    engine_.AddClause(std::move(lits));
+  }
+  Engine& engine() { return engine_; }
+  const std::vector<std::vector<Lit>>& formula() const { return formula_; }
+
+ private:
+  Engine engine_;
+  std::vector<std::vector<Lit>> formula_;
+};
+
+// ClauseSink adapter over RecordedEngine, for the test_support
+// instance builders.
+template <typename Engine>
+class RecordedSink : public sat::ClauseSink {
+ public:
+  explicit RecordedSink(RecordedEngine<Engine>* rec) : rec_(rec) {}
+  Var NewVar() override { return rec_->NewVar(); }
+  int NumVars() const override { return rec_->engine().NumVars(); }
+  bool AddClause(std::vector<Lit> lits) override {
+    rec_->Add(std::move(lits));
+    return true;
+  }
+
+ private:
+  RecordedEngine<Engine>* rec_;
+};
+
+TEST(SolverProofTest, RawCdclUnsatProofCertifies) {
+  RecordedEngine<sat::Solver> rec;
+  ProofRecorder recorder;
+  rec.engine().SetProofLog(&recorder);
+  RecordedSink<sat::Solver> sink(&rec);
+  test_support::AddPigeonhole(&sink, 3);  // PHP(4,3): UNSAT, needs learning
+  ASSERT_EQ(rec.engine().Solve(), SolveStatus::kUnsat);
+  const DratCheckResult result = CheckProof(rec.formula(), recorder.steps());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.stats.additions, 0u);
+}
+
+TEST(SolverProofTest, RawCdclLogsReduceDbDeletions) {
+  // Big enough that ReduceDB fires; the checker must tolerate (and
+  // exploit) the interleaved deletions.
+  RecordedEngine<sat::Solver> rec;
+  ProofRecorder recorder;
+  rec.engine().SetProofLog(&recorder);
+  RecordedSink<sat::Solver> sink(&rec);
+  test_support::AddPigeonhole(&sink, 5);
+  ASSERT_EQ(rec.engine().Solve(), SolveStatus::kUnsat);
+  bool saw_delete = false;
+  for (const ProofStep& s : recorder.steps()) saw_delete |= s.is_delete;
+  EXPECT_TRUE(saw_delete) << "expected learnt-clause evictions in the log";
+  const DratCheckResult result = CheckProof(rec.formula(), recorder.steps());
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(SolverProofTest, PreprocessorPipelineProofCertifies) {
+  // Pigeonhole through the full SatELite pipeline: derived units,
+  // subsumption, strengthening and BVE all log in original numbering.
+  RecordedEngine<sat::SatPreprocessor> rec;
+  ProofRecorder recorder;
+  rec.engine().SetProofLog(&recorder);
+  RecordedSink<sat::SatPreprocessor> sink(&rec);
+  test_support::AddPigeonhole(&sink, 4);
+  ASSERT_EQ(rec.engine().Solve(), SolveStatus::kUnsat);
+  const DratCheckResult result = CheckProof(rec.formula(), recorder.steps());
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(SolverProofTest, BveEliminationStepsCertify) {
+  // BVE-heavy satisfiable chains plus a contradiction on two inputs:
+  // the pipeline eliminates the auxiliaries (logging resolvent adds
+  // and original deletes) before the solver refutes the rest.
+  RecordedEngine<sat::SatPreprocessor> rec;
+  ProofRecorder recorder;
+  rec.engine().SetProofLog(&recorder);
+  RecordedSink<sat::SatPreprocessor> sink(&rec);
+  test_support::AddBveChains(&sink, 3, 4);
+  const Var x = rec.NewVar();
+  rec.Add({P(x)});
+  rec.Add({N(x)});
+  ASSERT_EQ(rec.engine().Solve(), SolveStatus::kUnsat);
+  const DratCheckResult result = CheckProof(rec.formula(), recorder.steps());
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(SolverProofTest, AssumptionRefutationLogsNegatedCore) {
+  // (a | b), (~a | b), assume ~b: UNSAT under assumptions only.  The
+  // negated assumption core is DB-implied and must be in the log; with
+  // the assumption added as a unit clause the refutation closes.
+  RecordedEngine<sat::Solver> rec;
+  ProofRecorder recorder;
+  rec.engine().SetProofLog(&recorder);
+  const Var a = rec.NewVar();
+  const Var b = rec.NewVar();
+  rec.Add({P(a), P(b)});
+  rec.Add({N(a), P(b)});
+  ASSERT_EQ(rec.engine().SolveAssuming({N(b)}), SolveStatus::kUnsat);
+  auto formula = rec.formula();
+  formula.push_back({N(b)});  // the refuted assumption, as a unit
+  const DratCheckResult result = CheckProof(formula, recorder.steps());
+  EXPECT_TRUE(result.ok) << result.error;
+  // The same engine must stay usable without the assumption.
+  EXPECT_EQ(rec.engine().Solve(), SolveStatus::kSat);
+}
+
+TEST(CertifyingSolverTest, CertifiesUnsatVerdict) {
+  CertifyingSolver s(/*enabled=*/true);
+  const Var a = s.NewVar();
+  const Var b = s.NewVar();
+  s.AddClause({P(a), P(b)});
+  s.AddClause({P(a), N(b)});
+  s.AddClause({N(a), P(b)});
+  s.AddClause({N(a), N(b)});
+  ASSERT_EQ(s.Solve(), SolveStatus::kUnsat);
+  const CertifyOutcome outcome = s.CertifyLastUnsat();
+  EXPECT_TRUE(outcome.enabled);
+  EXPECT_TRUE(outcome.ok) << outcome.check.error;
+}
+
+TEST(CertifyingSolverTest, CertifiesAssumptionUnsat) {
+  CertifyingSolver s(/*enabled=*/true);
+  const Var a = s.NewVar();
+  const Var b = s.NewVar();
+  s.AddClause({N(a), P(b)});
+  ASSERT_EQ(s.SolveAssuming({P(a), N(b)}), SolveStatus::kUnsat);
+  const CertifyOutcome outcome = s.CertifyLastUnsat();
+  EXPECT_TRUE(outcome.enabled);
+  EXPECT_TRUE(outcome.ok) << outcome.check.error;
+}
+
+TEST(CertifyingSolverTest, CertifiesPigeonholeThroughPipeline) {
+  CertifyingSolver s(/*enabled=*/true);
+  test_support::AddPigeonhole(&s, 4);
+  ASSERT_EQ(s.Solve(), SolveStatus::kUnsat);
+  const CertifyOutcome outcome = s.CertifyLastUnsat();
+  EXPECT_TRUE(outcome.ok) << outcome.check.error;
+  // The checker's core is a subset of the formula.
+  for (int idx : outcome.check.core) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, static_cast<int>(s.formula().size() +
+                                    /*assumption units=*/0u));
+  }
+}
+
+TEST(CertifyingSolverTest, DisabledWrapperReportsNotEnabled) {
+  CertifyingSolver s(/*enabled=*/false);
+  const Var a = s.NewVar();
+  s.AddClause({P(a)});
+  s.AddClause({N(a)});
+  ASSERT_EQ(s.Solve(), SolveStatus::kUnsat);
+  const CertifyOutcome outcome = s.CertifyLastUnsat();
+  EXPECT_FALSE(outcome.enabled);
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(CertifyingSolverTest, ForcedFailureHookReportsUncertified) {
+  SetCertificationFailureForTesting(true);
+  CertifyingSolver s(/*enabled=*/true);
+  const Var a = s.NewVar();
+  s.AddClause({P(a)});
+  s.AddClause({N(a)});
+  ASSERT_EQ(s.Solve(), SolveStatus::kUnsat);
+  const CertifyOutcome outcome = s.CertifyLastUnsat();
+  SetCertificationFailureForTesting(false);
+  EXPECT_TRUE(outcome.enabled);
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(CertifyingSolverTest, SatVerdictStillSat) {
+  CertifyingSolver s(/*enabled=*/true);
+  const Var a = s.NewVar();
+  const Var b = s.NewVar();
+  s.AddClause({P(a), P(b)});
+  s.AddClause({N(a)});
+  ASSERT_EQ(s.Solve(), SolveStatus::kSat);
+  EXPECT_FALSE(s.ModelValue(a));
+  EXPECT_TRUE(s.ModelValue(b));
+}
+
+TEST(CertificationToggleTest, OverrideWinsOverEnvironment) {
+  ClearCertificationOverride();
+  SetCertificationEnabled(true);
+  EXPECT_TRUE(CertificationEnabled());
+  SetCertificationEnabled(false);
+  EXPECT_FALSE(CertificationEnabled());
+  ClearCertificationOverride();
+  // Back to the environment default (ARBITER_CERTIFY is not set in the
+  // test environment, so off).
+  EXPECT_FALSE(CertificationEnabled());
+}
+
+sat::CnfInstance PigeonholeCnf(int holes) {
+  struct CollectSink : sat::ClauseSink {
+    sat::CnfInstance cnf;
+    Var NewVar() override { return cnf.num_vars++; }
+    int NumVars() const override { return cnf.num_vars; }
+    bool AddClause(std::vector<Lit> lits) override {
+      cnf.clauses.push_back(std::move(lits));
+      return true;
+    }
+  } sink;
+  test_support::AddPigeonhole(&sink, holes);
+  return sink.cnf;
+}
+
+TEST(SolveCnfWithProofTest, UnsatCertifiesBothPipelines) {
+  const sat::CnfInstance cnf = PigeonholeCnf(3);
+  for (bool pp : {false, true}) {
+    const CnfProofResult r = SolveCnfWithProof(cnf, pp);
+    EXPECT_EQ(r.status, SolveStatus::kUnsat);
+    EXPECT_TRUE(r.certified) << "pp=" << pp << ": " << r.check.error;
+    ASSERT_FALSE(r.proof.empty());
+    EXPECT_TRUE(r.proof.back().lits.empty());
+  }
+}
+
+TEST(SolveCnfWithProofTest, SatReturnsModel) {
+  sat::CnfInstance cnf;
+  cnf.num_vars = 2;
+  cnf.clauses = {{P(0), P(1)}, {N(0), P(1)}};
+  for (bool pp : {false, true}) {
+    const CnfProofResult r = SolveCnfWithProof(cnf, pp);
+    ASSERT_EQ(r.status, SolveStatus::kSat) << "pp=" << pp;
+    ASSERT_EQ(r.model.size(), 2u);
+    EXPECT_TRUE(r.model[1]);  // 1 is forced
+  }
+}
+
+// The disabled-mode guarantee: a solver without a sink must behave
+// bit-identically to one with a sink — same verdicts, same search
+// statistics, same models.  (The bench tier measures the time side of
+// the same claim; this pins the behavioral side in ctest.)
+TEST(DisabledModeTest, LoggingDoesNotPerturbSearch) {
+  for (int holes : {3, 4}) {
+    sat::Solver plain;
+    sat::Solver logged;
+    ProofRecorder recorder;
+    logged.SetProofLog(&recorder);
+    struct DirectSink : sat::ClauseSink {
+      sat::Solver* s;
+      explicit DirectSink(sat::Solver* s) : s(s) {}
+      Var NewVar() override { return s->NewVar(); }
+      int NumVars() const override { return s->NumVars(); }
+      bool AddClause(std::vector<Lit> lits) override {
+        return s->AddClause(std::move(lits));
+      }
+    } plain_sink(&plain), logged_sink(&logged);
+    test_support::AddPigeonhole(&plain_sink, holes);
+    test_support::AddPigeonhole(&logged_sink, holes);
+    ASSERT_EQ(plain.Solve(), SolveStatus::kUnsat);
+    ASSERT_EQ(logged.Solve(), SolveStatus::kUnsat);
+    const sat::SolverStats& a = plain.stats();
+    const sat::SolverStats& b = logged.stats();
+    EXPECT_EQ(a.decisions, b.decisions);
+    EXPECT_EQ(a.propagations, b.propagations);
+    EXPECT_EQ(a.conflicts, b.conflicts);
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.learnt_clauses, b.learnt_clauses);
+    EXPECT_EQ(a.learnt_literals, b.learnt_literals);
+    EXPECT_EQ(a.reduce_db_runs, b.reduce_db_runs);
+  }
+}
+
+TEST(DisabledModeTest, PreprocessorResultsMatchWithAndWithoutLogging) {
+  RecordedEngine<sat::SatPreprocessor> plain;
+  RecordedEngine<sat::SatPreprocessor> logged;
+  ProofRecorder recorder;
+  logged.engine().SetProofLog(&recorder);
+  RecordedSink<sat::SatPreprocessor> ps(&plain), ls(&logged);
+  test_support::AddBveChains(&ps, 2, 3);
+  test_support::AddBveChains(&ls, 2, 3);
+  plain.engine().Preprocess();
+  logged.engine().Preprocess();
+  EXPECT_EQ(plain.engine().pstats().eliminated_vars,
+            logged.engine().pstats().eliminated_vars);
+  EXPECT_EQ(plain.engine().pstats().subsumed_clauses,
+            logged.engine().pstats().subsumed_clauses);
+  EXPECT_EQ(plain.engine().pstats().strengthened_literals,
+            logged.engine().pstats().strengthened_literals);
+  ASSERT_EQ(plain.engine().Solve(), SolveStatus::kSat);
+  ASSERT_EQ(logged.engine().Solve(), SolveStatus::kSat);
+  for (Var v = 0; v < plain.engine().NumVars(); ++v) {
+    EXPECT_EQ(plain.engine().ModelValue(v), logged.engine().ModelValue(v))
+        << "var " << v;
+  }
+}
+
+}  // namespace
+}  // namespace arbiter::proof

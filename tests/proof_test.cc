@@ -1,0 +1,368 @@
+// Unit tests for the proof subsystem proper: DRAT serialization in
+// both formats, format autodetection, parser error paths, and the
+// independent DratChecker (RUP, RAT, backward marking, deletion
+// handling, adversarial mutations).
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "proof/checker.h"
+#include "proof/drat.h"
+#include "proof/proof_log.h"
+
+namespace arbiter::proof {
+namespace {
+
+using sat::Lit;
+
+Lit P(int v) { return Lit::Pos(v); }
+Lit N(int v) { return Lit::Neg(v); }
+
+std::vector<ProofStep> Steps(std::vector<ProofStep> s) { return s; }
+
+ProofStep Add(std::vector<Lit> lits) { return ProofStep{false, std::move(lits)}; }
+ProofStep Del(std::vector<Lit> lits) { return ProofStep{true, std::move(lits)}; }
+
+// ---------------------------------------------------------------------------
+// DRAT serialization
+// ---------------------------------------------------------------------------
+
+TEST(DratFormatTest, AsciiRendering) {
+  const std::vector<ProofStep> steps = {
+      Add({P(0)}),
+      Del({P(0), N(1)}),
+      Add({}),
+  };
+  EXPECT_EQ(ToDratAscii(steps), "1 0\nd 1 -2 0\n0\n");
+}
+
+TEST(DratFormatTest, AsciiRoundTrip) {
+  const std::vector<ProofStep> steps = {
+      Add({P(4), N(2), P(0)}),
+      Del({N(0)}),
+      Add({}),
+  };
+  const auto parsed = ParseDratAscii(ToDratAscii(steps));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, steps);
+}
+
+TEST(DratFormatTest, AsciiToleratesCommentsAndWhitespace) {
+  const auto parsed =
+      ParseDratAscii("c a comment\n  1   -2 0\nc more\nd 1 0\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], Add({P(0), N(1)}));
+  EXPECT_EQ((*parsed)[1], Del({P(0)}));
+}
+
+TEST(DratFormatTest, AsciiRejectsMalformedInput) {
+  EXPECT_FALSE(ParseDratAscii("1 x 0\n").ok());
+  EXPECT_FALSE(ParseDratAscii("1 - 2 0\n").ok());
+  EXPECT_FALSE(ParseDratAscii("1 2\n").ok());  // unterminated step
+}
+
+TEST(DratFormatTest, BinaryRoundTrip) {
+  const std::vector<ProofStep> steps = {
+      Add({P(0), N(63), P(200)}),  // multi-byte varints
+      Del({P(0), N(63), P(200)}),
+      Add({}),
+  };
+  const std::string bytes = ToDratBinary(steps);
+  const auto parsed = ParseDratBinary(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, steps);
+}
+
+TEST(DratFormatTest, BinaryRejectsTruncationAndBadTags) {
+  const std::string bytes = ToDratBinary({Add({P(0), N(1)})});
+  EXPECT_FALSE(ParseDratBinary(bytes.substr(0, bytes.size() - 1)).ok());
+  EXPECT_FALSE(ParseDratBinary("x\x02\x00").ok());
+}
+
+TEST(DratFormatTest, AutodetectsFormat) {
+  const std::vector<ProofStep> steps = {Add({P(0), N(1)}), Add({})};
+  EXPECT_FALSE(DetectDratBinary(ToDratAscii(steps)));
+  EXPECT_TRUE(DetectDratBinary(ToDratBinary(steps)));
+  // Deletion-first proofs are the ambiguous case ('d' leads both).
+  const std::vector<ProofStep> dfirst = {Del({P(0)}), Add({})};
+  EXPECT_FALSE(DetectDratBinary(ToDratAscii(dfirst)));
+  EXPECT_TRUE(DetectDratBinary(ToDratBinary(dfirst)));
+  const auto via_auto = ParseDrat(ToDratBinary(steps));
+  ASSERT_TRUE(via_auto.ok());
+  EXPECT_EQ(*via_auto, steps);
+}
+
+TEST(DratFormatTest, WriterMatchesBatchSerialization) {
+  const std::vector<ProofStep> steps = {Add({P(1), P(2)}), Del({P(1), P(2)}),
+                                        Add({})};
+  for (const bool binary : {false, true}) {
+    DratWriter w(binary);
+    for (const ProofStep& s : steps) {
+      if (s.is_delete) {
+        w.OnDelete(s.lits);
+      } else {
+        w.OnAdd(s.lits);
+      }
+    }
+    EXPECT_EQ(w.data(), binary ? ToDratBinary(steps) : ToDratAscii(steps));
+  }
+}
+
+TEST(ProofRecorderTest, RecordsAndDetectsEmptyClause) {
+  ProofRecorder rec;
+  rec.OnAdd({P(0)});
+  rec.OnDelete({P(0), P(1)});
+  EXPECT_FALSE(rec.HasEmptyClause());
+  rec.OnAdd({});
+  EXPECT_TRUE(rec.HasEmptyClause());
+  ASSERT_EQ(rec.steps().size(), 3u);
+  EXPECT_TRUE(rec.steps()[1].is_delete);
+}
+
+// ---------------------------------------------------------------------------
+// DratChecker
+// ---------------------------------------------------------------------------
+
+// The running example: (a|b)(a|~b)(~a|c)(~a|~c), refuted by deriving
+// the units a and c.  Variables a=0, b=1, c=2.
+class PigeonholeFreeChecker : public ::testing::Test {
+ protected:
+  void LoadFormula(DratChecker* checker) {
+    checker->AddFormulaClause({P(0), P(1)});
+    checker->AddFormulaClause({P(0), N(1)});
+    checker->AddFormulaClause({N(0), P(2)});
+    checker->AddFormulaClause({N(0), N(2)});
+  }
+  std::vector<ProofStep> ValidProof() {
+    return Steps({
+        Add({P(0)}),
+        Del({P(0), P(1)}),
+        Add({P(2)}),
+        Del({N(0), P(2)}),
+        Add({}),
+    });
+  }
+};
+
+TEST_F(PigeonholeFreeChecker, AcceptsValidProof) {
+  DratChecker checker;
+  LoadFormula(&checker);
+  const DratCheckResult result = checker.Check(ValidProof());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.stats.additions, 3u);
+  EXPECT_EQ(result.stats.deletions, 2u);
+  EXPECT_EQ(result.stats.unmatched_deletions, 0u);
+}
+
+TEST_F(PigeonholeFreeChecker, AcceptsInBothCheckingModes) {
+  for (const bool backward : {true, false}) {
+    DratChecker checker;
+    LoadFormula(&checker);
+    DratCheckOptions options;
+    options.backward = backward;
+    const DratCheckResult result = checker.Check(ValidProof(), options);
+    EXPECT_TRUE(result.ok) << "backward=" << backward << ": " << result.error;
+  }
+}
+
+TEST_F(PigeonholeFreeChecker, ReportsFormulaCore) {
+  DratChecker checker;
+  LoadFormula(&checker);
+  const DratCheckResult result = checker.Check(ValidProof());
+  ASSERT_TRUE(result.ok);
+  // All four clauses are needed to refute this formula.
+  EXPECT_EQ(result.core, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST_F(PigeonholeFreeChecker, RejectsDroppedStep) {
+  // Dropping the derivation of `a` makes `c` underivable.
+  auto proof = ValidProof();
+  proof.erase(proof.begin());
+  DratChecker checker;
+  LoadFormula(&checker);
+  const DratCheckResult result = checker.Check(proof);
+  EXPECT_FALSE(result.ok);
+  // Depending on which later step the gap breaks, the checker reports
+  // either the underivable lemma or the underivable empty clause.
+  EXPECT_NE(result.error.find("RUP"), std::string::npos) << result.error;
+}
+
+TEST_F(PigeonholeFreeChecker, RejectsFlippedLiteral) {
+  auto proof = ValidProof();
+  proof[0].lits[0] = N(0);  // claim ~a instead of a
+  DratChecker checker;
+  LoadFormula(&checker);
+  EXPECT_FALSE(checker.Check(proof).ok);
+}
+
+TEST_F(PigeonholeFreeChecker, RejectsReorderedDeletion) {
+  // Moving the deletion of (a|b) after... rather: deleting (~a|c)
+  // *before* the addition of c removes c's antecedent.
+  auto proof = ValidProof();
+  std::swap(proof[2], proof[3]);  // del (~a|c) now precedes add (c)
+  DratChecker checker;
+  LoadFormula(&checker);
+  const DratCheckResult result = checker.Check(proof);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(PigeonholeFreeChecker, TruncatingOnlyTheEmptyClauseStillCloses) {
+  // Dropping just the trailing empty clause is NOT a refutation-losing
+  // mutation: the remaining steps still propagate to conflict, and the
+  // checker (like drat-trim) closes the refutation implicitly.
+  auto proof = ValidProof();
+  proof.pop_back();
+  DratChecker checker;
+  LoadFormula(&checker);
+  EXPECT_TRUE(checker.Check(proof).ok);
+}
+
+TEST(DratCheckerMutationTest, RejectsTruncatedProof) {
+  // Two genuine lemmas are needed here: after {a} alone the four
+  // ternary clauses have no units, so a proof cut before {c} loses
+  // the refutation (unlike truncating only the final empty clause,
+  // which the implicit closure forgives).
+  DratChecker checker;
+  const auto a = P(0), b = P(1), c = P(2), d = P(3);
+  checker.AddFormulaClause({a, b});
+  checker.AddFormulaClause({a, ~b});
+  checker.AddFormulaClause({~a, c, d});
+  checker.AddFormulaClause({~a, c, ~d});
+  checker.AddFormulaClause({~a, ~c, d});
+  checker.AddFormulaClause({~a, ~c, ~d});
+  const std::vector<ProofStep> full = {Add({a}), Add({c}), Add({})};
+  EXPECT_TRUE(checker.Check(full).ok);
+  const std::vector<ProofStep> truncated = {Add({a})};
+  const DratCheckResult result = checker.Check(truncated);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("does not derive"), std::string::npos)
+      << result.error;
+}
+
+TEST_F(PigeonholeFreeChecker, RejectsProofForSatisfiableFormula) {
+  DratChecker checker;
+  checker.AddFormulaClause({P(0), P(1)});
+  checker.AddFormulaClause({N(0), P(1)});
+  EXPECT_FALSE(checker.Check(Steps({Add({})})).ok);
+  EXPECT_FALSE(checker.Check(Steps({Add({P(1)}), Add({})})).ok);
+}
+
+TEST_F(PigeonholeFreeChecker, StrictModeRejectsUnmatchedDeletion) {
+  auto proof = ValidProof();
+  proof.insert(proof.begin(), Del({P(5), P(6)}));  // never added
+  DratChecker checker;
+  LoadFormula(&checker);
+  // Lenient (default): tolerated and counted.
+  const DratCheckResult lenient = checker.Check(proof);
+  EXPECT_TRUE(lenient.ok) << lenient.error;
+  EXPECT_EQ(lenient.stats.unmatched_deletions, 1u);
+  // Strict: rejected.
+  DratCheckOptions options;
+  options.strict_deletions = true;
+  const DratCheckResult strict = checker.Check(proof, options);
+  EXPECT_FALSE(strict.ok);
+  EXPECT_NE(strict.error.find("unmatched deletion"), std::string::npos);
+}
+
+TEST_F(PigeonholeFreeChecker, CheckerIsReusable) {
+  DratChecker checker;
+  LoadFormula(&checker);
+  EXPECT_TRUE(checker.Check(ValidProof()).ok);
+  auto broken = ValidProof();
+  broken.erase(broken.begin());
+  EXPECT_FALSE(checker.Check(broken).ok);
+  EXPECT_TRUE(checker.Check(ValidProof()).ok);
+}
+
+TEST(DratCheckerTest, ProofWithoutExplicitEmptyStepStillCloses) {
+  // Adding the two opposing units makes the database propagate to a
+  // conflict even though no explicit `0` step follows.
+  DratChecker checker;
+  checker.AddFormulaClause({P(0), P(1)});
+  checker.AddFormulaClause({P(0), N(1)});
+  checker.AddFormulaClause({N(0), P(1)});
+  checker.AddFormulaClause({N(0), N(1)});
+  const auto proof = Steps({Add({P(0)}), Add({N(0)})});
+  const DratCheckResult result = checker.Check(proof);
+  EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(DratCheckerTest, EmptyFormulaClauseIsTriviallyUnsat) {
+  DratChecker checker;
+  checker.AddFormulaClause({P(0)});
+  checker.AddFormulaClause({});
+  const DratCheckResult result = checker.Check({});
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.core, (std::vector<size_t>{1}));
+}
+
+TEST(DratCheckerTest, SkipsUnmarkedLemmasInBackwardMode) {
+  DratChecker checker;
+  checker.AddFormulaClause({P(0)});
+  checker.AddFormulaClause({N(0), P(1)});
+  checker.AddFormulaClause({N(1)});
+  // The (2|3) lemma is valid-but-noise (RAT on 2: no clause contains
+  // ~2, vacuously fine) and never used; backward marking skips it.
+  const auto proof = Steps({Add({P(2), P(3)}), Add({P(1)}), Add({})});
+  const DratCheckResult result = checker.Check(proof);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.stats.skipped, 1u);
+}
+
+TEST(DratCheckerTest, RupHookAgreesWithTextbookExamples) {
+  DratChecker checker;
+  checker.AddFormulaClause({P(0), P(1)});
+  checker.AddFormulaClause({N(1), P(2)});
+  EXPECT_TRUE(checker.IsRupForTesting({P(0), P(2)}));   // resolvent
+  EXPECT_TRUE(checker.IsRupForTesting({P(0), P(1), P(5)}));  // weakening
+  EXPECT_FALSE(checker.IsRupForTesting({P(0)}));
+  EXPECT_TRUE(checker.IsRupForTesting({P(3), N(3)}));  // tautology
+}
+
+TEST(DratCheckerTest, RatButNotRup) {
+  // F = {(~a | b)}.  C = (a | ~b) is not RUP (assuming ~a, b yields no
+  // conflict) but is RAT on pivot a: the only resolvent, with (~a|b),
+  // is (b | ~b) — a tautology.
+  DratChecker checker;
+  checker.AddFormulaClause({N(0), P(1)});
+  EXPECT_FALSE(checker.IsRupForTesting({P(0), N(1)}));
+  EXPECT_TRUE(checker.IsRatForTesting({P(0), N(1)}));
+}
+
+TEST(DratCheckerTest, RatChecksFailingResolvent) {
+  // F = {(~a | b), (~a | c), (~b)}.  C = (a) resolves with both ~a
+  // clauses; the resolvent (b) is refuted by (~b)... i.e. (b) is NOT
+  // RUP-derivable as needed — wait: RAT requires each resolvent to BE
+  // RUP.  Resolvent (b): assume ~b, propagate (~b) — no conflict from
+  // the rest, so (b) is not RUP and RAT fails.
+  DratChecker checker;
+  checker.AddFormulaClause({N(0), P(1)});
+  checker.AddFormulaClause({N(0), P(2)});
+  EXPECT_FALSE(checker.IsRatForTesting({P(0)}));
+}
+
+TEST(DratCheckerTest, RatStepInsideProofIsAccepted) {
+  // A unit over a fresh variable (nothing mentions ~d) is the classic
+  // RAT-but-not-RUP step: assuming ~d propagates to no conflict, but
+  // the pivot d has no resolution partners, so RAT holds vacuously —
+  // exactly the shape BVE-style reasoning produces.  Forward mode
+  // verifies every addition, so the RAT fallback genuinely runs
+  // (backward marking would just skip the unused lemma).
+  DratChecker checker;
+  checker.AddFormulaClause({P(0), P(1)});
+  checker.AddFormulaClause({P(0), N(1)});
+  checker.AddFormulaClause({N(0), P(2)});
+  checker.AddFormulaClause({N(0), N(2)});
+  const auto proof =
+      Steps({Add({P(9)}), Add({P(0)}), Add({P(2)}), Add({})});
+  DratCheckOptions options;
+  options.backward = false;
+  const DratCheckResult result = checker.Check(proof, options);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.stats.rat_checks, 1u);
+}
+
+}  // namespace
+}  // namespace arbiter::proof

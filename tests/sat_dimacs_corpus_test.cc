@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "proof/certify.h"
 #include "sat/dimacs.h"
 #include "sat/dpll.h"
 #include "sat/preprocessor.h"
@@ -125,6 +126,24 @@ TEST(SatDimacsCorpusTest, RawSolverMatchesAnnotations) {
     Solver solver;
     Load(c.instance, &solver);
     EXPECT_EQ(solver.Solve() == SolveStatus::kSat, c.expect_sat) << c.name;
+  }
+}
+
+TEST(SatDimacsCorpusTest, EveryUnsatInstanceCertifies) {
+  // Every UNSAT verdict in the corpus must come with a DRAT refutation
+  // the independent checker accepts — through both the preprocessing
+  // pipeline and the raw CDCL path.
+  for (const CorpusCase& c : LoadCorpus()) {
+    if (c.expect_sat) continue;
+    for (const bool use_pp : {true, false}) {
+      const proof::CnfProofResult result =
+          proof::SolveCnfWithProof(c.instance, use_pp);
+      EXPECT_EQ(result.status, SolveStatus::kUnsat)
+          << c.name << " pp=" << use_pp;
+      EXPECT_TRUE(result.certified)
+          << c.name << " pp=" << use_pp << ": "
+          << result.check.error;
+    }
   }
 }
 

@@ -7,6 +7,11 @@
 // Options:
 //   --format=text|json|sarif  output format (default text)
 //   --werror             promote warnings to errors
+//   --certify            re-check every SAT-decided verdict with the
+//                        independent DRAT proof checker; findings whose
+//                        verdict fails certification are downgraded one
+//                        severity notch and tagged certified:false in
+//                        json/sarif output
 //   --kind=belief|cnf|wkb  override extension-based dispatch
 //   --disable=<id>[,..]  suppress specific checks
 //   --fix                apply fix-its (in place for files; stdin input
@@ -48,6 +53,9 @@ int Usage() {
       << "options:\n"
       << "  --format=text|json|sarif  output format (default text)\n"
       << "  --werror               promote warnings to errors\n"
+      << "  --certify              certify SAT verdicts with the DRAT\n"
+      << "                         checker; uncertified findings are\n"
+      << "                         downgraded and tagged in json/sarif\n"
       << "  --kind=belief|cnf|wkb  override extension-based dispatch\n"
       << "  --disable=<id>[,<id>]  suppress checks by id\n"
       << "  --fix                  apply fix-its (files in place; stdin\n"
@@ -99,6 +107,8 @@ int main(int argc, char** argv) {
       return ListChecks();
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--certify") {
+      options.certify = true;
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
       if (format != "text" && format != "json" && format != "sarif") {
@@ -189,7 +199,7 @@ int main(int argc, char** argv) {
   arbiter::lint::NormalizeDiagnostics(&all);
   std::ostream& sink = fix ? std::cerr : std::cout;
   if (format == "json") {
-    sink << arbiter::lint::RenderJson(all);
+    sink << arbiter::lint::RenderJsonReport(all);
   } else if (format == "sarif") {
     sink << arbiter::lint::RenderSarif(all);
   } else {

@@ -1,0 +1,211 @@
+// arbproof: check a DRAT refutation against a DIMACS CNF instance
+// with the independent proof checker, or solve an instance with proof
+// recording and emit the certified refutation.
+//
+//   arbproof <file.cnf> <proof.drat>     # check: exit status = verdict
+//   arbproof --solve <file.cnf>          # solve + self-check the proof
+//   arbproof --solve --emit=out.drat <file.cnf>
+//
+// Options:
+//   --forward       verify every proof step (default: backward, only
+//                   steps the refutation depends on)
+//   --strict-deletions  reject deletions of clauses not in the DB
+//   --core          print the unsat core (1-based formula indices)
+//   --stats         print checker statistics
+//   --solve         solve the instance instead of reading a proof
+//   --no-preprocess with --solve: raw CDCL, no SatELite pipeline
+//   --emit=<path>   with --solve: write the recorded proof
+//   --binary        emit binary DRAT (default ASCII)
+//   -q              suppress the verdict line
+//
+// Exit codes: 0 proof accepted / instance SAT with verified model,
+// 1 proof rejected / UNSAT proof failed self-check, 3 usage or I/O
+// failure.  The proof format (ASCII vs binary) is autodetected.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proof/certify.h"
+#include "proof/checker.h"
+#include "proof/drat.h"
+#include "sat/dimacs.h"
+
+namespace {
+
+using arbiter::Result;
+using arbiter::proof::DratCheckOptions;
+using arbiter::proof::DratCheckResult;
+using arbiter::proof::DratChecker;
+using arbiter::proof::ProofStep;
+
+int Usage() {
+  std::cerr
+      << "usage: arbproof [options] <file.cnf> <proof.drat>\n"
+      << "       arbproof --solve [options] <file.cnf>\n"
+      << "options:\n"
+      << "  --forward           check every step, not just the needed ones\n"
+      << "  --strict-deletions  reject deletions of absent clauses\n"
+      << "  --core              print the unsat core (formula indices)\n"
+      << "  --stats             print checker statistics\n"
+      << "  --solve             solve with proof recording, self-check\n"
+      << "  --no-preprocess     with --solve: skip the SatELite pipeline\n"
+      << "  --emit=<path>       with --solve: write the recorded proof\n"
+      << "  --binary            emit binary DRAT (default ASCII)\n"
+      << "  -q                  suppress the verdict line\n"
+      << "exit codes: 0 accepted/sat, 1 rejected, 3 usage/IO error\n";
+  return 3;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+void PrintCheck(const DratCheckResult& result, bool want_core,
+                bool want_stats) {
+  if (want_core) {
+    std::printf("core:");
+    for (const int idx : result.core) std::printf(" %d", idx + 1);
+    std::printf("\n");
+  }
+  if (want_stats) {
+    const auto& s = result.stats;
+    std::printf("steps %llu  additions %llu  deletions %llu  "
+                "verified %llu  skipped %llu  rat-checks %llu  "
+                "propagations %llu\n",
+                static_cast<unsigned long long>(s.steps),
+                static_cast<unsigned long long>(s.additions),
+                static_cast<unsigned long long>(s.deletions),
+                static_cast<unsigned long long>(s.verified),
+                static_cast<unsigned long long>(s.skipped),
+                static_cast<unsigned long long>(s.rat_checks),
+                static_cast<unsigned long long>(s.propagations));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DratCheckOptions options;
+  bool solve = false;
+  bool preprocess = true;
+  bool binary = false;
+  bool want_core = false;
+  bool want_stats = false;
+  bool quiet = false;
+  std::string emit_path;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--forward") {
+      options.backward = false;
+    } else if (arg == "--strict-deletions") {
+      options.strict_deletions = true;
+    } else if (arg == "--core") {
+      want_core = true;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--solve") {
+      solve = true;
+    } else if (arg == "--no-preprocess") {
+      preprocess = false;
+    } else if (arg.rfind("--emit=", 0) == 0) {
+      emit_path = arg.substr(7);
+    } else if (arg == "--binary") {
+      binary = true;
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "arbproof: unknown option " << arg << "\n";
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != (solve ? 1u : 2u)) return Usage();
+
+  std::string cnf_text;
+  if (!ReadFile(files[0], &cnf_text)) {
+    std::cerr << "arbproof: cannot read " << files[0] << "\n";
+    return 3;
+  }
+  Result<arbiter::sat::CnfInstance> cnf = arbiter::sat::ParseDimacs(cnf_text);
+  if (!cnf.ok()) {
+    std::cerr << "arbproof: " << files[0] << ": "
+              << cnf.status().ToString() << "\n";
+    return 3;
+  }
+
+  if (solve) {
+    const arbiter::proof::CnfProofResult result =
+        arbiter::proof::SolveCnfWithProof(cnf.ValueOrDie(), preprocess);
+    if (result.status == arbiter::sat::SolveStatus::kSat) {
+      if (!quiet) std::printf("s SATISFIABLE\n");
+      return 0;
+    }
+    if (result.status != arbiter::sat::SolveStatus::kUnsat) {
+      std::cerr << "arbproof: solver returned unknown\n";
+      return 3;
+    }
+    if (!emit_path.empty()) {
+      const std::string bytes = binary
+                                    ? arbiter::proof::ToDratBinary(result.proof)
+                                    : arbiter::proof::ToDratAscii(result.proof);
+      std::ofstream out(emit_path, std::ios::binary);
+      out << bytes;
+      if (!out) {
+        std::cerr << "arbproof: cannot write " << emit_path << "\n";
+        return 3;
+      }
+    }
+    PrintCheck(result.check, want_core, want_stats);
+    if (!quiet) {
+      std::printf("s UNSATISFIABLE\n%s\n",
+                  result.certified ? "c proof VERIFIED" : "c proof REJECTED");
+    }
+    if (!result.certified) {
+      std::cerr << "arbproof: self-check failed: " << result.check.error
+                << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  std::string proof_bytes;
+  if (!ReadFile(files[1], &proof_bytes)) {
+    std::cerr << "arbproof: cannot read " << files[1] << "\n";
+    return 3;
+  }
+  Result<std::vector<ProofStep>> proof =
+      arbiter::proof::ParseDrat(proof_bytes);
+  if (!proof.ok()) {
+    std::cerr << "arbproof: " << files[1] << ": "
+              << proof.status().ToString() << "\n";
+    return 3;
+  }
+
+  DratChecker checker;
+  for (const auto& clause : cnf.ValueOrDie().clauses) {
+    checker.AddFormulaClause(clause);
+  }
+  const DratCheckResult result =
+      checker.Check(proof.ValueOrDie(), options);
+  PrintCheck(result, want_core, want_stats);
+  if (!quiet) {
+    std::printf("%s\n", result.ok ? "s VERIFIED" : "s NOT VERIFIED");
+  }
+  if (!result.ok) {
+    std::cerr << "arbproof: " << result.error << "\n";
+    return 1;
+  }
+  return 0;
+}
