@@ -35,6 +35,7 @@
 
 #include "server/server.h"
 #include "util/string_util.h"
+#include "util/sync.h"
 
 namespace {
 
@@ -258,6 +259,11 @@ int main(int argc, char** argv) {
   std::fprintf(f, "{\n  \"benchmark\": \"bench_server\",\n");
   std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
                static_cast<int>(std::thread::hardware_concurrency()));
+  // Whether the LockRank lock-order registry was compiled into this
+  // binary (debug builds / -DARBITER_LOCK_RANK=ON).  Release numbers
+  // must say false — the registry adds a rank check per acquisition.
+  std::fprintf(f, "  \"lock_rank_enabled\": %s,\n",
+               arbiter::kLockRankEnabled ? "true" : "false");
   std::fprintf(f,
                "  \"requests\": %d,\n  \"statements_per_request\": 8,\n"
                "  \"stores\": %d,\n  \"responses_identical\": true,\n",

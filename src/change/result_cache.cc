@@ -11,7 +11,7 @@ OperatorResultCache::OperatorResultCache(size_t capacity)
 
 std::optional<OperatorResultCache::Value> OperatorResultCache::Lookup(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -23,7 +23,7 @@ std::optional<OperatorResultCache::Value> OperatorResultCache::Lookup(
 }
 
 void OperatorResultCache::Insert(const std::string& key, Value value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(value);
@@ -41,12 +41,12 @@ void OperatorResultCache::Insert(const std::string& key, Value value) {
 }
 
 void OperatorResultCache::RecordSkip() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.skipped;
 }
 
 OperatorResultCache::Stats OperatorResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stats out = stats_;
   out.size = lru_.size();
   out.capacity = capacity_;
@@ -54,7 +54,7 @@ OperatorResultCache::Stats OperatorResultCache::stats() const {
 }
 
 void OperatorResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
   stats_ = Stats();

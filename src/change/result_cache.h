@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "logic/formula.h"
 #include "logic/vocabulary.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 /// \file result_cache.h
 /// Operator-result cache: memoized Mod(ψ ▷ μ).
@@ -78,11 +78,15 @@ class OperatorResultCache {
  private:
   using LruList = std::list<std::pair<std::string, Value>>;
 
-  mutable std::mutex mu_;
+  /// kResultCache ranks above the store locks (operator calls hit the
+  /// cache while a writer batch holds writer_mu) and below the pool
+  /// locks (cache methods never call out while holding mu_).
+  mutable Mutex mu_{LockRank::kResultCache, "OperatorResultCache::mu_"};
+  /// Set in the constructor, immutable afterwards.
   size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> index_;
-  Stats stats_;
+  LruList lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 /// Builds the canonical cache key described above.  Fails with

@@ -1,5 +1,6 @@
 #include "proof/certify.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -8,25 +9,33 @@ namespace arbiter::proof {
 
 namespace {
 
-int g_certify_override = -1;  // -1 env, 0 off, 1 on
-bool g_force_failure = false;
+// Atomics, not plain ints: CertificationEnabled() is read from server
+// sessions and pool workers while a test (or an embedding process) may
+// toggle the override — the thread-safety annotation pass flagged the
+// old plain-int globals as unguarded shared state.  Relaxed ordering
+// suffices; the toggle carries no data besides itself.
+std::atomic<int> g_certify_override{-1};  // -1 env, 0 off, 1 on
+std::atomic<bool> g_force_failure{false};
 
 }  // namespace
 
 bool CertificationEnabled() {
-  if (g_certify_override >= 0) return g_certify_override != 0;
+  const int override_state = g_certify_override.load(std::memory_order_relaxed);
+  if (override_state >= 0) return override_state != 0;
   const char* env = std::getenv("ARBITER_CERTIFY");
   return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
 }
 
 void SetCertificationEnabled(bool enabled) {
-  g_certify_override = enabled ? 1 : 0;
+  g_certify_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
-void ClearCertificationOverride() { g_certify_override = -1; }
+void ClearCertificationOverride() {
+  g_certify_override.store(-1, std::memory_order_relaxed);
+}
 
 void SetCertificationFailureForTesting(bool force_fail) {
-  g_force_failure = force_fail;
+  g_force_failure.store(force_fail, std::memory_order_relaxed);
 }
 
 CertifyingSolver::CertifyingSolver(bool enabled) : enabled_(enabled) {
@@ -69,7 +78,8 @@ CertifyOutcome CertifyingSolver::CertifyLastUnsat() {
     checker.AddFormulaClause({a});
   }
   outcome.check = checker.Check(BuildProof());
-  outcome.ok = outcome.check.ok && !g_force_failure;
+  outcome.ok =
+      outcome.check.ok && !g_force_failure.load(std::memory_order_relaxed);
   return outcome;
 }
 

@@ -20,7 +20,9 @@ namespace arbiter::proof {
 
 /// Process-wide certification toggle.  Defaults to the ARBITER_CERTIFY
 /// environment variable (unset, empty, or "0" = off); the setters
-/// override the environment until cleared.
+/// override the environment until cleared.  Thread-safe: the override
+/// is an atomic, so server sessions and pool workers may query it
+/// while another thread toggles (each solve samples it once).
 bool CertificationEnabled();
 void SetCertificationEnabled(bool enabled);
 void ClearCertificationOverride();

@@ -2,13 +2,13 @@
 
 #include <iterator>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "server/server.h"
 #include "store/belief_store.h"
 #include "util/random.h"
+#include "util/sync.h"
 
 namespace arbiter::server {
 
@@ -131,7 +131,12 @@ void CompareOutcomes(const BatchRecord& record,
 
 ServerFuzzReport RunServerInterleavingFuzz(const ServerFuzzOptions& options) {
   BeliefServer live;
-  std::mutex record_mu;
+  // kLeaf: acquired only after ExecuteBatch returns, with nothing
+  // held.  The worker threads below run batches with LockRank active
+  // (when enabled), so every recorded interleaving also validates the
+  // full acquisition order — the tsan CI job builds with
+  // -DARBITER_LOCK_RANK=ON to get both checks in one run.
+  Mutex record_mu{LockRank::kLeaf, "RunServerInterleavingFuzz::record_mu"};
   std::vector<BatchRecord> records;
 
   auto run_worker = [&](uint64_t seed, bool writer, int batches) {
@@ -151,7 +156,7 @@ ServerFuzzReport RunServerInterleavingFuzz(const ServerFuzzOptions& options) {
       record.epoch = result.epoch;
       record.committed = result.committed;
       record.outcomes = RenderAll(result);
-      std::lock_guard<std::mutex> lock(record_mu);
+      MutexLock lock(&record_mu);
       records.push_back(std::move(record));
     }
   };

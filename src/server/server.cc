@@ -307,7 +307,7 @@ BeliefServer::BeliefServer(Options options)
     : cache_(std::make_shared<OperatorResultCache>(options.cache_capacity)) {}
 
 BeliefServer::Hosted* BeliefServer::GetOrCreate(const std::string& name) {
-  std::lock_guard<std::mutex> lock(stores_mu_);
+  MutexLock lock(&stores_mu_);
   std::unique_ptr<Hosted>& slot = stores_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Hosted>();
@@ -320,7 +320,7 @@ BeliefServer::Hosted* BeliefServer::GetOrCreate(const std::string& name) {
 
 const BeliefServer::Hosted* BeliefServer::FindHosted(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(stores_mu_);
+  MutexLock lock(&stores_mu_);
   auto it = stores_.find(name);
   return it == stores_.end() ? nullptr : it->second.get();
 }
@@ -344,7 +344,7 @@ BatchResult BeliefServer::ExecuteBatch(
   if (!writes) {
     std::shared_ptr<const BeliefStore> snapshot;
     {
-      std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+      MutexLock lock(&hosted->ptr_mu);
       snapshot = hosted->snapshot;
       out.epoch = hosted->epoch;
     }
@@ -354,10 +354,10 @@ BatchResult BeliefServer::ExecuteBatch(
 
   // Single writer per store; readers keep serving the old epoch while
   // this batch works on its private copy.
-  std::lock_guard<std::mutex> writer(hosted->writer_mu);
+  MutexLock writer(&hosted->writer_mu);
   std::shared_ptr<const BeliefStore> snapshot;
   {
-    std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+    MutexLock lock(&hosted->ptr_mu);
     snapshot = hosted->snapshot;
     out.epoch = hosted->epoch;
   }
@@ -365,7 +365,7 @@ BatchResult BeliefServer::ExecuteBatch(
   out.outcomes = ExecuteParsed(parsed, working, &working, this, &mutated);
   if (mutated) {
     auto next = std::make_shared<const BeliefStore>(std::move(working));
-    std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+    MutexLock lock(&hosted->ptr_mu);
     hosted->snapshot = std::move(next);
     hosted->epoch = out.epoch + 1;
     out.committed = true;
@@ -378,7 +378,7 @@ OperatorResultCache::Stats BeliefServer::CacheStats() const {
 }
 
 std::vector<std::string> BeliefServer::StoreNames() const {
-  std::lock_guard<std::mutex> lock(stores_mu_);
+  MutexLock lock(&stores_mu_);
   std::vector<std::string> names;
   names.reserve(stores_.size());
   for (const auto& [name, hosted] : stores_) names.push_back(name);
@@ -393,7 +393,7 @@ Result<std::string> BeliefServer::SaveStore(
   }
   std::shared_ptr<const BeliefStore> snapshot;
   {
-    std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+    MutexLock lock(&hosted->ptr_mu);
     snapshot = hosted->snapshot;
   }
   return snapshot->Save();
@@ -402,7 +402,7 @@ Result<std::string> BeliefServer::SaveStore(
 uint64_t BeliefServer::StoreEpoch(const std::string& store_name) const {
   const Hosted* hosted = FindHosted(store_name);
   if (hosted == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(hosted->ptr_mu);
+  MutexLock lock(&hosted->ptr_mu);
   return hosted->epoch;
 }
 

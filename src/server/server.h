@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "change/result_cache.h"
 #include "store/belief_store.h"
 #include "store/script.h"
+#include "util/sync.h"
 
 /// \file server.h
 /// BeliefServer: many named BeliefStores behind a batch API, built for
@@ -137,18 +137,36 @@ class BeliefServer {
   uint64_t StoreEpoch(const std::string& store_name) const;
 
  private:
+  /// One hosted store.  The capability split is the epoch model
+  /// itself: `writer_mu` is the *right to produce the next epoch*
+  /// (held across the whole copy-apply-publish cycle, guards no field
+  /// directly), while `ptr_mu` guards the published snapshot/epoch
+  /// pair and is only ever held for a pointer copy.  A writer
+  /// therefore acquires writer_mu before ptr_mu — the
+  /// ACQUIRED_BEFORE edge below and LockRank (kStoreWriter <
+  /// kStorePtr) both pin that order.
   struct Hosted {
-    std::mutex writer_mu;       ///< serializes writing batches
-    mutable std::mutex ptr_mu;  ///< guards snapshot/epoch below
-    std::shared_ptr<const BeliefStore> snapshot;
-    uint64_t epoch = 0;
+    /// Serializes writing batches.
+    Mutex writer_mu ACQUIRED_BEFORE(ptr_mu){LockRank::kStoreWriter,
+                                            "Hosted::writer_mu"};
+    /// Guards the published snapshot/epoch pair.
+    mutable Mutex ptr_mu{LockRank::kStorePtr, "Hosted::ptr_mu"};
+    std::shared_ptr<const BeliefStore> snapshot GUARDED_BY(ptr_mu);
+    uint64_t epoch GUARDED_BY(ptr_mu) = 0;
   };
 
+  /// Returned Hosted pointers stay valid for the server's lifetime:
+  /// stores_ maps to unique_ptr slots and entries are never erased, so
+  /// callers may use a Hosted (through its own mutexes) after
+  /// stores_mu_ is released.
   Hosted* GetOrCreate(const std::string& name);
   const Hosted* FindHosted(const std::string& name) const;
 
-  mutable std::mutex stores_mu_;
-  std::map<std::string, std::unique_ptr<Hosted>> stores_;
+  mutable Mutex stores_mu_{LockRank::kStores, "BeliefServer::stores_mu_"};
+  std::map<std::string, std::unique_ptr<Hosted>> stores_
+      GUARDED_BY(stores_mu_);
+  /// Set in the constructor, immutable afterwards; the cache itself is
+  /// internally synchronized (its own kResultCache-ranked mutex).
   std::shared_ptr<OperatorResultCache> cache_;
 };
 

@@ -121,7 +121,7 @@ void UnixSocketServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed (Stop) or fatal error
     }
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     live_fds_.push_back(fd);
     conn_threads_.emplace_back(&UnixSocketServer::ServeConnection, this, fd);
   }
@@ -137,7 +137,7 @@ void UnixSocketServer::ServeConnection(int fd) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     for (size_t i = 0; i < live_fds_.size(); ++i) {
       if (live_fds_[i] == fd) {
         live_fds_.erase(live_fds_.begin() + static_cast<ptrdiff_t>(i));
@@ -159,7 +159,7 @@ void UnixSocketServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
     threads = std::move(conn_threads_);
     conn_threads_.clear();

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/server.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 /// \file socket.h
 /// AF_UNIX transport: a listener thread accepts connections and serves
@@ -45,15 +45,25 @@ class UnixSocketServer {
   void ServeConnection(int fd);
 
   BeliefServer* server_;
+  /// path_/listen_fd_/accept_thread_ are owned by the Start/Stop
+  /// thread: written before the accept thread starts and after it is
+  /// joined, so they need no guard (the accept thread only reads
+  /// listen_fd_, which is immutable while it runs).
   std::string path_;
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
 
-  std::mutex conns_mu_;
-  std::vector<int> live_fds_;
-  std::vector<std::thread> conn_threads_;
+  /// kConnections ranks below every server lock: a connection thread
+  /// serves batches (stores/writer/ptr/cache/pool locks) only after
+  /// conns_mu_ is released, and Stop holds conns_mu_ only around fd
+  /// shutdown and the thread-vector move.
+  Mutex conns_mu_{LockRank::kConnections, "UnixSocketServer::conns_mu_"};
+  std::vector<int> live_fds_ GUARDED_BY(conns_mu_);
+  /// Joined by Stop after the accept thread (the only writer besides
+  /// Stop) is itself joined, so no late emplace can be missed.
+  std::vector<std::thread> conn_threads_ GUARDED_BY(conns_mu_);
 };
 
 }  // namespace arbiter::server

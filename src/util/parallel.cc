@@ -35,7 +35,12 @@ ThreadPool::ThreadPool() : num_threads_(DefaultNumThreads()) {
 ThreadPool::~ThreadPool() { StopWorkers(); }
 
 void ThreadPool::StartWorkers() {
-  shutdown_ = false;
+  {
+    // No workers exist yet, but shutdown_ is guarded by queue_mu_ and
+    // the annotations hold on every path, constructor included.
+    MutexLock lock(&queue_mu_);
+    shutdown_ = false;
+  }
   const int spawn = num_threads_ - 1;
   workers_.reserve(spawn > 0 ? spawn : 0);
   for (int i = 0; i < spawn; ++i) {
@@ -45,10 +50,10 @@ void ThreadPool::StartWorkers() {
 
 void ThreadPool::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     shutdown_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
 }
@@ -63,8 +68,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&queue_mu_);
+      while (!shutdown_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (shutdown_) return;
       // All idle workers pile onto the front job; exhausted jobs are
       // dropped (their in-flight chunks finish on the claiming threads).
@@ -87,8 +92,8 @@ void ThreadPool::HelpWith(const std::shared_ptr<Job>& job) {
         job->num_chunks) {
       // The lock pairs with the waiter's predicate check so the final
       // notify cannot slip between its check and its wait.
-      { std::lock_guard<std::mutex> lock(job->mu); }
-      job->cv.notify_all();
+      { MutexLock lock(&job->mu); }
+      job->cv.NotifyAll();
     }
   }
 }
@@ -104,19 +109,19 @@ void ThreadPool::RunChunks(uint64_t num_chunks,
   job->num_chunks = num_chunks;
   job->fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     queue_.push_back(job);
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   HelpWith(job);
   {
-    std::unique_lock<std::mutex> lock(job->mu);
-    job->cv.wait(lock, [&job] {
-      return job->done.load(std::memory_order_acquire) == job->num_chunks;
-    });
+    MutexLock lock(&job->mu);
+    while (job->done.load(std::memory_order_acquire) != job->num_chunks) {
+      job->cv.Wait(job->mu);
+    }
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     auto it = std::find(queue_.begin(), queue_.end(), job);
     if (it != queue_.end()) queue_.erase(it);
   }

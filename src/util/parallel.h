@@ -2,13 +2,13 @@
 #define ARBITER_UTIL_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 /// \file parallel.h
 /// A small, dependency-free execution layer for the enumeration-heavy
@@ -62,13 +62,17 @@ class ThreadPool {
 
  private:
   /// One parallel region: a fixed chunk set claimed dynamically.
+  /// `num_chunks` and `fn` are written once before the job is
+  /// published to the queue and only read afterwards, so they need no
+  /// guard; `mu`/`cv` exist purely for the completion handshake (the
+  /// waiter re-checks the atomic `done` under `mu`).
   struct Job {
     std::atomic<uint64_t> next{0};
     std::atomic<uint64_t> done{0};
     uint64_t num_chunks = 0;
     const std::function<void(uint64_t)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu{LockRank::kPoolJob, "ThreadPool::Job::mu"};
+    CondVar cv;
   };
 
   ThreadPool();
@@ -78,12 +82,17 @@ class ThreadPool {
   /// Claims and executes chunks of `job` until none remain.
   void HelpWith(const std::shared_ptr<Job>& job);
 
+  /// Mutated only by SetNumThreads with all workers joined; read by
+  /// RunChunks on the (single) configuring thread's schedule.
   int num_threads_ = 1;
+  /// Owned by the configuring thread (ctor/SetNumThreads/dtor); the
+  /// workers never touch the vector itself.
   std::vector<std::thread> workers_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::vector<std::shared_ptr<Job>> queue_;  // jobs with unclaimed chunks
-  bool shutdown_ = false;
+  Mutex queue_mu_{LockRank::kPoolQueue, "ThreadPool::queue_mu_"};
+  CondVar queue_cv_;
+  /// Jobs with unclaimed chunks.
+  std::vector<std::shared_ptr<Job>> queue_ GUARDED_BY(queue_mu_);
+  bool shutdown_ GUARDED_BY(queue_mu_) = false;
 };
 
 /// Chunked parallel-for over [begin, end): partitions the range into

@@ -1,0 +1,132 @@
+#include "util/sync.h"
+
+#if ARBITER_LOCK_RANK
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#include <unistd.h>
+#define ARBITER_SYNC_HAVE_BACKTRACE 1
+#else
+#define ARBITER_SYNC_HAVE_BACKTRACE 0
+#endif
+
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+namespace arbiter::sync_internal {
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+/// One lock the calling thread currently holds.
+struct Held {
+  const void* mu;
+  int rank;
+  const char* name;
+  bool try_lock;
+  void* frames[kMaxFrames];
+  int depth;
+};
+
+/// A thread holding this many locks at once is a bug in its own right.
+constexpr int kMaxHeld = 32;
+
+/// The registry is per-thread: lock *order* is a property of one
+/// thread's nesting, so no cross-thread state (or lock!) is needed.
+///
+/// Deliberately a trivially-destructible POD array, NOT a
+/// std::vector: a vector would register a TLS destructor, and
+/// atexit-destroyed statics (e.g. a global ThreadPool) still lock
+/// mutexes *after* the main thread's TLS destructors have run —
+/// a use-after-free the TSan job caught on first contact.
+static_assert(std::is_trivially_destructible_v<Held>);
+thread_local Held t_held[kMaxHeld];
+thread_local int t_held_count = 0;
+
+void PrintFrames(void* const* frames, int depth) {
+#if ARBITER_SYNC_HAVE_BACKTRACE
+  backtrace_symbols_fd(frames, depth, STDERR_FILENO);
+#else
+  (void)frames;
+  (void)depth;
+  std::fprintf(stderr, "  <no backtrace support on this platform>\n");
+#endif
+}
+
+[[noreturn]] void Die(const Held& blocker, int rank, const char* name,
+                      const char* what) {
+  std::fprintf(stderr,
+               "LockRank violation: %s\n"
+               "  acquiring: \"%s\" (rank %d)\n"
+               "  while holding (%d lock%s, acquisition order):\n",
+               what, name, rank, t_held_count,
+               t_held_count == 1 ? "" : "s");
+  for (int i = 0; i < t_held_count; ++i) {
+    std::fprintf(stderr, "    \"%s\" (rank %d)%s\n", t_held[i].name,
+                 t_held[i].rank, t_held[i].try_lock ? " [try-lock]" : "");
+  }
+  std::fprintf(stderr, "  conflicting \"%s\" was acquired at:\n",
+               blocker.name);
+  PrintFrames(blocker.frames, blocker.depth);
+  std::fprintf(stderr, "  this acquisition at:\n");
+#if ARBITER_SYNC_HAVE_BACKTRACE
+  void* now[kMaxFrames];
+  PrintFrames(now, backtrace(now, kMaxFrames));
+#endif
+  std::abort();
+}
+
+}  // namespace
+
+void NoteAcquire(const void* mu, int rank, const char* name, bool try_lock) {
+  if (!try_lock) {
+    for (int i = 0; i < t_held_count; ++i) {
+      const Held& held = t_held[i];
+      if (held.mu == mu) {
+        Die(held, rank, name,
+            "relocking a mutex this thread already holds (self-deadlock)");
+      }
+      if (held.rank >= rank) {
+        Die(held, rank, name,
+            "acquisition out of rank order (possible deadlock cycle)");
+      }
+    }
+  }
+  if (t_held_count == kMaxHeld) {
+    std::fprintf(stderr,
+                 "LockRank violation: thread holds %d locks at once "
+                 "(acquiring \"%s\")\n",
+                 kMaxHeld, name);
+    std::abort();
+  }
+  Held& held = t_held[t_held_count++];
+  held.mu = mu;
+  held.rank = rank;
+  held.name = name;
+  held.try_lock = try_lock;
+  held.depth = 0;
+#if ARBITER_SYNC_HAVE_BACKTRACE
+  held.depth = backtrace(held.frames, kMaxFrames);
+#endif
+}
+
+void NoteRelease(const void* mu) {
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i].mu != mu) continue;
+    for (int j = i; j + 1 < t_held_count; ++j) t_held[j] = t_held[j + 1];
+    --t_held_count;
+    return;
+  }
+  std::fprintf(stderr,
+               "LockRank violation: releasing a mutex this thread does not "
+               "hold\n");
+  std::abort();
+}
+
+int HeldLockCountForTesting() { return t_held_count; }
+
+}  // namespace arbiter::sync_internal
+
+#endif  // ARBITER_LOCK_RANK

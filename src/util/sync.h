@@ -1,0 +1,287 @@
+#ifndef ARBITER_UTIL_SYNC_H_
+#define ARBITER_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+/// \file sync.h
+/// The repository's only synchronization entry point: capability-
+/// annotated wrappers over the standard primitives, plus a debug-build
+/// lock-order registry.
+///
+/// Raw `std::mutex` / `std::lock_guard` / `std::condition_variable`
+/// are banned outside this header (tools/check_sync_usage.sh enforces
+/// it in CI) for two reasons:
+///
+///  1. **Static proof.**  `Mutex`/`SharedMutex` are Clang
+///     `CAPABILITY` types and the guards are `SCOPED_CAPABILITY`
+///     types, so a clang build with `-Werror=thread-safety` proves
+///     every `GUARDED_BY` field is only touched under its mutex and
+///     every `ACQUIRED_BEFORE` edge is respected — at every compile,
+///     on every path, not just the interleavings a TSan run explores.
+///
+///  2. **Runtime order checking.**  In debug builds (or with
+///     `-DARBITER_LOCK_RANK=ON`) every Mutex carries a `LockRank` and
+///     each thread records its held locks; acquiring a lock whose rank
+///     is not strictly greater than everything already held aborts
+///     with both acquisition stacks.  Rank order is a total order, so
+///     a clean run can contain no lock cycle — this is a deadlock
+///     detector that fires on the *potential*, not the deadlock.
+///     Release builds compile the registry out entirely: the
+///     static_asserts at the bottom of this header pin
+///     `sizeof(Mutex) == sizeof(std::mutex)`.
+///
+/// The global lock order (see docs/CONCURRENCY.md for the map of
+/// which field each mutex guards):
+///
+///   kConnections < kStores < kStoreWriter < kStorePtr
+///                < kResultCache < kPoolQueue < kPoolJob < kLeaf
+///
+/// `kLeaf` is for mutexes that are never held across another
+/// acquisition (two leaves can therefore never nest).
+
+// ARBITER_LOCK_RANK: 1 = runtime lock-order checking on.  Defaults to
+// on exactly when assertions are on (debug builds); override with
+// -DARBITER_LOCK_RANK={0,1} (the CMake ARBITER_LOCK_RANK option).
+#ifndef ARBITER_LOCK_RANK
+#ifdef NDEBUG
+#define ARBITER_LOCK_RANK 0
+#else
+#define ARBITER_LOCK_RANK 1
+#endif
+#endif
+
+namespace arbiter {
+
+/// Global acquisition order: a thread may only acquire a mutex whose
+/// rank is strictly greater than every rank it already holds.
+enum class LockRank : int {
+  kConnections = 10,  ///< UnixSocketServer::conns_mu_
+  kStores = 20,       ///< BeliefServer::stores_mu_
+  kStoreWriter = 30,  ///< BeliefServer::Hosted::writer_mu
+  kStorePtr = 40,     ///< BeliefServer::Hosted::ptr_mu
+  kResultCache = 50,  ///< OperatorResultCache::mu_
+  kPoolQueue = 60,    ///< ThreadPool::queue_mu_
+  kPoolJob = 70,      ///< ThreadPool::Job::mu
+  kLeaf = 1000,       ///< never held across another acquisition
+};
+
+/// True iff this build records and enforces lock ranks at runtime.
+inline constexpr bool kLockRankEnabled = ARBITER_LOCK_RANK != 0;
+
+namespace sync_internal {
+#if ARBITER_LOCK_RANK
+/// Checks `rank` against the calling thread's held set (unless the
+/// acquisition was a try-lock, which cannot block and so cannot
+/// deadlock) and records the acquisition with its capture stack.
+/// Aborts on a violation, printing the held stack, the conflicting
+/// lock's acquisition backtrace, and the current backtrace.
+void NoteAcquire(const void* mu, int rank, const char* name, bool try_lock);
+/// Removes the most recent record for `mu`; aborts if none exists.
+void NoteRelease(const void* mu);
+/// Number of locks the calling thread currently records (tests).
+int HeldLockCountForTesting();
+#endif
+}  // namespace sync_internal
+
+/// Exclusive mutex.  `rank`/`name` feed the debug lock-order registry;
+/// in release builds both are discarded and this is exactly a
+/// std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kLeaf, const char* name = "mutex")
+#if ARBITER_LOCK_RANK
+      : rank_(static_cast<int>(rank)), name_(name) {
+  }
+#else
+  {
+    (void)rank;
+    (void)name;
+  }
+#endif
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+#if ARBITER_LOCK_RANK
+    // Check before blocking: a rank violation is reported even when
+    // (especially when) the lock would have deadlocked.
+    sync_internal::NoteAcquire(this, rank_, name_, /*try_lock=*/false);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if ARBITER_LOCK_RANK
+    sync_internal::NoteRelease(this);
+#endif
+  }
+
+  /// Non-blocking acquisition; exempt from rank checking (a try-lock
+  /// out of order is a legal deadlock-avoidance idiom) but still
+  /// recorded so locks acquired *under* it are checked.
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if ARBITER_LOCK_RANK
+    sync_internal::NoteAcquire(this, rank_, name_, /*try_lock=*/true);
+#endif
+    return true;
+  }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+#if ARBITER_LOCK_RANK
+  int rank_;
+  const char* name_;
+#endif
+};
+
+/// Reader/writer mutex with the same rank discipline (shared and
+/// exclusive acquisitions obey the same order).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank = LockRank::kLeaf,
+                       const char* name = "shared_mutex")
+#if ARBITER_LOCK_RANK
+      : rank_(static_cast<int>(rank)), name_(name) {
+  }
+#else
+  {
+    (void)rank;
+    (void)name;
+  }
+#endif
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() {
+#if ARBITER_LOCK_RANK
+    sync_internal::NoteAcquire(this, rank_, name_, /*try_lock=*/false);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if ARBITER_LOCK_RANK
+    sync_internal::NoteRelease(this);
+#endif
+  }
+
+  void LockShared() ACQUIRE_SHARED() {
+#if ARBITER_LOCK_RANK
+    sync_internal::NoteAcquire(this, rank_, name_, /*try_lock=*/false);
+#endif
+    mu_.lock_shared();
+  }
+
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if ARBITER_LOCK_RANK
+    sync_internal::NoteRelease(this);
+#endif
+  }
+
+ private:
+  std::shared_mutex mu_;
+#if ARBITER_LOCK_RANK
+  int rank_;
+  const char* name_;
+#endif
+};
+
+/// RAII exclusive lock (the only way library code should hold a
+/// Mutex — bare Lock/Unlock pairs do not survive early returns).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to Mutex.  Wait REQUIRES the mutex, which
+/// lets the analysis verify the standard pattern:
+///
+///   MutexLock lock(&mu_);
+///   while (!predicate_guarded_by_mu) cv_.Wait(mu_);
+///
+/// The wait releases and reacquires the underlying std::mutex; the
+/// LockRank record for `mu` intentionally stays in place across the
+/// wait — the thread is blocked, so no other acquisition can be
+/// checked against a stale held set, and the reacquired state matches
+/// the record again on return.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's guard
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+#if !ARBITER_LOCK_RANK
+// Zero-cost pin: with the registry compiled out, the wrappers must be
+// layout-identical to the primitives they wrap.  Fires on every
+// release compile (NDEBUG) of any TU including this header.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release Mutex must carry no LockRank state");
+static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex),
+              "release SharedMutex must carry no LockRank state");
+#endif
+
+}  // namespace arbiter
+
+#endif  // ARBITER_UTIL_SYNC_H_

@@ -1,0 +1,98 @@
+#ifndef ARBITER_UTIL_THREAD_ANNOTATIONS_H_
+#define ARBITER_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Macro shims for Clang's Thread Safety Analysis.
+///
+/// Under clang these expand to the `capability`/`guarded_by`/... family
+/// of attributes, which lets `-Wthread-safety -Wthread-safety-beta`
+/// prove at compile time that every access to a `GUARDED_BY` field
+/// happens with its mutex held and that `ACQUIRED_BEFORE` edges are
+/// respected.  Under GCC/MSVC every macro expands to nothing, so the
+/// annotations are free documentation there; the CI `thread-safety`
+/// job compiles with clang and `-Werror=thread-safety`, making the
+/// annotations a machine-checked invariant rather than a comment.
+///
+/// Use these only through the wrappers in util/sync.h — a CI grep
+/// (tools/check_sync_usage.sh) rejects raw `std::mutex` outside it.
+/// Naming follows the Clang documentation's mutex.h example so the
+/// attribute semantics can be looked up verbatim:
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define ARBITER_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define ARBITER_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability (a lock, in our usage).
+#define CAPABILITY(x) ARBITER_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class that acquires in its constructor and
+/// releases in its destructor.
+#define SCOPED_CAPABILITY ARBITER_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read/written with the given capability held.
+#define GUARDED_BY(x) ARBITER_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be dereferenced with the
+/// given capability held (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) ARBITER_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering edges: this capability must be acquired before/after
+/// the listed ones.  Enforced under -Wthread-safety-beta; the runtime
+/// LockRank registry (util/sync.h) checks the same order dynamically
+/// in debug builds.
+#define ACQUIRED_BEFORE(...) \
+  ARBITER_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  ARBITER_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called with the listed capabilities held
+/// (exclusively / shared).
+#define REQUIRES(...) \
+  ARBITER_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  ARBITER_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Legacy spellings kept for grep-ability with older codebases.
+#define EXCLUSIVE_LOCKS_REQUIRED(...) REQUIRES(__VA_ARGS__)
+#define SHARED_LOCKS_REQUIRED(...) REQUIRES_SHARED(__VA_ARGS__)
+
+/// The function acquires/releases the listed capabilities (itself when
+/// the list is empty, as on Mutex::Lock).
+#define ACQUIRE(...) \
+  ARBITER_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  ARBITER_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  ARBITER_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  ARBITER_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the
+/// return value that signals success.
+#define TRY_ACQUIRE(...) \
+  ARBITER_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  ARBITER_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the listed capabilities held
+/// (guards against self-deadlock on non-reentrant locks).
+#define EXCLUDES(...) ARBITER_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, for the analysis) that the capability is held.
+#define ASSERT_CAPABILITY(x) ARBITER_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  ARBITER_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) ARBITER_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Every use
+/// must carry a comment explaining why the protocol cannot be
+/// expressed (there are currently none in src/).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ARBITER_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // ARBITER_UTIL_THREAD_ANNOTATIONS_H_

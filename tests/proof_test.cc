@@ -3,10 +3,13 @@
 // independent DratChecker (RUP, RAT, backward marking, deletion
 // handling, adversarial mutations).
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "proof/certify.h"
 #include "proof/checker.h"
 #include "proof/drat.h"
 #include "proof/proof_log.h"
@@ -362,6 +365,41 @@ TEST(DratCheckerTest, RatStepInsideProofIsAccepted) {
   const DratCheckResult result = checker.Check(proof, options);
   EXPECT_TRUE(result.ok) << result.error;
   EXPECT_GE(result.stats.rat_checks, 1u);
+}
+
+// Regression for a finding from the thread-safety annotation pass
+// (PR: capability locks + -Wthread-safety): the certification
+// override globals were plain int/bool, but CertificationEnabled() is
+// read from server sessions and pool workers while a test or an
+// embedding process toggles the override.  They are atomics now; under
+// the tsan CI job this test is a live data-race detector, elsewhere it
+// pins the contract that concurrent toggle/query is allowed.
+TEST(CertifyToggleTest, ConcurrentToggleAndQueryIsSafe) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)CertificationEnabled();
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Keep toggling until every reader has demonstrably run, so the
+  // toggle and query sides genuinely overlap (a fixed iteration count
+  // can finish before the readers are even scheduled).
+  uint64_t i = 0;
+  while (i < 1000 || queries.load(std::memory_order_relaxed) < 4) {
+    SetCertificationEnabled(i % 2 == 0);
+    if (i % 97 == 0) ClearCertificationOverride();
+    ++i;
+  }
+  ClearCertificationOverride();  // leave the pristine env-driven state
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(queries.load(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,203 @@
+// util/sync.h: guard-type semantics, CondVar, and the LockRank
+// lock-order/deadlock detector.
+//
+// This binary is built standalone from sync.cc with ARBITER_LOCK_RANK
+// forced on (see tests/CMakeLists.txt), so the death tests exercise
+// the registry even though the tier-1 build (RelWithDebInfo, NDEBUG)
+// compiles it out of the main library.  The release zero-cost pin is
+// the static_assert block at the bottom of sync.h —
+// `sizeof(Mutex) == sizeof(std::mutex)` — which fires on every
+// NDEBUG compile of any TU that includes the header.
+
+#include "util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace arbiter {
+namespace {
+
+static_assert(kLockRankEnabled,
+              "sync_test must be built with ARBITER_LOCK_RANK=1");
+
+// Defeats the static analysis' (deliberately absent) alias tracking so
+// the *runtime* detector can be exercised on patterns the clang pass
+// would reject at compile time.
+Mutex* Laundered(Mutex* mu) {
+  volatile Mutex* alias = mu;
+  return const_cast<Mutex*>(alias);
+}
+
+TEST(SyncTest, MutexLockProvidesExclusion) {
+  Mutex mu(LockRank::kLeaf, "counter_mu");
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(SyncTest, TryLockReportsContention) {
+  Mutex mu(LockRank::kLeaf, "try_mu");
+  const bool first = mu.TryLock();
+  ASSERT_TRUE(first);
+  std::thread other([&] {
+    // Held by the main thread: a second owner must be refused.
+    const bool stolen = mu.TryLock();
+    EXPECT_FALSE(stolen);
+    if (stolen) mu.Unlock();
+  });
+  other.join();
+  if (first) mu.Unlock();
+  const bool reacquired = mu.TryLock();
+  EXPECT_TRUE(reacquired);
+  if (reacquired) mu.Unlock();
+}
+
+TEST(SyncTest, SharedMutexAdmitsConcurrentReaders) {
+  SharedMutex mu(LockRank::kLeaf, "shared_mu");
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        ReaderMutexLock lock(&mu);
+        const int now = readers_inside.fetch_add(1) + 1;
+        int seen = max_seen.load();
+        while (now > seen && !max_seen.compare_exchange_weak(seen, now)) {
+        }
+        readers_inside.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // With 4 reader threads spinning on a shared lock, at least one
+  // overlap is effectively certain; an exclusive bug would pin this
+  // at 1.
+  EXPECT_GE(max_seen.load(), 1);
+
+  // Writer side still excludes.
+  int value = 0;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        WriterMutexLock lock(&mu);
+        ++value;
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(value, 2000);
+}
+
+TEST(SyncTest, CondVarWaitNotify) {
+  Mutex mu(LockRank::kLeaf, "cv_mu");
+  CondVar cv;
+  bool ready = false;
+  int consumed = -1;
+  std::thread consumer([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(mu);
+    consumed = 42;
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  consumer.join();
+  EXPECT_EQ(consumed, 42);
+}
+
+TEST(LockRankTest, InOrderAcquisitionIsClean) {
+  Mutex stores(LockRank::kStores, "stores");
+  Mutex writer(LockRank::kStoreWriter, "writer");
+  Mutex cache(LockRank::kResultCache, "cache");
+  EXPECT_EQ(sync_internal::HeldLockCountForTesting(), 0);
+  {
+    MutexLock a(&stores);
+    MutexLock b(&writer);
+    MutexLock c(&cache);
+    EXPECT_EQ(sync_internal::HeldLockCountForTesting(), 3);
+  }
+  EXPECT_EQ(sync_internal::HeldLockCountForTesting(), 0);
+}
+
+TEST(LockRankTest, TryLockIsExemptFromOrderChecking) {
+  Mutex high(LockRank::kResultCache, "high");
+  Mutex low(LockRank::kStores, "low");
+  MutexLock hold(&high);
+  // A try-lock cannot block, so taking `low` under `high` is a legal
+  // deadlock-avoidance idiom and must not abort.
+  const bool acquired = low.TryLock();
+  EXPECT_TRUE(acquired);
+  EXPECT_EQ(sync_internal::HeldLockCountForTesting(), 2);
+  if (acquired) low.Unlock();
+}
+
+TEST(LockRankTest, RegistryCarriesCost) {
+  // The inverse of the release pin in sync.h: with the registry
+  // compiled in, Mutex must carry its rank/name payload.
+  EXPECT_GT(sizeof(Mutex), sizeof(std::mutex));
+  EXPECT_GT(sizeof(SharedMutex), sizeof(std::shared_mutex));
+}
+
+TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex cache(LockRank::kResultCache, "cache_mu");
+        Mutex stores(LockRank::kStores, "stores_mu");
+        MutexLock hold_cache(&cache);
+        MutexLock hold_stores(&stores);  // rank 20 under rank 50: cycle risk
+      },
+      "out of rank order");
+}
+
+TEST(LockRankDeathTest, EqualRankAcquisitionAborts) {
+  // Two leaves can never nest: equal rank gives no acquisition order,
+  // so the reverse nesting elsewhere would be a cycle.
+  EXPECT_DEATH(
+      {
+        Mutex first(LockRank::kLeaf, "leaf_a");
+        Mutex second(LockRank::kLeaf, "leaf_b");
+        MutexLock hold_first(&first);
+        MutexLock hold_second(&second);
+      },
+      "out of rank order");
+}
+
+TEST(LockRankDeathTest, SelfRelockAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex mu(LockRank::kStores, "self_mu");
+        MutexLock first(&mu);
+        MutexLock second(Laundered(&mu));  // would self-deadlock
+      },
+      "self-deadlock");
+}
+
+TEST(LockRankDeathTest, ViolationReportNamesBothLocks) {
+  EXPECT_DEATH(
+      {
+        Mutex pool(LockRank::kPoolQueue, "pool_queue_mu");
+        Mutex conns(LockRank::kConnections, "conns_mu");
+        MutexLock hold_pool(&pool);
+        MutexLock hold_conns(&conns);
+      },
+      "conns_mu.*rank 10");
+}
+
+}  // namespace
+}  // namespace arbiter

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Enforces the util/sync.h capability-lock discipline: raw standard
+# synchronization primitives must not appear in src/, tools/, or
+# bench/ outside src/util/sync.h itself.  Everything else goes through
+# the annotated Mutex/SharedMutex/CondVar wrappers so Clang's
+# -Wthread-safety pass and the LockRank lock-order detector see every
+# acquisition.
+#
+# Usage: tools/check_sync_usage.sh [repo-root]
+# Exit 0 when clean, 1 with the offending lines otherwise.
+#
+# Comment lines are ignored (docs may *mention* std::mutex); only code
+# counts.  Registered as a ctest (`sync_usage_guard`) and run in CI.
+
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root"
+
+pattern='std::(mutex|recursive_mutex|timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable|condition_variable_any)'
+
+# -I skips binaries; comments stripped by dropping lines whose first
+# non-blank characters open a // or /* comment.
+violations=$(grep -rEnI "$pattern" src tools bench \
+  --include='*.h' --include='*.cc' \
+  | grep -v '^src/util/sync\.h:' \
+  | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(//|/\*|\*)' \
+  || true)
+
+if [ -n "$violations" ]; then
+  echo "error: raw standard sync primitives outside src/util/sync.h —" >&2
+  echo "use arbiter::Mutex / SharedMutex / CondVar (util/sync.h) so" >&2
+  echo "-Wthread-safety and LockRank cover the acquisition:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+
+echo "sync usage clean: all locking goes through util/sync.h"
